@@ -1,0 +1,138 @@
+// PERF: google-benchmark microbenchmarks of the substrates (simulator
+// round throughput, primitives, generators, color-BFS, density machinery).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "evencycle.hpp"
+
+namespace {
+
+using namespace evencycle;
+using graph::Graph;
+using graph::VertexId;
+
+class FloodProgram : public congest::NodeProgram {
+ public:
+  void on_round(congest::Context& ctx) override { ctx.broadcast({0, ctx.id()}); }
+};
+
+void BM_NetworkRoundThroughput(benchmark::State& state) {
+  const auto side = static_cast<VertexId>(state.range(0));
+  const Graph g = graph::grid(side, side);
+  congest::Network net(g);
+  net.install([](VertexId) { return std::make_unique<FloodProgram>(); });
+  for (auto _ : state) net.run_round();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * g.edge_count());
+  state.counters["nodes"] = static_cast<double>(g.vertex_count());
+}
+BENCHMARK(BM_NetworkRoundThroughput)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_BfsTreeBuild(benchmark::State& state) {
+  Rng rng(1);
+  const Graph g = graph::random_near_regular(static_cast<VertexId>(state.range(0)), 4, rng);
+  congest::Network net(g);
+  for (auto _ : state) {
+    const auto tree = congest::build_bfs_tree(net, 0);
+    benchmark::DoNotOptimize(tree.rounds);
+  }
+}
+BENCHMARK(BM_BfsTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_ErdosRenyiGenerator(benchmark::State& state) {
+  Rng rng(2);
+  const auto n = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    const Graph g = graph::erdos_renyi(n, 8.0 / n, rng);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+}
+BENCHMARK(BM_ErdosRenyiGenerator)->Arg(10000)->Arg(100000);
+
+void BM_ColorBfsFast(benchmark::State& state) {
+  Rng rng(3);
+  const auto n = static_cast<VertexId>(state.range(0));
+  const auto planted = graph::planted_heavy_cycle(n, 4, 4 * core::ceil_root(n, 2), rng);
+  const auto params = core::Params::practical(2, n);
+  const auto colors = core::random_coloring(n, 4, rng);
+  core::ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = params.threshold;
+  spec.colors = &colors;
+  for (auto _ : state) {
+    const auto out = core::run_color_bfs(planted.graph, spec, rng);
+    benchmark::DoNotOptimize(out.rejected);
+  }
+}
+BENCHMARK(BM_ColorBfsFast)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ColorBfsEngine(benchmark::State& state) {
+  Rng rng(4);
+  const auto n = static_cast<VertexId>(state.range(0));
+  const auto planted = graph::planted_light_cycle(n, 4, rng);
+  const auto colors = core::random_coloring(n, 4, rng);
+  core::ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 4;
+  spec.colors = &colors;
+  congest::Network net(planted.graph);
+  for (auto _ : state) {
+    const auto out = core::run_color_bfs_on_engine(net, spec);
+    benchmark::DoNotOptimize(out.rejected);
+  }
+}
+BENCHMARK(BM_ColorBfsEngine)->Arg(1000)->Arg(10000);
+
+void BM_Algorithm1Iteration(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<VertexId>(state.range(0));
+  const auto planted = graph::planted_heavy_cycle(n, 4, 4 * core::ceil_root(n, 2), rng);
+  core::PracticalTuning tuning;
+  tuning.repetitions = 1;
+  const auto params = core::Params::practical(2, n, tuning);
+  core::DetectOptions options;
+  options.stop_on_reject = false;
+  for (auto _ : state) {
+    const auto report = core::detect_even_cycle(planted.graph, params, rng, options);
+    benchmark::DoNotOptimize(report.rounds_measured);
+  }
+}
+BENCHMARK(BM_Algorithm1Iteration)->Arg(1000)->Arg(10000);
+
+void BM_GirthExact(benchmark::State& state) {
+  Rng rng(6);
+  const Graph g = graph::random_near_regular(static_cast<VertexId>(state.range(0)), 3, rng);
+  for (auto _ : state) {
+    const auto result = graph::girth(g);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GirthExact)->Arg(500)->Arg(2000);
+
+void BM_Decomposition(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g = graph::random_near_regular(static_cast<VertexId>(state.range(0)), 4, rng);
+  quantum::DecompositionOptions options;
+  options.separation = 9;
+  for (auto _ : state) {
+    const auto d = quantum::decompose(g, options, rng);
+    benchmark::DoNotOptimize(d.cluster_count);
+  }
+}
+BENCHMARK(BM_Decomposition)->Arg(1000)->Arg(5000);
+
+void BM_ColorCodingGroundTruth(benchmark::State& state) {
+  Rng rng(8);
+  const auto planted =
+      graph::plant_cycle(graph::random_near_regular(static_cast<VertexId>(state.range(0)), 3, rng),
+                         6, rng);
+  for (auto _ : state) {
+    const bool found = graph::contains_cycle_color_coding(planted.graph, 6, rng, 10);
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_ColorCodingGroundTruth)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,236 @@
+// F1: regenerates Figure 1 — the Density Lemma machinery.
+//
+// The paper's figure shows the IN(v, gamma) sparsification for k = 5,
+// i = 2 and the explicit 10-cycle P ∪ P' ∪ P''. This bench:
+//   1. builds instances in that exact regime (and a sweep over k, i),
+//   2. runs the sparsification, reports |IN(v)|, |IN(v,0)|, |OUT(v)|,
+//   3. constructs the Lemma 6 cycle and verifies it vertex by vertex,
+//   4. checks the Lemma 7 bound on witness-free random instances.
+#include <chrono>
+#include <iostream>
+
+#include "evencycle.hpp"
+
+namespace {
+
+using namespace evencycle;
+using core::DensityAnalysis;
+using core::DensityInput;
+using core::kNoLayer;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+struct Instance {
+  Graph graph;
+  DensityInput input;
+  VertexId apex = 0;
+};
+
+/// S x W0 complete bipartite plus a funnel of layers up to one apex in
+/// layer `depth`.
+Instance make_instance(std::uint32_t k, VertexId s_count, VertexId w_count, std::uint32_t depth,
+                       VertexId layer_width) {
+  Instance inst;
+  GraphBuilder b(0);
+  std::vector<VertexId> s_ids, prev;
+  for (VertexId i = 0; i < s_count; ++i) s_ids.push_back(b.add_vertex());
+  std::vector<std::vector<VertexId>> layers(depth + 1);
+  for (VertexId i = 0; i < w_count; ++i) {
+    const auto w = b.add_vertex();
+    layers[0].push_back(w);
+    for (auto s : s_ids) b.add_edge(w, s);
+  }
+  for (std::uint32_t j = 1; j <= depth; ++j) {
+    const VertexId width = j == depth ? 1 : layer_width;
+    for (VertexId i = 0; i < width; ++i) {
+      const auto v = b.add_vertex();
+      layers[j].push_back(v);
+      for (auto below : layers[j - 1]) b.add_edge(v, below);
+    }
+  }
+  inst.apex = layers[depth].front();
+  inst.graph = std::move(b).build();
+  inst.input.k = k;
+  inst.input.in_s.assign(inst.graph.vertex_count(), false);
+  for (auto s : s_ids) inst.input.in_s[s] = true;
+  inst.input.layer_of.assign(inst.graph.vertex_count(), kNoLayer);
+  for (std::uint32_t j = 0; j <= depth; ++j)
+    for (auto v : layers[j]) inst.input.layer_of[v] = static_cast<std::uint8_t>(j);
+  return inst;
+}
+
+/// "Pipes" instance: every W0 vertex w_j has a private chain
+/// w_j -> v_{1,j} -> ... -> v_{i-1,j} -> apex, and all W0 vertices share
+/// the same S-neighborhood. Each chain vertex sees only w_j's edges, whose
+/// S-degrees (=1) fall below every filter bound, so the whole edge set
+/// migrates into OUT at every level and the *apex* (layer i) is the first
+/// vertex whose IN is dense enough to survive sparsification — a witness in
+/// layer i exactly as Figure 1 depicts (k = 5, i = 2 there).
+Instance make_pipes(std::uint32_t k, VertexId s_count, VertexId w_count, std::uint32_t depth) {
+  Instance inst;
+  GraphBuilder b(0);
+  std::vector<VertexId> s_ids;
+  for (VertexId i = 0; i < s_count; ++i) s_ids.push_back(b.add_vertex());
+  std::vector<std::vector<VertexId>> layers(depth + 1);
+  for (VertexId j = 0; j < w_count; ++j) {
+    const auto w = b.add_vertex();
+    layers[0].push_back(w);
+    for (auto s : s_ids) b.add_edge(w, s);
+  }
+  const auto apex = b.add_vertex();
+  layers[depth].push_back(apex);
+  for (VertexId j = 0; j < w_count; ++j) {
+    VertexId prev = layers[0][j];
+    for (std::uint32_t l = 1; l < depth; ++l) {
+      const auto v = b.add_vertex();
+      layers[l].push_back(v);
+      b.add_edge(prev, v);
+      prev = v;
+    }
+    b.add_edge(prev, apex);
+  }
+  inst.apex = apex;
+  inst.graph = std::move(b).build();
+  inst.input.k = k;
+  inst.input.in_s.assign(inst.graph.vertex_count(), false);
+  for (auto s : s_ids) inst.input.in_s[s] = true;
+  inst.input.layer_of.assign(inst.graph.vertex_count(), kNoLayer);
+  for (std::uint32_t j = 0; j <= depth; ++j)
+    for (auto v : layers[j]) inst.input.layer_of[v] = static_cast<std::uint8_t>(j);
+  return inst;
+}
+
+void sweep() {
+  print_banner(std::cout, "Density Lemma sweep: witness + Lemma 6 cycle construction");
+  TextTable table({"k", "witness layer i", "|S|", "|W0|", "|E(S,W0)|", "|IN(v)|", "|IN(v,0)|",
+                   "|OUT(v)|", "cycle len", "simple", "hits S", "micros"});
+  struct Case {
+    std::uint32_t k, depth;
+    VertexId s, w;
+    bool pipes;  // pipes: witness forced into layer `depth`
+  };
+  const Case cases[] = {
+      {2, 1, 8, 40, false},   {3, 1, 12, 80, false},  {3, 2, 12, 80, true},
+      {4, 1, 20, 160, false}, {4, 2, 20, 160, true},  {4, 3, 20, 160, true},
+      {5, 1, 30, 300, false}, {5, 2, 30, 300, true},  {5, 4, 30, 300, true},
+      {6, 2, 40, 500, true},  {7, 3, 60, 900, true},
+  };
+  for (const auto& c : cases) {
+    const auto inst = c.pipes ? make_pipes(c.k, c.s, c.w, c.depth)
+                              : make_instance(c.k, c.s, c.w, c.depth, 1);
+    const auto start = std::chrono::steady_clock::now();
+    DensityAnalysis analysis(inst.graph, inst.input);
+    if (!analysis.witness().has_value()) {
+      table.add_row({TextTable::integer(c.k), "none"});
+      continue;
+    }
+    const auto v = *analysis.witness();
+    const auto cycle = analysis.construct_cycle(v);
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    const bool simple = graph::is_simple_cycle(inst.graph, cycle);
+    bool hits_s = false;
+    for (auto u : cycle) hits_s = hits_s || inst.input.in_s[u];
+    table.add_row({TextTable::integer(c.k), TextTable::integer(inst.input.layer_of[v]),
+                   TextTable::integer(c.s), TextTable::integer(c.w),
+                   TextTable::integer(analysis.bipartite_edges().size()),
+                   TextTable::integer(analysis.in_edges(v).size()),
+                   TextTable::integer(analysis.in_zero_edges(v).size()),
+                   TextTable::integer(analysis.out_edges(v).size()),
+                   TextTable::integer(cycle.size()), simple ? "yes" : "NO",
+                   hits_s ? "yes" : "NO", TextTable::integer(micros)});
+  }
+  table.print(std::cout);
+}
+
+void figure1_exact_regime() {
+  print_banner(std::cout, "Figure 1 regime: k = 5, witness in V_2 (10-cycle)");
+  const auto inst = make_pipes(5, 30, 300, 2);
+  DensityAnalysis analysis(inst.graph, inst.input);
+  if (!analysis.witness().has_value()) {
+    std::cout << "no witness (unexpected)\n";
+    return;
+  }
+  // The by-layer sweep may find a layer-1 witness first; report the apex
+  // (layer 2) explicitly like the figure does.
+  const VertexId v = inst.apex;
+  if (analysis.in_zero_edges(v).empty()) {
+    std::cout << "apex has empty IN(v,0); witness elsewhere\n";
+    return;
+  }
+  const auto cycle = analysis.construct_cycle(v);
+  std::cout << "constructed 2k-cycle (k=5) through v in layer "
+            << static_cast<int>(inst.input.layer_of[v]) << ":\n  ";
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const auto u = cycle[i];
+    const char* role = inst.input.in_s[u]                ? "S"
+                       : inst.input.layer_of[u] == 0     ? "W0"
+                       : inst.input.layer_of[u] == kNoLayer ? "?"
+                                                         : "V";
+    std::cout << u << "(" << role;
+    if (role[0] == 'V') std::cout << static_cast<int>(inst.input.layer_of[u]);
+    std::cout << ")" << (i + 1 < cycle.size() ? " - " : "\n");
+  }
+  std::cout << "simple: " << (graph::is_simple_cycle(inst.graph, cycle) ? "yes" : "NO")
+            << ", length: " << cycle.size() << " (paper: 10)\n";
+}
+
+void lemma7_bound_check(Rng& rng) {
+  print_banner(std::cout, "Lemma 7 bound on witness-free random instances");
+  TextTable table({"trial", "k", "|S|", "max |W0(v)|", "bound 2^{i-1}(k-1)|S|", "holds"});
+  int shown = 0;
+  for (int trial = 0; trial < 40 && shown < 8; ++trial) {
+    const std::uint32_t k = 3;
+    const VertexId s_count = 48;  // wide S: private-ish k^2 blocks stay sparse
+    const VertexId w_count = 8 + static_cast<VertexId>(rng.next_below(12));
+    GraphBuilder b(0);
+    std::vector<VertexId> s_ids, w_ids, v_ids;
+    for (VertexId i = 0; i < s_count; ++i) s_ids.push_back(b.add_vertex());
+    for (VertexId i = 0; i < w_count; ++i) w_ids.push_back(b.add_vertex());
+    for (VertexId i = 0; i < 2; ++i) v_ids.push_back(b.add_vertex());
+    for (auto w : w_ids) {
+      // k^2 selected neighbors, chosen from a random window to keep the
+      // bipartite graph from being too dense (dense => witness).
+      const auto offset = rng.next_below(s_count - k * k + 1);
+      for (std::uint32_t j = 0; j < k * k; ++j)
+        b.add_edge(w, s_ids[offset + j]);
+      for (auto v : v_ids)
+        if (rng.bernoulli(0.2)) b.add_edge(w, v);
+    }
+    const Graph g = std::move(b).build();
+    DensityInput input;
+    input.k = k;
+    input.in_s.assign(g.vertex_count(), false);
+    for (auto s : s_ids) input.in_s[s] = true;
+    input.layer_of.assign(g.vertex_count(), kNoLayer);
+    for (auto w : w_ids) input.layer_of[w] = 0;
+    for (auto v : v_ids) input.layer_of[v] = 1;
+    DensityAnalysis analysis(g, input);
+    if (analysis.witness().has_value()) continue;  // bound only promised witness-free
+    std::uint64_t max_reach = 0, bound = 0;
+    for (auto v : v_ids) {
+      max_reach = std::max(max_reach, analysis.w0_reachable(v));
+      bound = analysis.lemma7_bound(v);
+    }
+    table.add_row({TextTable::integer(trial), TextTable::integer(k),
+                   TextTable::integer(s_count), TextTable::integer(max_reach),
+                   TextTable::integer(bound), max_reach <= bound ? "yes" : "NO"});
+    ++shown;
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduction of Figure 1: the IN/OUT sparsification (Eqs. 3-8), the\n"
+               "Lemma 6 cycle P u P' u P'', and the Lemma 7 density bound.\n";
+  Rng rng(0xEC2024);
+  sweep();
+  figure1_exact_regime();
+  lemma7_bound_check(rng);
+  std::cout << "\nDone.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Classical Algorithm 1 vs the quantum pipeline of Theorem 2, side by side
+// on the same instance: outcomes agree, round charges diverge by the
+// quadratic amplification discount.
+#include <iostream>
+
+#include "evencycle.hpp"
+
+int main() {
+  using namespace evencycle;
+  Rng rng(99);
+  const std::uint32_t k = 2;
+
+  for (const graph::VertexId n : {512u, 1024u, 2048u}) {
+    const auto planted = graph::planted_light_cycle(n, 2 * k, rng);
+    std::cout << "n = " << n << "  (" << planted.graph.summary() << ", planted C" << 2 * k
+              << ")\n";
+
+    // Classical: Algorithm 1 with the practical profile.
+    core::PracticalTuning tuning;
+    tuning.repetitions = 256;
+    const auto params = core::Params::practical(k, n, tuning);
+    core::DetectOptions options;
+    options.stop_on_reject = true;
+    Rng classical_rng = rng.split();
+    const auto classical = core::detect_even_cycle(planted.graph, params, classical_rng, options);
+    std::cout << "  classical  : " << (classical.cycle_detected ? "REJECT" : "accept")
+              << ", rounds charged " << classical.rounds_charged << " (tau = "
+              << params.threshold << ", O(n^{1-1/k}) regime)\n";
+
+    // Quantum: congestion reduction + Monte-Carlo amplification + diameter
+    // reduction (Theorem 2).
+    quantum::QuantumPipelineOptions qopts;
+    qopts.base_repetitions = 64;
+    qopts.max_base_runs = 2500;
+    Rng quantum_rng = rng.split();
+    const auto q = quantum::quantum_detect_even_cycle(planted.graph, k, qopts, quantum_rng);
+    std::cout << "  quantum    : " << (q.cycle_detected ? "REJECT" : "accept")
+              << ", rounds charged " << q.rounds_charged << " (decomposition "
+              << q.rounds_decomposition << ", " << q.colors << " colors, "
+              << q.components_processed << " components)\n";
+    std::cout << "  classical-repetition equivalent of the same confidence boost: "
+              << q.classical_rounds_equivalent << " rounds -> quantum saves "
+              << (q.classical_rounds_equivalent > q.rounds_charged
+                      ? TextTable::num(static_cast<double>(q.classical_rounds_equivalent) /
+                                           static_cast<double>(q.rounds_charged),
+                                       1)
+                      : std::string("<1"))
+              << "x\n\n";
+  }
+
+  std::cout << "The paper's Theorem 2: quantum CONGEST decides C_{2k}-freeness in\n"
+               "~O(n^{1/2-1/2k}) rounds vs O(n^{1-1/k}) classically — a quadratic\n"
+               "speedup realized by amplifying a deliberately weakened detector.\n";
+  return 0;
+}

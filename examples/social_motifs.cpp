@@ -1,0 +1,67 @@
+// Cycle motifs in a skewed-degree "social" graph.
+//
+// Preferential-attachment graphs have hubs whose degree dwarfs n^{1/k} —
+// exactly the *heavy* regime where the paper's global-threshold technique
+// is needed (the light-only search of Instruction 9 cannot see cycles
+// through hubs). This example detects C4 and C6 motifs and triangles on a
+// Barabasi-Albert graph and reports which of Algorithm 1's three color-BFS
+// calls the rejections came from.
+#include <iostream>
+
+#include "evencycle.hpp"
+
+int main() {
+  using namespace evencycle;
+  Rng rng(7);
+  const graph::VertexId n = 1500;
+  const graph::Graph g = graph::barabasi_albert(n, 2, rng);
+  std::cout << "social graph: " << g.summary() << "\n";
+
+  // Degree skew: count heavy vertices (deg > n^{1/2}).
+  const auto light_bound = core::ceil_root(n, 2);
+  std::uint32_t heavy = 0;
+  for (graph::VertexId v = 0; v < n; ++v)
+    if (g.degree(v) > light_bound) ++heavy;
+  std::cout << "heavy vertices (deg > n^{1/2} = " << light_bound << "): " << heavy << "\n\n";
+
+  // Triangles via the odd-cycle detector (Section 3.4 classical variant).
+  {
+    core::OddCycleOptions options;
+    options.repetitions = 300;
+    const auto report = core::detect_odd_cycle(g, 1, options, rng);
+    std::cout << "triangle scan: " << (report.cycle_detected ? "found" : "none seen") << " ("
+              << report.iterations_run << " colorings)\n";
+  }
+
+  // Even motifs via Algorithm 1; inspect which call rejects.
+  for (std::uint32_t k : {2u, 3u}) {
+    core::PracticalTuning tuning;
+    tuning.repetitions = 600;
+    const auto params = core::Params::practical(k, n, tuning);
+    const auto sets = core::build_sets(g, params, rng);
+    bool found = false;
+    const char* which = "-";
+    for (std::uint64_t iter = 0; iter < params.repetitions && !found; ++iter) {
+      const auto colors = core::random_coloring(n, 2 * k, rng);
+      const auto outcome = core::run_iteration(g, params, sets, colors, rng);
+      if (outcome.rejected()) {
+        found = true;
+        which = outcome.light.rejected      ? "light call (G[U], Instruction 9)"
+                : outcome.selected.rejected ? "selected call (S, Instruction 10)"
+                                            : "heavy call (W, Instruction 11)";
+      }
+    }
+    std::cout << "C" << 2 * k << " motif: " << (found ? "found" : "none seen");
+    if (found) std::cout << " — first witnessed by the " << which;
+    std::cout << "\n";
+  }
+
+  std::cout << "\n(Ground truth, exact sequential color coding:)\n";
+  for (std::uint32_t len : {3u, 4u, 6u}) {
+    Rng seed(1000 + len);
+    const bool truth =
+        graph::contains_cycle_color_coding(g, len, seed, graph::color_coding_trials(len, 1e-4));
+    std::cout << "  C" << len << ": " << (truth ? "present" : "absent (whp)") << "\n";
+  }
+  return 0;
+}

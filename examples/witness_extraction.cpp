@@ -1,0 +1,54 @@
+// Witness extraction: turning a rejection into an explicit cycle.
+//
+// The paper's decision algorithms only *reject*; operators usually want to
+// know *which* cycle fired the alarm. A meet-node rejection carries a
+// (meet, source) certificate, and reconstruct_witness_cycle rebuilds a
+// concrete simple cycle from it — useful for root-causing routing loops.
+#include <iostream>
+
+#include "evencycle.hpp"
+
+int main() {
+  using namespace evencycle;
+  Rng rng(31337);
+  const graph::VertexId n = 500;
+  const std::uint32_t k = 3;  // hunt C6
+
+  const auto planted = graph::planted_light_cycle(n, 2 * k, rng);
+  std::cout << "network: " << planted.graph.summary() << "\nplanted C" << 2 * k << ": ";
+  for (auto v : planted.cycle) std::cout << v << ' ';
+  std::cout << "\n\n";
+
+  core::PracticalTuning tuning;
+  const auto params = core::Params::practical(k, n, tuning);
+  const auto sets = core::build_sets(planted.graph, params, rng);
+
+  for (std::uint64_t iteration = 0; iteration < 20000; ++iteration) {
+    const auto colors = core::random_coloring(n, 2 * k, rng);
+    core::ColorBfsSpec spec;
+    spec.cycle_length = 2 * k;
+    spec.threshold = params.threshold;
+    spec.colors = &colors;
+    spec.subgraph = &sets.light;
+    spec.sources = &sets.light;
+    const auto out = core::run_color_bfs(planted.graph, spec, rng);
+    if (!out.rejected) continue;
+
+    std::cout << "rejection after " << iteration + 1 << " colorings; certificates:\n";
+    for (const auto& witness : out.witnesses) {
+      std::cout << "  meet node " << witness.meet << ", source " << witness.source << " -> ";
+      const auto cycle = core::reconstruct_witness_cycle(planted.graph, spec, witness);
+      if (!cycle.has_value()) {
+        std::cout << "(no cycle: forged witness?)\n";
+        continue;
+      }
+      std::cout << "cycle: ";
+      for (auto v : *cycle) std::cout << v << ' ';
+      std::cout << (graph::is_simple_cycle(planted.graph, *cycle) ? "(verified simple C" : "(INVALID C")
+                << cycle->size() << ")\n";
+    }
+    return 0;
+  }
+  std::cout << "no rejection within the budget (unlucky seed)\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "baseline/flooding.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/analysis.hpp"
+#include "graph/cycle_search.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::baseline {
+
+FloodingReport detect_cycle_flooding(const graph::Graph& g, std::uint32_t length,
+                                     std::uint64_t max_expansions) {
+  EC_REQUIRE(length >= 3, "cycle length must be at least 3");
+  using graph::VertexId;
+  const VertexId n = g.vertex_count();
+  const std::uint32_t radius = length / 2;
+
+  FloodingReport report;
+  std::vector<std::uint32_t> dist(n, graph::kUnreachable);
+  std::vector<VertexId> ball;
+  std::deque<VertexId> queue;
+
+  for (VertexId v = 0; v < n; ++v) {
+    // Gather the radius-k ball around v.
+    ball.clear();
+    dist[v] = 0;
+    ball.push_back(v);
+    queue.push_back(v);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      if (dist[u] == radius) continue;
+      for (VertexId w : g.neighbors(u)) {
+        if (dist[w] == graph::kUnreachable) {
+          dist[w] = dist[u] + 1;
+          ball.push_back(w);
+          queue.push_back(w);
+        }
+      }
+    }
+    std::vector<bool> keep(n, false);
+    for (VertexId u : ball) keep[u] = true;
+    const auto induced = g.induced_subgraph(keep);
+    report.max_ball_edges =
+        std::max<std::uint64_t>(report.max_ball_edges, induced.graph.edge_count());
+    ++report.balls_searched;
+
+    const bool found = graph::contains_cycle_exact(induced.graph, length, max_expansions);
+    for (VertexId u : ball) dist[u] = graph::kUnreachable;
+    if (found) {
+      report.cycle_detected = true;
+      break;
+    }
+  }
+  // Streaming a ball of E edges over one link costs E rounds; the gathering
+  // has k waves, so we charge radius * max ball size.
+  report.rounds_charged = static_cast<std::uint64_t>(radius) * report.max_ball_edges;
+  return report;
+}
+
+}  // namespace evencycle::baseline

@@ -1,0 +1,29 @@
+// Deterministic flooding baseline: every node gathers its radius-k ball and
+// searches it locally for a 2k-cycle.
+//
+// This is the trivial deterministic comparator: detection is exact (a
+// 2k-cycle lies entirely inside the k-ball of each of its vertices), but
+// the congestion is the number of edges a node must relay — Theta(n) on
+// dense instances — which is exactly the Omega~(n) regime the paper's
+// odd-cycle rows and the deterministic upper bound [30] live in.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace evencycle::baseline {
+
+struct FloodingReport {
+  bool cycle_detected = false;
+  std::uint64_t rounds_charged = 0;   ///< k * max ball edge count (streaming)
+  std::uint64_t max_ball_edges = 0;   ///< congestion proxy
+  std::uint64_t balls_searched = 0;
+};
+
+/// Exact detection of a cycle of length exactly `length` by ball gathering.
+/// `max_expansions` bounds the per-ball exact search.
+FloodingReport detect_cycle_flooding(const graph::Graph& g, std::uint32_t length,
+                                     std::uint64_t max_expansions = 20'000'000);
+
+}  // namespace evencycle::baseline

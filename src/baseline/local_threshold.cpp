@@ -1,0 +1,54 @@
+#include "baseline/local_threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/color_bfs.hpp"
+#include "core/params.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::baseline {
+
+LocalThresholdReport detect_even_cycle_local_threshold(const graph::Graph& g, std::uint32_t k,
+                                                       const LocalThresholdOptions& options,
+                                                       Rng& rng) {
+  EC_REQUIRE(k >= 2, "C_{2k} detection needs k >= 2");
+  const VertexId n = g.vertex_count();
+  LocalThresholdReport report;
+  if (n == 0) return report;
+
+  std::uint64_t attempts = options.attempts;
+  if (attempts == 0) {
+    const double root = static_cast<double>(core::ceil_root(n, k));
+    attempts = static_cast<std::uint64_t>(
+        std::ceil(options.attempt_constant * static_cast<double>(n) / root));
+  }
+
+  std::vector<bool> sources(n, false);
+  for (std::uint64_t attempt = 0; attempt < attempts; ++attempt) {
+    // A single random source; its neighbors colored 0 launch the search.
+    const auto s = static_cast<VertexId>(rng.next_below(n));
+    std::fill(sources.begin(), sources.end(), false);
+    for (VertexId nb : g.neighbors(s)) sources[nb] = true;
+
+    const auto colors = core::random_coloring(n, 2 * k, rng);
+    core::ColorBfsSpec spec;
+    spec.cycle_length = 2 * k;
+    spec.threshold = options.local_threshold;
+    spec.colors = &colors;
+    spec.sources = &sources;
+    const auto outcome = core::run_color_bfs(g, spec, rng);
+
+    ++report.attempts_run;
+    report.rounds_measured += outcome.rounds_measured;
+    report.rounds_charged += outcome.rounds_charged;
+    report.threshold_discards += outcome.discarded_nodes;
+    if (outcome.rejected) {
+      report.cycle_detected = true;
+      if (options.stop_on_reject) break;
+    }
+  }
+  return report;
+}
+
+}  // namespace evencycle::baseline

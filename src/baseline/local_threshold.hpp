@@ -1,0 +1,45 @@
+// Local-threshold baseline: the algorithm of Censor-Hillel, Fischer, Gonen,
+// Le Gall, Leitersdorf, Oshman [10] that the paper improves upon.
+//
+// One attempt: pick a single source s uniformly at random; the color-0
+// neighbors of s launch a colored BFS with a *constant* threshold tau_k;
+// an attempt costs at most k * tau_k rounds. Repeating O(n^{1-1/k})
+// attempts finds a 2k-cycle with constant probability — but the constant
+// threshold argument only works for k in {2..5}: Fraigniaud, Luce, Todinca
+// [23] proved no constant local threshold suffices for k >= 6, which is the
+// impossibility the paper's *global* threshold circumvents. The A1 ablation
+// bench demonstrates this failure mode empirically.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::baseline {
+
+using graph::VertexId;
+
+struct LocalThresholdOptions {
+  /// Constant threshold tau_k (paper [10] uses small constants).
+  std::uint64_t local_threshold = 3;
+  /// Attempts; 0 = auto: ceil(attempt_constant * n^{1-1/k}).
+  std::uint64_t attempts = 0;
+  double attempt_constant = 4.0;
+  bool stop_on_reject = true;
+};
+
+struct LocalThresholdReport {
+  bool cycle_detected = false;
+  std::uint64_t attempts_run = 0;
+  std::uint64_t rounds_measured = 0;
+  std::uint64_t rounds_charged = 0;  ///< attempts * (k * tau_k + 1)
+  std::uint64_t threshold_discards = 0;
+};
+
+/// Detects C_{2k} with the local-threshold strategy.
+LocalThresholdReport detect_even_cycle_local_threshold(const graph::Graph& g, std::uint32_t k,
+                                                       const LocalThresholdOptions& options,
+                                                       Rng& rng);
+
+}  // namespace evencycle::baseline

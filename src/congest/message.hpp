@@ -1,0 +1,28 @@
+// Message model of the CONGEST simulator.
+//
+// A message is one O(log n)-bit word: in an n-node network every vertex
+// identifier fits, which is exactly the granularity the paper's round
+// accounting uses ("each node forwards at most tau identifiers" == tau
+// words == tau rounds on a unit-bandwidth link). The tag models the O(1)
+// distinct message types a protocol uses; type bits are absorbed into the
+// O(log n) word in the usual way.
+#pragma once
+
+#include <cstdint>
+
+namespace evencycle::congest {
+
+struct Message {
+  std::uint32_t tag = 0;
+  std::uint64_t payload = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// A received message together with the local port it arrived on.
+struct InboundMessage {
+  std::uint32_t port = 0;  ///< index into the receiving node's neighbor list
+  Message message;
+};
+
+}  // namespace evencycle::congest

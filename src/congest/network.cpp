@@ -1,0 +1,133 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace evencycle::congest {
+
+std::uint32_t Context::degree() const { return net_.graph_->degree(node_); }
+
+VertexId Context::graph_size() const { return net_.graph_->vertex_count(); }
+
+std::uint64_t Context::round() const { return net_.metrics_.rounds; }
+
+std::span<const InboundMessage> Context::inbox() const { return net_.inbox_[node_]; }
+
+void Context::send(std::uint32_t port, Message message) {
+  net_.send_from(node_, port, message);
+}
+
+void Context::broadcast(Message message) {
+  const std::uint32_t deg = degree();
+  for (std::uint32_t port = 0; port < deg; ++port) net_.send_from(node_, port, message);
+}
+
+void Context::reject() {
+  if (!net_.rejected_[node_]) {
+    net_.rejected_[node_] = true;
+    ++net_.reject_count_;
+  }
+}
+
+void Context::halt() {
+  if (!net_.halted_[node_]) {
+    net_.halted_[node_] = true;
+    --net_.live_count_;
+  }
+}
+
+Network::Network(const graph::Graph& g, Config config) : graph_(&g), config_(config) {
+  EC_REQUIRE(config_.words_per_round >= 1, "bandwidth must be at least one word");
+  const VertexId n = g.vertex_count();
+  inbox_.resize(n);
+  staged_.resize(n);
+  arc_load_.assign(2 * static_cast<std::size_t>(g.edge_count()), 0);
+  rejected_.assign(n, false);
+  halted_.assign(n, false);
+}
+
+void Network::install(const ProgramFactory& factory) {
+  const VertexId n = graph_->vertex_count();
+  programs_.clear();
+  programs_.reserve(n);
+  for (VertexId v = 0; v < n; ++v) programs_.push_back(factory(v));
+  for (auto& box : inbox_) box.clear();
+  for (auto& box : staged_) box.clear();
+  std::fill(arc_load_.begin(), arc_load_.end(), 0);
+  touched_arcs_.clear();
+  std::fill(rejected_.begin(), rejected_.end(), false);
+  std::fill(halted_.begin(), halted_.end(), false);
+  reject_count_ = 0;
+  live_count_ = n;
+  metrics_ = Metrics{};
+}
+
+void Network::send_from(VertexId from, std::uint32_t port, Message message) {
+  EC_SIM_CHECK(port < graph_->degree(from), "send on a non-existent port");
+  const std::uint64_t arc = graph_->arc_base(from) + port;
+  EC_SIM_CHECK(arc_load_[arc] < config_.words_per_round,
+               "bandwidth exceeded: more than words_per_round words on one "
+               "directed link in one round");
+  if (arc_load_[arc] == 0) touched_arcs_.push_back(arc);
+  ++arc_load_[arc];
+
+  if (config_.watched_edges != nullptr &&
+      (*config_.watched_edges)[graph_->incident_edges(from)[port]]) {
+    ++metrics_.watched_messages;
+  }
+
+  const VertexId to = graph_->neighbors(from)[port];
+  const std::uint32_t reverse_port = graph_->arc_index(to, from);
+  staged_[to].push_back({reverse_port, message});
+  ++round_messages_;
+}
+
+void Network::run_round() {
+  EC_SIM_CHECK(!programs_.empty(), "run_round before install()");
+  round_messages_ = 0;
+
+  for (VertexId v = 0; v < graph_->vertex_count(); ++v) {
+    if (halted_[v]) continue;
+    Context ctx(*this, v);
+    programs_[v]->on_round(ctx);
+  }
+
+  // Advance to the next round: staged messages become next round's inboxes.
+  for (VertexId v = 0; v < graph_->vertex_count(); ++v) {
+    inbox_[v].clear();
+    std::swap(inbox_[v], staged_[v]);
+  }
+  for (const auto arc : touched_arcs_) arc_load_[arc] = 0;
+  touched_arcs_.clear();
+
+  metrics_.messages += round_messages_;
+  metrics_.busiest_round_messages = std::max(metrics_.busiest_round_messages, round_messages_);
+  if (config_.collect_round_profile) metrics_.round_profile.push_back(round_messages_);
+  ++metrics_.rounds;
+}
+
+void Network::run_rounds(std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) run_round();
+}
+
+std::uint64_t Network::run_until_quiet(std::uint64_t max_rounds) {
+  std::uint64_t r = 0;
+  while (r < max_rounds) {
+    run_round();
+    ++r;
+    if (round_messages_ == 0 && r > 1) break;
+  }
+  return r;
+}
+
+std::uint64_t Network::run_to_quiescence(std::uint64_t max_rounds) {
+  std::uint64_t r = 0;
+  while (r < max_rounds && !all_halted()) {
+    run_round();
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace evencycle::congest

@@ -1,0 +1,156 @@
+// Synchronous message-level CONGEST simulator.
+//
+// Semantics (Peleg's CONGEST(B) with B = words_per_round O(log n)-bit
+// words, default 1):
+//   * all nodes run in lockstep rounds;
+//   * a message sent on a port in round r is delivered at the start of
+//     round r+1;
+//   * at most `words_per_round` messages per edge *per direction* per
+//     round — exceeding the budget is a protocol bug and throws
+//     SimulationError, so reported round counts are honest;
+//   * nodes know their own id, their ports, and n (the paper's standard
+//     assumptions); everything else must travel in messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace evencycle::congest {
+
+using graph::VertexId;
+
+struct Config {
+  std::uint32_t words_per_round = 1;  ///< link bandwidth in O(log n)-bit words
+  bool collect_round_profile = false; ///< record per-round message counts
+
+  /// Optional cut meter: per undirected edge id, true = count words crossing
+  /// this edge (both directions) into Metrics::watched_messages. Used by the
+  /// lower-bound reductions to measure Alice/Bob communication.
+  const std::vector<bool>* watched_edges = nullptr;
+};
+
+/// Aggregate statistics of one simulation run.
+struct Metrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t busiest_round_messages = 0;
+  std::uint64_t watched_messages = 0;        ///< words across watched edges
+  std::vector<std::uint64_t> round_profile;  ///< only if collect_round_profile
+};
+
+class Network;
+
+/// Per-round view a node program gets of its own node.
+///
+/// Deliberately narrow: everything a real CONGEST node could know locally,
+/// nothing more.
+class Context {
+ public:
+  VertexId id() const { return node_; }
+  std::uint32_t degree() const;
+  VertexId graph_size() const;
+  std::uint64_t round() const;
+
+  /// Messages delivered this round (sent by neighbors last round).
+  std::span<const InboundMessage> inbox() const;
+
+  /// Sends one word on `port` (delivered next round).
+  void send(std::uint32_t port, Message message);
+
+  /// Sends the same word on every port.
+  void broadcast(Message message);
+
+  /// Marks this node's output as reject (sticky).
+  void reject();
+
+  /// Stops scheduling this node's program (it can still receive nothing;
+  /// purely a simulator optimization for quiescent nodes).
+  void halt();
+
+ private:
+  friend class Network;
+  Context(Network& net, VertexId node) : net_(net), node_(node) {}
+  Network& net_;
+  VertexId node_;
+};
+
+/// A distributed node program. One instance per vertex.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Called once per round while the node is live. Round 0 has an empty
+  /// inbox; initial sends happen there.
+  virtual void on_round(Context& ctx) = 0;
+};
+
+using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(VertexId)>;
+
+class Network {
+ public:
+  Network(const graph::Graph& g, Config config = {});
+
+  const graph::Graph& topology() const { return *graph_; }
+  const Config& config() const { return config_; }
+
+  /// Installs a fresh program at every node and resets all run state
+  /// (round counter, mailboxes, reject flags, metrics).
+  void install(const ProgramFactory& factory);
+
+  /// Runs one synchronous round. Requires installed programs.
+  void run_round();
+
+  /// Runs `count` rounds.
+  void run_rounds(std::uint64_t count);
+
+  /// Runs until all nodes halted or `max_rounds` elapsed; returns rounds run.
+  std::uint64_t run_to_quiescence(std::uint64_t max_rounds);
+
+  /// Runs until a round sends no messages (message quiescence) or
+  /// `max_rounds` elapsed; returns rounds run. Used by protocols without
+  /// local termination detection (e.g. min-id leader election), where the
+  /// simulator plays the role of a termination oracle (documented
+  /// abstraction: real deployments layer a termination-detection protocol).
+  std::uint64_t run_until_quiet(std::uint64_t max_rounds);
+
+  bool any_rejected() const { return reject_count_ > 0; }
+  std::uint64_t reject_count() const { return reject_count_; }
+  bool rejected(VertexId v) const { return rejected_[v]; }
+  bool all_halted() const { return live_count_ == 0; }
+
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  friend class Context;
+
+  void send_from(VertexId from, std::uint32_t port, Message message);
+
+  const graph::Graph* graph_;
+  Config config_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+
+  // Double-buffered mailboxes: inbox_ read this round, staged_ filled for
+  // the next one. Flat per-node vectors; cleared by swap each round.
+  std::vector<std::vector<InboundMessage>> inbox_;
+  std::vector<std::vector<InboundMessage>> staged_;
+
+  // Per directed arc, messages sent this round (bandwidth enforcement).
+  std::vector<std::uint16_t> arc_load_;
+  std::vector<std::uint64_t> touched_arcs_;
+
+  std::vector<bool> rejected_;
+  std::vector<bool> halted_;
+  std::uint64_t reject_count_ = 0;
+  std::uint64_t live_count_ = 0;
+  std::uint64_t round_messages_ = 0;
+
+  Metrics metrics_;
+};
+
+}  // namespace evencycle::congest

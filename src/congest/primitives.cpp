@@ -1,0 +1,324 @@
+#include "congest/primitives.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "support/check.hpp"
+
+namespace evencycle::congest {
+
+namespace {
+
+enum Tag : std::uint32_t {
+  kExplore = 1,  ///< BFS flooding wave
+  kChild = 2,    ///< "you are my parent"
+  kAggregate = 3 ///< partial aggregate toward the root
+};
+
+/// Shared output sink written by node programs (each node writes only its
+/// own slot; the simulator is sequential, so this is race-free). This is a
+/// simulation-side extraction channel, not protocol state.
+struct TreeSink {
+  std::vector<VertexId> parent;
+  std::vector<std::uint32_t> depth;
+};
+
+/// Flooding BFS-tree construction.
+class BfsProgram : public NodeProgram {
+ public:
+  BfsProgram(VertexId self, VertexId root, std::shared_ptr<TreeSink> sink)
+      : self_(self), root_(root), sink_(std::move(sink)) {}
+
+  void on_round(Context& ctx) override {
+    if (ctx.round() == 0 && self_ == root_) {
+      sink_->parent[self_] = graph::kInvalidVertex;
+      sink_->depth[self_] = 0;
+      discovered_ = true;
+      ctx.broadcast({kExplore, self_});
+      ctx.halt();
+      return;
+    }
+    if (!discovered_) {
+      for (const auto& in : ctx.inbox()) {
+        if (in.message.tag == kExplore) {
+          discovered_ = true;
+          parent_port_ = in.port;
+          sink_->depth[self_] = static_cast<std::uint32_t>(ctx.round());
+          sink_->parent[self_] = static_cast<VertexId>(in.message.payload);
+          // Forward the wave everywhere except back to the parent.
+          for (std::uint32_t p = 0; p < ctx.degree(); ++p)
+            if (p != parent_port_) ctx.send(p, {kExplore, self_});
+          ctx.halt();
+          return;
+        }
+      }
+    }
+  }
+
+ private:
+  VertexId self_;
+  VertexId root_;
+  std::shared_ptr<TreeSink> sink_;
+  bool discovered_ = false;
+  std::uint32_t parent_port_ = kNoParent;
+};
+
+/// Broadcast of one word from the root (flooding with suppression).
+class BroadcastProgram : public NodeProgram {
+ public:
+  BroadcastProgram(VertexId self, VertexId root, std::uint64_t value,
+                   std::shared_ptr<BroadcastResult> sink)
+      : self_(self), root_(root), value_(value), sink_(std::move(sink)) {}
+
+  void on_round(Context& ctx) override {
+    if (ctx.round() == 0 && self_ == root_) {
+      sink_->value[self_] = value_;
+      sink_->received[self_] = true;
+      ctx.broadcast({kExplore, value_});
+      ctx.halt();
+      return;
+    }
+    for (const auto& in : ctx.inbox()) {
+      if (in.message.tag == kExplore) {
+        sink_->value[self_] = in.message.payload;
+        sink_->received[self_] = true;
+        for (std::uint32_t p = 0; p < ctx.degree(); ++p)
+          if (p != in.port) ctx.send(p, {kExplore, in.message.payload});
+        ctx.halt();
+        return;
+      }
+    }
+  }
+
+ private:
+  VertexId self_;
+  VertexId root_;
+  std::uint64_t value_;
+  std::shared_ptr<BroadcastResult> sink_;
+};
+
+/// BFS-tree convergecast: explore wave down, child announcements, then
+/// aggregates up. A node discovered in round r knows its child set by round
+/// r+2 (every neighbor decides its parent by r+1 and announces in r+2).
+class ConvergecastProgram : public NodeProgram {
+ public:
+  struct Shared {
+    enum class Op { kOr, kSum, kMin, kMax };
+    std::uint64_t root_value = 0;
+    bool root_done = false;
+    Op op = Op::kOr;
+  };
+
+  ConvergecastProgram(VertexId self, VertexId root, std::uint64_t own_value,
+                      std::shared_ptr<Shared> shared)
+      : self_(self), root_(root), own_value_(own_value), shared_(std::move(shared)) {}
+
+  void on_round(Context& ctx) override {
+    const auto round = ctx.round();
+    if (!aggregate_initialized_) {
+      aggregate_initialized_ = true;
+      aggregate_ = shared_->op == Shared::Op::kMin ? ~std::uint64_t{0} : 0;
+    }
+    if (round == 0 && self_ == root_) {
+      discovered_ = true;
+      discovery_round_ = 0;
+      ctx.broadcast({kExplore, 0});
+    }
+    for (const auto& in : ctx.inbox()) {
+      switch (in.message.tag) {
+        case kExplore:
+          if (!discovered_) {
+            discovered_ = true;
+            discovery_round_ = round;
+            parent_port_ = in.port;
+            ctx.send(parent_port_, {kChild, 0});
+            for (std::uint32_t p = 0; p < ctx.degree(); ++p)
+              if (p != parent_port_) ctx.send(p, {kExplore, 0});
+          }
+          break;
+        case kChild:
+          child_ports_.push_back(in.port);
+          break;
+        case kAggregate:
+          accumulate(in.message.payload);
+          ++reports_;
+          break;
+        default:
+          break;
+      }
+    }
+    maybe_report(ctx);
+  }
+
+ private:
+  void accumulate(std::uint64_t incoming) {
+    switch (shared_->op) {
+      case Shared::Op::kOr:
+        aggregate_ |= incoming;
+        break;
+      case Shared::Op::kSum:
+        aggregate_ += incoming;
+        break;
+      case Shared::Op::kMin:
+        aggregate_ = std::min(aggregate_, incoming);
+        break;
+      case Shared::Op::kMax:
+        aggregate_ = std::max(aggregate_, incoming);
+        break;
+    }
+  }
+
+  void maybe_report(Context& ctx) {
+    if (!discovered_ || reported_) return;
+    // Child set final two rounds after discovery; all children reported?
+    const bool children_known = ctx.round() >= discovery_round_ + 2;
+    if (!children_known || reports_ < child_ports_.size()) return;
+    accumulate(own_value_);
+    reported_ = true;
+    if (self_ == root_) {
+      shared_->root_value = aggregate_;
+      shared_->root_done = true;
+    } else {
+      ctx.send(parent_port_, {kAggregate, aggregate_});
+    }
+    ctx.halt();
+  }
+
+  VertexId self_;
+  VertexId root_;
+  std::uint64_t own_value_;
+  std::shared_ptr<Shared> shared_;
+
+  bool discovered_ = false;
+  bool reported_ = false;
+  std::uint64_t discovery_round_ = 0;
+  std::uint32_t parent_port_ = kNoParent;
+  std::vector<std::uint32_t> child_ports_;
+  std::size_t reports_ = 0;
+  std::uint64_t aggregate_ = 0;  // reset to the op identity in on_round 0
+  bool aggregate_initialized_ = false;
+};
+
+std::uint64_t quiescence_bound(const Network& net) {
+  // 3n + 8 safely covers explore + child + aggregation waves.
+  return 3ULL * net.topology().vertex_count() + 8;
+}
+
+}  // namespace
+
+BfsTreeResult build_bfs_tree(Network& net, VertexId root) {
+  const auto n = net.topology().vertex_count();
+  EC_REQUIRE(root < n, "root out of range");
+  auto sink = std::make_shared<TreeSink>();
+  sink->parent.assign(n, graph::kInvalidVertex);
+  sink->depth.assign(n, kNoParent);
+  net.install([&](VertexId v) { return std::make_unique<BfsProgram>(v, root, sink); });
+  net.run_to_quiescence(quiescence_bound(net));
+  BfsTreeResult result;
+  result.root = root;
+  result.parent = std::move(sink->parent);
+  result.depth = std::move(sink->depth);
+  result.rounds = net.metrics().rounds;
+  return result;
+}
+
+BroadcastResult broadcast(Network& net, VertexId root, std::uint64_t value) {
+  const auto n = net.topology().vertex_count();
+  EC_REQUIRE(root < n, "root out of range");
+  auto sink = std::make_shared<BroadcastResult>();
+  sink->value.assign(n, 0);
+  sink->received.assign(n, false);
+  net.install(
+      [&](VertexId v) { return std::make_unique<BroadcastProgram>(v, root, value, sink); });
+  net.run_to_quiescence(quiescence_bound(net));
+  sink->rounds = net.metrics().rounds;
+  return std::move(*sink);
+}
+
+namespace {
+
+std::pair<std::uint64_t, std::uint64_t> run_convergecast(
+    Network& net, VertexId root, const std::vector<std::uint64_t>& values,
+    ConvergecastProgram::Shared::Op op) {
+  const auto n = net.topology().vertex_count();
+  EC_REQUIRE(root < n, "root out of range");
+  EC_REQUIRE(values.size() == n, "one value per vertex required");
+  auto shared = std::make_shared<ConvergecastProgram::Shared>();
+  shared->op = op;
+  net.install([&](VertexId v) {
+    return std::make_unique<ConvergecastProgram>(v, root, values[v], shared);
+  });
+  net.run_to_quiescence(quiescence_bound(net));
+  EC_SIM_CHECK(shared->root_done, "convergecast did not complete");
+  return {shared->root_value, net.metrics().rounds};
+}
+
+}  // namespace
+
+ConvergecastResult convergecast_or(Network& net, VertexId root, const std::vector<bool>& bits) {
+  std::vector<std::uint64_t> values(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) values[i] = bits[i] ? 1 : 0;
+  auto [value, rounds] =
+      run_convergecast(net, root, values, ConvergecastProgram::Shared::Op::kOr);
+  return {value != 0, rounds};
+}
+
+ConvergecastSumResult convergecast_sum(Network& net, VertexId root,
+                                       const std::vector<std::uint64_t>& values) {
+  auto [value, rounds] =
+      run_convergecast(net, root, values, ConvergecastProgram::Shared::Op::kSum);
+  return {value, rounds};
+}
+
+ConvergecastSumResult convergecast_min(Network& net, VertexId root,
+                                       const std::vector<std::uint64_t>& values) {
+  auto [value, rounds] =
+      run_convergecast(net, root, values, ConvergecastProgram::Shared::Op::kMin);
+  return {value, rounds};
+}
+
+ConvergecastSumResult convergecast_max(Network& net, VertexId root,
+                                       const std::vector<std::uint64_t>& values) {
+  auto [value, rounds] =
+      run_convergecast(net, root, values, ConvergecastProgram::Shared::Op::kMax);
+  return {value, rounds};
+}
+
+namespace {
+
+/// Min-id flooding: broadcast improvements only.
+class MinFloodProgram : public NodeProgram {
+ public:
+  MinFloodProgram(VertexId self, std::vector<VertexId>* leaders)
+      : best_(self), leaders_(leaders) {}
+
+  void on_round(Context& ctx) override {
+    bool improved = ctx.round() == 0;
+    for (const auto& in : ctx.inbox()) {
+      const auto candidate = static_cast<VertexId>(in.message.payload);
+      if (candidate < best_) {
+        best_ = candidate;
+        improved = true;
+      }
+    }
+    (*leaders_)[ctx.id()] = best_;
+    if (improved) ctx.broadcast({0, best_});
+  }
+
+ private:
+  VertexId best_;
+  std::vector<VertexId>* leaders_;
+};
+
+}  // namespace
+
+LeaderElectionResult elect_leader(Network& net) {
+  const auto n = net.topology().vertex_count();
+  LeaderElectionResult result;
+  result.leader.assign(n, graph::kInvalidVertex);
+  net.install([&](VertexId v) { return std::make_unique<MinFloodProgram>(v, &result.leader); });
+  result.rounds = net.run_until_quiet(2ULL * n + 4);
+  return result;
+}
+
+}  // namespace evencycle::congest

@@ -1,0 +1,76 @@
+// Standard CONGEST building blocks implemented as real message-level
+// protocols on the simulator: BFS spanning tree, broadcast, and
+// convergecast aggregation.
+//
+// These supply the O(D) terms in the paper's quantum framework: Theorem 3's
+// Setup "broadcasts the existence of a rejecting node to v_lead", which is
+// exactly convergecast_or below.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace evencycle::congest {
+
+inline constexpr std::uint32_t kNoParent = ~std::uint32_t{0};
+
+/// BFS spanning tree (per connected component of the root).
+struct BfsTreeResult {
+  VertexId root = 0;
+  std::vector<VertexId> parent;       ///< parent vertex, kInvalidVertex at root/unreached
+  std::vector<std::uint32_t> depth;   ///< BFS depth, kNoParent if unreached
+  std::uint64_t rounds = 0;           ///< rounds consumed
+};
+
+/// Builds a BFS tree by flooding; O(ecc(root)) rounds.
+/// Resets and reuses `net`.
+BfsTreeResult build_bfs_tree(Network& net, VertexId root);
+
+/// Floods `value` from root; returns per-node received value (root's value
+/// everywhere in its component) and rounds used.
+struct BroadcastResult {
+  std::vector<std::uint64_t> value;
+  std::vector<bool> received;
+  std::uint64_t rounds = 0;
+};
+BroadcastResult broadcast(Network& net, VertexId root, std::uint64_t value);
+
+/// Convergecast boolean OR of `bits` to the root over a fresh BFS tree:
+/// tree build + child announcement + leaf-to-root aggregation,
+/// O(ecc(root)) rounds total.
+struct ConvergecastResult {
+  bool value = false;      ///< OR over the root's component
+  std::uint64_t rounds = 0;
+};
+ConvergecastResult convergecast_or(Network& net, VertexId root, const std::vector<bool>& bits);
+
+/// Convergecast sum (values must be small enough that partial sums fit a
+/// word; fine for counting rejecting nodes).
+struct ConvergecastSumResult {
+  std::uint64_t value = 0;
+  std::uint64_t rounds = 0;
+};
+ConvergecastSumResult convergecast_sum(Network& net, VertexId root,
+                                       const std::vector<std::uint64_t>& values);
+
+/// Convergecast minimum / maximum of per-node words to the root.
+ConvergecastSumResult convergecast_min(Network& net, VertexId root,
+                                       const std::vector<std::uint64_t>& values);
+ConvergecastSumResult convergecast_max(Network& net, VertexId root,
+                                       const std::vector<std::uint64_t>& values);
+
+/// Min-id leader election by flooding: every node repeatedly forwards the
+/// smallest identifier it has heard; stabilizes after D+1 rounds. Returns
+/// the per-node elected leader (the component-wide minimum id) and the
+/// rounds used. Termination is detected by the simulator (message
+/// quiescence); a real deployment would run for a known bound or layer a
+/// termination detector.
+struct LeaderElectionResult {
+  std::vector<VertexId> leader;  ///< per node
+  std::uint64_t rounds = 0;
+};
+LeaderElectionResult elect_leader(Network& net);
+
+}  // namespace evencycle::congest

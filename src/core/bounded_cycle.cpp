@@ -1,0 +1,127 @@
+#include "core/bounded_cycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/params.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::core {
+
+namespace {
+
+struct PairSets {
+  std::vector<bool> light;      ///< deg <= n^{1/l}
+  std::vector<bool> selected;   ///< S
+  std::vector<bool> neighbors;  ///< W = N(S) \ S
+  std::uint64_t selected_count = 0;
+  std::uint64_t threshold = 1;  ///< 2 n p
+};
+
+PairSets build_pair_sets(const graph::Graph& g, std::uint32_t l, double selection_constant,
+                         Rng& rng) {
+  const VertexId n = g.vertex_count();
+  PairSets sets;
+  sets.light.assign(n, false);
+  sets.selected.assign(n, false);
+  sets.neighbors.assign(n, false);
+
+  const std::uint64_t light_bound = ceil_root(n, l);
+  for (VertexId v = 0; v < n; ++v)
+    if (g.degree(v) <= light_bound) sets.light[v] = true;
+
+  // Clamped at 1/2 for the same reason as Params (W = N(S) \ S must stay
+  // nonempty on small inputs).
+  const double p =
+      std::min(0.5, selection_constant * l * l / static_cast<double>(ceil_root(n, l)));
+  for (VertexId v = 0; v < n; ++v) {
+    if (rng.bernoulli(p)) {
+      sets.selected[v] = true;
+      ++sets.selected_count;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (sets.selected[v]) continue;
+    for (VertexId nb : g.neighbors(v)) {
+      if (sets.selected[nb]) {
+        sets.neighbors[v] = true;
+        break;
+      }
+    }
+  }
+  sets.threshold = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(2.0 * p * static_cast<double>(n))));
+  return sets;
+}
+
+}  // namespace
+
+BoundedCycleReport detect_bounded_cycle(const graph::Graph& g, std::uint32_t k,
+                                        const BoundedCycleOptions& options, Rng& rng) {
+  EC_REQUIRE(k >= 2, "bounded detection needs k >= 2 (lengths 3..2k)");
+  BoundedCycleReport report;
+  const VertexId n = g.vertex_count();
+
+  for (std::uint32_t l = 2; l <= k && !(report.cycle_detected && options.stop_on_reject); ++l) {
+    const PairSets sets = build_pair_sets(g, l, options.selection_constant, rng);
+
+    for (std::uint32_t length = 2 * l - 1; length <= 2 * l; ++length) {
+      if (report.cycle_detected && options.stop_on_reject) break;
+
+      for (std::uint64_t iter = 0; iter < options.repetitions; ++iter) {
+        const auto colors = random_coloring(n, length, rng);
+
+        // Light call: color-BFS(length, G[U], c, U, tau).
+        ColorBfsSpec light;
+        light.cycle_length = length;
+        light.threshold = sets.threshold;
+        light.colors = &colors;
+        light.subgraph = &sets.light;
+        light.sources = &sets.light;
+
+        // Merged heavy call: color-BFS(length, G, c, W, tau) with
+        // reject-on-overflow (Section 3.5).
+        ColorBfsSpec heavy;
+        heavy.cycle_length = length;
+        heavy.threshold = sets.threshold;
+        heavy.colors = &colors;
+        heavy.sources = &sets.neighbors;
+        heavy.reject_on_overflow = true;
+        heavy.overflow_floor = sets.selected_count;
+
+        if (options.low_congestion) {
+          const double act = 1.0 / static_cast<double>(std::max<std::uint64_t>(1, sets.threshold));
+          light.activation_prob = act;
+          light.threshold = 4;
+          heavy.activation_prob = act;
+          heavy.threshold = 4;
+          heavy.reject_on_overflow = false;
+        }
+
+        const auto light_out = run_color_bfs(g, light, rng);
+        const auto heavy_out = run_color_bfs(g, heavy, rng);
+
+        ++report.iterations_run;
+        report.rounds_measured += light_out.rounds_measured + heavy_out.rounds_measured;
+        report.rounds_charged += light_out.rounds_charged + heavy_out.rounds_charged;
+
+        if (light_out.rejected || heavy_out.rejected) {
+          report.cycle_detected = true;
+          // Meet-node rejections witness the exact length; overflow
+          // rejections witness "some cycle of length <= 2l".
+          const bool overflow_only = !light_out.rejected && heavy_out.meet_rejections == 0 &&
+                                     heavy_out.overflow_rejections > 0;
+          if (overflow_only) {
+            if (report.upper_bound_witnessed == 0) report.upper_bound_witnessed = 2 * l;
+          } else if (report.detected_length == 0) {
+            report.detected_length = length;
+          }
+          if (options.stop_on_reject) break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace evencycle::core

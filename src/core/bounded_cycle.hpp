@@ -1,0 +1,60 @@
+// {C_ell | 3 <= ell <= 2k}-freeness (paper Section 3.5).
+//
+// Following [10] as modified by the paper, lengths are checked in pairs
+// (2l-1, 2l) for l = 2..k, each pair assuming no cycle of length <= 2(l-1)
+// exists (otherwise an earlier pair already rejected). Differences from
+// Algorithm 1, per the paper:
+//   * W is the set of *all* neighbors of S (no degree requirement);
+//   * threshold tau = 2 n p;
+//   * the heavy search runs on the whole graph G with sources W, and a
+//     node that collects more than max(tau, |S|) identifiers *rejects*:
+//     two of its sources share a selected neighbor, pigeonholing a closed
+//     walk of length <= 2l (see DESIGN.md for the |S| floor, which keeps
+//     the rejection one-sided exactly).
+// Triangles (l such that 2l-1 = 3) are covered by the odd member of the
+// first pair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/color_bfs.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::core {
+
+struct BoundedCycleOptions {
+  /// Colorings per (length, call) combination.
+  std::uint64_t repetitions = 64;
+  /// Multiplier c in p = min(1, c * l^2 / n^{1/l}).
+  double selection_constant = 2.0;
+  bool stop_on_reject = true;
+
+  /// Congestion-reduced variant fed to quantum amplification (Section 3.5
+  /// quantizes both the light and the heavy searches): sources activate
+  /// with probability 1/tau and the threshold drops to 4; the overflow
+  /// rejection rule is disabled (it needs tau >= |S|). Success probability
+  /// drops to Theta(1/tau), rounds to O(1) per call.
+  bool low_congestion = false;
+};
+
+struct BoundedCycleReport {
+  bool cycle_detected = false;
+  /// Exact length witnessed by a meet-node rejection (0 if none); overflow
+  /// rejections instead set upper_bound_witnessed.
+  std::uint32_t detected_length = 0;
+  /// Smallest 2l for which an overflow rejection fired (0 if none).
+  std::uint32_t upper_bound_witnessed = 0;
+
+  std::uint64_t rounds_measured = 0;
+  std::uint64_t rounds_charged = 0;
+  std::uint64_t iterations_run = 0;
+};
+
+/// Decides {C_ell | 3 <= ell <= 2k}-freeness ("is there a cycle of length
+/// at most 2k?"): one-sided — a true result always witnesses a short cycle.
+BoundedCycleReport detect_bounded_cycle(const graph::Graph& g, std::uint32_t k,
+                                        const BoundedCycleOptions& options, Rng& rng);
+
+}  // namespace evencycle::core

@@ -1,0 +1,261 @@
+#include "core/color_bfs.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace evencycle::core {
+
+std::vector<std::uint8_t> random_coloring(VertexId n, std::uint32_t palette, Rng& rng) {
+  EC_REQUIRE(palette >= 1 && palette <= 255, "palette out of range");
+  std::vector<std::uint8_t> colors(n);
+  for (auto& c : colors) c = static_cast<std::uint8_t>(rng.next_below(palette));
+  return colors;
+}
+
+namespace {
+
+void sort_unique(std::vector<VertexId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+
+ColorBfsOutcome run_color_bfs(const graph::Graph& g, const ColorBfsSpec& spec, Rng& rng) {
+  const std::uint32_t length = spec.cycle_length;
+  EC_REQUIRE(length >= 3, "cycle length must be at least 3");
+  EC_REQUIRE(spec.colors != nullptr, "coloring required");
+  EC_REQUIRE(spec.colors->size() == g.vertex_count(), "coloring size mismatch");
+  EC_REQUIRE(spec.threshold >= 1, "threshold must be positive");
+
+  const auto& colors = *spec.colors;
+  const VertexId n = g.vertex_count();
+  const std::uint32_t meet = length / 2;       // ascending chain: meet edges
+  const std::uint32_t down_len = length - meet; // descending chain edges
+
+  auto in_subgraph = [&](VertexId v) { return spec.subgraph == nullptr || (*spec.subgraph)[v]; };
+  auto in_sources = [&](VertexId v) { return spec.sources == nullptr || (*spec.sources)[v]; };
+
+  ColorBfsOutcome outcome;
+  outcome.rounds_charged = 1 + static_cast<std::uint64_t>(down_len - 1) * spec.threshold;
+
+  const std::uint64_t overflow_bound =
+      spec.reject_on_overflow ? std::max(spec.threshold, spec.overflow_floor) : spec.threshold;
+
+  // Identifier sets per vertex per chain. up_set[v] is only populated while
+  // v's color is on the ascending chain, symmetric for down_set.
+  std::vector<std::vector<VertexId>> up_set(n);
+  std::vector<std::vector<VertexId>> down_set(n);
+
+  auto note_reject = [&](VertexId v) {
+    if (!outcome.rejected || outcome.rejecting_nodes.empty() ||
+        outcome.rejecting_nodes.back() != v) {
+      outcome.rejecting_nodes.push_back(v);
+    }
+    outcome.rejected = true;
+  };
+
+  // --- Round 0: activated color-0 sources send their id to all neighbors
+  // in H (Instruction 15 / Algorithm 2 Instruction 1).
+  const std::uint8_t up_first = 1;                                      // color after 0, ascending
+  const std::uint8_t down_first = static_cast<std::uint8_t>(length - 1); // color after 0, descending
+  for (VertexId x = 0; x < n; ++x) {
+    if (!in_subgraph(x) || !in_sources(x) || colors[x] != 0) continue;
+    if (spec.forced_activation != nullptr) {
+      if (!(*spec.forced_activation)[x]) continue;
+    } else if (spec.activation_prob < 1.0 && !rng.bernoulli(spec.activation_prob)) {
+      continue;
+    }
+    ++outcome.activated_sources;
+    for (VertexId nb : g.neighbors(x)) {
+      if (!in_subgraph(nb)) continue;
+      if (colors[nb] == up_first) up_set[nb].push_back(x);
+      if (colors[nb] == down_first) down_set[nb].push_back(x);
+    }
+  }
+
+  // Vertices grouped by color, for layered processing.
+  std::vector<std::vector<VertexId>> layer(length);
+  for (VertexId v = 0; v < n; ++v)
+    if (in_subgraph(v)) layer[colors[v]].push_back(v);
+
+  // --- Forwarding phases. Window t moves the ascending frontier from
+  // color t to t+1 (while t <= meet-1) and the descending frontier from
+  // color (length - t) mod length to length - t - 1 (while t <= down_len-1).
+  // Both chains share the window; its measured length is the largest set
+  // actually streamed during it.
+  const std::uint32_t windows = down_len - 1;
+  for (std::uint32_t t = 1; t <= windows; ++t) {
+    std::uint64_t window_len = 0;
+
+    // Ascending: nodes colored t forward to color t+1 (t runs to meet-1).
+    if (t <= meet - 1) {
+      const std::uint8_t from = static_cast<std::uint8_t>(t);
+      const std::uint8_t to = static_cast<std::uint8_t>(t + 1);
+      for (VertexId v : layer[from]) {
+        auto& ids = up_set[v];
+        if (ids.empty()) continue;
+        sort_unique(ids);
+        outcome.max_set_size = std::max<std::uint64_t>(outcome.max_set_size, ids.size());
+        if (ids.size() > overflow_bound && spec.reject_on_overflow) {
+          note_reject(v);
+          ++outcome.overflow_rejections;
+          continue;
+        }
+        if (ids.size() > spec.threshold) {  // Instruction 19: discard
+          ++outcome.discarded_nodes;
+          continue;
+        }
+        window_len = std::max<std::uint64_t>(window_len, ids.size());
+        for (VertexId nb : g.neighbors(v)) {
+          if (!in_subgraph(nb) || colors[nb] != to) continue;
+          outcome.identifiers_forwarded += ids.size();
+          up_set[nb].insert(up_set[nb].end(), ids.begin(), ids.end());
+        }
+      }
+    }
+
+    // Descending: nodes colored length-t forward to color length-t-1.
+    {
+      const std::uint8_t from = static_cast<std::uint8_t>(length - t);
+      const std::uint8_t to = static_cast<std::uint8_t>(length - t - 1);
+      for (VertexId v : layer[from]) {
+        auto& ids = down_set[v];
+        if (ids.empty()) continue;
+        sort_unique(ids);
+        outcome.max_set_size = std::max<std::uint64_t>(outcome.max_set_size, ids.size());
+        if (ids.size() > overflow_bound && spec.reject_on_overflow) {
+          note_reject(v);
+          ++outcome.overflow_rejections;
+          continue;
+        }
+        if (ids.size() > spec.threshold) {
+          ++outcome.discarded_nodes;
+          continue;
+        }
+        window_len = std::max<std::uint64_t>(window_len, ids.size());
+        for (VertexId nb : g.neighbors(v)) {
+          if (!in_subgraph(nb) || colors[nb] != to) continue;
+          outcome.identifiers_forwarded += ids.size();
+          down_set[nb].insert(down_set[nb].end(), ids.begin(), ids.end());
+        }
+      }
+    }
+
+    outcome.rounds_measured += window_len;
+  }
+  outcome.rounds_measured += 1;  // the source round
+
+  // --- Detection (Instructions 24-28): a meet-colored node holding the
+  // same identifier on both chains rejects.
+  for (VertexId v : layer[meet]) {
+    auto& up = up_set[v];
+    auto& down = down_set[v];
+    if (up.empty() || down.empty()) continue;
+    sort_unique(up);
+    sort_unique(down);
+    // The meet node is itself subject to the receive model: it accumulated
+    // these sets over the chains' final windows; no further forwarding.
+    std::size_t i = 0, j = 0;
+    bool hit = false;
+    while (i < up.size() && j < down.size()) {
+      if (up[i] < down[j]) {
+        ++i;
+      } else if (down[j] < up[i]) {
+        ++j;
+      } else {
+        hit = true;
+        outcome.witnesses.push_back({v, up[i]});
+        break;
+      }
+    }
+    if (hit) {
+      note_reject(v);
+      ++outcome.meet_rejections;
+    }
+  }
+
+  sort_unique(outcome.rejecting_nodes);
+  return outcome;
+}
+
+namespace {
+
+/// Layered BFS along one chain: from `source`, step through the color
+/// sequence `chain` (chain[0] is the color of the first hop) inside the
+/// subgraph mask; returns the vertex path source..meet or nullopt.
+std::optional<std::vector<VertexId>> chain_path(const graph::Graph& g, const ColorBfsSpec& spec,
+                                                VertexId source, VertexId meet,
+                                                const std::vector<std::uint8_t>& chain) {
+  const auto& colors = *spec.colors;
+  auto in_subgraph = [&](VertexId v) { return spec.subgraph == nullptr || (*spec.subgraph)[v]; };
+  std::vector<VertexId> parent(g.vertex_count(), graph::kInvalidVertex);
+  std::vector<VertexId> frontier{source};
+  for (std::size_t step = 0; step < chain.size(); ++step) {
+    std::vector<VertexId> next;
+    const bool last = step + 1 == chain.size();
+    for (VertexId v : frontier) {
+      for (VertexId nb : g.neighbors(v)) {
+        if (!in_subgraph(nb) || colors[nb] != chain[step]) continue;
+        if (last) {
+          if (nb != meet) continue;
+        } else if (parent[nb] != graph::kInvalidVertex || nb == source) {
+          continue;
+        }
+        if (parent[nb] == graph::kInvalidVertex) {
+          parent[nb] = v;
+          next.push_back(nb);
+        }
+        if (last && nb == meet) {
+          std::vector<VertexId> path{meet};
+          VertexId cur = meet;
+          while (cur != source) {
+            cur = parent[cur];
+            path.push_back(cur);
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<VertexId>> reconstruct_witness_cycle(const graph::Graph& g,
+                                                               const ColorBfsSpec& spec,
+                                                               const Witness& witness) {
+  EC_REQUIRE(spec.colors != nullptr && spec.colors->size() == g.vertex_count(),
+             "coloring required");
+  const std::uint32_t length = spec.cycle_length;
+  EC_REQUIRE(length >= 3, "cycle length must be at least 3");
+  const std::uint32_t meet_color = length / 2;
+  const auto& colors = *spec.colors;
+  if (witness.source >= g.vertex_count() || witness.meet >= g.vertex_count()) return std::nullopt;
+  if (colors[witness.source] != 0 || colors[witness.meet] != meet_color) return std::nullopt;
+
+  // Ascending chain colors 1..meet; descending L-1, L-2, ..., meet.
+  std::vector<std::uint8_t> up_chain, down_chain;
+  for (std::uint32_t c = 1; c <= meet_color; ++c) up_chain.push_back(static_cast<std::uint8_t>(c));
+  for (std::uint32_t c = length - 1; c >= meet_color; --c)
+    down_chain.push_back(static_cast<std::uint8_t>(c));
+
+  const auto up = chain_path(g, spec, witness.source, witness.meet, up_chain);
+  const auto down = chain_path(g, spec, witness.source, witness.meet, down_chain);
+  if (!up.has_value() || !down.has_value()) return std::nullopt;
+
+  // Assemble: source, up interior..., meet, down interior reversed...
+  std::vector<VertexId> cycle(up->begin(), up->end());  // source .. meet
+  for (std::size_t i = down->size() - 1; i >= 1; --i) {
+    if (i == down->size() - 1) continue;  // meet already present
+    cycle.push_back((*down)[i]);
+  }
+  return cycle;
+}
+
+}  // namespace evencycle::core

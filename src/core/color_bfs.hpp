@@ -1,0 +1,113 @@
+// color-BFS with threshold (paper Section 2.1.1, Instructions 14-29),
+// generalized to any target cycle length and to the randomized activation
+// of Algorithm 2.
+//
+// This is the phase-level reference implementation: it computes exactly the
+// identifier sets I_v the message-level protocol computes, and charges
+// rounds by the CONGEST streaming schedule (a node forwarding |I_v|
+// identifiers occupies |I_v| rounds of its incident links; phases of the
+// two chains run concurrently). `engine_color_bfs.hpp` provides the
+// faithful message-level protocol; tests assert both produce identical
+// rejection sets.
+//
+// Chain layout for target length L with colors {0..L-1}:
+//   ascending:  0 -> 1 -> ... -> meet          (meet = floor(L/2) edges)
+//   descending: 0 -> L-1 -> L-2 -> ... -> meet (ceil(L/2) edges)
+// A node colored `meet` rejects when some identifier arrives over both
+// chains; the two well-colored paths have color-disjoint interiors, so a
+// rejection always witnesses a simple cycle of length exactly L (one-sided
+// soundness, paper "Acceptance without error").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::core {
+
+using graph::VertexId;
+
+struct ColorBfsSpec {
+  /// Target cycle length L >= 3 (2k in Algorithm 1, 2k+1 in Section 3.4).
+  std::uint32_t cycle_length = 4;
+
+  /// Threshold tau: a node discards I_v when |I_v| > tau (Instruction 19).
+  std::uint64_t threshold = 0;
+
+  /// Activation probability of color-0 sources (Algorithm 2 Instruction 1;
+  /// 1.0 reproduces the deterministic Instruction 15).
+  double activation_prob = 1.0;
+
+  /// Bounded-length variant (Section 3.5): a node whose I_v overflows
+  /// max(threshold, overflow_floor) *rejects* instead of discarding — an
+  /// overflow pigeonholes two sources onto one selected vertex and thus
+  /// witnesses a short cycle. overflow_floor is set to |S| by the caller to
+  /// keep the rejection sound (see DESIGN.md).
+  bool reject_on_overflow = false;
+  std::uint64_t overflow_floor = 0;
+
+  /// Pre-drawn activation decisions (per vertex). When set, overrides
+  /// activation_prob; used to compare the phase-level and message-level
+  /// implementations on identical randomness.
+  const std::vector<bool>* forced_activation = nullptr;
+
+  /// H: nullptr = whole graph, else per-vertex membership mask.
+  const std::vector<bool>* subgraph = nullptr;
+  /// X: nullptr = all vertices of H, else per-vertex membership mask.
+  const std::vector<bool>* sources = nullptr;
+  /// c: per-vertex colors in {0..L-1}; required.
+  const std::vector<std::uint8_t>* colors = nullptr;
+};
+
+/// A rejection certificate: the meet-colored node together with the source
+/// whose identifier arrived over both chains. The pair determines a simple
+/// cycle of the target length (reconstructible with
+/// reconstruct_witness_cycle).
+struct Witness {
+  VertexId meet = 0;
+  VertexId source = 0;
+  friend bool operator==(const Witness&, const Witness&) = default;
+};
+
+struct ColorBfsOutcome {
+  bool rejected = false;
+  std::vector<VertexId> rejecting_nodes;
+  /// Meet-rule certificates (one per meet rejection; overflow rejections
+  /// carry no source pair).
+  std::vector<Witness> witnesses;
+
+  /// 1 (source round) + sum of measured phase-window lengths.
+  std::uint64_t rounds_measured = 0;
+  /// 1 + (ceil(L/2) - 1) * tau — the paper's worst-case charge.
+  std::uint64_t rounds_charged = 0;
+
+  /// Rejections triggered by the overflow rule (Section 3.5) rather than a
+  /// meet-node identifier match; disjointly counted from meet rejections.
+  std::uint64_t overflow_rejections = 0;
+  std::uint64_t meet_rejections = 0;
+
+  std::uint64_t activated_sources = 0;
+  std::uint64_t max_set_size = 0;          ///< max |I_v| before thresholding
+  std::uint64_t discarded_nodes = 0;       ///< nodes that hit the threshold
+  std::uint64_t identifiers_forwarded = 0; ///< total words sent in forwards
+};
+
+ColorBfsOutcome run_color_bfs(const graph::Graph& g, const ColorBfsSpec& spec, Rng& rng);
+
+/// Uniform coloring in {0..L-1} (Instruction 8).
+std::vector<std::uint8_t> random_coloring(VertexId n, std::uint32_t palette, Rng& rng);
+
+/// Rebuilds the explicit simple cycle certified by a witness: a BFS along
+/// the ascending chain (colors 0,1,...,meet) from the source to the meet
+/// node, a BFS along the descending chain (colors 0, L-1, ..., meet+1,
+/// meet), both inside the spec's subgraph mask. The interiors have disjoint
+/// color ranges, so the union is simple. Returns nullopt only if the
+/// witness does not certify a cycle under this spec (i.e. it is forged).
+std::optional<std::vector<VertexId>> reconstruct_witness_cycle(const graph::Graph& g,
+                                                               const ColorBfsSpec& spec,
+                                                               const Witness& witness);
+
+}  // namespace evencycle::core

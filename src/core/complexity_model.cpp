@@ -1,0 +1,78 @@
+#include "core/complexity_model.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace evencycle::core {
+
+double exponent_ours_classical(std::uint32_t k) {
+  EC_REQUIRE(k >= 2, "k >= 2");
+  return 1.0 - 1.0 / static_cast<double>(k);
+}
+
+double exponent_censor_hillel(std::uint32_t k) {
+  EC_REQUIRE(k >= 2 && k <= 5, "[10] covers k in {2..5}");
+  return 1.0 - 1.0 / static_cast<double>(k);
+}
+
+double exponent_eden(std::uint32_t k) {
+  EC_REQUIRE(k >= 3, "[16] targets k >= 3");
+  const double kd = k;
+  if (k % 2 == 0) return 1.0 - 2.0 / (kd * kd - 2.0 * kd + 4.0);
+  return 1.0 - 2.0 / (kd * kd - kd + 2.0);
+}
+
+double exponent_ours_quantum(std::uint32_t k) {
+  EC_REQUIRE(k >= 2, "k >= 2");
+  return 0.5 - 0.5 / static_cast<double>(k);
+}
+
+double exponent_vadv_quantum(std::uint32_t k) {
+  EC_REQUIRE(k >= 2, "k >= 2");
+  return 0.5 - 1.0 / (4.0 * static_cast<double>(k) + 2.0);
+}
+
+double predicted_rounds(double exponent, double n, double polylog_power) {
+  EC_REQUIRE(n >= 2.0, "n too small");
+  return std::pow(n, exponent) * std::pow(std::log2(n), polylog_power);
+}
+
+std::vector<Table1Row> table1_rows(std::uint32_t k) {
+  EC_REQUIRE(k >= 2, "k >= 2");
+  std::vector<Table1Row> rows;
+  auto add = [&](std::string ref, std::string problem, Framework fw, bool lb, double expo,
+                 std::string text) {
+    rows.push_back({std::move(ref), std::move(problem), fw, lb, expo, std::move(text)});
+  };
+
+  add("[11]", "C3", Framework::kRandomized, false, 1.0 / 3.0, "~O(n^{1/3})");
+  add("[15,30]", "C_{2k+1}, k>=2", Framework::kDeterministic, false, 1.0, "~Theta(n)");
+  add("[15]", "C4", Framework::kRandomized, false, 0.5, "~Theta(sqrt(n))");
+  add("[30]", "C_{2k}, k>=2 (LB)", Framework::kRandomized, true, 0.5, "~Omega(sqrt(n))");
+  if (k >= 2 && k <= 5)
+    add("[10]", "C_{2k}, k in {2..5}", Framework::kRandomized, false,
+        exponent_censor_hillel(k), "O(n^{1-1/k})");
+  if (k >= 3) {
+    add("[16]", k % 2 == 0 ? "C_{2k}, k even" : "C_{2k}, k odd", Framework::kRandomized, false,
+        exponent_eden(k),
+        k % 2 == 0 ? "~O(n^{1-2/(k^2-2k+4)})" : "~O(n^{1-2/(k^2-k+2)})");
+  }
+  add("[10]", "{C_l | 3<=l<=2k}", Framework::kRandomized, false, exponent_ours_classical(k),
+      "~O(n^{1-1/k})");
+  add("this paper", "C_{2k}, k>=2", Framework::kRandomized, false, exponent_ours_classical(k),
+      "O(n^{1-1/k})");
+  add("[8]", "C3", Framework::kQuantum, false, 0.2, "~O(n^{1/5})");
+  add("[9]", "C4", Framework::kQuantum, false, 0.25, "~O(n^{1/4})");
+  add("[33]", "{C_l | 3<=l<=2k}", Framework::kQuantum, false, exponent_vadv_quantum(k),
+      "~O(n^{1/2-1/(4k+2)})");
+  add("this paper", "C_{2k}, k>=2", Framework::kQuantum, false, exponent_ours_quantum(k),
+      "~O(n^{1/2-1/2k})");
+  add("this paper", "C_{2k}, k>=2 (LB)", Framework::kQuantum, true, 0.25, "~Omega(n^{1/4})");
+  add("this paper", "C_{2k+1}, k>=2", Framework::kQuantum, false, 0.5, "~Theta(sqrt(n))");
+  add("this paper", "{C_l | 3<=l<=2k}", Framework::kQuantum, false, exponent_ours_quantum(k),
+      "~O(n^{1/2-1/2k})");
+  return rows;
+}
+
+}  // namespace evencycle::core

@@ -1,0 +1,50 @@
+// Analytic round-complexity model of every row of the paper's Table 1.
+//
+// The benches plot these alongside measured rounds: absolute constants are
+// not the paper's claim (they depend on the model of a "round"), the
+// exponents and the who-beats-whom ordering are.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evencycle::core {
+
+enum class Framework { kDeterministic, kRandomized, kQuantum };
+
+struct Table1Row {
+  std::string reference;   ///< e.g. "[10]", "this paper"
+  std::string problem;     ///< e.g. "C_{2k}, k>=2"
+  Framework framework = Framework::kRandomized;
+  bool lower_bound = false;
+  /// Round complexity exponent: rounds ~ n^exponent (polylog ignored).
+  double exponent = 0.0;
+  std::string complexity;  ///< human-readable, e.g. "O(n^{1-1/k})"
+};
+
+/// The full Table 1, instantiated for a concrete k >= 2.
+std::vector<Table1Row> table1_rows(std::uint32_t k);
+
+// --- exponents used by the rows (paper Section 1, Table 1) -------------------
+
+/// This paper, classical: C_{2k} in O(n^{1-1/k}).
+double exponent_ours_classical(std::uint32_t k);
+
+/// Censor-Hillel et al. [10], k in {2..5}: O(n^{1-1/k}).
+double exponent_censor_hillel(std::uint32_t k);
+
+/// Eden et al. [16]: O(n^{1-2/(k^2-2k+4)}) for even k, O(n^{1-2/(k^2-k+2)})
+/// for odd k (k >= 6 resp. k >= 7; defined for all k >= 3 here).
+double exponent_eden(std::uint32_t k);
+
+/// This paper, quantum: C_{2k} in ~O(n^{1/2-1/2k}).
+double exponent_ours_quantum(std::uint32_t k);
+
+/// van Apeldoorn & de Vos [33], quantum bounded-length: ~O(n^{1/2-1/(4k+2)}).
+double exponent_vadv_quantum(std::uint32_t k);
+
+/// Predicted rounds (constant 1, optional polylog factor).
+double predicted_rounds(double exponent, double n, double polylog_power = 0.0);
+
+}  // namespace evencycle::core

@@ -1,0 +1,342 @@
+#include "core/density.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/check.hpp"
+
+namespace evencycle::core {
+
+namespace {
+
+bool contains_edge(const std::vector<std::uint32_t>& sorted_edges, std::uint32_t e) {
+  return std::binary_search(sorted_edges.begin(), sorted_edges.end(), e);
+}
+
+}  // namespace
+
+DensityAnalysis::DensityAnalysis(const graph::Graph& g, DensityInput input)
+    : g_(g), input_(std::move(input)) {
+  validate();
+  build_bipartite_edges();
+  const VertexId n = g_.vertex_count();
+  in_.resize(n);
+  out_.resize(n);
+  in_zero_.resize(n);
+  in_levels_.resize(n);
+  sparsify();
+}
+
+void DensityAnalysis::validate() const {
+  EC_REQUIRE(input_.k >= 2, "density analysis needs k >= 2");
+  EC_REQUIRE(input_.in_s.size() == g_.vertex_count(), "in_s size mismatch");
+  EC_REQUIRE(input_.layer_of.size() == g_.vertex_count(), "layer_of size mismatch");
+  for (VertexId v = 0; v < g_.vertex_count(); ++v) {
+    const auto layer = input_.layer_of[v];
+    EC_REQUIRE(layer == kNoLayer || layer < input_.k, "layer out of range [0, k-1]");
+    EC_REQUIRE(!(input_.in_s[v] && layer != kNoLayer), "S overlaps a layer");
+  }
+}
+
+void DensityAnalysis::build_bipartite_edges() {
+  const VertexId n = g_.vertex_count();
+  incident_.resize(n);
+  std::uint32_t next_edge = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (input_.in_s[v]) ++s_size_;
+    if (input_.layer_of[v] != 0) continue;  // only W0 vertices
+    for (VertexId nb : g_.neighbors(v)) {
+      if (!input_.in_s[nb]) continue;
+      edges_.emplace_back(nb, v);
+      incident_[v].push_back(next_edge++);
+    }
+  }
+}
+
+struct DensityAnalysis::PeelResult {
+  std::vector<std::vector<std::uint32_t>> levels;  // IN(v, 0) .. IN(v, 2q)
+  std::vector<std::uint32_t> out;
+};
+
+void DensityAnalysis::sparsify() {
+  const VertexId n = g_.vertex_count();
+  // Layer 0: OUT(w) = E({w}, S) (Eq. 3).
+  for (VertexId v = 0; v < n; ++v) {
+    if (input_.layer_of[v] == 0) out_[v] = incident_[v];
+  }
+
+  // Scratch degree counters over the bipartite edge universe.
+  std::vector<std::uint32_t> degree(n, 0);
+  std::vector<VertexId> touched;
+  auto count_degrees = [&](const std::vector<std::uint32_t>& edge_set, bool s_side) {
+    for (auto e : edge_set) {
+      const VertexId endpoint = s_side ? edges_[e].first : edges_[e].second;
+      if (degree[endpoint]++ == 0) touched.push_back(endpoint);
+    }
+  };
+  auto reset_degrees = [&] {
+    for (auto v : touched) degree[v] = 0;
+    touched.clear();
+  };
+
+  // Process layers bottom-up (IN(v) depends on OUT of the layer below).
+  std::vector<std::vector<VertexId>> by_layer(input_.k);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto layer = input_.layer_of[v];
+    if (layer != kNoLayer && layer >= 1) by_layer[layer].push_back(v);
+  }
+
+  for (std::uint32_t i = 1; i < input_.k; ++i) {
+    const std::uint32_t q = (input_.k - i) / 2;
+    const std::uint64_t init_bound =
+        (std::uint64_t{1} << (i - 1)) * (input_.k - 1);  // 2^{i-1}(k-1), Eq. 5
+
+    for (VertexId v : by_layer[i]) {
+      // IN(v) = union of OUT(v') over neighbors v' in layer i-1 (Eq. 4).
+      auto& in_v = in_[v];
+      for (VertexId nb : g_.neighbors(v)) {
+        if (input_.layer_of[nb] == static_cast<std::uint8_t>(i - 1)) {
+          in_v.insert(in_v.end(), out_[nb].begin(), out_[nb].end());
+        }
+      }
+      std::sort(in_v.begin(), in_v.end());
+      in_v.erase(std::unique(in_v.begin(), in_v.end()), in_v.end());
+      if (in_v.empty()) continue;
+
+      auto& levels = in_levels_[v];
+      levels.assign(2 * q + 1, {});
+      auto& out_v = out_[v];
+
+      // Initialization (Eq. 5): keep edges whose S endpoint is heavy in
+      // IN(v); light-S edges fall into OUT(v) (Eq. 8, first part).
+      count_degrees(in_v, /*s_side=*/true);
+      for (auto e : in_v) {
+        if (degree[edges_[e].first] > init_bound)
+          levels[2 * q].push_back(e);
+        else
+          out_v.push_back(e);
+      }
+      reset_degrees();
+
+      // Peeling (Eqs. 6-7), gamma = q down to 1.
+      for (std::uint32_t gamma = q; gamma >= 1; --gamma) {
+        // 2*gamma -> 2*gamma - 1: keep edges with heavy W endpoint.
+        count_degrees(levels[2 * gamma], /*s_side=*/false);
+        for (auto e : levels[2 * gamma]) {
+          if (degree[edges_[e].second] > 2 * gamma) levels[2 * gamma - 1].push_back(e);
+        }
+        reset_degrees();
+        // 2*gamma - 1 -> 2*gamma - 2: keep edges with heavy S endpoint;
+        // light-S edges fall into OUT(v) (Eq. 8, second part).
+        count_degrees(levels[2 * gamma - 1], /*s_side=*/true);
+        for (auto e : levels[2 * gamma - 1]) {
+          if (degree[edges_[e].first] > 2 * gamma - 1)
+            levels[2 * gamma - 2].push_back(e);
+          else
+            out_v.push_back(e);
+        }
+        reset_degrees();
+      }
+
+      std::sort(out_v.begin(), out_v.end());
+      out_v.erase(std::unique(out_v.begin(), out_v.end()), out_v.end());
+      in_zero_[v] = levels[0];
+      if (!levels[0].empty() && !witness_.has_value()) witness_ = v;
+    }
+  }
+}
+
+std::uint64_t DensityAnalysis::w0_reachable(VertexId v) const {
+  const auto layer = input_.layer_of[v];
+  EC_REQUIRE(layer != kNoLayer, "vertex is not in a layer");
+  if (layer == 0) return 1;
+  // D_j = vertices of layer j with an ascending path to v.
+  std::vector<bool> current(g_.vertex_count(), false);
+  current[v] = true;
+  for (std::uint32_t j = layer; j >= 1; --j) {
+    std::vector<bool> next(g_.vertex_count(), false);
+    for (VertexId u = 0; u < g_.vertex_count(); ++u) {
+      if (!current[u]) continue;
+      for (VertexId nb : g_.neighbors(u)) {
+        if (input_.layer_of[nb] == static_cast<std::uint8_t>(j - 1)) next[nb] = true;
+      }
+    }
+    current = std::move(next);
+  }
+  std::uint64_t count = 0;
+  for (VertexId w = 0; w < g_.vertex_count(); ++w)
+    if (current[w]) ++count;
+  return count;
+}
+
+std::uint64_t DensityAnalysis::lemma7_bound(VertexId v) const {
+  const auto layer = input_.layer_of[v];
+  EC_REQUIRE(layer != kNoLayer && layer >= 1, "lemma 7 applies to layers 1..k-1");
+  return (std::uint64_t{1} << (layer - 1)) * (input_.k - 1) * s_size_;
+}
+
+std::vector<std::uint32_t> DensityAnalysis::trace_lemma5_path(VertexId v,
+                                                              std::uint32_t edge) const {
+  // Lemma 5: walk down the layers choosing neighbors whose OUT contains
+  // the edge; returns [v_1, ..., v_{i-1}] (empty when i == 1).
+  const std::uint32_t i = input_.layer_of[v];
+  std::vector<std::uint32_t> descend;
+  VertexId current = v;
+  for (std::uint32_t j = i; j-- > 1;) {
+    VertexId found = graph::kInvalidVertex;
+    for (VertexId nb : g_.neighbors(current)) {
+      if (input_.layer_of[nb] == static_cast<std::uint8_t>(j) && contains_edge(out_[nb], edge)) {
+        found = nb;
+        break;
+      }
+    }
+    EC_SIM_CHECK(found != graph::kInvalidVertex,
+                 "Lemma 5 trace failed: no lower-layer neighbor owns the edge");
+    descend.push_back(found);
+    current = found;
+  }
+  std::reverse(descend.begin(), descend.end());
+  return descend;
+}
+
+std::vector<VertexId> DensityAnalysis::construct_cycle(VertexId v) const {
+  const std::uint32_t i = input_.layer_of[v];
+  EC_REQUIRE(i != kNoLayer && i >= 1 && i < input_.k, "witness must lie in a layer >= 1");
+  const auto& levels = in_levels_[v];
+  EC_REQUIRE(!levels.empty() && !levels[0].empty(), "construct_cycle requires IN(v,0) nonempty");
+  const std::uint32_t q = (input_.k - i) / 2;
+  const std::uint32_t k = input_.k;
+
+  std::vector<bool> used_s(g_.vertex_count(), false);
+  std::vector<bool> used_w(g_.vertex_count(), false);
+
+  // pick an edge in `level` incident to `vertex` (on side `s_side`) whose
+  // other endpoint is fresh.
+  auto pick_fresh = [&](const std::vector<std::uint32_t>& level, VertexId vertex,
+                        bool vertex_is_s) -> std::pair<VertexId, std::uint32_t> {
+    for (auto e : level) {
+      const auto [s, w] = edges_[e];
+      if (vertex_is_s) {
+        if (s == vertex && !used_w[w]) return {w, e};
+      } else {
+        if (w == vertex && !used_s[s]) return {s, e};
+      }
+    }
+    EC_SIM_CHECK(false, "Claim 1 extension failed: no fresh endpoint available");
+    return {graph::kInvalidVertex, 0};
+  };
+
+  // --- Claim 1: path P alternating W0/S inside the IN(v, gamma) graphs.
+  // Grown from both ends around the seed s1; `left`/`right` store the
+  // vertices beyond the seed (nearest first).
+  const VertexId s1 = edges_[levels[0].front()].first;
+  used_s[s1] = true;
+  std::vector<VertexId> left, right;  // left.back() / right.back() are the ends
+  VertexId left_end = s1, right_end = s1;
+
+  for (std::uint32_t gamma = 0; gamma < q; ++gamma) {
+    auto [wl, el] = pick_fresh(levels[2 * gamma + 1], left_end, /*vertex_is_s=*/true);
+    used_w[wl] = true;
+    left.push_back(wl);
+    auto [wr, er] = pick_fresh(levels[2 * gamma + 1], right_end, /*vertex_is_s=*/true);
+    used_w[wr] = true;
+    right.push_back(wr);
+    auto [sl, el2] = pick_fresh(levels[2 * gamma + 2], wl, /*vertex_is_s=*/false);
+    used_s[sl] = true;
+    left.push_back(sl);
+    left_end = sl;
+    auto [sr, er2] = pick_fresh(levels[2 * gamma + 2], wr, /*vertex_is_s=*/false);
+    used_s[sr] = true;
+    right.push_back(sr);
+    right_end = sr;
+    (void)el;
+    (void)er;
+    (void)el2;
+    (void)er2;
+  }
+
+  // Assemble P_q = (left_end ... s1 ... right_end), then fix parity so P
+  // has 2(k-i) vertices with a W0 end (front) and an S end (back).
+  std::vector<VertexId> p;
+  for (auto it = left.rbegin(); it != left.rend(); ++it) p.push_back(*it);
+  p.push_back(s1);
+  p.insert(p.end(), right.begin(), right.end());
+
+  if ((k - i) % 2 == 0) {
+    // P_q has 2(k-i)+1 vertices; drop the left S end.
+    p.erase(p.begin());
+  } else {
+    // P_q has 2(k-i)-1 vertices; extend the left end with a fresh W0
+    // vertex through IN(v, 2q).
+    auto [w_extra, e_extra] = pick_fresh(levels[2 * q], p.front(), /*vertex_is_s=*/true);
+    (void)e_extra;
+    used_w[w_extra] = true;
+    p.insert(p.begin(), w_extra);
+  }
+  EC_SIM_CHECK(p.size() == 2 * (k - i), "path P has the wrong length");
+
+  const VertexId w_end = p.front();  // in W0
+  const VertexId s_end = p.back();   // in S
+
+  // --- Claim 2, path P': trace the edge of P at w_end down the layers.
+  const std::uint32_t edge_at_w = [&] {
+    for (auto e : incident_[w_end])
+      if (edges_[e].first == p[1]) return e;
+    EC_SIM_CHECK(false, "edge of P at its W0 end not found");
+    return std::uint32_t{0};
+  }();
+  const auto p_prime = trace_lemma5_path(v, edge_at_w);  // [v'_1 .. v'_{i-1}]
+
+  // --- Claim 2, path P'': an IN(v) edge at s_end avoiding P's W0 vertices
+  // and every OUT(v'_j).
+  std::uint32_t e2 = ~std::uint32_t{0};
+  for (auto e : in_[v]) {
+    if (edges_[e].first != s_end) continue;
+    const VertexId w = edges_[e].second;
+    if (used_w[w]) continue;  // exactly P's W0 vertices are marked used
+    bool in_some_out = false;
+    for (auto vj : p_prime) {
+      if (contains_edge(out_[vj], e)) {
+        in_some_out = true;
+        break;
+      }
+    }
+    if (!in_some_out) {
+      e2 = e;
+      break;
+    }
+  }
+  EC_SIM_CHECK(e2 != ~std::uint32_t{0}, "Claim 2 failed: no suitable edge at the S end");
+  const VertexId w_second = edges_[e2].second;
+  const auto p_second = trace_lemma5_path(v, e2);  // [v''_1 .. v''_{i-1}]
+
+  // --- Assemble the 2k-cycle: w_end --P-- s_end -- w'' --P''-- v --P'-- w_end.
+  std::vector<VertexId> cycle = p;
+  cycle.push_back(w_second);
+  cycle.insert(cycle.end(), p_second.begin(), p_second.end());
+  cycle.push_back(v);
+  cycle.insert(cycle.end(), p_prime.rbegin(), p_prime.rend());
+  EC_SIM_CHECK(cycle.size() == 2 * k, "constructed cycle has the wrong length");
+  return cycle;
+}
+
+DensityInput density_input_from_coloring(const graph::Graph& g, std::uint32_t k,
+                                         const std::vector<bool>& selected,
+                                         const std::vector<bool>& activator,
+                                         const std::vector<std::uint8_t>& colors) {
+  DensityInput input;
+  input.k = k;
+  input.in_s = selected;
+  input.layer_of.assign(g.vertex_count(), kNoLayer);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (selected[v]) continue;
+    if (colors[v] == 0) {
+      if (activator[v]) input.layer_of[v] = 0;
+    } else if (colors[v] < k) {
+      input.layer_of[v] = colors[v];
+    }
+  }
+  return input;
+}
+
+}  // namespace evencycle::core

@@ -1,0 +1,98 @@
+// The Density Lemma machinery (paper Lemmas 4-7, Figure 1).
+//
+// This module makes the paper's central combinatorial argument executable:
+// given disjoint sets S, W0, V_1..V_{k-1} with every W0-vertex having at
+// least k^2 neighbors in S, it
+//   1. runs the IN(v)/IN(v,gamma)/OUT(v) sparsification (Eqs. 3-8)
+//      bottom-up over the layers,
+//   2. finds a witness v with IN(v,0) nonempty, and
+//   3. constructs the explicit 2k-cycle P ∪ P' ∪ P'' of Lemma 6 — the
+//      object Figure 1 depicts — returning its vertices in cycle order.
+// It also computes |W0(v)| per vertex so tests can check the Lemma 7 bound
+// |W0(v)| <= 2^{i-1}(k-1)|S| whenever no witness exists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace evencycle::core {
+
+using graph::VertexId;
+
+inline constexpr std::uint8_t kNoLayer = 0xff;
+
+/// Input partition. layer_of[v] = 0 for W0, i in [1, k-1] for V_i,
+/// kNoLayer otherwise; in_s marks S (must be disjoint from layers).
+struct DensityInput {
+  std::uint32_t k = 2;
+  std::vector<bool> in_s;
+  std::vector<std::uint8_t> layer_of;
+};
+
+class DensityAnalysis {
+ public:
+  /// Runs the full sparsification (throws InvalidArgument on malformed
+  /// partitions: overlapping sets, layer out of range).
+  DensityAnalysis(const graph::Graph& g, DensityInput input);
+
+  /// First vertex (layer order, then id) with IN(v,0) nonempty, if any.
+  std::optional<VertexId> witness() const { return witness_; }
+
+  /// Lemma 6: constructs the 2k-cycle through S from a witness vertex.
+  /// Returns the cycle's vertices in cycle order; the cycle always
+  /// intersects S. Requires IN(v,0) nonempty for `v`.
+  std::vector<VertexId> construct_cycle(VertexId v) const;
+
+  /// |W0(v)|: W0-vertices reaching v along ascending layer paths.
+  std::uint64_t w0_reachable(VertexId v) const;
+
+  /// Lemma 7's bound 2^{i-1}(k-1)|S| for a vertex in layer i.
+  std::uint64_t lemma7_bound(VertexId v) const;
+
+  /// Edge sets, exposed for tests (edge ids index into bipartite_edges()).
+  const std::vector<std::uint32_t>& in_edges(VertexId v) const { return in_[v]; }
+  const std::vector<std::uint32_t>& out_edges(VertexId v) const { return out_[v]; }
+  const std::vector<std::uint32_t>& in_zero_edges(VertexId v) const { return in_zero_[v]; }
+
+  /// The S-W0 bipartite edge list; pair = (s, w).
+  const std::vector<std::pair<VertexId, VertexId>>& bipartite_edges() const { return edges_; }
+
+  std::uint64_t s_size() const { return s_size_; }
+
+ private:
+  struct PeelResult;
+
+  void validate() const;
+  void build_bipartite_edges();
+  void sparsify();
+  std::vector<std::uint32_t> trace_lemma5_path(VertexId v, std::uint32_t edge) const;
+
+  const graph::Graph& g_;
+  DensityInput input_;
+  std::uint64_t s_size_ = 0;
+
+  std::vector<std::pair<VertexId, VertexId>> edges_;  // E(S, W0): (s, w)
+  std::vector<std::vector<std::uint32_t>> incident_;  // per W0 vertex, its edge ids
+
+  std::vector<std::vector<std::uint32_t>> in_;       // IN(v), sorted edge ids
+  std::vector<std::vector<std::uint32_t>> out_;      // OUT(v), sorted edge ids
+  std::vector<std::vector<std::uint32_t>> in_zero_;  // IN(v,0)
+  // All intermediate graphs IN(v,gamma), gamma = 0..2q, kept for the
+  // witness's cycle construction. in_levels_[v][gamma].
+  std::vector<std::vector<std::vector<std::uint32_t>>> in_levels_;
+
+  std::optional<VertexId> witness_;
+};
+
+/// Convenience: derives a DensityInput from Algorithm 1's sets and a
+/// coloring, matching Lemma 3's application of Lemma 4: W0 = W ∩ color 0,
+/// V_i = (V \ S) ∩ color i (ascending orientation).
+DensityInput density_input_from_coloring(const graph::Graph& g, std::uint32_t k,
+                                         const std::vector<bool>& selected,
+                                         const std::vector<bool>& activator,
+                                         const std::vector<std::uint8_t>& colors);
+
+}  // namespace evencycle::core

@@ -1,0 +1,117 @@
+#include "core/derandomized.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::core {
+
+namespace {
+
+bool is_prime_u64(std::uint64_t v) {
+  if (v < 2) return false;
+  if (v % 2 == 0) return v == 2;
+  for (std::uint64_t d = 3; d * d <= v; d += 2)
+    if (v % d == 0) return false;
+  return true;
+}
+
+/// Deterministic parameter derivation for member `index`: a is nonzero
+/// mod p, b arbitrary, both from SplitMix of the index (public, stateless).
+std::pair<std::uint64_t, std::uint64_t> member_params(std::uint64_t index, std::uint64_t prime) {
+  std::uint64_t s = index * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL;
+  const std::uint64_t a = 1 + splitmix64(s) % (prime - 1);
+  const std::uint64_t b = splitmix64(s) % prime;
+  return {a, b};
+}
+
+}  // namespace
+
+std::uint64_t next_prime(std::uint64_t value) {
+  EC_REQUIRE(value >= 2, "next_prime needs value >= 2");
+  std::uint64_t v = value;
+  while (!is_prime_u64(v)) ++v;
+  return v;
+}
+
+AffineColoringFamily::AffineColoringFamily(VertexId n, std::uint32_t palette, std::uint64_t size)
+    : n_(n), palette_(palette), size_(size) {
+  EC_REQUIRE(n >= 1, "family needs a nonempty universe");
+  EC_REQUIRE(palette >= 1 && palette <= 255, "palette out of range");
+  EC_REQUIRE(size >= 1, "family must be nonempty");
+  prime_ = next_prime(std::max<std::uint64_t>(n, palette) + 1);
+}
+
+std::uint8_t AffineColoringFamily::color_of(std::uint64_t index, VertexId v) const {
+  EC_REQUIRE(index < size_, "family index out of range");
+  EC_REQUIRE(v < n_, "vertex out of range");
+  const auto [a, b] = member_params(index, prime_);
+  using u128 = unsigned __int128;
+  const auto h = static_cast<std::uint64_t>(
+      (static_cast<u128>(a) * v + b) % prime_);
+  return static_cast<std::uint8_t>(h % palette_);
+}
+
+std::vector<std::uint8_t> AffineColoringFamily::coloring(std::uint64_t index) const {
+  EC_REQUIRE(index < size_, "family index out of range");
+  const auto [a, b] = member_params(index, prime_);
+  std::vector<std::uint8_t> colors(n_);
+  using u128 = unsigned __int128;
+  for (VertexId v = 0; v < n_; ++v) {
+    const auto h =
+        static_cast<std::uint64_t>((static_cast<u128>(a) * v + b) % prime_);
+    colors[v] = static_cast<std::uint8_t>(h % palette_);
+  }
+  return colors;
+}
+
+bool AffineColoringFamily::hits_cycle(const std::vector<VertexId>& cycle) const {
+  const auto len = cycle.size();
+  if (len == 0 || len != palette_) return false;
+  for (std::uint64_t index = 0; index < size_; ++index) {
+    // Check every rotation and both directions.
+    for (std::size_t offset = 0; offset < len; ++offset) {
+      bool forward = true, backward = true;
+      for (std::size_t i = 0; i < len && (forward || backward); ++i) {
+        const auto expected = static_cast<std::uint8_t>(i);
+        if (color_of(index, cycle[(offset + i) % len]) != expected) forward = false;
+        if (color_of(index, cycle[(offset + len - i) % len]) != expected) backward = false;
+      }
+      if (forward || backward) return true;
+    }
+  }
+  return false;
+}
+
+DetectionReport detect_even_cycle_derandomized(const graph::Graph& g, const Params& params,
+                                               const AffineColoringFamily& family, Rng& rng,
+                                               const DetectOptions& options) {
+  EC_REQUIRE(family.palette() == 2 * params.k, "family palette must be 2k");
+  DetectionReport report;
+  const AlgorithmSets sets = build_sets(g, params, rng);
+  report.light_count = sets.light_count;
+  report.selected_count = sets.selected_count;
+  report.activator_count = sets.activator_count;
+
+  const std::uint64_t iterations = std::min<std::uint64_t>(params.repetitions, family.size());
+  for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+    const auto colors = family.coloring(iter);
+    const IterationOutcome outcome = run_iteration(g, params, sets, colors, rng, options);
+    ++report.iterations_run;
+    for (const auto* call : {&outcome.light, &outcome.selected, &outcome.heavy}) {
+      report.rounds_measured += call->rounds_measured;
+      report.rounds_charged += call->rounds_charged;
+      report.max_congestion = std::max(report.max_congestion, call->max_set_size);
+      report.threshold_discards += call->discarded_nodes;
+      if (call->rejected) {
+        report.cycle_detected = true;
+        report.rejecting_nodes += call->rejecting_nodes.size();
+      }
+    }
+    if (report.cycle_detected && options.stop_on_reject) break;
+  }
+  return report;
+}
+
+}  // namespace evencycle::core

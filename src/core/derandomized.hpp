@@ -1,0 +1,67 @@
+// Derandomized color-coding (paper Conclusion).
+//
+// The paper notes that "the randomized color-coding phases can often be
+// replaced by deterministic protocols based on [20]" (perfect hash
+// families). A full (n, 2k)-perfect family is enormous but enumerable; this
+// module provides the practical middle ground the conclusion gestures at:
+//
+//   * AffineColoringFamily — colorings c_i(v) = ((a_i v + b_i) mod p) mod L
+//     over a prime p >= n, with (a_i, b_i) enumerated deterministically.
+//     Every node can compute its color from the public index i with zero
+//     communication and zero shared randomness (the derandomization the
+//     conclusion asks for); the family's cycle-hitting rate matches the
+//     uniform-coloring rate empirically (tested) though, unlike [20], it
+//     carries no worst-case guarantee — that caveat is documented in
+//     DESIGN.md.
+//   * detect_even_cycle_derandomized — Algorithm 1 iterating over the
+//     family instead of fresh random colorings; fully deterministic given
+//     the set S.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/even_cycle.hpp"
+#include "graph/graph.hpp"
+
+namespace evencycle::core {
+
+class AffineColoringFamily {
+ public:
+  /// Family over [0, n) with the given palette; `size` members.
+  AffineColoringFamily(VertexId n, std::uint32_t palette, std::uint64_t size);
+
+  std::uint64_t size() const { return size_; }
+  std::uint32_t palette() const { return palette_; }
+
+  /// The index-th coloring (deterministic; no state).
+  std::vector<std::uint8_t> coloring(std::uint64_t index) const;
+
+  /// Color of a single vertex under member `index` — what a CONGEST node
+  /// computes locally.
+  std::uint8_t color_of(std::uint64_t index, VertexId v) const;
+
+  /// True if some member colors the given vertex sequence consecutively
+  /// 0,1,...,len-1 in some rotation/direction (the color-coding hit test).
+  bool hits_cycle(const std::vector<VertexId>& cycle) const;
+
+ private:
+  VertexId n_;
+  std::uint32_t palette_;
+  std::uint64_t size_;
+  std::uint64_t prime_;
+};
+
+/// Smallest prime >= value (value must be >= 2 and fit comfortably in 64
+/// bits; used for the affine family modulus).
+std::uint64_t next_prime(std::uint64_t value);
+
+/// Algorithm 1 with the deterministic coloring family: identical structure,
+/// colorings drawn from the family in index order. The only randomness left
+/// is the selection of S (the paper's conclusion notes that removing *that*
+/// randomness is open for k >= 3).
+DetectionReport detect_even_cycle_derandomized(const graph::Graph& g, const Params& params,
+                                               const AffineColoringFamily& family, Rng& rng,
+                                               const DetectOptions& options = {});
+
+}  // namespace evencycle::core

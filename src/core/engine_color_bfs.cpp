@@ -1,0 +1,234 @@
+#include "core/engine_color_bfs.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "support/check.hpp"
+
+namespace evencycle::core {
+
+namespace {
+
+using congest::Context;
+using congest::Message;
+
+enum Tag : std::uint32_t {
+  kAnnounce = 1,  ///< payload: color | (in_H << 8)
+  kUpId = 2,      ///< payload: source identifier, ascending chain
+  kDownId = 3,    ///< payload: source identifier, descending chain
+};
+
+struct ProtocolShape {
+  std::uint32_t length;
+  std::uint32_t meet;      // floor(L/2)
+  std::uint32_t down_len;  // ceil(L/2)
+  std::uint64_t tau;
+
+  std::uint64_t window_start(std::uint32_t t) const {  // first round of window t>=1
+    return 2 + static_cast<std::uint64_t>(t - 1) * tau;
+  }
+  std::uint64_t total_rounds() const { return 2 + static_cast<std::uint64_t>(down_len - 1) * tau; }
+};
+
+class ColorBfsProgram : public congest::NodeProgram {
+ public:
+  ColorBfsProgram(VertexId self, const ColorBfsSpec& spec, const ProtocolShape& shape,
+                  bool activated)
+      : self_(self), shape_(shape), activated_(activated) {
+    color_ = (*spec.colors)[self];
+    in_h_ = spec.subgraph == nullptr || (*spec.subgraph)[self];
+    is_source_ = spec.sources == nullptr || (*spec.sources)[self];
+    overflow_bound_ = spec.reject_on_overflow
+                          ? std::max(spec.threshold, spec.overflow_floor)
+                          : spec.threshold;
+    reject_on_overflow_ = spec.reject_on_overflow;
+    // Chain positions: ascending window = color (1..meet-1); descending
+    // window = length - color (color in meet+1..length-1).
+    if (in_h_) {
+      if (color_ >= 1 && color_ < shape_.meet) up_window_ = color_;
+      if (color_ > shape_.meet && color_ < shape_.length)
+        down_window_ = shape_.length - color_;
+    }
+  }
+
+  void on_round(Context& ctx) override {
+    const auto round = ctx.round();
+    if (round == 0) {
+      ctx.broadcast({kAnnounce, static_cast<std::uint64_t>(color_) |
+                                    (static_cast<std::uint64_t>(in_h_) << 8)});
+      return;
+    }
+    if (round == 1) {
+      read_announcements(ctx);
+      if (in_h_ && is_source_ && color_ == 0 && activated_) send_source_id(ctx);
+      return;
+    }
+    receive_ids(ctx);
+    stream_window(ctx, round);
+    if (round + 1 == shape_.total_rounds()) finish(ctx);
+  }
+
+ private:
+  void read_announcements(Context& ctx) {
+    neighbor_color_.assign(ctx.degree(), 0xff);
+    neighbor_in_h_.assign(ctx.degree(), false);
+    for (const auto& in : ctx.inbox()) {
+      if (in.message.tag != kAnnounce) continue;
+      neighbor_color_[in.port] = static_cast<std::uint8_t>(in.message.payload & 0xff);
+      neighbor_in_h_[in.port] = ((in.message.payload >> 8) & 1) != 0;
+    }
+  }
+
+  void send_source_id(Context& ctx) {
+    const std::uint8_t up_first = 1;
+    const auto down_first = static_cast<std::uint8_t>(shape_.length - 1);
+    for (std::uint32_t p = 0; p < ctx.degree(); ++p) {
+      if (!neighbor_in_h_[p]) continue;
+      // One word per link: the neighbor infers the chain from its own
+      // color, so a single copy of the id suffices even when up_first ==
+      // down_first is impossible (length >= 3).
+      if (neighbor_color_[p] == up_first || neighbor_color_[p] == down_first)
+        ctx.send(p, {kUpId, self_});
+    }
+  }
+
+  void receive_ids(Context& ctx) {
+    if (!in_h_) return;
+    for (const auto& in : ctx.inbox()) {
+      if (in.message.tag == kAnnounce) continue;
+      if (!neighbor_in_h_[in.port]) continue;
+      const std::uint8_t from_color = neighbor_color_[in.port];
+      const auto id = static_cast<VertexId>(in.message.payload);
+      // Accept only along the chains; the sender's color determines the
+      // direction (color 0 feeds both chain heads).
+      if (color_ >= 1 && color_ <= shape_.meet &&
+          from_color == static_cast<std::uint8_t>(color_ - 1)) {
+        up_ids_.push_back(id);
+      }
+      const bool on_down_chain = color_ >= shape_.meet && color_ < shape_.length;
+      const std::uint8_t down_pred =
+          static_cast<std::uint8_t>((color_ + 1) % shape_.length);
+      if (on_down_chain && color_ != 0 && from_color == down_pred) {
+        down_ids_.push_back(id);
+      }
+    }
+  }
+
+  void stream_window(Context& ctx, std::uint64_t round) {
+    stream_chain(ctx, round, up_window_, up_ids_, /*up=*/true);
+    stream_chain(ctx, round, down_window_, down_ids_, /*up=*/false);
+  }
+
+  void stream_chain(Context& ctx, std::uint64_t round, std::uint32_t window,
+                    std::vector<VertexId>& ids, bool up) {
+    if (window == 0) return;
+    const std::uint64_t start = shape_.window_start(window);
+    if (round < start || round >= start + shape_.tau) return;
+    if (round == start) {
+      // Window opens: apply set semantics, then the threshold test
+      // (Instruction 19) once, exactly as the paper's procedure does.
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      if (ids.size() > overflow_bound_ && reject_on_overflow_) {
+        ctx.reject();
+        forwarding_ = false;
+        return;
+      }
+      forwarding_ = ids.size() <= shape_.tau && !ids.empty();
+      cursor_ = 0;
+    }
+    if (!forwarding_ || cursor_ >= ids.size()) return;
+    const auto to_color = up ? static_cast<std::uint8_t>(color_ + 1)
+                             : static_cast<std::uint8_t>(color_ - 1);
+    for (std::uint32_t p = 0; p < ctx.degree(); ++p) {
+      if (!neighbor_in_h_[p] || neighbor_color_[p] != to_color) continue;
+      ctx.send(p, {up ? kUpId : kDownId, ids[cursor_]});
+    }
+    ++cursor_;
+  }
+
+  void finish(Context& ctx) {
+    if (in_h_ && color_ == shape_.meet && !up_ids_.empty() && !down_ids_.empty()) {
+      std::sort(up_ids_.begin(), up_ids_.end());
+      std::sort(down_ids_.begin(), down_ids_.end());
+      std::size_t i = 0, j = 0;
+      while (i < up_ids_.size() && j < down_ids_.size()) {
+        if (up_ids_[i] < down_ids_[j]) {
+          ++i;
+        } else if (down_ids_[j] < up_ids_[i]) {
+          ++j;
+        } else {
+          ctx.reject();
+          break;
+        }
+      }
+    }
+    ctx.halt();
+  }
+
+  VertexId self_;
+  ProtocolShape shape_;
+  bool activated_;
+  std::uint8_t color_ = 0;
+  bool in_h_ = true;
+  bool is_source_ = true;
+  bool reject_on_overflow_ = false;
+  std::uint64_t overflow_bound_ = 0;
+  std::uint32_t up_window_ = 0;    // 0 = not forwarding on the ascending chain
+  std::uint32_t down_window_ = 0;  // 0 = not forwarding on the descending chain
+
+  std::vector<std::uint8_t> neighbor_color_;
+  std::vector<bool> neighbor_in_h_;
+  std::vector<VertexId> up_ids_;
+  std::vector<VertexId> down_ids_;
+  bool forwarding_ = false;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::vector<bool> draw_activation(const graph::Graph& g, const ColorBfsSpec& spec, Rng& rng) {
+  std::vector<bool> activated(g.vertex_count(), false);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const bool in_h = spec.subgraph == nullptr || (*spec.subgraph)[v];
+    const bool in_x = spec.sources == nullptr || (*spec.sources)[v];
+    if (!in_h || !in_x || (*spec.colors)[v] != 0) continue;
+    activated[v] = spec.activation_prob >= 1.0 || rng.bernoulli(spec.activation_prob);
+  }
+  return activated;
+}
+
+EngineColorBfsResult run_color_bfs_on_engine(congest::Network& net, const ColorBfsSpec& spec) {
+  const auto& g = net.topology();
+  EC_REQUIRE(spec.colors != nullptr && spec.colors->size() == g.vertex_count(),
+             "coloring required");
+  EC_REQUIRE(spec.threshold >= 1, "threshold must be positive");
+  EC_REQUIRE(spec.cycle_length >= 3, "cycle length must be at least 3");
+  EC_REQUIRE(spec.activation_prob >= 1.0 || spec.forced_activation != nullptr,
+             "randomized activation requires forced_activation for reproducibility");
+
+  ProtocolShape shape;
+  shape.length = spec.cycle_length;
+  shape.meet = spec.cycle_length / 2;
+  shape.down_len = spec.cycle_length - shape.meet;
+  shape.tau = spec.threshold;
+
+  net.install([&](VertexId v) {
+    const bool activated =
+        spec.forced_activation != nullptr
+            ? (*spec.forced_activation)[v]
+            : true;
+    return std::make_unique<ColorBfsProgram>(v, spec, shape, activated);
+  });
+  net.run_rounds(shape.total_rounds());
+
+  EngineColorBfsResult result;
+  result.rejected = net.any_rejected();
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    if (net.rejected(v)) result.rejecting_nodes.push_back(v);
+  result.rounds = net.metrics().rounds;
+  result.messages = net.metrics().messages;
+  return result;
+}
+
+}  // namespace evencycle::core

@@ -1,0 +1,43 @@
+// Faithful message-level implementation of color-BFS with threshold,
+// running on the CONGEST engine.
+//
+// Unlike the phase-level reference in color_bfs.hpp (which charges rounds
+// analytically), this version actually streams identifiers one word per
+// link per round, using the worst-case fixed window schedule a real node
+// must follow without global knowledge:
+//
+//   round 0                       : every node announces (color, in-H bit)
+//   round 1                       : activated color-0 sources send their id
+//   rounds 2 + (t-1)*tau .. t*tau : window t, chain position t streams I_v
+//   after the last window         : meet-colored nodes compare chains
+//
+// Total rounds: 2 + (ceil(L/2) - 1) * tau, matching the paper's k*tau
+// charge for L = 2k. Tests cross-validate the rejection set against
+// run_color_bfs on identical randomness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/color_bfs.hpp"
+
+namespace evencycle::core {
+
+struct EngineColorBfsResult {
+  bool rejected = false;
+  std::vector<VertexId> rejecting_nodes;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Runs the protocol on `net` (whose topology supplies the graph).
+/// `spec.forced_activation` must be set when spec.activation_prob < 1 so the
+/// run is reproducible; reject_on_overflow is supported.
+EngineColorBfsResult run_color_bfs_on_engine(congest::Network& net, const ColorBfsSpec& spec);
+
+/// Draws the per-vertex activation coin flips for a spec (helper for
+/// comparing the two implementations on identical randomness).
+std::vector<bool> draw_activation(const graph::Graph& g, const ColorBfsSpec& spec, Rng& rng);
+
+}  // namespace evencycle::core

@@ -1,0 +1,120 @@
+#include "core/even_cycle.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace evencycle::core {
+
+AlgorithmSets build_sets(const graph::Graph& g, const Params& params, Rng& rng) {
+  const VertexId n = g.vertex_count();
+  AlgorithmSets sets;
+  sets.light.assign(n, false);
+  sets.selected.assign(n, false);
+  sets.activator.assign(n, false);
+
+  // Instruction 1: U = {deg(u) <= n^{1/k}}.
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.degree(v) <= params.light_degree_bound) {
+      sets.light[v] = true;
+      ++sets.light_count;
+    }
+  }
+  // Instructions 3-4: S by independent Bernoulli(p).
+  for (VertexId v = 0; v < n; ++v) {
+    if (rng.bernoulli(params.selection_prob)) {
+      sets.selected[v] = true;
+      ++sets.selected_count;
+    }
+  }
+  // Instruction 5: W = {u not in S : |N(u) ∩ S| >= k^2}.
+  for (VertexId v = 0; v < n; ++v) {
+    if (sets.selected[v]) continue;
+    std::uint32_t hits = 0;
+    for (VertexId nb : g.neighbors(v)) {
+      if (sets.selected[nb] && ++hits >= params.activator_degree) break;
+    }
+    if (hits >= params.activator_degree) {
+      sets.activator[v] = true;
+      ++sets.activator_count;
+    }
+  }
+  return sets;
+}
+
+namespace {
+
+void accumulate(DetectionReport& report, const ColorBfsOutcome& outcome) {
+  report.rounds_measured += outcome.rounds_measured;
+  report.rounds_charged += outcome.rounds_charged;
+  report.max_congestion = std::max(report.max_congestion, outcome.max_set_size);
+  report.threshold_discards += outcome.discarded_nodes;
+  if (outcome.rejected) {
+    report.cycle_detected = true;
+    report.rejecting_nodes += outcome.rejecting_nodes.size();
+  }
+}
+
+}  // namespace
+
+IterationOutcome run_iteration(const graph::Graph& g, const Params& params,
+                               const AlgorithmSets& sets, const std::vector<std::uint8_t>& colors,
+                               Rng& rng, const DetectOptions& options) {
+  EC_REQUIRE(colors.size() == g.vertex_count(), "coloring size mismatch");
+
+  ColorBfsSpec spec;
+  spec.cycle_length = 2 * params.k;
+  spec.colors = &colors;
+  if (options.low_congestion) {
+    spec.threshold = options.low_congestion_threshold;
+    spec.activation_prob = 1.0 / static_cast<double>(std::max<std::uint64_t>(1, params.threshold));
+  } else {
+    spec.threshold = params.threshold;
+    spec.activation_prob = 1.0;
+  }
+
+  IterationOutcome outcome;
+
+  // Instruction 9: color-BFS(k, G[U], c, U, tau).
+  spec.subgraph = &sets.light;
+  spec.sources = &sets.light;
+  outcome.light = run_color_bfs(g, spec, rng);
+
+  // Instruction 10: color-BFS(k, G, c, S, tau).
+  spec.subgraph = nullptr;
+  spec.sources = &sets.selected;
+  outcome.selected = run_color_bfs(g, spec, rng);
+
+  // Instruction 11: color-BFS(k, G[V\S], c, W, tau).
+  // V \ S as a mask.
+  std::vector<bool> not_selected(sets.selected.size());
+  for (std::size_t v = 0; v < not_selected.size(); ++v) not_selected[v] = !sets.selected[v];
+  spec.subgraph = &not_selected;
+  spec.sources = &sets.activator;
+  outcome.heavy = run_color_bfs(g, spec, rng);
+
+  return outcome;
+}
+
+DetectionReport detect_even_cycle(const graph::Graph& g, const Params& params, Rng& rng,
+                                  const DetectOptions& options) {
+  DetectionReport report;
+
+  const AlgorithmSets sets = build_sets(g, params, rng);
+  report.light_count = sets.light_count;
+  report.selected_count = sets.selected_count;
+  report.activator_count = sets.activator_count;
+
+  for (std::uint64_t iter = 0; iter < params.repetitions; ++iter) {
+    const auto colors = random_coloring(g.vertex_count(), 2 * params.k, rng);
+    const IterationOutcome outcome = run_iteration(g, params, sets, colors, rng, options);
+    ++report.iterations_run;
+    accumulate(report, outcome.light);
+    accumulate(report, outcome.selected);
+    accumulate(report, outcome.heavy);
+    if (report.cycle_detected && options.stop_on_reject) break;
+  }
+  return report;
+}
+
+}  // namespace evencycle::core

@@ -1,0 +1,89 @@
+// Algorithm 1: deciding C_{2k}-freeness with one-sided error
+// (paper Section 2.1.2, Theorem 1).
+//
+// Construction (run once):
+//   U = light nodes (deg <= n^{1/k})                       Instruction 1
+//   S = Bernoulli(p) sample                                 Instructions 3-4
+//   W = non-selected nodes with >= k^2 selected neighbors   Instruction 5
+// Then K independent colorings, each followed by three color-BFS calls:
+//   color-BFS(k, G[U],    c, U, tau)   — light cycles       Instruction 9
+//   color-BFS(k, G,       c, S, tau)   — cycles through S   Instruction 10
+//   color-BFS(k, G[V\S],  c, W, tau)   — heavy cycles       Instruction 11
+//
+// The implementation is exact on outcomes (which nodes reject) and reports
+// both measured rounds (actual congestion, streaming schedule) and the
+// paper's worst-case charge 3*K*k*tau.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/color_bfs.hpp"
+#include "core/params.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::core {
+
+struct DetectOptions {
+  /// Stop simulating iterations once a node rejected (the distributed
+  /// algorithm would keep running, but the outcome is already determined;
+  /// round statistics then cover only the executed iterations).
+  bool stop_on_reject = true;
+
+  /// Use Algorithm 2 (randomized-color-BFS: activation probability
+  /// 1/threshold, constant threshold 4) instead of the deterministic
+  /// activation of Algorithm 1 — the congestion-reduced variant fed into
+  /// the quantum amplification (Lemma 12).
+  bool low_congestion = false;
+
+  /// Constant threshold used by the low-congestion variant (paper: 4).
+  std::uint64_t low_congestion_threshold = 4;
+};
+
+struct DetectionReport {
+  bool cycle_detected = false;           ///< some node rejected
+  std::uint64_t rejecting_nodes = 0;
+
+  std::uint64_t iterations_run = 0;      ///< colorings actually simulated
+  std::uint64_t rounds_measured = 0;     ///< streaming schedule, executed part
+  std::uint64_t rounds_charged = 0;      ///< paper bound for the executed part
+
+  // Set sizes (Instructions 1-5).
+  std::uint64_t light_count = 0;         ///< |U|
+  std::uint64_t selected_count = 0;      ///< |S|
+  std::uint64_t activator_count = 0;     ///< |W|
+
+  std::uint64_t max_congestion = 0;      ///< max |I_v| over all calls
+  std::uint64_t threshold_discards = 0;  ///< nodes that dropped an oversized I_v
+};
+
+/// One full run of Algorithm 1 on g with the given parameters.
+DetectionReport detect_even_cycle(const graph::Graph& g, const Params& params, Rng& rng,
+                                  const DetectOptions& options = {});
+
+/// The random sets of Algorithm 1, exposed for tests and for the density /
+/// Figure 1 machinery.
+struct AlgorithmSets {
+  std::vector<bool> light;      ///< U
+  std::vector<bool> selected;   ///< S
+  std::vector<bool> activator;  ///< W
+  std::uint64_t light_count = 0;
+  std::uint64_t selected_count = 0;
+  std::uint64_t activator_count = 0;
+};
+AlgorithmSets build_sets(const graph::Graph& g, const Params& params, Rng& rng);
+
+/// Runs the three color-BFS calls of one iteration with a fixed coloring;
+/// used by tests that need deterministic colorings (Lemmas 1-3).
+struct IterationOutcome {
+  ColorBfsOutcome light;
+  ColorBfsOutcome selected;
+  ColorBfsOutcome heavy;
+  bool rejected() const { return light.rejected || selected.rejected || heavy.rejected; }
+};
+IterationOutcome run_iteration(const graph::Graph& g, const Params& params,
+                               const AlgorithmSets& sets, const std::vector<std::uint8_t>& colors,
+                               Rng& rng, const DetectOptions& options = {});
+
+}  // namespace evencycle::core

@@ -1,0 +1,42 @@
+#include "core/odd_cycle.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace evencycle::core {
+
+OddCycleReport detect_odd_cycle(const graph::Graph& g, std::uint32_t k,
+                                const OddCycleOptions& options, Rng& rng) {
+  EC_REQUIRE(k >= 1, "odd cycle C_{2k+1} needs k >= 1");
+  const std::uint32_t length = 2 * k + 1;
+  const VertexId n = g.vertex_count();
+
+  OddCycleReport report;
+  ColorBfsSpec spec;
+  spec.cycle_length = length;
+  if (options.low_congestion) {
+    spec.threshold = 4;
+    spec.activation_prob = n > 0 ? 1.0 / static_cast<double>(n) : 1.0;
+  } else {
+    spec.threshold = std::max<std::uint64_t>(1, n);  // |V_0(u)| <= n: never discards
+    spec.activation_prob = 1.0;
+  }
+
+  for (std::uint64_t iter = 0; iter < options.repetitions; ++iter) {
+    const auto colors = random_coloring(n, length, rng);
+    spec.colors = &colors;
+    const ColorBfsOutcome outcome = run_color_bfs(g, spec, rng);
+    ++report.iterations_run;
+    report.rounds_measured += outcome.rounds_measured;
+    report.rounds_charged += outcome.rounds_charged;
+    report.max_congestion = std::max(report.max_congestion, outcome.max_set_size);
+    if (outcome.rejected) {
+      report.cycle_detected = true;
+      if (options.stop_on_reject) break;
+    }
+  }
+  return report;
+}
+
+}  // namespace evencycle::core

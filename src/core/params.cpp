@@ -1,0 +1,87 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace evencycle::core {
+
+std::uint64_t ceil_root(std::uint64_t n, std::uint32_t k) {
+  EC_REQUIRE(k >= 1, "root order must be positive");
+  if (n <= 1 || k == 1) return n;
+  auto pow_k = [k](std::uint64_t base) {
+    std::uint64_t result = 1;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      if (base != 0 && result > ~std::uint64_t{0} / base) return ~std::uint64_t{0};
+      result *= base;
+    }
+    return result;
+  };
+  auto r = static_cast<std::uint64_t>(std::ceil(std::pow(static_cast<double>(n), 1.0 / k)));
+  while (r > 1 && pow_k(r - 1) >= n) --r;
+  while (pow_k(r) < n) ++r;
+  return r;
+}
+
+namespace {
+
+Params base(std::uint32_t k, VertexId n, double epsilon) {
+  EC_REQUIRE(k >= 2, "Algorithm 1 targets C_{2k} with k >= 2");
+  EC_REQUIRE(n >= 2, "graph too small");
+  EC_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+  Params params;
+  params.k = k;
+  params.epsilon = epsilon;
+  params.eps_hat = std::log(3.0 / epsilon);
+  params.light_degree_bound = ceil_root(n, k);
+  params.activator_degree = k * k;
+  return params;
+}
+
+/// tau = k * 2^k * n * p (Instruction 6).
+std::uint64_t threshold_for(std::uint32_t k, VertexId n, double p) {
+  const double tau = static_cast<double>(k) * std::ldexp(1.0, static_cast<int>(k)) *
+                     static_cast<double>(n) * p;
+  return static_cast<std::uint64_t>(std::ceil(std::max(1.0, tau)));
+}
+
+}  // namespace
+
+// At small n the paper's p = Theta(k^2 / n^{1/k}) exceeds 1, which would
+// select every vertex and leave W = N(S) \ S empty. Clamping at 1/2 keeps
+// the S/W machinery meaningful on simulation-scale inputs and is
+// irrelevant asymptotically (the paper's regime has p -> 0).
+constexpr double kSelectionProbCap = 0.5;
+
+Params Params::theory(std::uint32_t k, VertexId n, double epsilon) {
+  Params params = base(k, n, epsilon);
+  // The paper's p is real-valued n^{-1/k}; only the light-degree bound is
+  // an integer threshold.
+  const double root = std::pow(static_cast<double>(n), 1.0 / k);
+  params.selection_prob =
+      std::min(kSelectionProbCap,
+               params.eps_hat * 2.0 * k * k / root);  // p = eps_hat * 2k^2 / n^{1/k}
+  const double reps = params.eps_hat * std::pow(2.0 * k, 2.0 * k);  // K = eps_hat * (2k)^{2k}
+  params.repetitions = static_cast<std::uint64_t>(std::ceil(reps));
+  params.threshold = threshold_for(k, n, params.selection_prob);
+  return params;
+}
+
+Params Params::practical(std::uint32_t k, VertexId n, const PracticalTuning& tuning) {
+  Params params = base(k, n, /*epsilon=*/1.0 / 3.0);
+  const double root = std::pow(static_cast<double>(n), 1.0 / k);
+  params.selection_prob =
+      std::min(kSelectionProbCap, tuning.selection_constant * k * k / root);
+  if (tuning.repetitions > 0) {
+    params.repetitions = tuning.repetitions;
+  } else {
+    const double reps = params.eps_hat * std::pow(2.0 * k, 2.0 * k);
+    params.repetitions = static_cast<std::uint64_t>(
+        std::min<double>(static_cast<double>(tuning.repetition_cap), std::ceil(reps)));
+  }
+  params.threshold = threshold_for(k, n, params.selection_prob);
+  return params;
+}
+
+}  // namespace evencycle::core

@@ -1,0 +1,50 @@
+// Parameterization of Algorithm 1 (paper Section 2.1.2, Instructions 1-6).
+//
+// The paper's constants are chosen for proof convenience and are
+// astronomically large (K = eps_hat * (2k)^{2k} colorings, tau with a
+// k * 2^k factor). `Params::theory` reproduces them exactly; tests and
+// benches mostly use `Params::practical`, which keeps every functional form
+// (p ~ k^2 / n^{1/k}, tau ~ k 2^k n p, |S| ~ n^{1-1/k}) but lets the
+// experiment choose the repetition budget. Practical profiles never affect
+// soundness — the algorithms stay one-sided for every parameter choice —
+// they only trade detection probability for rounds.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace evencycle::core {
+
+using graph::VertexId;
+
+struct PracticalTuning {
+  /// Multiplier c in p = min(1, c * k^2 / n^{1/k}).
+  double selection_constant = 2.0;
+  /// Number of random colorings (paper: eps_hat * (2k)^{2k}); 0 = use the
+  /// theory value capped at repetition_cap.
+  std::uint64_t repetitions = 0;
+  std::uint64_t repetition_cap = 256;
+};
+
+struct Params {
+  std::uint32_t k = 2;                  ///< target cycle C_{2k}
+  double epsilon = 1.0 / 3.0;           ///< one-sided error target
+  double eps_hat = 0.0;                 ///< ln(3/epsilon)
+  double selection_prob = 0.0;          ///< p, Instruction 2
+  std::uint64_t repetitions = 0;        ///< K, Instruction 6
+  std::uint64_t threshold = 0;          ///< tau = k * 2^k * n * p, Instruction 6
+  std::uint64_t light_degree_bound = 0; ///< n^{1/k}, Instruction 1
+  std::uint32_t activator_degree = 0;   ///< k^2, Instruction 5
+
+  /// Paper-exact parameters (Theorem 1 constants).
+  static Params theory(std::uint32_t k, VertexId n, double epsilon = 1.0 / 3.0);
+
+  /// Same functional forms with a feasible repetition budget.
+  static Params practical(std::uint32_t k, VertexId n, const PracticalTuning& tuning = {});
+};
+
+/// ceil(n^{1/k}) computed without floating-point drift at integer boundaries.
+std::uint64_t ceil_root(std::uint64_t n, std::uint32_t k);
+
+}  // namespace evencycle::core

@@ -1,0 +1,46 @@
+// Umbrella header for the evencycle library: a reproduction of
+// "Even-Cycle Detection in the Randomized and Quantum CONGEST Model"
+// (Fraigniaud, Luce, Magniez, Todinca, PODC 2024).
+//
+// Layers (each usable on its own):
+//   graph/     -- CSR graphs, generators, ground-truth cycle search
+//   congest/   -- synchronous message-level CONGEST simulator + primitives
+//   core/      -- the paper's algorithms (color-BFS, Algorithm 1/2, odd and
+//                 bounded-length detectors, Density Lemma, Table 1 model)
+//   baseline/  -- comparators ([10] local threshold, flooding)
+//   quantum/   -- Grover/amplification cost model, Theorem 3, Lemma 9/10,
+//                 the quantum pipelines of Theorem 2
+//   lowerbound/-- Set-Disjointness gadgets and the cut meter (Section 3.3)
+#pragma once
+
+#include "congest/message.hpp"
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "core/bounded_cycle.hpp"
+#include "core/color_bfs.hpp"
+#include "core/complexity_model.hpp"
+#include "core/density.hpp"
+#include "core/derandomized.hpp"
+#include "core/engine_color_bfs.hpp"
+#include "core/even_cycle.hpp"
+#include "core/odd_cycle.hpp"
+#include "core/params.hpp"
+#include "baseline/flooding.hpp"
+#include "baseline/local_threshold.hpp"
+#include "graph/analysis.hpp"
+#include "graph/cycle_search.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "lowerbound/cut_meter.hpp"
+#include "lowerbound/disjointness.hpp"
+#include "lowerbound/gadgets.hpp"
+#include "quantum/amplification.hpp"
+#include "quantum/amplitude.hpp"
+#include "quantum/decomposition.hpp"
+#include "quantum/grover.hpp"
+#include "quantum/quantum_cycle.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"

@@ -1,0 +1,255 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace evencycle::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source) {
+  EC_REQUIRE(source < g.vertex_count(), "bfs source out of range");
+  std::vector<std::uint32_t> dist(g.vertex_count(), kUnreachable);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+Components connected_components(const Graph& g) {
+  Components result;
+  result.component.assign(g.vertex_count(), kInvalidVertex);
+  std::deque<VertexId> queue;
+  for (VertexId s = 0; s < g.vertex_count(); ++s) {
+    if (result.component[s] != kInvalidVertex) continue;
+    const VertexId id = result.count++;
+    result.component[s] = id;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (VertexId w : g.neighbors(v)) {
+        if (result.component[w] == kInvalidVertex) {
+          result.component[w] = id;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.vertex_count() <= 1) return true;
+  return connected_components(g).count == 1;
+}
+
+std::uint32_t eccentricity(const Graph& g, VertexId source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (auto d : dist)
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+std::uint32_t diameter_exact(const Graph& g) {
+  std::uint32_t diam = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) diam = std::max(diam, eccentricity(g, v));
+  return diam;
+}
+
+std::uint32_t diameter_double_sweep(const Graph& g, VertexId hint) {
+  if (g.vertex_count() == 0) return 0;
+  hint = std::min<VertexId>(hint, g.vertex_count() - 1);
+  auto dist = bfs_distances(g, hint);
+  VertexId far = hint;
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (dist[v] != kUnreachable && dist[v] > best) {
+      best = dist[v];
+      far = v;
+    }
+  }
+  return eccentricity(g, far);
+}
+
+std::optional<std::uint32_t> girth(const Graph& g) {
+  // BFS from each vertex; a non-tree edge between levels d and d (same
+  // level) closes a cycle of length 2d+1, between d and d+1 of length 2d+2.
+  // The minimum over all start vertices is the exact girth.
+  std::uint32_t best = kUnreachable;
+  std::vector<std::uint32_t> dist(g.vertex_count());
+  std::vector<VertexId> parent(g.vertex_count());
+  std::deque<VertexId> queue;
+  for (VertexId s = 0; s < g.vertex_count(); ++s) {
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    dist[s] = 0;
+    parent[s] = kInvalidVertex;
+    queue.clear();
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      if (2 * dist[v] >= best) break;  // cannot improve from here
+      for (VertexId w : g.neighbors(v)) {
+        if (dist[w] == kUnreachable) {
+          dist[w] = dist[v] + 1;
+          parent[w] = v;
+          queue.push_back(w);
+        } else if (w != parent[v] && dist[w] + 1 >= dist[v]) {
+          // Non-tree edge; cycle through s of length dist[v]+dist[w]+1.
+          best = std::min(best, dist[v] + dist[w] + 1);
+        }
+      }
+    }
+  }
+  if (best == kUnreachable) return std::nullopt;
+  return best;
+}
+
+Degeneracy degeneracy(const Graph& g) {
+  Degeneracy result;
+  const VertexId n = g.vertex_count();
+  result.order.reserve(n);
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // Bucket queue over degrees.
+  std::vector<std::vector<VertexId>> buckets(max_deg + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+  std::uint32_t cursor = 0;
+  for (VertexId step = 0; step < n; ++step) {
+    while (cursor <= max_deg && buckets[cursor].empty()) ++cursor;
+    // Degrees only decrease by one per removal, so re-scan from 0 when the
+    // current bucket refills below the cursor.
+    std::uint32_t b = cursor;
+    VertexId v = kInvalidVertex;
+    while (b <= max_deg) {
+      while (!buckets[b].empty()) {
+        const VertexId cand = buckets[b].back();
+        buckets[b].pop_back();
+        if (!removed[cand] && deg[cand] == b) {
+          v = cand;
+          break;
+        }
+      }
+      if (v != kInvalidVertex) break;
+      ++b;
+    }
+    EC_SIM_CHECK(v != kInvalidVertex, "degeneracy bucket queue exhausted early");
+    removed[v] = true;
+    result.order.push_back(v);
+    result.value = std::max(result.value, deg[v]);
+    for (VertexId w : g.neighbors(v)) {
+      if (!removed[w]) {
+        --deg[w];
+        buckets[deg[w]].push_back(w);
+      }
+    }
+    cursor = deg[v] > 0 ? deg[v] - 1 : 0;
+  }
+  return result;
+}
+
+bool is_simple_cycle(const Graph& g, const std::vector<VertexId>& cycle) {
+  if (cycle.size() < 3) return false;
+  std::vector<VertexId> sorted = cycle;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) return false;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (cycle[i] >= g.vertex_count()) return false;
+    if (!g.has_edge(cycle[i], cycle[(i + 1) % cycle.size()])) return false;
+  }
+  return true;
+}
+
+bool is_bipartite(const Graph& g) {
+  std::vector<std::uint8_t> color(g.vertex_count(), 2);
+  std::deque<VertexId> queue;
+  for (VertexId s = 0; s < g.vertex_count(); ++s) {
+    if (color[s] != 2) continue;
+    color[s] = 0;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (VertexId w : g.neighbors(v)) {
+        if (color[w] == 2) {
+          color[w] = color[v] ^ 1;
+          queue.push_back(w);
+        } else if (color[w] == color[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t count_triangles(const Graph& g) {
+  // For each edge (u, v) with u < v, count common neighbors w > v: each
+  // triangle is counted at its lexicographically sorted orientation once.
+  std::uint64_t count = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.edge(e);
+    const auto nu = g.neighbors(u);
+    const auto nv = g.neighbors(v);
+    std::size_t i = 0, j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i] < nv[j]) {
+        ++i;
+      } else if (nv[j] < nu[i]) {
+        ++j;
+      } else {
+        if (nu[i] > v) ++count;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return count;
+}
+
+std::uint64_t count_four_cycles(const Graph& g) {
+  // paths[w] = number of length-2 paths u - x - w from the current u; each
+  // unordered pair of such paths closes one C4. Every C4 is counted once
+  // per choice of its two opposite corners => divide by 2.
+  const VertexId n = g.vertex_count();
+  std::vector<std::uint32_t> paths(n, 0);
+  std::uint64_t pairs = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    std::vector<VertexId> touched;
+    for (VertexId x : g.neighbors(u)) {
+      for (VertexId w : g.neighbors(x)) {
+        if (w <= u) continue;  // count each opposite pair (u, w) with u < w
+        if (paths[w]++ == 0) touched.push_back(w);
+      }
+    }
+    for (VertexId w : touched) {
+      const std::uint64_t p = paths[w];
+      pairs += p * (p - 1) / 2;
+      paths[w] = 0;
+    }
+  }
+  // Opposite-corner pairs with u < w: each C4 has exactly two such pairs,
+  // but the u < w restriction keeps exactly one of each unordered pair,
+  // and a C4 has two unordered opposite pairs => counted twice.
+  return pairs / 2;
+}
+
+}  // namespace evencycle::graph

@@ -1,0 +1,64 @@
+// Centralized (non-distributed) graph analysis used for ground truth,
+// instance validation, and round-accounting inputs (e.g. diameter).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace evencycle::graph {
+
+inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+
+/// BFS distances from `source`; unreachable vertices get kUnreachable.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source);
+
+/// Connected components; returns component id per vertex and the count.
+struct Components {
+  std::vector<VertexId> component;  ///< per-vertex component id
+  VertexId count = 0;
+};
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Eccentricity of `source` within its component.
+std::uint32_t eccentricity(const Graph& g, VertexId source);
+
+/// Exact diameter via BFS from every vertex: O(nm). Returns 0 for empty or
+/// single-vertex graphs; diameter of the largest distances over connected
+/// pairs (disconnected pairs ignored).
+std::uint32_t diameter_exact(const Graph& g);
+
+/// Double-sweep lower bound on the diameter: two BFS passes, O(m).
+std::uint32_t diameter_double_sweep(const Graph& g, VertexId hint = 0);
+
+/// Exact girth (length of shortest cycle) in O(nm) via BFS from each
+/// vertex; returns nullopt for forests.
+std::optional<std::uint32_t> girth(const Graph& g);
+
+/// Degeneracy (smallest d such that every subgraph has a vertex of degree
+/// <= d) plus a degeneracy elimination order.
+struct Degeneracy {
+  std::uint32_t value = 0;
+  std::vector<VertexId> order;
+};
+Degeneracy degeneracy(const Graph& g);
+
+/// True if the vertex sequence is a simple cycle of g (consecutive
+/// vertices adjacent, last adjacent to first, all distinct).
+bool is_simple_cycle(const Graph& g, const std::vector<VertexId>& cycle);
+
+/// True if g is bipartite (equivalently, has no odd cycle).
+bool is_bipartite(const Graph& g);
+
+/// Exact triangle count: sum over edges of |N(u) ∩ N(v)| / 3; O(m * d_max).
+std::uint64_t count_triangles(const Graph& g);
+
+/// Exact C4 count via paths of length 2: sum over vertex pairs of
+/// C(common_neighbors, 2) / 2; O(sum deg^2) time, O(n) extra memory.
+std::uint64_t count_four_cycles(const Graph& g);
+
+}  // namespace evencycle::graph

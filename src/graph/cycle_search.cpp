@@ -1,0 +1,131 @@
+#include "graph/cycle_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace evencycle::graph {
+
+namespace {
+
+/// DFS extending a path from `start` using only vertices > start (so each
+/// cycle is enumerated from its minimum vertex once).
+class ExactSearcher {
+ public:
+  ExactSearcher(const Graph& g, std::uint32_t length, std::uint64_t budget)
+      : g_(g), length_(length), budget_(budget), on_path_(g.vertex_count(), false) {}
+
+  std::optional<std::vector<VertexId>> run() {
+    for (VertexId s = 0; s < g_.vertex_count(); ++s) {
+      path_.clear();
+      path_.push_back(s);
+      on_path_[s] = true;
+      if (extend(s, s)) return path_;
+      on_path_[s] = false;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  bool extend(VertexId start, VertexId v) {
+    EC_SIM_CHECK(budget_-- > 0, "find_cycle_exact expansion budget exhausted");
+    if (path_.size() == length_) return g_.has_edge(v, start);
+    for (VertexId w : g_.neighbors(v)) {
+      if (w <= start || on_path_[w]) continue;
+      // Prune: the remaining vertices must be able to get back to start;
+      // cheap necessary condition only (budget guards the rest).
+      path_.push_back(w);
+      on_path_[w] = true;
+      if (extend(start, w)) return true;
+      on_path_[w] = false;
+      path_.pop_back();
+    }
+    return false;
+  }
+
+  const Graph& g_;
+  std::uint32_t length_;
+  std::uint64_t budget_;
+  std::vector<bool> on_path_;
+  std::vector<VertexId> path_;
+};
+
+}  // namespace
+
+std::optional<std::vector<VertexId>> find_cycle_exact(const Graph& g, std::uint32_t length,
+                                                      std::uint64_t max_expansions) {
+  EC_REQUIRE(length >= 3, "cycle length must be at least 3");
+  if (g.vertex_count() < length) return std::nullopt;
+  ExactSearcher searcher(g, length, max_expansions);
+  return searcher.run();
+}
+
+bool contains_cycle_exact(const Graph& g, std::uint32_t length, std::uint64_t max_expansions) {
+  return find_cycle_exact(g, length, max_expansions).has_value();
+}
+
+std::uint32_t color_coding_trials(std::uint32_t length, double delta) {
+  EC_REQUIRE(length >= 3, "cycle length must be at least 3");
+  EC_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  // A fixed L-cycle is detected when its vertices are colored consecutively
+  // for some rotation and direction: 2L favorable colorings out of L^L,
+  // so the per-trial success probability is p = 2L / L^L.
+  const double p = 2.0 * length * std::pow(static_cast<double>(length), -static_cast<double>(length));
+  const double trials = std::log(delta) / std::log1p(-p);
+  return static_cast<std::uint32_t>(std::ceil(std::max(1.0, trials)));
+}
+
+bool contains_cycle_color_coding(const Graph& g, std::uint32_t length, Rng& rng,
+                                 std::uint32_t trials) {
+  EC_REQUIRE(length >= 3, "cycle length must be at least 3");
+  const VertexId n = g.vertex_count();
+  if (n < length) return false;
+
+  std::vector<std::uint8_t> color(n);
+  std::vector<VertexId> source_index(n);
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    // Color uniformly; collect color-0 sources.
+    VertexId source_count = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      color[v] = static_cast<std::uint8_t>(rng.next_below(length));
+      if (color[v] == 0) source_index[v] = source_count++;
+    }
+    if (source_count == 0) continue;
+    const std::size_t words = (source_count + 63) / 64;
+    // reach[v] = bitset over sources with a well-colored path of length
+    // color[v] from source to v.
+    std::vector<std::uint64_t> reach(static_cast<std::size_t>(n) * words, 0);
+    auto row = [&](VertexId v) { return reach.data() + static_cast<std::size_t>(v) * words; };
+    for (VertexId v = 0; v < n; ++v)
+      if (color[v] == 0) row(v)[source_index[v] / 64] |= 1ULL << (source_index[v] % 64);
+
+    // Vertices grouped by color for layered propagation.
+    std::vector<std::vector<VertexId>> layer(length);
+    for (VertexId v = 0; v < n; ++v) layer[color[v]].push_back(v);
+
+    for (std::uint32_t i = 1; i < length; ++i) {
+      for (VertexId v : layer[i]) {
+        auto* dst = row(v);
+        for (VertexId u : g.neighbors(v)) {
+          if (color[u] != i - 1) continue;
+          const auto* src = row(u);
+          for (std::size_t w = 0; w < words; ++w) dst[w] |= src[w];
+        }
+      }
+    }
+    // Close the cycle: v colored length-1 adjacent to a source s whose bit
+    // is set in reach[v]. Colors along the path are all distinct, so the
+    // closed walk is a simple cycle of length exactly `length`.
+    for (VertexId v : layer[length - 1]) {
+      const auto* bits = row(v);
+      for (VertexId s : g.neighbors(v)) {
+        if (color[s] != 0) continue;
+        if (bits[source_index[s] / 64] & (1ULL << (source_index[s] % 64))) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace evencycle::graph

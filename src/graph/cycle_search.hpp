@@ -1,0 +1,43 @@
+// Centralized ground-truth cycle detection.
+//
+// The distributed detectors under test are randomized; these sequential
+// routines provide the reference answers: an exact (exponential-time,
+// small-graph) DFS search, and a sequential color-coding detector (Alon,
+// Yuster, Zwick) that is one-sided like the paper's algorithms but runs on
+// one machine, usable as whp ground truth at medium sizes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::graph {
+
+/// Exact search for a simple cycle of length exactly `length`.
+///
+/// Returns the cycle's vertices in order if one exists. Exponential in the
+/// worst case; `max_expansions` bounds the DFS work (throws SimulationError
+/// when exhausted), so keep inputs small (n up to a few hundred sparse
+/// vertices).
+std::optional<std::vector<VertexId>> find_cycle_exact(const Graph& g, std::uint32_t length,
+                                                      std::uint64_t max_expansions = 50'000'000);
+
+/// Convenience wrapper over find_cycle_exact.
+bool contains_cycle_exact(const Graph& g, std::uint32_t length,
+                          std::uint64_t max_expansions = 50'000'000);
+
+/// Sequential color-coding detection of C_length.
+///
+/// One-sided: `true` is certain (a witness was found); `false` is correct
+/// with probability >= 1 - (1 - length!/length^length)^trials when a cycle
+/// exists. Uses bitset propagation over color-0 sources; O(trials * m * n/64).
+bool contains_cycle_color_coding(const Graph& g, std::uint32_t length, Rng& rng,
+                                 std::uint32_t trials);
+
+/// Number of trials for failure probability <= delta given cycle length L.
+std::uint32_t color_coding_trials(std::uint32_t length, double delta);
+
+}  // namespace evencycle::graph

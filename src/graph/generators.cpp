@@ -1,0 +1,353 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace evencycle::graph {
+
+Graph path(VertexId n) {
+  EC_REQUIRE(n >= 1, "path needs at least one vertex");
+  GraphBuilder b(n);
+  for (VertexId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return std::move(b).build();
+}
+
+Graph cycle(VertexId n) {
+  EC_REQUIRE(n >= 3, "cycle needs at least three vertices");
+  GraphBuilder b(n);
+  for (VertexId i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n);
+  return std::move(b).build();
+}
+
+Graph complete(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId i = 0; i < n; ++i)
+    for (VertexId j = i + 1; j < n; ++j) b.add_edge(i, j);
+  return std::move(b).build();
+}
+
+Graph complete_bipartite(VertexId a, VertexId b) {
+  GraphBuilder builder(a + b);
+  for (VertexId i = 0; i < a; ++i)
+    for (VertexId j = 0; j < b; ++j) builder.add_edge(i, a + j);
+  return std::move(builder).build();
+}
+
+Graph grid(VertexId a, VertexId b) {
+  EC_REQUIRE(a >= 1 && b >= 1, "grid dimensions must be positive");
+  GraphBuilder builder(a * b);
+  auto id = [b](VertexId r, VertexId c) { return r * b + c; };
+  for (VertexId r = 0; r < a; ++r)
+    for (VertexId c = 0; c < b; ++c) {
+      if (r + 1 < a) builder.add_edge(id(r, c), id(r + 1, c));
+      if (c + 1 < b) builder.add_edge(id(r, c), id(r, c + 1));
+    }
+  return std::move(builder).build();
+}
+
+Graph torus(VertexId a, VertexId b) {
+  EC_REQUIRE(a >= 3 && b >= 3, "torus dimensions must be at least 3");
+  GraphBuilder builder(a * b);
+  auto id = [b](VertexId r, VertexId c) { return r * b + c; };
+  for (VertexId r = 0; r < a; ++r)
+    for (VertexId c = 0; c < b; ++c) {
+      builder.add_edge(id(r, c), id((r + 1) % a, c));
+      builder.add_edge(id(r, c), id(r, (c + 1) % b));
+    }
+  return std::move(builder).build();
+}
+
+Graph star(VertexId n) {
+  EC_REQUIRE(n >= 1, "star needs at least one vertex");
+  GraphBuilder b(n);
+  for (VertexId i = 1; i < n; ++i) b.add_edge(0, i);
+  return std::move(b).build();
+}
+
+Graph theta(VertexId path_count, VertexId path_len) {
+  EC_REQUIRE(path_count >= 2, "theta needs at least two paths");
+  EC_REQUIRE(path_len >= 2, "paths of length < 2 would create parallel edges");
+  const VertexId internals = path_len - 1;
+  GraphBuilder b(2 + path_count * internals);
+  const VertexId s = 0;
+  const VertexId t = 1;
+  VertexId next = 2;
+  for (VertexId p = 0; p < path_count; ++p) {
+    VertexId prev = s;
+    for (VertexId i = 0; i < internals; ++i) {
+      b.add_edge(prev, next);
+      prev = next++;
+    }
+    b.add_edge(prev, t);
+  }
+  return std::move(b).build();
+}
+
+Graph hypercube(std::uint32_t dimension) {
+  EC_REQUIRE(dimension >= 1 && dimension < 28, "dimension out of range");
+  const VertexId n = VertexId{1} << dimension;
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v)
+    for (std::uint32_t d = 0; d < dimension; ++d) {
+      const VertexId w = v ^ (VertexId{1} << d);
+      if (v < w) b.add_edge(v, w);
+    }
+  return std::move(b).build();
+}
+
+Graph circulant(VertexId n, const std::vector<VertexId>& offsets) {
+  EC_REQUIRE(n >= 3, "circulant needs at least three vertices");
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v)
+    for (const auto o : offsets) {
+      EC_REQUIRE(o >= 1 && o < n, "offset out of range");
+      if (2 * o == n && v >= n / 2) continue;  // antipodal edge counted once
+      b.add_edge(v, (v + o) % n);
+    }
+  return std::move(b).build();
+}
+
+namespace {
+
+bool is_prime(std::uint32_t q) {
+  if (q < 2) return false;
+  for (std::uint32_t d = 2; d * d <= q; ++d)
+    if (q % d == 0) return false;
+  return true;
+}
+
+}  // namespace
+
+Graph projective_plane_incidence(std::uint32_t q) {
+  EC_REQUIRE(is_prime(q), "projective_plane_incidence requires prime q");
+  // Canonical homogeneous coordinates over F_q: (1,y,z), (0,1,z), (0,0,1).
+  std::vector<std::array<std::uint32_t, 3>> coords;
+  coords.reserve(q * q + q + 1);
+  for (std::uint32_t y = 0; y < q; ++y)
+    for (std::uint32_t z = 0; z < q; ++z) coords.push_back({1, y, z});
+  for (std::uint32_t z = 0; z < q; ++z) coords.push_back({0, 1, z});
+  coords.push_back({0, 0, 1});
+
+  const auto count = static_cast<VertexId>(coords.size());
+  GraphBuilder b(2 * count);  // points [0, count), lines [count, 2*count)
+  for (VertexId p = 0; p < count; ++p) {
+    for (VertexId l = 0; l < count; ++l) {
+      const auto& a = coords[p];
+      const auto& x = coords[l];
+      const std::uint64_t dot =
+          static_cast<std::uint64_t>(a[0]) * x[0] + static_cast<std::uint64_t>(a[1]) * x[1] +
+          static_cast<std::uint64_t>(a[2]) * x[2];
+      if (dot % q == 0) b.add_edge(p, count + l);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph subdivide(const Graph& g, std::uint32_t extra) {
+  if (extra == 0) {
+    GraphBuilder b(g.vertex_count());
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto [u, v] = g.edge(e);
+      b.add_edge(u, v);
+    }
+    return std::move(b).build();
+  }
+  const auto n = g.vertex_count();
+  const auto m = g.edge_count();
+  GraphBuilder b(n + m * extra);
+  VertexId next = n;
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto [u, v] = g.edge(e);
+    VertexId prev = u;
+    for (std::uint32_t i = 0; i < extra; ++i) {
+      b.add_edge(prev, next);
+      prev = next++;
+    }
+    b.add_edge(prev, v);
+  }
+  return std::move(b).build();
+}
+
+Graph erdos_renyi(VertexId n, double p, Rng& rng) {
+  GraphBuilder b(n);
+  if (p <= 0.0 || n < 2) return std::move(b).build();
+  if (p >= 1.0) return complete(n);
+  // Geometric skipping (Batagelj–Brandes): iterate potential edges in
+  // lexicographic order, skipping Geom(p)-distributed gaps.
+  const double log1mp = std::log1p(-p);
+  std::uint64_t v = 1;
+  std::int64_t w = -1;
+  const std::uint64_t total = n;
+  while (v < total) {
+    double r = rng.uniform01();
+    if (r <= 0.0) r = 0x1.0p-53;
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log1mp));
+    while (w >= static_cast<std::int64_t>(v) && v < total) {
+      w -= static_cast<std::int64_t>(v);
+      ++v;
+    }
+    if (v < total) b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(w));
+  }
+  return std::move(b).build();
+}
+
+Graph erdos_renyi_gnm(VertexId n, EdgeId m, Rng& rng) {
+  EC_REQUIRE(n >= 2 || m == 0, "need at least two vertices for edges");
+  const std::uint64_t possible = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  EC_REQUIRE(m <= possible, "more edges requested than a simple graph allows");
+  GraphBuilder b(n);
+  std::set<std::pair<VertexId, VertexId>> chosen;
+  while (chosen.size() < m) {
+    auto u = static_cast<VertexId>(rng.next_below(n));
+    auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (chosen.insert({u, v}).second) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph random_tree(VertexId n, Rng& rng) {
+  EC_REQUIRE(n >= 1, "tree needs at least one vertex");
+  GraphBuilder b(n);
+  if (n == 1) return std::move(b).build();
+  if (n == 2) {
+    b.add_edge(0, 1);
+    return std::move(b).build();
+  }
+  // Prüfer sequence decoding.
+  std::vector<VertexId> pruefer(n - 2);
+  for (auto& x : pruefer) x = static_cast<VertexId>(rng.next_below(n));
+  std::vector<std::uint32_t> deg(n, 1);
+  for (auto x : pruefer) ++deg[x];
+  std::set<VertexId> leaves;
+  for (VertexId v = 0; v < n; ++v)
+    if (deg[v] == 1) leaves.insert(v);
+  for (auto x : pruefer) {
+    const VertexId leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    b.add_edge(leaf, x);
+    if (--deg[x] == 1) leaves.insert(x);
+  }
+  const VertexId u = *leaves.begin();
+  const VertexId v = *std::next(leaves.begin());
+  b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+Graph random_near_regular(VertexId n, std::uint32_t d, Rng& rng) {
+  EC_REQUIRE(d >= 1 && d < n, "degree must be in [1, n)");
+  // Configuration model: pair up stubs, drop loops and duplicates.
+  std::vector<VertexId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (VertexId v = 0; v < n; ++v)
+    for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+  rng.shuffle(stubs);
+  GraphBuilder b(n);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    VertexId u = stubs[i];
+    VertexId v = stubs[i + 1];
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (seen.insert({u, v}).second) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph random_bipartite(VertexId a, VertexId b, double p, Rng& rng) {
+  GraphBuilder builder(a + b);
+  for (VertexId i = 0; i < a; ++i)
+    for (VertexId j = 0; j < b; ++j)
+      if (rng.bernoulli(p)) builder.add_edge(i, a + j);
+  return std::move(builder).build();
+}
+
+Graph barabasi_albert(VertexId n, std::uint32_t attach, Rng& rng) {
+  EC_REQUIRE(attach >= 1, "attach must be positive");
+  EC_REQUIRE(n > attach, "need more vertices than attachment edges");
+  GraphBuilder b(n);
+  // Repeated-endpoint list: sampling uniformly from it is degree-biased.
+  std::vector<VertexId> endpoints;
+  // Seed clique on attach+1 vertices.
+  for (VertexId i = 0; i <= attach; ++i)
+    for (VertexId j = i + 1; j <= attach; ++j) {
+      b.add_edge(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  for (VertexId v = attach + 1; v < n; ++v) {
+    std::set<VertexId> targets;
+    while (targets.size() < attach) {
+      const VertexId t = endpoints[rng.next_below(endpoints.size())];
+      targets.insert(t);
+    }
+    for (VertexId t : targets) {
+      b.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return std::move(b).build();
+}
+
+Planted plant_cycle(const Graph& g, std::uint32_t length, Rng& rng) {
+  EC_REQUIRE(length >= 3, "cycle length must be at least 3");
+  EC_REQUIRE(g.vertex_count() >= length, "graph too small for the cycle");
+  Planted result;
+  result.cycle = rng.sample_without_replacement(g.vertex_count(), length);
+  GraphBuilder b(g.vertex_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.edge(e);
+    b.add_edge(u, v);
+  }
+  for (std::uint32_t i = 0; i < length; ++i)
+    b.add_edge(result.cycle[i], result.cycle[(i + 1) % length]);
+  result.graph = std::move(b).build();
+  return result;
+}
+
+Planted planted_light_cycle(VertexId n, std::uint32_t length, Rng& rng) {
+  EC_REQUIRE(n >= length + 2, "host too small");
+  Graph host = random_tree(n, rng);
+  return plant_cycle(host, length, rng);
+}
+
+Planted planted_heavy_cycle(VertexId n, std::uint32_t length, std::uint32_t hub_degree,
+                            Rng& rng) {
+  EC_REQUIRE(n >= length + hub_degree, "host too small for hub + cycle");
+  Planted result;
+  GraphBuilder b(n);
+  // Cycle through vertices 0..length-1 with hub at 0.
+  for (std::uint32_t i = 0; i < length; ++i) b.add_edge(i, (i + 1) % length);
+  result.cycle.resize(length);
+  for (std::uint32_t i = 0; i < length; ++i) result.cycle[i] = i;
+  // Leaves on the hub.
+  VertexId next = length;
+  for (std::uint32_t i = 0; i + 2 < hub_degree && next < n; ++i) b.add_edge(0, next++);
+  // Remaining vertices: random attachment below, keeping the rest a forest
+  // hanging off already-placed vertices (no new cycles).
+  for (; next < n; ++next) {
+    const auto parent = static_cast<VertexId>(rng.next_below(next));
+    b.add_edge(parent, next);
+  }
+  result.graph = std::move(b).build();
+  return result;
+}
+
+Graph large_girth_graph(VertexId approx_n, std::uint32_t min_girth, Rng& rng) {
+  EC_REQUIRE(min_girth >= 3, "min_girth must be at least 3");
+  const std::uint32_t extra = min_girth / 3 + 1;  // girth >= 3*(extra+1) > min_girth
+  // Core cubic graph size so that n0 + 1.5*n0*extra ~ approx_n.
+  auto n0 = static_cast<VertexId>(
+      std::max<double>(4.0, approx_n / (1.0 + 1.5 * extra)));
+  if (n0 % 2 == 1) ++n0;  // even vertex count for a cubic-ish core
+  Graph core = random_near_regular(n0, 3, rng);
+  return subdivide(core, extra);
+}
+
+}  // namespace evencycle::graph

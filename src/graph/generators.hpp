@@ -1,0 +1,115 @@
+// Graph families used by the tests, examples, and benchmark workloads.
+//
+// The paper evaluates nothing empirically, so these generators define the
+// workloads of our reproduction: planted-cycle instances with known ground
+// truth, cycle-free and large-girth control families, the extremal C4-free
+// projective-plane incidence graphs, and "heavy node" families exercising
+// the third color-BFS of Algorithm 1.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::graph {
+
+// --- deterministic families -------------------------------------------------
+
+/// Path with n vertices (n-1 edges).
+Graph path(VertexId n);
+
+/// Single cycle C_n (n >= 3).
+Graph cycle(VertexId n);
+
+/// Complete graph K_n.
+Graph complete(VertexId n);
+
+/// Complete bipartite K_{a,b}.
+Graph complete_bipartite(VertexId a, VertexId b);
+
+/// a x b grid; 4-neighbor connectivity.
+Graph grid(VertexId a, VertexId b);
+
+/// a x b torus (wrap-around grid). Contains C4 unless a or b < 3.
+Graph torus(VertexId a, VertexId b);
+
+/// Star with one hub and n-1 leaves.
+Graph star(VertexId n);
+
+/// Two terminals joined by `path_count` internally disjoint paths, each of
+/// length `path_len` (>=1). A generalized theta graph; every pair of paths
+/// forms a cycle of length 2*path_len.
+Graph theta(VertexId path_count, VertexId path_len);
+
+/// d-dimensional hypercube: 2^d vertices, girth 4 (d >= 2).
+Graph hypercube(std::uint32_t dimension);
+
+/// Circulant graph C_n(offsets): vertex i adjacent to i +- o for each
+/// offset o. Known cycle structure (contains C_{n/gcd...} families); used
+/// as a workload with controllable girth.
+Graph circulant(VertexId n, const std::vector<VertexId>& offsets);
+
+/// Incidence graph of the projective plane PG(2,q), q prime: bipartite,
+/// 2(q^2+q+1) vertices, (q+1)(q^2+q+1) edges, girth 6 (C4-free, extremal).
+Graph projective_plane_incidence(std::uint32_t q);
+
+/// Subdivides every edge of g into a path with `extra` new internal
+/// vertices, multiplying the girth by extra+1.
+Graph subdivide(const Graph& g, std::uint32_t extra);
+
+// --- randomized families ----------------------------------------------------
+
+/// Erdős–Rényi G(n, p).
+Graph erdos_renyi(VertexId n, double p, Rng& rng);
+
+/// G(n, m): exactly m distinct edges chosen uniformly.
+Graph erdos_renyi_gnm(VertexId n, EdgeId m, Rng& rng);
+
+/// Uniform random labelled tree (Prüfer sequence); acyclic by construction.
+Graph random_tree(VertexId n, Rng& rng);
+
+/// Random d-regular-ish graph via the configuration model with rejection of
+/// loops/multi-edges; the result is simple with all degrees <= d and almost
+/// all equal to d.
+Graph random_near_regular(VertexId n, std::uint32_t d, Rng& rng);
+
+/// Random bipartite graph on a+b vertices with edge probability p;
+/// contains no odd cycles.
+Graph random_bipartite(VertexId a, VertexId b, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices. Models the skewed-degree "social" workload.
+Graph barabasi_albert(VertexId n, std::uint32_t attach, Rng& rng);
+
+// --- planted instances (known ground truth) ----------------------------------
+
+/// Result of planting: the host graph plus the planted cycle's vertices in
+/// cycle order.
+struct Planted {
+  Graph graph;
+  std::vector<VertexId> cycle;  ///< length L, in cycle order
+};
+
+/// Adds the edges of an L-cycle through L random distinct vertices of g.
+/// The returned graph is guaranteed to contain C_L (it may of course contain
+/// other cycles too).
+Planted plant_cycle(const Graph& g, std::uint32_t length, Rng& rng);
+
+/// A "light" planted instance: sparse bounded-degree host (random tree plus
+/// a few extra edges subdivided to girth > L) with one planted C_L whose
+/// vertices all keep degree <= max_degree. Exercises case 1 of Algorithm 1.
+Planted planted_light_cycle(VertexId n, std::uint32_t length, Rng& rng);
+
+/// A "heavy" planted instance: one planted C_L through a hub of degree
+/// roughly `hub_degree` (leaves attached), rest of the graph a tree.
+/// Exercises cases 2/3 of Algorithm 1 (the global-threshold machinery).
+Planted planted_heavy_cycle(VertexId n, std::uint32_t length,
+                            std::uint32_t hub_degree, Rng& rng);
+
+/// Tree-like graph of girth > `min_girth` (subdivided random graph):
+/// guaranteed C_L-free for all L in [3, min_girth]. Control family for
+/// one-sided-error tests.
+Graph large_girth_graph(VertexId approx_n, std::uint32_t min_girth, Rng& rng);
+
+}  // namespace evencycle::graph

@@ -1,0 +1,118 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace evencycle::graph {
+
+GraphBuilder::GraphBuilder(VertexId vertex_count) : vertex_count_(vertex_count) {}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  EC_REQUIRE(u != v, "self-loops are not allowed in a simple graph");
+  EC_REQUIRE(u < vertex_count_ && v < vertex_count_, "edge endpoint out of range");
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+VertexId GraphBuilder::add_vertex() { return vertex_count_++; }
+
+bool GraphBuilder::has_edge(VertexId u, VertexId v) const {
+  if (u > v) std::swap(u, v);
+  return std::find(edges_.begin(), edges_.end(), std::make_pair(u, v)) != edges_.end();
+}
+
+Graph GraphBuilder::build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.vertex_count_ = vertex_count_;
+  g.endpoints_ = std::move(edges_);
+  const auto n = static_cast<std::size_t>(vertex_count_);
+  const auto m = g.endpoints_.size();
+
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : g.endpoints_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  g.adjacency_.resize(2 * m);
+  g.arc_edge_.resize(2 * m);
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto [u, v] = g.endpoints_[e];
+    g.adjacency_[cursor[u]] = v;
+    g.arc_edge_[cursor[u]++] = e;
+    g.adjacency_[cursor[v]] = u;
+    g.arc_edge_[cursor[v]++] = e;
+  }
+  // Edges were added in sorted (u,v) order with u < v, so the arcs out of
+  // each vertex toward *larger* neighbors are already sorted, but arcs
+  // toward smaller neighbors interleave; sort each adjacency slice.
+  for (VertexId v = 0; v < vertex_count_; ++v) {
+    const auto begin = g.offsets_[v];
+    const auto end = g.offsets_[v + 1];
+    // Sort (neighbor, edge-id) pairs by neighbor.
+    std::vector<std::pair<VertexId, EdgeId>> slice;
+    slice.reserve(end - begin);
+    for (auto i = begin; i < end; ++i) slice.emplace_back(g.adjacency_[i], g.arc_edge_[i]);
+    std::sort(slice.begin(), slice.end());
+    for (std::uint32_t i = 0; i < slice.size(); ++i) {
+      g.adjacency_[begin + i] = slice[i].first;
+      g.arc_edge_[begin + i] = slice[i].second;
+    }
+    g.max_degree_ = std::max(g.max_degree_, end - begin);
+  }
+  return g;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+EdgeId Graph::edge_id(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidEdge;
+  const auto idx = static_cast<std::uint32_t>(it - nbrs.begin());
+  return incident_edges(u)[idx];
+}
+
+std::uint32_t Graph::arc_index(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return ~std::uint32_t{0};
+  return static_cast<std::uint32_t>(it - nbrs.begin());
+}
+
+Graph::Induced Graph::induced_subgraph(const std::vector<bool>& keep) const {
+  EC_REQUIRE(keep.size() == vertex_count_, "keep mask size must equal vertex count");
+  Induced result;
+  result.from_original.assign(vertex_count_, kInvalidVertex);
+  for (VertexId v = 0; v < vertex_count_; ++v) {
+    if (keep[v]) {
+      result.from_original[v] = static_cast<VertexId>(result.to_original.size());
+      result.to_original.push_back(v);
+    }
+  }
+  GraphBuilder builder(static_cast<VertexId>(result.to_original.size()));
+  for (const auto& [u, v] : endpoints_) {
+    if (keep[u] && keep[v]) builder.add_edge(result.from_original[u], result.from_original[v]);
+  }
+  result.graph = std::move(builder).build();
+  return result;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << vertex_count_ << ", m=" << edge_count()
+     << ", max_deg=" << max_degree_ << ")";
+  return os.str();
+}
+
+}  // namespace evencycle::graph

@@ -1,0 +1,112 @@
+// Immutable simple undirected graph in CSR (compressed sparse row) form.
+//
+// This is the substrate every other module builds on: the CONGEST engine
+// addresses links as (vertex, incident-edge-index) pairs, so the CSR layout
+// also stores, for each directed arc, the undirected edge id and the index
+// of the reverse arc.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace evencycle::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+inline constexpr EdgeId kInvalidEdge = ~EdgeId{0};
+
+class Graph;
+
+/// Accumulates edges, deduplicates, and produces a Graph.
+///
+/// Self-loops are rejected; parallel edges are merged silently (the CONGEST
+/// model is defined on simple graphs).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId vertex_count);
+
+  VertexId vertex_count() const { return vertex_count_; }
+
+  /// Adds an undirected edge {u, v}; u != v, both < vertex_count.
+  void add_edge(VertexId u, VertexId v);
+
+  /// Grows the vertex set (new vertices are isolated until edges arrive).
+  VertexId add_vertex();
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  Graph build() &&;
+
+ private:
+  VertexId vertex_count_ = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  VertexId vertex_count() const { return vertex_count_; }
+  EdgeId edge_count() const { return static_cast<EdgeId>(endpoints_.size()); }
+
+  std::uint32_t degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+  std::uint32_t max_degree() const { return max_degree_; }
+
+  /// Neighbor list of v (sorted ascending).
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Undirected edge ids of the arcs out of v, parallel to neighbors(v).
+  std::span<const EdgeId> incident_edges(VertexId v) const {
+    return {arc_edge_.data() + offsets_[v], arc_edge_.data() + offsets_[v + 1]};
+  }
+
+  /// Endpoints of undirected edge e, with first < second.
+  std::pair<VertexId, VertexId> edge(EdgeId e) const { return endpoints_[e]; }
+
+  /// True if {u, v} is an edge (binary search, O(log deg)).
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Undirected edge id for {u, v}, or kInvalidEdge.
+  EdgeId edge_id(VertexId u, VertexId v) const;
+
+  /// Index of v within neighbors(u), or kInvalidVertex-like sentinel.
+  std::uint32_t arc_index(VertexId u, VertexId v) const;
+
+  /// Global directed-arc index base for v: the arc (v, neighbors(v)[i]) has
+  /// global index arc_base(v) + i. Used by the CONGEST engine for per-link
+  /// bandwidth accounting.
+  std::uint32_t arc_base(VertexId v) const { return offsets_[v]; }
+
+  /// Vertex-induced subgraph. `keep[v]` selects vertices; returns the
+  /// subgraph plus the mapping from new ids to original ids.
+  struct Induced;
+  Induced induced_subgraph(const std::vector<bool>& keep) const;
+
+  /// Human-readable one-line summary (n, m, max degree).
+  std::string summary() const;
+
+ private:
+  friend class GraphBuilder;
+
+  VertexId vertex_count_ = 0;
+  std::uint32_t max_degree_ = 0;
+  std::vector<std::uint32_t> offsets_;                    // size n+1
+  std::vector<VertexId> adjacency_;                       // size 2m, sorted per vertex
+  std::vector<EdgeId> arc_edge_;                          // size 2m
+  std::vector<std::pair<VertexId, VertexId>> endpoints_;  // size m
+};
+
+struct Graph::Induced {
+  Graph graph;
+  std::vector<VertexId> to_original;    ///< new id -> original id
+  std::vector<VertexId> from_original;  ///< original id -> new id or kInvalidVertex
+};
+
+}  // namespace evencycle::graph

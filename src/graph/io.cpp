@@ -1,0 +1,54 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace evencycle::graph {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << g.vertex_count() << ' ' << g.edge_count() << '\n';
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.edge(e);
+    os << u << ' ' << v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::uint64_t n = 0, m = 0;
+  EC_REQUIRE(static_cast<bool>(is >> n >> m), "edge list header malformed");
+  EC_REQUIRE(n <= kInvalidVertex, "vertex count too large");
+  GraphBuilder b(static_cast<VertexId>(n));
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t u = 0, v = 0;
+    EC_REQUIRE(static_cast<bool>(is >> u >> v), "edge list truncated");
+    b.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return std::move(b).build();
+}
+
+void save_edge_list(const Graph& g, const std::string& file_path) {
+  std::ofstream os(file_path);
+  EC_REQUIRE(os.good(), "cannot open file for writing: " + file_path);
+  write_edge_list(g, os);
+}
+
+Graph load_edge_list(const std::string& file_path) {
+  std::ifstream is(file_path);
+  EC_REQUIRE(is.good(), "cannot open file for reading: " + file_path);
+  return read_edge_list(is);
+}
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "graph G {\n";
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.edge(e);
+    os << "  " << u << " -- " << v << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace evencycle::graph

@@ -1,0 +1,24 @@
+// Edge-list and DOT serialization for graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace evencycle::graph {
+
+/// Writes "n m" then one "u v" line per edge.
+void write_edge_list(const Graph& g, std::ostream& os);
+
+/// Parses the write_edge_list format; throws InvalidArgument on bad input.
+Graph read_edge_list(std::istream& is);
+
+/// File variants.
+void save_edge_list(const Graph& g, const std::string& file_path);
+Graph load_edge_list(const std::string& file_path);
+
+/// Graphviz DOT (undirected) for small-graph visualisation.
+std::string to_dot(const Graph& g);
+
+}  // namespace evencycle::graph

@@ -1,0 +1,38 @@
+#include "lowerbound/cut_meter.hpp"
+
+#include "congest/network.hpp"
+#include "core/engine_color_bfs.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::lowerbound {
+
+CutMeterReport measure_cut_traffic(const Gadget& gadget, const CutMeterOptions& options,
+                                   Rng& rng) {
+  EC_REQUIRE(options.repetitions >= 1, "at least one repetition");
+  CutMeterReport report;
+  report.cut_edges = gadget.cut_edges.size();
+
+  std::vector<bool> watched(gadget.graph.edge_count(), false);
+  for (auto e : gadget.cut_edges) watched[e] = true;
+
+  congest::Config config;
+  config.watched_edges = &watched;
+  congest::Network net(gadget.graph, config);
+
+  for (std::uint64_t rep = 0; rep < options.repetitions; ++rep) {
+    const auto colors =
+        core::random_coloring(gadget.graph.vertex_count(), gadget.target_length, rng);
+    core::ColorBfsSpec spec;
+    spec.cycle_length = gadget.target_length;
+    spec.threshold = options.threshold;
+    spec.colors = &colors;
+    const auto result = core::run_color_bfs_on_engine(net, spec);
+    report.detected = report.detected || result.rejected;
+    report.rounds += result.rounds;
+    report.total_words += result.messages;
+    report.cut_words += net.metrics().watched_messages;
+  }
+  return report;
+}
+
+}  // namespace evencycle::lowerbound

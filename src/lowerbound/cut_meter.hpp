@@ -1,0 +1,33 @@
+// Measures the Alice/Bob communication a detection protocol actually uses
+// on a gadget: the message-level color-BFS runs on the CONGEST engine with
+// the gadget's cut edges watched, and every word crossing the cut is
+// counted. The bench compares T * cut * log n against the Omega(r + N/r)
+// requirement of bounded-round quantum Set-Disjointness.
+#pragma once
+
+#include <cstdint>
+
+#include "lowerbound/gadgets.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::lowerbound {
+
+struct CutMeterOptions {
+  std::uint64_t repetitions = 8;  ///< random colorings
+  std::uint64_t threshold = 8;    ///< color-BFS threshold on the gadget
+};
+
+struct CutMeterReport {
+  bool detected = false;           ///< some coloring found the target cycle
+  std::uint64_t rounds = 0;        ///< engine rounds over all repetitions
+  std::uint64_t cut_words = 0;     ///< words that crossed the cut
+  std::uint64_t total_words = 0;   ///< all words sent
+  std::uint64_t cut_edges = 0;
+};
+
+/// Runs the message-level color-BFS detector for the gadget's target length
+/// and reports the cut traffic.
+CutMeterReport measure_cut_traffic(const Gadget& gadget, const CutMeterOptions& options,
+                                   Rng& rng);
+
+}  // namespace evencycle::lowerbound

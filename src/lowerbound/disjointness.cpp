@@ -1,0 +1,47 @@
+#include "lowerbound/disjointness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace evencycle::lowerbound {
+
+DisjointnessInstance DisjointnessInstance::random(std::uint64_t universe, double density,
+                                                  bool force_intersection, Rng& rng) {
+  EC_REQUIRE(universe >= 1, "universe must be nonempty");
+  DisjointnessInstance instance;
+  instance.x.resize(universe);
+  instance.y.resize(universe);
+  // Draw x freely; draw y avoiding intersections, then optionally force one.
+  for (std::uint64_t i = 0; i < universe; ++i) instance.x[i] = rng.bernoulli(density);
+  for (std::uint64_t i = 0; i < universe; ++i)
+    instance.y[i] = !instance.x[i] && rng.bernoulli(density);
+  if (force_intersection) {
+    const auto i = rng.next_below(universe);
+    instance.x[i] = true;
+    instance.y[i] = true;
+  }
+  instance.intersecting = false;
+  for (std::uint64_t i = 0; i < universe; ++i)
+    if (instance.x[i] && instance.y[i]) instance.intersecting = true;
+  return instance;
+}
+
+double bounded_round_disjointness_qubits(std::uint64_t universe, std::uint64_t rounds) {
+  EC_REQUIRE(rounds >= 1, "at least one round");
+  return static_cast<double>(rounds) +
+         static_cast<double>(universe) / static_cast<double>(rounds);
+}
+
+double implied_round_lower_bound(std::uint64_t universe, std::uint64_t cut_edges,
+                                 double word_bits) {
+  EC_REQUIRE(cut_edges >= 1, "cut must be nonempty");
+  EC_REQUIRE(word_bits > 0.0, "word size must be positive");
+  // T rounds transmit T * cut * bits qubits; with r = T this must be at
+  // least r + N/r >= N/T, so T^2 >= N / (cut * bits).
+  return std::sqrt(static_cast<double>(universe) /
+                   (static_cast<double>(cut_edges) * word_bits));
+}
+
+}  // namespace evencycle::lowerbound

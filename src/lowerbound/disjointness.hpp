@@ -1,0 +1,37 @@
+// Two-party Set-Disjointness framework (paper Section 3.3).
+//
+// The paper's quantum lower bounds reduce C_{2k}-freeness to
+// Set-Disjointness over a small cut and invoke the bounded-round quantum
+// bound of Braverman et al.: any r-round protocol for Disjointness on [N]
+// communicates Omega(r + N/r) qubits. Combined with a gadget whose cut
+// carries at most `cut * log n` bits per round, a T-round CONGEST algorithm
+// yields T * cut * log n >= c (r + N/r) with r <= T, hence
+// T >= sqrt(N / (cut * log n)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace evencycle::lowerbound {
+
+struct DisjointnessInstance {
+  std::vector<bool> x;  ///< Alice's set
+  std::vector<bool> y;  ///< Bob's set
+  bool intersecting = false;
+
+  static DisjointnessInstance random(std::uint64_t universe, double density,
+                                     bool force_intersection, Rng& rng);
+};
+
+/// Braverman et al.: qubits >= c * (r + N/r); we use c = 1 for the shape.
+double bounded_round_disjointness_qubits(std::uint64_t universe, std::uint64_t rounds);
+
+/// Implied round lower bound for a CONGEST protocol whose cut carries
+/// `cut_edges * word_bits` bits per round: the largest T such that
+/// T * cut * bits < min_r<=T (r + N/r), i.e. T ~ sqrt(N / (cut * bits)).
+double implied_round_lower_bound(std::uint64_t universe, std::uint64_t cut_edges,
+                                 double word_bits);
+
+}  // namespace evencycle::lowerbound

@@ -1,0 +1,163 @@
+#include "lowerbound/gadgets.hpp"
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::lowerbound {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+namespace {
+
+/// Records cut edges after the build (edge ids are only known then).
+void collect_cut_edges(Gadget& gadget, const std::vector<std::pair<VertexId, VertexId>>& cut) {
+  gadget.cut_edges.clear();
+  for (const auto& [u, v] : cut) {
+    const auto e = gadget.graph.edge_id(u, v);
+    EC_SIM_CHECK(e != graph::kInvalidEdge, "cut edge missing from built gadget");
+    gadget.cut_edges.push_back(e);
+  }
+}
+
+}  // namespace
+
+std::uint64_t c4_gadget_universe(std::uint32_t q) {
+  const std::uint64_t c = static_cast<std::uint64_t>(q) * q + q + 1;
+  return (q + 1) * c;
+}
+
+Gadget c4_gadget(std::uint32_t q, const DisjointnessInstance& instance) {
+  const Graph base = graph::projective_plane_incidence(q);
+  const std::uint64_t universe = base.edge_count();
+  EC_REQUIRE(instance.x.size() == universe && instance.y.size() == universe,
+             "instance universe must match the incidence count");
+
+  const VertexId half = base.vertex_count();  // points [0,c), lines [c,2c)
+  Gadget gadget;
+  gadget.universe = universe;
+  gadget.target_length = 4;
+
+  GraphBuilder builder(2 * half);  // Alice copy [0, half), Bob copy [half, 2*half)
+  std::vector<std::pair<VertexId, VertexId>> cut;
+  // Private incidence edges: Alice keeps e_i iff x_i, Bob iff y_i.
+  for (graph::EdgeId e = 0; e < base.edge_count(); ++e) {
+    const auto [u, v] = base.edge(e);
+    if (instance.x[e]) builder.add_edge(u, v);
+    if (instance.y[e]) builder.add_edge(half + u, half + v);
+  }
+  // Vertex matchings between the copies.
+  for (VertexId v = 0; v < half; ++v) {
+    builder.add_edge(v, half + v);
+    cut.emplace_back(v, half + v);
+  }
+  gadget.graph = std::move(builder).build();
+  gadget.alice_side.assign(2 * half, false);
+  for (VertexId v = 0; v < half; ++v) gadget.alice_side[v] = true;
+  collect_cut_edges(gadget, cut);
+  return gadget;
+}
+
+Gadget even_cycle_gadget(std::uint32_t k, std::uint32_t m, const DisjointnessInstance& instance) {
+  EC_REQUIRE(k >= 3, "the path gadget needs k >= 3 (use c4_gadget for k = 2)");
+  EC_REQUIRE(m >= 1, "m must be positive");
+  EC_REQUIRE(instance.x.size() == static_cast<std::uint64_t>(m) * m, "universe must be m*m");
+
+  Gadget gadget;
+  gadget.universe = static_cast<std::uint64_t>(m) * m;
+  gadget.target_length = 2 * k;
+
+  // Layout: Alice terminals xa[0..m), xb[0..m); Bob terminals ya, yb;
+  // private internal path vertices appended dynamically.
+  const VertexId xa0 = 0, xb0 = m, ya0 = 2 * m, yb0 = 3 * m;
+  GraphBuilder builder(4 * m);
+  std::vector<std::pair<VertexId, VertexId>> cut;
+  for (std::uint32_t a = 0; a < m; ++a) cut.emplace_back(xa0 + a, ya0 + a);
+  for (std::uint32_t b = 0; b < m; ++b) cut.emplace_back(xb0 + b, yb0 + b);
+
+  auto add_path = [&](VertexId from, VertexId to) {
+    // Length k-1: k-2 fresh internal vertices.
+    VertexId prev = from;
+    for (std::uint32_t i = 0; i + 2 < k; ++i) {
+      const VertexId mid = builder.add_vertex();
+      builder.add_edge(prev, mid);
+      prev = mid;
+    }
+    builder.add_edge(prev, to);
+  };
+
+  const VertexId alice_internal_begin = 4 * m;
+  for (std::uint32_t a = 0; a < m; ++a)
+    for (std::uint32_t b = 0; b < m; ++b)
+      if (instance.x[static_cast<std::uint64_t>(a) * m + b]) add_path(xa0 + a, xb0 + b);
+  const VertexId alice_internal_end = builder.vertex_count();
+  for (std::uint32_t a = 0; a < m; ++a)
+    for (std::uint32_t b = 0; b < m; ++b)
+      if (instance.y[static_cast<std::uint64_t>(a) * m + b]) add_path(ya0 + a, yb0 + b);
+  for (const auto& [u, v] : cut) builder.add_edge(u, v);
+
+  const VertexId total = builder.vertex_count();
+  gadget.graph = std::move(builder).build();
+  gadget.alice_side.assign(total, false);
+  for (VertexId v = 0; v < 2 * m; ++v) gadget.alice_side[v] = true;  // xa, xb
+  for (VertexId v = alice_internal_begin; v < alice_internal_end; ++v) gadget.alice_side[v] = true;
+  collect_cut_edges(gadget, cut);
+  return gadget;
+}
+
+Gadget odd_cycle_gadget(std::uint32_t k, std::uint32_t m, const DisjointnessInstance& instance) {
+  EC_REQUIRE(k >= 2, "the odd gadget needs k >= 2 (C5 and longer)");
+  EC_REQUIRE(m >= 1, "m must be positive");
+  EC_REQUIRE(instance.x.size() == static_cast<std::uint64_t>(m) * m, "universe must be m*m");
+
+  Gadget gadget;
+  gadget.universe = static_cast<std::uint64_t>(m) * m;
+  gadget.target_length = 2 * k + 1;
+
+  // Layout: Alice a[0..m), a2[0..m); Bob b[0..m), b2[0..m); fixed connector
+  // paths a2[q] ~> b2[q] of length 2k-2 crossing the cut at their middle.
+  const VertexId a0 = 0, a20 = m, b0 = 2 * m, b20 = 3 * m;
+  GraphBuilder builder(4 * m);
+  std::vector<std::pair<VertexId, VertexId>> cut;
+  for (std::uint32_t p = 0; p < m; ++p) cut.emplace_back(a0 + p, b0 + p);
+
+  // Fixed connectors: 2k-3 internals; the first ceil half lives on Alice's
+  // side, the rest on Bob's, with exactly one cut edge per connector.
+  const std::uint32_t internals = 2 * k - 3;
+  const std::uint32_t alice_internals = internals / 2 + (internals % 2);
+  std::vector<VertexId> alice_side_internals;
+  for (std::uint32_t q = 0; q < m; ++q) {
+    VertexId prev = a20 + q;
+    for (std::uint32_t i = 0; i < internals; ++i) {
+      const VertexId mid = builder.add_vertex();
+      if (i < alice_internals) alice_side_internals.push_back(mid);
+      builder.add_edge(prev, mid);
+      // The Alice->Bob transition edge crosses the cut.
+      if (i == alice_internals) cut.emplace_back(prev, mid);
+      prev = mid;
+    }
+    builder.add_edge(prev, b20 + q);
+    // All internals on Alice's side: the closing edge crosses the cut.
+    if (alice_internals == internals) cut.emplace_back(prev, b20 + q);
+  }
+
+  // Private edges: Alice (a[p], a2[q]) iff x_{pq}; Bob (b[p], b2[q]) iff y.
+  for (std::uint32_t p = 0; p < m; ++p)
+    for (std::uint32_t q = 0; q < m; ++q) {
+      const auto i = static_cast<std::uint64_t>(p) * m + q;
+      if (instance.x[i]) builder.add_edge(a0 + p, a20 + q);
+      if (instance.y[i]) builder.add_edge(b0 + p, b20 + q);
+    }
+  for (const auto& [u, v] : cut) builder.add_edge(u, v);
+
+  const VertexId total = builder.vertex_count();
+  gadget.graph = std::move(builder).build();
+  gadget.alice_side.assign(total, false);
+  for (VertexId v = 0; v < 2 * m; ++v) gadget.alice_side[v] = true;  // a, a2
+  for (VertexId v : alice_side_internals) gadget.alice_side[v] = true;
+  collect_cut_edges(gadget, cut);
+  return gadget;
+}
+
+}  // namespace evencycle::lowerbound

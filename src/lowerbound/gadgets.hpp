@@ -1,0 +1,45 @@
+// Lower-bound gadget graphs (paper Section 3.3).
+//
+// Each gadget compiles a Set-Disjointness instance (x, y) into a two-sided
+// graph such that a cycle of `target_length` exists iff x and y intersect,
+// while the Alice/Bob cut stays small:
+//   * C4 gadget [15]: two copies of the projective-plane incidence graph
+//     (girth 6, N = (q+1)(q^2+q+1) = Theta(n^{3/2}) incidences) joined by
+//     vertex matchings; cut Theta(n).
+//   * C_{2k} gadget (k >= 3, after [30]): universe [m] x [m], length-(k-1)
+//     private paths between cut terminals; cut Theta(m) = Theta(sqrt(N)),
+//     N = Theta(n).
+//   * C_{2k+1} gadget (k >= 2, after [15]): private x/y edges plus fixed
+//     length-(2k-2) connector paths; N = m^2 = Theta(n^2), cut Theta(m).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lowerbound/disjointness.hpp"
+
+namespace evencycle::lowerbound {
+
+struct Gadget {
+  graph::Graph graph;
+  std::vector<bool> alice_side;          ///< per vertex
+  std::vector<graph::EdgeId> cut_edges;  ///< edges between the sides
+  std::uint64_t universe = 0;            ///< N of the disjointness instance
+  std::uint32_t target_length = 0;       ///< cycle length encoding intersection
+};
+
+/// Universe size of the C4 gadget for parameter q (number of incidences).
+std::uint64_t c4_gadget_universe(std::uint32_t q);
+
+/// C4 gadget over PG(2,q), q prime; instance universe must equal
+/// c4_gadget_universe(q).
+Gadget c4_gadget(std::uint32_t q, const DisjointnessInstance& instance);
+
+/// C_{2k} gadget, k >= 3; instance universe must equal m*m.
+Gadget even_cycle_gadget(std::uint32_t k, std::uint32_t m, const DisjointnessInstance& instance);
+
+/// C_{2k+1} gadget, k >= 2; instance universe must equal m*m.
+Gadget odd_cycle_gadget(std::uint32_t k, std::uint32_t m, const DisjointnessInstance& instance);
+
+}  // namespace evencycle::lowerbound

@@ -1,0 +1,40 @@
+#include "quantum/amplification.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace evencycle::quantum {
+
+AmplifiedReport amplify_monte_carlo(const MonteCarloAlgorithm& algorithm,
+                                    const AmplifyOptions& options, Rng& rng) {
+  EC_REQUIRE(static_cast<bool>(algorithm.run), "base algorithm required");
+  EC_REQUIRE(algorithm.success_floor > 0.0 && algorithm.success_floor <= 1.0,
+             "success floor must be in (0,1]");
+
+  // Recast as Lemma 8: X = {accept, reject}, f(reject) = 1; Setup = run A
+  // and convergecast the outcome to the leader (T + O(D) rounds);
+  // Checking is free.
+  DistributedGroverOptions grover;
+  grover.eps = algorithm.success_floor;
+  grover.delta = options.delta;
+  grover.t_setup = algorithm.round_complexity;
+  grover.t_check = 0;
+  grover.diameter = algorithm.diameter;
+  grover.cost = options.cost;
+  grover.max_setup_executions = options.max_base_runs;
+
+  const auto result = distributed_grover_search(
+      [&](Rng& r) { return algorithm.run(r); }, grover, rng);
+
+  AmplifiedReport report;
+  report.rejected = result.found;
+  report.rounds_charged = result.rounds_charged;
+  report.base_runs_executed = result.setup_executions;
+  const double classical_reps = std::ceil(std::log(1.0 / options.delta) / algorithm.success_floor);
+  report.classical_rounds_equivalent = static_cast<std::uint64_t>(
+      classical_reps * static_cast<double>(algorithm.round_complexity + algorithm.diameter));
+  return report;
+}
+
+}  // namespace evencycle::quantum

@@ -1,0 +1,52 @@
+// Theorem 3: distributed quantum Monte-Carlo amplification.
+//
+// Given a distributed Monte-Carlo algorithm A with one-sided *success*
+// probability eps (if the predicate fails, A rejects somewhere with
+// probability >= eps; if it holds, A always accepts) and round complexity
+// T(n, D), the theorem produces a quantum algorithm with one-sided *error*
+// delta and round complexity polylog(1/delta) * (D + T) / sqrt(eps).
+//
+// The Setup of Lemma 8 is: elect a leader, run A, convergecast the OR of
+// reject flags to the leader — which is why the diameter D enters the cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "quantum/grover.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::quantum {
+
+/// One execution of the base Monte-Carlo algorithm; returns true if some
+/// node rejected in that run.
+using MonteCarloRun = std::function<bool(Rng&)>;
+
+struct MonteCarloAlgorithm {
+  MonteCarloRun run;
+  double success_floor = 0.01;       ///< eps: min rejection prob on bad inputs
+  std::uint64_t round_complexity = 1; ///< T(n, D) of one run
+  std::uint64_t diameter = 1;         ///< D of the network (or cluster)
+};
+
+struct AmplifiedReport {
+  bool rejected = false;
+  std::uint64_t rounds_charged = 0;
+  std::uint64_t base_runs_executed = 0;  ///< simulator-side classical work
+  /// Classical repetition cost for the same boost: ceil(ln(1/delta)/eps) *
+  /// (T + D) rounds — printed by benches to show the quadratic gap.
+  std::uint64_t classical_rounds_equivalent = 0;
+};
+
+struct AmplifyOptions {
+  double delta = 0.01;
+  GroverCostModel cost;
+  std::uint64_t max_base_runs = 0;  ///< 0 = faithful budget ceil(ln(1/delta)/eps)
+};
+
+/// Theorem 3. One-sided: if the base algorithm never rejects (predicate
+/// holds) the result is never `rejected`.
+AmplifiedReport amplify_monte_carlo(const MonteCarloAlgorithm& algorithm,
+                                    const AmplifyOptions& options, Rng& rng);
+
+}  // namespace evencycle::quantum

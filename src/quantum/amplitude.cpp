@@ -1,0 +1,70 @@
+#include "quantum/amplitude.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace evencycle::quantum {
+
+double grover_angle(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return std::asin(std::sqrt(p));
+}
+
+double grover_success_probability(double p, std::uint64_t iterations) {
+  p = std::clamp(p, 0.0, 1.0);
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  const double theta = grover_angle(p);
+  const double s = std::sin((2.0 * static_cast<double>(iterations) + 1.0) * theta);
+  return s * s;
+}
+
+std::uint64_t grover_optimal_iterations(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  EC_REQUIRE(p > 0.0, "optimal iteration count undefined for p = 0");
+  const double theta = grover_angle(p);
+  const double t = std::floor(3.14159265358979323846 / (4.0 * theta));
+  return static_cast<std::uint64_t>(std::max(0.0, t));
+}
+
+std::uint64_t bbht_max_iterations(double p_floor) {
+  EC_REQUIRE(p_floor > 0.0 && p_floor <= 1.0, "p_floor must be in (0,1]");
+  // Stages m = 1, 6/5, (6/5)^2, ... capped at 1/sqrt(p_floor); total
+  // iterations bounded by the geometric sum ~ 6 / sqrt(p_floor).
+  const double cap = 1.0 / std::sqrt(p_floor);
+  double m = 1.0;
+  double total = 0.0;
+  while (m < cap) {
+    total += m;
+    m *= 1.2;
+  }
+  total += cap;
+  return static_cast<std::uint64_t>(std::ceil(total));
+}
+
+BbhtOutcome run_bbht(double true_p, double p_floor, Rng& rng) {
+  EC_REQUIRE(p_floor > 0.0 && p_floor <= 1.0, "p_floor must be in (0,1]");
+  true_p = std::clamp(true_p, 0.0, 1.0);
+  BbhtOutcome outcome;
+  const double cap = 1.0 / std::sqrt(p_floor);
+  double m = 1.0;
+  // Boyer-Brassard-Høyer-Tapp: at each stage draw t uniformly from
+  // [0, m), apply t Grover iterations and measure; grow m by 6/5.
+  while (true) {
+    const auto t = static_cast<std::uint64_t>(rng.next_below(
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(m)))));
+    outcome.grover_iterations += t + 1;
+    ++outcome.stages;
+    if (true_p > 0.0 && rng.bernoulli(grover_success_probability(true_p, t))) {
+      outcome.found = true;
+      return outcome;
+    }
+    if (m >= cap) break;
+    m = std::min(cap, m * 1.2);
+  }
+  return outcome;
+}
+
+}  // namespace evencycle::quantum

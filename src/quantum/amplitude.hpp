@@ -1,0 +1,42 @@
+// Amplitude-amplification mathematics (Grover / Brassard-Høyer-Tapp).
+//
+// These are the exact closed forms the quantum cost model is built on: a
+// Grover iterate rotates the state by 2*theta with theta = asin(sqrt(p)),
+// so after t iterations a measurement returns a marked element with
+// probability sin^2((2t+1) theta). The BBHT exponential schedule handles
+// unknown p with expected O(1/sqrt(p)) iterations.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace evencycle::quantum {
+
+/// Probability of measuring a marked element after t Grover iterations,
+/// when a uniform sample is marked with probability p.
+double grover_success_probability(double p, std::uint64_t iterations);
+
+/// Iteration count maximizing the success probability: floor(pi/(4 theta)).
+std::uint64_t grover_optimal_iterations(double p);
+
+/// Rotation angle theta = asin(sqrt(clamp(p))).
+double grover_angle(double p);
+
+/// One BBHT run for unknown success probability.
+struct BbhtOutcome {
+  bool found = false;
+  std::uint64_t grover_iterations = 0;  ///< total oracle applications
+  std::uint64_t stages = 0;
+};
+
+/// Simulates the BBHT schedule against a true marked fraction `true_p`
+/// (known to the simulator, not to the algorithm). `p_floor` is the
+/// promised lower bound used to cap the schedule (1/sqrt(p_floor) max
+/// stage); true_p == 0 runs the full schedule and reports found = false.
+BbhtOutcome run_bbht(double true_p, double p_floor, Rng& rng);
+
+/// Worst-case oracle applications of the capped BBHT schedule.
+std::uint64_t bbht_max_iterations(double p_floor);
+
+}  // namespace evencycle::quantum

@@ -1,0 +1,213 @@
+#include "quantum/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "graph/analysis.hpp"
+
+#include "support/check.hpp"
+
+namespace evencycle::quantum {
+
+Decomposition decompose(const graph::Graph& g, const DecompositionOptions& options, Rng& rng) {
+  EC_REQUIRE(options.separation >= 1, "separation must be positive");
+  const VertexId n = g.vertex_count();
+  Decomposition d;
+  d.cluster_of.assign(n, ~std::uint32_t{0});
+  if (n == 0) return d;
+
+  const double log_n = std::max(1.0, std::log(static_cast<double>(n)));
+  const double beta = options.beta > 0.0
+                          ? options.beta
+                          : 1.0 / (2.0 * static_cast<double>(options.separation) * log_n);
+
+  // Exponential shifts: vertex u starts a wave at time -delta_u; every
+  // vertex joins the first wave reaching it (Miller-Peng-Xu). Implemented
+  // as a Dijkstra over start offsets.
+  std::vector<double> shift(n);
+  double max_shift = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    shift[v] = rng.exponential(beta);
+    max_shift = std::max(max_shift, shift[v]);
+  }
+
+  struct Item {
+    double time;
+    VertexId vertex;
+    VertexId center;
+    bool operator>(const Item& other) const { return time > other.time; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<VertexId> owner(n, graph::kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) heap.push({max_shift - shift[v], v, v});
+  while (!heap.empty()) {
+    const Item item = heap.top();
+    heap.pop();
+    if (item.time >= best[item.vertex]) continue;
+    best[item.vertex] = item.time;
+    owner[item.vertex] = item.center;
+    for (VertexId nb : g.neighbors(item.vertex)) {
+      const double t = item.time + 1.0;
+      if (t < best[nb]) heap.push({t, nb, item.center});
+    }
+  }
+
+  // Compact cluster ids.
+  std::vector<std::uint32_t> center_to_cluster(n, ~std::uint32_t{0});
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId c = owner[v];
+    if (center_to_cluster[c] == ~std::uint32_t{0}) center_to_cluster[c] = d.cluster_count++;
+    d.cluster_of[v] = center_to_cluster[c];
+  }
+
+  // Cluster radii: BFS distance from the center within the whole graph
+  // upper-bounds the weak radius Lemma 10 speaks about.
+  {
+    std::vector<std::uint32_t> radius(d.cluster_count, 0);
+    std::vector<std::uint32_t> dist(n, graph::kUnreachable);
+    std::deque<VertexId> queue;
+    for (VertexId c = 0; c < n; ++c) {
+      if (center_to_cluster[c] == ~std::uint32_t{0}) continue;
+      // BFS restricted to the cluster (clusters from exponential shifts are
+      // connected: prefixes of shortest-path trees).
+      std::vector<VertexId> touched;
+      dist[c] = 0;
+      touched.push_back(c);
+      queue.push_back(c);
+      const auto cluster = center_to_cluster[c];
+      while (!queue.empty()) {
+        const VertexId v = queue.front();
+        queue.pop_front();
+        radius[cluster] = std::max(radius[cluster], dist[v]);
+        for (VertexId nb : g.neighbors(v)) {
+          if (d.cluster_of[nb] == cluster && dist[nb] == graph::kUnreachable) {
+            dist[nb] = dist[v] + 1;
+            touched.push_back(nb);
+            queue.push_back(nb);
+          }
+        }
+      }
+      for (VertexId v : touched) dist[v] = graph::kUnreachable;
+    }
+    for (auto r : radius) d.max_cluster_radius = std::max(d.max_cluster_radius, r);
+  }
+
+  // Conflict graph: clusters within distance < separation must get
+  // different colors. Detected by propagating cluster labels for
+  // ceil((separation-1)/2) hops: any pair at distance <= separation-1 meets
+  // at a midpoint vertex.
+  const std::uint32_t hops = (options.separation) / 2 + (options.separation % 2);
+  std::vector<std::set<std::uint32_t>> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[v].insert(d.cluster_of[v]);
+  for (std::uint32_t h = 0; h < hops; ++h) {
+    std::vector<std::set<std::uint32_t>> next = labels;
+    for (VertexId v = 0; v < n; ++v)
+      for (VertexId nb : g.neighbors(v)) next[v].insert(labels[nb].begin(), labels[nb].end());
+    labels = std::move(next);
+  }
+  std::vector<std::set<std::uint32_t>> conflicts(d.cluster_count);
+  for (VertexId v = 0; v < n; ++v) {
+    for (auto a : labels[v])
+      for (auto b : labels[v])
+        if (a != b) conflicts[a].insert(b);
+  }
+
+  // Greedy coloring in decreasing-degree order.
+  d.cluster_color.assign(d.cluster_count, ~std::uint32_t{0});
+  std::vector<std::uint32_t> order(d.cluster_count);
+  for (std::uint32_t c = 0; c < d.cluster_count; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return conflicts[a].size() > conflicts[b].size();
+  });
+  for (auto c : order) {
+    std::set<std::uint32_t> used;
+    for (auto other : conflicts[c])
+      if (d.cluster_color[other] != ~std::uint32_t{0}) used.insert(d.cluster_color[other]);
+    std::uint32_t color = 0;
+    while (used.count(color) != 0) ++color;
+    d.cluster_color[c] = color;
+    d.color_count = std::max(d.color_count, color + 1);
+  }
+
+  // Lemma 10 round charge: separation * polylog(n).
+  d.rounds_charged = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(options.separation) * log_n * log_n));
+  return d;
+}
+
+VerifyResult verify_decomposition(const graph::Graph& g, const Decomposition& d,
+                                  std::uint32_t separation, std::uint32_t radius_bound) {
+  VerifyResult result;
+  const VertexId n = g.vertex_count();
+  for (VertexId v = 0; v < n; ++v) {
+    if (d.cluster_of[v] == ~std::uint32_t{0}) {
+      result.every_vertex_clustered = false;
+      break;
+    }
+  }
+  result.radius_ok = d.max_cluster_radius <= radius_bound;
+
+  // Separation: BFS from every vertex to depth separation-1; any reached
+  // vertex in a different same-color cluster violates the property.
+  std::vector<std::uint32_t> dist(n, graph::kUnreachable);
+  std::deque<VertexId> queue;
+  for (VertexId s = 0; s < n && result.separation_ok; ++s) {
+    std::vector<VertexId> touched;
+    dist[s] = 0;
+    touched.push_back(s);
+    queue.assign(1, s);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      const auto cs = d.cluster_of[s];
+      const auto cv = d.cluster_of[v];
+      if (cv != cs && d.cluster_color[cv] == d.cluster_color[cs]) {
+        result.separation_ok = false;
+        break;
+      }
+      if (dist[v] + 1 >= separation) continue;
+      for (VertexId nb : g.neighbors(v)) {
+        if (dist[nb] == graph::kUnreachable) {
+          dist[nb] = dist[v] + 1;
+          touched.push_back(nb);
+          queue.push_back(nb);
+        }
+      }
+    }
+    for (VertexId v : touched) dist[v] = graph::kUnreachable;
+    queue.clear();
+  }
+  return result;
+}
+
+std::vector<bool> color_class_with_halo(const graph::Graph& g, const Decomposition& d,
+                                        std::uint32_t color, std::uint32_t halo) {
+  const VertexId n = g.vertex_count();
+  std::vector<bool> in_class(n, false);
+  std::deque<std::pair<VertexId, std::uint32_t>> queue;
+  for (VertexId v = 0; v < n; ++v) {
+    if (d.cluster_of[v] != ~std::uint32_t{0} && d.cluster_color[d.cluster_of[v]] == color) {
+      in_class[v] = true;
+      queue.emplace_back(v, 0);
+    }
+  }
+  while (!queue.empty()) {
+    const auto [v, depth] = queue.front();
+    queue.pop_front();
+    if (depth == halo) continue;
+    for (VertexId nb : g.neighbors(v)) {
+      if (!in_class[nb]) {
+        in_class[nb] = true;
+        queue.emplace_back(nb, depth + 1);
+      }
+    }
+  }
+  return in_class;
+}
+
+}  // namespace evencycle::quantum

@@ -1,0 +1,53 @@
+#include "quantum/grover.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace evencycle::quantum {
+
+std::uint64_t GroverCostModel::stages(double delta) const {
+  EC_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(std::log2(1.0 / delta))));
+}
+
+std::uint64_t GroverCostModel::rounds(std::uint64_t t_setup, std::uint64_t t_check,
+                                      std::uint64_t diameter, double eps, double delta) const {
+  EC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0,1]");
+  const double per_run = static_cast<double>(t_setup) + static_cast<double>(t_check) +
+                         diameter_term * static_cast<double>(diameter) + overhead;
+  const double iterations = std::ceil(std::sqrt(1.0 / eps));
+  return stages(delta) * static_cast<std::uint64_t>(std::ceil(iterations * per_run));
+}
+
+DistributedGroverResult distributed_grover_search(const SetupProcedure& setup,
+                                                  const DistributedGroverOptions& options,
+                                                  Rng& rng) {
+  EC_REQUIRE(options.eps > 0.0 && options.eps <= 1.0, "eps must be in (0,1]");
+  DistributedGroverResult result;
+  result.rounds_charged = options.cost.rounds(options.t_setup, options.t_check,
+                                              options.diameter, options.eps, options.delta);
+
+  // Emulate the amplified measurement: amplitude amplification returns a
+  // marked sample with probability >= 1 - delta whenever the marked mass is
+  // >= eps. Classically that is what rejection-sampling Setup
+  // ceil(ln(1/delta)/eps) times achieves; the round charge above is the
+  // quantum one, the executions below are simulator CPU work only.
+  std::uint64_t budget = options.max_setup_executions;
+  if (budget == 0) {
+    budget = static_cast<std::uint64_t>(
+        std::ceil(std::log(1.0 / options.delta) / options.eps));
+  }
+  for (std::uint64_t i = 0; i < budget; ++i) {
+    ++result.setup_executions;
+    if (setup(rng)) {
+      result.found = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace evencycle::quantum

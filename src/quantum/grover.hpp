@@ -1,0 +1,66 @@
+// Distributed Grover search (Lemma 8, after Le Gall-Magniez [26]) and its
+// round-cost model.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §3): we do not simulate entangled state
+// across the network. The framework executes the classical Setup/Checking
+// procedures and models the *measurement statistics* with the exact Grover
+// success law, while charging rounds with the paper's formula
+//     O( log(1/delta) * (T_setup + T_check + D) / sqrt(eps) ).
+// Round complexity and the one-sided-error behaviour — the only observables
+// the paper analyses — are preserved exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "support/rng.hpp"
+
+namespace evencycle::quantum {
+
+/// Cost-model constants, kept explicit so benches can print the formula
+/// they charge.
+struct GroverCostModel {
+  /// Rounds charged per amplification pass: stages(delta) * sqrt(1/eps) *
+  /// (t_setup + t_check + diameter_term * D + overhead).
+  double diameter_term = 2.0;  ///< leader election + convergecast per run
+  double overhead = 2.0;
+
+  std::uint64_t stages(double delta) const;  ///< ceil(log2(1/delta)), >= 1
+  std::uint64_t rounds(std::uint64_t t_setup, std::uint64_t t_check, std::uint64_t diameter,
+                       double eps, double delta) const;
+};
+
+/// A Setup procedure: one classical execution returning whether the sampled
+/// element is marked (f(x) = 1). The simulator calls it to estimate the
+/// measurement statistics; each call stands for one (quantum) Setup run.
+using SetupProcedure = std::function<bool(Rng&)>;
+
+struct DistributedGroverResult {
+  bool found = false;                   ///< leader obtained a marked sample
+  std::uint64_t rounds_charged = 0;     ///< quantum cost model
+  std::uint64_t setup_executions = 0;   ///< simulator-side classical work
+};
+
+struct DistributedGroverOptions {
+  double eps = 0.01;    ///< promised marked probability when any exist
+  double delta = 0.01;  ///< target failure probability
+  std::uint64_t t_setup = 1;
+  std::uint64_t t_check = 0;
+  std::uint64_t diameter = 1;
+  GroverCostModel cost;
+  /// Cap on classical Setup executions used to *emulate* the amplified
+  /// measurement (default 0 = ceil(ln(1/delta)/eps), the fully faithful
+  /// budget). With a lower cap the emulation can only under-report
+  /// detections — never fabricate one — so one-sidedness is preserved.
+  std::uint64_t max_setup_executions = 0;
+};
+
+/// Lemma 8: the leader samples from Setup's support, amplified toward
+/// marked elements. If no marked element exists, `found` is false with
+/// probability 1 (one-sided); if the marked probability is >= eps, `found`
+/// is true with probability >= 1 - delta (up to the emulation cap).
+DistributedGroverResult distributed_grover_search(const SetupProcedure& setup,
+                                                  const DistributedGroverOptions& options,
+                                                  Rng& rng);
+
+}  // namespace evencycle::quantum

@@ -1,0 +1,172 @@
+#include "quantum/quantum_cycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "core/bounded_cycle.hpp"
+#include "core/even_cycle.hpp"
+#include "core/odd_cycle.hpp"
+#include "graph/analysis.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::quantum {
+
+namespace {
+
+/// Per-component base algorithm: one classical run (true = some node
+/// rejected) plus its cost/success parameters for Theorem 3.
+struct ComponentBase {
+  MonteCarloRun run;
+  double success_floor = 0.01;
+  std::uint64_t round_complexity = 1;
+};
+
+using BaseFactory = std::function<ComponentBase(const graph::Graph& component)>;
+
+QuantumReport run_pipeline(const graph::Graph& g, std::uint32_t cycle_length,
+                           const BaseFactory& make_base, const QuantumPipelineOptions& options,
+                           Rng& rng) {
+  QuantumReport report;
+
+  // Lemma 9 with parameter 2L+1: same-color clusters at distance >= 2L+1,
+  // halo L, so any L-cycle lies inside one component of one color class.
+  DecompositionOptions dopts;
+  dopts.separation = 2 * cycle_length + 1;
+  const Decomposition decomposition = decompose(g, dopts, rng);
+  report.colors = decomposition.color_count;
+  report.rounds_decomposition = decomposition.rounds_charged;
+  report.rounds_charged = decomposition.rounds_charged;
+
+  for (std::uint32_t color = 0; color < decomposition.color_count; ++color) {
+    const auto mask = color_class_with_halo(g, decomposition, color, cycle_length);
+    const auto induced = g.induced_subgraph(mask);
+    if (induced.graph.vertex_count() < cycle_length) continue;
+    const auto components = graph::connected_components(induced.graph);
+
+    // Components of one color run in parallel: rounds = max over them.
+    std::uint64_t color_rounds = 0;
+    std::uint64_t color_classical = 0;
+    for (std::uint32_t comp = 0; comp < components.count; ++comp) {
+      std::vector<bool> in_comp(induced.graph.vertex_count(), false);
+      graph::VertexId size = 0;
+      for (graph::VertexId v = 0; v < induced.graph.vertex_count(); ++v) {
+        if (components.component[v] == comp) {
+          in_comp[v] = true;
+          ++size;
+        }
+      }
+      if (size < cycle_length) continue;
+      const auto sub = induced.graph.induced_subgraph(in_comp);
+      report.max_component_size = std::max<std::uint64_t>(report.max_component_size, size);
+      ++report.components_processed;
+
+      const ComponentBase base = make_base(sub.graph);
+      MonteCarloAlgorithm algorithm;
+      algorithm.run = base.run;
+      algorithm.success_floor = base.success_floor;
+      algorithm.round_complexity = base.round_complexity;
+      algorithm.diameter = graph::diameter_double_sweep(sub.graph);
+
+      AmplifyOptions amplify_options;
+      amplify_options.delta = options.delta;
+      amplify_options.cost = options.cost;
+      amplify_options.max_base_runs = options.max_base_runs;
+
+      const AmplifiedReport amplified = amplify_monte_carlo(algorithm, amplify_options, rng);
+      report.base_runs_total += amplified.base_runs_executed;
+      color_rounds = std::max(color_rounds, amplified.rounds_charged);
+      color_classical = std::max(color_classical, amplified.classical_rounds_equivalent);
+      if (amplified.rejected) report.cycle_detected = true;
+    }
+    report.rounds_charged += color_rounds;
+    report.classical_rounds_equivalent += color_classical;
+  }
+  return report;
+}
+
+/// Charged rounds of one low-congestion base run: K colorings, calls with
+/// constant threshold 4 (window length), per color-BFS 1 + (ceil(L/2)-1)*4.
+std::uint64_t low_congestion_base_rounds(std::uint32_t cycle_length, std::uint64_t repetitions,
+                                         std::uint64_t calls_per_iteration) {
+  const std::uint64_t per_call = 1 + (static_cast<std::uint64_t>((cycle_length + 1) / 2) - 1) * 4;
+  return repetitions * calls_per_iteration * per_call;
+}
+
+}  // namespace
+
+QuantumReport quantum_detect_even_cycle(const graph::Graph& g, std::uint32_t k,
+                                        const QuantumPipelineOptions& options, Rng& rng) {
+  EC_REQUIRE(k >= 2, "even pipeline needs k >= 2");
+  const BaseFactory factory = [&](const graph::Graph& component) {
+    core::Params params =
+        core::Params::practical(k, std::max<graph::VertexId>(component.vertex_count(), 4),
+                                options.tuning);
+    params.repetitions = options.base_repetitions;
+    ComponentBase base;
+    // Lemma 12: success probability 1/(3 tau) with k^{O(k)} rounds.
+    base.success_floor = 1.0 / (3.0 * static_cast<double>(std::max<std::uint64_t>(1, params.threshold)));
+    base.round_complexity = low_congestion_base_rounds(2 * k, options.base_repetitions, 3);
+    base.run = [&component, params](Rng& r) {
+      core::DetectOptions detect;
+      detect.low_congestion = true;
+      detect.stop_on_reject = true;
+      return core::detect_even_cycle(component, params, r, detect).cycle_detected;
+    };
+    return base;
+  };
+  return run_pipeline(g, 2 * k, factory, options, rng);
+}
+
+QuantumReport quantum_detect_odd_cycle(const graph::Graph& g, std::uint32_t k,
+                                       const QuantumPipelineOptions& options, Rng& rng) {
+  EC_REQUIRE(k >= 1, "odd pipeline needs k >= 1");
+  const std::uint32_t length = 2 * k + 1;
+  const BaseFactory factory = [&, k](const graph::Graph& component) {
+    ComponentBase base;
+    // Section 3.4: success probability Omega(1/n) on the component.
+    base.success_floor =
+        1.0 / (3.0 * static_cast<double>(std::max<graph::VertexId>(component.vertex_count(), 2)));
+    base.round_complexity = low_congestion_base_rounds(length, options.base_repetitions, 1);
+    const std::uint64_t reps = options.base_repetitions;
+    base.run = [&component, k, reps](Rng& r) {
+      core::OddCycleOptions odd;
+      odd.low_congestion = true;
+      odd.repetitions = reps;
+      odd.stop_on_reject = true;
+      return core::detect_odd_cycle(component, k, odd, r).cycle_detected;
+    };
+    return base;
+  };
+  return run_pipeline(g, length, factory, options, rng);
+}
+
+QuantumReport quantum_detect_bounded_cycle(const graph::Graph& g, std::uint32_t k,
+                                           const QuantumPipelineOptions& options, Rng& rng) {
+  EC_REQUIRE(k >= 2, "bounded pipeline needs k >= 2");
+  const BaseFactory factory = [&, k](const graph::Graph& component) {
+    core::Params params =
+        core::Params::practical(k, std::max<graph::VertexId>(component.vertex_count(), 4),
+                                options.tuning);
+    ComponentBase base;
+    base.success_floor =
+        1.0 / (3.0 * static_cast<double>(std::max<std::uint64_t>(1, params.threshold)));
+    // k-1 length pairs, two calls each.
+    base.round_complexity =
+        low_congestion_base_rounds(2 * k, options.base_repetitions, 2 * (k - 1));
+    const std::uint64_t reps = options.base_repetitions;
+    const double sel = options.tuning.selection_constant;
+    base.run = [&component, k, reps, sel](Rng& r) {
+      core::BoundedCycleOptions bounded;
+      bounded.low_congestion = true;
+      bounded.repetitions = reps;
+      bounded.selection_constant = sel;
+      bounded.stop_on_reject = true;
+      return core::detect_bounded_cycle(component, k, bounded, r).cycle_detected;
+    };
+    return base;
+  };
+  return run_pipeline(g, 2 * k, factory, options, rng);
+}
+
+}  // namespace evencycle::quantum

@@ -1,0 +1,57 @@
+// The paper's quantum cycle-detection pipelines:
+//   * C_{2k}-freeness in ~O(n^{1/2 - 1/2k}) rounds (Lemma 13 / Theorem 2):
+//     congestion-reduced Algorithm 1 (Lemma 12) -> Monte-Carlo
+//     amplification (Theorem 3) -> diameter reduction (Lemma 9).
+//   * C_{2k+1}-freeness in ~O(sqrt(n)) rounds (Section 3.4).
+//   * {C_l | l <= 2k}-freeness in ~O(n^{1/2 - 1/2k}) rounds (Section 3.5).
+//
+// The diameter reduction runs the amplified detector independently on each
+// connected component of every color class (clusters + halo), sequentially
+// over the O(log n) colors and in parallel within a color — rounds charged
+// accordingly.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+#include "quantum/amplification.hpp"
+#include "quantum/decomposition.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::quantum {
+
+struct QuantumPipelineOptions {
+  double delta = 0.05;                 ///< target one-sided error
+  core::PracticalTuning tuning;        ///< base-algorithm constants
+  /// Colorings per base run (theory: k^{O(k)}; practical default modest).
+  std::uint64_t base_repetitions = 32;
+  /// Emulation cap per component (0 = faithful ceil(ln(1/delta)/eps); see
+  /// quantum/grover.hpp — capping can only under-report detections).
+  std::uint64_t max_base_runs = 4000;
+  GroverCostModel cost;
+};
+
+struct QuantumReport {
+  bool cycle_detected = false;
+  std::uint64_t rounds_charged = 0;     ///< decomposition + per-color maxima
+  std::uint64_t rounds_decomposition = 0;
+  std::uint64_t classical_rounds_equivalent = 0;  ///< same boost by repetition
+  std::uint32_t colors = 0;
+  std::uint64_t components_processed = 0;
+  std::uint64_t base_runs_total = 0;    ///< simulator-side classical work
+  std::uint64_t max_component_size = 0;
+};
+
+/// Theorem 2 (even): quantum C_{2k}-freeness.
+QuantumReport quantum_detect_even_cycle(const graph::Graph& g, std::uint32_t k,
+                                        const QuantumPipelineOptions& options, Rng& rng);
+
+/// Theorem 2 (odd): quantum C_{2k+1}-freeness, k >= 1.
+QuantumReport quantum_detect_odd_cycle(const graph::Graph& g, std::uint32_t k,
+                                       const QuantumPipelineOptions& options, Rng& rng);
+
+/// Section 3.5: quantum {C_l | 3 <= l <= 2k}-freeness.
+QuantumReport quantum_detect_bounded_cycle(const graph::Graph& g, std::uint32_t k,
+                                           const QuantumPipelineOptions& options, Rng& rng);
+
+}  // namespace evencycle::quantum

@@ -1,0 +1,54 @@
+// Lightweight runtime checking for simulation invariants.
+//
+// The CONGEST engine uses these to turn protocol bugs (e.g. bandwidth
+// violations) into hard errors rather than silently wrong round counts.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace evencycle {
+
+/// Raised when a simulated protocol violates a model invariant
+/// (bandwidth overflow, message to a non-neighbor, ...).
+class SimulationError : public std::runtime_error {
+ public:
+  explicit SimulationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised on invalid arguments to library entry points.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "EC_SIM_CHECK") throw SimulationError(os.str());
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace evencycle
+
+/// Argument validation; throws evencycle::InvalidArgument.
+#define EC_REQUIRE(cond, msg)                                                     \
+  do {                                                                            \
+    if (!(cond))                                                                  \
+      ::evencycle::detail::throw_check_failure("EC_REQUIRE", #cond, __FILE__,     \
+                                               __LINE__, (msg));                  \
+  } while (false)
+
+/// Simulation-model invariant; throws evencycle::SimulationError.
+#define EC_SIM_CHECK(cond, msg)                                                   \
+  do {                                                                            \
+    if (!(cond))                                                                  \
+      ::evencycle::detail::throw_check_failure("EC_SIM_CHECK", #cond, __FILE__,   \
+                                               __LINE__, (msg));                  \
+  } while (false)

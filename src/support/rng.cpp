@@ -1,0 +1,81 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace evencycle {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire, "Fast random integer generation in an interval" (2019).
+  using u128 = unsigned __int128;
+  std::uint64_t x = (*this)();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double lambda) noexcept {
+  if (lambda <= 0.0) return 0.0;
+  double u = uniform01();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t universe,
+                                                           std::uint32_t count) {
+  EC_REQUIRE(count <= universe, "cannot sample more values than the universe holds");
+  // Floyd's algorithm: O(count) expected, no O(universe) allocation when
+  // count is small; fall back to partial shuffle when dense.
+  std::vector<std::uint32_t> result;
+  result.reserve(count);
+  if (count * 2 >= universe) {
+    std::vector<std::uint32_t> all(universe);
+    for (std::uint32_t i = 0; i < universe; ++i) all[i] = i;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto j = i + static_cast<std::uint32_t>(next_below(universe - i));
+      std::swap(all[i], all[j]);
+      result.push_back(all[i]);
+    }
+    return result;
+  }
+  // Floyd: iterate j = universe-count .. universe-1, insert random t in [0, j]
+  // or j itself if t already chosen. Use a sorted vector as the "set".
+  std::vector<std::uint32_t> chosen;
+  chosen.reserve(count);
+  for (std::uint32_t j = universe - count; j < universe; ++j) {
+    const auto t = static_cast<std::uint32_t>(next_below(j + 1));
+    bool already = false;
+    for (auto v : chosen) {
+      if (v == t) {
+        already = true;
+        break;
+      }
+    }
+    chosen.push_back(already ? j : t);
+  }
+  return chosen;
+}
+
+}  // namespace evencycle

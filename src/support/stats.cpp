@@ -1,0 +1,93 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evencycle {
+
+Summary summarize(const std::vector<double>& sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  double sum = 0.0;
+  s.min = sample.front();
+  s.max = sample.front();
+  for (double v : sample) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(sample.size());
+  double ss = 0.0;
+  for (double v : sample) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = sample.size() > 1 ? std::sqrt(ss / static_cast<double>(sample.size() - 1)) : 0.0;
+  s.median = quantile(sample, 0.5);
+  s.p90 = quantile(sample, 0.9);
+  return s;
+}
+
+double quantile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+PowerFit fit_power_law(const std::vector<double>& x, const std::vector<double>& y) {
+  PowerFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  std::vector<double> lx, ly;
+  lx.reserve(n);
+  ly.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  fit.points = lx.size();
+  if (fit.points < 2) return fit;
+  const auto m = static_cast<double>(fit.points);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < fit.points; ++i) {
+    sx += lx[i];
+    sy += ly[i];
+    sxx += lx[i] * lx[i];
+    sxy += lx[i] * ly[i];
+    syy += ly[i] * ly[i];
+  }
+  const double denom = m * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.exponent = (m * sxy - sx * sy) / denom;
+  const double intercept = (sy - fit.exponent * sx) / m;
+  fit.constant = std::exp(intercept);
+  const double sst = syy - sy * sy / m;
+  if (sst > 0.0) {
+    double sse = 0.0;
+    for (std::size_t i = 0; i < fit.points; ++i) {
+      const double pred = fit.exponent * lx[i] + intercept;
+      sse += (ly[i] - pred) * (ly[i] - pred);
+    }
+    fit.r_squared = 1.0 - sse / sst;
+  } else {
+    fit.r_squared = 1.0;
+  }
+  return fit;
+}
+
+double wilson_lower_bound(std::size_t successes, std::size_t trials, double z) {
+  if (trials == 0) return 0.0;
+  const auto n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = phat + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+  return std::max(0.0, (center - margin) / denom);
+}
+
+}  // namespace evencycle

@@ -1,0 +1,43 @@
+// Small statistics helpers used by tests and benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace evencycle {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+};
+
+/// Computes a Summary; an empty sample yields an all-zero Summary.
+Summary summarize(const std::vector<double>& sample);
+
+/// Quantile by linear interpolation on the sorted sample, q in [0,1].
+double quantile(std::vector<double> sample, double q);
+
+/// Least-squares fit of log(y) = slope*log(x) + intercept.
+///
+/// Used to recover empirical complexity exponents: if rounds ~ c*n^a then
+/// the fitted slope estimates a. Points with x<=0 or y<=0 are skipped.
+struct PowerFit {
+  double exponent = 0.0;   ///< fitted slope in log-log space
+  double constant = 0.0;   ///< exp(intercept)
+  double r_squared = 0.0;  ///< goodness of fit in log-log space
+  std::size_t points = 0;
+};
+
+PowerFit fit_power_law(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Wilson score interval lower bound for a binomial proportion, used to
+/// assert detection rates without flaky tests.
+double wilson_lower_bound(std::size_t successes, std::size_t trials, double z = 3.0);
+
+}  // namespace evencycle

@@ -1,0 +1,68 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace evencycle {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::integer(double value) {
+  std::ostringstream os;
+  os << static_cast<long long>(std::llround(value));
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < header_.size(); ++c) os << std::string(widths[c] + 2, '-') << "+";
+    os << '\n';
+  };
+
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(title.size() + 8, '=') << '\n'
+     << "==  " << title << "  ==\n"
+     << std::string(title.size() + 8, '=') << '\n';
+}
+
+}  // namespace evencycle

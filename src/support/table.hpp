@@ -1,0 +1,39 @@
+// Plain-text table rendering for benchmark harness output.
+//
+// The Table 1 / Figure 1 reproduction benches print aligned ASCII tables
+// matching the rows the paper reports; this keeps their output readable
+// without pulling in a formatting dependency.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace evencycle {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; it is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+  static std::string integer(double value);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used by the bench binaries.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace evencycle

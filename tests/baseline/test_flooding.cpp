@@ -1,0 +1,50 @@
+#include "baseline/flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::baseline {
+namespace {
+
+TEST(Flooding, ExactOnKnownFamilies) {
+  EXPECT_TRUE(detect_cycle_flooding(graph::cycle(8), 8).cycle_detected);
+  EXPECT_FALSE(detect_cycle_flooding(graph::cycle(8), 6).cycle_detected);
+  EXPECT_FALSE(detect_cycle_flooding(graph::path(20), 4).cycle_detected);
+  EXPECT_TRUE(detect_cycle_flooding(graph::complete_bipartite(5, 5), 4).cycle_detected);
+}
+
+TEST(Flooding, DetectsPlantedCycleDeterministically) {
+  Rng rng(1);
+  for (std::uint32_t len : {4u, 6u}) {
+    const auto planted = graph::plant_cycle(graph::random_tree(150, rng), len, rng);
+    const auto report = detect_cycle_flooding(planted.graph, len);
+    EXPECT_TRUE(report.cycle_detected) << "length " << len;
+  }
+}
+
+TEST(Flooding, CongestionGrowsWithDensity) {
+  Rng rng(2);
+  const auto sparse = graph::random_tree(200, rng);
+  const auto dense = graph::complete_bipartite(14, 14);
+  const auto a = detect_cycle_flooding(sparse, 4);
+  const auto b = detect_cycle_flooding(dense, 4);
+  EXPECT_GT(b.max_ball_edges, a.max_ball_edges);
+  EXPECT_GT(b.rounds_charged, 0u);
+}
+
+TEST(Flooding, SearchesAllBallsWhenNoCycle) {
+  Rng rng(3);
+  const auto g = graph::random_tree(60, rng);
+  const auto report = detect_cycle_flooding(g, 6);
+  EXPECT_EQ(report.balls_searched, 60u);
+}
+
+TEST(Flooding, RejectsBadLength) {
+  EXPECT_THROW(detect_cycle_flooding(graph::cycle(5), 2), evencycle::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace evencycle::baseline

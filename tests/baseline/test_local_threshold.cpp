@@ -1,0 +1,81 @@
+#include "baseline/local_threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::baseline {
+namespace {
+
+TEST(LocalThreshold, DetectsC4InDenseBipartite) {
+  Rng rng(1);
+  const auto g = graph::complete_bipartite(12, 12);
+  LocalThresholdOptions options;
+  options.attempts = 3000;
+  options.local_threshold = 12;
+  const auto report = detect_even_cycle_local_threshold(g, 2, options, rng);
+  EXPECT_TRUE(report.cycle_detected);
+  EXPECT_LT(report.attempts_run, 3000u);
+}
+
+TEST(LocalThreshold, NeverRejectsOnTrees) {
+  Rng rng(2);
+  const auto g = graph::random_tree(200, rng);
+  LocalThresholdOptions options;
+  options.attempts = 300;
+  options.stop_on_reject = false;
+  for (std::uint32_t k : {2u, 3u}) {
+    const auto report = detect_even_cycle_local_threshold(g, k, options, rng);
+    EXPECT_FALSE(report.cycle_detected);
+    EXPECT_EQ(report.attempts_run, 300u);
+  }
+}
+
+TEST(LocalThreshold, AutoAttemptsScaleWithN) {
+  Rng rng(3);
+  const auto small = graph::random_tree(100, rng);
+  const auto large = graph::random_tree(6400, rng);
+  LocalThresholdOptions options;
+  options.stop_on_reject = false;
+  const auto a = detect_even_cycle_local_threshold(small, 2, options, rng);
+  const auto b = detect_even_cycle_local_threshold(large, 2, options, rng);
+  // attempts ~ n^{1/2}: 6400/100 = 64x vertices -> 8x attempts.
+  const double ratio = static_cast<double>(b.attempts_run) / a.attempts_run;
+  EXPECT_NEAR(ratio, 8.0, 1.0);
+}
+
+TEST(LocalThreshold, RoundChargeBoundedByConstantPerAttempt) {
+  Rng rng(4);
+  const auto g = graph::random_tree(500, rng);
+  LocalThresholdOptions options;
+  options.attempts = 100;
+  options.local_threshold = 3;
+  options.stop_on_reject = false;
+  const auto report = detect_even_cycle_local_threshold(g, 2, options, rng);
+  // Charged per attempt: 1 + (k-1) * tau_k.
+  EXPECT_EQ(report.rounds_charged, 100u * (1u + 3u));
+}
+
+TEST(LocalThreshold, TinyThresholdCausesDiscardsOnHubs) {
+  // Hub-heavy instance: with tau_k = 1 the relays overflow and discard —
+  // the failure mode that blocks local thresholds for large k ([23]).
+  Rng rng(5);
+  const auto planted = graph::planted_heavy_cycle(300, 12, 80, rng);
+  LocalThresholdOptions options;
+  options.attempts = 500;
+  options.local_threshold = 1;
+  options.stop_on_reject = false;
+  const auto report = detect_even_cycle_local_threshold(planted.graph, 6, options, rng);
+  EXPECT_GT(report.threshold_discards, 0u);
+}
+
+TEST(LocalThreshold, RejectsBadArguments) {
+  Rng rng(6);
+  const auto g = graph::cycle(8);
+  LocalThresholdOptions options;
+  EXPECT_THROW(detect_even_cycle_local_threshold(g, 1, options, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace evencycle::baseline

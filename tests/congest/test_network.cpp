@@ -1,0 +1,178 @@
+#include "congest/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::congest {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Sends its id on every port in round 0, records everything received.
+class ChatterProgram : public NodeProgram {
+ public:
+  explicit ChatterProgram(VertexId self, std::vector<std::vector<std::uint64_t>>* received)
+      : self_(self), received_(received) {}
+
+  void on_round(Context& ctx) override {
+    for (const auto& in : ctx.inbox()) (*received_)[ctx.id()].push_back(in.message.payload);
+    if (ctx.round() == 0) ctx.broadcast({1, self_});
+  }
+
+ private:
+  VertexId self_;
+  std::vector<std::vector<std::uint64_t>>* received_;
+};
+
+TEST(Network, DeliversNextRound) {
+  const Graph g = graph::path(3);
+  Network net(g);
+  std::vector<std::vector<std::uint64_t>> received(3);
+  net.install([&](VertexId v) { return std::make_unique<ChatterProgram>(v, &received); });
+
+  net.run_round();
+  // Nothing delivered during the sending round.
+  EXPECT_TRUE(received[0].empty());
+  net.run_round();
+  // Middle vertex hears both endpoints, endpoints hear the middle.
+  ASSERT_EQ(received[1].size(), 2u);
+  EXPECT_EQ(received[0].size(), 1u);
+  EXPECT_EQ(received[0][0], 1u);
+  EXPECT_EQ(received[2][0], 1u);
+}
+
+TEST(Network, MetricsCountMessages) {
+  const Graph g = graph::cycle(5);
+  Network net(g);
+  std::vector<std::vector<std::uint64_t>> received(5);
+  net.install([&](VertexId v) { return std::make_unique<ChatterProgram>(v, &received); });
+  net.run_rounds(2);
+  // Each of the 5 nodes broadcast on 2 ports in round 0.
+  EXPECT_EQ(net.metrics().messages, 10u);
+  EXPECT_EQ(net.metrics().busiest_round_messages, 10u);
+  EXPECT_EQ(net.metrics().rounds, 2u);
+}
+
+class FloodEveryRound : public NodeProgram {
+ public:
+  void on_round(Context& ctx) override { ctx.broadcast({0, 7}); }
+};
+
+TEST(Network, BandwidthOneWordPerRoundOk) {
+  const Graph g = graph::cycle(4);
+  Network net(g);
+  net.install([](VertexId) { return std::make_unique<FloodEveryRound>(); });
+  EXPECT_NO_THROW(net.run_rounds(3));
+}
+
+class DoubleSendProgram : public NodeProgram {
+ public:
+  void on_round(Context& ctx) override {
+    if (ctx.round() == 0 && ctx.id() == 0) {
+      ctx.send(0, {0, 1});
+      ctx.send(0, {0, 2});  // second word on the same link: violation
+    }
+  }
+};
+
+TEST(Network, BandwidthViolationThrows) {
+  const Graph g = graph::path(2);
+  Network net(g);
+  net.install([](VertexId) { return std::make_unique<DoubleSendProgram>(); });
+  EXPECT_THROW(net.run_round(), SimulationError);
+}
+
+TEST(Network, WiderBandwidthAllowsDoubleSend) {
+  const Graph g = graph::path(2);
+  Config config;
+  config.words_per_round = 2;
+  Network net(g, config);
+  net.install([](VertexId) { return std::make_unique<DoubleSendProgram>(); });
+  EXPECT_NO_THROW(net.run_round());
+}
+
+class BadPortProgram : public NodeProgram {
+ public:
+  void on_round(Context& ctx) override { ctx.send(ctx.degree(), {0, 0}); }
+};
+
+TEST(Network, SendOnBadPortThrows) {
+  const Graph g = graph::path(2);
+  Network net(g);
+  net.install([](VertexId) { return std::make_unique<BadPortProgram>(); });
+  EXPECT_THROW(net.run_round(), SimulationError);
+}
+
+class RejectOnceProgram : public NodeProgram {
+ public:
+  void on_round(Context& ctx) override {
+    if (ctx.id() == 2) ctx.reject();
+    ctx.halt();
+  }
+};
+
+TEST(Network, RejectAndHaltTracking) {
+  const Graph g = graph::path(4);
+  Network net(g);
+  net.install([](VertexId) { return std::make_unique<RejectOnceProgram>(); });
+  EXPECT_FALSE(net.any_rejected());
+  const auto rounds = net.run_to_quiescence(100);
+  EXPECT_EQ(rounds, 1u);
+  EXPECT_TRUE(net.all_halted());
+  EXPECT_TRUE(net.any_rejected());
+  EXPECT_EQ(net.reject_count(), 1u);
+  EXPECT_TRUE(net.rejected(2));
+  EXPECT_FALSE(net.rejected(0));
+}
+
+TEST(Network, InstallResetsState) {
+  const Graph g = graph::path(4);
+  Network net(g);
+  net.install([](VertexId) { return std::make_unique<RejectOnceProgram>(); });
+  net.run_to_quiescence(10);
+  EXPECT_TRUE(net.any_rejected());
+  net.install([](VertexId) { return std::make_unique<FloodEveryRound>(); });
+  EXPECT_FALSE(net.any_rejected());
+  EXPECT_EQ(net.metrics().rounds, 0u);
+}
+
+TEST(Network, RunBeforeInstallThrows) {
+  const Graph g = graph::path(2);
+  Network net(g);
+  EXPECT_THROW(net.run_round(), SimulationError);
+}
+
+TEST(Network, RoundProfileCollection) {
+  const Graph g = graph::cycle(4);
+  Config config;
+  config.collect_round_profile = true;
+  Network net(g, config);
+  std::vector<std::vector<std::uint64_t>> received(4);
+  net.install([&](VertexId v) { return std::make_unique<ChatterProgram>(v, &received); });
+  net.run_rounds(3);
+  ASSERT_EQ(net.metrics().round_profile.size(), 3u);
+  EXPECT_EQ(net.metrics().round_profile[0], 8u);
+  EXPECT_EQ(net.metrics().round_profile[1], 0u);
+}
+
+TEST(Network, WatchedEdgesCounted) {
+  const Graph g = graph::path(3);  // edges (0,1), (1,2)
+  std::vector<bool> watched(g.edge_count(), false);
+  watched[g.edge_id(0, 1)] = true;
+  Config config;
+  config.watched_edges = &watched;
+  Network net(g, config);
+  std::vector<std::vector<std::uint64_t>> received(3);
+  net.install([&](VertexId v) { return std::make_unique<ChatterProgram>(v, &received); });
+  net.run_rounds(2);
+  // Round 0 traffic: 0->1, 1->0, 1->2, 2->1; watched edge carries 2 words.
+  EXPECT_EQ(net.metrics().watched_messages, 2u);
+}
+
+}  // namespace
+}  // namespace evencycle::congest

@@ -1,0 +1,169 @@
+#include "congest/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::congest {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(Primitives, BfsTreeDepthsMatchBfsDistances) {
+  Rng rng(1);
+  const Graph g = graph::erdos_renyi(80, 0.08, rng);
+  Network net(g);
+  const auto tree = build_bfs_tree(net, 0);
+  const auto dist = graph::bfs_distances(g, 0);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (dist[v] == graph::kUnreachable) {
+      EXPECT_EQ(tree.depth[v], kNoParent);
+    } else {
+      EXPECT_EQ(tree.depth[v], dist[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Primitives, BfsTreeParentsConsistent) {
+  Rng rng(2);
+  const Graph g = graph::random_tree(60, rng);
+  Network net(g);
+  const auto tree = build_bfs_tree(net, 5);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (v == 5) {
+      EXPECT_EQ(tree.parent[v], graph::kInvalidVertex);
+      continue;
+    }
+    ASSERT_NE(tree.parent[v], graph::kInvalidVertex);
+    EXPECT_TRUE(g.has_edge(v, tree.parent[v]));
+    EXPECT_EQ(tree.depth[v], tree.depth[tree.parent[v]] + 1);
+  }
+}
+
+TEST(Primitives, BfsTreeRoundsNearEccentricity) {
+  const Graph g = graph::path(40);
+  Network net(g);
+  const auto tree = build_bfs_tree(net, 0);
+  // The wave needs ecc rounds; quiescence detection adds O(1).
+  EXPECT_GE(tree.rounds, 39u);
+  EXPECT_LE(tree.rounds, 45u);
+}
+
+TEST(Primitives, BroadcastReachesEveryone) {
+  Rng rng(3);
+  const Graph g = graph::random_near_regular(100, 3, rng);
+  Network net(g);
+  const auto result = broadcast(net, 7, 0xabcdef);
+  const auto comps = graph::connected_components(g);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (comps.component[v] == comps.component[7]) {
+      EXPECT_TRUE(result.received[v]);
+      EXPECT_EQ(result.value[v], 0xabcdefu);
+    }
+  }
+}
+
+TEST(Primitives, ConvergecastOrFindsLoneBit) {
+  const Graph g = graph::grid(6, 6);
+  Network net(g);
+  std::vector<bool> bits(g.vertex_count(), false);
+  bits[35] = true;
+  const auto result = convergecast_or(net, 0, bits);
+  EXPECT_TRUE(result.value);
+}
+
+TEST(Primitives, ConvergecastOrAllZero) {
+  const Graph g = graph::grid(5, 5);
+  Network net(g);
+  std::vector<bool> bits(g.vertex_count(), false);
+  const auto result = convergecast_or(net, 3, bits);
+  EXPECT_FALSE(result.value);
+}
+
+TEST(Primitives, ConvergecastSumCounts) {
+  Rng rng(4);
+  const Graph g = graph::random_tree(50, rng);
+  Network net(g);
+  std::vector<std::uint64_t> values(g.vertex_count(), 1);
+  const auto result = convergecast_sum(net, 0, values);
+  EXPECT_EQ(result.value, 50u);
+}
+
+TEST(Primitives, ConvergecastSumWeighted) {
+  const Graph g = graph::path(10);
+  Network net(g);
+  std::vector<std::uint64_t> values(10);
+  std::uint64_t expected = 0;
+  for (VertexId v = 0; v < 10; ++v) {
+    values[v] = v * v;
+    expected += v * v;
+  }
+  const auto result = convergecast_sum(net, 9, values);
+  EXPECT_EQ(result.value, expected);
+}
+
+TEST(Primitives, ConvergecastRoundsLinearInDepth) {
+  const Graph g = graph::path(30);
+  Network net(g);
+  std::vector<bool> bits(g.vertex_count(), false);
+  const auto result = convergecast_or(net, 0, bits);
+  // Explore down (29) + child/report back up (~29) + constants.
+  EXPECT_LE(result.rounds, 70u);
+}
+
+TEST(Primitives, ConvergecastMinMax) {
+  Rng rng(5);
+  const Graph g = graph::random_tree(40, rng);
+  std::vector<std::uint64_t> values(40);
+  for (VertexId v = 0; v < 40; ++v) values[v] = 100 + ((v * 37) % 53);
+  std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+  for (auto v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  Network net(g);
+  EXPECT_EQ(convergecast_min(net, 3, values).value, lo);
+  Network net2(g);
+  EXPECT_EQ(convergecast_max(net2, 3, values).value, hi);
+}
+
+TEST(Primitives, LeaderElectionFindsMinimumId) {
+  Rng rng(6);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = graph::random_near_regular(60, 3, rng);
+    Network net(g);
+    const auto result = elect_leader(net);
+    const auto comps = graph::connected_components(g);
+    // Per component, the leader is the minimum vertex id.
+    std::vector<VertexId> expected(comps.count, graph::kInvalidVertex);
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+      expected[comps.component[v]] = std::min(expected[comps.component[v]], v);
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+      EXPECT_EQ(result.leader[v], expected[comps.component[v]]) << "vertex " << v;
+  }
+}
+
+TEST(Primitives, LeaderElectionRoundsNearDiameter) {
+  const Graph g = graph::path(50);
+  Network net(g);
+  const auto result = elect_leader(net);
+  // Vertex 0 is an endpoint: the wave needs ~49 rounds plus quiet detection.
+  EXPECT_GE(result.rounds, 49u);
+  EXPECT_LE(result.rounds, 55u);
+}
+
+TEST(Primitives, SingleVertexDegenerate) {
+  const Graph g = graph::path(1);
+  Network net(g);
+  const auto tree = build_bfs_tree(net, 0);
+  EXPECT_EQ(tree.depth[0], 0u);
+  std::vector<bool> bits{true};
+  Network net2(g);
+  EXPECT_TRUE(convergecast_or(net2, 0, bits).value);
+}
+
+}  // namespace
+}  // namespace evencycle::congest

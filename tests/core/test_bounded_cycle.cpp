@@ -1,0 +1,115 @@
+#include "core/bounded_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::core {
+namespace {
+
+using graph::Graph;
+
+TEST(BoundedCycle, DetectsSmallGirth) {
+  Rng rng(1);
+  // C5: girth 5 <= 2k for k = 3.
+  const Graph g = graph::cycle(5);
+  BoundedCycleOptions options;
+  options.repetitions = 2000;
+  const auto report = detect_bounded_cycle(g, 3, options, rng);
+  EXPECT_TRUE(report.cycle_detected);
+  if (report.detected_length != 0) {
+    EXPECT_EQ(report.detected_length, 5u);
+  }
+}
+
+TEST(BoundedCycle, DetectsC4InDenseGraph) {
+  Rng rng(2);
+  const Graph g = graph::complete_bipartite(10, 10);  // girth 4
+  BoundedCycleOptions options;
+  options.repetitions = 400;
+  const auto report = detect_bounded_cycle(g, 2, options, rng);
+  EXPECT_TRUE(report.cycle_detected);
+}
+
+TEST(BoundedCycle, NeverRejectsOnForests) {
+  Rng rng(3);
+  const Graph g = graph::random_tree(200, rng);
+  BoundedCycleOptions options;
+  options.repetitions = 60;
+  options.stop_on_reject = false;
+  for (std::uint32_t k : {2u, 3u, 4u}) {
+    const auto report = detect_bounded_cycle(g, k, options, rng);
+    EXPECT_FALSE(report.cycle_detected);
+  }
+}
+
+TEST(BoundedCycle, NeverRejectsWhenGirthExceeds2k) {
+  Rng rng(4);
+  const Graph g = graph::cycle(13);  // girth 13 > 2k for k <= 6
+  BoundedCycleOptions options;
+  options.repetitions = 100;
+  options.stop_on_reject = false;
+  for (std::uint32_t k : {2u, 3u, 4u, 5u, 6u}) {
+    const auto report = detect_bounded_cycle(g, k, options, rng);
+    EXPECT_FALSE(report.cycle_detected) << "k=" << k << ": no cycle of length <= " << 2 * k;
+  }
+}
+
+TEST(BoundedCycle, DetectedLengthNeverBelowGirth) {
+  Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = graph::erdos_renyi(60, 0.06, rng);
+    const auto true_girth = graph::girth(g);
+    BoundedCycleOptions options;
+    options.repetitions = 500;
+    const auto report = detect_bounded_cycle(g, 4, options, rng);
+    if (report.cycle_detected) {
+      ASSERT_TRUE(true_girth.has_value()) << "rejection without any cycle";
+      if (report.detected_length != 0) {
+        EXPECT_GE(report.detected_length, *true_girth);
+        EXPECT_LE(report.detected_length, 8u);
+      }
+      if (report.upper_bound_witnessed != 0) {
+        EXPECT_GE(report.upper_bound_witnessed, *true_girth);
+      }
+    }
+  }
+}
+
+TEST(BoundedCycle, LowCongestionStillOneSided) {
+  Rng rng(6);
+  const Graph g = graph::cycle(17);  // girth 17 > 8
+  BoundedCycleOptions options;
+  options.low_congestion = true;
+  options.repetitions = 200;
+  options.stop_on_reject = false;
+  const auto report = detect_bounded_cycle(g, 4, options, rng);
+  EXPECT_FALSE(report.cycle_detected);
+}
+
+TEST(BoundedCycle, RejectsBadArguments) {
+  Rng rng(7);
+  const Graph g = graph::cycle(5);
+  BoundedCycleOptions options;
+  EXPECT_THROW(detect_bounded_cycle(g, 1, options, rng), InvalidArgument);
+}
+
+TEST(BoundedCycle, ProjectivePlaneGirthSix) {
+  // Girth-6 incidence graph: k = 2 (lengths <= 4) must accept, k = 3
+  // (lengths <= 6) must detect.
+  Rng rng(8);
+  const Graph g = graph::projective_plane_incidence(3);
+  BoundedCycleOptions accept_options;
+  accept_options.repetitions = 150;
+  accept_options.stop_on_reject = false;
+  EXPECT_FALSE(detect_bounded_cycle(g, 2, accept_options, rng).cycle_detected);
+
+  BoundedCycleOptions detect_options;
+  detect_options.repetitions = 4000;
+  EXPECT_TRUE(detect_bounded_cycle(g, 3, detect_options, rng).cycle_detected);
+}
+
+}  // namespace
+}  // namespace evencycle::core

@@ -1,0 +1,289 @@
+#include "core/color_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::core {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+/// Colors vertex i of an n-cycle with color i; other palette entries unused.
+std::vector<std::uint8_t> consecutive_cycle_coloring(VertexId n) {
+  std::vector<std::uint8_t> colors(n);
+  for (VertexId v = 0; v < n; ++v) colors[v] = static_cast<std::uint8_t>(v);
+  return colors;
+}
+
+TEST(ColorBfs, DetectsWellColoredC4) {
+  const Graph g = graph::cycle(4);
+  const auto colors = consecutive_cycle_coloring(4);
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 10;
+  spec.colors = &colors;
+  Rng rng(1);
+  const auto out = run_color_bfs(g, spec, rng);
+  EXPECT_TRUE(out.rejected);
+  ASSERT_EQ(out.rejecting_nodes.size(), 1u);
+  EXPECT_EQ(out.rejecting_nodes[0], 2u);  // the meet-colored vertex
+  EXPECT_EQ(out.meet_rejections, 1u);
+}
+
+TEST(ColorBfs, DetectsWellColoredLongerEvenCycles) {
+  for (VertexId len : {6u, 8u, 10u, 12u}) {
+    const Graph g = graph::cycle(len);
+    const auto colors = consecutive_cycle_coloring(len);
+    ColorBfsSpec spec;
+    spec.cycle_length = len;
+    spec.threshold = 10;
+    spec.colors = &colors;
+    Rng rng(2);
+    const auto out = run_color_bfs(g, spec, rng);
+    EXPECT_TRUE(out.rejected) << "length " << len;
+    EXPECT_EQ(out.rejecting_nodes[0], len / 2);
+  }
+}
+
+TEST(ColorBfs, DetectsWellColoredOddCycles) {
+  for (VertexId len : {3u, 5u, 7u, 9u}) {
+    const Graph g = graph::cycle(len);
+    const auto colors = consecutive_cycle_coloring(len);
+    ColorBfsSpec spec;
+    spec.cycle_length = len;
+    spec.threshold = 10;
+    spec.colors = &colors;
+    Rng rng(3);
+    const auto out = run_color_bfs(g, spec, rng);
+    EXPECT_TRUE(out.rejected) << "length " << len;
+    EXPECT_EQ(out.rejecting_nodes[0], len / 2);
+  }
+}
+
+TEST(ColorBfs, MonochromaticColoringNeverDetects) {
+  const Graph g = graph::cycle(6);
+  std::vector<std::uint8_t> colors(6, 0);
+  ColorBfsSpec spec;
+  spec.cycle_length = 6;
+  spec.threshold = 10;
+  spec.colors = &colors;
+  Rng rng(4);
+  EXPECT_FALSE(run_color_bfs(g, spec, rng).rejected);
+}
+
+TEST(ColorBfs, WrongLengthColoringNeverDetects) {
+  // A C6 colored for C4 detection cannot produce a witness.
+  const Graph g = graph::cycle(6);
+  std::vector<std::uint8_t> colors{0, 1, 2, 3, 0, 1};
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 10;
+  spec.colors = &colors;
+  Rng rng(5);
+  EXPECT_FALSE(run_color_bfs(g, spec, rng).rejected);
+}
+
+TEST(ColorBfs, OneSidedOnTreesUnderRandomColorings) {
+  Rng rng(6);
+  const Graph g = graph::random_tree(150, rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto colors = random_coloring(g.vertex_count(), 6, rng);
+    ColorBfsSpec spec;
+    spec.cycle_length = 6;
+    spec.threshold = 1000;
+    spec.colors = &colors;
+    EXPECT_FALSE(run_color_bfs(g, spec, rng).rejected);
+  }
+}
+
+TEST(ColorBfs, SubgraphMaskBlocksDetection) {
+  const Graph g = graph::cycle(4);
+  const auto colors = consecutive_cycle_coloring(4);
+  std::vector<bool> in_h{true, true, true, false};  // exclude one cycle vertex
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 10;
+  spec.colors = &colors;
+  spec.subgraph = &in_h;
+  Rng rng(7);
+  EXPECT_FALSE(run_color_bfs(g, spec, rng).rejected);
+}
+
+TEST(ColorBfs, SourceMaskControlsLaunch) {
+  const Graph g = graph::cycle(4);
+  const auto colors = consecutive_cycle_coloring(4);
+  std::vector<bool> sources(4, false);  // nobody launches
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 10;
+  spec.colors = &colors;
+  spec.sources = &sources;
+  Rng rng(8);
+  const auto out = run_color_bfs(g, spec, rng);
+  EXPECT_FALSE(out.rejected);
+  EXPECT_EQ(out.activated_sources, 0u);
+
+  sources[0] = true;  // the color-0 cycle vertex
+  const auto out2 = run_color_bfs(g, spec, rng);
+  EXPECT_TRUE(out2.rejected);
+  EXPECT_EQ(out2.activated_sources, 1u);
+}
+
+TEST(ColorBfs, ThresholdDiscardSuppressesForwarding) {
+  // Star of sources feeding one color-1 relay on a path to the meet node:
+  // sources s_0..s_5 (color 0) -- r (color 1) -- t (color 2 = meet for C4).
+  GraphBuilder b(8);
+  for (VertexId s = 0; s < 6; ++s) b.add_edge(s, 6);
+  b.add_edge(6, 7);
+  const Graph g = std::move(b).build();
+  std::vector<std::uint8_t> colors{0, 0, 0, 0, 0, 0, 1, 2};
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 3;  // |I_r| = 6 > 3: discard
+  spec.colors = &colors;
+  Rng rng(9);
+  const auto out = run_color_bfs(g, spec, rng);
+  EXPECT_FALSE(out.rejected);
+  EXPECT_EQ(out.discarded_nodes, 1u);
+  EXPECT_EQ(out.identifiers_forwarded, 0u);
+  EXPECT_EQ(out.max_set_size, 6u);
+}
+
+TEST(ColorBfs, ThresholdLargeEnoughForwards) {
+  GraphBuilder b(8);
+  for (VertexId s = 0; s < 6; ++s) b.add_edge(s, 6);
+  b.add_edge(6, 7);
+  const Graph g = std::move(b).build();
+  std::vector<std::uint8_t> colors{0, 0, 0, 0, 0, 0, 1, 2};
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 6;
+  spec.colors = &colors;
+  Rng rng(10);
+  const auto out = run_color_bfs(g, spec, rng);
+  EXPECT_EQ(out.discarded_nodes, 0u);
+  EXPECT_EQ(out.identifiers_forwarded, 6u);
+}
+
+TEST(ColorBfs, RoundAccountingOnWellColoredC6) {
+  const Graph g = graph::cycle(6);
+  const auto colors = consecutive_cycle_coloring(6);
+  ColorBfsSpec spec;
+  spec.cycle_length = 6;
+  spec.threshold = 7;
+  spec.colors = &colors;
+  Rng rng(11);
+  const auto out = run_color_bfs(g, spec, rng);
+  // One source round + two windows of one identifier each.
+  EXPECT_EQ(out.rounds_measured, 3u);
+  // Charged: 1 + (ceil(6/2) - 1) * tau = 1 + 2*7.
+  EXPECT_EQ(out.rounds_charged, 15u);
+}
+
+TEST(ColorBfs, RejectOnOverflowWitnessesShortCycle) {
+  // Sources sharing the relay create C4s through the sources' common
+  // neighbors; the overflow rule must fire at the relay.
+  GraphBuilder b(9);
+  for (VertexId s = 0; s < 6; ++s) {
+    b.add_edge(s, 6);  // relay (color 1)
+    b.add_edge(s, 8);  // a common "selected" vertex creating real C4s
+  }
+  b.add_edge(6, 7);
+  const Graph g = std::move(b).build();
+  std::vector<std::uint8_t> colors{0, 0, 0, 0, 0, 0, 1, 2, 3};
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 3;
+  spec.reject_on_overflow = true;
+  spec.overflow_floor = 1;
+  spec.colors = &colors;
+  Rng rng(12);
+  const auto out = run_color_bfs(g, spec, rng);
+  EXPECT_TRUE(out.rejected);
+  EXPECT_GE(out.overflow_rejections, 1u);
+  EXPECT_EQ(out.meet_rejections, 0u);
+}
+
+TEST(ColorBfs, OverflowFloorRaisesBar) {
+  GraphBuilder b(8);
+  for (VertexId s = 0; s < 6; ++s) b.add_edge(s, 6);
+  b.add_edge(6, 7);
+  const Graph g = std::move(b).build();
+  std::vector<std::uint8_t> colors{0, 0, 0, 0, 0, 0, 1, 2};
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 3;
+  spec.reject_on_overflow = true;
+  spec.overflow_floor = 10;  // |I| = 6 <= 10: no overflow rejection
+  spec.colors = &colors;
+  Rng rng(13);
+  const auto out = run_color_bfs(g, spec, rng);
+  EXPECT_FALSE(out.rejected);
+  EXPECT_EQ(out.discarded_nodes, 1u);  // still above threshold: discarded
+}
+
+TEST(ColorBfs, ForcedActivationOverridesProbability) {
+  const Graph g = graph::cycle(4);
+  const auto colors = consecutive_cycle_coloring(4);
+  std::vector<bool> activation(4, false);
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 10;
+  spec.activation_prob = 0.0;  // would never activate...
+  spec.forced_activation = &activation;
+  spec.colors = &colors;
+  Rng rng(14);
+  EXPECT_FALSE(run_color_bfs(g, spec, rng).rejected);
+  activation[0] = true;  // ...but forced activation wins
+  EXPECT_TRUE(run_color_bfs(g, spec, rng).rejected);
+}
+
+TEST(ColorBfs, TwoDisjointWellColoredCyclesBothReject) {
+  GraphBuilder b(8);
+  for (VertexId i = 0; i < 4; ++i) b.add_edge(i, (i + 1) % 4);
+  for (VertexId i = 0; i < 4; ++i) b.add_edge(4 + i, 4 + (i + 1) % 4);
+  const Graph g = std::move(b).build();
+  std::vector<std::uint8_t> colors{0, 1, 2, 3, 0, 1, 2, 3};
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 10;
+  spec.colors = &colors;
+  Rng rng(15);
+  const auto out = run_color_bfs(g, spec, rng);
+  EXPECT_EQ(out.rejecting_nodes.size(), 2u);
+}
+
+TEST(ColorBfs, RejectsInvalidSpecs) {
+  const Graph g = graph::cycle(4);
+  const auto colors = consecutive_cycle_coloring(4);
+  Rng rng(16);
+  ColorBfsSpec spec;
+  spec.colors = &colors;
+  spec.threshold = 1;
+  spec.cycle_length = 2;
+  EXPECT_THROW(run_color_bfs(g, spec, rng), InvalidArgument);
+  spec.cycle_length = 4;
+  spec.threshold = 0;
+  EXPECT_THROW(run_color_bfs(g, spec, rng), InvalidArgument);
+  spec.threshold = 1;
+  spec.colors = nullptr;
+  EXPECT_THROW(run_color_bfs(g, spec, rng), InvalidArgument);
+}
+
+TEST(RandomColoring, UsesFullPalette) {
+  Rng rng(17);
+  const auto colors = random_coloring(2000, 6, rng);
+  std::vector<int> counts(6, 0);
+  for (auto c : colors) {
+    ASSERT_LT(c, 6);
+    ++counts[c];
+  }
+  for (int c = 0; c < 6; ++c) EXPECT_GT(counts[c], 200);
+}
+
+}  // namespace
+}  // namespace evencycle::core

@@ -1,0 +1,132 @@
+// Parameterized property sweeps over the color-BFS procedure: the
+// invariants that must hold for every target length, threshold, and
+// instance class.
+#include <gtest/gtest.h>
+
+#include "core/color_bfs.hpp"
+#include "graph/analysis.hpp"
+#include "graph/cycle_search.hpp"
+#include "graph/generators.hpp"
+
+namespace evencycle::core {
+namespace {
+
+using graph::Graph;
+
+struct SweepParam {
+  std::uint32_t length;
+  std::uint64_t threshold;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return "L" + std::to_string(info.param.length) + "_tau" +
+         std::to_string(info.param.threshold) + "_s" + std::to_string(info.param.seed);
+}
+
+class ColorBfsSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ColorBfsSweep, WellColoredCycleAlwaysDetected) {
+  const auto p = GetParam();
+  const Graph g = graph::cycle(p.length);
+  std::vector<std::uint8_t> colors(p.length);
+  for (VertexId v = 0; v < p.length; ++v) colors[v] = static_cast<std::uint8_t>(v);
+  ColorBfsSpec spec;
+  spec.cycle_length = p.length;
+  spec.threshold = p.threshold;
+  spec.colors = &colors;
+  Rng rng(p.seed);
+  // On a bare cycle every identifier set has size 1 <= any threshold >= 1.
+  EXPECT_TRUE(run_color_bfs(g, spec, rng).rejected);
+}
+
+TEST_P(ColorBfsSweep, NeverRejectsOnForest) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  const Graph g = graph::random_tree(120, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto colors = random_coloring(g.vertex_count(), p.length, rng);
+    ColorBfsSpec spec;
+    spec.cycle_length = p.length;
+    spec.threshold = p.threshold;
+    spec.colors = &colors;
+    EXPECT_FALSE(run_color_bfs(g, spec, rng).rejected);
+  }
+}
+
+TEST_P(ColorBfsSweep, EveryRejectionWitnessesRealCycle) {
+  const auto p = GetParam();
+  Rng rng(p.seed + 99);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = graph::erdos_renyi(32, 0.14, rng);
+    const auto colors = random_coloring(g.vertex_count(), p.length, rng);
+    ColorBfsSpec spec;
+    spec.cycle_length = p.length;
+    spec.threshold = p.threshold;
+    spec.colors = &colors;
+    const auto out = run_color_bfs(g, spec, rng);
+    if (out.rejected) {
+      EXPECT_TRUE(graph::contains_cycle_exact(g, p.length))
+          << "rejection without a C_" << p.length;
+      // Every witness reconstructs to a simple cycle of the right length.
+      for (const auto& w : out.witnesses) {
+        const auto cycle = reconstruct_witness_cycle(g, spec, w);
+        ASSERT_TRUE(cycle.has_value());
+        EXPECT_EQ(cycle->size(), p.length);
+        EXPECT_TRUE(graph::is_simple_cycle(g, *cycle));
+      }
+    }
+  }
+}
+
+TEST_P(ColorBfsSweep, RoundAccountingInvariants) {
+  const auto p = GetParam();
+  Rng rng(p.seed + 7);
+  const Graph g = graph::erdos_renyi(60, 0.08, rng);
+  const auto colors = random_coloring(g.vertex_count(), p.length, rng);
+  ColorBfsSpec spec;
+  spec.cycle_length = p.length;
+  spec.threshold = p.threshold;
+  spec.colors = &colors;
+  const auto out = run_color_bfs(g, spec, rng);
+  // Measured rounds within [1, charged]; charged matches the formula.
+  const std::uint64_t down_len = p.length - p.length / 2;
+  EXPECT_EQ(out.rounds_charged, 1 + (down_len - 1) * p.threshold);
+  EXPECT_GE(out.rounds_measured, 1u);
+  EXPECT_LE(out.rounds_measured, out.rounds_charged);
+  // No window can exceed the threshold.
+  EXPECT_LE(out.rounds_measured, 1 + (down_len - 1) * p.threshold);
+}
+
+TEST_P(ColorBfsSweep, ThresholdMonotonicity) {
+  // Raising the threshold can only turn accepts into rejects, never the
+  // reverse (more identifiers survive).
+  const auto p = GetParam();
+  Rng rng(p.seed + 13);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = graph::erdos_renyi(36, 0.15, rng);
+    const auto colors = random_coloring(g.vertex_count(), p.length, rng);
+    ColorBfsSpec low;
+    low.cycle_length = p.length;
+    low.threshold = p.threshold;
+    low.colors = &colors;
+    ColorBfsSpec high = low;
+    high.threshold = p.threshold * 4;
+    const bool low_rejects = run_color_bfs(g, low, rng).rejected;
+    const bool high_rejects = run_color_bfs(g, high, rng).rejected;
+    if (low_rejects) {
+      EXPECT_TRUE(high_rejects);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ColorBfsSweep,
+    ::testing::Values(SweepParam{3, 1, 1}, SweepParam{3, 8, 2}, SweepParam{4, 1, 3},
+                      SweepParam{4, 4, 4}, SweepParam{4, 64, 5}, SweepParam{5, 2, 6},
+                      SweepParam{6, 1, 7}, SweepParam{6, 16, 8}, SweepParam{7, 3, 9},
+                      SweepParam{8, 8, 10}, SweepParam{10, 4, 11}, SweepParam{12, 2, 12}),
+    param_name);
+
+}  // namespace
+}  // namespace evencycle::core

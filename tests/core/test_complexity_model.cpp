@@ -1,0 +1,84 @@
+#include "core/complexity_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace evencycle::core {
+namespace {
+
+TEST(ComplexityModel, OursClassicalExponent) {
+  EXPECT_DOUBLE_EQ(exponent_ours_classical(2), 0.5);
+  EXPECT_DOUBLE_EQ(exponent_ours_classical(4), 0.75);
+  EXPECT_DOUBLE_EQ(exponent_ours_classical(10), 0.9);
+}
+
+TEST(ComplexityModel, OursMatchesCensorHillelOnSmallK) {
+  for (std::uint32_t k = 2; k <= 5; ++k)
+    EXPECT_DOUBLE_EQ(exponent_ours_classical(k), exponent_censor_hillel(k));
+  EXPECT_THROW(exponent_censor_hillel(6), InvalidArgument);
+}
+
+TEST(ComplexityModel, OursBeatsEdenForAllK) {
+  // The paper's improvement over [16]: 1 - 1/k < 1 - 2/(k^2 - 2k + 4) etc.
+  for (std::uint32_t k = 3; k <= 20; ++k) {
+    EXPECT_LT(exponent_ours_classical(k), exponent_eden(k)) << "k=" << k;
+  }
+}
+
+TEST(ComplexityModel, EdenFormulaeByParity) {
+  EXPECT_DOUBLE_EQ(exponent_eden(6), 1.0 - 2.0 / 28.0);
+  EXPECT_DOUBLE_EQ(exponent_eden(7), 1.0 - 2.0 / 44.0);
+}
+
+TEST(ComplexityModel, QuantumIsQuadraticallyBetter) {
+  for (std::uint32_t k = 2; k <= 12; ++k) {
+    EXPECT_NEAR(exponent_ours_quantum(k), exponent_ours_classical(k) / 2.0, 1e-12);
+  }
+}
+
+TEST(ComplexityModel, OursQuantumBeatsVanApeldoornDeVos) {
+  for (std::uint32_t k = 2; k <= 12; ++k) {
+    EXPECT_LT(exponent_ours_quantum(k), exponent_vadv_quantum(k)) << "k=" << k;
+  }
+}
+
+TEST(ComplexityModel, QuantumAboveLowerBound) {
+  for (std::uint32_t k = 2; k <= 12; ++k) {
+    EXPECT_GE(exponent_ours_quantum(k), 0.25);  // ~Omega(n^{1/4})
+  }
+  EXPECT_DOUBLE_EQ(exponent_ours_quantum(2), 0.25);  // tight at k = 2
+}
+
+TEST(ComplexityModel, PredictedRoundsMonotone) {
+  EXPECT_LT(predicted_rounds(0.5, 1000), predicted_rounds(0.5, 4000));
+  EXPECT_LT(predicted_rounds(0.25, 10000), predicted_rounds(0.5, 10000));
+  EXPECT_GT(predicted_rounds(0.5, 1000, 2.0), predicted_rounds(0.5, 1000, 0.0));
+}
+
+TEST(ComplexityModel, Table1ContainsPaperRows) {
+  const auto rows = table1_rows(3);
+  int ours = 0, quantum_rows = 0, lower_bounds = 0;
+  for (const auto& row : rows) {
+    if (row.reference == "this paper") ++ours;
+    if (row.framework == Framework::kQuantum) ++quantum_rows;
+    if (row.lower_bound) ++lower_bounds;
+  }
+  EXPECT_GE(ours, 4);          // classical, quantum, quantum LB, odd, bounded
+  EXPECT_GE(quantum_rows, 5);
+  EXPECT_GE(lower_bounds, 2);
+}
+
+TEST(ComplexityModel, Table1SkipsInapplicableRows) {
+  const auto rows2 = table1_rows(2);   // no Eden row for k = 2
+  for (const auto& row : rows2) EXPECT_NE(row.reference, "[16]");
+  const auto rows7 = table1_rows(7);   // no Censor-Hillel row beyond k = 5
+  for (const auto& row : rows7) {
+    if (row.reference == "[10]") {
+      EXPECT_EQ(row.problem.find("C_{2k}, k in"), std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evencycle::core

@@ -1,0 +1,114 @@
+#include "core/derandomized.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::core {
+namespace {
+
+TEST(NextPrime, KnownValues) {
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(4), 5u);
+  EXPECT_EQ(next_prime(100), 101u);
+  EXPECT_EQ(next_prime(1000), 1009u);
+}
+
+TEST(AffineFamily, DeterministicAcrossInstances) {
+  const AffineColoringFamily a(500, 4, 64);
+  const AffineColoringFamily b(500, 4, 64);
+  for (std::uint64_t i : {0ull, 7ull, 63ull}) {
+    EXPECT_EQ(a.coloring(i), b.coloring(i));
+  }
+}
+
+TEST(AffineFamily, MembersDiffer) {
+  const AffineColoringFamily family(300, 4, 32);
+  int distinct = 0;
+  const auto first = family.coloring(0);
+  for (std::uint64_t i = 1; i < 32; ++i)
+    if (family.coloring(i) != first) ++distinct;
+  EXPECT_GT(distinct, 28);
+}
+
+TEST(AffineFamily, ColorOfMatchesColoring) {
+  const AffineColoringFamily family(200, 6, 16);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const auto colors = family.coloring(i);
+    for (VertexId v = 0; v < 200; v += 17) EXPECT_EQ(colors[v], family.color_of(i, v));
+  }
+}
+
+TEST(AffineFamily, ColorsRoughlyBalanced) {
+  const AffineColoringFamily family(4000, 4, 4);
+  const auto colors = family.coloring(2);
+  std::vector<int> counts(4, 0);
+  for (auto c : colors) {
+    ASSERT_LT(c, 4);
+    ++counts[c];
+  }
+  for (int c = 0; c < 4; ++c) EXPECT_GT(counts[c], 700);
+}
+
+TEST(AffineFamily, HitsPlantedCyclesAtReasonableRate) {
+  // With |family| = m, P(hit a fixed C4) ~ 1 - (1 - 1/32)^m for a random
+  // family; the affine family should behave comparably (this is the
+  // empirical guarantee DESIGN.md documents in lieu of [20]).
+  Rng rng(1);
+  int hits = 0;
+  const int instances = 30;
+  for (int i = 0; i < instances; ++i) {
+    const auto planted = graph::planted_light_cycle(200, 4, rng);
+    const AffineColoringFamily family(200, 4, 256);
+    if (family.hits_cycle(planted.cycle)) ++hits;
+  }
+  // Random baseline: 1 - (31/32)^256 ~ 0.9997. Allow generous slack.
+  EXPECT_GE(hits, instances - 3);
+}
+
+TEST(AffineFamily, HitsCycleRejectsWrongLength) {
+  const AffineColoringFamily family(100, 4, 16);
+  EXPECT_FALSE(family.hits_cycle({1, 2, 3}));        // length != palette
+  EXPECT_FALSE(family.hits_cycle({}));
+}
+
+TEST(Derandomized, DetectsPlantedCycleDeterministically) {
+  Rng rng(2);
+  const auto planted = graph::planted_light_cycle(250, 4, rng);
+  PracticalTuning tuning;
+  tuning.repetitions = 600;
+  const auto params = Params::practical(2, 250, tuning);
+  const AffineColoringFamily family(250, 4, 600);
+
+  Rng run1(77), run2(77);
+  const auto a = detect_even_cycle_derandomized(planted.graph, params, family, run1);
+  const auto b = detect_even_cycle_derandomized(planted.graph, params, family, run2);
+  EXPECT_TRUE(a.cycle_detected);
+  // Same seed for S + deterministic colorings => identical runs.
+  EXPECT_EQ(a.cycle_detected, b.cycle_detected);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+  EXPECT_EQ(a.rounds_measured, b.rounds_measured);
+}
+
+TEST(Derandomized, OneSidedOnForests) {
+  Rng rng(3);
+  const auto g = graph::random_tree(300, rng);
+  PracticalTuning tuning;
+  tuning.repetitions = 40;
+  const auto params = Params::practical(2, 300, tuning);
+  const AffineColoringFamily family(300, 4, 40);
+  const auto report = detect_even_cycle_derandomized(g, params, family, rng);
+  EXPECT_FALSE(report.cycle_detected);
+}
+
+TEST(Derandomized, PaletteMismatchThrows) {
+  Rng rng(4);
+  const auto g = graph::cycle(8);
+  const auto params = Params::practical(2, 8);
+  const AffineColoringFamily family(8, 6, 10);  // palette 6 != 2k = 4
+  EXPECT_THROW(detect_even_cycle_derandomized(g, params, family, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace evencycle::core

@@ -1,0 +1,146 @@
+#include "core/engine_color_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::core {
+namespace {
+
+using graph::Graph;
+
+/// Runs both implementations on identical inputs and requires identical
+/// rejection sets — the message-level protocol is the ground truth for the
+/// phase-level round/outcome model.
+void expect_agreement(const Graph& g, ColorBfsSpec spec, Rng& rng) {
+  std::vector<bool> activation;
+  if (spec.activation_prob < 1.0 && spec.forced_activation == nullptr) {
+    activation = draw_activation(g, spec, rng);
+    spec.forced_activation = &activation;
+  }
+  Rng fast_rng(123);
+  const auto fast = run_color_bfs(g, spec, fast_rng);
+  congest::Network net(g);
+  const auto engine = run_color_bfs_on_engine(net, spec);
+  EXPECT_EQ(fast.rejected, engine.rejected);
+  EXPECT_EQ(fast.rejecting_nodes, engine.rejecting_nodes);
+}
+
+TEST(EngineColorBfs, WellColoredCycleDetected) {
+  for (VertexId len : {4u, 5u, 6u, 8u}) {
+    const Graph g = graph::cycle(len);
+    std::vector<std::uint8_t> colors(len);
+    for (VertexId v = 0; v < len; ++v) colors[v] = static_cast<std::uint8_t>(v);
+    ColorBfsSpec spec;
+    spec.cycle_length = len;
+    spec.threshold = 4;
+    spec.colors = &colors;
+    congest::Network net(g);
+    const auto result = run_color_bfs_on_engine(net, spec);
+    EXPECT_TRUE(result.rejected) << "length " << len;
+    ASSERT_EQ(result.rejecting_nodes.size(), 1u);
+    EXPECT_EQ(result.rejecting_nodes[0], len / 2);
+  }
+}
+
+TEST(EngineColorBfs, RoundCountMatchesSchedule) {
+  const Graph g = graph::cycle(8);
+  std::vector<std::uint8_t> colors(8);
+  for (VertexId v = 0; v < 8; ++v) colors[v] = static_cast<std::uint8_t>(v);
+  ColorBfsSpec spec;
+  spec.cycle_length = 8;  // meet 4, down_len 4: 3 windows
+  spec.threshold = 5;
+  spec.colors = &colors;
+  congest::Network net(g);
+  const auto result = run_color_bfs_on_engine(net, spec);
+  EXPECT_EQ(result.rounds, 2u + 3u * 5u);
+}
+
+TEST(EngineColorBfs, AgreesWithFastImplOnRandomGraphs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Graph g = graph::erdos_renyi(36, 0.12, rng);
+    for (std::uint32_t len : {4u, 5u, 6u}) {
+      const auto colors = random_coloring(g.vertex_count(), len, rng);
+      ColorBfsSpec spec;
+      spec.cycle_length = len;
+      spec.threshold = 3;
+      spec.colors = &colors;
+      expect_agreement(g, spec, rng);
+    }
+  }
+}
+
+TEST(EngineColorBfs, AgreesWithMasksAndActivation) {
+  Rng rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = graph::erdos_renyi(30, 0.15, rng);
+    const auto colors = random_coloring(g.vertex_count(), 4, rng);
+    std::vector<bool> in_h(g.vertex_count());
+    std::vector<bool> in_x(g.vertex_count());
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      in_h[v] = rng.bernoulli(0.8);
+      in_x[v] = rng.bernoulli(0.6);
+    }
+    ColorBfsSpec spec;
+    spec.cycle_length = 4;
+    spec.threshold = 2;
+    spec.colors = &colors;
+    spec.subgraph = &in_h;
+    spec.sources = &in_x;
+    spec.activation_prob = 0.5;
+    expect_agreement(g, spec, rng);
+  }
+}
+
+TEST(EngineColorBfs, AgreesWithOverflowRule) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = graph::erdos_renyi(30, 0.2, rng);
+    const auto colors = random_coloring(g.vertex_count(), 4, rng);
+    ColorBfsSpec spec;
+    spec.cycle_length = 4;
+    spec.threshold = 2;
+    spec.reject_on_overflow = true;
+    spec.overflow_floor = 3;
+    spec.colors = &colors;
+    expect_agreement(g, spec, rng);
+  }
+}
+
+TEST(EngineColorBfs, RandomizedActivationNeedsForcedVector) {
+  const Graph g = graph::cycle(4);
+  std::vector<std::uint8_t> colors{0, 1, 2, 3};
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 2;
+  spec.activation_prob = 0.5;
+  spec.colors = &colors;
+  congest::Network net(g);
+  EXPECT_THROW(run_color_bfs_on_engine(net, spec), InvalidArgument);
+}
+
+TEST(EngineColorBfs, DrawActivationRespectsMasksAndColors) {
+  Rng rng(4);
+  const Graph g = graph::cycle(8);
+  std::vector<std::uint8_t> colors(8, 1);
+  colors[0] = 0;
+  colors[4] = 0;
+  std::vector<bool> in_x(8, true);
+  in_x[4] = false;
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 2;
+  spec.activation_prob = 1.0;
+  spec.colors = &colors;
+  spec.sources = &in_x;
+  const auto activation = draw_activation(g, spec, rng);
+  EXPECT_TRUE(activation[0]);
+  EXPECT_FALSE(activation[4]);  // masked out of X
+  EXPECT_FALSE(activation[1]);  // wrong color
+}
+
+}  // namespace
+}  // namespace evencycle::core

@@ -1,0 +1,202 @@
+#include "core/even_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::core {
+namespace {
+
+using graph::Graph;
+
+/// Colors the planted cycle consecutively 0..2k-1; everything else gets a
+/// fixed non-zero color so it cannot initiate or complete a chain head.
+std::vector<std::uint8_t> good_coloring(const Graph& g, const std::vector<VertexId>& cycle,
+                                        std::uint32_t palette) {
+  std::vector<std::uint8_t> colors(g.vertex_count(), static_cast<std::uint8_t>(palette - 1));
+  for (std::size_t i = 0; i < cycle.size(); ++i)
+    colors[cycle[i]] = static_cast<std::uint8_t>(i);
+  return colors;
+}
+
+TEST(Algorithm1, BuildSetsMatchesDefinitions) {
+  Rng rng(1);
+  const auto planted = graph::planted_heavy_cycle(400, 4, 60, rng);
+  const auto params = Params::practical(2, 400);
+  Rng set_rng(2);
+  const auto sets = build_sets(planted.graph, params, set_rng);
+
+  std::uint64_t light = 0, selected = 0, activators = 0;
+  for (VertexId v = 0; v < planted.graph.vertex_count(); ++v) {
+    // U: degree <= n^{1/k}.
+    EXPECT_EQ(sets.light[v], planted.graph.degree(v) <= params.light_degree_bound);
+    if (sets.light[v]) ++light;
+    if (sets.selected[v]) ++selected;
+    if (sets.activator[v]) {
+      ++activators;
+      // W: not selected, with >= k^2 selected neighbors.
+      EXPECT_FALSE(sets.selected[v]);
+      std::uint32_t hits = 0;
+      for (VertexId nb : planted.graph.neighbors(v))
+        if (sets.selected[nb]) ++hits;
+      EXPECT_GE(hits, params.activator_degree);
+    }
+  }
+  EXPECT_EQ(light, sets.light_count);
+  EXPECT_EQ(selected, sets.selected_count);
+  EXPECT_EQ(activators, sets.activator_count);
+  // The hub (vertex 0, degree ~60 > sqrt(400)) must be heavy.
+  EXPECT_FALSE(sets.light[0]);
+}
+
+TEST(Algorithm1, Case1LightCycleRejectsUnderGoodColoring) {
+  Rng rng(3);
+  const std::uint32_t k = 3;
+  const auto planted = graph::planted_light_cycle(500, 2 * k, rng);
+  const auto params = Params::practical(k, 500);
+  Rng set_rng(4);
+  const auto sets = build_sets(planted.graph, params, set_rng);
+  // Light instance: every cycle vertex must be in U for case 1 to apply.
+  for (auto v : planted.cycle) ASSERT_TRUE(sets.light[v]);
+
+  const auto colors = good_coloring(planted.graph, planted.cycle, 2 * k);
+  Rng iter_rng(5);
+  const auto outcome = run_iteration(planted.graph, params, sets, colors, iter_rng);
+  EXPECT_TRUE(outcome.light.rejected) << "Lemma 1: light call must reject";
+  EXPECT_TRUE(outcome.rejected());
+}
+
+TEST(Algorithm1, Case2SelectedCycleRejectsUnderGoodColoring) {
+  Rng rng(6);
+  const std::uint32_t k = 2;
+  const auto planted = graph::planted_light_cycle(300, 2 * k, rng);
+  const auto params = Params::practical(k, 300);
+  Rng set_rng(7);
+  auto sets = build_sets(planted.graph, params, set_rng);
+  // Force the color-0 cycle vertex into S (Lemma 2's hypothesis).
+  if (!sets.selected[planted.cycle[0]]) {
+    sets.selected[planted.cycle[0]] = true;
+    ++sets.selected_count;
+  }
+  ASSERT_LE(sets.selected_count, params.threshold) << "Lemma 2 needs |S| <= tau";
+
+  const auto colors = good_coloring(planted.graph, planted.cycle, 2 * k);
+  Rng iter_rng(8);
+  const auto outcome = run_iteration(planted.graph, params, sets, colors, iter_rng);
+  EXPECT_TRUE(outcome.selected.rejected) << "Lemma 2: the S-call must reject";
+}
+
+TEST(Algorithm1, Case3HeavyCycleRejectsUnderGoodColoring) {
+  // A heavy cycle avoiding S whose color-0 vertex has >= k^2 selected
+  // neighbors (Lemma 3's hypothesis), with S hand-picked among hub leaves.
+  Rng rng(9);
+  const std::uint32_t k = 2;
+  const VertexId n = 400;
+  const auto planted = graph::planted_heavy_cycle(n, 2 * k, /*hub_degree=*/80, rng);
+  const auto params = Params::practical(k, n);
+
+  AlgorithmSets sets;
+  sets.light.assign(n, false);
+  sets.selected.assign(n, false);
+  sets.activator.assign(n, false);
+  for (VertexId v = 0; v < n; ++v)
+    sets.light[v] = planted.graph.degree(v) <= params.light_degree_bound;
+  // Select k^2 leaves of the hub (never cycle vertices).
+  std::uint32_t picked = 0;
+  for (VertexId nb : planted.graph.neighbors(0)) {
+    if (planted.graph.degree(nb) == 1 && picked < params.activator_degree) {
+      sets.selected[nb] = true;
+      ++sets.selected_count;
+      ++picked;
+    }
+  }
+  ASSERT_EQ(picked, params.activator_degree);
+  sets.activator[0] = true;  // the hub: k^2 selected neighbors, not in S
+  sets.activator_count = 1;
+
+  const auto colors = good_coloring(planted.graph, planted.cycle, 2 * k);
+  Rng iter_rng(10);
+  const auto outcome = run_iteration(planted.graph, params, sets, colors, iter_rng);
+  EXPECT_TRUE(outcome.heavy.rejected) << "Lemma 3: the W-call must reject";
+}
+
+TEST(Algorithm1, NeverRejectsOnCycleFreeGraphs) {
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = graph::random_tree(250, rng);
+    PracticalTuning tuning;
+    tuning.repetitions = 20;
+    const auto params = Params::practical(2, 250, tuning);
+    const auto report = detect_even_cycle(g, params, rng);
+    EXPECT_FALSE(report.cycle_detected);
+    EXPECT_EQ(report.iterations_run, 20u);
+  }
+}
+
+TEST(Algorithm1, NeverRejectsOnLargeGirthGraphs) {
+  Rng rng(12);
+  const std::uint32_t k = 2;
+  const Graph g = graph::large_girth_graph(300, 2 * k + 1, rng);
+  PracticalTuning tuning;
+  tuning.repetitions = 30;
+  const auto params = Params::practical(k, g.vertex_count(), tuning);
+  const auto report = detect_even_cycle(g, params, rng);
+  EXPECT_FALSE(report.cycle_detected) << "graph has girth > 2k: any rejection is unsound";
+}
+
+TEST(Algorithm1, DetectsPlantedC4EndToEnd) {
+  Rng rng(13);
+  const auto planted = graph::planted_light_cycle(200, 4, rng);
+  PracticalTuning tuning;
+  tuning.repetitions = 800;  // per-coloring hit prob 1/32: miss ~ e^-25
+  const auto params = Params::practical(2, 200, tuning);
+  const auto report = detect_even_cycle(planted.graph, params, rng);
+  EXPECT_TRUE(report.cycle_detected);
+  EXPECT_LT(report.iterations_run, 800u);  // stop_on_reject kicked in
+}
+
+TEST(Algorithm1, StopOnRejectOffRunsAllIterations) {
+  Rng rng(14);
+  const auto planted = graph::planted_light_cycle(120, 4, rng);
+  PracticalTuning tuning;
+  tuning.repetitions = 50;
+  const auto params = Params::practical(2, 120, tuning);
+  DetectOptions options;
+  options.stop_on_reject = false;
+  const auto report = detect_even_cycle(planted.graph, params, rng, options);
+  EXPECT_EQ(report.iterations_run, 50u);
+}
+
+TEST(Algorithm1, LowCongestionVariantHasBoundedWindows) {
+  Rng rng(15);
+  const auto planted = graph::planted_heavy_cycle(500, 4, 100, rng);
+  PracticalTuning tuning;
+  tuning.repetitions = 30;
+  const auto params = Params::practical(2, 500, tuning);
+  DetectOptions options;
+  options.low_congestion = true;
+  options.stop_on_reject = false;
+  const auto report = detect_even_cycle(planted.graph, params, rng, options);
+  // Every color-BFS call charges 1 + (k-1)*4 rounds; 3 calls per iteration.
+  EXPECT_EQ(report.rounds_charged, 30u * 3u * (1u + 4u));
+  // Measured windows can never exceed the constant threshold 4.
+  EXPECT_LE(report.rounds_measured, report.rounds_charged);
+}
+
+TEST(Algorithm1, RoundsChargedFollowTheory) {
+  Rng rng(16);
+  const Graph g = graph::random_tree(300, rng);
+  PracticalTuning tuning;
+  tuning.repetitions = 10;
+  const auto params = Params::practical(2, 300, tuning);
+  DetectOptions options;
+  options.stop_on_reject = false;
+  const auto report = detect_even_cycle(g, params, rng, options);
+  // 3 calls x K iterations x (1 + (k-1)*tau).
+  EXPECT_EQ(report.rounds_charged, 10u * 3u * (1u + params.threshold));
+}
+
+}  // namespace
+}  // namespace evencycle::core

@@ -1,0 +1,99 @@
+#include "core/odd_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::core {
+namespace {
+
+using graph::Graph;
+
+TEST(OddCycle, DetectsTriangles) {
+  Rng rng(1);
+  const auto planted = graph::plant_cycle(graph::random_tree(100, rng), 3, rng);
+  OddCycleOptions options;
+  options.repetitions = 200;  // per-coloring hit prob 2/9: miss ~ e^-50
+  const auto report = detect_odd_cycle(planted.graph, 1, options, rng);
+  EXPECT_TRUE(report.cycle_detected);
+}
+
+TEST(OddCycle, DetectsPlantedC5) {
+  Rng rng(2);
+  const auto planted = graph::plant_cycle(graph::random_tree(80, rng), 5, rng);
+  OddCycleOptions options;
+  options.repetitions = 4000;  // per-coloring hit prob 10/5^5 = 1/312.5
+  const auto report = detect_odd_cycle(planted.graph, 2, options, rng);
+  EXPECT_TRUE(report.cycle_detected);
+}
+
+TEST(OddCycle, NeverRejectsOnBipartiteGraphs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = graph::random_bipartite(40, 40, 0.12, rng);
+    OddCycleOptions options;
+    options.repetitions = 100;
+    options.stop_on_reject = false;
+    for (std::uint32_t k : {1u, 2u, 3u}) {
+      const auto report = detect_odd_cycle(g, k, options, rng);
+      EXPECT_FALSE(report.cycle_detected)
+          << "bipartite graphs have no odd cycles (k=" << k << ")";
+    }
+  }
+}
+
+TEST(OddCycle, EvenCycleDoesNotTriggerOddDetector) {
+  Rng rng(4);
+  const Graph g = graph::cycle(6);
+  OddCycleOptions options;
+  options.repetitions = 500;
+  options.stop_on_reject = false;
+  const auto report = detect_odd_cycle(g, 1, options, rng);  // looks for C3
+  EXPECT_FALSE(report.cycle_detected);
+}
+
+TEST(OddCycle, LowCongestionVariantBoundsRounds) {
+  Rng rng(5);
+  const auto planted = graph::plant_cycle(graph::random_tree(150, rng), 5, rng);
+  OddCycleOptions options;
+  options.low_congestion = true;
+  options.repetitions = 40;
+  options.stop_on_reject = false;
+  const auto report = detect_odd_cycle(planted.graph, 2, options, rng);
+  // L = 5: down chain has 3 edges -> 2 windows of at most 4.
+  EXPECT_EQ(report.rounds_charged, 40u * (1u + 2u * 4u));
+  EXPECT_LE(report.max_congestion, 150u);
+}
+
+TEST(OddCycle, LowCongestionStillOneSided) {
+  Rng rng(6);
+  const Graph g = graph::random_bipartite(50, 50, 0.1, rng);
+  OddCycleOptions options;
+  options.low_congestion = true;
+  options.repetitions = 200;
+  options.stop_on_reject = false;
+  const auto report = detect_odd_cycle(g, 2, options, rng);
+  EXPECT_FALSE(report.cycle_detected);
+}
+
+TEST(OddCycle, FullVariantNeverDiscards) {
+  // Threshold n means |I_v| <= n never exceeds it: the full variant's
+  // detection only depends on the coloring (the Theta(n)-rounds baseline).
+  Rng rng(7);
+  const Graph g = graph::complete(30);  // triangles everywhere
+  OddCycleOptions options;
+  options.repetitions = 50;
+  const auto report = detect_odd_cycle(g, 1, options, rng);
+  EXPECT_TRUE(report.cycle_detected);
+}
+
+TEST(OddCycle, RejectsBadArguments) {
+  Rng rng(8);
+  const Graph g = graph::cycle(5);
+  OddCycleOptions options;
+  EXPECT_THROW(detect_odd_cycle(g, 0, options, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace evencycle::core

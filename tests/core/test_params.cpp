@@ -1,0 +1,87 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace evencycle::core {
+namespace {
+
+TEST(CeilRoot, ExactAtPerfectPowers) {
+  EXPECT_EQ(ceil_root(8, 3), 2u);
+  EXPECT_EQ(ceil_root(9, 3), 3u);   // 2^3 = 8 < 9
+  EXPECT_EQ(ceil_root(27, 3), 3u);
+  EXPECT_EQ(ceil_root(28, 3), 4u);
+  EXPECT_EQ(ceil_root(1'000'000'000'000ULL, 2), 1'000'000u);
+  EXPECT_EQ(ceil_root(16, 4), 2u);
+  EXPECT_EQ(ceil_root(17, 4), 3u);
+}
+
+TEST(CeilRoot, DegenerateCases) {
+  EXPECT_EQ(ceil_root(0, 3), 0u);
+  EXPECT_EQ(ceil_root(1, 5), 1u);
+  EXPECT_EQ(ceil_root(100, 1), 100u);
+}
+
+TEST(Params, TheoryMatchesPaperFormulas) {
+  const std::uint32_t k = 2;
+  const graph::VertexId n = 10000;
+  const auto p = Params::theory(k, n, 1.0 / 3.0);
+  const double eps_hat = std::log(9.0);
+  EXPECT_NEAR(p.eps_hat, eps_hat, 1e-12);
+  EXPECT_EQ(p.light_degree_bound, 100u);                      // n^{1/2}
+  EXPECT_EQ(p.activator_degree, 4u);                          // k^2
+  EXPECT_NEAR(p.selection_prob, eps_hat * 2 * 4 / 100.0, 1e-12);
+  // K = ceil(eps_hat * (2k)^{2k}) = ceil(eps_hat * 256).
+  EXPECT_EQ(p.repetitions, static_cast<std::uint64_t>(std::ceil(eps_hat * 256)));
+  // tau = k * 2^k * n * p.
+  EXPECT_EQ(p.threshold,
+            static_cast<std::uint64_t>(std::ceil(2.0 * 4.0 * n * p.selection_prob)));
+}
+
+TEST(Params, SelectionProbClampedToOne) {
+  const auto p = Params::theory(3, 10, 1.0 / 3.0);  // tiny n: k^2/n^{1/k} > 1
+  EXPECT_LE(p.selection_prob, 1.0);
+}
+
+TEST(Params, SmallerEpsilonMoreRepetitions) {
+  const auto loose = Params::theory(2, 100000, 1.0 / 3.0);
+  const auto tight = Params::theory(2, 100000, 1.0 / 100.0);
+  EXPECT_GT(tight.repetitions, loose.repetitions);
+  EXPECT_GT(tight.selection_prob, loose.selection_prob);
+}
+
+TEST(Params, PracticalCapsRepetitions) {
+  PracticalTuning tuning;
+  tuning.repetition_cap = 64;
+  const auto p = Params::practical(4, 100000, tuning);
+  EXPECT_EQ(p.repetitions, 64u);  // theory would be (8)^8 * eps_hat
+}
+
+TEST(Params, PracticalExplicitRepetitions) {
+  PracticalTuning tuning;
+  tuning.repetitions = 17;
+  const auto p = Params::practical(2, 1000, tuning);
+  EXPECT_EQ(p.repetitions, 17u);
+}
+
+TEST(Params, ThresholdScalesAsNPow) {
+  // tau = Theta(n^{1-1/k}): doubling n^(1-1/k) should roughly double tau.
+  PracticalTuning tuning;
+  const auto a = Params::practical(2, 10000, tuning);
+  const auto b = Params::practical(2, 40000, tuning);
+  const double ratio = static_cast<double>(b.threshold) / static_cast<double>(a.threshold);
+  EXPECT_NEAR(ratio, 2.0, 0.1);  // sqrt(40000)/sqrt(10000) = 2
+}
+
+TEST(Params, RejectsBadArguments) {
+  EXPECT_THROW(Params::theory(1, 100), InvalidArgument);
+  EXPECT_THROW(Params::theory(2, 1), InvalidArgument);
+  EXPECT_THROW(Params::theory(2, 100, 0.0), InvalidArgument);
+  EXPECT_THROW(Params::theory(2, 100, 1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace evencycle::core

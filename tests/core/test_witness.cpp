@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/color_bfs.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace evencycle::core {
+namespace {
+
+using graph::Graph;
+
+std::vector<std::uint8_t> consecutive(VertexId n) {
+  std::vector<std::uint8_t> colors(n);
+  for (VertexId v = 0; v < n; ++v) colors[v] = static_cast<std::uint8_t>(v);
+  return colors;
+}
+
+TEST(Witness, RecordedOnMeetRejection) {
+  const Graph g = graph::cycle(6);
+  const auto colors = consecutive(6);
+  ColorBfsSpec spec;
+  spec.cycle_length = 6;
+  spec.threshold = 10;
+  spec.colors = &colors;
+  Rng rng(1);
+  const auto out = run_color_bfs(g, spec, rng);
+  ASSERT_TRUE(out.rejected);
+  ASSERT_EQ(out.witnesses.size(), 1u);
+  EXPECT_EQ(out.witnesses[0].meet, 3u);
+  EXPECT_EQ(out.witnesses[0].source, 0u);
+}
+
+TEST(Witness, ReconstructionYieldsSimpleCycle) {
+  for (VertexId len : {4u, 5u, 6u, 8u, 9u}) {
+    const Graph g = graph::cycle(len);
+    const auto colors = consecutive(len);
+    ColorBfsSpec spec;
+    spec.cycle_length = len;
+    spec.threshold = 10;
+    spec.colors = &colors;
+    Rng rng(2);
+    const auto out = run_color_bfs(g, spec, rng);
+    ASSERT_TRUE(out.rejected) << "length " << len;
+    const auto cycle = reconstruct_witness_cycle(g, spec, out.witnesses[0]);
+    ASSERT_TRUE(cycle.has_value()) << "length " << len;
+    EXPECT_EQ(cycle->size(), len);
+    EXPECT_TRUE(graph::is_simple_cycle(g, *cycle));
+    // Contains both endpoints of the witness pair.
+    EXPECT_NE(std::find(cycle->begin(), cycle->end(), out.witnesses[0].meet), cycle->end());
+    EXPECT_NE(std::find(cycle->begin(), cycle->end(), out.witnesses[0].source), cycle->end());
+  }
+}
+
+TEST(Witness, ReconstructionOnRandomGraphs) {
+  Rng rng(3);
+  int reconstructed = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = graph::erdos_renyi(40, 0.12, rng);
+    const auto colors = random_coloring(g.vertex_count(), 4, rng);
+    ColorBfsSpec spec;
+    spec.cycle_length = 4;
+    spec.threshold = 100;
+    spec.colors = &colors;
+    const auto out = run_color_bfs(g, spec, rng);
+    for (const auto& witness : out.witnesses) {
+      const auto cycle = reconstruct_witness_cycle(g, spec, witness);
+      ASSERT_TRUE(cycle.has_value()) << "genuine witness must reconstruct";
+      EXPECT_EQ(cycle->size(), 4u);
+      EXPECT_TRUE(graph::is_simple_cycle(g, *cycle));
+      ++reconstructed;
+    }
+  }
+  EXPECT_GT(reconstructed, 0) << "sweep produced no witnesses to validate";
+}
+
+TEST(Witness, ReconstructionRespectsSubgraphMask) {
+  // Two disjoint well-colored C4s; masking one out must not let its
+  // witness be reconstructed through the mask.
+  graph::GraphBuilder b(8);
+  for (VertexId i = 0; i < 4; ++i) b.add_edge(i, (i + 1) % 4);
+  for (VertexId i = 0; i < 4; ++i) b.add_edge(4 + i, 4 + (i + 1) % 4);
+  const Graph g = std::move(b).build();
+  std::vector<std::uint8_t> colors{0, 1, 2, 3, 0, 1, 2, 3};
+  std::vector<bool> mask(8, true);
+  for (VertexId v = 4; v < 8; ++v) mask[v] = false;
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 10;
+  spec.colors = &colors;
+  spec.subgraph = &mask;
+  Rng rng(4);
+  const auto out = run_color_bfs(g, spec, rng);
+  ASSERT_EQ(out.witnesses.size(), 1u);
+  EXPECT_EQ(out.witnesses[0].meet, 2u);
+  // A witness for the masked copy is forged under this spec.
+  const Witness forged{6, 4};
+  EXPECT_FALSE(reconstruct_witness_cycle(g, spec, forged).has_value());
+  // The genuine one reconstructs.
+  EXPECT_TRUE(reconstruct_witness_cycle(g, spec, out.witnesses[0]).has_value());
+}
+
+TEST(Witness, ForgedWitnessRejected) {
+  const Graph g = graph::path(6);  // no cycles at all
+  std::vector<std::uint8_t> colors{0, 1, 2, 3, 0, 1};
+  ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 10;
+  spec.colors = &colors;
+  EXPECT_FALSE(reconstruct_witness_cycle(g, spec, {2, 0}).has_value());
+  // Wrong colors for the roles.
+  EXPECT_FALSE(reconstruct_witness_cycle(g, spec, {0, 2}).has_value());
+  // Out of range.
+  EXPECT_FALSE(reconstruct_witness_cycle(g, spec, {99, 0}).has_value());
+}
+
+}  // namespace
+}  // namespace evencycle::core

@@ -1,0 +1,129 @@
+#include "graph/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace evencycle::graph {
+namespace {
+
+TEST(Analysis, BfsDistancesOnPath) {
+  const Graph g = path(6);
+  const auto dist = bfs_distances(g, 0);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Analysis, BfsUnreachableMarked) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(Analysis, ConnectedComponents) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 3u);
+  EXPECT_EQ(comps.component[0], comps.component[1]);
+  EXPECT_NE(comps.component[0], comps.component[2]);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(path(4)));
+}
+
+TEST(Analysis, DiameterOfPathAndCycle) {
+  EXPECT_EQ(diameter_exact(path(10)), 9u);
+  EXPECT_EQ(diameter_exact(cycle(10)), 5u);
+  EXPECT_EQ(diameter_exact(cycle(11)), 5u);
+}
+
+TEST(Analysis, DoubleSweepExactOnTrees) {
+  Rng rng(1);
+  const Graph g = random_tree(200, rng);
+  // Double sweep is exact on trees.
+  EXPECT_EQ(diameter_double_sweep(g), diameter_exact(g));
+}
+
+TEST(Analysis, DoubleSweepLowerBoundsDiameter) {
+  Rng rng(2);
+  const Graph g = erdos_renyi(150, 0.03, rng);
+  if (is_connected(g)) {
+    EXPECT_LE(diameter_double_sweep(g), diameter_exact(g));
+  }
+}
+
+TEST(Analysis, GirthKnownFamilies) {
+  EXPECT_EQ(girth(cycle(9)).value(), 9u);
+  EXPECT_EQ(girth(complete(4)).value(), 3u);
+  EXPECT_EQ(girth(complete_bipartite(2, 3)).value(), 4u);
+  EXPECT_FALSE(girth(path(7)).has_value());
+  EXPECT_EQ(girth(theta(2, 5)).value(), 10u);
+}
+
+TEST(Analysis, DegeneracyFamilies) {
+  EXPECT_EQ(degeneracy(path(10)).value, 1u);
+  EXPECT_EQ(degeneracy(cycle(10)).value, 2u);
+  EXPECT_EQ(degeneracy(complete(5)).value, 4u);
+  const auto d = degeneracy(complete_bipartite(3, 7));
+  EXPECT_EQ(d.value, 3u);
+  EXPECT_EQ(d.order.size(), 10u);
+}
+
+TEST(Analysis, IsSimpleCycleValidation) {
+  const Graph g = cycle(5);
+  EXPECT_TRUE(is_simple_cycle(g, {0, 1, 2, 3, 4}));
+  EXPECT_TRUE(is_simple_cycle(g, {2, 3, 4, 0, 1}));
+  EXPECT_FALSE(is_simple_cycle(g, {0, 1, 2, 3}));      // not closed by an edge
+  EXPECT_FALSE(is_simple_cycle(g, {0, 1, 2, 2, 4}));   // repeated vertex
+  EXPECT_FALSE(is_simple_cycle(g, {0, 2, 4, 1, 3}));   // non-adjacent hops
+  EXPECT_FALSE(is_simple_cycle(g, {0, 1}));            // too short
+}
+
+TEST(Analysis, BipartitenessDetectsOddCycles) {
+  EXPECT_TRUE(is_bipartite(cycle(8)));
+  EXPECT_FALSE(is_bipartite(cycle(9)));
+  EXPECT_TRUE(is_bipartite(path(5)));
+  EXPECT_FALSE(is_bipartite(complete(3)));
+}
+
+TEST(Analysis, TriangleCountKnownFamilies) {
+  EXPECT_EQ(count_triangles(complete(4)), 4u);
+  EXPECT_EQ(count_triangles(complete(6)), 20u);  // C(6,3)
+  EXPECT_EQ(count_triangles(cycle(3)), 1u);
+  EXPECT_EQ(count_triangles(cycle(6)), 0u);
+  EXPECT_EQ(count_triangles(complete_bipartite(5, 5)), 0u);
+  EXPECT_EQ(count_triangles(path(10)), 0u);
+}
+
+TEST(Analysis, FourCycleCountKnownFamilies) {
+  EXPECT_EQ(count_four_cycles(cycle(4)), 1u);
+  EXPECT_EQ(count_four_cycles(cycle(5)), 0u);
+  EXPECT_EQ(count_four_cycles(complete_bipartite(2, 2)), 1u);
+  // K_{a,b}: C(a,2) * C(b,2) four-cycles.
+  EXPECT_EQ(count_four_cycles(complete_bipartite(3, 4)), 3u * 6u);
+  EXPECT_EQ(count_four_cycles(complete(4)), 3u);
+  // Projective-plane incidence graphs are C4-free by definition.
+  EXPECT_EQ(count_four_cycles(projective_plane_incidence(3)), 0u);
+}
+
+TEST(Analysis, CountsAgreeWithExistenceOnRandomGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = erdos_renyi(30, 0.1, rng);
+    const bool has_c3 = girth(g).value_or(99) == 3;
+    EXPECT_EQ(count_triangles(g) > 0, has_c3);
+  }
+}
+
+TEST(Analysis, EccentricityOnCycle) {
+  const Graph g = cycle(12);
+  for (VertexId v = 0; v < 12; ++v) EXPECT_EQ(eccentricity(g, v), 6u);
+}
+
+}  // namespace
+}  // namespace evencycle::graph

@@ -1,0 +1,114 @@
+#include "graph/cycle_search.hpp"
+
+#include "support/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace evencycle::graph {
+namespace {
+
+TEST(ExactSearch, FindsPlantedCycleExactLength) {
+  Rng rng(1);
+  const auto planted = plant_cycle(random_tree(40, rng), 6, rng);
+  const auto found = find_cycle_exact(planted.graph, 6);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(is_simple_cycle(planted.graph, *found));
+  EXPECT_EQ(found->size(), 6u);
+}
+
+TEST(ExactSearch, RejectsWrongLength) {
+  const Graph g = cycle(7);
+  EXPECT_TRUE(contains_cycle_exact(g, 7));
+  EXPECT_FALSE(contains_cycle_exact(g, 6));
+  EXPECT_FALSE(contains_cycle_exact(g, 8));
+}
+
+TEST(ExactSearch, TreeHasNoCycles) {
+  Rng rng(2);
+  const Graph g = random_tree(30, rng);
+  for (std::uint32_t len = 3; len <= 8; ++len) EXPECT_FALSE(contains_cycle_exact(g, len));
+}
+
+TEST(ExactSearch, CompleteGraphHasAllLengths) {
+  const Graph g = complete(7);
+  for (std::uint32_t len = 3; len <= 7; ++len) EXPECT_TRUE(contains_cycle_exact(g, len));
+}
+
+TEST(ExactSearch, ThetaGraphLengths) {
+  // Paths of lengths 3 and 3 -> only cycles of length 6.
+  const Graph g = theta(2, 3);
+  EXPECT_FALSE(contains_cycle_exact(g, 4));
+  EXPECT_FALSE(contains_cycle_exact(g, 5));
+  EXPECT_TRUE(contains_cycle_exact(g, 6));
+  EXPECT_FALSE(contains_cycle_exact(g, 7));
+}
+
+TEST(ExactSearch, C4FreeProjectivePlane) {
+  const Graph g = projective_plane_incidence(3);
+  EXPECT_FALSE(contains_cycle_exact(g, 4));
+  EXPECT_TRUE(contains_cycle_exact(g, 6));
+}
+
+TEST(ExactSearch, BudgetExhaustionThrows) {
+  const Graph g = complete(12);
+  EXPECT_THROW(find_cycle_exact(g, 12, /*max_expansions=*/10), SimulationError);
+}
+
+TEST(ColorCoding, TrialsFormulaSane) {
+  const auto t4 = color_coding_trials(4, 0.01);
+  const auto t8 = color_coding_trials(8, 0.01);
+  EXPECT_GT(t8, t4);  // longer cycles need more trials
+  EXPECT_GE(t4, 1u);
+}
+
+TEST(ColorCoding, DetectsPlantedCycles) {
+  Rng rng(3);
+  for (std::uint32_t len : {4u, 6u, 8u}) {
+    const auto planted = plant_cycle(random_tree(120, rng), len, rng);
+    Rng seed(100 + len);
+    EXPECT_TRUE(contains_cycle_color_coding(planted.graph, len, seed,
+                                            color_coding_trials(len, 0.001)))
+        << "length " << len;
+  }
+}
+
+TEST(ColorCoding, OneSidedOnForests) {
+  Rng rng(4);
+  const Graph g = random_tree(200, rng);
+  // One-sided: cycle-free graphs can never produce a witness.
+  for (std::uint32_t len : {4u, 5u, 6u}) {
+    EXPECT_FALSE(contains_cycle_color_coding(g, len, rng, 50));
+  }
+}
+
+TEST(ColorCoding, ExactLengthOnly) {
+  Rng rng(5);
+  const Graph g = cycle(10);  // only C10
+  EXPECT_FALSE(contains_cycle_color_coding(g, 6, rng, 300));
+  Rng seed(6);
+  EXPECT_TRUE(contains_cycle_color_coding(g, 10, seed, color_coding_trials(10, 0.001)));
+}
+
+TEST(ColorCoding, AgreesWithExactSearchOnRandomGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = erdos_renyi(24, 0.12, rng);
+    for (std::uint32_t len : {4u, 5u, 6u}) {
+      const bool exact = contains_cycle_exact(g, len);
+      Rng seed(1000 + trial * 10 + len);
+      const bool cc =
+          contains_cycle_color_coding(g, len, seed, color_coding_trials(len, 1e-6));
+      if (exact) {
+        EXPECT_TRUE(cc) << "missed a C_" << len;
+      } else {
+        EXPECT_FALSE(cc) << "fabricated a C_" << len;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evencycle::graph

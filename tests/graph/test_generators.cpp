@@ -1,0 +1,197 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::graph {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = path(5);
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_FALSE(girth(g).has_value());
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = cycle(7);
+  EXPECT_EQ(g.edge_count(), 7u);
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_EQ(girth(g).value(), 7u);
+}
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(girth(g).value(), 3u);
+}
+
+TEST(Generators, CompleteBipartiteGirthFour) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.edge_count(), 12u);
+  EXPECT_EQ(girth(g).value(), 4u);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, GridGirthFour) {
+  const Graph g = grid(4, 5);
+  EXPECT_EQ(g.vertex_count(), 20u);
+  EXPECT_EQ(girth(g).value(), 4u);
+}
+
+TEST(Generators, TorusRegular) {
+  const Graph g = torus(4, 4);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, ThetaGraphCycles) {
+  // Two terminals, 3 paths of length 4: girth 8.
+  const Graph g = theta(3, 4);
+  EXPECT_EQ(girth(g).value(), 8u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.vertex_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 32u);
+  for (VertexId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(girth(g).value(), 4u);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(diameter_exact(g), 4u);
+}
+
+TEST(Generators, CirculantKnownStructure) {
+  // C_12(1): the plain 12-cycle; C_12(2,3): girth 3 triangles (2+2-... 3-2-
+  // actually offsets {2,3} give triangle 0-2-... 0-3-... check girth small).
+  const Graph ring = circulant(12, {1});
+  EXPECT_EQ(girth(ring).value(), 12u);
+  const Graph dense = circulant(12, {1, 2});
+  EXPECT_EQ(girth(dense).value(), 3u);  // 0-1-2-0 via offsets 1,1,2
+  for (VertexId v = 0; v < 12; ++v) EXPECT_EQ(dense.degree(v), 4u);
+  // Antipodal offset counted once.
+  const Graph antipodal = circulant(8, {4});
+  EXPECT_EQ(antipodal.edge_count(), 4u);
+}
+
+TEST(Generators, ProjectivePlaneIsC4FreeExtremal) {
+  for (std::uint32_t q : {2u, 3u, 5u}) {
+    const Graph g = projective_plane_incidence(q);
+    const auto c = q * q + q + 1;
+    EXPECT_EQ(g.vertex_count(), 2 * c);
+    EXPECT_EQ(g.edge_count(), (q + 1) * c);
+    EXPECT_EQ(girth(g).value(), 6u) << "q=" << q;  // C4-free, C6 present
+    for (VertexId v = 0; v < g.vertex_count(); ++v) EXPECT_EQ(g.degree(v), q + 1);
+  }
+}
+
+TEST(Generators, ProjectivePlaneRequiresPrime) {
+  EXPECT_THROW(projective_plane_incidence(4), InvalidArgument);
+  EXPECT_THROW(projective_plane_incidence(1), InvalidArgument);
+}
+
+TEST(Generators, SubdivideMultipliesGirth) {
+  const Graph g = cycle(4);
+  const Graph s = subdivide(g, 2);  // every edge becomes a path of 3 edges
+  EXPECT_EQ(s.vertex_count(), 4u + 4u * 2u);
+  EXPECT_EQ(girth(s).value(), 12u);
+}
+
+TEST(Generators, SubdivideZeroIsCopy) {
+  const Graph g = cycle(5);
+  const Graph s = subdivide(g, 0);
+  EXPECT_EQ(s.vertex_count(), g.vertex_count());
+  EXPECT_EQ(s.edge_count(), g.edge_count());
+}
+
+TEST(Generators, ErdosRenyiDensityRoughlyRight) {
+  Rng rng(1);
+  const Graph g = erdos_renyi(400, 0.05, rng);
+  const double expected = 0.05 * 400 * 399 / 2;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, expected * 0.25);
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  Rng rng(2);
+  EXPECT_EQ(erdos_renyi(50, 0.0, rng).edge_count(), 0u);
+  EXPECT_EQ(erdos_renyi(10, 1.0, rng).edge_count(), 45u);
+}
+
+TEST(Generators, GnmExactEdgeCount) {
+  Rng rng(3);
+  const Graph g = erdos_renyi_gnm(100, 250, rng);
+  EXPECT_EQ(g.edge_count(), 250u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(4);
+  for (VertexId n : {1u, 2u, 3u, 10u, 100u}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.edge_count(), n - 1);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_FALSE(girth(g).has_value());
+  }
+}
+
+TEST(Generators, NearRegularDegreesBounded) {
+  Rng rng(5);
+  const Graph g = random_near_regular(200, 4, rng);
+  std::uint32_t full = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_LE(g.degree(v), 4u);
+    if (g.degree(v) == 4) ++full;
+  }
+  EXPECT_GT(full, 150u);  // almost all vertices reach the target degree
+}
+
+TEST(Generators, RandomBipartiteHasNoOddCycles) {
+  Rng rng(6);
+  const Graph g = random_bipartite(40, 40, 0.1, rng);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, BarabasiAlbertSkewsDegrees) {
+  Rng rng(7);
+  const Graph g = barabasi_albert(500, 2, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GT(g.max_degree(), 20u);  // hubs emerge
+}
+
+TEST(Generators, PlantCycleGuaranteesCycle) {
+  Rng rng(8);
+  const Graph host = random_tree(60, rng);
+  const auto planted = plant_cycle(host, 8, rng);
+  EXPECT_EQ(planted.cycle.size(), 8u);
+  EXPECT_TRUE(is_simple_cycle(planted.graph, planted.cycle));
+}
+
+TEST(Generators, PlantedLightCycleKeepsDegreesSmall) {
+  Rng rng(9);
+  const auto planted = planted_light_cycle(300, 6, rng);
+  EXPECT_TRUE(is_simple_cycle(planted.graph, planted.cycle));
+  // Tree max degree is small; +2 from the cycle.
+  for (auto v : planted.cycle) EXPECT_LE(planted.graph.degree(v), 16u);
+}
+
+TEST(Generators, PlantedHeavyCycleHasHub) {
+  Rng rng(10);
+  const auto planted = planted_heavy_cycle(500, 8, 100, rng);
+  EXPECT_TRUE(is_simple_cycle(planted.graph, planted.cycle));
+  EXPECT_GE(planted.graph.degree(planted.cycle[0]), 90u);
+}
+
+TEST(Generators, LargeGirthGraphHasLargeGirth) {
+  Rng rng(11);
+  const Graph g = large_girth_graph(400, 8, rng);
+  const auto gg = girth(g);
+  if (gg.has_value()) {
+    EXPECT_GT(gg.value(), 8u);
+  }
+}
+
+}  // namespace
+}  // namespace evencycle::graph

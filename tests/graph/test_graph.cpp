@@ -1,0 +1,132 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace evencycle::graph {
+namespace {
+
+Graph triangle_plus_pendant() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  return std::move(b).build();
+}
+
+TEST(Graph, CountsAndDegrees) {
+  const Graph g = triangle_plus_pendant();
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const Graph g = triangle_plus_pendant();
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 1u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(Graph, HasEdgeAndEdgeId) {
+  const Graph g = triangle_plus_pendant();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.edge_id(0, 3), kInvalidEdge);
+  const auto e = g.edge_id(1, 2);
+  ASSERT_NE(e, kInvalidEdge);
+  const auto [u, v] = g.edge(e);
+  EXPECT_EQ(u, 1u);
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(Graph, ArcIndexRoundTrips) {
+  const Graph g = triangle_plus_pendant();
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::uint32_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_EQ(g.arc_index(u, nbrs[i]), i);
+    }
+  }
+}
+
+TEST(Graph, IncidentEdgesMatchNeighbors) {
+  const Graph g = triangle_plus_pendant();
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto edges = g.incident_edges(u);
+    ASSERT_EQ(nbrs.size(), edges.size());
+    for (std::uint32_t i = 0; i < nbrs.size(); ++i) {
+      const auto [a, b] = g.edge(edges[i]);
+      EXPECT_TRUE((a == u && b == nbrs[i]) || (b == u && a == nbrs[i]));
+    }
+  }
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), InvalidArgument);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), InvalidArgument);
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphBuilder, AddVertexGrows) {
+  GraphBuilder b(1);
+  const auto v = b.add_vertex();
+  EXPECT_EQ(v, 1u);
+  b.add_edge(0, v);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.vertex_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, InducedSubgraphMapsIds) {
+  const Graph g = triangle_plus_pendant();
+  std::vector<bool> keep{true, false, true, true};
+  const auto induced = g.induced_subgraph(keep);
+  EXPECT_EQ(induced.graph.vertex_count(), 3u);
+  // Surviving edges: (0,2) and (2,3).
+  EXPECT_EQ(induced.graph.edge_count(), 2u);
+  EXPECT_EQ(induced.to_original.size(), 3u);
+  EXPECT_EQ(induced.from_original[1], kInvalidVertex);
+  const auto new0 = induced.from_original[0];
+  const auto new2 = induced.from_original[2];
+  EXPECT_TRUE(induced.graph.has_edge(new0, new2));
+}
+
+TEST(Graph, EmptyGraph) {
+  GraphBuilder b(0);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  const Graph g = triangle_plus_pendant();
+  const auto text = g.summary();
+  EXPECT_NE(text.find("n=4"), std::string::npos);
+  EXPECT_NE(text.find("m=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evencycle::graph

@@ -1,0 +1,60 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::graph {
+namespace {
+
+TEST(Io, EdgeListRoundTrip) {
+  Rng rng(1);
+  const Graph g = erdos_renyi(60, 0.08, rng);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  const Graph back = read_edge_list(ss);
+  ASSERT_EQ(back.vertex_count(), g.vertex_count());
+  ASSERT_EQ(back.edge_count(), g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.edge(e);
+    EXPECT_TRUE(back.has_edge(u, v));
+  }
+}
+
+TEST(Io, MalformedHeaderThrows) {
+  std::stringstream ss("bogus");
+  EXPECT_THROW(read_edge_list(ss), InvalidArgument);
+}
+
+TEST(Io, TruncatedBodyThrows) {
+  std::stringstream ss("4 2\n0 1\n");
+  EXPECT_THROW(read_edge_list(ss), InvalidArgument);
+}
+
+TEST(Io, DotContainsEdges) {
+  const Graph g = path(3);
+  const auto dot = to_dot(g);
+  EXPECT_NE(dot.find("graph G"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+}
+
+TEST(Io, FileRoundTrip) {
+  const Graph g = cycle(9);
+  const std::string file = testing::TempDir() + "/ec_io_test.txt";
+  save_edge_list(g, file);
+  const Graph back = load_edge_list(file);
+  EXPECT_EQ(back.vertex_count(), 9u);
+  EXPECT_EQ(back.edge_count(), 9u);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/path/graph.txt"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace evencycle::graph

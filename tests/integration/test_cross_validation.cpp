@@ -1,0 +1,121 @@
+// Cross-validation between independent implementations:
+//   * the distributed detectors vs the sequential color-coding /
+//     exact-search ground truth on random instances;
+//   * the phase-level round accounting vs the message-level engine;
+//   * measured rounds vs the charged worst case.
+#include <gtest/gtest.h>
+
+#include "baseline/flooding.hpp"
+#include "congest/network.hpp"
+#include "core/engine_color_bfs.hpp"
+#include "core/even_cycle.hpp"
+#include "graph/cycle_search.hpp"
+#include "graph/generators.hpp"
+
+namespace evencycle {
+namespace {
+
+using graph::Graph;
+
+TEST(CrossValidation, DetectorAgreesWithGroundTruthOnRandomGraphs) {
+  Rng rng(1);
+  int positives = 0, negatives = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = graph::erdos_renyi(36, 0.05, rng);
+    const bool truth = graph::contains_cycle_exact(g, 4);
+    core::PracticalTuning tuning;
+    tuning.repetitions = 500;  // miss prob ~ (31/32)^500 ~ 1e-7 per instance
+    const auto params = core::Params::practical(2, g.vertex_count(), tuning);
+    const auto report = core::detect_even_cycle(g, params, rng);
+    if (truth) {
+      EXPECT_TRUE(report.cycle_detected) << "missed a C4 (trial " << trial << ")";
+      ++positives;
+    } else {
+      EXPECT_FALSE(report.cycle_detected) << "fabricated a C4 (trial " << trial << ")";
+      ++negatives;
+    }
+  }
+  EXPECT_GT(positives, 0);
+  EXPECT_GT(negatives, 0);
+}
+
+TEST(CrossValidation, MeasuredRoundsNeverExceedCharged) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::erdos_renyi(80, 0.06, rng);
+    core::PracticalTuning tuning;
+    tuning.repetitions = 10;
+    const auto params = core::Params::practical(2, g.vertex_count(), tuning);
+    core::DetectOptions options;
+    options.stop_on_reject = false;
+    const auto report = core::detect_even_cycle(g, params, rng, options);
+    EXPECT_LE(report.rounds_measured, report.rounds_charged);
+    EXPECT_LE(report.max_congestion,
+              std::max<std::uint64_t>(params.threshold, report.max_congestion == 0 ? 0 : 1)
+                  * std::max<std::uint64_t>(1, g.vertex_count()));
+  }
+}
+
+TEST(CrossValidation, EngineAndFastImplAgreeOnAlgorithmOneCalls) {
+  // Run one full Algorithm 1 iteration call-by-call on both implementations.
+  Rng rng(3);
+  const auto planted = graph::planted_light_cycle(60, 4, rng);
+  const Graph& g = planted.graph;
+  core::PracticalTuning tuning;
+  const auto params = core::Params::practical(2, g.vertex_count(), tuning);
+  Rng set_rng(4);
+  const auto sets = core::build_sets(g, params, set_rng);
+  std::vector<bool> not_selected(g.vertex_count());
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) not_selected[v] = !sets.selected[v];
+
+  for (int coloring_trial = 0; coloring_trial < 15; ++coloring_trial) {
+    const auto colors = core::random_coloring(g.vertex_count(), 4, rng);
+    const struct {
+      const std::vector<bool>* subgraph;
+      const std::vector<bool>* sources;
+    } calls[3] = {{&sets.light, &sets.light}, {nullptr, &sets.selected},
+                  {&not_selected, &sets.activator}};
+    for (const auto& call : calls) {
+      core::ColorBfsSpec spec;
+      spec.cycle_length = 4;
+      spec.threshold = std::min<std::uint64_t>(params.threshold, 6);
+      spec.colors = &colors;
+      spec.subgraph = call.subgraph;
+      spec.sources = call.sources;
+      Rng fast_rng(1);
+      const auto fast = core::run_color_bfs(g, spec, fast_rng);
+      congest::Network net(g);
+      const auto engine = core::run_color_bfs_on_engine(net, spec);
+      ASSERT_EQ(fast.rejected, engine.rejected);
+      ASSERT_EQ(fast.rejecting_nodes, engine.rejecting_nodes);
+    }
+  }
+}
+
+TEST(CrossValidation, EngineRoundsMatchChargedFormula) {
+  Rng rng(5);
+  const Graph g = graph::erdos_renyi(50, 0.1, rng);
+  for (std::uint32_t length : {4u, 5u, 6u, 8u}) {
+    const auto colors = core::random_coloring(g.vertex_count(), length, rng);
+    core::ColorBfsSpec spec;
+    spec.cycle_length = length;
+    spec.threshold = 3;
+    spec.colors = &colors;
+    congest::Network net(g);
+    const auto engine = core::run_color_bfs_on_engine(net, spec);
+    const std::uint64_t down_len = length - length / 2;
+    EXPECT_EQ(engine.rounds, 2 + (down_len - 1) * 3);
+  }
+}
+
+TEST(CrossValidation, FloodBaselineAgreesWithDetectorOnPositives) {
+  Rng rng(6);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto planted = graph::planted_light_cycle(100, 6, rng);
+    // The deterministic flooding baseline must find every planted cycle.
+    EXPECT_TRUE(baseline::detect_cycle_flooding(planted.graph, 6).cycle_detected);
+  }
+}
+
+}  // namespace
+}  // namespace evencycle

@@ -1,0 +1,160 @@
+// The paper's hard guarantee: on C_{2k}-free inputs *every* algorithm
+// accepts with probability 1. This is exact, not statistical, so these
+// parameterized sweeps assert zero false rejections across generators,
+// detectors, and seeds.
+#include <gtest/gtest.h>
+
+#include "core/bounded_cycle.hpp"
+#include "core/even_cycle.hpp"
+#include "core/odd_cycle.hpp"
+#include "baseline/local_threshold.hpp"
+#include "graph/analysis.hpp"
+#include "graph/cycle_search.hpp"
+#include "graph/generators.hpp"
+#include "quantum/quantum_cycle.hpp"
+
+namespace evencycle {
+namespace {
+
+using graph::Graph;
+
+struct FreeCase {
+  const char* name;
+  std::uint32_t k;        // target C_{2k}
+  std::uint64_t seed;
+};
+
+class OneSidedEven : public ::testing::TestWithParam<FreeCase> {};
+
+Graph make_even_free_graph(std::uint32_t k, Rng& rng, int variant) {
+  // Families guaranteed C_{2k}-free.
+  switch (variant % 4) {
+    case 0:
+      return graph::random_tree(220, rng);                      // no cycles at all
+    case 1:
+      return graph::large_girth_graph(250, 2 * k + 1, rng);     // girth > 2k
+    case 2:
+      return graph::cycle(2 * k + 3);                           // single longer odd cycle
+    default:
+      return graph::star(150);                                  // star: acyclic
+  }
+}
+
+TEST_P(OneSidedEven, Algorithm1NeverFalselyRejects) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  for (int variant = 0; variant < 4; ++variant) {
+    const Graph g = make_even_free_graph(param.k, rng, variant);
+    core::PracticalTuning tuning;
+    tuning.repetitions = 15;
+    const auto params = core::Params::practical(param.k, g.vertex_count(), tuning);
+    const auto report = core::detect_even_cycle(g, params, rng);
+    EXPECT_FALSE(report.cycle_detected)
+        << param.name << " variant " << variant << " k=" << param.k;
+  }
+}
+
+TEST_P(OneSidedEven, LowCongestionVariantNeverFalselyRejects) {
+  const auto param = GetParam();
+  Rng rng(param.seed + 1000);
+  for (int variant = 0; variant < 4; ++variant) {
+    const Graph g = make_even_free_graph(param.k, rng, variant);
+    core::PracticalTuning tuning;
+    tuning.repetitions = 15;
+    const auto params = core::Params::practical(param.k, g.vertex_count(), tuning);
+    core::DetectOptions options;
+    options.low_congestion = true;
+    const auto report = core::detect_even_cycle(g, params, rng, options);
+    EXPECT_FALSE(report.cycle_detected);
+  }
+}
+
+TEST_P(OneSidedEven, LocalThresholdBaselineNeverFalselyRejects) {
+  const auto param = GetParam();
+  Rng rng(param.seed + 2000);
+  for (int variant = 0; variant < 4; ++variant) {
+    const Graph g = make_even_free_graph(param.k, rng, variant);
+    baseline::LocalThresholdOptions options;
+    options.attempts = 60;
+    const auto report =
+        baseline::detect_even_cycle_local_threshold(g, param.k, options, rng);
+    EXPECT_FALSE(report.cycle_detected);
+  }
+}
+
+TEST_P(OneSidedEven, QuantumPipelineNeverFalselyRejects) {
+  const auto param = GetParam();
+  Rng rng(param.seed + 3000);
+  const Graph g = make_even_free_graph(param.k, rng, static_cast<int>(param.seed % 4));
+  quantum::QuantumPipelineOptions options;
+  options.base_repetitions = 10;
+  options.max_base_runs = 100;
+  const auto report = quantum::quantum_detect_even_cycle(g, param.k, options, rng);
+  EXPECT_FALSE(report.cycle_detected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OneSidedEven,
+                         ::testing::Values(FreeCase{"k2a", 2, 11}, FreeCase{"k2b", 2, 12},
+                                           FreeCase{"k3a", 3, 13}, FreeCase{"k3b", 3, 14},
+                                           FreeCase{"k4", 4, 15}, FreeCase{"k5", 5, 16},
+                                           FreeCase{"k6", 6, 17}),
+                         [](const auto& info) { return info.param.name; });
+
+class OneSidedOdd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OneSidedOdd, OddDetectorNeverRejectsBipartite) {
+  Rng rng(GetParam());
+  const Graph g = graph::random_bipartite(50, 50, 0.08, rng);
+  for (std::uint32_t k : {1u, 2u, 3u}) {
+    core::OddCycleOptions options;
+    options.repetitions = 40;
+    options.stop_on_reject = false;
+    EXPECT_FALSE(core::detect_odd_cycle(g, k, options, rng).cycle_detected);
+    options.low_congestion = true;
+    EXPECT_FALSE(core::detect_odd_cycle(g, k, options, rng).cycle_detected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneSidedOdd, ::testing::Values(21, 22, 23, 24, 25));
+
+class OneSidedBounded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OneSidedBounded, BoundedDetectorRespectsGirth) {
+  Rng rng(GetParam());
+  // Construct a graph with a known girth g0 and test all k with 2k < g0.
+  const Graph g = graph::cycle(15 + static_cast<graph::VertexId>(GetParam() % 6));
+  const auto g0 = graph::girth(g).value();
+  for (std::uint32_t k = 2; 2 * k < g0; ++k) {
+    core::BoundedCycleOptions options;
+    options.repetitions = 40;
+    options.stop_on_reject = false;
+    EXPECT_FALSE(core::detect_bounded_cycle(g, k, options, rng).cycle_detected)
+        << "girth " << g0 << " but rejected at k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneSidedBounded, ::testing::Values(31, 32, 33, 34));
+
+// Rejections on graphs that *do* contain cycles must still witness the
+// right length: a meet rejection on random graphs is checked against the
+// exact ground truth.
+TEST(SoundWitness, EvenDetectorRejectionsAlwaysTruthful) {
+  Rng rng(41);
+  int rejections = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = graph::erdos_renyi(40, 0.1, rng);
+    core::PracticalTuning tuning;
+    tuning.repetitions = 40;
+    const auto params = core::Params::practical(2, g.vertex_count(), tuning);
+    const auto report = core::detect_even_cycle(g, params, rng);
+    if (report.cycle_detected) {
+      ++rejections;
+      EXPECT_TRUE(graph::contains_cycle_exact(g, 4))
+          << "detector claimed a C4 that does not exist";
+    }
+  }
+  EXPECT_GT(rejections, 0) << "sweep never rejected: instances too sparse";
+}
+
+}  // namespace
+}  // namespace evencycle

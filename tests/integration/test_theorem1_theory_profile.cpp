@@ -1,0 +1,77 @@
+// Theorem 1 with the paper-exact constants: for k = 2 the theory profile is
+// actually feasible (K = ceil(ln(3/eps) (2k)^{2k}) = 563 colorings at
+// eps = 1/3), so we can test the theorem's literal statement end-to-end:
+// one-sided error, and rejection probability >= 1 - eps on instances
+// containing a C4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/even_cycle.hpp"
+#include "graph/generators.hpp"
+#include "support/stats.hpp"
+
+namespace evencycle {
+namespace {
+
+TEST(Theorem1Theory, ConstantsForK2AreFeasible) {
+  const auto params = core::Params::theory(2, 2000, 1.0 / 3.0);
+  EXPECT_EQ(params.repetitions, 563u);  // ceil(ln(9) * 256)
+  EXPECT_GT(params.threshold, 0u);
+  EXPECT_EQ(params.activator_degree, 4u);
+}
+
+TEST(Theorem1Theory, AcceptsCycleFreeWithProbabilityOne) {
+  // The "Acceptance without error" case of the proof: run the full theory
+  // profile on trees; any rejection is a hard failure.
+  Rng rng(1);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto g = graph::random_tree(400, rng);
+    const auto params = core::Params::theory(2, g.vertex_count(), 1.0 / 3.0);
+    const auto report = core::detect_even_cycle(g, params, rng);
+    EXPECT_FALSE(report.cycle_detected);
+    EXPECT_EQ(report.iterations_run, params.repetitions);
+  }
+}
+
+TEST(Theorem1Theory, RejectsC4InstancesAtTheoremRate) {
+  // Theorem 1: rejection probability >= 1 - eps = 2/3. With the theory K
+  // the per-instance miss probability is in fact ~(1 - 1/32)^563 ~ 1e-8,
+  // so every run should detect; we still only assert the theorem's 2/3 via
+  // a Wilson bound to keep the test honest about what is claimed.
+  Rng rng(2);
+  const int runs = 9;
+  int detected = 0;
+  for (int run = 0; run < runs; ++run) {
+    const auto planted = graph::planted_light_cycle(300, 4, rng);
+    const auto params = core::Params::theory(2, 300, 1.0 / 3.0);
+    if (core::detect_even_cycle(planted.graph, params, rng).cycle_detected) ++detected;
+  }
+  EXPECT_GE(detected, static_cast<int>(std::ceil(2.0 / 3.0 * runs)))
+      << detected << "/" << runs << " below the Theorem 1 rate";
+}
+
+TEST(Theorem1Theory, SmallerEpsilonStillOneSided) {
+  Rng rng(3);
+  const auto g = graph::large_girth_graph(300, 5, rng);  // C4-free
+  const auto params = core::Params::theory(2, g.vertex_count(), 0.05);
+  const auto report = core::detect_even_cycle(g, params, rng);
+  EXPECT_FALSE(report.cycle_detected);
+}
+
+TEST(Theorem1Theory, RoundChargeMatchesTheoremFormula) {
+  // Theorem 1 claims O(log^2(1/eps) 2^{3k} k^{2k+3} n^{1-1/k}); our charge
+  // per iteration is 3 (1 + (k-1) tau) with tau = k 2^k n p — verify the
+  // bookkeeping multiplies out exactly.
+  Rng rng(4);
+  const auto g = graph::random_tree(500, rng);
+  auto params = core::Params::theory(2, 500, 1.0 / 3.0);
+  params.repetitions = 5;  // truncate for test speed; the formula is per-iteration
+  core::DetectOptions options;
+  options.stop_on_reject = false;
+  const auto report = core::detect_even_cycle(g, params, rng, options);
+  EXPECT_EQ(report.rounds_charged, 5u * 3u * (1u + params.threshold));
+}
+
+}  // namespace
+}  // namespace evencycle

@@ -1,0 +1,66 @@
+#include "lowerbound/cut_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace evencycle::lowerbound {
+namespace {
+
+TEST(CutMeter, MeasuresTrafficOnC4Gadget) {
+  Rng rng(1);
+  const auto instance = DisjointnessInstance::random(c4_gadget_universe(3), 0.4, true, rng);
+  const auto gadget = c4_gadget(3, instance);
+  CutMeterOptions options;
+  options.repetitions = 16;
+  const auto report = measure_cut_traffic(gadget, options, rng);
+  EXPECT_EQ(report.cut_edges, gadget.cut_edges.size());
+  EXPECT_GT(report.rounds, 0u);
+  EXPECT_GT(report.total_words, 0u);
+  // Physical bound: per round, each cut edge carries at most one word per
+  // direction.
+  EXPECT_LE(report.cut_words, report.rounds * report.cut_edges * 2);
+}
+
+TEST(CutMeter, CutTrafficSubsetOfTotal) {
+  Rng rng(2);
+  const auto instance = DisjointnessInstance::random(36, 0.3, true, rng);
+  const auto gadget = even_cycle_gadget(3, 6, instance);
+  CutMeterOptions options;
+  options.repetitions = 8;
+  const auto report = measure_cut_traffic(gadget, options, rng);
+  EXPECT_LE(report.cut_words, report.total_words);
+}
+
+TEST(CutMeter, EventuallyDetectsPlantedIntersection) {
+  Rng rng(3);
+  const auto instance = DisjointnessInstance::random(c4_gadget_universe(3), 0.5, true, rng);
+  const auto gadget = c4_gadget(3, instance);
+  CutMeterOptions options;
+  options.repetitions = 400;  // C4 colors well with prob 8/256 per coloring
+  options.threshold = 32;
+  const auto report = measure_cut_traffic(gadget, options, rng);
+  EXPECT_TRUE(report.detected);
+}
+
+TEST(CutMeter, NeverDetectsOnDisjointInstance) {
+  Rng rng(4);
+  const auto instance = DisjointnessInstance::random(16, 0.3, false, rng);
+  const auto gadget = odd_cycle_gadget(2, 4, instance);
+  CutMeterOptions options;
+  options.repetitions = 100;
+  const auto report = measure_cut_traffic(gadget, options, rng);
+  EXPECT_FALSE(report.detected) << "one-sided: no C5 in a disjoint gadget";
+}
+
+TEST(CutMeter, RejectsZeroRepetitions) {
+  Rng rng(5);
+  const auto instance = DisjointnessInstance::random(16, 0.3, false, rng);
+  const auto gadget = odd_cycle_gadget(2, 4, instance);
+  CutMeterOptions options;
+  options.repetitions = 0;
+  EXPECT_THROW(measure_cut_traffic(gadget, options, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace evencycle::lowerbound

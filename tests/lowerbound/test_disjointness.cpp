@@ -1,0 +1,73 @@
+#include "lowerbound/disjointness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace evencycle::lowerbound {
+namespace {
+
+TEST(Disjointness, RandomInstanceDisjointByDefault) {
+  Rng rng(1);
+  const auto instance = DisjointnessInstance::random(500, 0.2, false, rng);
+  EXPECT_FALSE(instance.intersecting);
+  for (std::size_t i = 0; i < 500; ++i) EXPECT_FALSE(instance.x[i] && instance.y[i]);
+}
+
+TEST(Disjointness, ForcedIntersection) {
+  Rng rng(2);
+  const auto instance = DisjointnessInstance::random(500, 0.2, true, rng);
+  EXPECT_TRUE(instance.intersecting);
+}
+
+TEST(Disjointness, DensityRoughlyRespected) {
+  Rng rng(3);
+  const auto instance = DisjointnessInstance::random(10000, 0.3, false, rng);
+  std::size_t x_bits = 0;
+  for (bool b : instance.x) x_bits += b;
+  EXPECT_NEAR(static_cast<double>(x_bits) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Disjointness, BoundedRoundQubitsMinimizedNearSqrtN) {
+  const std::uint64_t n = 1 << 20;
+  const double at_sqrt = bounded_round_disjointness_qubits(n, 1 << 10);
+  EXPECT_LT(at_sqrt, bounded_round_disjointness_qubits(n, 1 << 4));
+  EXPECT_LT(at_sqrt, bounded_round_disjointness_qubits(n, 1 << 16));
+}
+
+TEST(Disjointness, ImpliedLowerBoundShape) {
+  // T >= sqrt(N / (cut * bits)): quadrupling N doubles the bound.
+  const double t1 = implied_round_lower_bound(1 << 20, 64, 16);
+  const double t2 = implied_round_lower_bound(1 << 22, 64, 16);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+  // Quadrupling the cut halves it.
+  const double t3 = implied_round_lower_bound(1 << 20, 256, 16);
+  EXPECT_NEAR(t1 / t3, 2.0, 1e-9);
+}
+
+TEST(Disjointness, PaperExponents) {
+  // C4 gadget: N = Theta(n^{3/2}), cut = Theta(n) -> T = Omega~(n^{1/4}).
+  for (double n : {1e4, 1e6}) {
+    const double t = implied_round_lower_bound(
+        static_cast<std::uint64_t>(std::pow(n, 1.5)), static_cast<std::uint64_t>(n), 1.0);
+    EXPECT_NEAR(std::log(t) / std::log(n), 0.25, 0.01);
+  }
+  // Odd gadget: N = Theta(n^2), cut = Theta(n) -> T = Omega~(sqrt(n)).
+  for (double n : {1e4, 1e6}) {
+    const double t = implied_round_lower_bound(
+        static_cast<std::uint64_t>(n * n), static_cast<std::uint64_t>(n), 1.0);
+    EXPECT_NEAR(std::log(t) / std::log(n), 0.5, 0.01);
+  }
+}
+
+TEST(Disjointness, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(DisjointnessInstance::random(0, 0.5, false, rng), InvalidArgument);
+  EXPECT_THROW(implied_round_lower_bound(100, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(bounded_round_disjointness_qubits(100, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace evencycle::lowerbound

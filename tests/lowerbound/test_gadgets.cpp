@@ -1,0 +1,142 @@
+#include "lowerbound/gadgets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/cycle_search.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::lowerbound {
+namespace {
+
+/// The reduction invariant every gadget must satisfy: the target cycle
+/// exists iff the disjointness instance intersects.
+void expect_reduction_correct(const Gadget& gadget, bool intersecting) {
+  const bool has_cycle =
+      graph::contains_cycle_exact(gadget.graph, gadget.target_length, 200'000'000);
+  EXPECT_EQ(has_cycle, intersecting)
+      << "gadget with target C_" << gadget.target_length << " broke the reduction";
+}
+
+std::uint64_t count_cut(const Gadget& gadget) {
+  // Every cut edge must actually cross sides.
+  for (auto e : gadget.cut_edges) {
+    const auto [u, v] = gadget.graph.edge(e);
+    EXPECT_NE(gadget.alice_side[u], gadget.alice_side[v]);
+  }
+  // And no other edge may cross.
+  std::uint64_t crossing = 0;
+  for (graph::EdgeId e = 0; e < gadget.graph.edge_count(); ++e) {
+    const auto [u, v] = gadget.graph.edge(e);
+    if (gadget.alice_side[u] != gadget.alice_side[v]) ++crossing;
+  }
+  return crossing;
+}
+
+TEST(C4Gadget, ReductionBothWays) {
+  Rng rng(1);
+  const std::uint32_t q = 3;
+  const auto universe = c4_gadget_universe(q);
+  for (bool intersect : {false, true}) {
+    const auto instance = DisjointnessInstance::random(universe, 0.3, intersect, rng);
+    const auto gadget = c4_gadget(q, instance);
+    expect_reduction_correct(gadget, instance.intersecting);
+  }
+}
+
+TEST(C4Gadget, CutIsExactlyTheMatchings) {
+  Rng rng(2);
+  const auto instance = DisjointnessInstance::random(c4_gadget_universe(3), 0.3, false, rng);
+  const auto gadget = c4_gadget(3, instance);
+  EXPECT_EQ(count_cut(gadget), gadget.cut_edges.size());
+  // 2 * (q^2 + q + 1) matching edges.
+  EXPECT_EQ(gadget.cut_edges.size(), 2u * 13u);
+}
+
+TEST(C4Gadget, UniverseIsThetaN32) {
+  // n = 4(q^2+q+1), N = (q+1)(q^2+q+1): N ~ n^{3/2} / 8.
+  const auto gadget_universe = c4_gadget_universe(5);
+  EXPECT_EQ(gadget_universe, 6u * 31u);
+}
+
+TEST(EvenGadget, ReductionBothWays) {
+  Rng rng(3);
+  for (std::uint32_t k : {3u, 4u}) {
+    for (bool intersect : {false, true}) {
+      const auto instance = DisjointnessInstance::random(25, 0.15, intersect, rng);
+      const auto gadget = even_cycle_gadget(k, 5, instance);
+      expect_reduction_correct(gadget, instance.intersecting);
+    }
+  }
+}
+
+TEST(EvenGadget, NoShorterCyclesSneakIn) {
+  Rng rng(4);
+  const std::uint32_t k = 3;
+  const auto instance = DisjointnessInstance::random(25, 0.3, true, rng);
+  const auto gadget = even_cycle_gadget(k, 5, instance);
+  for (std::uint32_t len = 3; len < 2 * k; ++len) {
+    EXPECT_FALSE(graph::contains_cycle_exact(gadget.graph, len, 200'000'000))
+        << "spurious C_" << len;
+  }
+}
+
+TEST(EvenGadget, CutThetaSqrtUniverse) {
+  Rng rng(5);
+  const auto instance = DisjointnessInstance::random(64, 0.2, false, rng);
+  const auto gadget = even_cycle_gadget(3, 8, instance);
+  EXPECT_EQ(gadget.cut_edges.size(), 16u);  // 2m
+  EXPECT_EQ(count_cut(gadget), 16u);
+  EXPECT_EQ(gadget.universe, 64u);
+}
+
+TEST(EvenGadget, RejectsKTwo) {
+  Rng rng(6);
+  const auto instance = DisjointnessInstance::random(4, 0.5, false, rng);
+  EXPECT_THROW(even_cycle_gadget(2, 2, instance), InvalidArgument);
+}
+
+TEST(OddGadget, ReductionBothWays) {
+  Rng rng(7);
+  for (std::uint32_t k : {2u, 3u}) {
+    for (bool intersect : {false, true}) {
+      const auto instance = DisjointnessInstance::random(16, 0.2, intersect, rng);
+      const auto gadget = odd_cycle_gadget(k, 4, instance);
+      expect_reduction_correct(gadget, instance.intersecting);
+    }
+  }
+}
+
+TEST(OddGadget, NoShorterOddCycles) {
+  Rng rng(8);
+  const std::uint32_t k = 3;  // C7
+  const auto instance = DisjointnessInstance::random(16, 0.3, true, rng);
+  const auto gadget = odd_cycle_gadget(k, 4, instance);
+  for (std::uint32_t len = 3; len < 2 * k + 1; len += 2) {
+    EXPECT_FALSE(graph::contains_cycle_exact(gadget.graph, len, 200'000'000))
+        << "spurious C_" << len;
+  }
+}
+
+TEST(OddGadget, CutLinearInM) {
+  Rng rng(9);
+  const auto instance = DisjointnessInstance::random(36, 0.2, false, rng);
+  const auto gadget = odd_cycle_gadget(2, 6, instance);
+  EXPECT_EQ(gadget.cut_edges.size(), 12u);  // m matching + m connector crossings
+  EXPECT_EQ(count_cut(gadget), 12u);
+}
+
+TEST(Gadgets, SidesPartitionVertices) {
+  Rng rng(10);
+  const auto instance = DisjointnessInstance::random(16, 0.3, true, rng);
+  for (const Gadget& gadget :
+       {even_cycle_gadget(3, 4, instance), odd_cycle_gadget(2, 4, instance)}) {
+    EXPECT_EQ(gadget.alice_side.size(), gadget.graph.vertex_count());
+    std::size_t alice = 0;
+    for (bool a : gadget.alice_side) alice += a;
+    EXPECT_GT(alice, 0u);
+    EXPECT_LT(alice, gadget.graph.vertex_count());
+  }
+}
+
+}  // namespace
+}  // namespace evencycle::lowerbound

@@ -1,0 +1,82 @@
+#include "quantum/amplification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace evencycle::quantum {
+namespace {
+
+TEST(Amplification, BoostsWeakDetector) {
+  Rng rng(1);
+  MonteCarloAlgorithm algorithm;
+  algorithm.run = [](Rng& r) { return r.bernoulli(0.02); };  // eps-weak rejection
+  algorithm.success_floor = 0.02;
+  algorithm.round_complexity = 8;
+  algorithm.diameter = 4;
+  AmplifyOptions options;
+  options.delta = 0.01;
+  const auto report = amplify_monte_carlo(algorithm, options, rng);
+  EXPECT_TRUE(report.rejected);
+}
+
+TEST(Amplification, OneSidedOnSatisfiedPredicate) {
+  Rng rng(2);
+  MonteCarloAlgorithm algorithm;
+  algorithm.run = [](Rng&) { return false; };  // predicate holds: never rejects
+  algorithm.success_floor = 0.05;
+  algorithm.round_complexity = 8;
+  algorithm.diameter = 4;
+  AmplifyOptions options;
+  const auto report = amplify_monte_carlo(algorithm, options, rng);
+  EXPECT_FALSE(report.rejected);
+}
+
+TEST(Amplification, QuadraticGapAgainstClassicalRepetition) {
+  Rng rng(3);
+  MonteCarloAlgorithm algorithm;
+  algorithm.run = [](Rng&) { return false; };
+  algorithm.success_floor = 1e-4;
+  algorithm.round_complexity = 10;
+  algorithm.diameter = 2;
+  AmplifyOptions options;
+  options.delta = 0.01;
+  options.max_base_runs = 10;  // keep simulator work tiny
+  const auto report = amplify_monte_carlo(algorithm, options, rng);
+  // Quantum: ~ sqrt(1/eps) = 100 runs of (T + 2D + c); classical ~ 1/eps.
+  EXPECT_LT(report.rounds_charged, report.classical_rounds_equivalent / 5);
+}
+
+TEST(Amplification, RoundsGrowWithBaseComplexity) {
+  Rng rng(4);
+  MonteCarloAlgorithm cheap;
+  cheap.run = [](Rng&) { return false; };
+  cheap.success_floor = 0.01;
+  cheap.round_complexity = 4;
+  cheap.diameter = 1;
+  MonteCarloAlgorithm costly = cheap;
+  costly.round_complexity = 400;
+  AmplifyOptions options;
+  options.max_base_runs = 5;
+  const auto a = amplify_monte_carlo(cheap, options, rng);
+  const auto b = amplify_monte_carlo(costly, options, rng);
+  EXPECT_GT(b.rounds_charged, a.rounds_charged);
+}
+
+TEST(Amplification, RequiresRunnable) {
+  Rng rng(5);
+  MonteCarloAlgorithm algorithm;
+  algorithm.success_floor = 0.5;
+  EXPECT_THROW(amplify_monte_carlo(algorithm, {}, rng), InvalidArgument);
+}
+
+TEST(Amplification, RequiresValidFloor) {
+  Rng rng(6);
+  MonteCarloAlgorithm algorithm;
+  algorithm.run = [](Rng&) { return false; };
+  algorithm.success_floor = 0.0;
+  EXPECT_THROW(amplify_monte_carlo(algorithm, {}, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace evencycle::quantum

@@ -1,0 +1,93 @@
+#include "quantum/amplitude.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace evencycle::quantum {
+namespace {
+
+TEST(Amplitude, SuccessProbabilityZeroIterationsIsP) {
+  for (double p : {0.01, 0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(grover_success_probability(p, 0), p, 1e-12);
+  }
+}
+
+TEST(Amplitude, SuccessProbabilityExtremes) {
+  EXPECT_EQ(grover_success_probability(0.0, 5), 0.0);
+  EXPECT_EQ(grover_success_probability(1.0, 5), 1.0);
+}
+
+TEST(Amplitude, OptimalIterationsNearPiOver4SqrtN) {
+  // p = 1/N: t* ~ (pi/4) sqrt(N).
+  for (double n : {100.0, 10000.0, 1000000.0}) {
+    const auto t = grover_optimal_iterations(1.0 / n);
+    const double expected = 3.14159265358979 / 4.0 * std::sqrt(n);
+    EXPECT_NEAR(static_cast<double>(t), expected, expected * 0.05 + 1.0);
+  }
+}
+
+TEST(Amplitude, OptimalIterationsNearlyCertain) {
+  for (double p : {1e-2, 1e-4, 1e-6}) {
+    const auto t = grover_optimal_iterations(p);
+    EXPECT_GT(grover_success_probability(p, t), 0.9);
+  }
+}
+
+TEST(Amplitude, QuadraticSpeedupShape) {
+  // Doubling 1/p multiplies the optimal iteration count by ~sqrt(2).
+  const auto t1 = grover_optimal_iterations(1e-4);
+  const auto t2 = grover_optimal_iterations(5e-5);
+  EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t1), std::sqrt(2.0), 0.05);
+}
+
+TEST(Amplitude, RotationOvershootsPastOptimum) {
+  // Grover success is non-monotone: overshooting reduces it.
+  const double p = 1e-4;
+  const auto t = grover_optimal_iterations(p);
+  EXPECT_LT(grover_success_probability(p, 2 * t + 1), grover_success_probability(p, t));
+}
+
+TEST(Amplitude, BbhtFindsMarkedWithGoodProbability) {
+  Rng rng(1);
+  int found = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    if (run_bbht(/*true_p=*/1e-3, /*p_floor=*/1e-3, rng).found) ++found;
+  }
+  EXPECT_GT(found, trials / 2);
+}
+
+TEST(Amplitude, BbhtNeverFindsWhenNoneMarked) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto outcome = run_bbht(0.0, 1e-4, rng);
+    EXPECT_FALSE(outcome.found);
+  }
+}
+
+TEST(Amplitude, BbhtIterationsScaleAsSqrt) {
+  EXPECT_LT(bbht_max_iterations(1e-2), bbht_max_iterations(1e-4));
+  const double ratio = static_cast<double>(bbht_max_iterations(1e-6)) /
+                       static_cast<double>(bbht_max_iterations(1e-4));
+  EXPECT_NEAR(ratio, 10.0, 2.5);  // sqrt(100) = 10 up to schedule constants
+}
+
+TEST(Amplitude, BbhtRespectsCap) {
+  Rng rng(3);
+  const auto outcome = run_bbht(0.0, 1e-4, rng);
+  EXPECT_LE(outcome.grover_iterations, bbht_max_iterations(1e-4) + 100);
+  EXPECT_GE(outcome.stages, 1u);
+}
+
+TEST(Amplitude, RejectsBadArguments) {
+  Rng rng(4);
+  EXPECT_THROW(run_bbht(0.5, 0.0, rng), InvalidArgument);
+  EXPECT_THROW(bbht_max_iterations(1.5), InvalidArgument);
+  EXPECT_THROW(grover_optimal_iterations(0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace evencycle::quantum

@@ -1,0 +1,109 @@
+#include "quantum/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace evencycle::quantum {
+namespace {
+
+using graph::Graph;
+
+TEST(Decomposition, CoversEveryVertexWithValidSeparation) {
+  Rng rng(1);
+  for (std::uint32_t separation : {3u, 5u, 9u}) {
+    const Graph g = graph::random_near_regular(300, 3, rng);
+    DecompositionOptions options;
+    options.separation = separation;
+    const auto d = decompose(g, options, rng);
+    const std::uint32_t radius_bound = static_cast<std::uint32_t>(
+        20.0 * separation * std::log(static_cast<double>(g.vertex_count())));
+    const auto verify = verify_decomposition(g, d, separation, radius_bound);
+    EXPECT_TRUE(verify.every_vertex_clustered) << "separation " << separation;
+    EXPECT_TRUE(verify.separation_ok) << "separation " << separation;
+    EXPECT_TRUE(verify.radius_ok) << "separation " << separation;
+  }
+}
+
+TEST(Decomposition, ColorCountStaysModest) {
+  Rng rng(2);
+  const Graph g = graph::grid(20, 20);
+  DecompositionOptions options;
+  options.separation = 5;
+  const auto d = decompose(g, options, rng);
+  // The Lemma 10 claim is O(log n) colors; we verify the empirical analog.
+  EXPECT_LE(d.color_count, 40u);
+  EXPECT_GE(d.cluster_count, 1u);
+}
+
+TEST(Decomposition, SingleClusterOnTinyGraph) {
+  Rng rng(3);
+  const Graph g = graph::path(4);
+  DecompositionOptions options;
+  options.separation = 3;
+  const auto d = decompose(g, options, rng);
+  EXPECT_GE(d.cluster_count, 1u);
+  const auto verify = verify_decomposition(g, d, 3, 100);
+  EXPECT_TRUE(verify.ok());
+}
+
+TEST(Decomposition, HaloExpandsColorClass) {
+  Rng rng(4);
+  const Graph g = graph::cycle(60);
+  DecompositionOptions options;
+  options.separation = 7;
+  const auto d = decompose(g, options, rng);
+  for (std::uint32_t color = 0; color < d.color_count; ++color) {
+    const auto bare = color_class_with_halo(g, d, color, 0);
+    const auto halo = color_class_with_halo(g, d, color, 3);
+    std::size_t bare_count = 0, halo_count = 0;
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      if (bare[v]) ++bare_count;
+      if (halo[v]) {
+        ++halo_count;
+        // Halo never *removes* vertices.
+      }
+      if (bare[v]) {
+        EXPECT_TRUE(halo[v]);
+      }
+    }
+    EXPECT_GE(halo_count, bare_count);
+  }
+}
+
+TEST(Decomposition, EveryCycleInsideSomeColorComponent) {
+  // The diameter-reduction invariant (Lemma 9): with separation 2L+1 and
+  // halo L, any L-cycle lies inside one component of one color class.
+  Rng rng(5);
+  const std::uint32_t L = 4;
+  const auto planted = graph::plant_cycle(graph::random_near_regular(200, 3, rng), L, rng);
+  DecompositionOptions options;
+  options.separation = 2 * L + 1;
+  const auto d = decompose(planted.graph, options, rng);
+
+  bool covered = false;
+  for (std::uint32_t color = 0; color < d.color_count && !covered; ++color) {
+    const auto mask = color_class_with_halo(planted.graph, d, color, L);
+    bool all_in = true;
+    for (auto v : planted.cycle) all_in = all_in && mask[v];
+    covered = covered || all_in;
+  }
+  EXPECT_TRUE(covered) << "the planted cycle must survive in some color class";
+}
+
+TEST(Decomposition, RoundChargePolylog) {
+  Rng rng(6);
+  const Graph g = graph::random_tree(1000, rng);
+  DecompositionOptions options;
+  options.separation = 5;
+  const auto d = decompose(g, options, rng);
+  const double logn = std::log(1000.0);
+  EXPECT_LE(d.rounds_charged, static_cast<std::uint64_t>(5 * logn * logn) + 2);
+  EXPECT_GE(d.rounds_charged, 1u);
+}
+
+}  // namespace
+}  // namespace evencycle::quantum

@@ -1,0 +1,98 @@
+#include "quantum/grover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace evencycle::quantum {
+namespace {
+
+TEST(GroverCostModel, StagesGrowWithConfidence) {
+  GroverCostModel cost;
+  EXPECT_EQ(cost.stages(0.5), 1u);
+  EXPECT_EQ(cost.stages(0.25), 2u);
+  EXPECT_EQ(cost.stages(1.0 / 1024.0), 10u);
+}
+
+TEST(GroverCostModel, RoundsScaleAsInverseSqrtEps) {
+  GroverCostModel cost;
+  const auto r1 = cost.rounds(10, 0, 5, 1e-2, 0.1);
+  const auto r2 = cost.rounds(10, 0, 5, 1e-4, 0.1);
+  const double ratio = static_cast<double>(r2) / static_cast<double>(r1);
+  EXPECT_NEAR(ratio, 10.0, 0.5);  // sqrt(1e4/1e2) = 10
+}
+
+TEST(GroverCostModel, RoundsIncludeDiameterTerm) {
+  GroverCostModel cost;
+  const auto near = cost.rounds(10, 0, 1, 1e-2, 0.1);
+  const auto far = cost.rounds(10, 0, 100, 1e-2, 0.1);
+  EXPECT_GT(far, near);
+}
+
+TEST(DistributedGrover, FindsMarkedWhenAboveEps) {
+  Rng rng(1);
+  DistributedGroverOptions options;
+  options.eps = 0.05;
+  options.delta = 0.01;
+  // Setup succeeds with probability 0.1 > eps.
+  const auto result = distributed_grover_search(
+      [](Rng& r) { return r.bernoulli(0.1); }, options, rng);
+  EXPECT_TRUE(result.found);
+  EXPECT_GT(result.rounds_charged, 0u);
+}
+
+TEST(DistributedGrover, OneSidedWhenNothingMarked) {
+  Rng rng(2);
+  DistributedGroverOptions options;
+  options.eps = 0.05;
+  options.delta = 0.01;
+  const auto result =
+      distributed_grover_search([](Rng&) { return false; }, options, rng);
+  EXPECT_FALSE(result.found);
+}
+
+TEST(DistributedGrover, BudgetDefaultsToFaithful) {
+  Rng rng(3);
+  DistributedGroverOptions options;
+  options.eps = 0.01;
+  options.delta = 0.1;
+  const auto result =
+      distributed_grover_search([](Rng&) { return false; }, options, rng);
+  const auto expected = static_cast<std::uint64_t>(std::ceil(std::log(10.0) / 0.01));
+  EXPECT_EQ(result.setup_executions, expected);
+}
+
+TEST(DistributedGrover, CapLimitsSimulatorWork) {
+  Rng rng(4);
+  DistributedGroverOptions options;
+  options.eps = 1e-6;
+  options.delta = 0.01;
+  options.max_setup_executions = 50;
+  const auto result =
+      distributed_grover_search([](Rng&) { return false; }, options, rng);
+  EXPECT_EQ(result.setup_executions, 50u);
+}
+
+TEST(DistributedGrover, StopsAtFirstMarkedSample) {
+  Rng rng(5);
+  DistributedGroverOptions options;
+  options.eps = 0.5;
+  options.delta = 0.5;
+  const auto result =
+      distributed_grover_search([](Rng&) { return true; }, options, rng);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.setup_executions, 1u);
+}
+
+TEST(DistributedGrover, RejectsBadEps) {
+  Rng rng(6);
+  DistributedGroverOptions options;
+  options.eps = 0.0;
+  EXPECT_THROW(distributed_grover_search([](Rng&) { return false; }, options, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace evencycle::quantum

@@ -1,0 +1,102 @@
+#include "quantum/quantum_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::quantum {
+namespace {
+
+using graph::Graph;
+
+QuantumPipelineOptions fast_options() {
+  QuantumPipelineOptions options;
+  options.delta = 0.05;
+  options.base_repetitions = 48;
+  options.max_base_runs = 800;
+  return options;
+}
+
+TEST(QuantumEven, OneSidedOnCycleFreeGraphs) {
+  Rng rng(1);
+  const Graph g = graph::random_tree(300, rng);
+  const auto report = quantum_detect_even_cycle(g, 2, fast_options(), rng);
+  EXPECT_FALSE(report.cycle_detected);
+  EXPECT_GT(report.rounds_charged, 0u);
+  EXPECT_GE(report.colors, 1u);
+}
+
+TEST(QuantumEven, DetectsPlantedC4) {
+  Rng rng(2);
+  const auto planted = graph::planted_light_cycle(300, 4, rng);
+  auto options = fast_options();
+  // Success floor is 1/(3 tau): give the emulation enough base runs that a
+  // miss has probability well under 1e-6 (amplify stops at first success,
+  // so the expected simulator cost stays ~1/success runs).
+  options.base_repetitions = 96;
+  options.max_base_runs = 4000;
+  const auto report = quantum_detect_even_cycle(planted.graph, 2, options, rng);
+  EXPECT_TRUE(report.cycle_detected);
+}
+
+TEST(QuantumEven, ChargesLessThanClassicalEquivalent) {
+  Rng rng(3);
+  const auto planted = graph::planted_light_cycle(400, 4, rng);
+  const auto report = quantum_detect_even_cycle(planted.graph, 2, fast_options(), rng);
+  EXPECT_LT(report.rounds_charged - report.rounds_decomposition,
+            report.classical_rounds_equivalent);
+}
+
+TEST(QuantumOdd, OneSidedOnBipartite) {
+  Rng rng(4);
+  const Graph g = graph::random_bipartite(60, 60, 0.08, rng);
+  const auto report = quantum_detect_odd_cycle(g, 2, fast_options(), rng);
+  EXPECT_FALSE(report.cycle_detected);
+}
+
+TEST(QuantumOdd, DetectsPlantedTriangle) {
+  Rng rng(5);
+  const auto planted = graph::plant_cycle(graph::random_tree(200, rng), 3, rng);
+  auto options = fast_options();
+  options.base_repetitions = 96;  // triangles color well: 2/9 per coloring
+  const auto report = quantum_detect_odd_cycle(planted.graph, 1, options, rng);
+  EXPECT_TRUE(report.cycle_detected);
+}
+
+TEST(QuantumBounded, OneSidedOnLargeGirth) {
+  Rng rng(6);
+  const Graph g = graph::cycle(25);  // girth 25 > 2k
+  const auto report = quantum_detect_bounded_cycle(g, 3, fast_options(), rng);
+  EXPECT_FALSE(report.cycle_detected);
+}
+
+TEST(QuantumBounded, DetectsGirthFourInstance) {
+  Rng rng(7);
+  const Graph g = graph::complete_bipartite(16, 16);
+  auto options = fast_options();
+  options.base_repetitions = 96;
+  options.max_base_runs = 4000;
+  const auto report = quantum_detect_bounded_cycle(g, 2, options, rng);
+  EXPECT_TRUE(report.cycle_detected);
+}
+
+TEST(QuantumPipelines, RejectBadArguments) {
+  Rng rng(8);
+  const Graph g = graph::cycle(6);
+  EXPECT_THROW(quantum_detect_even_cycle(g, 1, fast_options(), rng), InvalidArgument);
+  EXPECT_THROW(quantum_detect_odd_cycle(g, 0, fast_options(), rng), InvalidArgument);
+  EXPECT_THROW(quantum_detect_bounded_cycle(g, 1, fast_options(), rng), InvalidArgument);
+}
+
+TEST(QuantumPipelines, ComponentAccounting) {
+  Rng rng(9);
+  const auto planted = graph::planted_light_cycle(250, 4, rng);
+  const auto report = quantum_detect_even_cycle(planted.graph, 2, fast_options(), rng);
+  EXPECT_GE(report.components_processed, 1u);
+  EXPECT_GT(report.max_component_size, 0u);
+  EXPECT_GT(report.base_runs_total, 0u);
+}
+
+}  // namespace
+}  // namespace evencycle::quantum

@@ -1,0 +1,78 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace evencycle {
+namespace {
+
+TEST(Stats, SummaryEmptySample) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummaryBasics) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.0);
+}
+
+TEST(Stats, PowerFitRecoversExponent) {
+  // y = 3 * x^1.5 exactly.
+  std::vector<double> x, y;
+  for (double v = 10; v <= 1000; v *= 2) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 1.5));
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 1.5, 1e-9);
+  EXPECT_NEAR(fit.constant, 3.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, PowerFitIgnoresNonPositivePoints) {
+  const auto fit = fit_power_law({-1.0, 0.0, 2.0, 4.0}, {1.0, 1.0, 4.0, 16.0});
+  EXPECT_EQ(fit.points, 2u);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+}
+
+TEST(Stats, PowerFitTooFewPoints) {
+  const auto fit = fit_power_law({1.0}, {1.0});
+  EXPECT_EQ(fit.points, 1u);
+  EXPECT_EQ(fit.exponent, 0.0);
+}
+
+TEST(Stats, WilsonLowerBoundMonotoneInSuccesses) {
+  const double lo = wilson_lower_bound(50, 100);
+  const double hi = wilson_lower_bound(90, 100);
+  EXPECT_LT(lo, hi);
+  EXPECT_GT(lo, 0.0);
+  EXPECT_LT(hi, 0.9);
+}
+
+TEST(Stats, WilsonLowerBoundZeroTrials) {
+  EXPECT_EQ(wilson_lower_bound(0, 0), 0.0);
+}
+
+TEST(Stats, WilsonLowerBoundAllSuccesses) {
+  // Even with all successes, the bound stays below 1 for finite samples.
+  const double b = wilson_lower_bound(100, 100);
+  EXPECT_GT(b, 0.8);
+  EXPECT_LT(b, 1.0);
+}
+
+}  // namespace
+}  // namespace evencycle

@@ -1,0 +1,41 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace evencycle {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"n", "rounds"});
+  table.add_row({"100", "42"});
+  table.add_row({"200", "87"});
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("n"), std::string::npos);
+  EXPECT_NE(text.find("rounds"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("87"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"1"});
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("1"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::integer(41.7), "42");
+}
+
+TEST(TextTable, BannerContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Table 1");
+  EXPECT_NE(os.str().find("Table 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evencycle
