@@ -1,0 +1,44 @@
+// Guards the umbrella header against rot: this TU includes ONLY
+// src/evencycle.hpp (plus gtest) and touches one symbol per module, so an
+// umbrella entry pointing at a removed header — or a module whose symbols
+// vanish from the umbrella's reach — fails the build here. The reverse
+// direction (a header added without updating the umbrella) is caught by the
+// configure-time completeness check in src/CMakeLists.txt.
+#include "evencycle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, ExposesOneSymbolPerModule) {
+  using namespace evencycle;
+
+  // graph
+  const graph::Graph g = graph::cycle(8);
+  EXPECT_EQ(g.vertex_count(), 8u);
+
+  // congest
+  congest::Network net(g);
+  EXPECT_EQ(&net.topology(), &g);
+
+  // core
+  const core::Params params = core::Params::theory(2, 8);
+  EXPECT_GE(params.light_degree_bound, 1u);
+
+  // baseline
+  const baseline::FloodingReport flood_report{};
+  EXPECT_EQ(flood_report.rounds_charged, 0u);
+
+  // quantum
+  const quantum::GroverCostModel grover{};
+  EXPECT_GE(grover.stages(0.5), 1u);
+
+  // lowerbound
+  EXPECT_GE(lowerbound::c4_gadget_universe(2), 1u);
+
+  // support
+  const Summary summary = summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(summary.mean, 2.0);
+}
+
+}  // namespace
