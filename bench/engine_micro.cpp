@@ -28,6 +28,19 @@ void BM_NetworkRoundThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkRoundThroughput)->Arg(16)->Arg(64)->Arg(128);
 
+// Same flooding round, multi-threaded engine: Arg is the thread count.
+void BM_NetworkRoundThroughputMT(benchmark::State& state) {
+  const Graph g = graph::grid(256, 256);
+  congest::Config config;
+  config.threads = static_cast<std::uint32_t>(state.range(0));
+  congest::Network net(g, config);
+  net.install([](VertexId) { return std::make_unique<FloodProgram>(); });
+  for (auto _ : state) net.run_round();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * g.edge_count());
+  state.counters["threads"] = static_cast<double>(net.thread_count());
+}
+BENCHMARK(BM_NetworkRoundThroughputMT)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 void BM_BfsTreeBuild(benchmark::State& state) {
   Rng rng(1);
   const Graph g = graph::random_near_regular(static_cast<VertexId>(state.range(0)), 4, rng);

@@ -1,0 +1,53 @@
+// Parallel round engine demo: the same CONGEST protocols (leader election,
+// BFS tree + convergecast) run sequentially and on a multi-threaded engine,
+// with bit-identical results — the `threads` knob changes wall-clock only.
+//
+// Build:   cmake -B build && cmake --build build
+// Run:     ./build/examples/parallel_rounds [n] [threads]
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <thread>
+
+#include "evencycle.hpp"
+
+int main(int argc, char** argv) {
+  using namespace evencycle;
+  using graph::VertexId;
+
+  const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 20000;
+  const std::uint32_t threads =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2]))
+               : std::max(2u, std::thread::hardware_concurrency());
+
+  Rng rng(7);
+  const graph::Graph g = graph::random_near_regular(n, 6, rng);
+  std::cout << "topology: " << g.summary() << "\n\n";
+
+  auto timed = [&](std::uint32_t thread_count) {
+    congest::Config config;
+    config.threads = thread_count;
+    congest::Network net(g, config);
+    const auto start = std::chrono::steady_clock::now();
+    const auto leaders = congest::elect_leader(net);
+    const auto tree = congest::build_bfs_tree(net, leaders.leader[0]);
+    std::vector<std::uint64_t> ones(g.vertex_count(), 1);
+    const auto reached = congest::convergecast_sum(net, leaders.leader[0], ones);
+    const auto stop = std::chrono::steady_clock::now();
+    std::cout << "threads=" << net.thread_count() << ": leader " << leaders.leader[0]
+              << " in " << leaders.rounds << " rounds, BFS tree in " << tree.rounds
+              << " rounds, convergecast counted " << reached.value << " nodes, "
+              << std::chrono::duration<double, std::milli>(stop - start).count()
+              << " ms\n";
+    return std::make_tuple(leaders.leader, tree.parent, reached.value);
+  };
+
+  const auto sequential = timed(1);
+  const auto parallel = timed(threads);
+
+  const bool identical = sequential == parallel;
+  std::cout << "\nsequential and " << threads << "-thread runs "
+            << (identical ? "match bit-for-bit" : "DIVERGED (engine bug!)") << "\n";
+  return identical ? 0 : 1;
+}

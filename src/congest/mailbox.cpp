@@ -1,0 +1,36 @@
+#include "congest/mailbox.hpp"
+
+#include <algorithm>
+
+namespace evencycle::congest {
+
+void Mailbox::reset(VertexId vertex_count) {
+  const std::size_t n = vertex_count;
+  // assign() reuses existing storage; nothing here shrinks capacity.
+  offsets_.assign(n + 1, 0);
+  cursors_.assign(n, 0);
+  all_empty_ = true;
+}
+
+void Mailbox::begin_rebuild(std::uint64_t total_messages) {
+  if (data_.size() < total_messages) data_.resize(total_messages);
+  offsets_.back() = total_messages;
+  all_empty_ = false;
+}
+
+void Mailbox::scatter_block(VertexId first, VertexId last, std::uint64_t base,
+                            std::span<const std::span<const StagedMessage>> runs) {
+  std::fill(cursors_.begin() + first, cursors_.begin() + last, 0);
+  for (const auto& run : runs)
+    for (const auto& staged : run) ++cursors_[staged.to];
+  std::uint64_t running = base;
+  for (VertexId v = first; v < last; ++v) {
+    offsets_[v] = running;
+    running += cursors_[v];
+    cursors_[v] = offsets_[v];
+  }
+  for (const auto& run : runs)
+    for (const auto& staged : run) data_[cursors_[staged.to]++] = staged.inbound;
+}
+
+}  // namespace evencycle::congest

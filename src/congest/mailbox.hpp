@@ -1,0 +1,69 @@
+// Flat mailbox arena of the CONGEST simulator.
+//
+// One contiguous InboundMessage buffer holds every message delivered in the
+// current round, with per-node offset ranges in CSR style. The buffer is
+// rebuilt each round, counting-sort style, from the round engine's staged
+// send lanes: count per receiver, prefix-sum into offsets, scatter in lane
+// order. Both the arena and its offset tables keep their capacity across
+// rounds and across install() calls, so a steady-state round performs no
+// allocations — this replaces the seed's n-vector-of-vectors mailboxes and
+// their per-round clear/swap churn.
+//
+// Concurrency contract: scatter_block() may be called concurrently for
+// disjoint vertex blocks (it only touches offsets/cursors/slots of its own
+// block), which is how the round engine parallelizes delivery while keeping
+// the arena layout — and therefore every inbox's message order —
+// bit-identical at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace evencycle::congest {
+
+using graph::VertexId;
+
+/// A send captured during a round: destination plus the receiver-side view.
+struct StagedMessage {
+  VertexId to = 0;
+  InboundMessage inbound;
+};
+
+class Mailbox {
+ public:
+  /// Clears the arena for `vertex_count` nodes, keeping buffer capacity.
+  void reset(VertexId vertex_count);
+
+  /// Messages delivered to v this round (valid until the next rebuild).
+  std::span<const InboundMessage> inbox(VertexId v) const {
+    if (all_empty_) return {};
+    return {data_.data() + offsets_[v], data_.data() + offsets_[v + 1]};
+  }
+
+  /// Fast path for a round that delivered nothing: every inbox is empty and
+  /// the arena is left untouched.
+  void mark_all_empty() { all_empty_ = true; }
+
+  /// Starts a rebuild for `total_messages` messages (grow-only resize).
+  void begin_rebuild(std::uint64_t total_messages);
+
+  /// Counting-sort delivery for the vertex block [first, last): zeroes the
+  /// block's counters, counts each run's receivers, prefix-sums offsets from
+  /// `base`, then scatters the runs *in order*. Callers pass the runs in
+  /// global send order (lane 0 first), which makes every inbox's order equal
+  /// to the sequential simulator's. Thread-safe across disjoint blocks.
+  void scatter_block(VertexId first, VertexId last, std::uint64_t base,
+                     std::span<const std::span<const StagedMessage>> runs);
+
+ private:
+  std::vector<InboundMessage> data_;    // flat arena, grow-only
+  std::vector<std::uint64_t> offsets_;  // size n+1; inbox(v) = [off[v], off[v+1])
+  std::vector<std::uint64_t> cursors_;  // size n; scatter scratch
+  bool all_empty_ = true;
+};
+
+}  // namespace evencycle::congest

@@ -1,4 +1,4 @@
-// Synchronous message-level CONGEST simulator.
+// Synchronous message-level CONGEST simulator — public facade.
 //
 // Semantics (Peleg's CONGEST(B) with B = words_per_round O(log n)-bit
 // words, default 1):
@@ -10,147 +10,74 @@
 //     SimulationError, so reported round counts are honest;
 //   * nodes know their own id, their ports, and n (the paper's standard
 //     assumptions); everything else must travel in messages.
+//
+// The simulator is layered (see round_engine.hpp and mailbox.hpp):
+//   Mailbox      flat double-buffered arena holding every delivered message
+//                contiguously, with per-node offset ranges (no per-node
+//                vectors, no per-round allocation churn);
+//   RoundEngine  deterministic sharded executor: contiguous vertex shards
+//                run on a persistent worker pool (Config::threads; 0 =
+//                hardware concurrency, 1 = sequential), staged sends merge
+//                in shard order so metrics, inbox order, and bandwidth
+//                errors are bit-identical at every thread count;
+//   Network      this thin facade, preserving the original single-class
+//                API for node programs and drivers.
+//
+// Node-program authors: on_round runs concurrently for different nodes when
+// threads > 1. Programs that extract results through shared sinks must write
+// only their own node's slot, and the slot must be at least one byte wide
+// (std::vector<bool> bit-packing would race).
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <span>
-#include <vector>
-
-#include "congest/message.hpp"
-#include "graph/graph.hpp"
+#include "congest/round_engine.hpp"
 
 namespace evencycle::congest {
 
-using graph::VertexId;
-
-struct Config {
-  std::uint32_t words_per_round = 1;  ///< link bandwidth in O(log n)-bit words
-  bool collect_round_profile = false; ///< record per-round message counts
-
-  /// Optional cut meter: per undirected edge id, true = count words crossing
-  /// this edge (both directions) into Metrics::watched_messages. Used by the
-  /// lower-bound reductions to measure Alice/Bob communication.
-  const std::vector<bool>* watched_edges = nullptr;
-};
-
-/// Aggregate statistics of one simulation run.
-struct Metrics {
-  std::uint64_t rounds = 0;
-  std::uint64_t messages = 0;
-  std::uint64_t busiest_round_messages = 0;
-  std::uint64_t watched_messages = 0;        ///< words across watched edges
-  std::vector<std::uint64_t> round_profile;  ///< only if collect_round_profile
-};
-
-class Network;
-
-/// Per-round view a node program gets of its own node.
-///
-/// Deliberately narrow: everything a real CONGEST node could know locally,
-/// nothing more.
-class Context {
- public:
-  VertexId id() const { return node_; }
-  std::uint32_t degree() const;
-  VertexId graph_size() const;
-  std::uint64_t round() const;
-
-  /// Messages delivered this round (sent by neighbors last round).
-  std::span<const InboundMessage> inbox() const;
-
-  /// Sends one word on `port` (delivered next round).
-  void send(std::uint32_t port, Message message);
-
-  /// Sends the same word on every port.
-  void broadcast(Message message);
-
-  /// Marks this node's output as reject (sticky).
-  void reject();
-
-  /// Stops scheduling this node's program (it can still receive nothing;
-  /// purely a simulator optimization for quiescent nodes).
-  void halt();
-
- private:
-  friend class Network;
-  Context(Network& net, VertexId node) : net_(net), node_(node) {}
-  Network& net_;
-  VertexId node_;
-};
-
-/// A distributed node program. One instance per vertex.
-class NodeProgram {
- public:
-  virtual ~NodeProgram() = default;
-
-  /// Called once per round while the node is live. Round 0 has an empty
-  /// inbox; initial sends happen there.
-  virtual void on_round(Context& ctx) = 0;
-};
-
-using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(VertexId)>;
-
 class Network {
  public:
-  Network(const graph::Graph& g, Config config = {});
+  Network(const graph::Graph& g, Config config = {}) : engine_(g, config) {}
 
-  const graph::Graph& topology() const { return *graph_; }
-  const Config& config() const { return config_; }
+  const graph::Graph& topology() const { return engine_.topology(); }
+  const Config& config() const { return engine_.config(); }
+
+  /// Resolved worker-thread (and shard) count of the underlying engine.
+  std::uint32_t thread_count() const { return engine_.thread_count(); }
 
   /// Installs a fresh program at every node and resets all run state
-  /// (round counter, mailboxes, reject flags, metrics).
-  void install(const ProgramFactory& factory);
+  /// (round counter, mailboxes, reject flags, metrics); simulation buffers
+  /// keep their capacity across installs.
+  void install(const ProgramFactory& factory) { engine_.install(factory); }
 
   /// Runs one synchronous round. Requires installed programs.
-  void run_round();
+  void run_round() { engine_.run_round(); }
 
   /// Runs `count` rounds.
-  void run_rounds(std::uint64_t count);
+  void run_rounds(std::uint64_t count) { engine_.run_rounds(count); }
 
   /// Runs until all nodes halted or `max_rounds` elapsed; returns rounds run.
-  std::uint64_t run_to_quiescence(std::uint64_t max_rounds);
+  std::uint64_t run_to_quiescence(std::uint64_t max_rounds) {
+    return engine_.run_to_quiescence(max_rounds);
+  }
 
-  /// Runs until a round sends no messages (message quiescence) or
-  /// `max_rounds` elapsed; returns rounds run. Used by protocols without
+  /// Runs until a round sends no messages (message quiescence, that quiet
+  /// round included) or `max_rounds` elapsed; returns rounds run. A protocol
+  /// silent from round 0 runs exactly one round. Used by protocols without
   /// local termination detection (e.g. min-id leader election), where the
   /// simulator plays the role of a termination oracle (documented
   /// abstraction: real deployments layer a termination-detection protocol).
-  std::uint64_t run_until_quiet(std::uint64_t max_rounds);
+  std::uint64_t run_until_quiet(std::uint64_t max_rounds) {
+    return engine_.run_until_quiet(max_rounds);
+  }
 
-  bool any_rejected() const { return reject_count_ > 0; }
-  std::uint64_t reject_count() const { return reject_count_; }
-  bool rejected(VertexId v) const { return rejected_[v]; }
-  bool all_halted() const { return live_count_ == 0; }
+  bool any_rejected() const { return engine_.any_rejected(); }
+  std::uint64_t reject_count() const { return engine_.reject_count(); }
+  bool rejected(VertexId v) const { return engine_.rejected(v); }
+  bool all_halted() const { return engine_.all_halted(); }
 
-  const Metrics& metrics() const { return metrics_; }
+  const Metrics& metrics() const { return engine_.metrics(); }
 
  private:
-  friend class Context;
-
-  void send_from(VertexId from, std::uint32_t port, Message message);
-
-  const graph::Graph* graph_;
-  Config config_;
-  std::vector<std::unique_ptr<NodeProgram>> programs_;
-
-  // Double-buffered mailboxes: inbox_ read this round, staged_ filled for
-  // the next one. Flat per-node vectors; cleared by swap each round.
-  std::vector<std::vector<InboundMessage>> inbox_;
-  std::vector<std::vector<InboundMessage>> staged_;
-
-  // Per directed arc, messages sent this round (bandwidth enforcement).
-  std::vector<std::uint16_t> arc_load_;
-  std::vector<std::uint64_t> touched_arcs_;
-
-  std::vector<bool> rejected_;
-  std::vector<bool> halted_;
-  std::uint64_t reject_count_ = 0;
-  std::uint64_t live_count_ = 0;
-  std::uint64_t round_messages_ = 0;
-
-  Metrics metrics_;
+  RoundEngine engine_;
 };
 
 }  // namespace evencycle::congest

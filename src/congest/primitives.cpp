@@ -16,7 +16,8 @@ enum Tag : std::uint32_t {
 };
 
 /// Shared output sink written by node programs (each node writes only its
-/// own slot; the simulator is sequential, so this is race-free). This is a
+/// own slot, and every slot is at least one byte wide, so this is race-free
+/// even when the round engine runs shards on multiple threads). This is a
 /// simulation-side extraction channel, not protocol state.
 struct TreeSink {
   std::vector<VertexId> parent;
@@ -73,7 +74,7 @@ class BroadcastProgram : public NodeProgram {
   void on_round(Context& ctx) override {
     if (ctx.round() == 0 && self_ == root_) {
       sink_->value[self_] = value_;
-      sink_->received[self_] = true;
+      sink_->received[self_] = 1;
       ctx.broadcast({kExplore, value_});
       ctx.halt();
       return;
@@ -81,7 +82,7 @@ class BroadcastProgram : public NodeProgram {
     for (const auto& in : ctx.inbox()) {
       if (in.message.tag == kExplore) {
         sink_->value[self_] = in.message.payload;
-        sink_->received[self_] = true;
+        sink_->received[self_] = 1;
         for (std::uint32_t p = 0; p < ctx.degree(); ++p)
           if (p != in.port) ctx.send(p, {kExplore, in.message.payload});
         ctx.halt();
@@ -227,7 +228,7 @@ BroadcastResult broadcast(Network& net, VertexId root, std::uint64_t value) {
   EC_REQUIRE(root < n, "root out of range");
   auto sink = std::make_shared<BroadcastResult>();
   sink->value.assign(n, 0);
-  sink->received.assign(n, false);
+  sink->received.assign(n, 0);
   net.install(
       [&](VertexId v) { return std::make_unique<BroadcastProgram>(v, root, value, sink); });
   net.run_to_quiescence(quiescence_bound(net));
@@ -286,7 +287,9 @@ ConvergecastSumResult convergecast_max(Network& net, VertexId root,
 
 namespace {
 
-/// Min-id flooding: broadcast improvements only.
+/// Min-id flooding: broadcast improvements only. The shared `leaders`
+/// vector is written one 4-byte own-node slot per program — safe under the
+/// multi-threaded engine.
 class MinFloodProgram : public NodeProgram {
  public:
   MinFloodProgram(VertexId self, std::vector<VertexId>* leaders)

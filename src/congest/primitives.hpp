@@ -30,9 +30,13 @@ BfsTreeResult build_bfs_tree(Network& net, VertexId root);
 
 /// Floods `value` from root; returns per-node received value (root's value
 /// everywhere in its component) and rounds used.
+///
+/// `received` is byte-wide (0/1), not std::vector<bool>: node programs fill
+/// it concurrently when the engine runs multi-threaded, and bit-packed
+/// neighbors would share a byte.
 struct BroadcastResult {
   std::vector<std::uint64_t> value;
-  std::vector<bool> received;
+  std::vector<std::uint8_t> received;
   std::uint64_t rounds = 0;
 };
 BroadcastResult broadcast(Network& net, VertexId root, std::uint64_t value);

@@ -1,0 +1,311 @@
+#include "congest/round_engine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace evencycle::congest {
+
+namespace {
+
+/// Metrics::round_profile grows by one per round; pre-reserving this many
+/// entries keeps typical runs (diameter-bounded protocols) allocation-free.
+constexpr std::size_t kRoundProfileReserve = 1024;
+
+/// Hard ceiling on the worker pool: more shards than this helps no real
+/// hardware, and an unchecked value (EVENCYCLE_THREADS typo, UINT32_MAX)
+/// must not translate into millions of std::thread spawns.
+constexpr std::uint32_t kMaxThreads = 256;
+
+std::uint32_t resolve_thread_count(std::uint32_t requested) {
+  std::uint32_t threads = requested;
+  if (threads == kThreadsFromEnv) {
+    const char* env = std::getenv("EVENCYCLE_THREADS");
+    threads = (env != nullptr && *env != '\0')
+                  ? static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10))
+                  : 1;
+  }
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  return std::min(threads, kMaxThreads);
+}
+
+}  // namespace
+
+std::uint32_t Context::degree() const { return engine_.graph_->degree(node_); }
+
+VertexId Context::graph_size() const { return engine_.graph_->vertex_count(); }
+
+std::uint64_t Context::round() const { return engine_.metrics_.rounds; }
+
+std::span<const InboundMessage> Context::inbox() const {
+  return engine_.mailbox_.inbox(node_);
+}
+
+void Context::send(std::uint32_t port, Message message) {
+  engine_.send_from(lane_, node_, port, message);
+}
+
+void Context::broadcast(Message message) {
+  const std::uint32_t deg = degree();
+  for (std::uint32_t port = 0; port < deg; ++port)
+    engine_.send_from(lane_, node_, port, message);
+}
+
+void Context::reject() {
+  if (engine_.rejected_[node_] == 0) {
+    engine_.rejected_[node_] = 1;
+    ++engine_.lanes_[lane_].new_rejects;
+  }
+}
+
+void Context::halt() {
+  if (engine_.halted_[node_] == 0) {
+    engine_.halted_[node_] = 1;
+    ++engine_.lanes_[lane_].new_halts;
+  }
+}
+
+RoundEngine::RoundEngine(const graph::Graph& g, Config config)
+    : graph_(&g), config_(config) {
+  EC_REQUIRE(config_.words_per_round >= 1, "bandwidth must be at least one word");
+  const VertexId n = g.vertex_count();
+  thread_count_ = resolve_thread_count(config_.threads);
+  chunk_ = std::max<std::uint64_t>(
+      1, (static_cast<std::uint64_t>(n) + thread_count_ - 1) / thread_count_);
+
+  lanes_ = std::vector<Lane>(thread_count_);
+  for (auto& lane : lanes_) lane.stage.resize(thread_count_);
+  block_base_.assign(thread_count_, 0);
+
+  arc_load_.assign(2 * static_cast<std::size_t>(g.edge_count()), 0);
+  rejected_.assign(n, 0);
+  halted_.assign(n, 0);
+  mailbox_.reset(n);
+
+  workers_.reserve(thread_count_ - 1);
+  for (std::uint32_t lane = 1; lane < thread_count_; ++lane)
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+RoundEngine::~RoundEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void RoundEngine::install(const ProgramFactory& factory) {
+  const VertexId n = graph_->vertex_count();
+  programs_.clear();
+  programs_.reserve(n);
+  for (VertexId v = 0; v < n; ++v) programs_.push_back(factory(v));
+
+  // Reset run state in place: clear() / assign() / fill() keep every
+  // buffer's capacity (lanes, touched-arc lists, mailbox arena), so back-to-
+  // back experiments on one engine do not re-allocate.
+  mailbox_.reset(n);
+  for (auto& lane : lanes_) {
+    for (auto& block : lane.stage) block.clear();
+    lane.touched_arcs.clear();
+    lane.messages = lane.watched = lane.new_rejects = lane.new_halts = 0;
+    lane.error = nullptr;
+  }
+  std::fill(arc_load_.begin(), arc_load_.end(), 0);
+  std::fill(rejected_.begin(), rejected_.end(), 0);
+  std::fill(halted_.begin(), halted_.end(), 0);
+  reject_count_ = 0;
+  live_count_ = n;
+  round_messages_ = 0;
+
+  metrics_.rounds = 0;
+  metrics_.messages = 0;
+  metrics_.busiest_round_messages = 0;
+  metrics_.watched_messages = 0;
+  metrics_.round_profile.clear();
+  if (config_.collect_round_profile && metrics_.round_profile.capacity() == 0)
+    metrics_.round_profile.reserve(kRoundProfileReserve);
+}
+
+void RoundEngine::send_from(std::uint32_t lane_index, VertexId from, std::uint32_t port,
+                            Message message) {
+  EC_SIM_CHECK(port < graph_->degree(from), "send on a non-existent port");
+  const std::uint32_t arc = graph_->arc_base(from) + port;
+  EC_SIM_CHECK(arc_load_[arc] < config_.words_per_round,
+               "bandwidth exceeded: more than words_per_round words on one "
+               "directed link in one round");
+  Lane& lane = lanes_[lane_index];
+  if (arc_load_[arc] == 0) lane.touched_arcs.push_back(arc);
+  ++arc_load_[arc];
+
+  if (config_.watched_edges != nullptr &&
+      (*config_.watched_edges)[graph_->incident_edges(from)[port]]) {
+    ++lane.watched;
+  }
+
+  const VertexId to = graph_->arc_target(arc);
+  const std::uint32_t reverse_port = graph_->reverse_arc(arc) - graph_->arc_base(to);
+  lane.stage[static_cast<std::size_t>(to / chunk_)].push_back(
+      {to, {reverse_port, message}});
+  ++lane.messages;
+}
+
+void RoundEngine::run_shard(std::uint32_t lane_index) {
+  Lane& lane = lanes_[lane_index];
+  // Clear last round's per-arc loads (sender-partitioned, so each lane
+  // resets exactly its own arcs) and recycle the staging buffers.
+  for (const auto arc : lane.touched_arcs) arc_load_[arc] = 0;
+  lane.touched_arcs.clear();
+  for (auto& block : lane.stage) block.clear();
+  lane.messages = lane.watched = lane.new_rejects = lane.new_halts = 0;
+
+  const VertexId first = shard_first(lane_index);
+  const VertexId last = shard_last(lane_index);
+  for (VertexId v = first; v < last; ++v) {
+    if (halted_[v] != 0) continue;
+    Context ctx(*this, lane_index, v);
+    programs_[v]->on_round(ctx);
+  }
+}
+
+void RoundEngine::deliver_block(std::uint32_t lane_index) {
+  Lane& lane = lanes_[lane_index];
+  lane.runs.clear();
+  for (const auto& sender : lanes_) {
+    const auto& run = sender.stage[lane_index];
+    if (!run.empty()) lane.runs.push_back({run.data(), run.size()});
+  }
+  mailbox_.scatter_block(shard_first(lane_index), shard_last(lane_index),
+                         block_base_[lane_index], lane.runs);
+}
+
+void RoundEngine::run_phase(std::uint32_t lane_index) {
+  try {
+    if (phase_ == Phase::kCompute) {
+      run_shard(lane_index);
+    } else {
+      deliver_block(lane_index);
+    }
+  } catch (...) {
+    lanes_[lane_index].error = std::current_exception();
+  }
+}
+
+void RoundEngine::dispatch(Phase phase) {
+  if (workers_.empty()) {
+    phase_ = phase;
+    run_phase(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    phase_ = phase;
+    pending_ = static_cast<std::uint32_t>(workers_.size());
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+  run_phase(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void RoundEngine::worker_loop(std::uint32_t lane_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+    }
+    run_phase(lane_index);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = (--pending_ == 0);
+    }
+    if (last) work_done_.notify_one();
+  }
+}
+
+void RoundEngine::rethrow_lane_error() {
+  // Shards execute vertices in ascending order and stop at the first error,
+  // so the lowest erroring lane holds exactly the exception the sequential
+  // simulator would have thrown. (Program state of *other* shards may have
+  // advanced further than sequentially; after a SimulationError the run is
+  // void and install() is required, as before.)
+  for (auto& lane : lanes_) {
+    if (lane.error) {
+      const std::exception_ptr error = lane.error;
+      for (auto& l : lanes_) l.error = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+void RoundEngine::run_round() {
+  EC_SIM_CHECK(!programs_.empty(), "run_round before install()");
+  dispatch(Phase::kCompute);
+  rethrow_lane_error();
+
+  round_messages_ = 0;
+  for (auto& lane : lanes_) {
+    round_messages_ += lane.messages;
+    metrics_.watched_messages += lane.watched;
+    reject_count_ += lane.new_rejects;
+    live_count_ -= lane.new_halts;
+  }
+
+  if (round_messages_ == 0) {
+    // Quiet round: every next-round inbox is empty; skip delivery entirely.
+    mailbox_.mark_all_empty();
+  } else {
+    std::uint64_t running = 0;
+    for (std::uint32_t block = 0; block < thread_count_; ++block) {
+      block_base_[block] = running;
+      for (const auto& lane : lanes_) running += lane.stage[block].size();
+    }
+    mailbox_.begin_rebuild(running);
+    dispatch(Phase::kDeliver);
+    rethrow_lane_error();
+  }
+
+  metrics_.messages += round_messages_;
+  metrics_.busiest_round_messages = std::max(metrics_.busiest_round_messages, round_messages_);
+  if (config_.collect_round_profile) metrics_.round_profile.push_back(round_messages_);
+  ++metrics_.rounds;
+}
+
+void RoundEngine::run_rounds(std::uint64_t count) {
+  if (config_.collect_round_profile)
+    metrics_.round_profile.reserve(metrics_.round_profile.size() + count);
+  for (std::uint64_t i = 0; i < count; ++i) run_round();
+}
+
+std::uint64_t RoundEngine::run_until_quiet(std::uint64_t max_rounds) {
+  // Message quiescence: stop after the first round that sends nothing,
+  // counting that quiet round. A protocol that is already silent in round 0
+  // therefore runs exactly one round. (The seed's `r > 1` guard made such a
+  // protocol run to max_rounds and charged an extra round to protocols that
+  // fall silent after round 0.)
+  std::uint64_t r = 0;
+  while (r < max_rounds) {
+    run_round();
+    ++r;
+    if (round_messages_ == 0) break;
+  }
+  return r;
+}
+
+std::uint64_t RoundEngine::run_to_quiescence(std::uint64_t max_rounds) {
+  std::uint64_t r = 0;
+  while (r < max_rounds && !all_halted()) {
+    run_round();
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace evencycle::congest

@@ -1,0 +1,240 @@
+// Deterministic multi-threaded round engine of the CONGEST simulator.
+//
+// The engine partitions the vertex set into contiguous shards, one per
+// thread, and drives each synchronous round in two phases over a persistent
+// worker pool:
+//
+//   phase 1 (compute):  every worker runs on_round for the live vertices of
+//                       its shard, in ascending vertex order, staging sends
+//                       into shard-local lanes bucketed by receiver block and
+//                       enforcing per-arc bandwidth as it goes (each directed
+//                       arc belongs to exactly one sender, hence one shard, so
+//                       the accounting is race-free without locks);
+//   phase 2 (deliver):  every worker counting-sorts the messages destined to
+//                       its own vertex block into the flat Mailbox arena,
+//                       reading the lanes in shard order.
+//
+// Determinism guarantee: because shards are contiguous ascending vertex
+// ranges, lane order equals sender order, so the arena layout, every inbox's
+// message order, all Metrics fields, reject/halt bookkeeping, and
+// SimulationError bandwidth enforcement are bit-identical at every thread
+// count (threads = 1 reproduces the seed's sequential simulator exactly).
+// Node programs may therefore treat on_round as sequential per node, but
+// MUST NOT share mutable state across nodes except per-node slots of at
+// least byte granularity (no std::vector<bool> sinks).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "congest/mailbox.hpp"
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace evencycle::congest {
+
+using graph::VertexId;
+
+/// Sentinel for Config::threads: take the worker count from the
+/// EVENCYCLE_THREADS environment variable, defaulting to 1 (sequential)
+/// when it is unset. This lets CI force every simulation in the test suite
+/// through the multi-threaded engine without touching call sites.
+inline constexpr std::uint32_t kThreadsFromEnv = ~std::uint32_t{0};
+
+struct Config {
+  std::uint32_t words_per_round = 1;  ///< link bandwidth in O(log n)-bit words
+  bool collect_round_profile = false; ///< record per-round message counts
+
+  /// Optional cut meter: per undirected edge id, true = count words crossing
+  /// this edge (both directions) into Metrics::watched_messages. Used by the
+  /// lower-bound reductions to measure Alice/Bob communication.
+  const std::vector<bool>* watched_edges = nullptr;
+
+  /// Worker threads for the round engine. kThreadsFromEnv (the default)
+  /// reads EVENCYCLE_THREADS; 0 = hardware concurrency; 1 = sequential
+  /// (exactly the historical single-threaded behavior); k = k threads
+  /// (clamped to a ceiling of 256). Results are bit-identical for every
+  /// value.
+  std::uint32_t threads = kThreadsFromEnv;
+};
+
+/// Aggregate statistics of one simulation run.
+struct Metrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t busiest_round_messages = 0;
+  std::uint64_t watched_messages = 0;        ///< words across watched edges
+  std::vector<std::uint64_t> round_profile;  ///< only if collect_round_profile
+};
+
+class RoundEngine;
+
+/// Per-round view a node program gets of its own node.
+///
+/// Deliberately narrow: everything a real CONGEST node could know locally,
+/// nothing more.
+class Context {
+ public:
+  VertexId id() const { return node_; }
+  std::uint32_t degree() const;
+  VertexId graph_size() const;
+  std::uint64_t round() const;
+
+  /// Messages delivered this round (sent by neighbors last round).
+  std::span<const InboundMessage> inbox() const;
+
+  /// Sends one word on `port` (delivered next round).
+  void send(std::uint32_t port, Message message);
+
+  /// Sends the same word on every port.
+  void broadcast(Message message);
+
+  /// Marks this node's output as reject (sticky).
+  void reject();
+
+  /// Stops scheduling this node's program (it can still receive nothing;
+  /// purely a simulator optimization for quiescent nodes).
+  void halt();
+
+ private:
+  friend class RoundEngine;
+  Context(RoundEngine& engine, std::uint32_t lane, VertexId node)
+      : engine_(engine), lane_(lane), node_(node) {}
+  RoundEngine& engine_;
+  std::uint32_t lane_;
+  VertexId node_;
+};
+
+/// A distributed node program. One instance per vertex.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Called once per round while the node is live. Round 0 has an empty
+  /// inbox; initial sends happen there.
+  virtual void on_round(Context& ctx) = 0;
+};
+
+using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(VertexId)>;
+
+class RoundEngine {
+ public:
+  RoundEngine(const graph::Graph& g, Config config);
+  ~RoundEngine();
+
+  RoundEngine(const RoundEngine&) = delete;
+  RoundEngine& operator=(const RoundEngine&) = delete;
+
+  const graph::Graph& topology() const { return *graph_; }
+  const Config& config() const { return config_; }
+
+  /// Resolved worker count (after kThreadsFromEnv / hardware-concurrency
+  /// resolution); also the number of vertex shards.
+  std::uint32_t thread_count() const { return thread_count_; }
+
+  /// Installs a fresh program at every node and resets all run state
+  /// (round counter, mailboxes, reject flags, metrics). All simulation
+  /// buffers keep their capacity, so repeated experiments on one engine
+  /// reach a steady state with no per-install or per-round allocation.
+  void install(const ProgramFactory& factory);
+
+  /// Runs one synchronous round. Requires installed programs.
+  void run_round();
+
+  /// Runs `count` rounds.
+  void run_rounds(std::uint64_t count);
+
+  /// Runs until all nodes halted or `max_rounds` elapsed; returns rounds run.
+  std::uint64_t run_to_quiescence(std::uint64_t max_rounds);
+
+  /// Runs rounds until one of them sends no messages (message quiescence) or
+  /// `max_rounds` elapsed; returns the number of rounds run, including the
+  /// quiet one. A protocol that never sends runs exactly one round.
+  std::uint64_t run_until_quiet(std::uint64_t max_rounds);
+
+  bool any_rejected() const { return reject_count_ > 0; }
+  std::uint64_t reject_count() const { return reject_count_; }
+  bool rejected(VertexId v) const { return rejected_[v] != 0; }
+  bool all_halted() const { return live_count_ == 0; }
+
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  friend class Context;
+
+  /// Shard-local staging state. One lane per worker; padded so the hot
+  /// per-send counters of neighboring lanes never share a cache line.
+  struct alignas(64) Lane {
+    /// Staged sends, bucketed by receiver block, in send order.
+    std::vector<std::vector<StagedMessage>> stage;
+    /// Directed arcs this shard loaded this round (for O(messages) reset).
+    std::vector<std::uint32_t> touched_arcs;
+    /// Phase-2 scratch: this block's runs, in lane order.
+    std::vector<std::span<const StagedMessage>> runs;
+    std::uint64_t messages = 0;
+    std::uint64_t watched = 0;
+    std::uint64_t new_rejects = 0;
+    std::uint64_t new_halts = 0;
+    std::exception_ptr error;
+  };
+
+  enum class Phase { kCompute, kDeliver };
+
+  VertexId shard_first(std::uint32_t lane) const {
+    const std::uint64_t lo = static_cast<std::uint64_t>(lane) * chunk_;
+    return static_cast<VertexId>(std::min<std::uint64_t>(lo, graph_->vertex_count()));
+  }
+  VertexId shard_last(std::uint32_t lane) const { return shard_first(lane + 1); }
+
+  void send_from(std::uint32_t lane, VertexId from, std::uint32_t port, Message message);
+  void run_shard(std::uint32_t lane);
+  void deliver_block(std::uint32_t lane);
+  void run_phase(std::uint32_t lane);
+  void dispatch(Phase phase);
+  void rethrow_lane_error();
+  void worker_loop(std::uint32_t lane);
+
+  const graph::Graph* graph_;
+  Config config_;
+  std::uint32_t thread_count_ = 1;
+  std::uint64_t chunk_ = 1;  ///< shard width: ceil(n / thread_count)
+
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+
+  Mailbox mailbox_;
+  std::vector<Lane> lanes_;
+  std::vector<std::uint64_t> block_base_;  ///< arena offset of each block
+
+  // Per directed arc, words sent this round (bandwidth enforcement). Arcs
+  // are sender-partitioned across shards, so workers never contend.
+  std::vector<std::uint32_t> arc_load_;
+
+  // Byte flags, not vector<bool>: workers write distinct bytes in parallel.
+  std::vector<std::uint8_t> rejected_;
+  std::vector<std::uint8_t> halted_;
+  std::uint64_t reject_count_ = 0;
+  std::uint64_t live_count_ = 0;
+  std::uint64_t round_messages_ = 0;
+
+  Metrics metrics_;
+
+  // Persistent worker pool (thread_count_ - 1 workers; the calling thread
+  // always executes lane 0). Coordination is a generation-counted barrier.
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t pending_ = 0;
+  Phase phase_ = Phase::kCompute;
+  bool stopping_ = false;
+};
+
+}  // namespace evencycle::congest

@@ -30,6 +30,9 @@ struct ProtocolShape {
   std::uint64_t total_rounds() const { return 2 + static_cast<std::uint64_t>(down_len - 1) * tau; }
 };
 
+// Safe under the multi-threaded round engine: every program copies its spec
+// fields at construction, keeps all protocol state per-node, and reports
+// results only through ctx.reject() — no cross-node shared writes.
 class ColorBfsProgram : public congest::NodeProgram {
  public:
   ColorBfsProgram(VertexId self, const ColorBfsSpec& spec, const ProtocolShape& shape,

@@ -13,9 +13,11 @@
 //   lowerbound/-- Set-Disjointness gadgets and the cut meter (Section 3.3)
 #pragma once
 
+#include "congest/mailbox.hpp"
 #include "congest/message.hpp"
 #include "congest/network.hpp"
 #include "congest/primitives.hpp"
+#include "congest/round_engine.hpp"
 #include "core/bounded_cycle.hpp"
 #include "core/color_bfs.hpp"
 #include "core/complexity_model.hpp"

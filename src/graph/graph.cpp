@@ -67,6 +67,19 @@ Graph GraphBuilder::build() && {
     }
     g.max_degree_ = std::max(g.max_degree_, end - begin);
   }
+  // Pair up the two arcs of every undirected edge to precompute the reverse
+  // arc: each edge id appears on exactly two arcs, one per direction.
+  g.reverse_arc_.assign(2 * m, 0);
+  std::vector<std::uint32_t> first_arc(m, ~std::uint32_t{0});
+  for (std::uint32_t arc = 0; arc < 2 * m; ++arc) {
+    const EdgeId e = g.arc_edge_[arc];
+    if (first_arc[e] == ~std::uint32_t{0}) {
+      first_arc[e] = arc;
+    } else {
+      g.reverse_arc_[arc] = first_arc[e];
+      g.reverse_arc_[first_arc[e]] = arc;
+    }
+  }
   return g;
 }
 

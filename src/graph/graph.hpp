@@ -84,6 +84,15 @@ class Graph {
   /// bandwidth accounting.
   std::uint32_t arc_base(VertexId v) const { return offsets_[v]; }
 
+  /// Head vertex of the directed arc with global index `arc`: for
+  /// arc = arc_base(u) + i this is neighbors(u)[i].
+  VertexId arc_target(std::uint32_t arc) const { return adjacency_[arc]; }
+
+  /// Global index of the reverse arc: for arc (u -> v) this is the arc
+  /// (v -> u). Precomputed at build time so the CONGEST engine resolves the
+  /// receiver-side port of every send in O(1) instead of a binary search.
+  std::uint32_t reverse_arc(std::uint32_t arc) const { return reverse_arc_[arc]; }
+
   /// Vertex-induced subgraph. `keep[v]` selects vertices; returns the
   /// subgraph plus the mapping from new ids to original ids.
   struct Induced;
@@ -100,6 +109,7 @@ class Graph {
   std::vector<std::uint32_t> offsets_;                    // size n+1
   std::vector<VertexId> adjacency_;                       // size 2m, sorted per vertex
   std::vector<EdgeId> arc_edge_;                          // size 2m
+  std::vector<std::uint32_t> reverse_arc_;                // size 2m
   std::vector<std::pair<VertexId, VertexId>> endpoints_;  // size m
 };
 

@@ -1,0 +1,250 @@
+// Determinism guarantee of the multi-threaded round engine: metrics, reject
+// sets, per-inbox message order, and bandwidth enforcement must be
+// bit-identical at every thread count (threads = 1 is the sequential
+// reference).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "core/color_bfs.hpp"
+#include "core/engine_color_bfs.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::congest {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+std::vector<std::uint32_t> thread_counts_under_test() {
+  const auto hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::uint32_t> counts{1, 2, 4};
+  if (hw > 4) counts.push_back(hw);
+  return counts;
+}
+
+void expect_metrics_equal(const Metrics& a, const Metrics& b, std::uint32_t threads) {
+  EXPECT_EQ(a.rounds, b.rounds) << "threads=" << threads;
+  EXPECT_EQ(a.messages, b.messages) << "threads=" << threads;
+  EXPECT_EQ(a.busiest_round_messages, b.busiest_round_messages) << "threads=" << threads;
+  EXPECT_EQ(a.watched_messages, b.watched_messages) << "threads=" << threads;
+  EXPECT_EQ(a.round_profile, b.round_profile) << "threads=" << threads;
+}
+
+Graph determinism_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  // Dense enough that shards exchange plenty of cross-shard messages.
+  return graph::erdos_renyi(240, 0.05, rng);
+}
+
+struct EngineRunResult {
+  Metrics metrics;
+  std::vector<VertexId> rejecting_nodes;
+};
+
+/// Runs the color-BFS engine protocol end to end at a given thread count.
+EngineRunResult run_color_bfs_at(const Graph& g, std::uint32_t threads) {
+  Rng rng(99);
+  const auto colors = core::random_coloring(g.vertex_count(), 4, rng);
+  core::ColorBfsSpec spec;
+  spec.cycle_length = 4;
+  spec.threshold = 6;
+  spec.colors = &colors;
+
+  Config config;
+  config.threads = threads;
+  config.collect_round_profile = true;
+  Network net(g, config);
+  const auto outcome = core::run_color_bfs_on_engine(net, spec);
+
+  EngineRunResult result;
+  result.metrics = net.metrics();
+  result.rejecting_nodes = outcome.rejecting_nodes;
+  return result;
+}
+
+TEST(Determinism, ColorBfsEngineIdenticalAcrossThreadCounts) {
+  const Graph g = determinism_graph(7);
+  const auto reference = run_color_bfs_at(g, 1);
+  // The workload must actually reject somewhere for the comparison to bite.
+  ASSERT_FALSE(reference.rejecting_nodes.empty());
+  for (const auto threads : thread_counts_under_test()) {
+    const auto run = run_color_bfs_at(g, threads);
+    expect_metrics_equal(reference.metrics, run.metrics, threads);
+    EXPECT_EQ(reference.rejecting_nodes, run.rejecting_nodes) << "threads=" << threads;
+  }
+}
+
+/// Records every inbox exactly as delivered: (round, port, tag, payload) per
+/// node, in order. Each program writes only its own node's log (own-slot
+/// extraction; see network.hpp).
+struct InboxLog {
+  std::vector<std::vector<std::uint64_t>> per_node;
+};
+
+/// A deliberately chatty protocol with multi-word links: every node sends
+/// round+1 words (capped by bandwidth) on each port, tagged by sender, for a
+/// fixed number of rounds.
+class ChattyProgram : public NodeProgram {
+ public:
+  ChattyProgram(VertexId self, std::uint32_t words, InboxLog* log)
+      : self_(self), words_(words), log_(log) {}
+
+  void on_round(Context& ctx) override {
+    auto& log = log_->per_node[self_];
+    for (const auto& in : ctx.inbox()) {
+      log.push_back(ctx.round());
+      log.push_back(in.port);
+      log.push_back(in.message.tag);
+      log.push_back(in.message.payload);
+    }
+    const auto burst =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(words_, ctx.round() + 1));
+    for (std::uint32_t port = 0; port < ctx.degree(); ++port)
+      for (std::uint32_t w = 0; w < burst; ++w)
+        ctx.send(port, {self_, (static_cast<std::uint64_t>(self_) << 8) | w});
+  }
+
+ private:
+  VertexId self_;
+  std::uint32_t words_;
+  InboxLog* log_;
+};
+
+InboxLog run_chatty_at(const Graph& g, std::uint32_t threads) {
+  Config config;
+  config.words_per_round = 3;
+  config.threads = threads;
+  Network net(g, config);
+  InboxLog log;
+  log.per_node.resize(g.vertex_count());
+  net.install([&](VertexId v) { return std::make_unique<ChattyProgram>(v, 3, &log); });
+  net.run_rounds(5);
+  return log;
+}
+
+TEST(Determinism, PerInboxMessageOrderIdenticalAcrossThreadCounts) {
+  const Graph g = determinism_graph(11);
+  const auto reference = run_chatty_at(g, 1);
+  for (const auto threads : thread_counts_under_test()) {
+    const auto log = run_chatty_at(g, threads);
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+      ASSERT_EQ(reference.per_node[v], log.per_node[v])
+          << "inbox mismatch at vertex " << v << ", threads=" << threads;
+  }
+}
+
+/// Two different violations in one round: vertex `bad_port_at` sends on a
+/// non-existent port, vertex `overload_at` double-sends on one link. The
+/// sequential engine reports the lower vertex's error; every thread count
+/// must report the same one.
+class ViolatorProgram : public NodeProgram {
+ public:
+  ViolatorProgram(VertexId self, VertexId bad_port_at, VertexId overload_at)
+      : self_(self), bad_port_at_(bad_port_at), overload_at_(overload_at) {}
+
+  void on_round(Context& ctx) override {
+    if (self_ == bad_port_at_) ctx.send(ctx.degree(), {0, 0});
+    if (self_ == overload_at_) {
+      ctx.send(0, {0, 1});
+      ctx.send(0, {0, 2});
+    }
+  }
+
+ private:
+  VertexId self_;
+  VertexId bad_port_at_;
+  VertexId overload_at_;
+};
+
+std::string violation_message_at(const Graph& g, std::uint32_t threads, VertexId bad_port_at,
+                                 VertexId overload_at) {
+  Config config;
+  config.threads = threads;
+  Network net(g, config);
+  net.install([&](VertexId v) {
+    return std::make_unique<ViolatorProgram>(v, bad_port_at, overload_at);
+  });
+  try {
+    net.run_round();
+  } catch (const SimulationError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Determinism, BandwidthViolationsThrowIdenticallyUnderParallelStaging) {
+  const Graph g = graph::cycle(16);
+  // The lower vertex holds the bad-port violation; its message must win at
+  // every thread count even though a higher shard also violates.
+  const auto reference = violation_message_at(g, 1, /*bad_port_at=*/3, /*overload_at=*/13);
+  ASSERT_NE(reference, "");
+  EXPECT_NE(reference.find("non-existent port"), std::string::npos);
+  for (const auto threads : thread_counts_under_test()) {
+    EXPECT_EQ(violation_message_at(g, threads, 3, 13), reference) << "threads=" << threads;
+  }
+  // And symmetrically when the bandwidth overflow sits at the lower vertex.
+  const auto overload_first = violation_message_at(g, 1, /*bad_port_at=*/13, /*overload_at=*/3);
+  EXPECT_NE(overload_first.find("bandwidth exceeded"), std::string::npos);
+  for (const auto threads : thread_counts_under_test()) {
+    EXPECT_EQ(violation_message_at(g, threads, 13, 3), overload_first)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, PrimitivesIdenticalAcrossThreadCounts) {
+  Rng rng(5);
+  const Graph g = graph::random_near_regular(150, 4, rng);
+
+  Config seq;
+  seq.threads = 1;
+  Network net_seq(g, seq);
+  const auto tree_seq = build_bfs_tree(net_seq, 0);
+  const auto leaders_seq = elect_leader(net_seq);
+
+  for (const auto threads : thread_counts_under_test()) {
+    Config config;
+    config.threads = threads;
+    Network net(g, config);
+    const auto tree = build_bfs_tree(net, 0);
+    EXPECT_EQ(tree.parent, tree_seq.parent) << "threads=" << threads;
+    EXPECT_EQ(tree.depth, tree_seq.depth) << "threads=" << threads;
+    EXPECT_EQ(tree.rounds, tree_seq.rounds) << "threads=" << threads;
+    const auto leaders = elect_leader(net);
+    EXPECT_EQ(leaders.leader, leaders_seq.leader) << "threads=" << threads;
+    EXPECT_EQ(leaders.rounds, leaders_seq.rounds) << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, WatchedEdgeCountsIdenticalAcrossThreadCounts) {
+  const Graph g = determinism_graph(13);
+  std::vector<bool> watched(g.edge_count(), false);
+  for (graph::EdgeId e = 0; e < g.edge_count(); e += 3) watched[e] = true;
+
+  auto run = [&](std::uint32_t threads) {
+    Config config;
+    config.threads = threads;
+    config.watched_edges = &watched;
+    Network net(g, config);
+    InboxLog log;
+    log.per_node.resize(g.vertex_count());
+    net.install([&](VertexId v) { return std::make_unique<ChattyProgram>(v, 1, &log); });
+    net.run_rounds(4);
+    return net.metrics().watched_messages;
+  };
+
+  const auto reference = run(1);
+  EXPECT_GT(reference, 0u);
+  for (const auto threads : thread_counts_under_test())
+    EXPECT_EQ(run(threads), reference) << "threads=" << threads;
+}
+
+}  // namespace
+}  // namespace evencycle::congest

@@ -160,6 +160,105 @@ TEST(Network, RoundProfileCollection) {
   EXPECT_EQ(net.metrics().round_profile[1], 0u);
 }
 
+/// Never sends anything.
+class SilentProgram : public NodeProgram {
+ public:
+  void on_round(Context&) override {}
+};
+
+/// Broadcasts in round 0 only, then stays silent.
+class RoundZeroSender : public NodeProgram {
+ public:
+  void on_round(Context& ctx) override {
+    if (ctx.round() == 0) ctx.broadcast({0, 1});
+  }
+};
+
+TEST(Network, RunUntilQuietStopsAfterOneSilentRound) {
+  // Regression: the seed's `r > 1` guard ran a protocol that is silent from
+  // round 0 all the way to max_rounds. Quiet means "a round sent nothing",
+  // including round 0.
+  const Graph g = graph::path(4);
+  Network net(g);
+  net.install([](VertexId) { return std::make_unique<SilentProgram>(); });
+  EXPECT_EQ(net.run_until_quiet(100), 1u);
+  EXPECT_EQ(net.metrics().rounds, 1u);
+}
+
+TEST(Network, RunUntilQuietCountsTheQuietRound) {
+  // A protocol that sends only in round 0 runs round 0 (noisy) and round 1
+  // (quiet): exactly two rounds, not three as under the seed's guard.
+  const Graph g = graph::path(4);
+  Network net(g);
+  net.install([](VertexId) { return std::make_unique<RoundZeroSender>(); });
+  EXPECT_EQ(net.run_until_quiet(100), 2u);
+}
+
+TEST(Network, RunUntilQuietRespectsMaxRounds) {
+  const Graph g = graph::cycle(4);
+  Network net(g);
+  net.install([](VertexId) { return std::make_unique<FloodEveryRound>(); });
+  EXPECT_EQ(net.run_until_quiet(7), 7u);
+}
+
+/// Sends `words` messages on port 0 in round 0.
+class BurstProgram : public NodeProgram {
+ public:
+  explicit BurstProgram(std::uint64_t words) : words_(words) {}
+  void on_round(Context& ctx) override {
+    if (ctx.round() == 0 && ctx.id() == 0)
+      for (std::uint64_t i = 0; i < words_; ++i) ctx.send(0, {0, i});
+    ctx.halt();
+  }
+
+ private:
+  std::uint64_t words_;
+};
+
+TEST(Network, BandwidthBeyond16BitsIsCountedExactly) {
+  // Regression: arc loads were uint16_t while words_per_round is uint32_t,
+  // so a 65536-word budget wrapped the counter to 0 and a 65537th word on
+  // the same link went undetected.
+  const Graph g = graph::path(2);
+  Config config;
+  config.words_per_round = 1u << 16;
+  Network net(g, config);
+  net.install([](VertexId) { return std::make_unique<BurstProgram>(1u << 16); });
+  EXPECT_NO_THROW(net.run_round());
+  EXPECT_EQ(net.metrics().messages, 1u << 16);
+
+  net.install([](VertexId) { return std::make_unique<BurstProgram>((1u << 16) + 1); });
+  EXPECT_THROW(net.run_round(), SimulationError);
+}
+
+TEST(Network, ThreadConfigResolution) {
+  const Graph g = graph::cycle(6);
+  Config config;
+  config.threads = 3;
+  Network net(g, config);
+  EXPECT_EQ(net.thread_count(), 3u);
+
+  config.threads = 0;  // hardware concurrency
+  Network net_auto(g, config);
+  EXPECT_GE(net_auto.thread_count(), 1u);
+
+  config.threads = 1;  // sequential
+  Network net_seq(g, config);
+  EXPECT_EQ(net_seq.thread_count(), 1u);
+}
+
+TEST(Network, MoreThreadsThanVerticesIsFine) {
+  const Graph g = graph::path(3);
+  Config config;
+  config.threads = 8;
+  Network net(g, config);
+  std::vector<std::vector<std::uint64_t>> received(3);
+  net.install([&](VertexId v) { return std::make_unique<ChatterProgram>(v, &received); });
+  net.run_rounds(2);
+  EXPECT_EQ(net.metrics().messages, 4u);
+  ASSERT_EQ(received[1].size(), 2u);
+}
+
 TEST(Network, WatchedEdgesCounted) {
   const Graph g = graph::path(3);  // edges (0,1), (1,2)
   std::vector<bool> watched(g.edge_count(), false);

@@ -114,6 +114,41 @@ TEST(Graph, InducedSubgraphMapsIds) {
   EXPECT_TRUE(induced.graph.has_edge(new0, new2));
 }
 
+TEST(Graph, ArcTargetMatchesNeighborList) {
+  const Graph g = triangle_plus_pendant();
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::uint32_t port = 0; port < g.degree(v); ++port)
+      EXPECT_EQ(g.arc_target(g.arc_base(v) + port), nbrs[port]);
+  }
+}
+
+TEST(Graph, ReverseArcIsAnInvolutionAndMatchesArcIndex) {
+  GraphBuilder b(9);
+  // Irregular graph: a triangle, a star, and a bridge.
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 4);
+  b.add_edge(3, 5);
+  b.add_edge(3, 6);
+  b.add_edge(3, 7);
+  b.add_edge(2, 3);
+  b.add_edge(7, 8);
+  const Graph g = std::move(b).build();
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    for (std::uint32_t port = 0; port < g.degree(u); ++port) {
+      const std::uint32_t arc = g.arc_base(u) + port;
+      const VertexId v = g.arc_target(arc);
+      const std::uint32_t reverse = g.reverse_arc(arc);
+      EXPECT_EQ(g.reverse_arc(reverse), arc);
+      EXPECT_EQ(g.arc_target(reverse), u);
+      // The precomputed table agrees with the binary-search lookup.
+      EXPECT_EQ(reverse, g.arc_base(v) + g.arc_index(v, u));
+    }
+  }
+}
+
 TEST(Graph, EmptyGraph) {
   GraphBuilder b(0);
   const Graph g = std::move(b).build();
