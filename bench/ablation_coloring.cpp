@@ -1,93 +1,9 @@
 // A3: random color-coding vs the derandomized affine family (paper
-// Conclusion: "the randomized color-coding phases can often be replaced by
-// deterministic protocols").
-//
-// Compares, per coloring budget K, (a) the probability that a fixed
-// planted 2k-cycle is hit by at least one coloring and (b) the end-to-end
-// Algorithm 1 detection rate — for uniform random colorings and for the
-// deterministic affine family (zero shared randomness).
-#include <cmath>
-#include <iostream>
+// Conclusion). The experiment is the harness scenario "ablation-coloring"
+// (src/harness/scenarios_builtin.cpp); this wrapper is equivalent to
+// `evencycle run ablation-coloring ...`.
+#include "harness/cli.hpp"
 
-#include "evencycle.hpp"
-
-namespace {
-
-using namespace evencycle;
-using graph::VertexId;
-
-}  // namespace
-
-int main() {
-  std::cout << "Ablation A3: random vs derandomized colorings (Conclusion).\n";
-  Rng rng(0xEC2024);
-  const std::uint32_t k = 2;
-  const VertexId n = 220;
-
-  print_banner(std::cout, "cycle-hitting probability of a fixed planted C4");
-  TextTable hits({"family size K", "random hit rate", "affine family hit rate",
-                  "analytic 1-(1-1/32)^K"});
-  for (std::uint64_t K : {16u, 64u, 256u, 1024u}) {
-    const int instances = 40;
-    int random_hits = 0, affine_hits = 0;
-    for (int i = 0; i < instances; ++i) {
-      const auto planted = graph::planted_light_cycle(n, 2 * k, rng);
-      // Random colorings.
-      bool hit = false;
-      for (std::uint64_t j = 0; j < K && !hit; ++j) {
-        const auto colors = core::random_coloring(n, 2 * k, rng);
-        bool consecutive = false;
-        for (std::size_t offset = 0; offset < planted.cycle.size() && !consecutive; ++offset) {
-          bool fwd = true, bwd = true;
-          for (std::size_t t = 0; t < planted.cycle.size(); ++t) {
-            const auto expected = static_cast<std::uint8_t>(t);
-            const auto len = planted.cycle.size();
-            if (colors[planted.cycle[(offset + t) % len]] != expected) fwd = false;
-            if (colors[planted.cycle[(offset + len - t) % len]] != expected) bwd = false;
-          }
-          consecutive = fwd || bwd;
-        }
-        hit = consecutive;
-      }
-      random_hits += hit ? 1 : 0;
-      const core::AffineColoringFamily family(n, 2 * k, K);
-      affine_hits += family.hits_cycle(planted.cycle) ? 1 : 0;
-    }
-    const double analytic = 1.0 - std::pow(1.0 - 8.0 / 256.0, static_cast<double>(K));
-    hits.add_row({TextTable::integer(K),
-                  TextTable::num(static_cast<double>(random_hits) / instances, 2),
-                  TextTable::num(static_cast<double>(affine_hits) / instances, 2),
-                  TextTable::num(analytic, 3)});
-  }
-  hits.print(std::cout);
-
-  print_banner(std::cout, "end-to-end Algorithm 1 detection rate");
-  TextTable detect({"K", "randomized detect rate", "derandomized detect rate"});
-  for (std::uint64_t K : {32u, 128u, 512u}) {
-    const int runs = 12;
-    int randomized = 0, derandomized = 0;
-    for (int run = 0; run < runs; ++run) {
-      Rng seed(run * 1000 + K);
-      const auto planted = graph::planted_light_cycle(n, 2 * k, seed);
-      core::PracticalTuning tuning;
-      tuning.repetitions = K;
-      const auto params = core::Params::practical(k, n, tuning);
-      Rng r1 = seed.split();
-      if (core::detect_even_cycle(planted.graph, params, r1).cycle_detected) ++randomized;
-      const core::AffineColoringFamily family(n, 2 * k, K);
-      Rng r2 = seed.split();
-      if (core::detect_even_cycle_derandomized(planted.graph, params, family, r2).cycle_detected)
-        ++derandomized;
-    }
-    detect.add_row({TextTable::integer(K),
-                    TextTable::num(static_cast<double>(randomized) / runs, 2),
-                    TextTable::num(static_cast<double>(derandomized) / runs, 2)});
-  }
-  detect.print(std::cout);
-
-  std::cout << "\nThe affine family matches random coloring empirically; unlike a\n"
-               "[20]-style perfect family it has no worst-case hitting guarantee\n"
-               "(see DESIGN.md section 3). The remaining randomness in Algorithm 1\n"
-               "is the selection of S — the open question the Conclusion highlights.\n\nDone.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return evencycle::harness::scenario_main("ablation-coloring", argc, argv);
 }

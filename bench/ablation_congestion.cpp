@@ -1,79 +1,9 @@
 // A2: the congestion / success-probability trade-off behind the quantum
-// speedup (paper Section 3.2.1).
-//
-// Algorithm 2 activates each color-0 source with probability 1/tau and
-// clips the threshold to 4: congestion drops to O(1) and the success
-// probability drops to Theta(1/tau) — which Theorem 3 then boosts with a
-// quadratic discount. This bench sweeps the activation probability between
-// the two endpoints and measures both sides of the trade.
-#include <cmath>
-#include <iostream>
+// speedup (paper Section 3.2.1). The experiment is the harness scenario
+// "ablation-congestion" (src/harness/scenarios_builtin.cpp); this wrapper
+// is equivalent to `evencycle run ablation-congestion ...`.
+#include "harness/cli.hpp"
 
-#include "evencycle.hpp"
-
-namespace {
-
-using namespace evencycle;
-using graph::VertexId;
-
-}  // namespace
-
-int main() {
-  std::cout << "Ablation A2: activation probability vs congestion vs success\n"
-               "(Algorithm 1 <-> Algorithm 2 interpolation, Section 3.2.1).\n";
-  Rng rng(0xEC2024);
-  const std::uint32_t k = 2;
-  const VertexId n = 600;
-
-  // Instance with a well-colored planted cycle; the coloring is fixed to a
-  // good one so success measures the *activation* machinery only.
-  const auto planted = graph::planted_heavy_cycle(n, 2 * k, 4 * core::ceil_root(n, k), rng);
-  std::vector<std::uint8_t> colors(n, static_cast<std::uint8_t>(2 * k - 1));
-  for (std::size_t i = 0; i < planted.cycle.size(); ++i)
-    colors[planted.cycle[i]] = static_cast<std::uint8_t>(i);
-
-  const auto params = core::Params::practical(k, n);
-  const double tau = static_cast<double>(params.threshold);
-
-  print_banner(std::cout, "activation sweep on a fixed well-colored instance");
-  TextTable table({"activation prob", "threshold", "success rate", "avg max |I_v|",
-                   "avg rounds (meas)", "expected success ~ a"});
-  for (double activation : {1.0, 0.25, 1.0 / 16, 1.0 / 64, 1.0 / tau}) {
-    const std::uint64_t threshold = activation >= 1.0 ? params.threshold : 4;
-    int successes = 0;
-    double congestion = 0, rounds = 0;
-    const int runs = 300;
-    for (int run = 0; run < runs; ++run) {
-      core::ColorBfsSpec spec;
-      spec.cycle_length = 2 * k;
-      spec.threshold = threshold;
-      spec.activation_prob = activation;
-      spec.colors = &colors;
-      const auto out = core::run_color_bfs(planted.graph, spec, rng);
-      successes += out.rejected ? 1 : 0;
-      congestion += static_cast<double>(out.max_set_size);
-      rounds += static_cast<double>(out.rounds_measured);
-    }
-    table.add_row({TextTable::num(activation, 6), TextTable::integer(threshold),
-                   TextTable::num(static_cast<double>(successes) / runs, 3),
-                   TextTable::num(congestion / runs, 2), TextTable::num(rounds / runs, 2),
-                   TextTable::num(std::min(1.0, activation), 6)});
-  }
-  table.print(std::cout);
-
-  print_banner(std::cout, "the quadratic discount (Theorem 3)");
-  TextTable boost({"eps = success floor", "classical boost reps ~ 1/eps",
-                   "quantum boost ~ sqrt(1/eps)", "ratio"});
-  for (double eps : {1e-1, 1e-2, 1e-3, 1e-4}) {
-    const double classical = std::ceil(1.0 / eps);
-    const double quantum = std::ceil(std::sqrt(1.0 / eps));
-    boost.add_row({TextTable::num(eps, 5), TextTable::integer(classical),
-                   TextTable::integer(quantum), TextTable::num(classical / quantum, 1)});
-  }
-  boost.print(std::cout);
-
-  std::cout << "\nTake-away: congestion scales ~ activation * tau while success scales\n"
-               "~ activation; the quantum amplification pays sqrt(1/success), which is\n"
-               "what buys the n^{1-1/k} -> n^{1/2-1/2k} improvement.\n\nDone.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return evencycle::harness::scenario_main("ablation-congestion", argc, argv);
 }

@@ -1,113 +1,9 @@
-// A1: global vs local threshold (the paper's core claim, Section 1.1.1).
-//
-// The [10] local-threshold technique caps every node at a constant tau_k;
-// [23] proved this cannot work for k >= 6. The failure is congestion: a
-// relay on the cycle that also hears many other sources discards its whole
-// set. The paper's *global* threshold tau = Theta(n^{1-1/k}) forwards
-// through the same congestion.
-//
-// Protocol of the experiment: plant a C_{2k} whose color-1 relay is also
-// adjacent to `noise` color-0 source vertices; hand both strategies the
-// *correct* coloring (isolating the threshold machinery from color-coding
-// luck) and sweep the noise level.
-#include <iostream>
+// A1: global vs constant local threshold (paper Section 1.1.1; the [23]
+// impossibility for k >= 6). The experiment is the harness scenario
+// "ablation-threshold" (src/harness/scenarios_builtin.cpp); this wrapper
+// is equivalent to `evencycle run ablation-threshold ...`.
+#include "harness/cli.hpp"
 
-#include "evencycle.hpp"
-
-namespace {
-
-using namespace evencycle;
-using graph::Graph;
-using graph::GraphBuilder;
-using graph::VertexId;
-
-struct NoisyInstance {
-  Graph graph;
-  std::vector<std::uint8_t> colors;
-  std::vector<bool> sources;  // color-0 vertices launching the search
-};
-
-NoisyInstance make_noisy(std::uint32_t k, std::uint32_t noise) {
-  NoisyInstance inst;
-  GraphBuilder b(2 * k);
-  // The cycle 0..2k-1, colored consecutively.
-  for (VertexId i = 0; i < 2 * k; ++i) b.add_edge(i, (i + 1) % (2 * k));
-  // Noise sources attached to the color-1 relay (vertex 1).
-  std::vector<VertexId> noise_ids;
-  for (std::uint32_t i = 0; i < noise; ++i) {
-    const auto v = b.add_vertex();
-    noise_ids.push_back(v);
-    b.add_edge(v, 1);
-  }
-  inst.graph = std::move(b).build();
-  inst.colors.assign(inst.graph.vertex_count(), static_cast<std::uint8_t>(2 * k - 1));
-  for (VertexId i = 0; i < 2 * k; ++i) inst.colors[i] = static_cast<std::uint8_t>(i);
-  for (auto v : noise_ids) inst.colors[v] = 0;
-  inst.sources.assign(inst.graph.vertex_count(), false);
-  inst.sources[0] = true;  // the cycle's color-0 vertex
-  for (auto v : noise_ids) inst.sources[v] = true;
-  return inst;
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "Ablation A1: global threshold (this paper) vs constant local\n"
-               "threshold ([10], impossible for k >= 6 by [23]). Both run on the\n"
-               "same correctly-colored noisy instance; only the threshold differs.\n";
-  Rng rng(0xEC2024);
-
-  for (std::uint32_t k : {2u, 4u, 6u, 8u}) {
-    print_banner(std::cout, "k = " + std::to_string(k) + " (C_" + std::to_string(2 * k) + ")");
-    TextTable table({"noise sources at relay", "local tau_k=3 detects", "local discards",
-                     "global tau detects", "global tau", "global rounds (meas)"});
-    for (std::uint32_t noise : {0u, 2u, 8u, 32u, 128u}) {
-      const auto inst = make_noisy(k, noise);
-      const auto n = inst.graph.vertex_count();
-      core::ColorBfsSpec local;
-      local.cycle_length = 2 * k;
-      local.threshold = 3;
-      local.colors = &inst.colors;
-      local.sources = &inst.sources;
-      const auto local_out = core::run_color_bfs(inst.graph, local, rng);
-
-      const auto params = core::Params::practical(k, std::max<VertexId>(n, 4));
-      core::ColorBfsSpec global = local;
-      global.threshold = std::max<std::uint64_t>(params.threshold, 1);
-      const auto global_out = core::run_color_bfs(inst.graph, global, rng);
-
-      table.add_row({TextTable::integer(noise), local_out.rejected ? "yes" : "NO",
-                     TextTable::integer(local_out.discarded_nodes),
-                     global_out.rejected ? "yes" : "NO",
-                     TextTable::integer(global.threshold),
-                     TextTable::integer(global_out.rounds_measured)});
-    }
-    table.print(std::cout);
-  }
-
-  print_banner(std::cout, "End-to-end detection on heavy instances (k = 2, random colorings)");
-  TextTable table({"n", "ours detect rate", "[10] tau=3 detect rate"});
-  for (const VertexId n : {300u, 600u, 1200u}) {
-    int ours = 0, local = 0;
-    const int runs = 6;
-    for (int run = 0; run < runs; ++run) {
-      Rng seed(n * 131 + run);
-      const auto planted = graph::planted_heavy_cycle(n, 4, 4 * core::ceil_root(n, 2), seed);
-      core::PracticalTuning tuning;
-      tuning.repetitions = 200;
-      const auto params = core::Params::practical(2, n, tuning);
-      if (core::detect_even_cycle(planted.graph, params, seed).cycle_detected) ++ours;
-      baseline::LocalThresholdOptions options;
-      options.local_threshold = 3;
-      if (baseline::detect_even_cycle_local_threshold(planted.graph, 2, options, seed)
-              .cycle_detected)
-        ++local;
-    }
-    table.add_row({TextTable::integer(n),
-                   TextTable::num(static_cast<double>(ours) / runs, 2),
-                   TextTable::num(static_cast<double>(local) / runs, 2)});
-  }
-  table.print(std::cout);
-  std::cout << "\nDone.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return evencycle::harness::scenario_main("ablation-threshold", argc, argv);
 }

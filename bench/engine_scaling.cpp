@@ -1,105 +1,10 @@
-// PERF: thread-scaling of the CONGEST round engine on a large flooding
-// workload. Every node broadcasts on every port every round — the maximal
-// message load the model admits at words_per_round = 1 — and the same
-// simulation runs at several thread counts. Emits one JSON record on stdout
-// with per-thread-count timings, speedups over threads=1, and a determinism
-// check (all metrics must be bit-identical).
-//
-// Usage: engine_scaling [nodes] [avg_degree] [rounds]
-//   defaults: 1,000,000 nodes, average degree 4, 8 timed rounds.
-#include <algorithm>
-#include <chrono>
-#include <cstdlib>
-#include <iostream>
-#include <memory>
-#include <thread>
-#include <vector>
-
-#include "congest/network.hpp"
-#include "graph/generators.hpp"
-#include "support/rng.hpp"
-
-namespace {
-
-using namespace evencycle;
-using graph::Graph;
-using graph::VertexId;
-
-class FloodProgram : public congest::NodeProgram {
- public:
-  void on_round(congest::Context& ctx) override { ctx.broadcast({0, ctx.id()}); }
-};
-
-struct RunRecord {
-  std::uint32_t threads = 1;
-  std::uint32_t resolved_threads = 1;
-  double seconds = 0.0;
-  congest::Metrics metrics;
-};
-
-RunRecord run_flood(const Graph& g, std::uint32_t threads, std::uint64_t rounds) {
-  congest::Config config;
-  config.threads = threads;
-  congest::Network net(g, config);
-  net.install([](VertexId) { return std::make_unique<FloodProgram>(); });
-  net.run_round();  // warm-up: populates arena/lane capacities
-  const auto start = std::chrono::steady_clock::now();
-  net.run_rounds(rounds);
-  const auto stop = std::chrono::steady_clock::now();
-
-  RunRecord record;
-  record.threads = threads;
-  record.resolved_threads = net.thread_count();
-  record.seconds = std::chrono::duration<double>(stop - start).count();
-  record.metrics = net.metrics();
-  return record;
-}
-
-bool metrics_equal(const congest::Metrics& a, const congest::Metrics& b) {
-  return a.rounds == b.rounds && a.messages == b.messages &&
-         a.busiest_round_messages == b.busiest_round_messages &&
-         a.watched_messages == b.watched_messages;
-}
-
-}  // namespace
+// PERF: thread-scaling of the CONGEST round engine on a maximal flooding
+// workload. The experiment is the harness scenario "engine-scaling"
+// (src/harness/scenarios_builtin.cpp); this wrapper is equivalent to
+// `evencycle run engine-scaling --json ...` and exists so the historical
+// bench binary keeps working.
+#include "harness/cli.hpp"
 
 int main(int argc, char** argv) {
-  const auto n = static_cast<VertexId>(argc > 1 ? std::atoll(argv[1]) : 1000000);
-  const auto avg_degree = static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2]) : 4);
-  const auto rounds = static_cast<std::uint64_t>(argc > 3 ? std::atoll(argv[3]) : 8);
-
-  Rng rng(2024);
-  const Graph g = graph::random_near_regular(n, avg_degree, rng);
-
-  const auto hw = std::max(1u, std::thread::hardware_concurrency());
-  std::vector<std::uint32_t> thread_counts{1, 2, 4};
-  if (hw > 4) thread_counts.push_back(hw);
-
-  std::vector<RunRecord> records;
-  records.reserve(thread_counts.size());
-  for (const auto threads : thread_counts) records.push_back(run_flood(g, threads, rounds));
-
-  const auto& baseline = records.front();
-  bool deterministic = true;
-  for (const auto& record : records)
-    deterministic = deterministic && metrics_equal(record.metrics, baseline.metrics);
-
-  const double words = static_cast<double>(baseline.metrics.messages - 2ULL * g.edge_count());
-
-  std::cout << "{\"bench\":\"engine_scaling\""
-            << ",\"nodes\":" << g.vertex_count() << ",\"edges\":" << g.edge_count()
-            << ",\"rounds\":" << rounds << ",\"hardware_concurrency\":" << hw
-            << ",\"deterministic\":" << (deterministic ? "true" : "false")
-            << ",\"results\":[";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto& record = records[i];
-    std::cout << (i == 0 ? "" : ",") << "{\"threads\":" << record.threads
-              << ",\"resolved_threads\":" << record.resolved_threads
-              << ",\"seconds\":" << record.seconds
-              << ",\"rounds_per_sec\":" << static_cast<double>(rounds) / record.seconds
-              << ",\"words_per_sec\":" << words / record.seconds
-              << ",\"speedup\":" << baseline.seconds / record.seconds << "}";
-  }
-  std::cout << "]}\n";
-  return deterministic ? 0 : 1;
+  return evencycle::harness::scenario_main("engine-scaling", argc, argv);
 }

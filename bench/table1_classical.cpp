@@ -1,180 +1,9 @@
-// T1-C: regenerates the classical rows of the paper's Table 1.
-//
-// For each k and a grid of n, runs Algorithm 1 on planted-C_{2k} workloads
-// (a light instance and a heavy-hub instance), reporting measured rounds
-// per iteration, the paper's worst-case charge, and measured congestion;
-// then fits log-log exponents and compares them against the paper's
-// O(n^{1-1/k}) claim, the [10] local-threshold baseline (same exponent,
-// only valid k <= 5), and the analytic [16] curves this paper improves on.
-#include <cmath>
-#include <iostream>
-#include <vector>
+// T1-C: the classical rows of the paper's Table 1 (Algorithm 1 vs the [10]
+// baseline, with exponent fits in the summary). The experiment is the
+// harness scenario "table1-classical" (src/harness/scenarios_builtin.cpp);
+// this wrapper is equivalent to `evencycle run table1-classical ...`.
+#include "harness/cli.hpp"
 
-#include "evencycle.hpp"
-
-namespace {
-
-using namespace evencycle;
-using graph::Graph;
-using graph::VertexId;
-
-struct Sample {
-  double n = 0;
-  double rounds_measured = 0;
-  double rounds_charged = 0;
-  double congestion = 0;
-  double tau = 0;
-};
-
-/// Selection constant keeping p = c k^2 / n^{1/k} below the 1/2 clamp over
-/// the whole sweep, so tau retains its n^{1-1/k} dependence. The paper's
-/// constant is asymptotic (p -> 0); at simulation sizes and k >= 3 it would
-/// saturate p and flatten the exponent to 1 (see EXPERIMENTS.md).
-double sweep_selection_constant(std::uint32_t k, VertexId n_min) {
-  return 0.4 * std::pow(static_cast<double>(n_min), 1.0 / k) / (k * k);
-}
-
-Sample measure_ours(std::uint32_t k, VertexId n, VertexId n_min, Rng& rng) {
-  // Workload: tree host with a planted 2k-cycle through a hub of degree
-  // ~4 n^{1/k} (exercises the heavy path), plus background edges.
-  const auto hub_degree =
-      static_cast<std::uint32_t>(4 * core::ceil_root(n, k) + 2 * k + 2);
-  const auto planted = graph::planted_heavy_cycle(n, 2 * k, hub_degree, rng);
-
-  core::PracticalTuning tuning;
-  tuning.repetitions = 6;  // rounds scale linearly in K; report per iteration
-  tuning.selection_constant = sweep_selection_constant(k, n_min);
-  const auto params = core::Params::practical(k, n, tuning);
-  core::DetectOptions options;
-  options.stop_on_reject = false;
-  const auto report = core::detect_even_cycle(planted.graph, params, rng, options);
-
-  Sample sample;
-  sample.n = n;
-  const auto iters = static_cast<double>(report.iterations_run);
-  sample.rounds_measured = static_cast<double>(report.rounds_measured) / iters;
-  sample.rounds_charged = static_cast<double>(report.rounds_charged) / iters;
-  sample.congestion = static_cast<double>(report.max_congestion);
-  sample.tau = static_cast<double>(params.threshold);
-  return sample;
-}
-
-Sample measure_local_threshold(std::uint32_t k, VertexId n, Rng& rng) {
-  const auto hub_degree =
-      static_cast<std::uint32_t>(4 * core::ceil_root(n, k) + 2 * k + 2);
-  const auto planted = graph::planted_heavy_cycle(n, 2 * k, hub_degree, rng);
-  baseline::LocalThresholdOptions options;
-  options.local_threshold = 3;
-  options.stop_on_reject = false;
-  options.attempts = 0;  // auto: ~4 n^{1-1/k} attempts
-  const auto report =
-      baseline::detect_even_cycle_local_threshold(planted.graph, k, options, rng);
-  Sample sample;
-  sample.n = n;
-  sample.rounds_measured = static_cast<double>(report.rounds_measured);
-  sample.rounds_charged = static_cast<double>(report.rounds_charged);
-  return sample;
-}
-
-void run_for_k(std::uint32_t k, const std::vector<VertexId>& sizes, Rng& rng) {
-  print_banner(std::cout, "Table 1 (classical), k = " + std::to_string(k) +
-                              "  —  C_" + std::to_string(2 * k) + "-freeness");
-
-  TextTable table({"n", "tau", "ours rounds/iter (meas)", "ours rounds/iter (charged)",
-                   "ours max |I_v|", "[10] rounds total (charged)"});
-  std::vector<double> ns, ours_charged, ours_measured, baseline_charged;
-  for (const auto n : sizes) {
-    const Sample ours = measure_ours(k, n, sizes.front(), rng);
-    const Sample local = measure_local_threshold(k, n, rng);
-    ns.push_back(ours.n);
-    ours_charged.push_back(ours.rounds_charged);
-    ours_measured.push_back(ours.rounds_measured);
-    baseline_charged.push_back(local.rounds_charged);
-    table.add_row({TextTable::integer(ours.n), TextTable::integer(ours.tau),
-                   TextTable::num(ours.rounds_measured, 1),
-                   TextTable::num(ours.rounds_charged, 1), TextTable::integer(ours.congestion),
-                   TextTable::num(local.rounds_charged, 1)});
-  }
-  table.print(std::cout);
-
-  const auto fit_ours = fit_power_law(ns, ours_charged);
-  const auto fit_meas = fit_power_law(ns, ours_measured);
-  const auto fit_base = fit_power_law(ns, baseline_charged);
-  const double paper = core::exponent_ours_classical(k);
-
-  TextTable fits({"series", "fitted exponent", "paper exponent", "R^2"});
-  fits.add_row({"this paper (charged)", TextTable::num(fit_ours.exponent),
-                TextTable::num(paper), TextTable::num(fit_ours.r_squared)});
-  fits.add_row({"this paper (measured)", TextTable::num(fit_meas.exponent), "<= " + TextTable::num(paper),
-                TextTable::num(fit_meas.r_squared)});
-  if (k <= 5) {
-    fits.add_row({"[10] local threshold (charged)", TextTable::num(fit_base.exponent),
-                  TextTable::num(core::exponent_censor_hillel(k)),
-                  TextTable::num(fit_base.r_squared)});
-  }
-  if (k >= 3) {
-    fits.add_row({"[16] Eden et al. (analytic)", TextTable::num(core::exponent_eden(k)),
-                  "worse than ours for all k", "-"});
-  }
-  fits.print(std::cout);
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "Reproduction of Table 1, classical rows: C_{2k}-freeness in\n"
-               "O(n^{1-1/k}) CONGEST rounds (this paper) vs the [10] baseline\n"
-               "and the analytic [16] exponents. Constants are simulator-scale;\n"
-               "the claim under test is the exponent and the ordering.\n";
-  Rng rng(0xEC2024);
-
-  run_for_k(2, {1024, 2048, 4096, 8192, 16384, 32768}, rng);
-  run_for_k(3, {1024, 2048, 4096, 8192, 16384}, rng);
-  run_for_k(4, {1024, 2048, 4096, 8192}, rng);
-  run_for_k(6, {1024, 2048, 4096}, rng);
-
-  print_banner(std::cout, "Bounded-length row: {C_l | 3<=l<=2k} in ~O(n^{1-1/k}) (Sec. 3.5)");
-  {
-    TextTable bounded({"n", "k", "rounds/iter (charged)", "rounds/iter (meas)", "girth found"});
-    std::vector<double> ns, charged;
-    for (const VertexId n : {1024u, 4096u, 16384u}) {
-      Rng local(n * 7);
-      const Graph g = graph::torus(static_cast<VertexId>(std::sqrt(n)),
-                                   static_cast<VertexId>(std::sqrt(n)));  // girth 4
-      core::BoundedCycleOptions options;
-      options.repetitions = 4;
-      options.stop_on_reject = false;
-      const auto report = core::detect_bounded_cycle(g, 2, options, local);
-      const auto iters = static_cast<double>(report.iterations_run);
-      ns.push_back(g.vertex_count());
-      charged.push_back(static_cast<double>(report.rounds_charged) / iters);
-      bounded.add_row({TextTable::integer(g.vertex_count()), "2",
-                       TextTable::num(static_cast<double>(report.rounds_charged) / iters, 1),
-                       TextTable::num(static_cast<double>(report.rounds_measured) / iters, 1),
-                       report.cycle_detected ? "<= 4" : "-"});
-    }
-    bounded.print(std::cout);
-    const auto fit = fit_power_law(ns, charged);
-    std::cout << "fitted exponent (charged): " << TextTable::num(fit.exponent)
-              << "  —  paper: " << TextTable::num(core::exponent_ours_classical(2)) << "\n";
-  }
-
-  print_banner(std::cout, "Odd rows: deterministic/randomized Theta~(n)");
-  TextTable odd({"n", "C5 full-detector rounds/iter (charged)", "expected Theta(n)"});
-  for (const VertexId n : {512u, 1024u, 2048u, 4096u}) {
-    Rng local(n);
-    const auto planted = graph::plant_cycle(graph::random_tree(n, local), 5, local);
-    core::OddCycleOptions options;
-    options.repetitions = 2;
-    options.stop_on_reject = false;
-    const auto report = core::detect_odd_cycle(planted.graph, 2, options, local);
-    odd.add_row({TextTable::integer(n),
-                 TextTable::num(static_cast<double>(report.rounds_charged) /
-                                    static_cast<double>(report.iterations_run),
-                                1),
-                 TextTable::integer(n)});
-  }
-  odd.print(std::cout);
-  std::cout << "\nDone.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return evencycle::harness::scenario_main("table1-classical", argc, argv);
 }

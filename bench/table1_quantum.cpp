@@ -1,141 +1,10 @@
-// T1-Q: regenerates the quantum rows of the paper's Table 1.
-//
-// Two parts:
-//   1. Analytic landscape: for each k, the modeled round complexities of
-//      this paper's quantum algorithm ~O(n^{1/2-1/2k}), the prior
-//      van Apeldoorn-de Vos ~O(n^{1/2-1/(4k+2)}), the classical
-//      O(n^{1-1/k}), the odd-cycle ~Theta(sqrt n), and the ~Omega(n^{1/4})
-//      lower bound — including the quantum/classical speedup factor.
-//   2. Measured pipeline: the full Theorem 2 pipeline (congestion-reduced
-//      Algorithm 1 -> Theorem 3 amplification -> Lemma 9 diameter
-//      reduction) run on planted instances, reporting the charged quantum
-//      rounds against the classical-repetition equivalent.
-#include <cmath>
-#include <iostream>
+// T1-Q: the quantum rows of the paper's Table 1 (the Theorem 2 pipeline,
+// even and odd variants, with the analytic exponents in the summary). The
+// experiment is the harness scenario "table1-quantum"
+// (src/harness/scenarios_builtin.cpp); this wrapper is equivalent to
+// `evencycle run table1-quantum ...`.
+#include "harness/cli.hpp"
 
-#include "evencycle.hpp"
-
-namespace {
-
-using namespace evencycle;
-using graph::VertexId;
-
-void analytic_landscape(std::uint32_t k) {
-  print_banner(std::cout, "Analytic quantum landscape, k = " + std::to_string(k));
-  TextTable table({"n", "classical n^{1-1/k}", "quantum ours n^{1/2-1/2k}",
-                   "quantum [33] n^{1/2-1/(4k+2)}", "LB n^{1/4}", "speedup (cls/ours)"});
-  for (double n = 1024; n <= 1024.0 * 1024 * 64; n *= 16) {
-    const double classical = core::predicted_rounds(core::exponent_ours_classical(k), n);
-    const double ours = core::predicted_rounds(core::exponent_ours_quantum(k), n);
-    const double vadv = core::predicted_rounds(core::exponent_vadv_quantum(k), n);
-    const double lb = core::predicted_rounds(0.25, n);
-    table.add_row({TextTable::integer(n), TextTable::num(classical, 0),
-                   TextTable::num(ours, 0), TextTable::num(vadv, 0), TextTable::num(lb, 0),
-                   TextTable::num(classical / ours, 1)});
-  }
-  table.print(std::cout);
-  std::cout << "ours/[33] advantage factor at n=2^30: "
-            << TextTable::num(
-                   core::predicted_rounds(core::exponent_vadv_quantum(k), 1 << 30) /
-                       core::predicted_rounds(core::exponent_ours_quantum(k), 1 << 30),
-                   2)
-            << "x\n";
-}
-
-/// Plants `copies` disjoint 2k-cycles into a random tree: the base
-/// detector's per-run success scales with the number of planted cycles,
-/// which keeps the emulation detection budget affordable (see DESIGN.md
-/// section 3 on the emulation cap).
-graph::Graph multi_planted(VertexId n, std::uint32_t length, std::uint32_t copies, Rng& rng) {
-  graph::Graph g = graph::random_tree(n, rng);
-  for (std::uint32_t c = 0; c < copies; ++c) g = graph::plant_cycle(g, length, rng).graph;
-  return g;
-}
-
-void measured_pipeline(std::uint32_t k, const std::vector<VertexId>& sizes, Rng& rng) {
-  print_banner(std::cout,
-               "Measured Theorem 2 pipeline, k = " + std::to_string(k));
-  TextTable table({"n", "quantum rounds (charged)", "decomposition rounds",
-                   "classical equivalent", "ratio", "detected", "colors"});
-  std::vector<double> ns, quantum_rounds;
-  for (const auto n : sizes) {
-    // Longer cycles color-code exponentially more rarely (prob ~ (2k)^{-2k}
-    // per coloring); plant more copies and spend more emulation budget.
-    const std::uint32_t copies = k == 2 ? 8 : 60;
-    const graph::Graph host = multi_planted(n, 2 * k, copies, rng);
-    quantum::QuantumPipelineOptions options;
-    options.base_repetitions = k == 2 ? 48 : 96;
-    options.max_base_runs = k == 2 ? 1200 : 3000;
-    options.delta = 0.1;
-    const auto report = quantum::quantum_detect_even_cycle(host, k, options, rng);
-    ns.push_back(n);
-    quantum_rounds.push_back(static_cast<double>(report.rounds_charged));
-    const double ratio = report.classical_rounds_equivalent > 0
-                             ? static_cast<double>(report.rounds_charged) /
-                                   static_cast<double>(report.classical_rounds_equivalent)
-                             : 0.0;
-    table.add_row({TextTable::integer(n), TextTable::integer(report.rounds_charged),
-                   TextTable::integer(report.rounds_decomposition),
-                   TextTable::integer(report.classical_rounds_equivalent),
-                   TextTable::num(ratio, 3), report.cycle_detected ? "yes" : "no",
-                   TextTable::integer(report.colors)});
-  }
-  table.print(std::cout);
-  const auto fit = fit_power_law(ns, quantum_rounds);
-  std::cout << "fitted exponent (charged, includes polylog terms): "
-            << TextTable::num(fit.exponent) << "  —  paper: n^{"
-            << TextTable::num(core::exponent_ours_quantum(k)) << "} * polylog\n"
-            << "(a 'no' above means the capped emulation budget under-reported a\n"
-            << " detection — soundness is unaffected; see DESIGN.md section 3)\n";
-}
-
-void odd_row(Rng& rng) {
-  print_banner(std::cout, "Quantum odd cycles: ~Theta(sqrt n) (Theorem 2)");
-  TextTable table({"n", "quantum rounds (charged)", "sqrt(n) reference", "detected"});
-  for (const VertexId n : {256u, 512u, 1024u, 2048u}) {
-    const graph::Graph host = multi_planted(n, 5, 20, rng);
-    quantum::QuantumPipelineOptions options;
-    options.base_repetitions = 64;
-    options.max_base_runs = 1500;
-    const auto report = quantum::quantum_detect_odd_cycle(host, 2, options, rng);
-    table.add_row({TextTable::integer(n), TextTable::integer(report.rounds_charged),
-                   TextTable::num(std::sqrt(static_cast<double>(n)), 1),
-                   report.cycle_detected ? "yes" : "no"});
-  }
-  table.print(std::cout);
-}
-
-void bounded_row(Rng& rng) {
-  print_banner(std::cout,
-               "Quantum bounded-length {C_l | l <= 2k}: ours vs [33] (Sec. 3.5)");
-  TextTable table({"k", "ours exponent", "[33] exponent", "measured charged rounds (n=512)"});
-  for (std::uint32_t k : {2u, 3u, 4u}) {
-    const auto g = graph::complete_bipartite(16, 16);  // girth 4 <= 2k
-    quantum::QuantumPipelineOptions options;
-    options.base_repetitions = 48;
-    options.max_base_runs = 600;
-    const auto report = quantum::quantum_detect_bounded_cycle(g, k, options, rng);
-    table.add_row({TextTable::integer(k), TextTable::num(core::exponent_ours_quantum(k)),
-                   TextTable::num(core::exponent_vadv_quantum(k)),
-                   TextTable::integer(report.rounds_charged)});
-  }
-  table.print(std::cout);
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "Reproduction of Table 1, quantum rows (Theorem 2 / Sections 3.4-3.5).\n"
-               "Quantum rounds are charged by the Theorem 3 / Lemma 8 cost model\n"
-               "(see quantum/grover.hpp and DESIGN.md section 3).\n";
-  Rng rng(0xEC2024);
-  analytic_landscape(2);
-  analytic_landscape(3);
-  analytic_landscape(5);
-  measured_pipeline(2, {256, 512, 1024, 2048}, rng);
-  measured_pipeline(3, {512, 1024}, rng);
-  odd_row(rng);
-  bounded_row(rng);
-  std::cout << "\nDone.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return evencycle::harness::scenario_main("table1-quantum", argc, argv);
 }

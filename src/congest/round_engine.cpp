@@ -13,11 +13,6 @@ namespace {
 /// entries keeps typical runs (diameter-bounded protocols) allocation-free.
 constexpr std::size_t kRoundProfileReserve = 1024;
 
-/// Hard ceiling on the worker pool: more shards than this helps no real
-/// hardware, and an unchecked value (EVENCYCLE_THREADS typo, UINT32_MAX)
-/// must not translate into millions of std::thread spawns.
-constexpr std::uint32_t kMaxThreads = 256;
-
 std::uint32_t resolve_thread_count(std::uint32_t requested) {
   std::uint32_t threads = requested;
   if (threads == kThreadsFromEnv) {
@@ -27,7 +22,7 @@ std::uint32_t resolve_thread_count(std::uint32_t requested) {
                   : 1;
   }
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  return std::min(threads, kMaxThreads);
+  return std::min(threads, WorkerPool::kMaxThreads);
 }
 
 }  // namespace
@@ -67,10 +62,11 @@ void Context::halt() {
 }
 
 RoundEngine::RoundEngine(const graph::Graph& g, Config config)
-    : graph_(&g), config_(config) {
+    : graph_(&g), config_(config),
+      thread_count_(resolve_thread_count(config.threads)),
+      pool_(thread_count_) {
   EC_REQUIRE(config_.words_per_round >= 1, "bandwidth must be at least one word");
   const VertexId n = g.vertex_count();
-  thread_count_ = resolve_thread_count(config_.threads);
   chunk_ = std::max<std::uint64_t>(
       1, (static_cast<std::uint64_t>(n) + thread_count_ - 1) / thread_count_);
 
@@ -82,19 +78,6 @@ RoundEngine::RoundEngine(const graph::Graph& g, Config config)
   rejected_.assign(n, 0);
   halted_.assign(n, 0);
   mailbox_.reset(n);
-
-  workers_.reserve(thread_count_ - 1);
-  for (std::uint32_t lane = 1; lane < thread_count_; ++lane)
-    workers_.emplace_back([this, lane] { worker_loop(lane); });
-}
-
-RoundEngine::~RoundEngine() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  work_ready_.notify_all();
-  for (auto& worker : workers_) worker.join();
 }
 
 void RoundEngine::install(const ProgramFactory& factory) {
@@ -194,40 +177,10 @@ void RoundEngine::run_phase(std::uint32_t lane_index) {
 }
 
 void RoundEngine::dispatch(Phase phase) {
-  if (workers_.empty()) {
-    phase_ = phase;
-    run_phase(0);
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    phase_ = phase;
-    pending_ = static_cast<std::uint32_t>(workers_.size());
-    ++epoch_;
-  }
-  work_ready_.notify_all();
-  run_phase(0);
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return pending_ == 0; });
-}
-
-void RoundEngine::worker_loop(std::uint32_t lane_index) {
-  std::uint64_t seen_epoch = 0;
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
-      if (stopping_) return;
-      seen_epoch = epoch_;
-    }
-    run_phase(lane_index);
-    bool last = false;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      last = (--pending_ == 0);
-    }
-    if (last) work_done_.notify_one();
-  }
+  // phase_ is written before pool_.run and read by every lane inside it;
+  // WorkerPool::run orders the write before any lane executes.
+  phase_ = phase;
+  pool_.run([this](std::uint32_t lane) { run_phase(lane); });
 }
 
 void RoundEngine::rethrow_lane_error() {

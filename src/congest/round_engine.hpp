@@ -24,18 +24,16 @@
 // least byte granularity (no std::vector<bool> sinks).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "congest/mailbox.hpp"
 #include "congest/message.hpp"
+#include "congest/worker_pool.hpp"
 #include "graph/graph.hpp"
 
 namespace evencycle::congest {
@@ -127,7 +125,6 @@ using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(VertexId)>;
 class RoundEngine {
  public:
   RoundEngine(const graph::Graph& g, Config config);
-  ~RoundEngine();
 
   RoundEngine(const RoundEngine&) = delete;
   RoundEngine& operator=(const RoundEngine&) = delete;
@@ -199,7 +196,6 @@ class RoundEngine {
   void run_phase(std::uint32_t lane);
   void dispatch(Phase phase);
   void rethrow_lane_error();
-  void worker_loop(std::uint32_t lane);
 
   const graph::Graph* graph_;
   Config config_;
@@ -226,15 +222,9 @@ class RoundEngine {
   Metrics metrics_;
 
   // Persistent worker pool (thread_count_ - 1 workers; the calling thread
-  // always executes lane 0). Coordination is a generation-counted barrier.
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  std::uint64_t epoch_ = 0;
-  std::uint32_t pending_ = 0;
+  // always executes lane 0). See congest/worker_pool.hpp.
+  WorkerPool pool_;
   Phase phase_ = Phase::kCompute;
-  bool stopping_ = false;
 };
 
 }  // namespace evencycle::congest

@@ -1,0 +1,62 @@
+#include "congest/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace evencycle::congest {
+
+WorkerPool::WorkerPool(std::uint32_t threads)
+    : thread_count_(std::min(std::max(threads, 1u), kMaxThreads)) {
+  workers_.reserve(thread_count_ - 1);
+  for (std::uint32_t lane = 1; lane < thread_count_; ++lane)
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void WorkerPool::run(const std::function<void(std::uint32_t)>& job) {
+  if (workers_.empty()) {
+    job(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    pending_ = static_cast<std::uint32_t>(workers_.size());
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+  job(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::worker_loop(std::uint32_t lane) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::uint32_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(lane);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = (--pending_ == 0);
+    }
+    if (last) work_done_.notify_one();
+  }
+}
+
+}  // namespace evencycle::congest

@@ -1,0 +1,62 @@
+// Persistent barrier-style worker pool shared by the round engine and the
+// scenario harness.
+//
+// The pool owns `thread_count - 1` long-lived threads; the calling thread
+// always executes lane 0, so a pool of size 1 degenerates to a plain
+// function call with zero synchronization. `run(job)` invokes job(lane) for
+// every lane in [0, thread_count) concurrently and returns only after all
+// lanes finished — a full barrier, which is exactly the two-phase
+// (compute / deliver) structure the RoundEngine needs and the batch shape
+// the harness needs (each lane drains an atomic work queue).
+//
+// The pool itself adds no determinism hazards: lanes never share state
+// through the pool, and `run` establishes a happens-before edge between the
+// caller and every lane in both directions.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace evencycle::congest {
+
+class WorkerPool {
+ public:
+  /// `threads` >= 1 resolved lanes; values above kMaxThreads are clamped.
+  explicit WorkerPool(std::uint32_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::uint32_t thread_count() const { return thread_count_; }
+
+  /// Runs job(lane) for every lane concurrently; the calling thread takes
+  /// lane 0. Returns after every lane returned. Exceptions must be captured
+  /// inside `job` (lanes run on foreign threads).
+  void run(const std::function<void(std::uint32_t)>& job);
+
+  /// Hard ceiling on the lane count: more shards than this helps no real
+  /// hardware, and an unchecked value (EVENCYCLE_THREADS typo, UINT32_MAX)
+  /// must not translate into millions of std::thread spawns.
+  static constexpr std::uint32_t kMaxThreads = 256;
+
+ private:
+  void worker_loop(std::uint32_t lane);
+
+  std::uint32_t thread_count_ = 1;
+  const std::function<void(std::uint32_t)>* job_ = nullptr;
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t pending_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace evencycle::congest

@@ -11,6 +11,8 @@
 //   quantum/   -- Grover/amplification cost model, Theorem 3, Lemma 9/10,
 //                 the quantum pipelines of Theorem 2
 //   lowerbound/-- Set-Disjointness gadgets and the cut meter (Section 3.3)
+//   harness/   -- named-scenario registry, batched grid runner, JSON
+//                 emit/parse, and the CLI behind tools/evencycle
 #pragma once
 
 #include "congest/mailbox.hpp"
@@ -18,6 +20,7 @@
 #include "congest/network.hpp"
 #include "congest/primitives.hpp"
 #include "congest/round_engine.hpp"
+#include "congest/worker_pool.hpp"
 #include "core/bounded_cycle.hpp"
 #include "core/color_bfs.hpp"
 #include "core/complexity_model.hpp"
@@ -34,6 +37,13 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
+#include "harness/cli.hpp"
+#include "harness/json.hpp"
+#include "harness/palette.hpp"
+#include "harness/registry.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "harness/scenarios_builtin.hpp"
 #include "lowerbound/cut_meter.hpp"
 #include "lowerbound/disjointness.hpp"
 #include "lowerbound/gadgets.hpp"

@@ -1,0 +1,330 @@
+#include "harness/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "harness/json.hpp"
+#include "harness/registry.hpp"
+#include "harness/runner.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace evencycle::harness {
+
+namespace {
+
+int usage(std::ostream& os) {
+  os << "usage:\n"
+        "  evencycle list\n"
+        "  evencycle run <scenario> [--seeds N] [--threads T] [--nodes N]\n"
+        "                [--batch B] [--seed S] [--json] [--no-timing] [--out FILE]\n"
+        "  evencycle compare <baseline.json> <current.json> [--max-regression R]\n";
+  return 2;
+}
+
+std::uint64_t parse_u64(const std::string& text, std::uint64_t max) {
+  // std::stoull alone would accept "-1" and wrap to UINT64_MAX; require
+  // plain digits, and bound the value (scenario knobs are 32-bit — an
+  // oversized --nodes must error here, not truncate downstream).
+  EC_REQUIRE(!text.empty() && text.find_first_not_of("0123456789") == std::string::npos,
+             "malformed integer argument: " + text);
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text);
+  } catch (const std::out_of_range&) {
+    EC_REQUIRE(false, "integer argument out of range: " + text);
+  }
+  EC_REQUIRE(value <= max, "integer argument too large: " + text);
+  return value;
+}
+
+constexpr std::uint64_t kU32Max = 0xFFFFFFFFULL;
+
+struct RunFlags {
+  RunOptions options;
+  bool json = false;
+  std::string out;
+};
+
+/// Parses run flags from argv[first..argc); throws InvalidArgument on
+/// unknown flags or malformed values.
+RunFlags parse_run_flags(int argc, char** argv, int first) {
+  RunFlags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* flag) {
+      EC_REQUIRE(i + 1 < argc, std::string(flag) + " needs a value");
+      return std::string(argv[++i]);
+    };
+    if (arg == "--seeds") {
+      flags.options.seeds = static_cast<std::uint32_t>(parse_u64(value_of("--seeds"), kU32Max));
+    } else if (arg == "--threads") {
+      flags.options.threads =
+          static_cast<std::uint32_t>(parse_u64(value_of("--threads"), kU32Max));
+    } else if (arg == "--nodes") {
+      // VertexId is 32-bit; scenarios cast nodes down, so bound it here.
+      flags.options.nodes = parse_u64(value_of("--nodes"), kU32Max);
+    } else if (arg == "--batch") {
+      flags.options.batch = static_cast<std::uint32_t>(parse_u64(value_of("--batch"), kU32Max));
+      EC_REQUIRE(flags.options.batch >= 1, "--batch must be at least 1");
+    } else if (arg == "--seed") {
+      flags.options.seed = parse_u64(value_of("--seed"), ~std::uint64_t{0});
+    } else if (arg == "--json") {
+      flags.json = true;
+    } else if (arg == "--no-timing") {
+      flags.options.with_timing = false;
+    } else if (arg == "--out") {
+      flags.out = value_of("--out");
+    } else {
+      EC_REQUIRE(false, "unknown flag: " + arg);
+    }
+  }
+  return flags;
+}
+
+std::string format_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ' ';
+    out += key + '=' + value;
+  }
+  return out;
+}
+
+void print_text(std::ostream& os, const ScenarioResult& result, bool with_timing) {
+  print_banner(os, "scenario " + result.scenario + "  (" +
+                       std::to_string(result.cells.size()) + " cells, batch " +
+                       std::to_string(result.batch) + ")");
+  os << "params: " << format_labels(result.params) << "\n";
+  std::vector<std::string> header = {"cell",     "detected", "rounds(meas)",
+                                     "rounds(chg)", "messages", "congestion", "extra"};
+  if (with_timing) header.push_back("seconds");
+  TextTable table(header);
+  for (const auto& cell : result.cells) {
+    std::string extra;
+    for (const auto& [key, value] : cell.result.extra) {
+      if (!extra.empty()) extra += ' ';
+      extra += key + '=' + json_number(value);
+    }
+    std::vector<std::string> row = {
+        format_labels(cell.labels),
+        cell.result.ok ? (cell.result.detected ? "yes" : "no") : "ERROR",
+        TextTable::integer(static_cast<double>(cell.result.rounds_measured)),
+        TextTable::integer(static_cast<double>(cell.result.rounds_charged)),
+        TextTable::integer(static_cast<double>(cell.result.messages)),
+        TextTable::integer(static_cast<double>(cell.result.congestion)),
+        cell.result.ok ? extra : cell.result.error};
+    if (with_timing) row.push_back(TextTable::num(cell.result.seconds, 3));
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+  if (!result.summary.empty()) {
+    os << "summary: ";
+    bool first = true;
+    for (const auto& [key, value] : result.summary) {
+      os << (first ? "" : "  ") << key << '=' << json_number(value);
+      first = false;
+    }
+    os << "\n";
+  }
+  if (with_timing) os << "total seconds: " << json_number(result.total_seconds) << "\n";
+}
+
+int run_command(const std::string& name, int argc, char** argv, int first) {
+  const Scenario* scenario = builtin_registry().find(name);
+  if (scenario == nullptr) {
+    std::cerr << "unknown scenario: " << name << " (see `evencycle list`)\n";
+    return 2;
+  }
+  RunFlags flags;
+  try {
+    flags = parse_run_flags(argc, argv, first);
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return usage(std::cerr);
+  }
+
+  ScenarioResult result;
+  try {
+    result = run_scenario(*scenario, flags.options);
+  } catch (const std::exception& error) {
+    // Cell errors are captured per cell; what reaches here is a plan-time
+    // failure (e.g. flag values the scenario's generators reject).
+    std::cerr << "scenario " << name << " failed to plan: " << error.what() << "\n";
+    return 1;
+  }
+
+  std::ostringstream body;
+  if (flags.json) {
+    write_json(body, result, flags.options.with_timing);
+  } else {
+    print_text(body, result, flags.options.with_timing);
+  }
+  if (flags.out.empty()) {
+    std::cout << body.str();
+  } else {
+    std::ofstream file(flags.out);
+    if (!file) {
+      std::cerr << "cannot open --out file: " << flags.out << "\n";
+      return 1;
+    }
+    file << body.str();
+    std::cerr << "wrote " << flags.out << "\n";
+  }
+
+  for (const auto& cell : result.cells) {
+    if (!cell.result.ok) {
+      std::cerr << "cell failed: " << format_labels(cell.labels) << ": "
+                << cell.result.error << "\n";
+      return 1;
+    }
+  }
+  // A scenario that publishes a `deterministic` summary flag (engine-
+  // scaling's thread-count cross-check) turns it into the exit code, so CI
+  // smoke steps gate on it rather than on an unread JSON field.
+  for (const auto& [key, value] : result.summary) {
+    if (key == "deterministic" && value == 0.0) {
+      std::cerr << "scenario reported nondeterministic results (summary deterministic=0)\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// rounds-per-second per cell keyed by the label string; cells without a
+/// timed round count are skipped (e.g. --no-timing documents).
+std::vector<std::pair<std::string, double>> rounds_per_second(const JsonValue& doc) {
+  std::vector<std::pair<std::string, double>> out;
+  const JsonValue* cells = doc.get("cells");
+  EC_REQUIRE(cells != nullptr, "document has no cells array");
+  for (const auto& cell : cells->as_array()) {
+    const JsonValue* labels = cell.get("labels");
+    const JsonValue* rounds = cell.get("rounds_measured");
+    const JsonValue* seconds = cell.get("seconds");
+    EC_REQUIRE(labels != nullptr && rounds != nullptr, "malformed cell");
+    if (seconds == nullptr || seconds->as_number() <= 0.0 || rounds->as_number() <= 0.0)
+      continue;
+    Labels key;
+    for (const auto& [k, v] : labels->members()) key.emplace_back(k, v.as_string());
+    out.emplace_back(format_labels(key), rounds->as_number() / seconds->as_number());
+  }
+  return out;
+}
+
+}  // namespace
+
+int compare_documents(const std::string& baseline_json, const std::string& current_json,
+                      double max_regression, std::string* report) {
+  const JsonValue baseline = parse_json(baseline_json);
+  const JsonValue current = parse_json(current_json);
+  const auto baseline_rps = rounds_per_second(baseline);
+  const auto current_rps = rounds_per_second(current);
+
+  std::ostringstream os;
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [key, base] : baseline_rps) {
+    const auto match = std::find_if(current_rps.begin(), current_rps.end(),
+                                    [&](const auto& entry) { return entry.first == key; });
+    if (match == current_rps.end()) {
+      os << "MISSING  " << key << " (in baseline, not in current)\n";
+      ++regressions;
+      continue;
+    }
+    ++compared;
+    const double ratio = match->second / base;
+    const bool regressed = ratio < 1.0 - max_regression;
+    os << (regressed ? "REGRESSED" : "ok       ") << "  " << key << "  baseline "
+       << json_number(base) << " rps, current " << json_number(match->second)
+       << " rps (x" << json_number(ratio) << ")\n";
+    if (regressed) ++regressions;
+  }
+  if (compared == 0) {
+    os << "no comparable cells (both documents need timing data)\n";
+    ++regressions;
+  }
+  os << (regressions == 0 ? "PASS" : "FAIL") << ": " << compared << " cells compared, "
+     << regressions << " regressions (allowed slowdown "
+     << json_number(max_regression * 100) << "%)\n";
+  if (report != nullptr) *report = os.str();
+  return regressions == 0 ? 0 : 1;
+}
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  EC_REQUIRE(file.good(), "cannot read file: " + path);
+  std::ostringstream os;
+  os << file.rdbuf();
+  return os.str();
+}
+
+int compare_command(int argc, char** argv, int first) {
+  if (argc - first < 2) return usage(std::cerr);
+  const std::string baseline_path = argv[first];
+  const std::string current_path = argv[first + 1];
+  double max_regression = 0.25;
+  for (int i = first + 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-regression" && i + 1 < argc) {
+      try {
+        std::size_t consumed = 0;
+        max_regression = std::stod(argv[++i], &consumed);
+        if (consumed != std::string(argv[i]).size()) throw std::invalid_argument(argv[i]);
+      } catch (const std::exception&) {
+        std::cerr << "malformed --max-regression value: " << argv[i] << "\n";
+        return usage(std::cerr);
+      }
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(std::cerr);
+    }
+  }
+  try {
+    std::string report;
+    const int code = compare_documents(slurp(baseline_path), slurp(current_path),
+                                       max_regression, &report);
+    std::cout << report;
+    return code;
+  } catch (const std::exception& error) {
+    std::cerr << "compare failed: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int cli_main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr);
+  const std::string command = argv[1];
+  if (command == "list") {
+    TextTable table({"scenario", "description"});
+    for (const auto& scenario : builtin_registry().scenarios())
+      table.add_row({scenario.name, scenario.description});
+    table.print(std::cout);
+    return 0;
+  }
+  if (command == "run") {
+    if (argc < 3) return usage(std::cerr);
+    return run_command(argv[2], argc, argv, 3);
+  }
+  if (command == "compare") {
+    return compare_command(argc, argv, 2);
+  }
+  if (command == "--help" || command == "-h" || command == "help") {
+    usage(std::cout);
+    return 0;
+  }
+  std::cerr << "unknown command: " << command << "\n";
+  return usage(std::cerr);
+}
+
+int scenario_main(const std::string& name, int argc, char** argv) {
+  return run_command(name, argc, argv, 1);
+}
+
+}  // namespace evencycle::harness

@@ -1,0 +1,35 @@
+// Command-line driver shared by tools/evencycle and the thin bench
+// wrappers.
+//
+//   evencycle list
+//   evencycle run <scenario> [--seeds N] [--threads T] [--nodes N]
+//                 [--batch B] [--seed S] [--json] [--no-timing] [--out FILE]
+//   evencycle compare <baseline.json> <current.json> [--max-regression R]
+//
+// `run` prints an aligned text table by default and the stable
+// `evencycle-bench-v1` JSON document under --json; it exits 1 when any cell
+// failed or when the scenario's summary reports `deterministic` = 0 (the
+// engine-scaling thread-count cross-check). `compare` implements the CI
+// perf gate: it recomputes rounds-per-second per cell from two documents
+// and fails (exit 1) when any cell regressed by more than the allowed
+// fraction (default 0.25).
+#pragma once
+
+#include <string>
+
+namespace evencycle::harness {
+
+/// Full CLI (list / run / compare). Returns the process exit code.
+int cli_main(int argc, char** argv);
+
+/// Entry point of the thin bench wrappers: behaves like
+/// `evencycle run <name> <argv...>`.
+int scenario_main(const std::string& name, int argc, char** argv);
+
+/// The perf-regression gate, exposed for tests: returns 0 when every
+/// comparable cell of `current` is within `max_regression` of `baseline`
+/// in rounds per second, 1 otherwise.
+int compare_documents(const std::string& baseline_json, const std::string& current_json,
+                      double max_regression, std::string* report);
+
+}  // namespace evencycle::harness

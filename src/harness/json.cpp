@@ -1,0 +1,353 @@
+#include "harness/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace evencycle::harness {
+
+// --- JsonValue ---------------------------------------------------------------
+
+bool JsonValue::as_bool() const {
+  EC_REQUIRE(kind_ == Kind::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  EC_REQUIRE(kind_ == Kind::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  EC_REQUIRE(kind_ == Kind::kString, "JSON value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  EC_REQUIRE(kind_ == Kind::kArray, "JSON value is not an array");
+  return items_;
+}
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  EC_REQUIRE(kind_ == Kind::kObject, "JSON value is not an object");
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  EC_REQUIRE(kind_ == Kind::kObject, "JSON value is not an object");
+  return members_;
+}
+
+JsonValue JsonValue::null() { return JsonValue{}; }
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+// --- parser ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_ws();
+    EC_REQUIRE(pos_ == text_.size(), "JSON: trailing garbage after document");
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    EC_REQUIRE(pos_ < text_.size(), "JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    EC_REQUIRE(peek() == c, std::string("JSON: expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::string(parse_string());
+      case 't':
+        EC_REQUIRE(consume_literal("true"), "JSON: bad literal");
+        return JsonValue::boolean(true);
+      case 'f':
+        EC_REQUIRE(consume_literal("false"), "JSON: bad literal");
+        return JsonValue::boolean(false);
+      case 'n':
+        EC_REQUIRE(consume_literal("null"), "JSON: bad literal");
+        return JsonValue::null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::object(std::move(members));
+    }
+    for (;;) {
+      EC_REQUIRE(peek() == '"', "JSON: object key must be a string");
+      std::string key = parse_string();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      EC_REQUIRE(c == ',', "JSON: expected ',' or '}' in object");
+    }
+    return JsonValue::object(std::move(members));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> items;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      EC_REQUIRE(c == ',', "JSON: expected ',' or ']' in array");
+    }
+    return JsonValue::array(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      EC_REQUIRE(pos_ < text_.size(), "JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      EC_REQUIRE(pos_ < text_.size(), "JSON: unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          EC_REQUIRE(pos_ + 4 <= text_.size(), "JSON: truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else EC_REQUIRE(false, "JSON: bad hex digit in \\u escape");
+          }
+          // Encode the code point as UTF-8 (BMP only; surrogate pairs are
+          // not needed for harness documents and are rejected).
+          EC_REQUIRE(code < 0xD800 || code > 0xDFFF, "JSON: surrogate escapes unsupported");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: EC_REQUIRE(false, "JSON: unknown escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    EC_REQUIRE(ec == std::errc() && ptr == text_.data() + pos_ && pos_ > start,
+               "JSON: malformed number");
+    return JsonValue::number(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return Parser(text).parse_document(); }
+
+// --- writer ------------------------------------------------------------------
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  // Shortest representation that round-trips; integers print without
+  // exponent or trailing ".0" so the documents stay diff-friendly.
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  EC_REQUIRE(ec == std::errc(), "number formatting failed");
+  return std::string(buf, ptr);
+}
+
+namespace {
+
+void write_labels(std::ostream& os, const Labels& labels) {
+  os << '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    os << (i == 0 ? "" : ",") << '"' << json_escape(labels[i].first) << "\":\""
+       << json_escape(labels[i].second) << '"';
+  }
+  os << '}';
+}
+
+void write_series(std::ostream& os, const Series& series) {
+  os << '{';
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    os << (i == 0 ? "" : ",") << '"' << json_escape(series[i].first)
+       << "\":" << json_number(series[i].second);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const ScenarioResult& result, bool with_timing) {
+  os << "{\"schema\":\"evencycle-bench-v1\""
+     << ",\"scenario\":\"" << json_escape(result.scenario) << '"'
+     << ",\"seed\":" << result.seed;
+  // Batch width is execution metadata, like wall time: the deterministic
+  // payload must be byte-identical at any batch width.
+  if (with_timing) os << ",\"batch\":" << result.batch;
+  os << ",\"params\":";
+  write_labels(os, result.params);
+  os << ",\"cells\":[";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const auto& cell = result.cells[i];
+    os << (i == 0 ? "" : ",") << "{\"labels\":";
+    write_labels(os, cell.labels);
+    const auto& r = cell.result;
+    os << ",\"ok\":" << (r.ok ? "true" : "false");
+    if (!r.ok) os << ",\"error\":\"" << json_escape(r.error) << '"';
+    os << ",\"detected\":" << (r.detected ? "true" : "false")
+       << ",\"rounds_measured\":" << r.rounds_measured
+       << ",\"rounds_charged\":" << r.rounds_charged << ",\"messages\":" << r.messages
+       << ",\"congestion\":" << r.congestion << ",\"extra\":";
+    write_series(os, r.extra);
+    if (with_timing) os << ",\"seconds\":" << json_number(r.seconds);
+    os << '}';
+  }
+  os << ']';
+  os << ",\"summary\":";
+  write_series(os, result.summary);
+  if (with_timing) os << ",\"total_seconds\":" << json_number(result.total_seconds);
+  os << "}\n";
+}
+
+std::string to_json(const ScenarioResult& result, bool with_timing) {
+  std::ostringstream os;
+  write_json(os, result, with_timing);
+  return os.str();
+}
+
+}  // namespace evencycle::harness

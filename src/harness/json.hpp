@@ -1,0 +1,75 @@
+// Minimal JSON emit + parse for the scenario harness.
+//
+// The writer produces the stable `evencycle-bench-v1` document the CI perf
+// pipeline consumes; the parser is the deliberately small subset needed to
+// read those documents back (`evencycle compare`, round-trip tests) — it
+// accepts standard JSON objects/arrays/strings/numbers/bools/null with
+// UTF-8 passed through opaquely, and rejects everything malformed with
+// InvalidArgument. No external dependency, no DOM beyond a tagged union.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace evencycle::harness {
+
+// --- parsing -----------------------------------------------------------------
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+
+  /// Object member access; `get` returns nullptr when absent.
+  const JsonValue* get(const std::string& key) const;
+  /// Object members in document order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  static JsonValue null();
+  static JsonValue boolean(bool b);
+  static JsonValue number(double d);
+  static JsonValue string(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else);
+/// throws evencycle::InvalidArgument on malformed input.
+JsonValue parse_json(const std::string& text);
+
+// --- emitting ----------------------------------------------------------------
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& text);
+
+/// Shortest-round-trip formatting for doubles (JSON number token).
+std::string json_number(double value);
+
+/// Serializes a ScenarioResult as the `evencycle-bench-v1` document.
+/// `with_timing` false omits every wall-time field, making the output a
+/// pure function of the scenario, parameters, and seed (byte-identical at
+/// any batch width).
+void write_json(std::ostream& os, const ScenarioResult& result, bool with_timing = true);
+std::string to_json(const ScenarioResult& result, bool with_timing = true);
+
+}  // namespace evencycle::harness

@@ -1,0 +1,176 @@
+#include "harness/palette.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "baseline/flooding.hpp"
+#include "baseline/local_threshold.hpp"
+#include "core/bounded_cycle.hpp"
+#include "core/derandomized.hpp"
+#include "core/even_cycle.hpp"
+#include "core/params.hpp"
+#include "graph/generators.hpp"
+#include "quantum/quantum_cycle.hpp"
+
+namespace evencycle::harness {
+
+namespace {
+
+VertexId torus_side(VertexId n) {
+  const auto side = static_cast<VertexId>(std::lround(std::sqrt(static_cast<double>(n))));
+  return std::max<VertexId>(3, side);
+}
+
+std::uint32_t hypercube_dim(VertexId n) {
+  std::uint32_t dim = 3;
+  while ((VertexId{1} << (dim + 1)) <= n && dim < 12) ++dim;
+  return dim;
+}
+
+std::vector<NamedGenerator> make_generators(std::uint32_t k) {
+  const std::uint32_t length = 2 * k;
+  return {
+      {"planted-light",
+       [length](VertexId n, Rng& rng) {
+         return graph::planted_light_cycle(n, length, rng).graph;
+       }},
+      {"planted-heavy",
+       [k, length](VertexId n, Rng& rng) {
+         const auto hub = static_cast<std::uint32_t>(4 * core::ceil_root(n, k) + length + 2);
+         return graph::planted_heavy_cycle(n, length, hub, rng).graph;
+       }},
+      {"erdos-renyi",
+       [](VertexId n, Rng& rng) {
+         return graph::erdos_renyi(n, 3.0 / static_cast<double>(n), rng);
+       }},
+      {"near-regular",
+       [](VertexId n, Rng& rng) { return graph::random_near_regular(n, 4, rng); }},
+      {"barabasi-albert",
+       [](VertexId n, Rng& rng) { return graph::barabasi_albert(n, 2, rng); }},
+      {"torus",
+       [](VertexId n, Rng&) {
+         const VertexId side = torus_side(n);
+         return graph::torus(side, side);
+       }},
+      {"theta",
+       [k](VertexId n, Rng&) {
+         // `paths` internally disjoint s-t paths of length k: every pair of
+         // paths closes a C_{2k}; sized so the vertex count tracks n.
+         const VertexId interior = std::max<VertexId>(1, k - 1);
+         const VertexId paths = std::max<VertexId>(3, (n - 2) / interior);
+         return graph::theta(paths, k);
+       }},
+      {"hypercube",
+       [](VertexId n, Rng&) { return graph::hypercube(hypercube_dim(n)); }},
+      {"large-girth",
+       [length](VertexId n, Rng& rng) {
+         return graph::large_girth_graph(n, length + 1, rng);
+       }},
+  };
+}
+
+CellResult run_flooding(const graph::Graph& g, std::uint32_t k, Rng&) {
+  const auto report = baseline::detect_cycle_flooding(g, 2 * k);
+  CellResult result;
+  result.detected = report.cycle_detected;
+  result.rounds_charged = report.rounds_charged;
+  result.congestion = report.max_ball_edges;
+  return result;
+}
+
+CellResult run_local_threshold(const graph::Graph& g, std::uint32_t k, Rng& rng) {
+  baseline::LocalThresholdOptions options;
+  const auto report = baseline::detect_even_cycle_local_threshold(g, k, options, rng);
+  CellResult result;
+  result.detected = report.cycle_detected;
+  result.rounds_measured = report.rounds_measured;
+  result.rounds_charged = report.rounds_charged;
+  result.extra.emplace_back("attempts", static_cast<double>(report.attempts_run));
+  result.extra.emplace_back("discards", static_cast<double>(report.threshold_discards));
+  return result;
+}
+
+CellResult from_detection_report(const core::DetectionReport& report) {
+  CellResult result;
+  result.detected = report.cycle_detected;
+  result.rounds_measured = report.rounds_measured;
+  result.rounds_charged = report.rounds_charged;
+  result.congestion = report.max_congestion;
+  result.extra.emplace_back("iterations", static_cast<double>(report.iterations_run));
+  return result;
+}
+
+CellResult run_even_cycle(const graph::Graph& g, std::uint32_t k, Rng& rng) {
+  core::PracticalTuning tuning;
+  tuning.repetitions = 32;
+  const auto params = core::Params::practical(k, std::max<VertexId>(g.vertex_count(), 4), tuning);
+  return from_detection_report(core::detect_even_cycle(g, params, rng));
+}
+
+CellResult run_derandomized(const graph::Graph& g, std::uint32_t k, Rng& rng) {
+  const VertexId n = std::max<VertexId>(g.vertex_count(), 4);
+  core::PracticalTuning tuning;
+  tuning.repetitions = 64;
+  const auto params = core::Params::practical(k, n, tuning);
+  const core::AffineColoringFamily family(n, 2 * k, tuning.repetitions);
+  return from_detection_report(core::detect_even_cycle_derandomized(g, params, family, rng));
+}
+
+CellResult run_bounded_cycle(const graph::Graph& g, std::uint32_t k, Rng& rng) {
+  core::BoundedCycleOptions options;
+  options.repetitions = 8;
+  const auto report = core::detect_bounded_cycle(g, k, options, rng);
+  CellResult result;
+  result.detected = report.cycle_detected;
+  result.rounds_measured = report.rounds_measured;
+  result.rounds_charged = report.rounds_charged;
+  result.extra.emplace_back("detected_length", static_cast<double>(report.detected_length));
+  result.extra.emplace_back("iterations", static_cast<double>(report.iterations_run));
+  return result;
+}
+
+CellResult run_quantum(const graph::Graph& g, std::uint32_t k, Rng& rng) {
+  quantum::QuantumPipelineOptions options;
+  options.base_repetitions = 16;
+  options.max_base_runs = 400;
+  options.delta = 0.1;
+  const auto report = quantum::quantum_detect_even_cycle(g, k, options, rng);
+  CellResult result;
+  result.detected = report.cycle_detected;
+  result.rounds_charged = report.rounds_charged;
+  result.extra.emplace_back("classical_equivalent",
+                            static_cast<double>(report.classical_rounds_equivalent));
+  result.extra.emplace_back("colors", static_cast<double>(report.colors));
+  result.extra.emplace_back("base_runs", static_cast<double>(report.base_runs_total));
+  return result;
+}
+
+}  // namespace
+
+const std::vector<NamedGenerator>& generator_palette(std::uint32_t k) {
+  // One palette per k, alive for the whole process. Entries are held by
+  // unique_ptr so returned references (and the cell closures capturing
+  // palette elements) stay valid when the cache vector reallocates for a
+  // new k.
+  using Entry = std::pair<std::uint32_t, std::unique_ptr<std::vector<NamedGenerator>>>;
+  static std::vector<Entry>* cache = new std::vector<Entry>;
+  for (const auto& [key, palette] : *cache)
+    if (key == k) return *palette;
+  cache->emplace_back(k, std::make_unique<std::vector<NamedGenerator>>(make_generators(k)));
+  return *cache->back().second;
+}
+
+const std::vector<NamedAlgorithm>& algorithm_palette() {
+  static const std::vector<NamedAlgorithm>* palette = new std::vector<NamedAlgorithm>{
+      {"baseline-flooding", run_flooding},
+      {"baseline-local-threshold", run_local_threshold},
+      {"even-cycle", run_even_cycle},
+      {"derandomized", run_derandomized},
+      {"bounded-cycle", run_bounded_cycle},
+      {"quantum", run_quantum},
+  };
+  return *palette;
+}
+
+}  // namespace evencycle::harness

@@ -1,0 +1,47 @@
+// Named building blocks for scenario grids: the generator palette (every
+// family from graph/generators.hpp that makes sense as a standalone
+// workload) and the algorithm palette (every detector in the tree, from the
+// flooding baseline to the quantum pipeline), both addressable by the
+// kebab-case names that appear as axis labels in the JSON output.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "harness/scenario.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::harness {
+
+using graph::VertexId;
+
+/// Builds an n-vertex-scale instance of the family (exact vertex count may
+/// differ for structured families: torus, hypercube, theta).
+using GeneratorFn = std::function<graph::Graph(VertexId n, Rng& rng)>;
+
+struct NamedGenerator {
+  std::string name;
+  GeneratorFn build;
+};
+
+/// The workload palette, keyed for grid axes. `k` shapes the planted
+/// families (cycle length 2k) and the girth of the control family.
+const std::vector<NamedGenerator>& generator_palette(std::uint32_t k);
+
+/// Runs one detector on g; fills the deterministic CellResult fields.
+using AlgorithmFn =
+    std::function<CellResult(const graph::Graph& g, std::uint32_t k, Rng& rng)>;
+
+struct NamedAlgorithm {
+  std::string name;
+  AlgorithmFn run;
+};
+
+/// The detector palette: baseline-flooding, baseline-local-threshold,
+/// even-cycle (Algorithm 1), derandomized, bounded-cycle, quantum.
+const std::vector<NamedAlgorithm>& algorithm_palette();
+
+}  // namespace evencycle::harness

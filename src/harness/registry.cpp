@@ -1,0 +1,31 @@
+#include "harness/registry.hpp"
+
+#include "harness/scenarios_builtin.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::harness {
+
+void ScenarioRegistry::add(Scenario scenario) {
+  EC_REQUIRE(!scenario.name.empty(), "scenario name must not be empty");
+  EC_REQUIRE(find(scenario.name) == nullptr,
+             "duplicate scenario name: " + scenario.name);
+  EC_REQUIRE(scenario.plan != nullptr, "scenario must have a plan function");
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& scenario : scenarios_)
+    if (scenario.name == name) return &scenario;
+  return nullptr;
+}
+
+ScenarioRegistry& builtin_registry() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry;
+    register_builtin_scenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace evencycle::harness

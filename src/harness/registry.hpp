@@ -1,0 +1,37 @@
+// Named-scenario registry.
+//
+// Scenarios register under unique kebab-case names; duplicate names are a
+// programming error and throw InvalidArgument (tested). The process-wide
+// registry used by the CLI and the bench wrappers is `builtin_registry()`,
+// which lazily registers every built-in scenario exactly once; tests build
+// private ScenarioRegistry instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace evencycle::harness {
+
+class ScenarioRegistry {
+ public:
+  /// Registers a scenario; throws InvalidArgument on a duplicate name or an
+  /// empty name.
+  void add(Scenario scenario);
+
+  /// nullptr when no scenario has that name.
+  const Scenario* find(const std::string& name) const;
+
+  /// All scenarios in registration order.
+  const std::vector<Scenario>& scenarios() const { return scenarios_; }
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// The process-wide registry with every built-in scenario registered
+/// (see harness/scenarios_builtin.hpp for the palette).
+ScenarioRegistry& builtin_registry();
+
+}  // namespace evencycle::harness

@@ -1,0 +1,104 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+#include "congest/worker_pool.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::harness {
+
+std::uint64_t cell_seed(std::uint64_t seed, std::uint64_t index) {
+  // Two SplitMix64 steps decorrelate the (seed, index) lattice; the first
+  // mixes the master seed, the second folds in the cell index.
+  std::uint64_t state = seed;
+  splitmix64(state);
+  state ^= 0x632be59bd9b4e019ULL * (index + 1);
+  return splitmix64(state);
+}
+
+namespace {
+
+CellResult run_cell(const Cell& cell, std::uint64_t seed, bool with_timing) {
+  Rng rng(seed);
+  CellResult result;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    result = cell.run(rng);
+  } catch (const std::exception& error) {
+    result = CellResult{};
+    result.ok = false;
+    result.error = error.what();
+  } catch (...) {
+    // Cells execute on WorkerPool lanes; anything escaping here would
+    // unwind a foreign thread and terminate the process.
+    result = CellResult{};
+    result.ok = false;
+    result.error = "unknown exception";
+  }
+  if (with_timing) {
+    // A cell that timed its own measurement window (excluding setup, as
+    // engine-scaling does) keeps it; otherwise the whole closure is timed.
+    if (result.seconds == 0.0) {
+      const auto stop = std::chrono::steady_clock::now();
+      result.seconds = std::chrono::duration<double>(stop - start).count();
+    }
+  } else {
+    result.seconds = 0.0;
+  }
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const Scenario& scenario, const RunOptions& options) {
+  EC_REQUIRE(options.batch >= 1, "batch width must be at least 1");
+  ScenarioPlan plan = scenario.plan(options);
+
+  ScenarioResult result;
+  result.scenario = scenario.name;
+  result.params = std::move(plan.params);
+  result.seed = options.seed;
+  result.batch = options.batch;
+  result.cells.resize(plan.cells.size());
+  for (std::size_t i = 0; i < plan.cells.size(); ++i)
+    result.cells[i].labels = plan.cells[i].labels;
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint32_t lanes = static_cast<std::uint32_t>(
+      std::min<std::size_t>(options.batch, std::max<std::size_t>(plan.cells.size(), 1)));
+  if (lanes <= 1) {
+    for (std::size_t i = 0; i < plan.cells.size(); ++i)
+      result.cells[i].result =
+          run_cell(plan.cells[i], cell_seed(options.seed, i), options.with_timing);
+  } else {
+    // Independent instances drain one atomic queue; each writes only its
+    // own slot, so scheduling order cannot leak into the results.
+    std::atomic<std::size_t> next{0};
+    congest::WorkerPool pool(lanes);
+    pool.run([&](std::uint32_t) {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= plan.cells.size()) return;
+        result.cells[i].result =
+            run_cell(plan.cells[i], cell_seed(options.seed, i), options.with_timing);
+      }
+    });
+  }
+  if (plan.finalize) result.summary = plan.finalize(result.cells);
+  if (options.with_timing) {
+    const auto stop = std::chrono::steady_clock::now();
+    result.total_seconds = std::chrono::duration<double>(stop - start).count();
+  }
+  return result;
+}
+
+ScenarioResult run_scenario(const std::string& name, const RunOptions& options) {
+  const Scenario* scenario = builtin_registry().find(name);
+  EC_REQUIRE(scenario != nullptr, "unknown scenario: " + name);
+  return run_scenario(*scenario, options);
+}
+
+}  // namespace evencycle::harness

@@ -1,0 +1,31 @@
+// Batched scenario execution.
+//
+// Cells of a planned scenario are independent (graph, seed) instances; the
+// runner executes them on the same congest::WorkerPool that powers the
+// round engine — `options.batch` lanes draining one atomic cell queue.
+// Each cell receives a private Rng stream derived from (run seed, cell
+// index) via SplitMix64, and writes its result into its own pre-allocated
+// slot, so every deterministic CellResult field is bit-identical at any
+// batch width; only wall-time fields differ between runs.
+//
+// A cell that throws is recorded as ok = false with the exception text —
+// one broken grid point must not void the rest of a long sweep.
+#pragma once
+
+#include "harness/registry.hpp"
+#include "harness/scenario.hpp"
+
+namespace evencycle::harness {
+
+/// Rng seed of cell `index` under master seed `seed` (exposed so tests can
+/// reproduce a single cell out of a batch).
+std::uint64_t cell_seed(std::uint64_t seed, std::uint64_t index);
+
+/// Plans and executes `scenario` under `options`.
+ScenarioResult run_scenario(const Scenario& scenario, const RunOptions& options);
+
+/// Convenience: looks `name` up in the built-in registry; throws
+/// InvalidArgument when the scenario does not exist.
+ScenarioResult run_scenario(const std::string& name, const RunOptions& options);
+
+}  // namespace evencycle::harness

@@ -1,0 +1,103 @@
+// Scenario harness core types.
+//
+// A Scenario is a named experiment: given run options it *plans* a grid of
+// independent cells (generator × algorithm × seed × thread-count, or any
+// other axes the scenario defines), each cell a closure from a private Rng
+// to a CellResult. The runner (harness/runner.hpp) executes the cells —
+// sequentially or batched on the congest::WorkerPool — and the result
+// serializes to one machine-readable JSON document (harness/json.hpp).
+//
+// Determinism contract: a cell must derive all randomness from the Rng it
+// is handed (seeded from the run seed and the cell index alone) and must
+// not touch state shared with other cells except read-only captures (e.g.
+// a graph built at plan time). Under that contract every deterministic
+// CellResult field is bit-identical at any batch width; only the wall-time
+// fields vary between runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace evencycle::harness {
+
+/// Ordered key → value pairs; used for axis labels, scenario parameters,
+/// and scenario-specific extra metrics (order is part of the JSON schema).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+using Series = std::vector<std::pair<std::string, double>>;
+
+/// Per-cell measurements. All fields except `seconds` are deterministic.
+struct CellResult {
+  bool ok = true;            ///< cell ran to completion (no exception)
+  std::string error;         ///< exception text when !ok
+
+  bool detected = false;     ///< detection outcome (false for pure-perf cells)
+  std::uint64_t rounds_measured = 0;
+  std::uint64_t rounds_charged = 0;
+  std::uint64_t messages = 0;     ///< simulator words sent (0 if not tracked)
+  std::uint64_t congestion = 0;   ///< max |I_v| / busiest-round messages
+
+  /// Scenario-specific deterministic metrics (hit rates, thresholds, ...).
+  Series extra;
+
+  /// Wall time, excluded from the deterministic payload (and from JSON
+  /// under with_timing = false). Left at 0, the runner fills it with the
+  /// whole closure's wall time; a cell may instead set it to its own
+  /// measurement window (e.g. excluding graph/network setup), which the
+  /// runner then keeps.
+  double seconds = 0.0;
+};
+
+/// One grid point: axis labels plus the closure computing it.
+struct Cell {
+  Labels labels;
+  std::function<CellResult(Rng&)> run;
+};
+
+/// Options shared by the CLI, the bench wrappers, and tests. Zero means
+/// "scenario default" for the sweep-shaping fields.
+struct RunOptions {
+  std::uint64_t seed = 0xEC2024;  ///< master seed for per-cell streams
+  std::uint32_t seeds = 0;        ///< width of the seed axis
+  std::uint32_t threads = 0;      ///< engine thread override (scenario-defined use)
+  std::uint64_t nodes = 0;        ///< graph-size override
+  std::uint32_t batch = 1;        ///< cells executed concurrently
+  bool with_timing = true;        ///< include wall-time fields in JSON
+};
+
+struct CellRecord {
+  Labels labels;
+  CellResult result;
+};
+
+/// Deterministic post-pass over all cell records (e.g. power-law fits).
+using Finalizer = std::function<Series(const std::vector<CellRecord>&)>;
+
+struct ScenarioPlan {
+  Labels params;             ///< resolved parameters, echoed into the JSON
+  std::vector<Cell> cells;
+  Finalizer finalize;        ///< optional; produces the "summary" object
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::function<ScenarioPlan(const RunOptions&)> plan;
+};
+
+/// A completed run, ready for JSON serialization.
+struct ScenarioResult {
+  std::string scenario;
+  Labels params;
+  std::uint64_t seed = 0;
+  std::uint32_t batch = 1;
+  std::vector<CellRecord> cells;
+  Series summary;            ///< from ScenarioPlan::finalize (may be empty)
+  double total_seconds = 0.0;
+};
+
+}  // namespace evencycle::harness

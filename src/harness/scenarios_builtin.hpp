@@ -1,0 +1,19 @@
+// Built-in scenario palette.
+//
+// These are the experiments that used to live as bespoke mains under
+// bench/ — engine-scaling, the three ablations, the two Table 1
+// reproductions — plus the detection-matrix sweep that crosses the full
+// generator palette with every detector in the tree. The bench binaries
+// are now thin wrappers that run one of these by name (harness/cli.hpp),
+// and the `evencycle` CLI reaches all of them.
+#pragma once
+
+#include "harness/registry.hpp"
+
+namespace evencycle::harness {
+
+/// Registers every built-in scenario into `registry` (called once by
+/// builtin_registry(); callable on private registries in tests).
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+}  // namespace evencycle::harness

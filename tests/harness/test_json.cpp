@@ -1,0 +1,113 @@
+// JSON writer + minimal parser: escaping, malformed-input rejection, and
+// the round-trip of a full evencycle-bench-v1 document.
+#include "harness/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace evencycle::harness {
+namespace {
+
+TEST(Json, EscapesControlCharactersAndQuotes) {
+  const std::string nasty = "a\"b\\c\nd\te\x01" "f";
+  const std::string escaped = json_escape(nasty);
+  EXPECT_EQ(escaped, "a\\\"b\\\\c\\nd\\te\\u0001f");
+  // Escaped text must parse back to the original.
+  const JsonValue value = parse_json('"' + escaped + '"');
+  EXPECT_EQ(value.as_string(), nasty);
+}
+
+TEST(Json, NumbersRoundTrip) {
+  for (const double value : {0.0, 1.0, -3.5, 0.25, 1e-9, 123456789.0, 54.20877725889212}) {
+    const JsonValue parsed = parse_json(json_number(value));
+    EXPECT_EQ(parsed.as_number(), value) << json_number(value);
+  }
+  // Integer-valued doubles print without exponent/decoration.
+  EXPECT_EQ(json_number(8.0), "8");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue doc = parse_json(
+      R"({"a":[1,2,{"b":true,"c":null}],"d":"x\u0041y","e":-2.5e2})");
+  ASSERT_NE(doc.get("a"), nullptr);
+  const auto& items = doc.get("a")->as_array();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[1].as_number(), 2.0);
+  EXPECT_TRUE(items[2].get("b")->as_bool());
+  EXPECT_TRUE(items[2].get("c")->is_null());
+  EXPECT_EQ(doc.get("d")->as_string(), "xAy");
+  EXPECT_EQ(doc.get("e")->as_number(), -250.0);
+  EXPECT_EQ(doc.get("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\":1,}", "tru", "\"unterminated",
+        "{\"a\":1} trailing", "[01x]", "{'a':1}", "{\"a\" 1}", "\"\\u12\""}) {
+    EXPECT_THROW(parse_json(bad), InvalidArgument) << bad;
+  }
+}
+
+ScenarioResult sample_result() {
+  ScenarioResult result;
+  result.scenario = "unit-sample";
+  result.seed = 42;
+  result.batch = 8;
+  result.params = {{"nodes", "64"}, {"k", "2"}};
+  CellRecord cell;
+  cell.labels = {{"generator", "torus"}, {"algorithm", "even-cycle"}, {"seed", "0"}};
+  cell.result.detected = true;
+  cell.result.rounds_measured = 17;
+  cell.result.rounds_charged = 130;
+  cell.result.messages = 9001;
+  cell.result.congestion = 12;
+  cell.result.extra = {{"hit_rate", 0.75}};
+  cell.result.seconds = 0.125;
+  result.cells.push_back(cell);
+  CellRecord failed;
+  failed.labels = {{"generator", "theta"}, {"algorithm", "quantum"}, {"seed", "1"}};
+  failed.result.ok = false;
+  failed.result.error = "boom \"quoted\"";
+  result.cells.push_back(failed);
+  result.summary = {{"deterministic", 1.0}};
+  result.total_seconds = 0.5;
+  return result;
+}
+
+TEST(Json, DocumentRoundTripsThroughTheParser) {
+  const ScenarioResult result = sample_result();
+  const JsonValue doc = parse_json(to_json(result, /*with_timing=*/true));
+
+  EXPECT_EQ(doc.get("schema")->as_string(), "evencycle-bench-v1");
+  EXPECT_EQ(doc.get("scenario")->as_string(), "unit-sample");
+  EXPECT_EQ(doc.get("seed")->as_number(), 42.0);
+  EXPECT_EQ(doc.get("batch")->as_number(), 8.0);
+  EXPECT_EQ(doc.get("params")->get("nodes")->as_string(), "64");
+
+  const auto& cells = doc.get("cells")->as_array();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_TRUE(cells[0].get("ok")->as_bool());
+  EXPECT_TRUE(cells[0].get("detected")->as_bool());
+  EXPECT_EQ(cells[0].get("labels")->get("generator")->as_string(), "torus");
+  EXPECT_EQ(cells[0].get("rounds_measured")->as_number(), 17.0);
+  EXPECT_EQ(cells[0].get("messages")->as_number(), 9001.0);
+  EXPECT_EQ(cells[0].get("extra")->get("hit_rate")->as_number(), 0.75);
+  EXPECT_EQ(cells[0].get("seconds")->as_number(), 0.125);
+  EXPECT_FALSE(cells[1].get("ok")->as_bool());
+  EXPECT_EQ(cells[1].get("error")->as_string(), "boom \"quoted\"");
+
+  EXPECT_EQ(doc.get("summary")->get("deterministic")->as_number(), 1.0);
+  EXPECT_EQ(doc.get("total_seconds")->as_number(), 0.5);
+}
+
+TEST(Json, TimingFieldsAreOmittedWithoutTiming) {
+  const JsonValue doc = parse_json(to_json(sample_result(), /*with_timing=*/false));
+  EXPECT_EQ(doc.get("batch"), nullptr);
+  EXPECT_EQ(doc.get("total_seconds"), nullptr);
+  for (const auto& cell : doc.get("cells")->as_array())
+    EXPECT_EQ(cell.get("seconds"), nullptr);
+}
+
+}  // namespace
+}  // namespace evencycle::harness

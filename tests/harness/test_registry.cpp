@@ -1,0 +1,79 @@
+// Scenario registry: unique names, lookup, and the built-in palette.
+#include "harness/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/scenarios_builtin.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::harness {
+namespace {
+
+Scenario dummy(const std::string& name) {
+  Scenario scenario;
+  scenario.name = name;
+  scenario.description = "dummy";
+  scenario.plan = [](const RunOptions&) { return ScenarioPlan{}; };
+  return scenario;
+}
+
+TEST(ScenarioRegistry, FindsRegisteredScenarioByName) {
+  ScenarioRegistry registry;
+  registry.add(dummy("alpha"));
+  registry.add(dummy("beta"));
+  ASSERT_NE(registry.find("alpha"), nullptr);
+  EXPECT_EQ(registry.find("alpha")->name, "alpha");
+  ASSERT_NE(registry.find("beta"), nullptr);
+  EXPECT_EQ(registry.find("gamma"), nullptr);
+}
+
+TEST(ScenarioRegistry, RejectsDuplicateNames) {
+  ScenarioRegistry registry;
+  registry.add(dummy("alpha"));
+  EXPECT_THROW(registry.add(dummy("alpha")), InvalidArgument);
+  // The failed insert must not have clobbered the original.
+  ASSERT_NE(registry.find("alpha"), nullptr);
+  EXPECT_EQ(registry.scenarios().size(), 1u);
+}
+
+TEST(ScenarioRegistry, RejectsEmptyNameAndMissingPlan) {
+  ScenarioRegistry registry;
+  EXPECT_THROW(registry.add(dummy("")), InvalidArgument);
+  Scenario planless = dummy("planless");
+  planless.plan = nullptr;
+  EXPECT_THROW(registry.add(planless), InvalidArgument);
+}
+
+TEST(ScenarioRegistry, BuiltinPaletteIsRegisteredOnce) {
+  ScenarioRegistry& registry = builtin_registry();
+  // Registering the builtins again into the same registry must collide —
+  // proving builtin_registry() populated them — and a second call returns
+  // the same instance rather than re-registering.
+  EXPECT_THROW(register_builtin_scenarios(registry), InvalidArgument);
+  EXPECT_EQ(&registry, &builtin_registry());
+
+  for (const char* name :
+       {"engine-scaling", "detection-matrix", "ablation-coloring", "ablation-congestion",
+        "ablation-threshold", "table1-classical", "table1-quantum"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+TEST(ScenarioRegistry, BuiltinPlansProduceCells) {
+  // Every builtin must plan a non-empty grid with consistent label axes.
+  RunOptions options;
+  options.nodes = 64;  // keep plan-time graph builds tiny
+  for (const auto& scenario : builtin_registry().scenarios()) {
+    const ScenarioPlan plan = scenario.plan(options);
+    ASSERT_FALSE(plan.cells.empty()) << scenario.name;
+    const auto& first = plan.cells.front().labels;
+    for (const auto& cell : plan.cells) {
+      ASSERT_EQ(cell.labels.size(), first.size()) << scenario.name;
+      for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(cell.labels[i].first, first[i].first) << scenario.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evencycle::harness

@@ -1,0 +1,154 @@
+// Batched grid execution: bit-identical results at any batch width,
+// per-cell RNG stream stability, error isolation, and the perf-compare
+// gate built on the JSON documents.
+#include "harness/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/cli.hpp"
+#include "harness/json.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::harness {
+namespace {
+
+bool deterministic_fields_equal(const CellResult& a, const CellResult& b) {
+  return a.ok == b.ok && a.error == b.error && a.detected == b.detected &&
+         a.rounds_measured == b.rounds_measured && a.rounds_charged == b.rounds_charged &&
+         a.messages == b.messages && a.congestion == b.congestion && a.extra == b.extra;
+}
+
+/// A synthetic scenario whose cells burn rng draws and report them, so any
+/// cross-cell stream sharing or scheduling leak shows up as a value diff.
+Scenario synthetic(std::size_t cells) {
+  Scenario scenario;
+  scenario.name = "synthetic";
+  scenario.description = "rng-stream probe";
+  scenario.plan = [cells](const RunOptions&) {
+    ScenarioPlan plan;
+    plan.params = {{"cells", std::to_string(cells)}};
+    for (std::size_t i = 0; i < cells; ++i) {
+      Cell cell;
+      cell.labels = {{"cell", std::to_string(i)}};
+      cell.run = [i](Rng& rng) {
+        CellResult result;
+        // Draw a cell-dependent number of values so lockstep streams with
+        // an offset would still be caught.
+        std::uint64_t accumulator = 0;
+        for (std::size_t draw = 0; draw <= i % 7; ++draw) accumulator ^= rng();
+        result.rounds_measured = accumulator % 100000;
+        result.messages = rng();
+        result.extra = {{"draw", static_cast<double>(rng() % 1000)}};
+        return result;
+      };
+      plan.cells.push_back(std::move(cell));
+    }
+    return plan;
+  };
+  return scenario;
+}
+
+TEST(Runner, BatchedGridIsBitIdenticalToSequential) {
+  const Scenario scenario = synthetic(23);
+  RunOptions sequential;
+  sequential.batch = 1;
+  sequential.with_timing = false;
+  RunOptions batched = sequential;
+  batched.batch = 8;
+
+  const ScenarioResult a = run_scenario(scenario, sequential);
+  const ScenarioResult b = run_scenario(scenario, batched);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].labels, b.cells[i].labels) << i;
+    EXPECT_TRUE(deterministic_fields_equal(a.cells[i].result, b.cells[i].result)) << i;
+  }
+  // The no-timing JSON documents must be byte-identical.
+  EXPECT_EQ(to_json(a, false), to_json(b, false));
+}
+
+TEST(Runner, EngineScalingDocumentIsBatchInvariant) {
+  RunOptions options;
+  options.nodes = 2000;
+  options.with_timing = false;
+  options.batch = 1;
+  const std::string sequential = to_json(run_scenario("engine-scaling", options), false);
+  options.batch = 4;
+  const std::string batched = to_json(run_scenario("engine-scaling", options), false);
+  EXPECT_EQ(sequential, batched);
+  // The engine's thread-count determinism check must have passed.
+  const JsonValue doc = parse_json(sequential);
+  EXPECT_EQ(doc.get("summary")->get("deterministic")->as_number(), 1.0);
+}
+
+TEST(Runner, CellSeedsAreStableAndDistinct) {
+  EXPECT_EQ(cell_seed(7, 3), cell_seed(7, 3));
+  EXPECT_NE(cell_seed(7, 3), cell_seed(7, 4));
+  EXPECT_NE(cell_seed(7, 3), cell_seed(8, 3));
+  // Changing the master seed changes every cell stream.
+  RunOptions a, b;
+  a.with_timing = b.with_timing = false;
+  b.seed = a.seed + 1;
+  const Scenario scenario = synthetic(4);
+  EXPECT_NE(to_json(run_scenario(scenario, a), false),
+            to_json(run_scenario(scenario, b), false));
+}
+
+TEST(Runner, ThrowingCellIsIsolated) {
+  Scenario scenario;
+  scenario.name = "partially-broken";
+  scenario.description = "one cell throws";
+  scenario.plan = [](const RunOptions&) {
+    ScenarioPlan plan;
+    for (int i = 0; i < 3; ++i) {
+      Cell cell;
+      cell.labels = {{"cell", std::to_string(i)}};
+      cell.run = [i](Rng&) -> CellResult {
+        if (i == 1) throw InvalidArgument("cell 1 is broken");
+        CellResult result;
+        result.detected = true;
+        return result;
+      };
+      plan.cells.push_back(std::move(cell));
+    }
+    return plan;
+  };
+  const ScenarioResult result = run_scenario(scenario, RunOptions{});
+  ASSERT_EQ(result.cells.size(), 3u);
+  EXPECT_TRUE(result.cells[0].result.ok);
+  EXPECT_FALSE(result.cells[1].result.ok);
+  EXPECT_NE(result.cells[1].result.error.find("cell 1 is broken"), std::string::npos);
+  EXPECT_TRUE(result.cells[2].result.ok);
+}
+
+TEST(Runner, UnknownScenarioNameThrows) {
+  EXPECT_THROW(run_scenario("no-such-scenario", RunOptions{}), InvalidArgument);
+}
+
+TEST(Runner, CompareGatePassesAndFailsOnRoundsPerSecond) {
+  // Build two timed documents by hand: current is 2x slower on one cell.
+  const auto document = [](double seconds) {
+    ScenarioResult result;
+    result.scenario = "perf";
+    CellRecord cell;
+    cell.labels = {{"threads", "1"}};
+    cell.result.rounds_measured = 100;
+    cell.result.seconds = seconds;
+    result.cells.push_back(cell);
+    return to_json(result, true);
+  };
+  std::string report;
+  EXPECT_EQ(compare_documents(document(1.0), document(1.1), 0.25, &report), 0) << report;
+  EXPECT_EQ(compare_documents(document(1.0), document(2.0), 0.25, &report), 1);
+  EXPECT_NE(report.find("REGRESSED"), std::string::npos);
+  // Documents without timing have nothing to compare: the gate must fail
+  // loudly instead of silently passing.
+  ScenarioResult no_timing;
+  no_timing.scenario = "perf";
+  EXPECT_EQ(compare_documents(to_json(no_timing, false), to_json(no_timing, false), 0.25,
+                              &report),
+            1);
+}
+
+}  // namespace
+}  // namespace evencycle::harness

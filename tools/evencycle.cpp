@@ -1,0 +1,7 @@
+// The `evencycle` command-line tool: list scenarios, run one (batched,
+// JSON or text output), and compare two perf documents (the CI gate).
+// All logic lives in the library (harness/cli.hpp) so the thin bench
+// wrappers and tests share it.
+#include "harness/cli.hpp"
+
+int main(int argc, char** argv) { return evencycle::harness::cli_main(argc, argv); }
