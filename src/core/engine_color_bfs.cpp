@@ -27,7 +27,13 @@ struct ProtocolShape {
   std::uint64_t window_start(std::uint32_t t) const {  // first round of window t>=1
     return 2 + static_cast<std::uint64_t>(t - 1) * tau;
   }
-  std::uint64_t total_rounds() const { return 2 + static_cast<std::uint64_t>(down_len - 1) * tau; }
+  // One round beyond the last window: an id sent in the window's final
+  // round (a node forwarding a full set of tau identifiers) is *delivered*
+  // at the start of the next round, so the meet comparison must wait for
+  // it. Running finish() inside the last window instead silently dropped
+  // those ids — found by the differential fuzzer at tau = 1, where every
+  // forwarded id hit this off-by-one.
+  std::uint64_t total_rounds() const { return 3 + static_cast<std::uint64_t>(down_len - 1) * tau; }
 };
 
 // Safe under the multi-threaded round engine: every program copies its spec

@@ -9,9 +9,10 @@
 //   round 0                       : every node announces (color, in-H bit)
 //   round 1                       : activated color-0 sources send their id
 //   rounds 2 + (t-1)*tau .. t*tau : window t, chain position t streams I_v
-//   after the last window         : meet-colored nodes compare chains
+//   one round after the last window: meet-colored nodes compare chains
+//   (ids sent in a window's final round are delivered one round later)
 //
-// Total rounds: 2 + (ceil(L/2) - 1) * tau, matching the paper's k*tau
+// Total rounds: 3 + (ceil(L/2) - 1) * tau, within the paper's O(k*tau)
 // charge for L = 2k. Tests cross-validate the rejection set against
 // run_color_bfs on identical randomness.
 #pragma once

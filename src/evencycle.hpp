@@ -8,6 +8,8 @@
 //   core/      -- the paper's algorithms (color-BFS, Algorithm 1/2, odd and
 //                 bounded-length detectors, Density Lemma, Table 1 model)
 //   baseline/  -- comparators ([10] local threshold, flooding)
+//   fuzz/      -- differential fuzzer: mutated instances, oracle
+//                 cross-check, counterexample shrinking, corpus I/O
 //   quantum/   -- Grover/amplification cost model, Theorem 3, Lemma 9/10,
 //                 the quantum pipelines of Theorem 2
 //   lowerbound/-- Set-Disjointness gadgets and the cut meter (Section 3.3)
@@ -32,6 +34,12 @@
 #include "core/params.hpp"
 #include "baseline/flooding.hpp"
 #include "baseline/local_threshold.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/detectors.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/mutation.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
 #include "graph/analysis.hpp"
 #include "graph/cycle_search.hpp"
 #include "graph/generators.hpp"

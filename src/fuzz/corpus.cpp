@@ -1,0 +1,196 @@
+#include "fuzz/corpus.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/detectors.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/oracle.hpp"
+#include "harness/json.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::fuzz {
+
+namespace {
+
+using harness::JsonValue;
+
+JsonValue graph_to_json(const graph::Graph& g) {
+  std::vector<JsonValue> edges;
+  edges.reserve(g.edge_count());
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.edge(e);
+    edges.push_back(JsonValue::array({JsonValue::number(u), JsonValue::number(v)}));
+  }
+  return JsonValue::object({
+      {"vertices", JsonValue::number(g.vertex_count())},
+      {"edges", JsonValue::array(std::move(edges))},
+  });
+}
+
+graph::Graph graph_from_json(const JsonValue& doc) {
+  const JsonValue* vertices = doc.get("vertices");
+  const JsonValue* edges = doc.get("edges");
+  EC_REQUIRE(vertices != nullptr && edges != nullptr, "fuzz corpus: malformed graph object");
+  const auto n = static_cast<graph::VertexId>(vertices->as_number());
+  graph::GraphBuilder b(n);
+  for (const auto& edge : edges->as_array()) {
+    const auto& pair = edge.as_array();
+    EC_REQUIRE(pair.size() == 2, "fuzz corpus: edge must be a [u, v] pair");
+    b.add_edge(static_cast<graph::VertexId>(pair[0].as_number()),
+               static_cast<graph::VertexId>(pair[1].as_number()));
+  }
+  return std::move(b).build();
+}
+
+std::uint64_t content_hash(const Counterexample& ce) {
+  // FNV-1a over the structural payload: stable file names, idempotent
+  // re-finds of the same minimized instance.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (value >> (8 * byte)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const char c : ce.kind) mix(static_cast<unsigned char>(c));
+  for (const char c : ce.detector) mix(static_cast<unsigned char>(c));
+  mix(ce.k);
+  mix(ce.graph.vertex_count());
+  for (graph::EdgeId e = 0; e < ce.graph.edge_count(); ++e) {
+    const auto [u, v] = ce.graph.edge(e);
+    mix((static_cast<std::uint64_t>(u) << 32) | v);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string to_json(const Counterexample& ce) {
+  const JsonValue doc = JsonValue::object({
+      {"schema", JsonValue::string("evencycle-fuzz-v1")},
+      {"kind", JsonValue::string(ce.kind)},
+      {"detector", JsonValue::string(ce.detector)},
+      {"k", JsonValue::number(ce.k)},
+      // Seeds are full 64-bit values; a JSON number (double) would shave the
+      // low bits above 2^53 and break replay (threshold and colors both
+      // derive from the seed), so they travel as decimal strings.
+      {"seed", JsonValue::string(std::to_string(ce.seed))},
+      {"threads", JsonValue::number(ce.threads)},
+      {"detector_verdict", JsonValue::boolean(ce.detector_verdict)},
+      {"oracle_even", JsonValue::boolean(ce.oracle_even)},
+      {"oracle_bounded", JsonValue::boolean(ce.oracle_bounded)},
+      {"recipe", JsonValue::string(ce.recipe)},
+      {"note", JsonValue::string(ce.note)},
+      {"graph", graph_to_json(ce.graph)},
+  });
+  return harness::to_json(doc);
+}
+
+Counterexample counterexample_from_json(const std::string& text) {
+  const JsonValue doc = harness::parse_json(text);
+  const JsonValue* schema = doc.get("schema");
+  EC_REQUIRE(schema != nullptr && schema->as_string() == "evencycle-fuzz-v1",
+             "fuzz corpus: not an evencycle-fuzz-v1 document");
+  Counterexample ce;
+  const auto read_string = [&doc](const char* key, std::string* out) {
+    if (const JsonValue* value = doc.get(key)) *out = value->as_string();
+  };
+  const auto read_bool = [&doc](const char* key, bool* out) {
+    if (const JsonValue* value = doc.get(key)) *out = value->as_bool();
+  };
+  read_string("kind", &ce.kind);
+  read_string("detector", &ce.detector);
+  read_string("recipe", &ce.recipe);
+  read_string("note", &ce.note);
+  read_bool("detector_verdict", &ce.detector_verdict);
+  read_bool("oracle_even", &ce.oracle_even);
+  read_bool("oracle_bounded", &ce.oracle_bounded);
+  if (const JsonValue* k = doc.get("k")) ce.k = static_cast<std::uint32_t>(k->as_number());
+  if (const JsonValue* seed = doc.get("seed")) {
+    if (seed->kind() == JsonValue::Kind::kString) {
+      ce.seed = std::stoull(seed->as_string());
+    } else {
+      // Hand-written corpus files may use small literal numbers.
+      ce.seed = static_cast<std::uint64_t>(seed->as_number());
+    }
+  }
+  if (const JsonValue* threads = doc.get("threads"))
+    ce.threads = static_cast<std::uint32_t>(threads->as_number());
+  const JsonValue* g = doc.get("graph");
+  EC_REQUIRE(g != nullptr, "fuzz corpus: missing graph");
+  ce.graph = graph_from_json(*g);
+  EC_REQUIRE(ce.k >= 2, "fuzz corpus: k must be at least 2");
+  return ce;
+}
+
+std::string write_counterexample(const Counterexample& ce, const std::string& directory) {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  std::ostringstream name;
+  name << ce.kind << '-' << ce.detector << "-k" << ce.k << '-' << std::hex
+       << content_hash(ce) << ".json";
+  const fs::path path = fs::path(directory) / name.str();
+  std::ofstream file(path);
+  EC_REQUIRE(file.good(), "fuzz corpus: cannot open " + path.string());
+  file << to_json(ce) << '\n';
+  EC_REQUIRE(file.good(), "fuzz corpus: write failed for " + path.string());
+  return path.string();
+}
+
+Counterexample load_counterexample(const std::string& path) {
+  std::ifstream file(path);
+  EC_REQUIRE(file.good(), "fuzz corpus: cannot read " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return counterexample_from_json(text.str());
+}
+
+ReplayOutcome replay_counterexample(const Counterexample& ce, std::uint32_t confirm_retries) {
+  ReplayOutcome outcome;
+  std::ostringstream detail;
+
+  if (ce.kind == "engine") {
+    const auto divergence =
+        engine_differential_check(ce.graph, ce.k, ce.seed, std::max(ce.threads, 1u));
+    outcome.mismatch = !divergence.empty();
+    detail << "engine differential @" << std::max(ce.threads, 1u) << " threads: "
+           << (outcome.mismatch ? "MISMATCH — " + divergence : std::string("ok")) << '\n';
+    outcome.detail = detail.str();
+    return outcome;
+  }
+
+  Rng oracle_rng(ce.seed ^ 0x0AC1EULL);
+  const OracleResult oracle = oracle_analyze(ce.graph, ce.k, {}, oracle_rng);
+  detail << "oracle: C_" << 2 * ce.k << (oracle.has_even_cycle ? " present" : " absent")
+         << ", girth<=2k " << (oracle.has_cycle_at_most ? "yes" : "no")
+         << (oracle.exact ? "" : " (fallback)") << '\n';
+
+  std::vector<const FuzzDetector*> detectors;
+  if (ce.detector == "all") {
+    for (const auto& detector : fuzz_detectors()) detectors.push_back(&detector);
+  } else {
+    const FuzzDetector* detector = find_fuzz_detector(ce.detector);
+    EC_REQUIRE(detector != nullptr, "fuzz corpus: unknown detector " + ce.detector);
+    detectors.push_back(detector);
+  }
+  for (const FuzzDetector* detector : detectors) {
+    const auto check =
+        cross_check_detector(*detector, ce.graph, ce.k, ce.seed, oracle, confirm_retries);
+    detail << detector->name << ": verdict " << (check.verdict ? "yes" : "no");
+    if (!check.mismatch_kind.empty()) {
+      outcome.mismatch = true;
+      detail << "  MISMATCH (" << check.mismatch_kind << ')';
+      if (!check.detail.empty()) detail << ": " << check.detail;
+    } else {
+      detail << "  ok";
+    }
+    detail << '\n';
+  }
+  outcome.detail = detail.str();
+  return outcome;
+}
+
+}  // namespace evencycle::fuzz

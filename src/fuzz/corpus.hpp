@@ -1,0 +1,62 @@
+// Counterexample corpus: serialization, directory I/O, and replay.
+//
+// Every confirmed + minimized mismatch the fuzzer finds is serialized as a
+// single-line-per-field `evencycle-fuzz-v1` JSON document (the harness JSON
+// dialect) into a corpus directory, named by content so re-finding the same
+// counterexample is idempotent. Checked-in corpus files under
+// tests/fuzz/corpus/ are replayed as permanent regression tests: `replay`
+// re-runs the oracle cross-check on the stored graph — for a "regression"
+// document every detector must agree with the oracle; for a captured
+// counterexample the stored detector is expected to still mismatch until
+// the underlying bug is fixed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace evencycle::fuzz {
+
+struct Counterexample {
+  /// "soundness" | "completeness" | "crash" | "engine" | "regression".
+  std::string kind;
+  /// Detector name, or "all" (regression documents: replay every detector).
+  std::string detector;
+  std::uint32_t k = 2;
+  /// Replay seed for the detector re-run.
+  std::uint64_t seed = 0;
+  /// Engine thread count for kind == "engine" (0 otherwise).
+  std::uint32_t threads = 0;
+  bool detector_verdict = false;  ///< verdict at capture time
+  bool oracle_even = false;       ///< oracle: contains C_{2k}
+  bool oracle_bounded = false;    ///< oracle: girth <= 2k
+  std::string recipe;             ///< generator provenance (informational)
+  std::string note;               ///< free-form capture context
+  graph::Graph graph;
+};
+
+/// JSON round-trip (schema `evencycle-fuzz-v1`).
+std::string to_json(const Counterexample& ce);
+Counterexample counterexample_from_json(const std::string& text);
+
+/// Writes `ce` into `directory` (created if missing) under a deterministic
+/// content-derived file name; returns the full path.
+std::string write_counterexample(const Counterexample& ce, const std::string& directory);
+
+/// Loads one corpus document from a file path.
+Counterexample load_counterexample(const std::string& path);
+
+struct ReplayOutcome {
+  bool mismatch = false;      ///< some replayed detector disagreed with the oracle
+  std::string detail;         ///< human-readable per-detector report
+};
+
+/// Re-runs the oracle cross-check on the stored graph. For detector "all",
+/// every registered detector is replayed under its claim; otherwise only
+/// the stored detector. Completeness misses are confirmed with
+/// `confirm_retries` fresh re-runs before they count as a mismatch.
+ReplayOutcome replay_counterexample(const Counterexample& ce, std::uint32_t confirm_retries = 3);
+
+}  // namespace evencycle::fuzz

@@ -1,0 +1,84 @@
+// Detector registry for the differential fuzzer.
+//
+// Each entry wraps one detector from the tree (baselines, Algorithm 1, the
+// derandomized variant, the bounded-length detector, the quantum pipeline)
+// together with its *claim* — the contract the oracle cross-check enforces:
+//
+//   kEvenExact     verdict == "G contains C_{2k}", both directions
+//                  (the deterministic flooding baseline);
+//   kEvenComplete  one-sided soundness plus a repetition budget that makes
+//                  false negatives vanishingly unlikely on fuzz-sized
+//                  graphs (Algorithm 1 at >= 600 colorings): a confirmed
+//                  miss is a bug;
+//   kEvenSound     only soundness is checkable ("detected" must witness a
+//                  C_{2k}); misses are tallied, never flagged;
+//   kBoundedSound  "detected" must witness a cycle of length <= 2k.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::fuzz {
+
+enum class Claim { kEvenExact, kEvenComplete, kEvenSound, kBoundedSound };
+
+struct FuzzDetector {
+  std::string name;
+  Claim claim;
+  /// Runs the detector; returns its verdict. May throw — the fuzzer records
+  /// a throwing detector as a "crash" finding.
+  std::function<bool(const graph::Graph& g, std::uint32_t k, Rng& rng)> run;
+};
+
+/// Every real detector in the tree, with honest claims.
+const std::vector<FuzzDetector>& fuzz_detectors();
+
+/// The claim actually enforced at a given k. kEvenComplete demotes to
+/// kEvenSound for k >= 3: the per-coloring hit probability of a C_{2k} is
+/// 2(2k)/(2k)^{2k} (1/32 for k = 2 but 1/3888 for k = 3), so a fixed
+/// 600-coloring budget leaves an ~86% miss rate per call at k = 3 —
+/// "missed" is then expected behavior, not a finding. (This demotion was
+/// itself flushed out by the fuzzer flagging plain C6 instances.)
+Claim effective_claim(const FuzzDetector& detector, std::uint32_t k);
+
+/// The --mutate-engine self-test shim: a bounded-cycle detector with a
+/// planted off-by-one (it accepts cycles of length up to 2k+1 while
+/// claiming <= 2k). Any graph of girth exactly 2k+1 — e.g. the odd cycle
+/// C_{2k+1} — is a soundness counterexample, so a live fuzzer must catch it
+/// and shrink it to <= 2k+1 vertices.
+const FuzzDetector& mutate_engine_shim();
+
+/// Lookup by name over fuzz_detectors() + the shim; nullptr when unknown.
+const FuzzDetector* find_fuzz_detector(const std::string& name);
+
+// --- claim enforcement --------------------------------------------------------
+
+struct OracleResult;  // fuzz/oracle.hpp
+
+struct CrossCheckOutcome {
+  /// Empty = consistent; otherwise "soundness" | "completeness" | "crash".
+  std::string mismatch_kind;
+  bool verdict = false;       ///< detector verdict of the primary run
+  bool target = false;        ///< what the oracle says the claim's predicate is
+  bool missed = false;        ///< false negative (only flagged under kEvenExact
+                              ///< / kEvenComplete, and only after confirmation)
+  std::string detail;         ///< human-readable context (crash text, retries)
+};
+
+/// Runs `detector` on g with Rng(seed) and enforces its claim against the
+/// oracle. A soundness violation is flagged immediately (a "detected"
+/// verdict claims a witness). A miss under kEvenExact / kEvenComplete is
+/// re-run `confirm_retries` times with derived fresh seeds (fresh S draws,
+/// fresh colorings) and flagged only when every retry misses too, which
+/// drives the false-alarm probability to ~0 on fuzz-sized graphs.
+CrossCheckOutcome cross_check_detector(const FuzzDetector& detector, const graph::Graph& g,
+                                       std::uint32_t k, std::uint64_t seed,
+                                       const OracleResult& oracle,
+                                       std::uint32_t confirm_retries = 3);
+
+}  // namespace evencycle::fuzz

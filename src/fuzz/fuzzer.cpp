@@ -1,0 +1,404 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "congest/network.hpp"
+#include "core/color_bfs.hpp"
+#include "core/engine_color_bfs.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/detectors.hpp"
+#include "fuzz/mutation.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+#include "harness/json.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace evencycle::fuzz {
+
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Speed guard: draws above this edge count (or below 3 vertices) are
+/// rejected and redrawn without counting against --runs (the oracle's
+/// exact search and the flooding baseline are exponential-ish in pockets).
+constexpr graph::EdgeId kMaxEdges = 1200;
+
+struct Finding {
+  Counterexample ce;
+  std::uint64_t shrink_evaluations = 0;
+};
+
+std::string describe(const Counterexample& ce) {
+  std::ostringstream os;
+  os << ce.kind << " mismatch: " << ce.detector << " on k=" << ce.k << ", minimized to "
+     << ce.graph.vertex_count() << " vertices / " << ce.graph.edge_count() << " edges ("
+     << ce.recipe << ')';
+  return os.str();
+}
+
+/// Deterministic oracle for shrink predicates: same fallback stream per
+/// candidate, so a predicate evaluation is a pure function of the graph.
+OracleResult shrink_oracle(const Graph& g, std::uint32_t k, std::uint64_t seed) {
+  Rng rng(seed ^ 0x5EED0AC1EULL);
+  return oracle_analyze(g, k, {}, rng);
+}
+
+/// Shrinks a confirmed verdict mismatch and packages the corpus document.
+/// Returns nullopt when the mismatch does not reproduce under the shrink
+/// predicate (an independent re-confirmation with fresh randomness): such
+/// borderline probabilistic events are dropped, not reported.
+std::optional<Finding> minimize_verdict_mismatch(const FuzzDetector& detector, const Graph& g,
+                                                 std::uint32_t k, std::uint64_t seed,
+                                                 const std::string& kind,
+                                                 const std::string& recipe) {
+  const auto still_fails = [&](const Graph& candidate) {
+    if (candidate.vertex_count() < 3) return false;
+    const OracleResult oracle = shrink_oracle(candidate, k, seed);
+    const bool target = detector.claim == Claim::kBoundedSound ? oracle.has_cycle_at_most
+                                                               : oracle.has_even_cycle;
+    const auto run_once = [&](std::uint64_t run_seed) {
+      Rng rng(run_seed);
+      return detector.run(candidate, k, rng);
+    };
+    std::uint64_t retry_state = seed;
+    try {
+      if (kind == "crash") {
+        run_once(seed);
+        return false;
+      }
+      if (kind == "soundness") {
+        if (target) return false;
+        // Any of a few independent runs reproducing "detected" keeps the
+        // candidate (deterministic detectors reproduce on the first).
+        for (int attempt = 0; attempt < 3; ++attempt)
+          if (run_once(attempt == 0 ? seed : splitmix64(retry_state))) return true;
+        return false;
+      }
+      // completeness: every run must keep missing an oracle-certified cycle.
+      if (!target) return false;
+      for (int attempt = 0; attempt < 3; ++attempt)
+        if (run_once(attempt == 0 ? seed : splitmix64(retry_state))) return false;
+      return true;
+    } catch (const std::exception&) {
+      return kind == "crash";
+    }
+  };
+
+  if (!still_fails(g)) return std::nullopt;  // flaky: fresh randomness disagrees
+
+  ShrinkOptions shrink_options;
+  shrink_options.max_evaluations = 4000;
+  const auto shrunk = shrink_counterexample(g, still_fails, shrink_options);
+
+  Finding finding;
+  finding.shrink_evaluations = shrunk.evaluations;
+  finding.ce.kind = kind;
+  finding.ce.detector = detector.name;
+  finding.ce.k = k;
+  finding.ce.seed = seed;
+  finding.ce.recipe = recipe;
+  finding.ce.graph = shrunk.graph;
+  const OracleResult oracle = shrink_oracle(shrunk.graph, k, seed);
+  finding.ce.oracle_even = oracle.has_even_cycle;
+  finding.ce.oracle_bounded = oracle.has_cycle_at_most;
+  if (kind != "crash") {
+    Rng rng(seed);
+    try {
+      finding.ce.detector_verdict = detector.run(shrunk.graph, k, rng);
+    } catch (const std::exception&) {
+    }
+  }
+  finding.ce.note = "found by evencycle fuzz; minimized by greedy vertex/edge deletion";
+  return finding;
+}
+
+// --- engine differential ------------------------------------------------------
+// The message-level color-BFS protocol on the round engine, at a given
+// thread count, must produce exactly the rejection set of the phase-level
+// reference on identical randomness. Colors derive from `seed` and the
+// candidate's vertex count, so the check is a pure function of (graph,
+// seed, threads) and can serve as a shrink predicate.
+
+std::optional<Finding> run_engine_differential(const Graph& g, std::uint32_t k,
+                                               std::uint64_t seed,
+                                               const std::vector<std::uint32_t>& thread_axis,
+                                               const std::string& recipe) {
+  for (const std::uint32_t threads : thread_axis) {
+    const auto divergence = engine_differential_check(g, k, seed, threads);
+    if (divergence.empty()) continue;
+
+    const auto still_fails = [k, seed, threads](const Graph& candidate) {
+      try {
+        return !engine_differential_check(candidate, k, seed, threads).empty();
+      } catch (const std::exception&) {
+        return true;  // an engine crash on a shrunken candidate is still a bug
+      }
+    };
+    ShrinkOptions shrink_options;
+    shrink_options.max_evaluations = 2000;
+    const auto shrunk = shrink_counterexample(g, still_fails, shrink_options);
+
+    Finding finding;
+    finding.shrink_evaluations = shrunk.evaluations;
+    finding.ce.kind = "engine";
+    finding.ce.detector = "engine-color-bfs";
+    finding.ce.k = k;
+    finding.ce.seed = seed;
+    finding.ce.threads = threads;
+    finding.ce.recipe = recipe;
+    finding.ce.graph = shrunk.graph;
+    finding.ce.note = divergence;
+    return finding;
+  }
+  return std::nullopt;
+}
+
+/// The per-instance detector grid, executed batched on the WorkerPool.
+harness::ScenarioResult run_detector_grid(const std::shared_ptr<const Graph>& g,
+                                          std::uint32_t k,
+                                          const std::vector<const FuzzDetector*>& detectors,
+                                          std::uint64_t instance_seed, std::uint32_t batch) {
+  harness::Scenario scenario;
+  scenario.name = "fuzz-grid";
+  scenario.description = "one fuzz instance across the detector registry";
+  scenario.plan = [&detectors, g, k](const harness::RunOptions&) {
+    harness::ScenarioPlan plan;
+    for (const FuzzDetector* detector : detectors) {
+      harness::Cell cell;
+      cell.labels = {{"algorithm", detector->name}};
+      cell.run = [detector, g, k](Rng& rng) {
+        harness::CellResult result;
+        result.detected = detector->run(*g, k, rng);
+        return result;
+      };
+      plan.cells.push_back(std::move(cell));
+    }
+    return plan;
+  };
+  harness::RunOptions options;
+  options.seed = instance_seed;
+  options.batch = batch;
+  options.with_timing = false;
+  return harness::run_scenario(scenario, options);
+}
+
+}  // namespace
+
+std::string engine_differential_check(const Graph& g, std::uint32_t k, std::uint64_t seed,
+                                      std::uint32_t threads) {
+  if (g.vertex_count() == 0) return {};
+  Rng color_rng(seed ^ 0xC0105ULL);
+  const auto colors = core::random_coloring(g.vertex_count(), 2 * k, color_rng);
+  core::ColorBfsSpec spec;
+  spec.cycle_length = 2 * k;
+  spec.threshold = 1 + (seed % 8);
+  spec.colors = &colors;
+
+  Rng fast_rng(seed);
+  const auto fast = core::run_color_bfs(g, spec, fast_rng);
+
+  congest::Config config;
+  config.threads = threads;
+  congest::Network net(g, config);
+  const auto engine = core::run_color_bfs_on_engine(net, spec);
+
+  if (fast.rejected == engine.rejected && fast.rejecting_nodes == engine.rejecting_nodes)
+    return {};
+  std::ostringstream os;
+  os << "phase-level rejected=" << fast.rejected << " (" << fast.rejecting_nodes.size()
+     << " nodes) vs engine@" << threads << " rejected=" << engine.rejected << " ("
+     << engine.rejecting_nodes.size() << " nodes)";
+  return os.str();
+}
+
+FuzzReport run_fuzzer(const FuzzOptions& options) {
+  EC_REQUIRE(options.minutes > 0 || options.max_instances > 0,
+             "fuzz: need a time budget (--minutes) or an instance cap (--runs)");
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(std::max(options.minutes, 0.0) * 60.0));
+  const auto out_of_budget = [&] {
+    if (options.minutes <= 0) return false;  // instance cap governs alone
+    return std::chrono::steady_clock::now() >= deadline;
+  };
+
+  std::vector<const FuzzDetector*> detectors;
+  if (options.mutate_engine) {
+    detectors.push_back(&mutate_engine_shim());
+  } else {
+    for (const auto& detector : fuzz_detectors()) detectors.push_back(&detector);
+  }
+
+  FuzzReport report;
+  for (const FuzzDetector* detector : detectors)
+    report.detectors.push_back({detector->name, 0, 0, 0, 0});
+
+  const auto record_finding = [&](Finding finding) {
+    report.shrink_evaluations += finding.shrink_evaluations;
+    ++report.mismatches;
+    const auto vertices = finding.ce.graph.vertex_count();
+    if (report.smallest_counterexample == 0 || vertices < report.smallest_counterexample)
+      report.smallest_counterexample = vertices;
+    report.findings.push_back(describe(finding.ce));
+    if (!options.corpus_dir.empty())
+      report.corpus_files.push_back(write_counterexample(finding.ce, options.corpus_dir));
+    if (options.progress != nullptr)
+      *options.progress << "FINDING: " << report.findings.back() << "\n";
+  };
+
+  std::uint64_t seed_state = options.seed;
+  std::uint64_t draws = 0;
+  bool stop = false;
+  while (!stop && !out_of_budget() &&
+         (options.max_instances == 0 || report.instances < options.max_instances)) {
+    // Rejected draws don't consume --runs budget; the draw cap keeps a
+    // pathological rejection rate from spinning forever under --runs alone.
+    if (options.max_instances != 0 && ++draws > 16 * options.max_instances + 256) break;
+    const std::uint64_t instance_seed = splitmix64(seed_state);
+    Rng rng(instance_seed);
+    const auto k = static_cast<std::uint32_t>(2 + rng.next_below(2));
+
+    MutationOptions mutation;
+    mutation.max_nodes = options.max_nodes;
+    mutation.max_mutations = options.max_mutations;
+    const FuzzInstance instance = random_instance(k, mutation, rng);
+    const Graph& g = instance.graph;
+    if (g.vertex_count() < 3 || g.edge_count() > kMaxEdges) continue;
+    ++report.instances;
+
+    Rng oracle_rng = rng.split();
+    const OracleResult oracle = oracle_analyze(g, k, {}, oracle_rng);
+    if (!oracle.exact) ++report.oracle_fallbacks;
+
+    // Detector grid at a randomized batch width on the shared WorkerPool.
+    const auto shared = std::make_shared<const Graph>(g);
+    const auto batch = static_cast<std::uint32_t>(1 + rng.next_below(4));
+    const auto grid = run_detector_grid(shared, k, detectors, instance_seed, batch);
+
+    for (std::size_t i = 0; i < detectors.size(); ++i) {
+      const FuzzDetector& detector = *detectors[i];
+      auto& stats = report.detectors[i];
+      ++stats.runs;
+      ++report.detector_runs;
+      const auto& cell = grid.cells[i].result;
+      const Claim claim = effective_claim(detector, k);
+      const bool target =
+          claim == Claim::kBoundedSound ? oracle.has_cycle_at_most : oracle.has_even_cycle;
+      if (cell.ok && cell.detected) ++stats.detected;
+      if (cell.ok && cell.detected == target) continue;
+      if (cell.ok && claim != Claim::kEvenExact && claim != Claim::kEvenComplete &&
+          !cell.detected) {
+        // A sound-only claim permits misses: tally it without the cross-check,
+        // which would re-run the detector byte-identically (same cell seed)
+        // just to conclude "not a mismatch".
+        ++stats.misses;
+        continue;
+      }
+
+      // Candidate mismatch (or crash): re-run + confirm under the claim on
+      // exactly the grid cell's seed, then shrink.
+      const std::uint64_t seed = harness::cell_seed(instance_seed, i);
+      const auto check =
+          cross_check_detector(detector, g, k, seed, oracle, options.confirm_retries);
+      if (check.missed) ++stats.misses;
+      if (check.mismatch_kind.empty()) continue;
+      auto finding =
+          minimize_verdict_mismatch(detector, g, k, seed, check.mismatch_kind, instance.recipe);
+      if (!finding.has_value()) {
+        ++report.flaky_candidates;
+        if (options.progress != nullptr)
+          *options.progress << "flaky candidate dropped: " << detector.name << " ("
+                            << check.mismatch_kind << ") on " << instance.recipe << "\n";
+        continue;
+      }
+      ++stats.mismatches;
+      record_finding(std::move(*finding));
+      if (options.mutate_engine) {
+        stop = true;  // liveness proven; one minimized counterexample suffices
+        break;
+      }
+    }
+
+    if (!options.mutate_engine && !stop) {
+      ++report.engine_checks;
+      if (auto finding = run_engine_differential(g, k, instance_seed, options.engine_threads,
+                                                 instance.recipe)) {
+        record_finding(std::move(*finding));
+      }
+    }
+  }
+
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return report;
+}
+
+std::string fuzz_report_to_json(const FuzzReport& report) {
+  using harness::JsonValue;
+  std::vector<JsonValue> detectors;
+  for (const auto& stats : report.detectors) {
+    detectors.push_back(JsonValue::object({
+        {"name", JsonValue::string(stats.name)},
+        {"runs", JsonValue::number(static_cast<double>(stats.runs))},
+        {"detected", JsonValue::number(static_cast<double>(stats.detected))},
+        {"misses", JsonValue::number(static_cast<double>(stats.misses))},
+        {"mismatches", JsonValue::number(static_cast<double>(stats.mismatches))},
+    }));
+  }
+  const auto strings = [](const std::vector<std::string>& values) {
+    std::vector<JsonValue> items;
+    items.reserve(values.size());
+    for (const auto& value : values) items.push_back(JsonValue::string(value));
+    return JsonValue::array(std::move(items));
+  };
+  const JsonValue doc = JsonValue::object({
+      {"schema", JsonValue::string("evencycle-fuzz-report-v1")},
+      {"instances", JsonValue::number(static_cast<double>(report.instances))},
+      {"detector_runs", JsonValue::number(static_cast<double>(report.detector_runs))},
+      {"engine_checks", JsonValue::number(static_cast<double>(report.engine_checks))},
+      {"oracle_fallbacks", JsonValue::number(static_cast<double>(report.oracle_fallbacks))},
+      {"mismatches", JsonValue::number(static_cast<double>(report.mismatches))},
+      {"flaky_candidates", JsonValue::number(static_cast<double>(report.flaky_candidates))},
+      {"shrink_evaluations",
+       JsonValue::number(static_cast<double>(report.shrink_evaluations))},
+      {"smallest_counterexample", JsonValue::number(report.smallest_counterexample)},
+      {"seconds", JsonValue::number(report.seconds)},
+      {"detectors", JsonValue::array(std::move(detectors))},
+      {"corpus_files", strings(report.corpus_files)},
+      {"findings", strings(report.findings)},
+  });
+  return harness::to_json(doc);
+}
+
+void print_fuzz_report(std::ostream& os, const FuzzReport& report) {
+  print_banner(os, "evencycle fuzz: " + std::to_string(report.instances) + " instances, " +
+                       std::to_string(report.mismatches) + " mismatches");
+  TextTable table({"detector", "runs", "detected", "misses", "mismatches"});
+  for (const auto& stats : report.detectors) {
+    table.add_row({stats.name, std::to_string(stats.runs), std::to_string(stats.detected),
+                   std::to_string(stats.misses), std::to_string(stats.mismatches)});
+  }
+  table.print(os);
+  os << "engine checks: " << report.engine_checks
+     << "  oracle fallbacks: " << report.oracle_fallbacks
+     << "  flaky candidates: " << report.flaky_candidates
+     << "  shrink evaluations: " << report.shrink_evaluations << "\n";
+  for (const auto& finding : report.findings) os << "FINDING: " << finding << "\n";
+  for (const auto& file : report.corpus_files) os << "corpus: " << file << "\n";
+  if (report.smallest_counterexample != 0)
+    os << "smallest counterexample: " << report.smallest_counterexample << " vertices\n";
+  os << "elapsed: " << report.seconds << " s\n";
+}
+
+}  // namespace evencycle::fuzz

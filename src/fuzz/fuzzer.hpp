@@ -1,0 +1,92 @@
+// The differential fuzzing driver (`evencycle fuzz`).
+//
+// Each iteration draws a mutated instance (fuzz/mutation.hpp), computes the
+// sequential ground truth (fuzz/oracle.hpp), runs every detector as a
+// batched grid on the harness WorkerPool at a randomized batch width, and
+// enforces each detector's claim (fuzz/detectors.hpp). On top of the
+// verdict cross-check, an engine differential compares the message-level
+// color-BFS protocol on the multi-threaded round engine — at every
+// configured thread count — against the phase-level reference on identical
+// randomness. Confirmed mismatches are shrunk to 1-minimal graphs
+// (fuzz/shrink.hpp) and serialized into the corpus (fuzz/corpus.hpp).
+//
+// `mutate_engine` is the harness liveness self-test: only the shim detector
+// with the planted off-by-one runs, and the fuzzer must catch and shrink it
+// (run_fuzzer stops at the first minimized counterexample in this mode).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace evencycle::fuzz {
+
+struct FuzzOptions {
+  /// Wall-clock budget; <= 0 means "until max_instances".
+  double minutes = 1.0;
+  /// Instance cap; 0 means "until the time budget expires".
+  std::uint64_t max_instances = 0;
+  std::uint64_t seed = 0xEC2024;
+  /// Directory for minimized counterexamples; empty disables writing.
+  std::string corpus_dir = "fuzz-corpus";
+  /// Self-test mode: run only the planted-bug shim and stop on the first
+  /// minimized counterexample.
+  bool mutate_engine = false;
+
+  graph::VertexId max_nodes = 72;
+  std::uint32_t max_mutations = 3;
+  /// Engine-differential thread counts (the acceptance gate runs {1, 4}).
+  std::vector<std::uint32_t> engine_threads = {1, 4};
+  std::uint32_t confirm_retries = 3;
+  /// Optional live progress stream (one line per finding); may be null.
+  std::ostream* progress = nullptr;
+};
+
+struct DetectorStats {
+  std::string name;
+  std::uint64_t runs = 0;
+  std::uint64_t detected = 0;
+  /// False negatives vs the oracle (informational for sound-only
+  /// detectors — their claims allow misses).
+  std::uint64_t misses = 0;
+  std::uint64_t mismatches = 0;
+};
+
+struct FuzzReport {
+  std::uint64_t instances = 0;
+  std::uint64_t detector_runs = 0;
+  std::uint64_t engine_checks = 0;
+  std::uint64_t oracle_fallbacks = 0;   ///< exact search exhausted, color coding used
+  std::uint64_t mismatches = 0;         ///< confirmed findings (all kinds)
+  /// Candidate mismatches that did not survive the independent
+  /// re-confirmation with fresh randomness (dropped, not reported).
+  std::uint64_t flaky_candidates = 0;
+  std::uint64_t shrink_evaluations = 0;
+  /// Vertex count of the smallest minimized counterexample (0 = none).
+  std::uint32_t smallest_counterexample = 0;
+  double seconds = 0.0;
+  std::vector<DetectorStats> detectors;
+  std::vector<std::string> corpus_files;
+  std::vector<std::string> findings;    ///< one-line summaries
+};
+
+FuzzReport run_fuzzer(const FuzzOptions& options);
+
+/// One engine-differential probe: the message-level color-BFS protocol on
+/// the round engine at `threads` workers vs the phase-level reference, on
+/// randomness fully derived from (g, k, seed). Returns the empty string on
+/// agreement, a description of the divergence otherwise. Exposed so corpus
+/// replay can re-run "engine"-kind documents.
+std::string engine_differential_check(const graph::Graph& g, std::uint32_t k,
+                                      std::uint64_t seed, std::uint32_t threads);
+
+/// `evencycle-fuzz-report-v1` JSON document.
+std::string fuzz_report_to_json(const FuzzReport& report);
+
+/// Aligned text summary for terminals.
+void print_fuzz_report(std::ostream& os, const FuzzReport& report);
+
+}  // namespace evencycle::fuzz

@@ -1,0 +1,213 @@
+#include "fuzz/mutation.hpp"
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+
+namespace evencycle::fuzz {
+
+namespace {
+
+std::string u64(std::uint64_t value) { return std::to_string(value); }
+
+/// A vertex budget in [lo, hi] drawn once per instance.
+VertexId draw_scale(VertexId max_nodes, Rng& rng) {
+  const VertexId lo = 8;
+  const VertexId hi = std::max<VertexId>(max_nodes, lo + 1);
+  return lo + static_cast<VertexId>(rng.next_below(hi - lo));
+}
+
+struct BaseFamily {
+  std::string recipe;
+  Graph graph;
+};
+
+constexpr std::uint32_t kBaseFamilies = 18;
+
+BaseFamily build_base(std::uint32_t which, std::uint32_t k, VertexId n, Rng& rng) {
+  const std::uint32_t length = 2 * k;
+  switch (which % kBaseFamilies) {
+    case 0: {
+      // Cycles bracketing the target length: the exact C_{2k}, the odd
+      // near-misses, and one longer control.
+      const std::uint32_t deltas[] = {0, 1, 2, 3};
+      const std::uint32_t len =
+          std::max<std::uint32_t>(3, length - 1 + deltas[rng.next_below(4)]);
+      return {"cycle(" + u64(len) + ")", graph::cycle(len)};
+    }
+    case 1:
+      return {"path(" + u64(n) + ")", graph::path(n)};
+    case 2:
+      return {"random-tree(" + u64(n) + ")", graph::random_tree(n, rng)};
+    case 3: {
+      const double c = 0.5 + 3.5 * rng.uniform01();
+      return {"erdos-renyi(" + u64(n) + ")",
+              graph::erdos_renyi(n, c / static_cast<double>(n), rng)};
+    }
+    case 4: {
+      const auto m = static_cast<graph::EdgeId>(rng.next_below(2 * n + 1));
+      return {"gnm(" + u64(n) + "," + u64(m) + ")", graph::erdos_renyi_gnm(n, m, rng)};
+    }
+    case 5: {
+      const auto d = static_cast<std::uint32_t>(3 + rng.next_below(3));
+      return {"near-regular(" + u64(n) + "," + u64(d) + ")",
+              graph::random_near_regular(n, d, rng)};
+    }
+    case 6: {
+      const VertexId a = n / 2;
+      const VertexId b = n - a;
+      return {"random-bipartite(" + u64(a) + "," + u64(b) + ")",
+              graph::random_bipartite(std::max<VertexId>(a, 1), std::max<VertexId>(b, 1),
+                                      3.0 / static_cast<double>(n), rng)};
+    }
+    case 7: {
+      const auto attach = static_cast<std::uint32_t>(1 + rng.next_below(3));
+      return {"barabasi-albert(" + u64(n) + "," + u64(attach) + ")",
+              graph::barabasi_albert(std::max<VertexId>(n, attach + 2), attach, rng)};
+    }
+    case 8: {
+      const VertexId paths = static_cast<VertexId>(2 + rng.next_below(4));
+      const VertexId len = std::max<VertexId>(2, k + static_cast<VertexId>(rng.next_below(2)));
+      return {"theta(" + u64(paths) + "," + u64(len) + ")", graph::theta(paths, len)};
+    }
+    case 9: {
+      const VertexId side = std::max<VertexId>(2, static_cast<VertexId>(2 + rng.next_below(5)));
+      return {"grid(" + u64(side) + "," + u64(side + 1) + ")", graph::grid(side, side + 1)};
+    }
+    case 10: {
+      const VertexId side = static_cast<VertexId>(3 + rng.next_below(4));
+      return {"torus(" + u64(side) + "," + u64(side) + ")", graph::torus(side, side)};
+    }
+    case 11: {
+      const auto dim = static_cast<std::uint32_t>(2 + rng.next_below(4));
+      return {"hypercube(" + u64(dim) + ")", graph::hypercube(dim)};
+    }
+    case 12: {
+      const VertexId cn = std::max<VertexId>(5, n / 2);
+      const VertexId off = 2 + static_cast<VertexId>(rng.next_below(std::max<VertexId>(
+                                   1, cn / 2 > 2 ? cn / 2 - 2 : 1)));
+      return {"circulant(" + u64(cn) + ",{1," + u64(off) + "})",
+              graph::circulant(cn, {1, off})};
+    }
+    case 13: {
+      const VertexId cn = static_cast<VertexId>(4 + rng.next_below(7));
+      return {"complete(" + u64(cn) + ")", graph::complete(cn)};
+    }
+    case 14: {
+      const VertexId a = static_cast<VertexId>(2 + rng.next_below(5));
+      const VertexId b = static_cast<VertexId>(2 + rng.next_below(5));
+      return {"complete-bipartite(" + u64(a) + "," + u64(b) + ")",
+              graph::complete_bipartite(a, b)};
+    }
+    case 15:
+      return {"large-girth(" + u64(n) + "," + u64(length + 1) + ")",
+              graph::large_girth_graph(n, length + 1, rng)};
+    case 16: {
+      const VertexId hosted = std::max<VertexId>(n, length + 2);
+      return {"planted-light(" + u64(hosted) + "," + u64(length) + ")",
+              graph::planted_light_cycle(hosted, length, rng).graph};
+    }
+    default: {
+      const std::uint32_t hub = 4 + static_cast<std::uint32_t>(rng.next_below(n / 2 + 1));
+      const VertexId hosted = std::max<VertexId>(n, length + hub);
+      return {"planted-heavy(" + u64(hosted) + "," + u64(length) + "," + u64(hub) + ")",
+              graph::planted_heavy_cycle(hosted, length, hub, rng).graph};
+    }
+  }
+}
+
+/// One mutation step; may return the graph unchanged when the operator does
+/// not apply (e.g. planting into a too-small graph).
+Graph mutate_once(Graph g, std::uint32_t k, std::string& recipe, Rng& rng) {
+  const std::uint32_t length = 2 * k;
+  switch (rng.next_below(8)) {
+    case 0: {
+      const std::uint32_t deltas[] = {0, 0, 1, 2};  // bias toward the target
+      const std::uint32_t len =
+          std::max<std::uint32_t>(3, length - 1 + deltas[rng.next_below(4)]);
+      if (g.vertex_count() < len) return g;
+      recipe += " |> plant-cycle(" + u64(len) + ")";
+      return graph::plant_cycle(g, len, rng).graph;
+    }
+    case 1: {
+      const auto count = static_cast<graph::EdgeId>(1 + rng.next_below(3));
+      recipe += " |> drop-edges(" + u64(count) + ")";
+      return graph::without_edges(g, count, rng);
+    }
+    case 2: {
+      const auto swaps = static_cast<std::uint32_t>(1 + rng.next_below(8));
+      recipe += " |> rewire(" + u64(swaps) + ")";
+      return graph::rewired(g, swaps, rng);
+    }
+    case 3: {
+      if (g.edge_count() > 160) return g;  // subdivision doubles m
+      recipe += " |> subdivide(1)";
+      return graph::subdivide(g, 1);
+    }
+    case 4: {
+      const auto count = static_cast<graph::EdgeId>(1 + rng.next_below(3));
+      recipe += " |> add-chords(" + u64(count) + ")";
+      return graph::with_extra_edges(g, count, rng);
+    }
+    case 5: {
+      // Union with a small sibling family keeps multi-component coverage.
+      Rng sibling_rng = rng.split();
+      const auto which = static_cast<std::uint32_t>(rng.next_below(kBaseFamilies));
+      auto sibling = build_base(which, k, 12, sibling_rng);
+      if (g.vertex_count() + sibling.graph.vertex_count() > 256) return g;
+      recipe += " |> union(" + sibling.recipe + ")";
+      return graph::disjoint_union(g, sibling.graph);
+    }
+    case 6: {
+      // Degree skew: hang a burst of leaves off one random vertex.
+      if (g.vertex_count() == 0 || g.vertex_count() > 200) return g;
+      const auto hub = static_cast<VertexId>(rng.next_below(g.vertex_count()));
+      const auto leaves = static_cast<std::uint32_t>(2 + rng.next_below(12));
+      graph::GraphBuilder b(g.vertex_count());
+      for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+        const auto [u, v] = g.edge(e);
+        b.add_edge(u, v);
+      }
+      for (std::uint32_t i = 0; i < leaves; ++i) b.add_edge(hub, b.add_vertex());
+      recipe += " |> skew(" + u64(hub) + "," + u64(leaves) + ")";
+      return std::move(b).build();
+    }
+    default: {
+      // Break a cycle: delete one edge incident to a max-degree vertex
+      // (cheap proxy for "remove a planted cycle edge"; distinct from
+      // drop-edges, which deletes uniformly over all edges).
+      if (g.edge_count() == 0) return g;
+      VertexId hub = 0;
+      for (VertexId v = 1; v < g.vertex_count(); ++v)
+        if (g.degree(v) > g.degree(hub)) hub = v;
+      const auto incident = g.incident_edges(hub);
+      const auto e = incident[static_cast<std::size_t>(rng.next_below(incident.size()))];
+      graph::GraphBuilder b(g.vertex_count());
+      for (graph::EdgeId i = 0; i < g.edge_count(); ++i) {
+        if (i == e) continue;
+        const auto [u, v] = g.edge(i);
+        b.add_edge(u, v);
+      }
+      recipe += " |> cut-edge(" + u64(e) + ")";
+      return std::move(b).build();
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t base_family_count() { return kBaseFamilies; }
+
+FuzzInstance random_instance(std::uint32_t k, const MutationOptions& options, Rng& rng) {
+  const VertexId n = draw_scale(options.max_nodes, rng);
+  const auto which = static_cast<std::uint32_t>(rng.next_below(kBaseFamilies));
+  auto base = build_base(which, k, n, rng);
+  FuzzInstance instance{std::move(base.graph), std::move(base.recipe)};
+  const auto mutations =
+      static_cast<std::uint32_t>(rng.next_below(options.max_mutations + 1));
+  for (std::uint32_t m = 0; m < mutations; ++m)
+    instance.graph = mutate_once(std::move(instance.graph), k, instance.recipe, rng);
+  return instance;
+}
+
+}  // namespace evencycle::fuzz

@@ -1,0 +1,44 @@
+// Randomized instance generation for the differential fuzzer.
+//
+// Every fuzz run starts from a base family (a widened version of the
+// harness generator palette: cycles around the critical lengths, skewed and
+// bipartite families, extremal C4-free incidence graphs, ...) and applies a
+// short random chain of structure-preserving-or-breaking mutations (cycle
+// planting/removal, degree-preserving rewiring, subdivision, chords,
+// disjoint unions, leaf skew). The human-readable `recipe` records the
+// exact chain for corpus provenance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::fuzz {
+
+using graph::Graph;
+using graph::VertexId;
+
+struct FuzzInstance {
+  Graph graph;
+  /// Provenance: "base-family(args) |> mutation(args) |> ...".
+  std::string recipe;
+};
+
+struct MutationOptions {
+  /// Upper bound on the base-family scale (actual vertex counts may differ
+  /// for structured families and grow slightly under unions/subdivision).
+  VertexId max_nodes = 96;
+  /// Mutations applied after the base family: uniform in [0, max_mutations].
+  std::uint32_t max_mutations = 3;
+};
+
+/// Draws one instance for target cycle length 2k. All randomness comes from
+/// `rng`: the same (k, options, rng state) reproduces the same instance.
+FuzzInstance random_instance(std::uint32_t k, const MutationOptions& options, Rng& rng);
+
+/// Number of distinct base families (exposed for coverage tests).
+std::uint32_t base_family_count();
+
+}  // namespace evencycle::fuzz

@@ -1,0 +1,37 @@
+#include "fuzz/oracle.hpp"
+
+#include "graph/analysis.hpp"
+#include "graph/cycle_search.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::fuzz {
+
+OracleResult oracle_analyze(const graph::Graph& g, std::uint32_t k,
+                            const OracleOptions& options, Rng& rng) {
+  EC_REQUIRE(k >= 2, "oracle: k must be at least 2");
+  const std::uint32_t length = 2 * k;
+  OracleResult result;
+  result.girth = graph::girth(g);
+  result.has_cycle_at_most = result.girth.has_value() && *result.girth <= length;
+
+  if (!result.girth.has_value() || *result.girth > length) {
+    // Girth above 2k (or forest): certainly no C_{2k}.
+    result.has_even_cycle = false;
+  } else if (*result.girth == length) {
+    // A shortest cycle of length exactly 2k is itself the witness.
+    result.has_even_cycle = true;
+  } else {
+    try {
+      result.has_even_cycle = graph::contains_cycle_exact(g, length, options.max_expansions);
+    } catch (const SimulationError&) {
+      // Work bound exhausted: color coding, one-sided (true is a witness,
+      // false is whp-correct at fallback_delta).
+      const auto trials = graph::color_coding_trials(length, options.fallback_delta);
+      result.has_even_cycle = graph::contains_cycle_color_coding(g, length, rng, trials);
+      result.exact = result.has_even_cycle;  // a found witness is still exact
+    }
+  }
+  return result;
+}
+
+}  // namespace evencycle::fuzz

@@ -1,0 +1,41 @@
+// Sequential ground truth for the differential fuzzer.
+//
+// The distributed detectors under test are randomized; the fuzzer's oracle
+// is the centralized machinery of graph/: exact girth (BFS, always exact)
+// plus exact DFS cycle search for C_{2k} with a work bound, falling back to
+// sequential color coding (one-sided, whp) when the bound is exhausted.
+// `exact` records which path produced the answer so the cross-check can
+// weigh a mismatch accordingly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::fuzz {
+
+struct OracleResult {
+  bool has_even_cycle = false;     ///< contains C_{2k} (exactly length 2k)
+  bool has_cycle_at_most = false;  ///< girth <= 2k (any length in [3, 2k])
+  std::optional<std::uint32_t> girth;  ///< nullopt = forest
+  /// True when has_even_cycle came from the exact search (or was decided by
+  /// the girth alone); false when the color-coding fallback answered "no"
+  /// (whp-correct, failure probability <= the delta passed in).
+  bool exact = true;
+};
+
+struct OracleOptions {
+  /// DFS work bound before falling back to color coding.
+  std::uint64_t max_expansions = 4'000'000;
+  /// Color-coding failure probability target for the fallback.
+  double fallback_delta = 1e-9;
+};
+
+/// Ground truth for target cycle length 2k. Deterministic given (g, k,
+/// options, rng state); rng is consumed only on the fallback path.
+OracleResult oracle_analyze(const graph::Graph& g, std::uint32_t k,
+                            const OracleOptions& options, Rng& rng);
+
+}  // namespace evencycle::fuzz

@@ -1,0 +1,71 @@
+#include "fuzz/shrink.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace evencycle::fuzz {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+Graph remove_vertex(const Graph& g, VertexId v) {
+  EC_REQUIRE(v < g.vertex_count(), "remove_vertex: no such vertex");
+  std::vector<bool> keep(g.vertex_count(), true);
+  keep[v] = false;
+  return g.induced_subgraph(keep).graph;
+}
+
+Graph remove_edge(const Graph& g, EdgeId e) {
+  EC_REQUIRE(e < g.edge_count(), "remove_edge: no such edge");
+  GraphBuilder b(g.vertex_count());
+  for (EdgeId i = 0; i < g.edge_count(); ++i) {
+    if (i == e) continue;
+    const auto [u, v] = g.edge(i);
+    b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+ShrinkResult shrink_counterexample(const Graph& g, const ShrinkPredicate& predicate,
+                                   const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.graph = g;
+  EC_REQUIRE(predicate(result.graph), "shrink: the input does not fail the predicate");
+  ++result.evaluations;
+
+  bool progressed = true;
+  while (progressed && result.evaluations < options.max_evaluations) {
+    progressed = false;
+    // Vertex pass, highest id first so accepted deletions do not disturb
+    // the ids still queued in this pass.
+    for (VertexId v = result.graph.vertex_count();
+         v-- > 0 && result.evaluations < options.max_evaluations;) {
+      if (result.graph.vertex_count() <= 1) break;
+      Graph candidate = remove_vertex(result.graph, v);
+      ++result.evaluations;
+      if (predicate(candidate)) {
+        result.graph = std::move(candidate);
+        ++result.vertices_removed;
+        progressed = true;
+      }
+    }
+    // Edge pass, same discipline.
+    for (EdgeId e = result.graph.edge_count();
+         e-- > 0 && result.evaluations < options.max_evaluations;) {
+      Graph candidate = remove_edge(result.graph, e);
+      ++result.evaluations;
+      if (predicate(candidate)) {
+        result.graph = std::move(candidate);
+        ++result.edges_removed;
+        progressed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace evencycle::fuzz

@@ -1,0 +1,45 @@
+// Greedy counterexample minimization.
+//
+// Given a failing instance and a predicate "this graph still exhibits the
+// mismatch", the shrinker alternates vertex-deletion and edge-deletion
+// passes until neither makes progress (1-minimality: no single vertex or
+// edge can be removed). The predicate re-runs detector + oracle, so every
+// accepted deletion preserves the *confirmed* mismatch, not just a
+// syntactic property.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.hpp"
+
+namespace evencycle::fuzz {
+
+/// Returns true when the candidate graph still exhibits the failure.
+using ShrinkPredicate = std::function<bool(const graph::Graph&)>;
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations (randomized predicates are not
+  /// free); the pass loop stops early when exhausted.
+  std::uint64_t max_evaluations = 20'000;
+};
+
+struct ShrinkResult {
+  graph::Graph graph;                   ///< 1-minimal failing instance
+  std::uint64_t evaluations = 0;        ///< predicate calls spent
+  std::uint32_t vertices_removed = 0;
+  std::uint32_t edges_removed = 0;
+};
+
+/// `predicate(g)` must be true on entry (checked). The result's graph still
+/// satisfies the predicate.
+ShrinkResult shrink_counterexample(const graph::Graph& g, const ShrinkPredicate& predicate,
+                                   const ShrinkOptions& options = {});
+
+/// g minus vertex v (ids above v shift down by one). Exposed for tests.
+graph::Graph remove_vertex(const graph::Graph& g, graph::VertexId v);
+
+/// g minus undirected edge e. Exposed for tests.
+graph::Graph remove_edge(const graph::Graph& g, graph::EdgeId e);
+
+}  // namespace evencycle::fuzz

@@ -339,6 +339,92 @@ Planted planted_heavy_cycle(VertexId n, std::uint32_t length, std::uint32_t hub_
   return result;
 }
 
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  GraphBuilder builder(a.vertex_count() + b.vertex_count());
+  for (EdgeId e = 0; e < a.edge_count(); ++e) {
+    const auto [u, v] = a.edge(e);
+    builder.add_edge(u, v);
+  }
+  const VertexId shift = a.vertex_count();
+  for (EdgeId e = 0; e < b.edge_count(); ++e) {
+    const auto [u, v] = b.edge(e);
+    builder.add_edge(shift + u, shift + v);
+  }
+  return std::move(builder).build();
+}
+
+Graph rewired(const Graph& g, std::uint32_t swaps, Rng& rng) {
+  if (g.edge_count() < 2) return without_edges(g, 0, rng);  // copy
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) edges.push_back(g.edge(e));
+  std::set<std::pair<VertexId, VertexId>> present(edges.begin(), edges.end());
+  const auto ordered = [](VertexId u, VertexId v) {
+    return u < v ? std::pair{u, v} : std::pair{v, u};
+  };
+  for (std::uint32_t s = 0; s < swaps; ++s) {
+    const auto i = static_cast<std::size_t>(rng.next_below(edges.size()));
+    const auto j = static_cast<std::size_t>(rng.next_below(edges.size()));
+    if (i == j) continue;
+    auto [a, b] = edges[i];
+    auto [c, d] = edges[j];
+    if (rng.bernoulli(0.5)) std::swap(c, d);  // both swap orientations reachable
+    // ({a,b},{c,d}) -> ({a,c},{b,d}); keep the graph simple.
+    if (a == c || a == d || b == c || b == d) continue;
+    const auto ac = ordered(a, c);
+    const auto bd = ordered(b, d);
+    if (present.count(ac) != 0 || present.count(bd) != 0) continue;
+    present.erase(edges[i]);
+    present.erase(edges[j]);
+    present.insert(ac);
+    present.insert(bd);
+    edges[i] = ac;
+    edges[j] = bd;
+  }
+  GraphBuilder builder(g.vertex_count());
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return std::move(builder).build();
+}
+
+Graph with_extra_edges(const Graph& g, EdgeId count, Rng& rng) {
+  const VertexId n = g.vertex_count();
+  GraphBuilder builder(n);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.edge(e);
+    builder.add_edge(u, v);
+  }
+  if (n >= 2) {
+    // Rejection sampling with a bounded number of attempts: near-complete
+    // graphs would otherwise loop, and the fuzzer is happy with "up to".
+    EdgeId added = 0;
+    for (EdgeId attempt = 0; attempt < 8 * count + 32 && added < count; ++attempt) {
+      const auto u = static_cast<VertexId>(rng.next_below(n));
+      const auto v = static_cast<VertexId>(rng.next_below(n));
+      if (u == v || builder.has_edge(u, v)) continue;
+      builder.add_edge(u, v);
+      ++added;
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph without_edges(const Graph& g, EdgeId count, Rng& rng) {
+  std::vector<EdgeId> keep(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) keep[e] = e;
+  rng.shuffle(keep);
+  if (count < keep.size()) {
+    keep.resize(keep.size() - count);
+  } else {
+    keep.clear();
+  }
+  GraphBuilder builder(g.vertex_count());
+  for (const EdgeId e : keep) {
+    const auto [u, v] = g.edge(e);
+    builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
 Graph large_girth_graph(VertexId approx_n, std::uint32_t min_girth, Rng& rng) {
   EC_REQUIRE(min_girth >= 3, "min_girth must be at least 3");
   const std::uint32_t extra = min_girth / 3 + 1;  // girth >= 3*(extra+1) > min_girth

@@ -58,6 +58,27 @@ Graph projective_plane_incidence(std::uint32_t q);
 /// vertices, multiplying the girth by extra+1.
 Graph subdivide(const Graph& g, std::uint32_t extra);
 
+// --- mutation operators -------------------------------------------------------
+// Structure-perturbing operators used by the differential fuzzer
+// (src/fuzz/mutation.hpp) to explore the instance space around every base
+// family: they compose freely and always return a valid simple graph.
+
+/// Disjoint union: b's vertices are relabelled to a.vertex_count() + v.
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// Degree-preserving rewiring: up to `swaps` double-edge swaps
+/// ({a,b},{c,d}) -> ({a,c},{b,d}), each applied only when the result stays
+/// simple (no loops, no parallel edges). Fewer than `swaps` may apply on
+/// small or rigid graphs.
+Graph rewired(const Graph& g, std::uint32_t swaps, Rng& rng);
+
+/// Adds up to `count` uniformly random non-edges (chords). Saturated
+/// graphs gain fewer.
+Graph with_extra_edges(const Graph& g, EdgeId count, Rng& rng);
+
+/// Deletes `count` uniformly random edges (all edges when count >= m).
+Graph without_edges(const Graph& g, EdgeId count, Rng& rng);
+
 // --- randomized families ----------------------------------------------------
 
 /// Erdős–Rényi G(n, p).

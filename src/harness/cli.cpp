@@ -6,6 +6,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "fuzz/corpus.hpp"
+#include "fuzz/fuzzer.hpp"
 #include "harness/json.hpp"
 #include "harness/registry.hpp"
 #include "harness/runner.hpp"
@@ -21,7 +23,11 @@ int usage(std::ostream& os) {
         "  evencycle list\n"
         "  evencycle run <scenario> [--seeds N] [--threads T] [--nodes N]\n"
         "                [--batch B] [--seed S] [--json] [--no-timing] [--out FILE]\n"
-        "  evencycle compare <baseline.json> <current.json> [--max-regression R]\n";
+        "  evencycle compare <baseline.json> <current.json> [--max-regression R]\n"
+        "  evencycle fuzz [--minutes M] [--runs N] [--seed S] [--corpus DIR]\n"
+        "                 [--max-nodes N] [--mutate-engine] [--json] [--out FILE]\n"
+        "  evencycle replay <corpus.json> [more.json ...]\n"
+        "  evencycle bless-baseline [--out FILE] [run flags ...]\n";
   return 2;
 }
 
@@ -296,6 +302,171 @@ int compare_command(int argc, char** argv, int first) {
   }
 }
 
+int fuzz_command(int argc, char** argv, int first) {
+  fuzz::FuzzOptions options;
+  options.minutes = 0.0;  // resolved below: default 1 minute unless --runs given
+  bool json = false;
+  std::string out;
+  try {
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value_of = [&](const char* flag) {
+        EC_REQUIRE(i + 1 < argc, std::string(flag) + " needs a value");
+        return std::string(argv[++i]);
+      };
+      if (arg == "--minutes") {
+        const std::string text = value_of("--minutes");
+        std::size_t consumed = 0;
+        options.minutes = std::stod(text, &consumed);
+        EC_REQUIRE(consumed == text.size() && options.minutes >= 0,
+                   "malformed --minutes value: " + text);
+      } else if (arg == "--runs") {
+        options.max_instances = parse_u64(value_of("--runs"), ~std::uint64_t{0});
+      } else if (arg == "--seed") {
+        options.seed = parse_u64(value_of("--seed"), ~std::uint64_t{0});
+      } else if (arg == "--corpus") {
+        options.corpus_dir = value_of("--corpus");
+      } else if (arg == "--max-nodes") {
+        options.max_nodes =
+            static_cast<std::uint32_t>(parse_u64(value_of("--max-nodes"), kU32Max));
+        EC_REQUIRE(options.max_nodes >= 8, "--max-nodes must be at least 8");
+      } else if (arg == "--mutate-engine") {
+        options.mutate_engine = true;
+      } else if (arg == "--json") {
+        json = true;
+      } else if (arg == "--out") {
+        out = value_of("--out");
+      } else {
+        EC_REQUIRE(false, "unknown flag: " + arg);
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return usage(std::cerr);
+  }
+  if (options.minutes == 0.0 && options.max_instances == 0) options.minutes = 1.0;
+  options.progress = &std::cerr;
+
+  fuzz::FuzzReport report;
+  try {
+    report = fuzz::run_fuzzer(options);
+  } catch (const std::exception& error) {
+    std::cerr << "fuzz failed: " << error.what() << "\n";
+    return 1;
+  }
+
+  std::ostringstream body;
+  if (json) {
+    body << fuzz::fuzz_report_to_json(report) << "\n";
+  } else {
+    fuzz::print_fuzz_report(body, report);
+  }
+  if (out.empty()) {
+    std::cout << body.str();
+  } else {
+    std::ofstream file(out);
+    if (!file) {
+      std::cerr << "cannot open --out file: " << out << "\n";
+      return 1;
+    }
+    file << body.str();
+    std::cerr << "wrote " << out << "\n";
+  }
+
+  if (options.mutate_engine) {
+    // Self-test: the fuzzer must prove it is live by catching the planted
+    // off-by-one and shrinking it to a small witness.
+    if (report.mismatches == 0) {
+      std::cerr << "mutate-engine self-test FAILED: planted bug not caught\n";
+      return 1;
+    }
+    if (report.smallest_counterexample == 0 || report.smallest_counterexample > 12) {
+      std::cerr << "mutate-engine self-test FAILED: counterexample not minimized (got "
+                << report.smallest_counterexample << " vertices, need <= 12)\n";
+      return 1;
+    }
+    std::cerr << "mutate-engine self-test passed: planted bug caught and shrunk to "
+              << report.smallest_counterexample << " vertices\n";
+    return 0;
+  }
+  return report.mismatches == 0 ? 0 : 1;
+}
+
+int replay_command(int argc, char** argv, int first) {
+  if (argc - first < 1) return usage(std::cerr);
+  int mismatches = 0;
+  for (int i = first; i < argc; ++i) {
+    try {
+      const auto ce = fuzz::load_counterexample(argv[i]);
+      const auto outcome = fuzz::replay_counterexample(ce);
+      std::cout << argv[i] << " (" << ce.kind << ", " << ce.detector << ", k=" << ce.k
+                << "):\n"
+                << outcome.detail;
+      if (outcome.mismatch) ++mismatches;
+    } catch (const std::exception& error) {
+      std::cerr << argv[i] << ": replay failed: " << error.what() << "\n";
+      ++mismatches;
+    }
+  }
+  std::cout << (mismatches == 0 ? "PASS" : "FAIL") << ": " << (argc - first)
+            << " documents replayed, " << mismatches << " mismatches\n";
+  return mismatches == 0 ? 0 : 1;
+}
+
+int bless_baseline_command(int argc, char** argv, int first) {
+  // Defaults mirror the CI perf job: the engine-scaling scenario at its
+  // stock parameters, timing on, JSON out.
+  std::string out = "bench/baseline.json";
+  std::vector<char*> forwarded;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::cerr << "--out needs a value\n";
+        return usage(std::cerr);
+      }
+      out = argv[++i];
+    } else {
+      forwarded.push_back(argv[i]);
+    }
+  }
+  RunFlags flags;
+  try {
+    flags = parse_run_flags(static_cast<int>(forwarded.size()), forwarded.data(), 0);
+    EC_REQUIRE(flags.options.with_timing,
+               "--no-timing makes no sense for a perf baseline");
+    EC_REQUIRE(flags.out.empty(), "use --out before the run flags");
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return usage(std::cerr);
+  }
+
+  ScenarioResult result;
+  try {
+    result = run_scenario("engine-scaling", flags.options);
+  } catch (const std::exception& error) {
+    std::cerr << "bless-baseline: engine-scaling failed: " << error.what() << "\n";
+    return 1;
+  }
+  for (const auto& cell : result.cells) {
+    if (!cell.result.ok) {
+      std::cerr << "bless-baseline: refusing to bless a run with failed cells: "
+                << cell.result.error << "\n";
+      return 1;
+    }
+  }
+  std::ofstream file(out);
+  if (!file) {
+    std::cerr << "cannot open --out file: " << out << "\n";
+    return 1;
+  }
+  write_json(file, result, /*with_timing=*/true);
+  std::cerr << "blessed new baseline: " << out << " (" << result.cells.size()
+            << " cells)\n"
+            << "commit it to refresh the CI perf gate.\n";
+  return 0;
+}
+
 }  // namespace
 
 int cli_main(int argc, char** argv) {
@@ -314,6 +485,15 @@ int cli_main(int argc, char** argv) {
   }
   if (command == "compare") {
     return compare_command(argc, argv, 2);
+  }
+  if (command == "fuzz") {
+    return fuzz_command(argc, argv, 2);
+  }
+  if (command == "replay") {
+    return replay_command(argc, argv, 2);
+  }
+  if (command == "bless-baseline") {
+    return bless_baseline_command(argc, argv, 2);
   }
   if (command == "--help" || command == "-h" || command == "help") {
     usage(std::cout);

@@ -5,6 +5,10 @@
 //   evencycle run <scenario> [--seeds N] [--threads T] [--nodes N]
 //                 [--batch B] [--seed S] [--json] [--no-timing] [--out FILE]
 //   evencycle compare <baseline.json> <current.json> [--max-regression R]
+//   evencycle fuzz [--minutes M] [--runs N] [--seed S] [--corpus DIR]
+//                  [--max-nodes N] [--mutate-engine] [--json] [--out FILE]
+//   evencycle replay <corpus.json> [more.json ...]
+//   evencycle bless-baseline [--out FILE] [run flags ...]
 //
 // `run` prints an aligned text table by default and the stable
 // `evencycle-bench-v1` JSON document under --json; it exits 1 when any cell
@@ -13,6 +17,15 @@
 // perf gate: it recomputes rounds-per-second per cell from two documents
 // and fails (exit 1) when any cell regressed by more than the allowed
 // fraction (default 0.25).
+//
+// `fuzz` drives the differential fuzzer (src/fuzz/): exit 0 = no oracle
+// mismatch found; exit 1 = at least one confirmed mismatch (minimized
+// counterexamples land in --corpus). Under --mutate-engine the exit code
+// inverts into a self-test: 0 iff the planted shim bug was caught and
+// shrunk to <= 12 vertices. `replay` re-runs corpus documents through the
+// oracle cross-check (exit 1 when any mismatch reproduces). `bless-baseline`
+// re-records bench/baseline.json from a fresh engine-scaling run — the one
+// documented way to refresh the perf gate's baseline.
 #pragma once
 
 #include <string>

@@ -290,6 +290,50 @@ std::string json_number(double value) {
   return std::string(buf, ptr);
 }
 
+void write_json_value(std::ostream& os, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      os << "null";
+      break;
+    case JsonValue::Kind::kBool:
+      os << (value.as_bool() ? "true" : "false");
+      break;
+    case JsonValue::Kind::kNumber:
+      os << json_number(value.as_number());
+      break;
+    case JsonValue::Kind::kString:
+      os << '"' << json_escape(value.as_string()) << '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      os << '[';
+      const auto& items = value.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) os << ',';
+        write_json_value(os, items[i]);
+      }
+      os << ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      os << '{';
+      const auto& members = value.members();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i != 0) os << ',';
+        os << '"' << json_escape(members[i].first) << "\":";
+        write_json_value(os, members[i].second);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string to_json(const JsonValue& value) {
+  std::ostringstream os;
+  write_json_value(os, value);
+  return os.str();
+}
+
 namespace {
 
 void write_labels(std::ostream& os, const Labels& labels) {

@@ -62,6 +62,12 @@ JsonValue parse_json(const std::string& text);
 /// JSON string escaping (quotes, backslash, control characters).
 std::string json_escape(const std::string& text);
 
+/// Serializes any JsonValue compactly (single line, document order
+/// preserved). Round-trips through parse_json; the fuzz-corpus documents
+/// (src/fuzz/corpus.hpp) are written with this.
+void write_json_value(std::ostream& os, const JsonValue& value);
+std::string to_json(const JsonValue& value);
+
 /// Shortest-round-trip formatting for doubles (JSON number token).
 std::string json_number(double value);
 

@@ -67,6 +67,29 @@ std::vector<NamedGenerator> make_generators(std::uint32_t k) {
        [length](VertexId n, Rng& rng) {
          return graph::large_girth_graph(n, length + 1, rng);
        }},
+      {"random-bipartite",
+       [](VertexId n, Rng& rng) {
+         const VertexId a = std::max<VertexId>(n / 2, 1);
+         const VertexId b = std::max<VertexId>(n - a, 1);
+         return graph::random_bipartite(a, b, 3.0 / static_cast<double>(n), rng);
+       }},
+      {"circulant",
+       [k](VertexId n, Rng&) {
+         // C_n(1, k): known short-cycle structure (1, k) closes C_{2k} via
+         // k unit steps against one k-step whenever n > 2k.
+         const VertexId cn = std::max<VertexId>(n, 2 * k + 1);
+         return graph::circulant(cn, {1, static_cast<VertexId>(k)});
+       }},
+      {"disjoint-cycles",
+       [length](VertexId n, Rng&) {
+         // Multi-component control: C_{2k} + C_{2k+1} + one long cycle
+         // soaking up the rest of the vertex budget.
+         graph::Graph g = graph::disjoint_union(graph::cycle(length),
+                                                graph::cycle(length + 1));
+         if (n > 2 * length + 4)
+           g = graph::disjoint_union(g, graph::cycle(n - 2 * length - 1));
+         return g;
+       }},
   };
 }
 
@@ -113,7 +136,11 @@ CellResult run_derandomized(const graph::Graph& g, std::uint32_t k, Rng& rng) {
   core::PracticalTuning tuning;
   tuning.repetitions = 64;
   const auto params = core::Params::practical(k, n, tuning);
-  const core::AffineColoringFamily family(n, 2 * k, tuning.repetitions);
+  // The family universe is the exact vertex set — its colorings are indexed
+  // by vertex id, so padding it to the params floor would crash on graphs
+  // smaller than 4 vertices (found by `evencycle fuzz`).
+  const core::AffineColoringFamily family(std::max<VertexId>(g.vertex_count(), 1), 2 * k,
+                                          tuning.repetitions);
   return from_detection_report(core::detect_even_cycle_derandomized(g, params, family, rng));
 }
 

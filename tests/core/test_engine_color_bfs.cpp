@@ -55,7 +55,32 @@ TEST(EngineColorBfs, RoundCountMatchesSchedule) {
   spec.colors = &colors;
   congest::Network net(g);
   const auto result = run_color_bfs_on_engine(net, spec);
-  EXPECT_EQ(result.rounds, 2u + 3u * 5u);
+  // 2 setup rounds + 3 windows of tau, + 1 delivery round for the last
+  // window's sends to reach the meet node before it compares.
+  EXPECT_EQ(result.rounds, 3u + 3u * 5u);
+}
+
+TEST(EngineColorBfs, FullFinalWindowStillReachesTheMeetNode) {
+  // Regression for the off-by-one the differential fuzzer found: with
+  // tau = 1 every interior node forwards a full window (|I_v| = tau), whose
+  // only send lands one round after the window closes. The meet comparison
+  // must wait for that delivery — before the fix it ran a round early and
+  // a perfectly colored C4 went undetected at tau = 1.
+  for (std::uint64_t tau : {1u, 2u}) {
+    const Graph g = graph::cycle(4);
+    std::vector<std::uint8_t> colors{0, 1, 2, 3};
+    ColorBfsSpec spec;
+    spec.cycle_length = 4;
+    spec.threshold = tau;
+    spec.colors = &colors;
+    Rng fast_rng(7);
+    const auto fast = run_color_bfs(g, spec, fast_rng);
+    congest::Network net(g);
+    const auto engine = run_color_bfs_on_engine(net, spec);
+    EXPECT_TRUE(fast.rejected) << "tau " << tau;
+    EXPECT_TRUE(engine.rejected) << "tau " << tau;
+    EXPECT_EQ(fast.rejecting_nodes, engine.rejecting_nodes) << "tau " << tau;
+  }
 }
 
 TEST(EngineColorBfs, AgreesWithFastImplOnRandomGraphs) {

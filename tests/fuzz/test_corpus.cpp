@@ -1,0 +1,96 @@
+#include "fuzz/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/detectors.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::fuzz {
+namespace {
+
+Counterexample sample_ce() {
+  Counterexample ce;
+  ce.kind = "soundness";
+  ce.detector = "shim-off-by-one";
+  ce.k = 2;
+  ce.seed = 0xFFFFFFFFFFFFFFFDULL;  // deliberately above 2^53
+  ce.detector_verdict = true;
+  ce.oracle_even = false;
+  ce.oracle_bounded = false;
+  ce.recipe = "cycle(5)";
+  ce.note = "hand-built for the round-trip test";
+  ce.graph = graph::cycle(5);
+  return ce;
+}
+
+TEST(FuzzCorpus, JsonRoundTripPreservesEverything) {
+  const auto ce = sample_ce();
+  const auto parsed = counterexample_from_json(to_json(ce));
+  EXPECT_EQ(parsed.kind, ce.kind);
+  EXPECT_EQ(parsed.detector, ce.detector);
+  EXPECT_EQ(parsed.k, ce.k);
+  // Full 64-bit fidelity: seeds travel as strings, not doubles.
+  EXPECT_EQ(parsed.seed, ce.seed);
+  EXPECT_EQ(parsed.detector_verdict, ce.detector_verdict);
+  EXPECT_EQ(parsed.recipe, ce.recipe);
+  ASSERT_EQ(parsed.graph.vertex_count(), ce.graph.vertex_count());
+  ASSERT_EQ(parsed.graph.edge_count(), ce.graph.edge_count());
+  for (graph::EdgeId e = 0; e < ce.graph.edge_count(); ++e)
+    EXPECT_EQ(parsed.graph.edge(e), ce.graph.edge(e));
+}
+
+TEST(FuzzCorpus, WriteIsIdempotentAndLoadable) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "evencycle-corpus-test").string();
+  std::filesystem::remove_all(dir);
+  const auto ce = sample_ce();
+  const auto path_a = write_counterexample(ce, dir);
+  const auto path_b = write_counterexample(ce, dir);
+  EXPECT_EQ(path_a, path_b);  // content-derived name: re-finding is a no-op
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+  const auto loaded = load_counterexample(path_a);
+  EXPECT_EQ(loaded.seed, ce.seed);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzCorpus, ReplayReproducesAShimSoundnessBug) {
+  // C5 + the off-by-one shim: the counterexample the --mutate-engine
+  // self-test plants must keep reproducing through replay.
+  const auto outcome = replay_counterexample(sample_ce());
+  EXPECT_TRUE(outcome.mismatch);
+  EXPECT_NE(outcome.detail.find("soundness"), std::string::npos);
+}
+
+TEST(FuzzCorpus, ReplayRejectsUnknownDetectors) {
+  auto ce = sample_ce();
+  ce.detector = "no-such-detector";
+  EXPECT_THROW(replay_counterexample(ce), InvalidArgument);
+}
+
+// The permanent regression corpus: every checked-in document must replay
+// clean — the oracle cross-check over all detectors finds no mismatch.
+TEST(FuzzCorpus, CheckedInRegressionCorpusReplaysClean) {
+  const std::string dir = EVENCYCLE_FUZZ_CORPUS_DIR;
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".json") paths.push_back(entry.path().string());
+  ASSERT_GE(paths.size(), 5u) << "the seed corpus must keep >= 5 instances";
+  for (const auto& path : paths) {
+    const auto ce = load_counterexample(path);
+    const auto outcome = replay_counterexample(ce);
+    EXPECT_FALSE(outcome.mismatch) << path << "\n" << outcome.detail;
+  }
+}
+
+}  // namespace
+}  // namespace evencycle::fuzz

@@ -1,0 +1,88 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "fuzz/corpus.hpp"
+#include "graph/generators.hpp"
+
+namespace evencycle::fuzz {
+namespace {
+
+TEST(Fuzzer, MutateEngineSelfTestCatchesAndShrinksThePlantedBug) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "evencycle-fuzzer-test-mutate").string();
+  std::filesystem::remove_all(dir);
+  FuzzOptions options;
+  options.minutes = 0;
+  options.max_instances = 500;  // deterministic budget; found in far fewer
+  options.seed = 7;
+  options.corpus_dir = dir;
+  options.mutate_engine = true;
+  const auto report = run_fuzzer(options);
+
+  ASSERT_GE(report.mismatches, 1u);
+  EXPECT_GE(report.smallest_counterexample, 3u);
+  EXPECT_LE(report.smallest_counterexample, 12u);  // the acceptance bound
+  ASSERT_FALSE(report.corpus_files.empty());
+
+  // The minimized counterexample must reproduce through corpus replay.
+  const auto ce = load_counterexample(report.corpus_files.front());
+  EXPECT_EQ(ce.kind, "soundness");
+  EXPECT_EQ(ce.detector, "shim-off-by-one");
+  const auto outcome = replay_counterexample(ce);
+  EXPECT_TRUE(outcome.mismatch) << outcome.detail;
+  // Minimal soundness witness for the off-by-one: the odd cycle C_{2k+1}.
+  EXPECT_EQ(ce.graph.vertex_count(), 2 * ce.k + 1);
+  EXPECT_EQ(ce.graph.edge_count(), 2 * ce.k + 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fuzzer, CleanRunOverAllDetectorsFindsNoMismatch) {
+  FuzzOptions options;
+  options.minutes = 0;
+  options.max_instances = 40;
+  options.seed = 123;
+  options.corpus_dir.clear();  // no writes from unit tests
+  options.max_nodes = 48;
+  const auto report = run_fuzzer(options);
+  EXPECT_EQ(report.instances, 40u);
+  EXPECT_EQ(report.mismatches, 0u);
+  EXPECT_GT(report.detector_runs, 0u);
+  EXPECT_GT(report.engine_checks, 0u);
+  // The exact baseline never misses; the complete detector's misses are
+  // k >= 3 territory where its claim is demoted (see fuzz/detectors.hpp).
+  EXPECT_EQ(report.detectors.front().name, "baseline-flooding");
+  EXPECT_EQ(report.detectors.front().misses, 0u);
+}
+
+TEST(Fuzzer, EngineDifferentialAgreesOnCanonicalInstances) {
+  // Direct probes of the exposed differential: perfectly colored cycles
+  // and random graphs at 1 and 4 worker threads.
+  Rng rng(5);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 0xFFFFFFFFFFFFFF01ull}) {
+    for (std::uint32_t threads : {1u, 4u}) {
+      EXPECT_EQ(engine_differential_check(graph::cycle(4), 2, seed, threads), "");
+      EXPECT_EQ(engine_differential_check(graph::cycle(6), 3, seed, threads), "");
+      const auto g = graph::erdos_renyi(30, 0.12, rng);
+      EXPECT_EQ(engine_differential_check(g, 2, seed, threads), "");
+    }
+  }
+}
+
+TEST(Fuzzer, ReportSerializesToJson) {
+  FuzzOptions options;
+  options.minutes = 0;
+  options.max_instances = 3;
+  options.seed = 9;
+  options.corpus_dir.clear();
+  const auto report = run_fuzzer(options);
+  const auto json = fuzz_report_to_json(report);
+  EXPECT_NE(json.find("\"schema\":\"evencycle-fuzz-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"instances\":3"), std::string::npos);
+  EXPECT_NE(json.find("baseline-flooding"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evencycle::fuzz

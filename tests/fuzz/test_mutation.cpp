@@ -1,0 +1,78 @@
+#include "fuzz/mutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+
+namespace evencycle::fuzz {
+namespace {
+
+TEST(FuzzMutation, SameSeedReproducesTheSameInstance) {
+  for (std::uint64_t seed : {1ull, 99ull, 0xDEADBEEFull}) {
+    Rng a(seed);
+    Rng b(seed);
+    const auto first = random_instance(2, {}, a);
+    const auto second = random_instance(2, {}, b);
+    ASSERT_EQ(first.recipe, second.recipe);
+    ASSERT_EQ(first.graph.vertex_count(), second.graph.vertex_count());
+    ASSERT_EQ(first.graph.edge_count(), second.graph.edge_count());
+    for (graph::EdgeId e = 0; e < first.graph.edge_count(); ++e)
+      ASSERT_EQ(first.graph.edge(e), second.graph.edge(e));
+  }
+}
+
+TEST(FuzzMutation, InstancesAreValidSimpleGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto k = static_cast<std::uint32_t>(2 + rng.next_below(2));
+    const auto instance = random_instance(k, {}, rng);
+    const auto& g = instance.graph;
+    EXPECT_FALSE(instance.recipe.empty());
+    std::set<std::pair<graph::VertexId, graph::VertexId>> seen;
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto [u, v] = g.edge(e);
+      EXPECT_LT(u, v);  // normalized, no self-loops
+      EXPECT_LT(v, g.vertex_count());
+      EXPECT_TRUE(seen.insert({u, v}).second) << "duplicate edge in " << instance.recipe;
+    }
+  }
+}
+
+TEST(FuzzMutation, ManySeedsCoverEveryBaseFamily) {
+  std::set<std::string> prefixes;
+  Rng rng(11);
+  for (int trial = 0; trial < 600; ++trial) {
+    const auto instance = random_instance(2, {}, rng);
+    prefixes.insert(instance.recipe.substr(0, instance.recipe.find('(')));
+  }
+  EXPECT_EQ(prefixes.size(), base_family_count());
+}
+
+TEST(FuzzMutation, MutationOperatorsPreserveSimplicity) {
+  Rng rng(13);
+  const auto base = graph::torus(4, 4);
+  const auto rewired = graph::rewired(base, 20, rng);
+  EXPECT_EQ(rewired.vertex_count(), base.vertex_count());
+  EXPECT_EQ(rewired.edge_count(), base.edge_count());  // swaps preserve m
+  // Degree sequence is preserved by double-edge swaps.
+  std::multiset<std::uint32_t> before, after;
+  for (graph::VertexId v = 0; v < base.vertex_count(); ++v) {
+    before.insert(base.degree(v));
+    after.insert(rewired.degree(v));
+  }
+  EXPECT_EQ(before, after);
+
+  const auto chorded = graph::with_extra_edges(base, 5, rng);
+  EXPECT_EQ(chorded.edge_count(), base.edge_count() + 5);
+  const auto trimmed = graph::without_edges(base, 5, rng);
+  EXPECT_EQ(trimmed.edge_count(), base.edge_count() - 5);
+
+  const auto unioned = graph::disjoint_union(base, graph::cycle(5));
+  EXPECT_EQ(unioned.vertex_count(), base.vertex_count() + 5);
+  EXPECT_EQ(unioned.edge_count(), base.edge_count() + 5);
+}
+
+}  // namespace
+}  // namespace evencycle::fuzz

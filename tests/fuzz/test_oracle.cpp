@@ -1,0 +1,84 @@
+#include "fuzz/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace evencycle::fuzz {
+namespace {
+
+OracleResult analyze(const graph::Graph& g, std::uint32_t k,
+                     const OracleOptions& options = {}) {
+  Rng rng(1);
+  return oracle_analyze(g, k, options, rng);
+}
+
+TEST(FuzzOracle, KnownFamilies) {
+  // C4: the target itself.
+  auto r = analyze(graph::cycle(4), 2);
+  EXPECT_TRUE(r.has_even_cycle);
+  EXPECT_TRUE(r.has_cycle_at_most);
+  EXPECT_TRUE(r.exact);
+  ASSERT_TRUE(r.girth.has_value());
+  EXPECT_EQ(*r.girth, 4u);
+
+  // C5: near miss for k = 2 — a cycle, but neither C4 nor girth <= 4.
+  r = analyze(graph::cycle(5), 2);
+  EXPECT_FALSE(r.has_even_cycle);
+  EXPECT_FALSE(r.has_cycle_at_most);
+  EXPECT_EQ(*r.girth, 5u);
+
+  // Trees have no girth at all.
+  Rng rng(3);
+  r = analyze(graph::random_tree(40, rng), 2);
+  EXPECT_FALSE(r.girth.has_value());
+  EXPECT_FALSE(r.has_even_cycle);
+  EXPECT_FALSE(r.has_cycle_at_most);
+
+  // Theta(3, 2): every pair of paths closes a C4.
+  r = analyze(graph::theta(3, 2), 2);
+  EXPECT_TRUE(r.has_even_cycle);
+
+  // K4 at k = 2: girth 3 AND a C4 — the "girth < 2k" branch must still
+  // run the exact search and find the even cycle.
+  r = analyze(graph::complete(4), 2);
+  EXPECT_TRUE(r.has_even_cycle);
+  EXPECT_TRUE(r.has_cycle_at_most);
+  EXPECT_EQ(*r.girth, 3u);
+
+  // Triangle at k = 2: short cycle without the even target.
+  r = analyze(graph::cycle(3), 2);
+  EXPECT_FALSE(r.has_even_cycle);
+  EXPECT_TRUE(r.has_cycle_at_most);
+}
+
+TEST(FuzzOracle, GirthEqualToTargetShortCircuitsTheSearch) {
+  // Hypercube: girth exactly 4, so has_even_cycle is decided by the girth
+  // alone (always exact) even with a zero search budget.
+  OracleOptions options;
+  options.max_expansions = 1;
+  const auto r = analyze(graph::hypercube(4), 2, options);
+  EXPECT_TRUE(r.has_even_cycle);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(FuzzOracle, FallbackPathStaysConsistentWithExact) {
+  // Starve the exact search so the color-coding fallback answers, and
+  // cross-check it against the unconstrained oracle on graphs where the
+  // girth does not short-circuit (girth 3, C6 question).
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = graph::erdos_renyi(40, 0.09, rng);
+    const auto exact = analyze(g, 3);
+    if (!exact.girth.has_value() || *exact.girth == 6) continue;
+    OracleOptions starved;
+    starved.max_expansions = 2;  // force the fallback for any real search
+    Rng fallback_rng(trial);
+    const auto fallback = oracle_analyze(g, 3, starved, fallback_rng);
+    EXPECT_EQ(fallback.has_even_cycle, exact.has_even_cycle) << "trial " << trial;
+    EXPECT_EQ(fallback.has_cycle_at_most, exact.has_cycle_at_most);
+  }
+}
+
+}  // namespace
+}  // namespace evencycle::fuzz

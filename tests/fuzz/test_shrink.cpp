@@ -1,0 +1,75 @@
+#include "fuzz/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/cycle_search.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::fuzz {
+namespace {
+
+using graph::Graph;
+
+TEST(FuzzShrink, RemoveVertexAndEdgeHelpers) {
+  const Graph g = graph::cycle(5);
+  const Graph minus_v = remove_vertex(g, 2);
+  EXPECT_EQ(minus_v.vertex_count(), 4u);
+  EXPECT_EQ(minus_v.edge_count(), 3u);  // both incident edges gone
+  const Graph minus_e = remove_edge(g, 0);
+  EXPECT_EQ(minus_e.vertex_count(), 5u);
+  EXPECT_EQ(minus_e.edge_count(), 4u);
+}
+
+TEST(FuzzShrink, PlantedC4ShrinksToExactlyC4) {
+  // Host: tree + chords + one planted C4; predicate: "still contains C4".
+  Rng rng(17);
+  Graph host = graph::random_tree(40, rng);
+  host = graph::with_extra_edges(host, 6, rng);
+  const auto planted = graph::plant_cycle(host, 4, rng);
+
+  const auto result = shrink_counterexample(
+      planted.graph,
+      [](const Graph& g) { return graph::contains_cycle_exact(g, 4); });
+  // 1-minimal graphs containing a C4 are exactly the C4 itself.
+  EXPECT_EQ(result.graph.vertex_count(), 4u);
+  EXPECT_EQ(result.graph.edge_count(), 4u);
+  EXPECT_TRUE(graph::contains_cycle_exact(result.graph, 4));
+  EXPECT_GT(result.evaluations, 0u);
+  EXPECT_EQ(result.vertices_removed, 36u);
+}
+
+TEST(FuzzShrink, ResultAlwaysSatisfiesThePredicate) {
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = graph::erdos_renyi(30, 0.15, rng);
+    if (!graph::girth(g).has_value()) continue;
+    const auto result = shrink_counterexample(
+        g, [](const Graph& candidate) { return graph::girth(candidate).has_value(); });
+    EXPECT_TRUE(graph::girth(result.graph).has_value());
+    // A 1-minimal cyclic graph is a single bare cycle.
+    EXPECT_EQ(result.graph.vertex_count(), result.graph.edge_count());
+    EXPECT_EQ(*graph::girth(result.graph),
+              result.graph.vertex_count());
+  }
+}
+
+TEST(FuzzShrink, RejectsInputsThatDoNotFail) {
+  const Graph g = graph::path(5);
+  EXPECT_THROW(shrink_counterexample(g, [](const Graph&) { return false; }),
+               InvalidArgument);
+}
+
+TEST(FuzzShrink, EvaluationBudgetIsHonored) {
+  Rng rng(29);
+  const auto g = graph::erdos_renyi(60, 0.2, rng);
+  ShrinkOptions options;
+  options.max_evaluations = 25;
+  const auto result =
+      shrink_counterexample(g, [](const Graph&) { return true; }, options);
+  EXPECT_LE(result.evaluations, options.max_evaluations + 1);
+}
+
+}  // namespace
+}  // namespace evencycle::fuzz
