@@ -30,7 +30,9 @@ void Mailbox::scatter_block(VertexId first, VertexId last, std::uint64_t base,
     cursors_[v] = offsets_[v];
   }
   for (const auto& run : runs)
-    for (const auto& staged : run) data_[cursors_[staged.to]++] = staged.inbound;
+    for (const auto& staged : run)
+      data_[cursors_[staged.to]++] = {staged_port(staged.port_tag),
+                                      {staged_tag(staged.port_tag), staged.payload}};
 }
 
 }  // namespace evencycle::congest

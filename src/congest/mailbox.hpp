@@ -27,11 +27,16 @@ namespace evencycle::congest {
 
 using graph::VertexId;
 
-/// A send captured during a round: destination plus the receiver-side view.
+/// A send captured during a round: destination, packed (receiver port, tag)
+/// word, payload. 16 bytes — two staged sends per cache line instead of the
+/// old 24-byte layout's 2.67; the scatter pass unpacks into InboundMessage.
 struct StagedMessage {
   VertexId to = 0;
-  InboundMessage inbound;
+  std::uint32_t port_tag = 0;  ///< pack_port_tag(receiver port, Message::tag)
+  std::uint64_t payload = 0;
 };
+
+static_assert(sizeof(StagedMessage) == 16, "staged sends must stay 16 bytes");
 
 class Mailbox {
  public:

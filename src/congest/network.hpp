@@ -29,6 +29,9 @@
 // (std::vector<bool> bit-packing would race).
 #pragma once
 
+#include <memory>
+#include <utility>
+
 #include "congest/round_engine.hpp"
 
 namespace evencycle::congest {
@@ -47,6 +50,11 @@ class Network {
   /// (round counter, mailboxes, reject flags, metrics); simulation buffers
   /// keep their capacity across installs.
   void install(const ProgramFactory& factory) { engine_.install(factory); }
+
+  /// Installs a batched SoA program (one object per protocol, per-node
+  /// state in flat arrays; see ShardProgram in round_engine.hpp) and resets
+  /// all run state, as above.
+  void install(std::shared_ptr<ShardProgram> program) { engine_.install(std::move(program)); }
 
   /// Runs one synchronous round. Requires installed programs.
   void run_round() { engine_.run_round(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "support/check.hpp"
 
@@ -15,189 +16,206 @@ enum Tag : std::uint32_t {
   kAggregate = 3 ///< partial aggregate toward the root
 };
 
-/// Shared output sink written by node programs (each node writes only its
-/// own slot, and every slot is at least one byte wide, so this is race-free
-/// even when the round engine runs shards on multiple threads). This is a
-/// simulation-side extraction channel, not protocol state.
-struct TreeSink {
-  std::vector<VertexId> parent;
-  std::vector<std::uint32_t> depth;
-};
+// All primitives below are batched SoA shard programs (see
+// round_engine.hpp): one object per protocol run, per-node state in flat
+// arrays the program owns, results moved out of the program after the run —
+// no per-vertex heap objects and no shared_ptr extraction sinks. Every
+// array slot is written only by the shard owning its vertex, so the
+// programs are race-free under the multi-threaded engine; the per-node
+// logic is a transcription of the historical per-vertex programs, keeping
+// round counts and message order bit-identical.
 
 /// Flooding BFS-tree construction.
-class BfsProgram : public NodeProgram {
+class BfsShardProgram : public ShardProgram {
  public:
-  BfsProgram(VertexId self, VertexId root, std::shared_ptr<TreeSink> sink)
-      : self_(self), root_(root), sink_(std::move(sink)) {}
+  BfsShardProgram(VertexId n, VertexId root) : root_(root) {
+    parent.assign(n, graph::kInvalidVertex);
+    depth.assign(n, kNoParent);
+    discovered_.assign(n, 0);
+  }
 
-  void on_round(Context& ctx) override {
-    if (ctx.round() == 0 && self_ == root_) {
-      sink_->parent[self_] = graph::kInvalidVertex;
-      sink_->depth[self_] = 0;
-      discovered_ = true;
-      ctx.broadcast({kExplore, self_});
-      ctx.halt();
+  void on_round(ShardContext& ctx, VertexId first, VertexId last) override {
+    const auto round = ctx.round();
+    if (round == 0) {
+      if (root_ >= first && root_ < last) {
+        parent[root_] = graph::kInvalidVertex;
+        depth[root_] = 0;
+        discovered_[root_] = 1;
+        ctx.broadcast(root_, {kExplore, root_});
+        ctx.halt(root_);
+      }
       return;
     }
-    if (!discovered_) {
-      for (const auto& in : ctx.inbox()) {
-        if (in.message.tag == kExplore) {
-          discovered_ = true;
-          parent_port_ = in.port;
-          sink_->depth[self_] = static_cast<std::uint32_t>(ctx.round());
-          sink_->parent[self_] = static_cast<VertexId>(in.message.payload);
-          // Forward the wave everywhere except back to the parent.
-          for (std::uint32_t p = 0; p < ctx.degree(); ++p)
-            if (p != parent_port_) ctx.send(p, {kExplore, self_});
-          ctx.halt();
-          return;
-        }
+    for (VertexId v = first; v < last; ++v) {
+      if (discovered_[v] != 0) continue;
+      for (const auto& in : ctx.inbox(v)) {
+        if (in.message.tag != kExplore) continue;
+        discovered_[v] = 1;
+        depth[v] = static_cast<std::uint32_t>(round);
+        parent[v] = static_cast<VertexId>(in.message.payload);
+        // Forward the wave everywhere except back to the parent.
+        const std::uint32_t deg = ctx.degree(v);
+        for (std::uint32_t p = 0; p < deg; ++p)
+          if (p != in.port) ctx.send(v, p, {kExplore, v});
+        ctx.halt(v);
+        break;
       }
     }
   }
 
+  std::vector<VertexId> parent;
+  std::vector<std::uint32_t> depth;
+
  private:
-  VertexId self_;
   VertexId root_;
-  std::shared_ptr<TreeSink> sink_;
-  bool discovered_ = false;
-  std::uint32_t parent_port_ = kNoParent;
+  std::vector<std::uint8_t> discovered_;
 };
 
 /// Broadcast of one word from the root (flooding with suppression).
-class BroadcastProgram : public NodeProgram {
+class BroadcastShardProgram : public ShardProgram {
  public:
-  BroadcastProgram(VertexId self, VertexId root, std::uint64_t value,
-                   std::shared_ptr<BroadcastResult> sink)
-      : self_(self), root_(root), value_(value), sink_(std::move(sink)) {}
+  BroadcastShardProgram(VertexId n, VertexId root, std::uint64_t value)
+      : root_(root), value_(value) {
+    result.value.assign(n, 0);
+    result.received.assign(n, 0);
+  }
 
-  void on_round(Context& ctx) override {
-    if (ctx.round() == 0 && self_ == root_) {
-      sink_->value[self_] = value_;
-      sink_->received[self_] = 1;
-      ctx.broadcast({kExplore, value_});
-      ctx.halt();
+  void on_round(ShardContext& ctx, VertexId first, VertexId last) override {
+    if (ctx.round() == 0) {
+      if (root_ >= first && root_ < last) {
+        result.value[root_] = value_;
+        result.received[root_] = 1;
+        ctx.broadcast(root_, {kExplore, value_});
+        ctx.halt(root_);
+      }
       return;
     }
-    for (const auto& in : ctx.inbox()) {
-      if (in.message.tag == kExplore) {
-        sink_->value[self_] = in.message.payload;
-        sink_->received[self_] = 1;
-        for (std::uint32_t p = 0; p < ctx.degree(); ++p)
-          if (p != in.port) ctx.send(p, {kExplore, in.message.payload});
-        ctx.halt();
-        return;
+    for (VertexId v = first; v < last; ++v) {
+      if (ctx.halted(v)) continue;
+      for (const auto& in : ctx.inbox(v)) {
+        if (in.message.tag != kExplore) continue;
+        result.value[v] = in.message.payload;
+        result.received[v] = 1;
+        const std::uint32_t deg = ctx.degree(v);
+        for (std::uint32_t p = 0; p < deg; ++p)
+          if (p != in.port) ctx.send(v, p, {kExplore, in.message.payload});
+        ctx.halt(v);
+        break;
       }
     }
   }
 
+  BroadcastResult result;
+
  private:
-  VertexId self_;
   VertexId root_;
   std::uint64_t value_;
-  std::shared_ptr<BroadcastResult> sink_;
 };
 
 /// BFS-tree convergecast: explore wave down, child announcements, then
 /// aggregates up. A node discovered in round r knows its child set by round
 /// r+2 (every neighbor decides its parent by r+1 and announces in r+2).
-class ConvergecastProgram : public NodeProgram {
+class ConvergecastShardProgram : public ShardProgram {
  public:
-  struct Shared {
-    enum class Op { kOr, kSum, kMin, kMax };
-    std::uint64_t root_value = 0;
-    bool root_done = false;
-    Op op = Op::kOr;
-  };
+  enum class Op { kOr, kSum, kMin, kMax };
 
-  ConvergecastProgram(VertexId self, VertexId root, std::uint64_t own_value,
-                      std::shared_ptr<Shared> shared)
-      : self_(self), root_(root), own_value_(own_value), shared_(std::move(shared)) {}
-
-  void on_round(Context& ctx) override {
-    const auto round = ctx.round();
-    if (!aggregate_initialized_) {
-      aggregate_initialized_ = true;
-      aggregate_ = shared_->op == Shared::Op::kMin ? ~std::uint64_t{0} : 0;
-    }
-    if (round == 0 && self_ == root_) {
-      discovered_ = true;
-      discovery_round_ = 0;
-      ctx.broadcast({kExplore, 0});
-    }
-    for (const auto& in : ctx.inbox()) {
-      switch (in.message.tag) {
-        case kExplore:
-          if (!discovered_) {
-            discovered_ = true;
-            discovery_round_ = round;
-            parent_port_ = in.port;
-            ctx.send(parent_port_, {kChild, 0});
-            for (std::uint32_t p = 0; p < ctx.degree(); ++p)
-              if (p != parent_port_) ctx.send(p, {kExplore, 0});
-          }
-          break;
-        case kChild:
-          child_ports_.push_back(in.port);
-          break;
-        case kAggregate:
-          accumulate(in.message.payload);
-          ++reports_;
-          break;
-        default:
-          break;
-      }
-    }
-    maybe_report(ctx);
+  ConvergecastShardProgram(VertexId n, VertexId root, std::vector<std::uint64_t> values,
+                           Op op)
+      : root_(root), op_(op), values_(std::move(values)) {
+    discovered_.assign(n, 0);
+    reported_.assign(n, 0);
+    discovery_round_.assign(n, 0);
+    parent_port_.assign(n, kNoParent);
+    child_count_.assign(n, 0);
+    reports_.assign(n, 0);
+    aggregate_.assign(n, op_ == Op::kMin ? ~std::uint64_t{0} : 0);
   }
+
+  void on_round(ShardContext& ctx, VertexId first, VertexId last) override {
+    const auto round = ctx.round();
+    for (VertexId v = first; v < last; ++v) {
+      if (ctx.halted(v)) continue;
+      if (round == 0 && v == root_) {
+        discovered_[v] = 1;
+        discovery_round_[v] = 0;
+        ctx.broadcast(v, {kExplore, 0});
+      }
+      for (const auto& in : ctx.inbox(v)) {
+        switch (in.message.tag) {
+          case kExplore:
+            if (discovered_[v] == 0) {
+              discovered_[v] = 1;
+              discovery_round_[v] = static_cast<std::uint32_t>(round);
+              parent_port_[v] = in.port;
+              ctx.send(v, parent_port_[v], {kChild, 0});
+              const std::uint32_t deg = ctx.degree(v);
+              for (std::uint32_t p = 0; p < deg; ++p)
+                if (p != parent_port_[v]) ctx.send(v, p, {kExplore, 0});
+            }
+            break;
+          case kChild:
+            ++child_count_[v];
+            break;
+          case kAggregate:
+            accumulate(v, in.message.payload);
+            ++reports_[v];
+            break;
+          default:
+            break;
+        }
+      }
+      maybe_report(ctx, v, round);
+    }
+  }
+
+  std::uint64_t root_value = 0;
+  bool root_done = false;
 
  private:
-  void accumulate(std::uint64_t incoming) {
-    switch (shared_->op) {
-      case Shared::Op::kOr:
-        aggregate_ |= incoming;
+  void accumulate(VertexId v, std::uint64_t incoming) {
+    switch (op_) {
+      case Op::kOr:
+        aggregate_[v] |= incoming;
         break;
-      case Shared::Op::kSum:
-        aggregate_ += incoming;
+      case Op::kSum:
+        aggregate_[v] += incoming;
         break;
-      case Shared::Op::kMin:
-        aggregate_ = std::min(aggregate_, incoming);
+      case Op::kMin:
+        aggregate_[v] = std::min(aggregate_[v], incoming);
         break;
-      case Shared::Op::kMax:
-        aggregate_ = std::max(aggregate_, incoming);
+      case Op::kMax:
+        aggregate_[v] = std::max(aggregate_[v], incoming);
         break;
     }
   }
 
-  void maybe_report(Context& ctx) {
-    if (!discovered_ || reported_) return;
+  void maybe_report(ShardContext& ctx, VertexId v, std::uint64_t round) {
+    if (discovered_[v] == 0 || reported_[v] != 0) return;
     // Child set final two rounds after discovery; all children reported?
-    const bool children_known = ctx.round() >= discovery_round_ + 2;
-    if (!children_known || reports_ < child_ports_.size()) return;
-    accumulate(own_value_);
-    reported_ = true;
-    if (self_ == root_) {
-      shared_->root_value = aggregate_;
-      shared_->root_done = true;
+    const bool children_known = round >= discovery_round_[v] + 2;
+    if (!children_known || reports_[v] < child_count_[v]) return;
+    accumulate(v, values_[v]);
+    reported_[v] = 1;
+    if (v == root_) {
+      root_value = aggregate_[v];
+      root_done = true;
     } else {
-      ctx.send(parent_port_, {kAggregate, aggregate_});
+      ctx.send(v, parent_port_[v], {kAggregate, aggregate_[v]});
     }
-    ctx.halt();
+    ctx.halt(v);
   }
 
-  VertexId self_;
   VertexId root_;
-  std::uint64_t own_value_;
-  std::shared_ptr<Shared> shared_;
+  Op op_;
+  std::vector<std::uint64_t> values_;
 
-  bool discovered_ = false;
-  bool reported_ = false;
-  std::uint64_t discovery_round_ = 0;
-  std::uint32_t parent_port_ = kNoParent;
-  std::vector<std::uint32_t> child_ports_;
-  std::size_t reports_ = 0;
-  std::uint64_t aggregate_ = 0;  // reset to the op identity in on_round 0
-  bool aggregate_initialized_ = false;
+  std::vector<std::uint8_t> discovered_;
+  std::vector<std::uint8_t> reported_;
+  std::vector<std::uint32_t> discovery_round_;
+  std::vector<std::uint32_t> parent_port_;
+  std::vector<std::uint32_t> child_count_;
+  std::vector<std::uint32_t> reports_;
+  std::vector<std::uint64_t> aggregate_;  // initialized to the op identity
 };
 
 std::uint64_t quiescence_bound(const Network& net) {
@@ -210,15 +228,13 @@ std::uint64_t quiescence_bound(const Network& net) {
 BfsTreeResult build_bfs_tree(Network& net, VertexId root) {
   const auto n = net.topology().vertex_count();
   EC_REQUIRE(root < n, "root out of range");
-  auto sink = std::make_shared<TreeSink>();
-  sink->parent.assign(n, graph::kInvalidVertex);
-  sink->depth.assign(n, kNoParent);
-  net.install([&](VertexId v) { return std::make_unique<BfsProgram>(v, root, sink); });
+  auto program = std::make_shared<BfsShardProgram>(n, root);
+  net.install(program);
   net.run_to_quiescence(quiescence_bound(net));
   BfsTreeResult result;
   result.root = root;
-  result.parent = std::move(sink->parent);
-  result.depth = std::move(sink->depth);
+  result.parent = std::move(program->parent);
+  result.depth = std::move(program->depth);
   result.rounds = net.metrics().rounds;
   return result;
 }
@@ -226,32 +242,26 @@ BfsTreeResult build_bfs_tree(Network& net, VertexId root) {
 BroadcastResult broadcast(Network& net, VertexId root, std::uint64_t value) {
   const auto n = net.topology().vertex_count();
   EC_REQUIRE(root < n, "root out of range");
-  auto sink = std::make_shared<BroadcastResult>();
-  sink->value.assign(n, 0);
-  sink->received.assign(n, 0);
-  net.install(
-      [&](VertexId v) { return std::make_unique<BroadcastProgram>(v, root, value, sink); });
+  auto program = std::make_shared<BroadcastShardProgram>(n, root, value);
+  net.install(program);
   net.run_to_quiescence(quiescence_bound(net));
-  sink->rounds = net.metrics().rounds;
-  return std::move(*sink);
+  program->result.rounds = net.metrics().rounds;
+  return std::move(program->result);
 }
 
 namespace {
 
 std::pair<std::uint64_t, std::uint64_t> run_convergecast(
-    Network& net, VertexId root, const std::vector<std::uint64_t>& values,
-    ConvergecastProgram::Shared::Op op) {
+    Network& net, VertexId root, std::vector<std::uint64_t> values,
+    ConvergecastShardProgram::Op op) {
   const auto n = net.topology().vertex_count();
   EC_REQUIRE(root < n, "root out of range");
   EC_REQUIRE(values.size() == n, "one value per vertex required");
-  auto shared = std::make_shared<ConvergecastProgram::Shared>();
-  shared->op = op;
-  net.install([&](VertexId v) {
-    return std::make_unique<ConvergecastProgram>(v, root, values[v], shared);
-  });
+  auto program = std::make_shared<ConvergecastShardProgram>(n, root, std::move(values), op);
+  net.install(program);
   net.run_to_quiescence(quiescence_bound(net));
-  EC_SIM_CHECK(shared->root_done, "convergecast did not complete");
-  return {shared->root_value, net.metrics().rounds};
+  EC_SIM_CHECK(program->root_done, "convergecast did not complete");
+  return {program->root_value, net.metrics().rounds};
 }
 
 }  // namespace
@@ -259,68 +269,78 @@ std::pair<std::uint64_t, std::uint64_t> run_convergecast(
 ConvergecastResult convergecast_or(Network& net, VertexId root, const std::vector<bool>& bits) {
   std::vector<std::uint64_t> values(bits.size());
   for (std::size_t i = 0; i < bits.size(); ++i) values[i] = bits[i] ? 1 : 0;
-  auto [value, rounds] =
-      run_convergecast(net, root, values, ConvergecastProgram::Shared::Op::kOr);
+  auto [value, rounds] = run_convergecast(net, root, std::move(values),
+                                          ConvergecastShardProgram::Op::kOr);
   return {value != 0, rounds};
 }
 
 ConvergecastSumResult convergecast_sum(Network& net, VertexId root,
                                        const std::vector<std::uint64_t>& values) {
   auto [value, rounds] =
-      run_convergecast(net, root, values, ConvergecastProgram::Shared::Op::kSum);
+      run_convergecast(net, root, values, ConvergecastShardProgram::Op::kSum);
   return {value, rounds};
 }
 
 ConvergecastSumResult convergecast_min(Network& net, VertexId root,
                                        const std::vector<std::uint64_t>& values) {
   auto [value, rounds] =
-      run_convergecast(net, root, values, ConvergecastProgram::Shared::Op::kMin);
+      run_convergecast(net, root, values, ConvergecastShardProgram::Op::kMin);
   return {value, rounds};
 }
 
 ConvergecastSumResult convergecast_max(Network& net, VertexId root,
                                        const std::vector<std::uint64_t>& values) {
   auto [value, rounds] =
-      run_convergecast(net, root, values, ConvergecastProgram::Shared::Op::kMax);
+      run_convergecast(net, root, values, ConvergecastShardProgram::Op::kMax);
   return {value, rounds};
 }
 
 namespace {
 
-/// Min-id flooding: broadcast improvements only. The shared `leaders`
-/// vector is written one 4-byte own-node slot per program — safe under the
+/// Min-id flooding: broadcast improvements only. The leaders vector is
+/// written one 4-byte own-node slot per vertex — safe under the
 /// multi-threaded engine.
-class MinFloodProgram : public NodeProgram {
+class MinFloodShardProgram : public ShardProgram {
  public:
-  MinFloodProgram(VertexId self, std::vector<VertexId>* leaders)
-      : best_(self), leaders_(leaders) {}
-
-  void on_round(Context& ctx) override {
-    bool improved = ctx.round() == 0;
-    for (const auto& in : ctx.inbox()) {
-      const auto candidate = static_cast<VertexId>(in.message.payload);
-      if (candidate < best_) {
-        best_ = candidate;
-        improved = true;
-      }
-    }
-    (*leaders_)[ctx.id()] = best_;
-    if (improved) ctx.broadcast({0, best_});
+  explicit MinFloodShardProgram(VertexId n) {
+    best_.resize(n);
+    for (VertexId v = 0; v < n; ++v) best_[v] = v;
+    leaders.assign(n, graph::kInvalidVertex);
   }
 
+  void on_round(ShardContext& ctx, VertexId first, VertexId last) override {
+    const bool round_zero = ctx.round() == 0;
+    for (VertexId v = first; v < last; ++v) {
+      bool improved = round_zero;
+      VertexId best = best_[v];
+      for (const auto& in : ctx.inbox(v)) {
+        const auto candidate = static_cast<VertexId>(in.message.payload);
+        if (candidate < best) {
+          best = candidate;
+          improved = true;
+        }
+      }
+      best_[v] = best;
+      leaders[v] = best;
+      if (improved) ctx.broadcast(v, {0, best});
+    }
+  }
+
+  std::vector<VertexId> leaders;
+
  private:
-  VertexId best_;
-  std::vector<VertexId>* leaders_;
+  std::vector<VertexId> best_;
 };
 
 }  // namespace
 
 LeaderElectionResult elect_leader(Network& net) {
   const auto n = net.topology().vertex_count();
+  auto program = std::make_shared<MinFloodShardProgram>(n);
+  net.install(program);
   LeaderElectionResult result;
-  result.leader.assign(n, graph::kInvalidVertex);
-  net.install([&](VertexId v) { return std::make_unique<MinFloodProgram>(v, &result.leader); });
   result.rounds = net.run_until_quiet(2ULL * n + 4);
+  result.leader = std::move(program->leaders);
   return result;
 }
 

@@ -1,9 +1,9 @@
 #include "congest/round_engine.hpp"
 
-#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
-
-#include "support/check.hpp"
+#include <utility>
 
 namespace evencycle::congest {
 
@@ -13,87 +13,115 @@ namespace {
 /// entries keeps typical runs (diameter-bounded protocols) allocation-free.
 constexpr std::size_t kRoundProfileReserve = 1024;
 
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
 std::uint32_t resolve_thread_count(std::uint32_t requested) {
   std::uint32_t threads = requested;
   if (threads == kThreadsFromEnv) {
     const char* env = std::getenv("EVENCYCLE_THREADS");
-    threads = (env != nullptr && *env != '\0')
-                  ? static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10))
-                  : 1;
+    if (env == nullptr || *env == '\0') {
+      threads = 1;
+    } else {
+      // Strict parse: strtoul would map "abc" to 0, and 0 means "hardware
+      // concurrency" — a typo must not silently fan the whole test suite
+      // out to every core. Plain digits only (strtoul's leading whitespace
+      // and sign tolerance is more guessing than an env knob deserves);
+      // anything else falls back to sequential with a warning (an
+      // env-driven knob should degrade, not throw from a constructor the
+      // caller never associated with the environment).
+      bool digits_only = true;
+      for (const char* c = env; *c != '\0'; ++c)
+        digits_only = digits_only && *c >= '0' && *c <= '9';
+      char* end = nullptr;
+      const unsigned long parsed = digits_only ? std::strtoul(env, &end, 10) : 0;
+      if (!digits_only || end == env || *end != '\0') {
+        std::fprintf(stderr,
+                     "evencycle: EVENCYCLE_THREADS=\"%s\" is not a number; "
+                     "running sequentially (threads = 1)\n",
+                     env);
+        threads = 1;
+      } else {
+        threads = parsed > WorkerPool::kMaxThreads
+                      ? WorkerPool::kMaxThreads
+                      : static_cast<std::uint32_t>(parsed);
+      }
+    }
   }
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   return std::min(threads, WorkerPool::kMaxThreads);
 }
 
-}  // namespace
+/// The batched adapter behind install(ProgramFactory): per-vertex virtual
+/// programs driven in ascending order, skipping halted vertices — exactly
+/// the historical per-vertex engine loop, now one ShardProgram among many.
+class NodeProgramAdapter final : public ShardProgram {
+ public:
+  explicit NodeProgramAdapter(std::vector<std::unique_ptr<NodeProgram>> programs)
+      : programs_(std::move(programs)) {}
 
-std::uint32_t Context::degree() const { return engine_.graph_->degree(node_); }
-
-VertexId Context::graph_size() const { return engine_.graph_->vertex_count(); }
-
-std::uint64_t Context::round() const { return engine_.metrics_.rounds; }
-
-std::span<const InboundMessage> Context::inbox() const {
-  return engine_.mailbox_.inbox(node_);
-}
-
-void Context::send(std::uint32_t port, Message message) {
-  engine_.send_from(lane_, node_, port, message);
-}
-
-void Context::broadcast(Message message) {
-  const std::uint32_t deg = degree();
-  for (std::uint32_t port = 0; port < deg; ++port)
-    engine_.send_from(lane_, node_, port, message);
-}
-
-void Context::reject() {
-  if (engine_.rejected_[node_] == 0) {
-    engine_.rejected_[node_] = 1;
-    ++engine_.lanes_[lane_].new_rejects;
+  void on_round(ShardContext& ctx, VertexId first, VertexId last) override {
+    for (VertexId v = first; v < last; ++v) {
+      if (ctx.halted(v)) continue;
+      Context node_view(ctx, v);
+      programs_[v]->on_round(node_view);
+    }
   }
-}
 
-void Context::halt() {
-  if (engine_.halted_[node_] == 0) {
-    engine_.halted_[node_] = 1;
-    ++engine_.lanes_[lane_].new_halts;
-  }
-}
+ private:
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+};
 
 RoundEngine::RoundEngine(const graph::Graph& g, Config config)
     : graph_(&g), config_(config),
       thread_count_(resolve_thread_count(config.threads)),
       pool_(thread_count_) {
   EC_REQUIRE(config_.words_per_round >= 1, "bandwidth must be at least one word");
+  EC_REQUIRE(g.max_degree() <= kMaxPortCount,
+             "packed message path supports degrees up to 2^16");
   const VertexId n = g.vertex_count();
-  chunk_ = std::max<std::uint64_t>(
+  const std::uint64_t balanced = std::max<std::uint64_t>(
       1, (static_cast<std::uint64_t>(n) + thread_count_ - 1) / thread_count_);
+  // Power-of-two shard width: the receiver block of a staged send becomes
+  // a shift instead of a 64-bit division on the hot path. Rounding up can
+  // leave trailing shards short (or empty) — at most a 2x width spread,
+  // and none at all when n / threads is already a power of two.
+  chunk_ = std::bit_ceil(balanced);
+  block_shift_ = static_cast<std::uint32_t>(std::countr_zero(chunk_));
 
   lanes_ = std::vector<Lane>(thread_count_);
   for (auto& lane : lanes_) lane.stage.resize(thread_count_);
   block_base_.assign(thread_count_, 0);
 
   arc_load_.assign(2 * static_cast<std::size_t>(g.edge_count()), 0);
+  if (config_.watched_edges != nullptr) {
+    const auto& watched = *config_.watched_edges;
+    watched_arc_.assign(arc_load_.size(), 0);
+    for (std::uint32_t arc = 0; arc < watched_arc_.size(); ++arc)
+      watched_arc_[arc] = watched[g.arc_edge(arc)] ? 1 : 0;
+    watched_arc_ptr_ = watched_arc_.data();
+  }
   rejected_.assign(n, 0);
   halted_.assign(n, 0);
   mailbox_.reset(n);
 }
 
-void RoundEngine::install(const ProgramFactory& factory) {
-  const VertexId n = graph_->vertex_count();
-  programs_.clear();
-  programs_.reserve(n);
-  for (VertexId v = 0; v < n; ++v) programs_.push_back(factory(v));
-
+void RoundEngine::reset_run_state() {
   // Reset run state in place: clear() / assign() / fill() keep every
   // buffer's capacity (lanes, touched-arc lists, mailbox arena), so back-to-
   // back experiments on one engine do not re-allocate.
+  const VertexId n = graph_->vertex_count();
   mailbox_.reset(n);
   for (auto& lane : lanes_) {
     for (auto& block : lane.stage) block.clear();
     lane.touched_arcs.clear();
     lane.messages = lane.watched = lane.new_rejects = lane.new_halts = 0;
+    lane.block_total = 0;
     lane.error = nullptr;
   }
   std::fill(arc_load_.begin(), arc_load_.end(), 0);
@@ -107,32 +135,38 @@ void RoundEngine::install(const ProgramFactory& factory) {
   metrics_.messages = 0;
   metrics_.busiest_round_messages = 0;
   metrics_.watched_messages = 0;
+  metrics_.compute_seconds = 0.0;
+  metrics_.reduce_seconds = 0.0;
+  metrics_.deliver_seconds = 0.0;
   metrics_.round_profile.clear();
   if (config_.collect_round_profile && metrics_.round_profile.capacity() == 0)
     metrics_.round_profile.reserve(kRoundProfileReserve);
 }
 
-void RoundEngine::send_from(std::uint32_t lane_index, VertexId from, std::uint32_t port,
-                            Message message) {
+void RoundEngine::install(std::shared_ptr<ShardProgram> program) {
+  EC_REQUIRE(program != nullptr, "install requires a program");
+  program_ = std::move(program);
+  reset_run_state();
+}
+
+void RoundEngine::install(const ProgramFactory& factory) {
+  const VertexId n = graph_->vertex_count();
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(n);
+  for (VertexId v = 0; v < n; ++v) programs.push_back(factory(v));
+  install(std::make_shared<NodeProgramAdapter>(std::move(programs)));
+}
+
+void RoundEngine::send_failed(VertexId from, std::uint32_t port, Message message) const {
+  // Cold continuation of the inlined send_from: re-derive which invariant
+  // broke, in check order, and throw the matching SimulationError.
   EC_SIM_CHECK(port < graph_->degree(from), "send on a non-existent port");
-  const std::uint32_t arc = graph_->arc_base(from) + port;
-  EC_SIM_CHECK(arc_load_[arc] < config_.words_per_round,
+  EC_SIM_CHECK(message.tag <= kMaxMessageTag,
+               "message tag exceeds the packed path's 16-bit tag budget");
+  EC_SIM_CHECK(false,
                "bandwidth exceeded: more than words_per_round words on one "
                "directed link in one round");
-  Lane& lane = lanes_[lane_index];
-  if (arc_load_[arc] == 0) lane.touched_arcs.push_back(arc);
-  ++arc_load_[arc];
-
-  if (config_.watched_edges != nullptr &&
-      (*config_.watched_edges)[graph_->incident_edges(from)[port]]) {
-    ++lane.watched;
-  }
-
-  const VertexId to = graph_->arc_target(arc);
-  const std::uint32_t reverse_port = graph_->reverse_arc(arc) - graph_->arc_base(to);
-  lane.stage[static_cast<std::size_t>(to / chunk_)].push_back(
-      {to, {reverse_port, message}});
-  ++lane.messages;
+  std::abort();  // unreachable: one of the checks above always throws
 }
 
 void RoundEngine::run_shard(std::uint32_t lane_index) {
@@ -146,11 +180,18 @@ void RoundEngine::run_shard(std::uint32_t lane_index) {
 
   const VertexId first = shard_first(lane_index);
   const VertexId last = shard_last(lane_index);
-  for (VertexId v = first; v < last; ++v) {
-    if (halted_[v] != 0) continue;
-    Context ctx(*this, lane_index, v);
-    programs_[v]->on_round(ctx);
-  }
+  if (first == last) return;
+  ShardContext ctx(*this, lane_index);
+  program_->on_round(ctx, first, last);
+}
+
+void RoundEngine::reduce_block(std::uint32_t lane_index) {
+  // Column sum of the staged-count matrix: messages every lane staged for
+  // this lane's receiver block. Runs in parallel across blocks; the serial
+  // remainder in run_round is an O(threads) exclusive scan.
+  std::uint64_t total = 0;
+  for (const auto& sender : lanes_) total += sender.stage[lane_index].size();
+  lanes_[lane_index].block_total = total;
 }
 
 void RoundEngine::deliver_block(std::uint32_t lane_index) {
@@ -166,10 +207,16 @@ void RoundEngine::deliver_block(std::uint32_t lane_index) {
 
 void RoundEngine::run_phase(std::uint32_t lane_index) {
   try {
-    if (phase_ == Phase::kCompute) {
-      run_shard(lane_index);
-    } else {
-      deliver_block(lane_index);
+    switch (phase_) {
+      case Phase::kCompute:
+        run_shard(lane_index);
+        break;
+      case Phase::kReduce:
+        reduce_block(lane_index);
+        break;
+      case Phase::kDeliver:
+        deliver_block(lane_index);
+        break;
     }
   } catch (...) {
     lanes_[lane_index].error = std::current_exception();
@@ -199,9 +246,13 @@ void RoundEngine::rethrow_lane_error() {
 }
 
 void RoundEngine::run_round() {
-  EC_SIM_CHECK(!programs_.empty(), "run_round before install()");
+  EC_SIM_CHECK(program_ != nullptr, "run_round before install()");
+  const bool timed = config_.collect_phase_timings;
+
+  auto phase_start = timed ? Clock::now() : Clock::time_point{};
   dispatch(Phase::kCompute);
   rethrow_lane_error();
+  if (timed) metrics_.compute_seconds += seconds_since(phase_start);
 
   round_messages_ = 0;
   for (auto& lane : lanes_) {
@@ -215,14 +266,22 @@ void RoundEngine::run_round() {
     // Quiet round: every next-round inbox is empty; skip delivery entirely.
     mailbox_.mark_all_empty();
   } else {
+    if (timed) phase_start = Clock::now();
+    dispatch(Phase::kReduce);
+    rethrow_lane_error();
     std::uint64_t running = 0;
     for (std::uint32_t block = 0; block < thread_count_; ++block) {
       block_base_[block] = running;
-      for (const auto& lane : lanes_) running += lane.stage[block].size();
+      running += lanes_[block].block_total;
     }
     mailbox_.begin_rebuild(running);
+    if (timed) {
+      metrics_.reduce_seconds += seconds_since(phase_start);
+      phase_start = Clock::now();
+    }
     dispatch(Phase::kDeliver);
     rethrow_lane_error();
+    if (timed) metrics_.deliver_seconds += seconds_since(phase_start);
   }
 
   metrics_.messages += round_messages_;

@@ -1,29 +1,48 @@
 // Deterministic multi-threaded round engine of the CONGEST simulator.
 //
 // The engine partitions the vertex set into contiguous shards, one per
-// thread, and drives each synchronous round in two phases over a persistent
-// worker pool:
+// thread, and drives each synchronous round in three phases over a
+// persistent worker pool:
 //
-//   phase 1 (compute):  every worker runs on_round for the live vertices of
-//                       its shard, in ascending vertex order, staging sends
-//                       into shard-local lanes bucketed by receiver block and
-//                       enforcing per-arc bandwidth as it goes (each directed
-//                       arc belongs to exactly one sender, hence one shard, so
-//                       the accounting is race-free without locks);
-//   phase 2 (deliver):  every worker counting-sorts the messages destined to
-//                       its own vertex block into the flat Mailbox arena,
-//                       reading the lanes in shard order.
+//   phase 1 (compute):  every worker runs the installed ShardProgram over
+//                       the vertices of its shard, in ascending vertex
+//                       order, staging sends into shard-local lanes
+//                       bucketed by receiver block and enforcing per-arc
+//                       bandwidth as it goes (each directed arc belongs to
+//                       exactly one sender, hence one shard, so the
+//                       accounting is race-free without locks);
+//   phase 2 (reduce):   every worker sums the staged-message counts of its
+//                       own receiver block across all lanes; the calling
+//                       thread then exclusive-scans the per-block totals
+//                       into arena offsets (O(threads), the only serial
+//                       work left in a round);
+//   phase 3 (deliver):  every worker counting-sorts the messages destined
+//                       to its own vertex block into the flat Mailbox
+//                       arena, reading the lanes in shard order.
+//
+// Programs come in two shapes. The native ShardProgram model is batched
+// SoA: ONE program object per protocol, per-node state in flat arrays the
+// program owns, invoked once per shard per round as
+// on_round(ShardContext&, first, last) — no per-vertex virtual dispatch,
+// no per-vertex heap objects. The historical per-vertex NodeProgram API is
+// kept as a thin adapter (install(ProgramFactory) wraps the per-node
+// programs in an internal ShardProgram), so existing protocols compile and
+// behave unchanged.
 //
 // Determinism guarantee: because shards are contiguous ascending vertex
 // ranges, lane order equals sender order, so the arena layout, every inbox's
 // message order, all Metrics fields, reject/halt bookkeeping, and
 // SimulationError bandwidth enforcement are bit-identical at every thread
 // count (threads = 1 reproduces the seed's sequential simulator exactly).
-// Node programs may therefore treat on_round as sequential per node, but
-// MUST NOT share mutable state across nodes except per-node slots of at
-// least byte granularity (no std::vector<bool> sinks).
+// ShardPrograms MUST visit their vertices in ascending order and stage all
+// sends of vertex v before touching v+1 — the adapter does, and every
+// native program in the tree does — and MUST NOT share mutable state
+// across shards except per-node slots of at least byte granularity (no
+// std::vector<bool> sinks).
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -35,6 +54,7 @@
 #include "congest/message.hpp"
 #include "congest/worker_pool.hpp"
 #include "graph/graph.hpp"
+#include "support/check.hpp"
 
 namespace evencycle::congest {
 
@@ -46,13 +66,27 @@ using graph::VertexId;
 /// through the multi-threaded engine without touching call sites.
 inline constexpr std::uint32_t kThreadsFromEnv = ~std::uint32_t{0};
 
+/// Resolves a Config::threads request to a concrete worker count:
+/// kThreadsFromEnv reads EVENCYCLE_THREADS (non-numeric values fall back to
+/// 1 with a warning on stderr — a typo must not silently fan out to
+/// hardware concurrency); 0 means hardware concurrency; anything else is
+/// clamped to WorkerPool::kMaxThreads. Exposed for tests.
+std::uint32_t resolve_thread_count(std::uint32_t requested);
+
 struct Config {
   std::uint32_t words_per_round = 1;  ///< link bandwidth in O(log n)-bit words
   bool collect_round_profile = false; ///< record per-round message counts
 
+  /// Opt-in per-phase wall-clock breakdown: accumulate compute / reduce /
+  /// deliver seconds into Metrics. Off by default (two clock reads per
+  /// phase per round are cheap but not free).
+  bool collect_phase_timings = false;
+
   /// Optional cut meter: per undirected edge id, true = count words crossing
   /// this edge (both directions) into Metrics::watched_messages. Used by the
-  /// lower-bound reductions to measure Alice/Bob communication.
+  /// lower-bound reductions to measure Alice/Bob communication. Expanded
+  /// into a per-arc byte mask at engine construction, so the common
+  /// (unwatched) send path pays one pointer test only.
   const std::vector<bool>* watched_edges = nullptr;
 
   /// Worker threads for the round engine. kThreadsFromEnv (the default)
@@ -70,47 +104,105 @@ struct Metrics {
   std::uint64_t busiest_round_messages = 0;
   std::uint64_t watched_messages = 0;        ///< words across watched edges
   std::vector<std::uint64_t> round_profile;  ///< only if collect_round_profile
+
+  // Per-phase wall clock, accumulated only under collect_phase_timings.
+  double compute_seconds = 0.0;  ///< phase 1: shard programs + staging
+  double reduce_seconds = 0.0;   ///< phase 2: parallel block counts + scan
+  double deliver_seconds = 0.0;  ///< phase 3: counting-sort into the arena
 };
 
 class RoundEngine;
+class NodeProgramAdapter;
 
-/// Per-round view a node program gets of its own node.
+/// Per-round, per-shard view a batched program gets of the simulation.
 ///
-/// Deliberately narrow: everything a real CONGEST node could know locally,
-/// nothing more.
-class Context {
+/// All vertex-indexed calls are valid for the whole graph, but mutating
+/// calls (send / broadcast / reject / halt) must only be made for vertices
+/// of the shard currently being executed — the [first, last) range handed
+/// to ShardProgram::on_round — or the lock-free per-lane bookkeeping races.
+class ShardContext {
  public:
-  VertexId id() const { return node_; }
-  std::uint32_t degree() const;
-  VertexId graph_size() const;
   std::uint64_t round() const;
+  VertexId graph_size() const;
+  const graph::Graph& topology() const;
+  std::uint32_t degree(VertexId v) const;
 
-  /// Messages delivered this round (sent by neighbors last round).
-  std::span<const InboundMessage> inbox() const;
+  /// True once halt(v) was called; the engine does not skip halted vertices
+  /// for native shard programs (the batched loop is the program's), so
+  /// programs that halt nodes consult this.
+  bool halted(VertexId v) const;
 
-  /// Sends one word on `port` (delivered next round).
-  void send(std::uint32_t port, Message message);
+  /// Messages delivered to v this round (sent by neighbors last round).
+  std::span<const InboundMessage> inbox(VertexId v) const;
 
-  /// Sends the same word on every port.
-  void broadcast(Message message);
+  /// Sends one word from `from` on `port` (delivered next round).
+  void send(VertexId from, std::uint32_t port, Message message);
 
-  /// Marks this node's output as reject (sticky).
-  void reject();
+  /// Sends the same word on every port of `from`.
+  void broadcast(VertexId from, Message message);
 
-  /// Stops scheduling this node's program (it can still receive nothing;
-  /// purely a simulator optimization for quiescent nodes).
-  void halt();
+  /// Marks v's output as reject (sticky).
+  void reject(VertexId v);
+
+  /// Stops counting v as live (run_to_quiescence terminates when no vertex
+  /// is live). Purely simulator bookkeeping for quiescent nodes.
+  void halt(VertexId v);
 
  private:
   friend class RoundEngine;
-  Context(RoundEngine& engine, std::uint32_t lane, VertexId node)
-      : engine_(engine), lane_(lane), node_(node) {}
+  ShardContext(RoundEngine& engine, std::uint32_t lane) : engine_(engine), lane_(lane) {}
   RoundEngine& engine_;
   std::uint32_t lane_;
+};
+
+/// A batched distributed protocol: one object per engine, per-node state in
+/// flat arrays owned by the program, executed once per shard per round.
+class ShardProgram {
+ public:
+  virtual ~ShardProgram() = default;
+
+  /// Called once per round per shard while any vertex is live. Must visit
+  /// vertices in ascending order within [first, last) (see the determinism
+  /// contract in the file header). Round 0 has empty inboxes; initial
+  /// sends happen there.
+  virtual void on_round(ShardContext& ctx, VertexId first, VertexId last) = 0;
+};
+
+/// Per-round view a per-vertex node program gets of its own node
+/// (the thin adapter over ShardContext; see NodeProgram).
+class Context {
+ public:
+  VertexId id() const { return node_; }
+  std::uint32_t degree() const { return shard_.degree(node_); }
+  VertexId graph_size() const { return shard_.graph_size(); }
+  std::uint64_t round() const { return shard_.round(); }
+
+  /// Messages delivered this round (sent by neighbors last round).
+  std::span<const InboundMessage> inbox() const { return shard_.inbox(node_); }
+
+  /// Sends one word on `port` (delivered next round).
+  void send(std::uint32_t port, Message message) { shard_.send(node_, port, message); }
+
+  /// Sends the same word on every port.
+  void broadcast(Message message) { shard_.broadcast(node_, message); }
+
+  /// Marks this node's output as reject (sticky).
+  void reject() { shard_.reject(node_); }
+
+  /// Stops scheduling this node's program (it can still receive nothing;
+  /// purely a simulator optimization for quiescent nodes).
+  void halt() { shard_.halt(node_); }
+
+ private:
+  friend class NodeProgramAdapter;
+  Context(ShardContext& shard, VertexId node) : shard_(shard), node_(node) {}
+  ShardContext& shard_;
   VertexId node_;
 };
 
-/// A distributed node program. One instance per vertex.
+/// A distributed node program. One instance per vertex. Prefer the batched
+/// ShardProgram model for hot workloads; this per-vertex API costs one
+/// virtual call and one heap object per vertex per round.
 class NodeProgram {
  public:
   virtual ~NodeProgram() = default;
@@ -136,10 +228,14 @@ class RoundEngine {
   /// resolution); also the number of vertex shards.
   std::uint32_t thread_count() const { return thread_count_; }
 
-  /// Installs a fresh program at every node and resets all run state
-  /// (round counter, mailboxes, reject flags, metrics). All simulation
-  /// buffers keep their capacity, so repeated experiments on one engine
-  /// reach a steady state with no per-install or per-round allocation.
+  /// Installs a batched program and resets all run state (round counter,
+  /// mailboxes, reject flags, metrics). All simulation buffers keep their
+  /// capacity, so repeated experiments on one engine reach a steady state
+  /// with no per-install or per-round allocation.
+  void install(std::shared_ptr<ShardProgram> program);
+
+  /// Installs a fresh per-vertex program at every node (wrapped in the
+  /// batched adapter) and resets all run state, as above.
   void install(const ProgramFactory& factory);
 
   /// Runs one synchronous round. Requires installed programs.
@@ -164,7 +260,7 @@ class RoundEngine {
   const Metrics& metrics() const { return metrics_; }
 
  private:
-  friend class Context;
+  friend class ShardContext;
 
   /// Shard-local staging state. One lane per worker; padded so the hot
   /// per-send counters of neighboring lanes never share a cache line.
@@ -173,25 +269,30 @@ class RoundEngine {
     std::vector<std::vector<StagedMessage>> stage;
     /// Directed arcs this shard loaded this round (for O(messages) reset).
     std::vector<std::uint32_t> touched_arcs;
-    /// Phase-2 scratch: this block's runs, in lane order.
+    /// Phase-3 scratch: this block's runs, in lane order.
     std::vector<std::span<const StagedMessage>> runs;
     std::uint64_t messages = 0;
     std::uint64_t watched = 0;
     std::uint64_t new_rejects = 0;
     std::uint64_t new_halts = 0;
+    /// Phase-2 output: staged messages destined to this lane's block.
+    std::uint64_t block_total = 0;
     std::exception_ptr error;
   };
 
-  enum class Phase { kCompute, kDeliver };
+  enum class Phase { kCompute, kReduce, kDeliver };
 
   VertexId shard_first(std::uint32_t lane) const {
-    const std::uint64_t lo = static_cast<std::uint64_t>(lane) * chunk_;
+    const std::uint64_t lo = static_cast<std::uint64_t>(lane) << block_shift_;
     return static_cast<VertexId>(std::min<std::uint64_t>(lo, graph_->vertex_count()));
   }
   VertexId shard_last(std::uint32_t lane) const { return shard_first(lane + 1); }
 
   void send_from(std::uint32_t lane, VertexId from, std::uint32_t port, Message message);
+  [[noreturn]] void send_failed(VertexId from, std::uint32_t port, Message message) const;
+  void reset_run_state();
   void run_shard(std::uint32_t lane);
+  void reduce_block(std::uint32_t lane);
   void deliver_block(std::uint32_t lane);
   void run_phase(std::uint32_t lane);
   void dispatch(Phase phase);
@@ -200,9 +301,10 @@ class RoundEngine {
   const graph::Graph* graph_;
   Config config_;
   std::uint32_t thread_count_ = 1;
-  std::uint64_t chunk_ = 1;  ///< shard width: ceil(n / thread_count)
+  std::uint64_t chunk_ = 1;        ///< shard width: bit_ceil(ceil(n / thread_count))
+  std::uint32_t block_shift_ = 0;  ///< log2(chunk_): receiver block of v is v >> shift
 
-  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::shared_ptr<ShardProgram> program_;
 
   Mailbox mailbox_;
   std::vector<Lane> lanes_;
@@ -211,6 +313,11 @@ class RoundEngine {
   // Per directed arc, words sent this round (bandwidth enforcement). Arcs
   // are sender-partitioned across shards, so workers never contend.
   std::vector<std::uint32_t> arc_load_;
+
+  // Per directed arc, 1 iff the arc's undirected edge is watched; empty
+  // (and watched_arc_ptr_ null) when no cut meter is installed.
+  std::vector<std::uint8_t> watched_arc_;
+  const std::uint8_t* watched_arc_ptr_ = nullptr;
 
   // Byte flags, not vector<bool>: workers write distinct bytes in parallel.
   std::vector<std::uint8_t> rejected_;
@@ -226,5 +333,63 @@ class RoundEngine {
   WorkerPool pool_;
   Phase phase_ = Phase::kCompute;
 };
+
+inline std::uint64_t ShardContext::round() const { return engine_.metrics_.rounds; }
+inline VertexId ShardContext::graph_size() const { return engine_.graph_->vertex_count(); }
+inline const graph::Graph& ShardContext::topology() const { return *engine_.graph_; }
+inline std::uint32_t ShardContext::degree(VertexId v) const { return engine_.graph_->degree(v); }
+inline bool ShardContext::halted(VertexId v) const { return engine_.halted_[v] != 0; }
+
+inline std::span<const InboundMessage> ShardContext::inbox(VertexId v) const {
+  return engine_.mailbox_.inbox(v);
+}
+
+/// The hot path of the whole simulator: bandwidth bookkeeping plus one
+/// 16-byte staged store. Misuse diagnostics (bad port, oversized tag,
+/// bandwidth overflow) share one predicted-untaken branch and re-derive
+/// the exact error out of line; the receiver block is a shift, not a
+/// division; the cut meter costs a null test unless installed.
+inline void RoundEngine::send_from(std::uint32_t lane_index, VertexId from,
+                                   std::uint32_t port, Message message) {
+  const graph::Graph& g = *graph_;
+  const std::uint32_t arc = g.arc_base(from) + port;
+  if (port >= g.degree(from) || message.tag > kMaxMessageTag ||
+      arc_load_[arc] >= config_.words_per_round) [[unlikely]] {
+    send_failed(from, port, message);
+  }
+  Lane& lane = lanes_[lane_index];
+  if (arc_load_[arc]++ == 0) lane.touched_arcs.push_back(arc);
+  if (watched_arc_ptr_ != nullptr) lane.watched += watched_arc_ptr_[arc];
+
+  const VertexId to = g.arc_target(arc);
+  const std::uint32_t reverse_port = g.reverse_arc(arc) - g.arc_base(to);
+  lane.stage[to >> block_shift_].push_back(
+      {to, pack_port_tag(reverse_port, message.tag), message.payload});
+  ++lane.messages;
+}
+
+inline void ShardContext::send(VertexId from, std::uint32_t port, Message message) {
+  engine_.send_from(lane_, from, port, message);
+}
+
+inline void ShardContext::broadcast(VertexId from, Message message) {
+  const std::uint32_t deg = engine_.graph_->degree(from);
+  for (std::uint32_t port = 0; port < deg; ++port)
+    engine_.send_from(lane_, from, port, message);
+}
+
+inline void ShardContext::reject(VertexId v) {
+  if (engine_.rejected_[v] == 0) {
+    engine_.rejected_[v] = 1;
+    ++engine_.lanes_[lane_].new_rejects;
+  }
+}
+
+inline void ShardContext::halt(VertexId v) {
+  if (engine_.halted_[v] == 0) {
+    engine_.halted_[v] = 1;
+    ++engine_.lanes_[lane_].new_halts;
+  }
+}
 
 }  // namespace evencycle::congest

@@ -1,0 +1,22 @@
+// Synthetic engine workloads shared by the perf scenarios, the
+// microbenchmarks, and the steady-state tests. One definition, so the
+// workload the CI perf gate tracks is byte-for-byte the workload the
+// benches profile and the allocation test pins.
+#pragma once
+
+#include "congest/round_engine.hpp"
+
+namespace evencycle::congest {
+
+/// Maximal flooding as a batched SoA program: every node broadcasts its id
+/// on every port every round at words_per_round = 1. One object per
+/// engine, no per-vertex state at all — the pure send/deliver hot path,
+/// and the heaviest message load a unit-bandwidth CONGEST network admits.
+class FloodShardProgram final : public ShardProgram {
+ public:
+  void on_round(ShardContext& ctx, VertexId first, VertexId last) override {
+    for (VertexId v = first; v < last; ++v) ctx.broadcast(v, {0, v});
+  }
+};
+
+}  // namespace evencycle::congest

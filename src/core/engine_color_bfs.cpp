@@ -9,7 +9,6 @@ namespace evencycle::core {
 
 namespace {
 
-using congest::Context;
 using congest::Message;
 
 enum Tag : std::uint32_t {
@@ -36,100 +35,134 @@ struct ProtocolShape {
   std::uint64_t total_rounds() const { return 3 + static_cast<std::uint64_t>(down_len - 1) * tau; }
 };
 
-// Safe under the multi-threaded round engine: every program copies its spec
-// fields at construction, keeps all protocol state per-node, and reports
-// results only through ctx.reject() — no cross-node shared writes.
-class ColorBfsProgram : public congest::NodeProgram {
+// Batched SoA implementation: one program object for the whole protocol,
+// per-node protocol state in flat arrays indexed by vertex and per-arc
+// neighbor knowledge indexed by global arc (arc_base(v) + port) — no
+// per-vertex heap objects, no virtual dispatch inside a shard. The per-node
+// logic is a line-for-line transcription of the historical per-vertex
+// program, so rejection sets, round counts, and message counts are
+// unchanged. Safe under the multi-threaded round engine: all spec fields
+// are copied at construction, every array slot is written only by the
+// shard owning its vertex (or its outgoing arcs), and results flow through
+// ctx.reject() alone.
+class ColorBfsShardProgram : public congest::ShardProgram {
  public:
-  ColorBfsProgram(VertexId self, const ColorBfsSpec& spec, const ProtocolShape& shape,
-                  bool activated)
-      : self_(self), shape_(shape), activated_(activated) {
-    color_ = (*spec.colors)[self];
-    in_h_ = spec.subgraph == nullptr || (*spec.subgraph)[self];
-    is_source_ = spec.sources == nullptr || (*spec.sources)[self];
+  ColorBfsShardProgram(const graph::Graph& g, const ColorBfsSpec& spec,
+                       const ProtocolShape& shape, const std::vector<bool>* activation)
+      : g_(&g), shape_(shape) {
+    const VertexId n = g.vertex_count();
     overflow_bound_ = spec.reject_on_overflow
                           ? std::max(spec.threshold, spec.overflow_floor)
                           : spec.threshold;
     reject_on_overflow_ = spec.reject_on_overflow;
-    // Chain positions: ascending window = color (1..meet-1); descending
-    // window = length - color (color in meet+1..length-1).
-    if (in_h_) {
-      if (color_ >= 1 && color_ < shape_.meet) up_window_ = color_;
-      if (color_ > shape_.meet && color_ < shape_.length)
-        down_window_ = shape_.length - color_;
+
+    color_.assign(n, 0);
+    in_h_.assign(n, 0);
+    launch_.assign(n, 0);
+    up_window_.assign(n, 0);
+    down_window_.assign(n, 0);
+    forwarding_.assign(n, 0);
+    cursor_.assign(n, 0);
+    up_ids_.assign(n, {});
+    down_ids_.assign(n, {});
+    for (VertexId v = 0; v < n; ++v) {
+      color_[v] = (*spec.colors)[v];
+      const bool in_h = spec.subgraph == nullptr || (*spec.subgraph)[v];
+      const bool is_source = spec.sources == nullptr || (*spec.sources)[v];
+      const bool activated = activation == nullptr || (*activation)[v];
+      in_h_[v] = in_h ? 1 : 0;
+      launch_[v] = (in_h && is_source && color_[v] == 0 && activated) ? 1 : 0;
+      // Chain positions: ascending window = color (1..meet-1); descending
+      // window = length - color (color in meet+1..length-1).
+      if (in_h) {
+        if (color_[v] >= 1 && color_[v] < shape_.meet) up_window_[v] = color_[v];
+        if (color_[v] > shape_.meet && color_[v] < shape_.length)
+          down_window_[v] = static_cast<std::uint8_t>(shape_.length - color_[v]);
+      }
     }
+    arc_color_.assign(2 * static_cast<std::size_t>(g.edge_count()), 0xff);
+    arc_in_h_.assign(arc_color_.size(), 0);
   }
 
-  void on_round(Context& ctx) override {
+  void on_round(congest::ShardContext& ctx, VertexId first, VertexId last) override {
     const auto round = ctx.round();
     if (round == 0) {
-      ctx.broadcast({kAnnounce, static_cast<std::uint64_t>(color_) |
-                                    (static_cast<std::uint64_t>(in_h_) << 8)});
+      for (VertexId v = first; v < last; ++v)
+        ctx.broadcast(v, {kAnnounce, static_cast<std::uint64_t>(color_[v]) |
+                                         (static_cast<std::uint64_t>(in_h_[v]) << 8)});
       return;
     }
     if (round == 1) {
-      read_announcements(ctx);
-      if (in_h_ && is_source_ && color_ == 0 && activated_) send_source_id(ctx);
+      for (VertexId v = first; v < last; ++v) {
+        read_announcements(ctx, v);
+        if (launch_[v] != 0) send_source_id(ctx, v);
+      }
       return;
     }
-    receive_ids(ctx);
-    stream_window(ctx, round);
-    if (round + 1 == shape_.total_rounds()) finish(ctx);
+    const bool final_round = round + 1 == shape_.total_rounds();
+    for (VertexId v = first; v < last; ++v) {
+      if (ctx.halted(v)) continue;
+      receive_ids(ctx, v);
+      stream_window(ctx, v, round);
+      if (final_round) finish(ctx, v);
+    }
   }
 
  private:
-  void read_announcements(Context& ctx) {
-    neighbor_color_.assign(ctx.degree(), 0xff);
-    neighbor_in_h_.assign(ctx.degree(), false);
-    for (const auto& in : ctx.inbox()) {
+  void read_announcements(congest::ShardContext& ctx, VertexId v) {
+    const std::uint32_t base = g_->arc_base(v);
+    for (const auto& in : ctx.inbox(v)) {
       if (in.message.tag != kAnnounce) continue;
-      neighbor_color_[in.port] = static_cast<std::uint8_t>(in.message.payload & 0xff);
-      neighbor_in_h_[in.port] = ((in.message.payload >> 8) & 1) != 0;
+      arc_color_[base + in.port] = static_cast<std::uint8_t>(in.message.payload & 0xff);
+      arc_in_h_[base + in.port] = static_cast<std::uint8_t>((in.message.payload >> 8) & 1);
     }
   }
 
-  void send_source_id(Context& ctx) {
+  void send_source_id(congest::ShardContext& ctx, VertexId v) {
     const std::uint8_t up_first = 1;
     const auto down_first = static_cast<std::uint8_t>(shape_.length - 1);
-    for (std::uint32_t p = 0; p < ctx.degree(); ++p) {
-      if (!neighbor_in_h_[p]) continue;
+    const std::uint32_t base = g_->arc_base(v);
+    const std::uint32_t deg = ctx.degree(v);
+    for (std::uint32_t p = 0; p < deg; ++p) {
+      if (arc_in_h_[base + p] == 0) continue;
       // One word per link: the neighbor infers the chain from its own
       // color, so a single copy of the id suffices even when up_first ==
       // down_first is impossible (length >= 3).
-      if (neighbor_color_[p] == up_first || neighbor_color_[p] == down_first)
-        ctx.send(p, {kUpId, self_});
+      if (arc_color_[base + p] == up_first || arc_color_[base + p] == down_first)
+        ctx.send(v, p, {kUpId, v});
     }
   }
 
-  void receive_ids(Context& ctx) {
-    if (!in_h_) return;
-    for (const auto& in : ctx.inbox()) {
+  void receive_ids(congest::ShardContext& ctx, VertexId v) {
+    if (in_h_[v] == 0) return;
+    const std::uint32_t base = g_->arc_base(v);
+    const std::uint8_t color = color_[v];
+    for (const auto& in : ctx.inbox(v)) {
       if (in.message.tag == kAnnounce) continue;
-      if (!neighbor_in_h_[in.port]) continue;
-      const std::uint8_t from_color = neighbor_color_[in.port];
+      if (arc_in_h_[base + in.port] == 0) continue;
+      const std::uint8_t from_color = arc_color_[base + in.port];
       const auto id = static_cast<VertexId>(in.message.payload);
       // Accept only along the chains; the sender's color determines the
       // direction (color 0 feeds both chain heads).
-      if (color_ >= 1 && color_ <= shape_.meet &&
-          from_color == static_cast<std::uint8_t>(color_ - 1)) {
-        up_ids_.push_back(id);
+      if (color >= 1 && color <= shape_.meet &&
+          from_color == static_cast<std::uint8_t>(color - 1)) {
+        up_ids_[v].push_back(id);
       }
-      const bool on_down_chain = color_ >= shape_.meet && color_ < shape_.length;
-      const std::uint8_t down_pred =
-          static_cast<std::uint8_t>((color_ + 1) % shape_.length);
-      if (on_down_chain && color_ != 0 && from_color == down_pred) {
-        down_ids_.push_back(id);
+      const bool on_down_chain = color >= shape_.meet && color < shape_.length;
+      const std::uint8_t down_pred = static_cast<std::uint8_t>((color + 1) % shape_.length);
+      if (on_down_chain && color != 0 && from_color == down_pred) {
+        down_ids_[v].push_back(id);
       }
     }
   }
 
-  void stream_window(Context& ctx, std::uint64_t round) {
-    stream_chain(ctx, round, up_window_, up_ids_, /*up=*/true);
-    stream_chain(ctx, round, down_window_, down_ids_, /*up=*/false);
+  void stream_window(congest::ShardContext& ctx, VertexId v, std::uint64_t round) {
+    stream_chain(ctx, v, round, up_window_[v], up_ids_[v], /*up=*/true);
+    stream_chain(ctx, v, round, down_window_[v], down_ids_[v], /*up=*/false);
   }
 
-  void stream_chain(Context& ctx, std::uint64_t round, std::uint32_t window,
-                    std::vector<VertexId>& ids, bool up) {
+  void stream_chain(congest::ShardContext& ctx, VertexId v, std::uint64_t round,
+                    std::uint32_t window, std::vector<VertexId>& ids, bool up) {
     if (window == 0) return;
     const std::uint64_t start = shape_.window_start(window);
     if (round < start || round >= start + shape_.tau) return;
@@ -139,59 +172,67 @@ class ColorBfsProgram : public congest::NodeProgram {
       std::sort(ids.begin(), ids.end());
       ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
       if (ids.size() > overflow_bound_ && reject_on_overflow_) {
-        ctx.reject();
-        forwarding_ = false;
+        ctx.reject(v);
+        forwarding_[v] = 0;
         return;
       }
-      forwarding_ = ids.size() <= shape_.tau && !ids.empty();
-      cursor_ = 0;
+      forwarding_[v] = (ids.size() <= shape_.tau && !ids.empty()) ? 1 : 0;
+      cursor_[v] = 0;
     }
-    if (!forwarding_ || cursor_ >= ids.size()) return;
-    const auto to_color = up ? static_cast<std::uint8_t>(color_ + 1)
-                             : static_cast<std::uint8_t>(color_ - 1);
-    for (std::uint32_t p = 0; p < ctx.degree(); ++p) {
-      if (!neighbor_in_h_[p] || neighbor_color_[p] != to_color) continue;
-      ctx.send(p, {up ? kUpId : kDownId, ids[cursor_]});
+    if (forwarding_[v] == 0 || cursor_[v] >= ids.size()) return;
+    // A node sits on at most one chain (up: 1..meet-1, down: meet+1..L-1),
+    // so forwarding_/cursor_ are shared between the two calls safely.
+    const auto to_color = up ? static_cast<std::uint8_t>(color_[v] + 1)
+                             : static_cast<std::uint8_t>(color_[v] - 1);
+    const std::uint32_t base = g_->arc_base(v);
+    const std::uint32_t deg = ctx.degree(v);
+    for (std::uint32_t p = 0; p < deg; ++p) {
+      if (arc_in_h_[base + p] == 0 || arc_color_[base + p] != to_color) continue;
+      ctx.send(v, p, {up ? kUpId : kDownId, ids[cursor_[v]]});
     }
-    ++cursor_;
+    ++cursor_[v];
   }
 
-  void finish(Context& ctx) {
-    if (in_h_ && color_ == shape_.meet && !up_ids_.empty() && !down_ids_.empty()) {
-      std::sort(up_ids_.begin(), up_ids_.end());
-      std::sort(down_ids_.begin(), down_ids_.end());
+  void finish(congest::ShardContext& ctx, VertexId v) {
+    auto& up = up_ids_[v];
+    auto& down = down_ids_[v];
+    if (in_h_[v] != 0 && color_[v] == shape_.meet && !up.empty() && !down.empty()) {
+      std::sort(up.begin(), up.end());
+      std::sort(down.begin(), down.end());
       std::size_t i = 0, j = 0;
-      while (i < up_ids_.size() && j < down_ids_.size()) {
-        if (up_ids_[i] < down_ids_[j]) {
+      while (i < up.size() && j < down.size()) {
+        if (up[i] < down[j]) {
           ++i;
-        } else if (down_ids_[j] < up_ids_[i]) {
+        } else if (down[j] < up[i]) {
           ++j;
         } else {
-          ctx.reject();
+          ctx.reject(v);
           break;
         }
       }
     }
-    ctx.halt();
+    ctx.halt(v);
   }
 
-  VertexId self_;
+  const graph::Graph* g_;
   ProtocolShape shape_;
-  bool activated_;
-  std::uint8_t color_ = 0;
-  bool in_h_ = true;
-  bool is_source_ = true;
   bool reject_on_overflow_ = false;
   std::uint64_t overflow_bound_ = 0;
-  std::uint32_t up_window_ = 0;    // 0 = not forwarding on the ascending chain
-  std::uint32_t down_window_ = 0;  // 0 = not forwarding on the descending chain
 
-  std::vector<std::uint8_t> neighbor_color_;
-  std::vector<bool> neighbor_in_h_;
-  std::vector<VertexId> up_ids_;
-  std::vector<VertexId> down_ids_;
-  bool forwarding_ = false;
-  std::size_t cursor_ = 0;
+  // Per node, flat.
+  std::vector<std::uint8_t> color_;
+  std::vector<std::uint8_t> in_h_;
+  std::vector<std::uint8_t> launch_;       // in_h && source && color 0 && activated
+  std::vector<std::uint8_t> up_window_;    // 0 = not on the ascending chain
+  std::vector<std::uint8_t> down_window_;  // 0 = not on the descending chain
+  std::vector<std::uint8_t> forwarding_;
+  std::vector<std::uint32_t> cursor_;
+  std::vector<std::vector<VertexId>> up_ids_;
+  std::vector<std::vector<VertexId>> down_ids_;
+
+  // Per directed arc (arc_base(v) + port): the neighbor's announcement.
+  std::vector<std::uint8_t> arc_color_;
+  std::vector<std::uint8_t> arc_in_h_;
 };
 
 }  // namespace
@@ -222,13 +263,8 @@ EngineColorBfsResult run_color_bfs_on_engine(congest::Network& net, const ColorB
   shape.down_len = spec.cycle_length - shape.meet;
   shape.tau = spec.threshold;
 
-  net.install([&](VertexId v) {
-    const bool activated =
-        spec.forced_activation != nullptr
-            ? (*spec.forced_activation)[v]
-            : true;
-    return std::make_unique<ColorBfsProgram>(v, spec, shape, activated);
-  });
+  net.install(std::make_shared<ColorBfsShardProgram>(g, spec, shape,
+                                                     spec.forced_activation));
   net.run_rounds(shape.total_rounds());
 
   EngineColorBfsResult result;

@@ -23,6 +23,7 @@
 #include "congest/primitives.hpp"
 #include "congest/round_engine.hpp"
 #include "congest/worker_pool.hpp"
+#include "congest/workloads.hpp"
 #include "core/bounded_cycle.hpp"
 #include "core/color_bfs.hpp"
 #include "core/complexity_model.hpp"

@@ -93,6 +93,12 @@ class Graph {
   /// receiver-side port of every send in O(1) instead of a binary search.
   std::uint32_t reverse_arc(std::uint32_t arc) const { return reverse_arc_[arc]; }
 
+  /// Undirected edge id of the directed arc with global index `arc`. The
+  /// CONGEST engine's cut meter expands its watched-edge set into a per-arc
+  /// mask through this at install time, keeping the send hot path free of
+  /// the edge-id indirection.
+  EdgeId arc_edge(std::uint32_t arc) const { return arc_edge_[arc]; }
+
   /// Vertex-induced subgraph. `keep[v]` selects vertices; returns the
   /// subgraph plus the mapping from new ids to original ids.
   struct Induced;

@@ -23,7 +23,9 @@ int usage(std::ostream& os) {
         "  evencycle list\n"
         "  evencycle run <scenario> [--seeds N] [--threads T] [--nodes N]\n"
         "                [--batch B] [--seed S] [--json] [--no-timing] [--out FILE]\n"
+        "                [--require KEY=MIN ...]\n"
         "  evencycle compare <baseline.json> <current.json> [--max-regression R]\n"
+        "                    [--max-efficiency-regression E]\n"
         "  evencycle fuzz [--minutes M] [--runs N] [--seed S] [--corpus DIR]\n"
         "                 [--max-nodes N] [--mutate-engine] [--json] [--out FILE]\n"
         "  evencycle replay <corpus.json> [more.json ...]\n"
@@ -53,6 +55,9 @@ struct RunFlags {
   RunOptions options;
   bool json = false;
   std::string out;
+  /// --require KEY=MIN gates: after the run, summary[KEY] must exist and be
+  /// >= MIN or the command exits 1 (the nightly parallel-efficiency gate).
+  std::vector<std::pair<std::string, double>> required_summary;
 };
 
 /// Parses run flags from argv[first..argc); throws InvalidArgument on
@@ -84,6 +89,21 @@ RunFlags parse_run_flags(int argc, char** argv, int first) {
       flags.options.with_timing = false;
     } else if (arg == "--out") {
       flags.out = value_of("--out");
+    } else if (arg == "--require") {
+      const std::string text = value_of("--require");
+      const auto eq = text.find('=');
+      EC_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < text.size(),
+                 "--require expects KEY=MIN, got: " + text);
+      std::size_t consumed = 0;
+      double minimum = 0.0;
+      try {
+        minimum = std::stod(text.substr(eq + 1), &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      EC_REQUIRE(consumed == text.size() - eq - 1,
+                 "malformed --require minimum: " + text);
+      flags.required_summary.emplace_back(text.substr(0, eq), minimum);
     } else {
       EC_REQUIRE(false, "unknown flag: " + arg);
     }
@@ -197,25 +217,95 @@ int run_command(const std::string& name, int argc, char** argv, int first) {
       return 1;
     }
   }
+  // --require KEY=MIN: turn any summary metric into a gate (the nightly
+  // run fails engine-sustained on efficiency-t4 < 0.5 this way).
+  for (const auto& [key, minimum] : flags.required_summary) {
+    const auto entry = std::find_if(result.summary.begin(), result.summary.end(),
+                                    [&](const auto& kv) { return kv.first == key; });
+    if (entry == result.summary.end()) {
+      std::cerr << "--require " << key << ": summary has no such metric\n";
+      return 1;
+    }
+    if (entry->second < minimum) {
+      std::cerr << "--require " << key << ": " << json_number(entry->second)
+                << " is below the required minimum " << json_number(minimum) << "\n";
+      return 1;
+    }
+    std::cerr << "--require " << key << ": " << json_number(entry->second)
+              << " >= " << json_number(minimum) << " ok\n";
+  }
   return 0;
 }
 
-/// rounds-per-second per cell keyed by the label string; cells without a
-/// timed round count are skipped (e.g. --no-timing documents).
-std::vector<std::pair<std::string, double>> rounds_per_second(const JsonValue& doc) {
+/// One timed cell of a perf document, flattened for comparison: the cell
+/// key is "<scenario>/<labels>" so cells of different scenarios inside a
+/// bench-set document never collide.
+struct PerfCell {
+  std::string key;
+  std::string threads;      ///< value of the "threads" label, empty if absent
+  std::string scaling_key;  ///< "<scenario>/<labels minus threads>"
+  double rps = 0.0;
+};
+
+/// A perf file is either one `evencycle-bench-v1` scenario document or an
+/// `evencycle-bench-set-v1` container ({"documents": [...]}) as written by
+/// bless-baseline; this flattens both shapes.
+std::vector<const JsonValue*> perf_documents(const JsonValue& root) {
+  const JsonValue* documents = root.get("documents");
+  if (documents == nullptr) return {&root};
+  std::vector<const JsonValue*> out;
+  for (const auto& doc : documents->as_array()) out.push_back(&doc);
+  return out;
+}
+
+/// rounds-per-second per cell; cells without a timed round count are
+/// skipped (e.g. --no-timing documents).
+std::vector<PerfCell> timed_cells(const JsonValue& root) {
+  std::vector<PerfCell> out;
+  for (const JsonValue* doc : perf_documents(root)) {
+    const JsonValue* scenario = doc->get("scenario");
+    const JsonValue* cells = doc->get("cells");
+    EC_REQUIRE(scenario != nullptr && cells != nullptr,
+               "document has no scenario/cells");
+    for (const auto& cell : cells->as_array()) {
+      const JsonValue* labels = cell.get("labels");
+      const JsonValue* rounds = cell.get("rounds_measured");
+      const JsonValue* seconds = cell.get("seconds");
+      EC_REQUIRE(labels != nullptr && rounds != nullptr, "malformed cell");
+      if (seconds == nullptr || seconds->as_number() <= 0.0 || rounds->as_number() <= 0.0)
+        continue;
+      PerfCell perf;
+      Labels key, scaling;
+      for (const auto& [k, v] : labels->members()) {
+        key.emplace_back(k, v.as_string());
+        if (k == "threads") {
+          perf.threads = v.as_string();
+        } else {
+          scaling.emplace_back(k, v.as_string());
+        }
+      }
+      perf.key = scenario->as_string() + "/" + format_labels(key);
+      perf.scaling_key = scenario->as_string() + "/" + format_labels(scaling);
+      perf.rps = rounds->as_number() / seconds->as_number();
+      out.push_back(std::move(perf));
+    }
+  }
+  return out;
+}
+
+/// Speedup-vs-1-thread per multi-thread cell: "<scaling_key> @t" -> rps(t)
+/// / rps(1), for every cell group that has a 1-thread sibling.
+std::vector<std::pair<std::string, double>> thread_speedups(
+    const std::vector<PerfCell>& cells) {
   std::vector<std::pair<std::string, double>> out;
-  const JsonValue* cells = doc.get("cells");
-  EC_REQUIRE(cells != nullptr, "document has no cells array");
-  for (const auto& cell : cells->as_array()) {
-    const JsonValue* labels = cell.get("labels");
-    const JsonValue* rounds = cell.get("rounds_measured");
-    const JsonValue* seconds = cell.get("seconds");
-    EC_REQUIRE(labels != nullptr && rounds != nullptr, "malformed cell");
-    if (seconds == nullptr || seconds->as_number() <= 0.0 || rounds->as_number() <= 0.0)
-      continue;
-    Labels key;
-    for (const auto& [k, v] : labels->members()) key.emplace_back(k, v.as_string());
-    out.emplace_back(format_labels(key), rounds->as_number() / seconds->as_number());
+  for (const auto& cell : cells) {
+    if (cell.threads.empty() || cell.threads == "1") continue;
+    const auto base = std::find_if(cells.begin(), cells.end(), [&](const PerfCell& c) {
+      return c.threads == "1" && c.scaling_key == cell.scaling_key;
+    });
+    if (base == cells.end() || base->rps <= 0.0) continue;
+    out.emplace_back(cell.scaling_key + " @" + cell.threads + " threads",
+                     cell.rps / base->rps);
   }
   return out;
 }
@@ -223,38 +313,63 @@ std::vector<std::pair<std::string, double>> rounds_per_second(const JsonValue& d
 }  // namespace
 
 int compare_documents(const std::string& baseline_json, const std::string& current_json,
-                      double max_regression, std::string* report) {
+                      double max_regression, std::string* report,
+                      double max_efficiency_regression) {
   const JsonValue baseline = parse_json(baseline_json);
   const JsonValue current = parse_json(current_json);
-  const auto baseline_rps = rounds_per_second(baseline);
-  const auto current_rps = rounds_per_second(current);
+  const auto baseline_cells = timed_cells(baseline);
+  const auto current_cells = timed_cells(current);
 
   std::ostringstream os;
   int regressions = 0;
   int compared = 0;
-  for (const auto& [key, base] : baseline_rps) {
-    const auto match = std::find_if(current_rps.begin(), current_rps.end(),
-                                    [&](const auto& entry) { return entry.first == key; });
-    if (match == current_rps.end()) {
-      os << "MISSING  " << key << " (in baseline, not in current)\n";
+  for (const auto& cell : baseline_cells) {
+    const auto match =
+        std::find_if(current_cells.begin(), current_cells.end(),
+                     [&](const PerfCell& entry) { return entry.key == cell.key; });
+    if (match == current_cells.end()) {
+      os << "MISSING  " << cell.key << " (in baseline, not in current)\n";
       ++regressions;
       continue;
     }
     ++compared;
-    const double ratio = match->second / base;
+    const double ratio = match->rps / cell.rps;
     const bool regressed = ratio < 1.0 - max_regression;
-    os << (regressed ? "REGRESSED" : "ok       ") << "  " << key << "  baseline "
-       << json_number(base) << " rps, current " << json_number(match->second)
+    os << (regressed ? "REGRESSED" : "ok       ") << "  " << cell.key << "  baseline "
+       << json_number(cell.rps) << " rps, current " << json_number(match->rps)
        << " rps (x" << json_number(ratio) << ")\n";
     if (regressed) ++regressions;
   }
+
+  // Scaling-efficiency gate: per-cell rounds/sec can stay flat while the
+  // engine quietly loses its parallelism (every thread count slowing down
+  // in lockstep passes the per-cell check at threads=1's expense budget).
+  // Compare speedup-vs-1-thread instead: a multi-thread cell whose speedup
+  // fell below (1 - max_efficiency_regression) x the baseline's speedup is
+  // a parallelism regression even if its absolute rps moved little.
+  const auto baseline_speedups = thread_speedups(baseline_cells);
+  const auto current_speedups = thread_speedups(current_cells);
+  for (const auto& [key, base] : baseline_speedups) {
+    const auto match =
+        std::find_if(current_speedups.begin(), current_speedups.end(),
+                     [&](const auto& entry) { return entry.first == key; });
+    if (match == current_speedups.end()) continue;  // MISSING already reported
+    const double ratio = match->second / base;
+    const bool regressed = ratio < 1.0 - max_efficiency_regression;
+    os << (regressed ? "SCALING REGRESSED" : "scaling ok       ") << "  " << key
+       << "  baseline speedup " << json_number(base) << ", current "
+       << json_number(match->second) << " (x" << json_number(ratio) << ")\n";
+    if (regressed) ++regressions;
+  }
+
   if (compared == 0) {
     os << "no comparable cells (both documents need timing data)\n";
     ++regressions;
   }
   os << (regressions == 0 ? "PASS" : "FAIL") << ": " << compared << " cells compared, "
      << regressions << " regressions (allowed slowdown "
-     << json_number(max_regression * 100) << "%)\n";
+     << json_number(max_regression * 100) << "%, allowed speedup loss "
+     << json_number(max_efficiency_regression * 100) << "%)\n";
   if (report != nullptr) *report = os.str();
   return regressions == 0 ? 0 : 1;
 }
@@ -274,15 +389,19 @@ int compare_command(int argc, char** argv, int first) {
   const std::string baseline_path = argv[first];
   const std::string current_path = argv[first + 1];
   double max_regression = 0.25;
+  double max_efficiency_regression = 0.25;
   for (int i = first + 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--max-regression" && i + 1 < argc) {
+    const bool is_regression = arg == "--max-regression";
+    const bool is_efficiency = arg == "--max-efficiency-regression";
+    if ((is_regression || is_efficiency) && i + 1 < argc) {
       try {
         std::size_t consumed = 0;
-        max_regression = std::stod(argv[++i], &consumed);
+        const double value = std::stod(argv[++i], &consumed);
         if (consumed != std::string(argv[i]).size()) throw std::invalid_argument(argv[i]);
+        (is_regression ? max_regression : max_efficiency_regression) = value;
       } catch (const std::exception&) {
-        std::cerr << "malformed --max-regression value: " << argv[i] << "\n";
+        std::cerr << "malformed " << arg << " value: " << argv[i] << "\n";
         return usage(std::cerr);
       }
     } else {
@@ -293,7 +412,7 @@ int compare_command(int argc, char** argv, int first) {
   try {
     std::string report;
     const int code = compare_documents(slurp(baseline_path), slurp(current_path),
-                                       max_regression, &report);
+                                       max_regression, &report, max_efficiency_regression);
     std::cout << report;
     return code;
   } catch (const std::exception& error) {
@@ -413,9 +532,13 @@ int replay_command(int argc, char** argv, int first) {
   return mismatches == 0 ? 0 : 1;
 }
 
+/// The two perf scenarios the CI gate tracks; bless-baseline records both
+/// into one `evencycle-bench-set-v1` container document.
+constexpr const char* kPerfScenarios[] = {"engine-scaling", "engine-sustained"};
+
 int bless_baseline_command(int argc, char** argv, int first) {
-  // Defaults mirror the CI perf job: the engine-scaling scenario at its
-  // stock parameters, timing on, JSON out.
+  // Defaults mirror the CI perf job: both perf scenarios at their stock
+  // parameters, timing on, JSON out.
   std::string out = "bench/baseline.json";
   std::vector<char*> forwarded;
   for (int i = first; i < argc; ++i) {
@@ -441,28 +564,50 @@ int bless_baseline_command(int argc, char** argv, int first) {
     return usage(std::cerr);
   }
 
-  ScenarioResult result;
-  try {
-    result = run_scenario("engine-scaling", flags.options);
-  } catch (const std::exception& error) {
-    std::cerr << "bless-baseline: engine-scaling failed: " << error.what() << "\n";
-    return 1;
-  }
-  for (const auto& cell : result.cells) {
-    if (!cell.result.ok) {
-      std::cerr << "bless-baseline: refusing to bless a run with failed cells: "
-                << cell.result.error << "\n";
+  std::vector<ScenarioResult> results;
+  std::size_t cell_count = 0;
+  for (const char* name : kPerfScenarios) {
+    ScenarioResult result;
+    try {
+      result = run_scenario(name, flags.options);
+    } catch (const std::exception& error) {
+      std::cerr << "bless-baseline: " << name << " failed: " << error.what() << "\n";
       return 1;
     }
+    for (const auto& cell : result.cells) {
+      if (!cell.result.ok) {
+        std::cerr << "bless-baseline: refusing to bless a run with failed cells ("
+                  << name << "): " << cell.result.error << "\n";
+        return 1;
+      }
+    }
+    // Same gate `run` applies: a run whose thread-count cross-check failed
+    // must never become the committed baseline (or a CI artifact a user is
+    // told to commit as one).
+    for (const auto& [key, value] : result.summary) {
+      if (key == "deterministic" && value == 0.0) {
+        std::cerr << "bless-baseline: refusing to bless a nondeterministic run ("
+                  << name << " reported summary deterministic=0)\n";
+        return 1;
+      }
+    }
+    cell_count += result.cells.size();
+    results.push_back(std::move(result));
   }
   std::ofstream file(out);
   if (!file) {
     std::cerr << "cannot open --out file: " << out << "\n";
     return 1;
   }
-  write_json(file, result, /*with_timing=*/true);
-  std::cerr << "blessed new baseline: " << out << " (" << result.cells.size()
-            << " cells)\n"
+  file << "{\"schema\":\"evencycle-bench-set-v1\",\"documents\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::string doc = to_json(results[i], /*with_timing=*/true);
+    while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+    file << (i == 0 ? "" : ",") << doc;
+  }
+  file << "]}\n";
+  std::cerr << "blessed new baseline: " << out << " (" << results.size()
+            << " scenarios, " << cell_count << " cells)\n"
             << "commit it to refresh the CI perf gate.\n";
   return 0;
 }

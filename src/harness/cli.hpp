@@ -5,6 +5,7 @@
 //   evencycle run <scenario> [--seeds N] [--threads T] [--nodes N]
 //                 [--batch B] [--seed S] [--json] [--no-timing] [--out FILE]
 //   evencycle compare <baseline.json> <current.json> [--max-regression R]
+//                     [--max-efficiency-regression E]
 //   evencycle fuzz [--minutes M] [--runs N] [--seed S] [--corpus DIR]
 //                  [--max-nodes N] [--mutate-engine] [--json] [--out FILE]
 //   evencycle replay <corpus.json> [more.json ...]
@@ -12,11 +13,15 @@
 //
 // `run` prints an aligned text table by default and the stable
 // `evencycle-bench-v1` JSON document under --json; it exits 1 when any cell
-// failed or when the scenario's summary reports `deterministic` = 0 (the
-// engine-scaling thread-count cross-check). `compare` implements the CI
-// perf gate: it recomputes rounds-per-second per cell from two documents
-// and fails (exit 1) when any cell regressed by more than the allowed
-// fraction (default 0.25).
+// failed, when the scenario's summary reports `deterministic` = 0 (the
+// engine-scaling thread-count cross-check), or when a `--require KEY=MIN`
+// gate finds summary[KEY] below MIN (the nightly parallel-efficiency
+// gate). `compare` implements the CI perf gate: it recomputes
+// rounds-per-second per cell from two documents (single scenarios or
+// bless-baseline's bench-set containers) and fails (exit 1) when any cell
+// regressed by more than the allowed fraction (default 0.25) or when a
+// multi-thread cell lost more than the allowed fraction of its
+// speedup-vs-1-thread (the scaling-efficiency check).
 //
 // `fuzz` drives the differential fuzzer (src/fuzz/): exit 0 = no oracle
 // mismatch found; exit 1 = at least one confirmed mismatch (minimized
@@ -24,7 +29,8 @@
 // inverts into a self-test: 0 iff the planted shim bug was caught and
 // shrunk to <= 12 vertices. `replay` re-runs corpus documents through the
 // oracle cross-check (exit 1 when any mismatch reproduces). `bless-baseline`
-// re-records bench/baseline.json from a fresh engine-scaling run — the one
+// re-records bench/baseline.json from fresh engine-scaling +
+// engine-sustained runs (one `evencycle-bench-set-v1` container) — the one
 // documented way to refresh the perf gate's baseline.
 #pragma once
 
@@ -41,8 +47,13 @@ int scenario_main(const std::string& name, int argc, char** argv);
 
 /// The perf-regression gate, exposed for tests: returns 0 when every
 /// comparable cell of `current` is within `max_regression` of `baseline`
-/// in rounds per second, 1 otherwise.
+/// in rounds per second AND no multi-thread cell's speedup-vs-1-thread
+/// fell more than `max_efficiency_regression` below the baseline's
+/// speedup, 1 otherwise. Both inputs may be single `evencycle-bench-v1`
+/// documents or `evencycle-bench-set-v1` containers (bless-baseline's
+/// output); cells are keyed "<scenario>/<labels>".
 int compare_documents(const std::string& baseline_json, const std::string& current_json,
-                      double max_regression, std::string* report);
+                      double max_regression, std::string* report,
+                      double max_efficiency_regression = 0.25);
 
 }  // namespace evencycle::harness

@@ -7,6 +7,7 @@
 
 #include "baseline/local_threshold.hpp"
 #include "congest/network.hpp"
+#include "congest/workloads.hpp"
 #include "core/color_bfs.hpp"
 #include "core/complexity_model.hpp"
 #include "core/derandomized.hpp"
@@ -34,10 +35,8 @@ std::string u64(std::uint64_t value) { return std::to_string(value); }
 // This is the workload the CI perf gate tracks: rounds per second per
 // thread count, against bench/baseline.json.
 
-class FloodProgram : public congest::NodeProgram {
- public:
-  void on_round(congest::Context& ctx) override { ctx.broadcast({0, ctx.id()}); }
-};
+using congest::FloodShardProgram;  // congest/workloads.hpp — shared with
+                                   // engine_micro and the alloc test
 
 Scenario engine_scaling_scenario() {
   Scenario scenario;
@@ -80,7 +79,7 @@ Scenario engine_scaling_scenario() {
           congest::Config config;
           config.threads = threads;
           congest::Network net(*g, config);
-          net.install([](VertexId) { return std::make_unique<FloodProgram>(); });
+          net.install(std::make_shared<FloodShardProgram>());
           net.run_round();  // warm-up: populates arena/lane capacities
           // Time only the steady-state round loop — construction and the
           // warm-up round would otherwise dilute the rounds/sec the CI
@@ -111,6 +110,130 @@ Scenario engine_scaling_scenario() {
                         cell.result.congestion == cells.front().result.congestion;
       }
       return Series{{"deterministic", deterministic ? 1.0 : 0.0}};
+    };
+    return plan;
+  };
+  return scenario;
+}
+
+// --- engine-sustained --------------------------------------------------------
+// Sustained-throughput scaling: a workload big enough (default 500k nodes,
+// 200 steady-state rounds, ~2M messages per round) that per-round engine
+// overheads vanish and the compute/reduce/deliver phases dominate — the
+// regime where parallel speedup is measurable at all. Reports messages per
+// second and the per-phase wall-clock breakdown per cell, and parallel
+// speedup / efficiency vs the 1-thread cell in the summary (the nightly
+// efficiency gate reads `efficiency-t4`).
+
+Scenario engine_sustained_scenario() {
+  Scenario scenario;
+  scenario.name = "engine-sustained";
+  scenario.description =
+      "sustained round-engine throughput at >= 500k nodes x 200 rounds: "
+      "msgs/sec, per-phase breakdown, parallel efficiency vs 1 thread";
+  scenario.plan = [](const RunOptions& options) {
+    const VertexId nodes =
+        options.nodes != 0 ? static_cast<VertexId>(options.nodes) : 500000;
+    const std::uint32_t degree = 4;
+    const std::uint64_t rounds = 200;
+    const std::uint32_t seeds = options.seeds != 0 ? options.seeds : 1;
+
+    Rng rng(options.seed);
+    const auto g = std::make_shared<const Graph>(
+        graph::random_near_regular(nodes, degree, rng));
+
+    // Fixed axis for the same reason as engine-scaling: baseline documents
+    // from different machines must present the same cells.
+    std::vector<std::uint32_t> thread_axis = {1, 2, 4};
+    if (options.threads != 0) thread_axis = {options.threads};
+
+    // Cell extras and the speedup summary are wall-clock-derived; under
+    // --no-timing they must stay out of the document entirely, or the
+    // deterministic payload would differ between runs and batch widths.
+    const bool with_timing = options.with_timing;
+
+    ScenarioPlan plan;
+    plan.params = {{"nodes", u64(g->vertex_count())},
+                   {"edges", u64(g->edge_count())},
+                   {"degree", u64(degree)},
+                   {"rounds", u64(rounds)}};
+    for (std::uint32_t rep = 0; rep < seeds; ++rep) {
+      for (const auto threads : thread_axis) {
+        Cell cell;
+        cell.labels = {{"threads", u64(threads)}, {"rep", u64(rep)}};
+        cell.run = [g, threads, rounds, with_timing](Rng&) {
+          congest::Config config;
+          config.threads = threads;
+          config.collect_phase_timings = true;
+          congest::Network net(*g, config);
+          net.install(std::make_shared<FloodShardProgram>());
+          net.run_round();  // warm-up: populates arena/lane capacities
+          const auto warmup = net.metrics();
+          const auto start = std::chrono::steady_clock::now();
+          net.run_rounds(rounds);
+          const auto stop = std::chrono::steady_clock::now();
+          const auto& metrics = net.metrics();
+
+          CellResult result;
+          result.rounds_measured = rounds;
+          result.messages = metrics.messages;  // incl. warm-up: determinism key
+          result.congestion = metrics.busiest_round_messages;
+          result.extra.emplace_back("resolved_threads",
+                                    static_cast<double>(net.thread_count()));
+          if (with_timing) {
+            result.seconds = std::chrono::duration<double>(stop - start).count();
+            const auto timed_messages =
+                static_cast<double>(metrics.messages - warmup.messages);
+            result.extra.emplace_back("msgs_per_sec", timed_messages / result.seconds);
+            result.extra.emplace_back("compute_seconds",
+                                      metrics.compute_seconds - warmup.compute_seconds);
+            result.extra.emplace_back("reduce_seconds",
+                                      metrics.reduce_seconds - warmup.reduce_seconds);
+            result.extra.emplace_back("deliver_seconds",
+                                      metrics.deliver_seconds - warmup.deliver_seconds);
+          }
+          return result;
+        };
+        plan.cells.push_back(std::move(cell));
+      }
+    }
+    plan.finalize = [thread_axis, with_timing](const std::vector<CellRecord>& cells) {
+      Series summary;
+      bool deterministic = true;
+      for (const auto& cell : cells) {
+        deterministic = deterministic && cell.result.ok &&
+                        cell.result.messages == cells.front().result.messages &&
+                        cell.result.congestion == cells.front().result.congestion;
+      }
+      summary.emplace_back("deterministic", deterministic ? 1.0 : 0.0);
+      if (!with_timing) return summary;
+
+      // Best-of-reps seconds per thread count (wall-time noise shrinks the
+      // minimum least), then speedup / efficiency against the 1-thread cell.
+      auto best_seconds = [&cells](std::uint32_t threads) {
+        double best = 0.0;
+        for (const auto& cell : cells) {
+          if (!cell.result.ok || cell.result.seconds <= 0.0) continue;
+          if (cell.labels.front().second != u64(threads)) continue;
+          if (best == 0.0 || cell.result.seconds < best) best = cell.result.seconds;
+        }
+        return best;
+      };
+      const double base = best_seconds(1);
+      for (const auto threads : thread_axis) {
+        const double seconds = best_seconds(threads);
+        if (seconds <= 0.0) continue;
+        const double messages =
+            static_cast<double>(cells.front().result.congestion) *
+            static_cast<double>(cells.front().result.rounds_measured);
+        summary.emplace_back("msgs-per-sec-t" + u64(threads), messages / seconds);
+        if (base > 0.0 && threads != 1) {
+          const double speedup = base / seconds;
+          summary.emplace_back("speedup-t" + u64(threads), speedup);
+          summary.emplace_back("efficiency-t" + u64(threads), speedup / threads);
+        }
+      }
+      return summary;
     };
     return plan;
   };
@@ -579,6 +702,7 @@ Scenario table1_quantum_scenario() {
 
 void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(engine_scaling_scenario());
+  registry.add(engine_sustained_scenario());
   registry.add(detection_matrix_scenario());
   registry.add(ablation_coloring_scenario());
   registry.add(ablation_congestion_scenario());

@@ -4,9 +4,11 @@
 // reference).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -139,6 +141,114 @@ TEST(Determinism, PerInboxMessageOrderIdenticalAcrossThreadCounts) {
       ASSERT_EQ(reference.per_node[v], log.per_node[v])
           << "inbox mismatch at vertex " << v << ", threads=" << threads;
   }
+}
+
+/// The same chatty protocol as a native batched SoA program: one object,
+/// a flat per-shard loop, identical per-vertex logic.
+class ChattyShardProgram : public ShardProgram {
+ public:
+  ChattyShardProgram(std::uint32_t words, InboxLog* log) : words_(words), log_(log) {}
+
+  void on_round(ShardContext& ctx, VertexId first, VertexId last) override {
+    const auto round = ctx.round();
+    const auto burst =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(words_, round + 1));
+    for (VertexId v = first; v < last; ++v) {
+      auto& log = log_->per_node[v];
+      for (const auto& in : ctx.inbox(v)) {
+        log.push_back(round);
+        log.push_back(in.port);
+        log.push_back(in.message.tag);
+        log.push_back(in.message.payload);
+      }
+      const std::uint32_t deg = ctx.degree(v);
+      for (std::uint32_t port = 0; port < deg; ++port)
+        for (std::uint32_t w = 0; w < burst; ++w)
+          ctx.send(v, port, {v, (static_cast<std::uint64_t>(v) << 8) | w});
+    }
+  }
+
+ private:
+  std::uint32_t words_;
+  InboxLog* log_;
+};
+
+struct ChattyShardRun {
+  InboxLog log;
+  Metrics metrics;
+};
+
+ChattyShardRun run_chatty_shard_at(const Graph& g, std::uint32_t threads) {
+  Config config;
+  config.words_per_round = 3;
+  config.threads = threads;
+  config.collect_round_profile = true;
+  Network net(g, config);
+  ChattyShardRun run;
+  run.log.per_node.resize(g.vertex_count());
+  net.install(std::make_shared<ChattyShardProgram>(3, &run.log));
+  net.run_rounds(5);
+  run.metrics = net.metrics();
+  return run;
+}
+
+// The batched model's determinism guarantee: a native ShardProgram must be
+// bit-identical at every thread count AND bit-identical to the per-vertex
+// NodeProgram adapter running the same protocol (the adapter is the
+// sequential reference semantics).
+TEST(Determinism, NativeShardProgramIdenticalAcrossThreadCountsAndToAdapter) {
+  const Graph g = determinism_graph(11);
+  const auto adapter_reference = run_chatty_at(g, 1);
+  const auto shard_reference = run_chatty_shard_at(g, 1);
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    ASSERT_EQ(adapter_reference.per_node[v], shard_reference.log.per_node[v])
+        << "adapter/shard divergence at vertex " << v;
+  for (const auto threads : thread_counts_under_test()) {
+    const auto run = run_chatty_shard_at(g, threads);
+    expect_metrics_equal(shard_reference.metrics, run.metrics, threads);
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+      ASSERT_EQ(shard_reference.log.per_node[v], run.log.per_node[v])
+          << "inbox mismatch at vertex " << v << ", threads=" << threads;
+  }
+}
+
+// Halt/reject bookkeeping through ShardContext: a native program halting
+// its vertices must drive run_to_quiescence and reject counting exactly as
+// the per-vertex API does, at every thread count.
+class CountdownShardProgram : public ShardProgram {
+ public:
+  void on_round(ShardContext& ctx, VertexId first, VertexId last) override {
+    for (VertexId v = first; v < last; ++v) {
+      if (ctx.halted(v)) continue;
+      if (ctx.round() >= v % 5) {
+        if (v % 3 == 0) ctx.reject(v);
+        ctx.halt(v);
+      } else {
+        ctx.broadcast(v, {0, v});
+      }
+    }
+  }
+};
+
+TEST(Determinism, ShardContextHaltAndRejectIdenticalAcrossThreadCounts) {
+  const Graph g = determinism_graph(17);
+  auto run = [&](std::uint32_t threads) {
+    Config config;
+    config.threads = threads;
+    Network net(g, config);
+    net.install(std::make_shared<CountdownShardProgram>());
+    const auto rounds = net.run_to_quiescence(64);
+    std::vector<VertexId> rejecting;
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+      if (net.rejected(v)) rejecting.push_back(v);
+    return std::make_tuple(rounds, net.reject_count(), rejecting, net.all_halted(),
+                           net.metrics().messages);
+  };
+  const auto reference = run(1);
+  EXPECT_TRUE(std::get<3>(reference));
+  EXPECT_GT(std::get<1>(reference), 0u);
+  for (const auto threads : thread_counts_under_test())
+    EXPECT_EQ(run(threads), reference) << "threads=" << threads;
 }
 
 /// Two different violations in one round: vertex `bad_port_at` sends on a

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "graph/generators.hpp"
 #include "support/check.hpp"
@@ -257,6 +259,124 @@ TEST(Network, MoreThreadsThanVerticesIsFine) {
   net.run_rounds(2);
   EXPECT_EQ(net.metrics().messages, 4u);
   ASSERT_EQ(received[1].size(), 2u);
+}
+
+/// RAII save/restore of EVENCYCLE_THREADS: the CI 4-thread job exports it
+/// for the whole suite, so these tests must put it back exactly.
+class ScopedThreadsEnv {
+ public:
+  ScopedThreadsEnv() {
+    const char* current = std::getenv("EVENCYCLE_THREADS");
+    if (current != nullptr) saved_ = current;
+    had_value_ = current != nullptr;
+  }
+  ~ScopedThreadsEnv() {
+    if (had_value_) {
+      setenv("EVENCYCLE_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("EVENCYCLE_THREADS");
+    }
+  }
+  void set(const char* value) { setenv("EVENCYCLE_THREADS", value, 1); }
+  void unset() { unsetenv("EVENCYCLE_THREADS"); }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(Network, ThreadEnvNumericValuesResolve) {
+  ScopedThreadsEnv env;
+  env.unset();
+  EXPECT_EQ(resolve_thread_count(kThreadsFromEnv), 1u);
+  env.set("3");
+  EXPECT_EQ(resolve_thread_count(kThreadsFromEnv), 3u);
+  env.set("0");  // hardware concurrency
+  EXPECT_GE(resolve_thread_count(kThreadsFromEnv), 1u);
+  env.set("999999999");  // clamped, not wrapped
+  EXPECT_EQ(resolve_thread_count(kThreadsFromEnv), WorkerPool::kMaxThreads);
+}
+
+TEST(Network, ThreadEnvGarbageFallsBackToSequential) {
+  // Regression: strtoul mapped "abc" to 0, and 0 means "hardware
+  // concurrency" — a typo silently fanned every simulation out to all
+  // cores. Non-numeric values must resolve to 1 (with a stderr warning).
+  ScopedThreadsEnv env;
+  env.set("abc");
+  EXPECT_EQ(resolve_thread_count(kThreadsFromEnv), 1u);
+  env.set("4x");  // trailing junk is garbage too, not "4"
+  EXPECT_EQ(resolve_thread_count(kThreadsFromEnv), 1u);
+  env.set(" 8");  // leading whitespace: reject rather than guess
+  EXPECT_EQ(resolve_thread_count(kThreadsFromEnv), 1u);
+  env.set("");
+  EXPECT_EQ(resolve_thread_count(kThreadsFromEnv), 1u);
+
+  // The engine construction path resolves the same way.
+  env.set("not-a-number");
+  const Graph g = graph::cycle(6);
+  Network net(g);  // default Config: threads from env
+  EXPECT_EQ(net.thread_count(), 1u);
+}
+
+TEST(Network, ExplicitThreadCountBypassesEnv) {
+  ScopedThreadsEnv env;
+  env.set("abc");
+  EXPECT_EQ(resolve_thread_count(5), 5u);
+  EXPECT_EQ(resolve_thread_count(100000), WorkerPool::kMaxThreads);
+}
+
+TEST(Network, OversizedMessageTagThrows) {
+  // The packed staged path budgets 16 bits for the tag; a larger tag must
+  // be a loud SimulationError, not silent truncation.
+  const Graph g = graph::path(2);
+  Network net(g);
+  net.install([](VertexId) {
+    class BigTagProgram : public NodeProgram {
+     public:
+      void on_round(Context& ctx) override { ctx.send(0, {kMaxMessageTag + 1, 7}); }
+    };
+    return std::make_unique<BigTagProgram>();
+  });
+  EXPECT_THROW(net.run_round(), SimulationError);
+
+  Network ok_net(g);
+  ok_net.install([](VertexId) {
+    class MaxTagProgram : public NodeProgram {
+     public:
+      void on_round(Context& ctx) override {
+        if (ctx.round() == 0) ctx.send(0, {kMaxMessageTag, 7});
+        for (const auto& in : ctx.inbox()) {
+          EXPECT_EQ(in.message.tag, kMaxMessageTag);
+          EXPECT_EQ(static_cast<std::uint64_t>(in.message.payload), 7u);
+        }
+      }
+    };
+    return std::make_unique<MaxTagProgram>();
+  });
+  ok_net.run_rounds(2);
+  EXPECT_EQ(ok_net.metrics().messages, 2u);
+}
+
+TEST(Network, PhaseTimingsAccumulateWhenEnabled) {
+  const Graph g = graph::cycle(64);
+  Config config;
+  config.collect_phase_timings = true;
+  Network net(g, config);
+  std::vector<std::vector<std::uint64_t>> received(g.vertex_count());
+  net.install([&](VertexId v) { return std::make_unique<ChatterProgram>(v, &received); });
+  net.run_rounds(3);
+  const auto& m = net.metrics();
+  EXPECT_GT(m.compute_seconds, 0.0);
+  EXPECT_GT(m.deliver_seconds, 0.0);
+  EXPECT_GE(m.reduce_seconds, 0.0);  // tiny phase: may round to clock ticks
+
+  // Off by default: the fields stay zero.
+  Network plain(g);
+  plain.install([&](VertexId v) { return std::make_unique<ChatterProgram>(v, &received); });
+  plain.run_rounds(3);
+  EXPECT_EQ(plain.metrics().compute_seconds, 0.0);
+  EXPECT_EQ(plain.metrics().reduce_seconds, 0.0);
+  EXPECT_EQ(plain.metrics().deliver_seconds, 0.0);
 }
 
 TEST(Network, WatchedEdgesCounted) {

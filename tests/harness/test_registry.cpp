@@ -53,8 +53,9 @@ TEST(ScenarioRegistry, BuiltinPaletteIsRegisteredOnce) {
   EXPECT_EQ(&registry, &builtin_registry());
 
   for (const char* name :
-       {"engine-scaling", "detection-matrix", "ablation-coloring", "ablation-congestion",
-        "ablation-threshold", "table1-classical", "table1-quantum"}) {
+       {"engine-scaling", "engine-sustained", "detection-matrix", "ablation-coloring",
+        "ablation-congestion", "ablation-threshold", "table1-classical",
+        "table1-quantum"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
 }

@@ -81,6 +81,24 @@ TEST(Runner, EngineScalingDocumentIsBatchInvariant) {
   EXPECT_EQ(doc.get("summary")->get("deterministic")->as_number(), 1.0);
 }
 
+TEST(Runner, EngineSustainedDocumentIsBatchInvariant) {
+  // The sustained scenario's msgs/sec and phase-breakdown extras are
+  // wall-clock-derived; under --no-timing they must vanish entirely so the
+  // deterministic payload stays byte-identical at any batch width.
+  RunOptions options;
+  options.nodes = 2000;
+  options.with_timing = false;
+  options.batch = 1;
+  const std::string sequential = to_json(run_scenario("engine-sustained", options), false);
+  options.batch = 4;
+  const std::string batched = to_json(run_scenario("engine-sustained", options), false);
+  EXPECT_EQ(sequential, batched);
+  const JsonValue doc = parse_json(sequential);
+  EXPECT_EQ(doc.get("summary")->get("deterministic")->as_number(), 1.0);
+  EXPECT_EQ(doc.get("summary")->get("speedup-t4"), nullptr);
+  EXPECT_EQ(sequential.find("msgs_per_sec"), std::string::npos);
+}
+
 TEST(Runner, CellSeedsAreStableAndDistinct) {
   EXPECT_EQ(cell_seed(7, 3), cell_seed(7, 3));
   EXPECT_NE(cell_seed(7, 3), cell_seed(7, 4));
@@ -148,6 +166,110 @@ TEST(Runner, CompareGatePassesAndFailsOnRoundsPerSecond) {
   EXPECT_EQ(compare_documents(to_json(no_timing, false), to_json(no_timing, false), 0.25,
                               &report),
             1);
+}
+
+/// A threads-axis document: one cell per (threads, seconds) pair.
+std::string threads_document(const std::vector<std::pair<std::string, double>>& cells) {
+  ScenarioResult result;
+  result.scenario = "scaling";
+  for (const auto& [threads, seconds] : cells) {
+    CellRecord cell;
+    cell.labels = {{"threads", threads}, {"rep", "0"}};
+    cell.result.rounds_measured = 100;
+    cell.result.seconds = seconds;
+    result.cells.push_back(cell);
+  }
+  return to_json(result, true);
+}
+
+TEST(Runner, CompareFailsWhenSpeedupVsOneThreadRegresses) {
+  // Baseline scales 2x at 2 threads; current got FASTER per cell (no plain
+  // rounds/sec regression anywhere) but lost all parallel speedup. The
+  // per-cell gate alone would pass this; the scaling-efficiency check must
+  // catch it.
+  const std::string baseline = threads_document({{"1", 1.0}, {"2", 0.5}});
+  const std::string current = threads_document({{"1", 0.4}, {"2", 0.4}});
+  std::string report;
+  EXPECT_EQ(compare_documents(baseline, current, 0.25, &report), 1) << report;
+  EXPECT_NE(report.find("SCALING REGRESSED"), std::string::npos) << report;
+  // Identical scaling passes, and mild speedup loss within tolerance passes.
+  EXPECT_EQ(compare_documents(baseline, baseline, 0.25, &report), 0) << report;
+  const std::string mild = threads_document({{"1", 1.0}, {"2", 0.55}});
+  EXPECT_EQ(compare_documents(baseline, mild, 0.25, &report), 0) << report;
+  // A loose threshold waves the full regression through.
+  EXPECT_EQ(compare_documents(baseline, current, 0.25, &report, /*max_efficiency=*/0.6),
+            0)
+      << report;
+}
+
+TEST(Runner, CompareReadsBenchSetContainers) {
+  // bless-baseline writes {"schema":"evencycle-bench-set-v1","documents":
+  // [...]}; compare must key cells by scenario so same-label cells of
+  // different scenarios do not collide.
+  const auto document = [](const std::string& scenario, double seconds) {
+    ScenarioResult result;
+    result.scenario = scenario;
+    CellRecord cell;
+    cell.labels = {{"threads", "1"}};
+    cell.result.rounds_measured = 100;
+    cell.result.seconds = seconds;
+    result.cells.push_back(cell);
+    return to_json(result, true);
+  };
+  const auto container = [](std::string a, std::string b) {
+    while (!a.empty() && a.back() == '\n') a.pop_back();
+    while (!b.empty() && b.back() == '\n') b.pop_back();
+    return "{\"schema\":\"evencycle-bench-set-v1\",\"documents\":[" + a + "," + b + "]}";
+  };
+  const std::string baseline = container(document("a", 1.0), document("b", 2.0));
+  std::string report;
+  EXPECT_EQ(compare_documents(baseline, baseline, 0.25, &report), 0) << report;
+  EXPECT_NE(report.find("a/threads=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("b/threads=1"), std::string::npos) << report;
+  // Scenario b regressing must fail even though scenario a's identically
+  // labeled cell is fine.
+  const std::string regressed = container(document("a", 1.0), document("b", 4.0));
+  EXPECT_EQ(compare_documents(baseline, regressed, 0.25, &report), 1) << report;
+  EXPECT_NE(report.find("REGRESSED  b/threads=1"), std::string::npos) << report;
+  // A single-scenario current is comparable against a container baseline
+  // (the other scenario's cells go MISSING, which fails — loudly).
+  EXPECT_EQ(compare_documents(baseline, document("a", 1.0), 0.25, &report), 1) << report;
+  EXPECT_NE(report.find("MISSING"), std::string::npos) << report;
+}
+
+TEST(Runner, EngineSustainedReportsEfficiencyAndPhaseBreakdown) {
+  RunOptions options;
+  options.nodes = 4000;
+  const ScenarioResult result = run_scenario("engine-sustained", options);
+  ASSERT_EQ(result.cells.size(), 3u);  // threads 1, 2, 4
+  for (const auto& cell : result.cells) {
+    ASSERT_TRUE(cell.result.ok) << cell.result.error;
+    EXPECT_EQ(cell.result.rounds_measured, 200u);
+    // Per-phase breakdown present and sane.
+    double compute = -1.0, reduce = -1.0, deliver = -1.0, msgs_per_sec = -1.0;
+    for (const auto& [key, value] : cell.result.extra) {
+      if (key == "compute_seconds") compute = value;
+      if (key == "reduce_seconds") reduce = value;
+      if (key == "deliver_seconds") deliver = value;
+      if (key == "msgs_per_sec") msgs_per_sec = value;
+    }
+    EXPECT_GT(compute, 0.0);
+    EXPECT_GE(reduce, 0.0);
+    EXPECT_GT(deliver, 0.0);
+    EXPECT_GT(msgs_per_sec, 0.0);
+  }
+  // Summary publishes the determinism flag and the efficiency metrics the
+  // nightly gate consumes.
+  const auto find = [&](const std::string& key) {
+    for (const auto& [k, v] : result.summary)
+      if (k == key) return v;
+    return -1.0;
+  };
+  EXPECT_EQ(find("deterministic"), 1.0);
+  EXPECT_GT(find("msgs-per-sec-t1"), 0.0);
+  EXPECT_GT(find("speedup-t4"), 0.0);
+  EXPECT_GT(find("efficiency-t4"), 0.0);
+  EXPECT_GT(find("efficiency-t2"), 0.0);
 }
 
 }  // namespace
