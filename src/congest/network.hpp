@@ -38,7 +38,9 @@ namespace evencycle::congest {
 
 class Network {
  public:
-  Network(const graph::Graph& g, Config config = {}) : engine_(g, config) {}
+  // explicit: the Config default makes this single-arg callable, and a Graph
+  // must never silently convert into a simulation instance.
+  explicit Network(const graph::Graph& g, Config config = {}) : engine_(g, config) {}
 
   const graph::Graph& topology() const { return engine_.topology(); }
   const Config& config() const { return engine_.config(); }

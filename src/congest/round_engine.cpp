@@ -252,6 +252,7 @@ void RoundEngine::run_round() {
   auto phase_start = timed ? Clock::now() : Clock::time_point{};
   dispatch(Phase::kCompute);
   rethrow_lane_error();
+  // evencycle-lint: allow(float-accumulation) opt-in wall-clock phase timing, excluded from the deterministic payload
   if (timed) metrics_.compute_seconds += seconds_since(phase_start);
 
   round_messages_ = 0;
@@ -276,11 +277,13 @@ void RoundEngine::run_round() {
     }
     mailbox_.begin_rebuild(running);
     if (timed) {
+      // evencycle-lint: allow(float-accumulation) opt-in wall-clock phase timing, excluded from the deterministic payload
       metrics_.reduce_seconds += seconds_since(phase_start);
       phase_start = Clock::now();
     }
     dispatch(Phase::kDeliver);
     rethrow_lane_error();
+    // evencycle-lint: allow(float-accumulation) opt-in wall-clock phase timing, excluded from the deterministic payload
     if (timed) metrics_.deliver_seconds += seconds_since(phase_start);
   }
 

@@ -3,11 +3,25 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <set>
 
 #include "support/check.hpp"
 
 namespace evencycle::graph {
+
+namespace {
+
+// VertexId is 32-bit, so dimension products and sums must be range-checked
+// in 64-bit before they reach GraphBuilder — a 70000 x 70000 grid would
+// otherwise wrap and silently build a small aliased graph.
+VertexId checked_vertex_count(std::uint64_t count, const char* what) {
+  EC_REQUIRE(count <= std::numeric_limits<VertexId>::max(), what);
+  return static_cast<VertexId>(count);
+}
+
+}  // namespace
 
 Graph path(VertexId n) {
   EC_REQUIRE(n >= 1, "path needs at least one vertex");
@@ -31,7 +45,8 @@ Graph complete(VertexId n) {
 }
 
 Graph complete_bipartite(VertexId a, VertexId b) {
-  GraphBuilder builder(a + b);
+  GraphBuilder builder(checked_vertex_count(
+      std::uint64_t{a} + b, "complete_bipartite vertex count overflows VertexId"));
   for (VertexId i = 0; i < a; ++i)
     for (VertexId j = 0; j < b; ++j) builder.add_edge(i, a + j);
   return std::move(builder).build();
@@ -39,7 +54,8 @@ Graph complete_bipartite(VertexId a, VertexId b) {
 
 Graph grid(VertexId a, VertexId b) {
   EC_REQUIRE(a >= 1 && b >= 1, "grid dimensions must be positive");
-  GraphBuilder builder(a * b);
+  GraphBuilder builder(checked_vertex_count(
+      std::uint64_t{a} * b, "grid vertex count overflows VertexId"));
   auto id = [b](VertexId r, VertexId c) { return r * b + c; };
   for (VertexId r = 0; r < a; ++r)
     for (VertexId c = 0; c < b; ++c) {
@@ -51,7 +67,8 @@ Graph grid(VertexId a, VertexId b) {
 
 Graph torus(VertexId a, VertexId b) {
   EC_REQUIRE(a >= 3 && b >= 3, "torus dimensions must be at least 3");
-  GraphBuilder builder(a * b);
+  GraphBuilder builder(checked_vertex_count(
+      std::uint64_t{a} * b, "torus vertex count overflows VertexId"));
   auto id = [b](VertexId r, VertexId c) { return r * b + c; };
   for (VertexId r = 0; r < a; ++r)
     for (VertexId c = 0; c < b; ++c) {
@@ -72,7 +89,9 @@ Graph theta(VertexId path_count, VertexId path_len) {
   EC_REQUIRE(path_count >= 2, "theta needs at least two paths");
   EC_REQUIRE(path_len >= 2, "paths of length < 2 would create parallel edges");
   const VertexId internals = path_len - 1;
-  GraphBuilder b(2 + path_count * internals);
+  GraphBuilder b(checked_vertex_count(
+      2 + std::uint64_t{path_count} * internals,
+      "theta vertex count overflows VertexId"));
   const VertexId s = 0;
   const VertexId t = 1;
   VertexId next = 2;
@@ -105,8 +124,9 @@ Graph circulant(VertexId n, const std::vector<VertexId>& offsets) {
   for (VertexId v = 0; v < n; ++v)
     for (const auto o : offsets) {
       EC_REQUIRE(o >= 1 && o < n, "offset out of range");
-      if (2 * o == n && v >= n / 2) continue;  // antipodal edge counted once
-      b.add_edge(v, (v + o) % n);
+      // 64-bit: for n > 2^31 both 2*o and v+o can wrap VertexId.
+      if (2 * std::uint64_t{o} == n && v >= n / 2) continue;  // antipodal edge counted once
+      b.add_edge(v, static_cast<VertexId>((std::uint64_t{v} + o) % n));
     }
   return std::move(b).build();
 }
@@ -124,16 +144,24 @@ bool is_prime(std::uint32_t q) {
 
 Graph projective_plane_incidence(std::uint32_t q) {
   EC_REQUIRE(is_prime(q), "projective_plane_incidence requires prime q");
+  // Check the bipartite vertex count up front: for q > 46340 the 2*(q^2+q+1)
+  // incidence graph cannot be indexed by a 32-bit VertexId, and the coords
+  // vector below would exhaust memory long before GraphBuilder could object.
+  const std::uint64_t point_count = std::uint64_t{q} * q + q + 1;
+  checked_vertex_count(2 * point_count,
+                       "projective plane vertex count overflows VertexId");
   // Canonical homogeneous coordinates over F_q: (1,y,z), (0,1,z), (0,0,1).
   std::vector<std::array<std::uint32_t, 3>> coords;
-  coords.reserve(q * q + q + 1);
+  coords.reserve(point_count);
   for (std::uint32_t y = 0; y < q; ++y)
     for (std::uint32_t z = 0; z < q; ++z) coords.push_back({1, y, z});
   for (std::uint32_t z = 0; z < q; ++z) coords.push_back({0, 1, z});
   coords.push_back({0, 0, 1});
 
   const auto count = static_cast<VertexId>(coords.size());
-  GraphBuilder b(2 * count);  // points [0, count), lines [count, 2*count)
+  GraphBuilder b(checked_vertex_count(
+      2 * std::uint64_t{count},
+      "projective plane vertex count overflows VertexId"));  // points [0, count), lines [count, 2*count)
   for (VertexId p = 0; p < count; ++p) {
     for (VertexId l = 0; l < count; ++l) {
       const auto& a = coords[p];
@@ -158,7 +186,9 @@ Graph subdivide(const Graph& g, std::uint32_t extra) {
   }
   const auto n = g.vertex_count();
   const auto m = g.edge_count();
-  GraphBuilder b(n + m * extra);
+  GraphBuilder b(checked_vertex_count(
+      std::uint64_t{n} + std::uint64_t{m} * extra,
+      "subdivide vertex count overflows VertexId"));
   VertexId next = n;
   for (EdgeId e = 0; e < m; ++e) {
     const auto [u, v] = g.edge(e);
@@ -260,7 +290,8 @@ Graph random_near_regular(VertexId n, std::uint32_t d, Rng& rng) {
 }
 
 Graph random_bipartite(VertexId a, VertexId b, double p, Rng& rng) {
-  GraphBuilder builder(a + b);
+  GraphBuilder builder(checked_vertex_count(
+      std::uint64_t{a} + b, "random_bipartite vertex count overflows VertexId"));
   for (VertexId i = 0; i < a; ++i)
     for (VertexId j = 0; j < b; ++j)
       if (rng.bernoulli(p)) builder.add_edge(i, a + j);
@@ -312,14 +343,14 @@ Planted plant_cycle(const Graph& g, std::uint32_t length, Rng& rng) {
 }
 
 Planted planted_light_cycle(VertexId n, std::uint32_t length, Rng& rng) {
-  EC_REQUIRE(n >= length + 2, "host too small");
+  EC_REQUIRE(n >= std::uint64_t{length} + 2, "host too small");
   Graph host = random_tree(n, rng);
   return plant_cycle(host, length, rng);
 }
 
 Planted planted_heavy_cycle(VertexId n, std::uint32_t length, std::uint32_t hub_degree,
                             Rng& rng) {
-  EC_REQUIRE(n >= length + hub_degree, "host too small for hub + cycle");
+  EC_REQUIRE(n >= std::uint64_t{length} + hub_degree, "host too small for hub + cycle");
   Planted result;
   GraphBuilder b(n);
   // Cycle through vertices 0..length-1 with hub at 0.
@@ -340,7 +371,9 @@ Planted planted_heavy_cycle(VertexId n, std::uint32_t length, std::uint32_t hub_
 }
 
 Graph disjoint_union(const Graph& a, const Graph& b) {
-  GraphBuilder builder(a.vertex_count() + b.vertex_count());
+  GraphBuilder builder(checked_vertex_count(
+      std::uint64_t{a.vertex_count()} + b.vertex_count(),
+      "disjoint_union vertex count overflows VertexId"));
   for (EdgeId e = 0; e < a.edge_count(); ++e) {
     const auto [u, v] = a.edge(e);
     builder.add_edge(u, v);

@@ -407,7 +407,10 @@ Scenario ablation_congestion_scenario() {
         const std::uint64_t cell_threshold = activation >= 1.0 ? threshold : 4;
         std::uint32_t successes = 0;
         std::uint64_t max_set = 0;
-        double rounds = 0;
+        // Accumulate rounds in integers; the division to a mean happens
+        // once at the end, so the deterministic payload never depends on
+        // FP summation order.
+        std::uint64_t rounds = 0;
         for (std::uint32_t run = 0; run < runs; ++run) {
           core::ColorBfsSpec spec;
           spec.cycle_length = 2 * k;
@@ -417,15 +420,15 @@ Scenario ablation_congestion_scenario() {
           const auto out = core::run_color_bfs(planted->graph, spec, rng);
           successes += out.rejected ? 1 : 0;
           max_set = std::max(max_set, out.max_set_size);
-          rounds += static_cast<double>(out.rounds_measured);
+          rounds += out.rounds_measured;
         }
         CellResult result;
         result.detected = successes > 0;
         result.congestion = max_set;
-        result.rounds_measured = static_cast<std::uint64_t>(rounds);
+        result.rounds_measured = rounds;
         result.extra.emplace_back("threshold", static_cast<double>(cell_threshold));
         result.extra.emplace_back("success_rate", static_cast<double>(successes) / runs);
-        result.extra.emplace_back("avg_rounds", rounds / runs);
+        result.extra.emplace_back("avg_rounds", static_cast<double>(rounds) / runs);
         return result;
       };
       plan.cells.push_back(std::move(cell));

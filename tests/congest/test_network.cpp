@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <type_traits>
 
 #include "graph/generators.hpp"
 #include "support/check.hpp"
@@ -14,6 +15,14 @@ namespace {
 
 using graph::Graph;
 using graph::VertexId;
+
+// Regression: the Config default argument makes the Network constructor
+// single-arg callable, so without `explicit` a Graph would implicitly
+// convert into a whole simulation instance at any Network-taking call site.
+static_assert(!std::is_convertible_v<const Graph&, Network>,
+              "Network must not be implicitly constructible from a Graph");
+static_assert(std::is_constructible_v<Network, const Graph&>,
+              "direct construction from a Graph must keep working");
 
 /// Sends its id on every port in round 0, records everything received.
 class ChatterProgram : public NodeProgram {

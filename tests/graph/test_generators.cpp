@@ -193,5 +193,52 @@ TEST(Generators, LargeGirthGraphHasLargeGirth) {
   }
 }
 
+// Regression: VertexId is 32-bit, so dimension sums/products must be
+// range-checked in 64-bit. Before the checks these calls wrapped and built
+// small aliased graphs (e.g. a 70000 x 70000 grid with ~605M vertices)
+// instead of failing.
+TEST(Generators, GridOverflowRejected) {
+  EXPECT_THROW(grid(70000, 70000), InvalidArgument);
+}
+
+TEST(Generators, TorusOverflowRejected) {
+  EXPECT_THROW(torus(1u << 17, 1u << 17), InvalidArgument);
+}
+
+TEST(Generators, CompleteBipartiteOverflowRejected) {
+  EXPECT_THROW(complete_bipartite(3'000'000'000u, 2'000'000'000u), InvalidArgument);
+}
+
+TEST(Generators, ThetaOverflowRejected) {
+  EXPECT_THROW(theta(1u << 20, (1u << 13) + 1), InvalidArgument);
+}
+
+TEST(Generators, SubdivideOverflowRejected) {
+  const Graph host = cycle(1000);
+  EXPECT_THROW(subdivide(host, 4'300'000u), InvalidArgument);
+}
+
+TEST(Generators, ProjectivePlaneOverflowRejected) {
+  // 65537 is prime, but 2*(q^2+q+1) no longer fits a 32-bit VertexId.
+  EXPECT_THROW(projective_plane_incidence(65537), InvalidArgument);
+}
+
+TEST(Generators, PlantedSizeChecksUseWideArithmetic) {
+  Rng rng(12);
+  // Before the 64-bit compare, length+2 / length+hub_degree wrapped to small
+  // values and the "host too small" guards were skipped entirely.
+  EXPECT_THROW(planted_light_cycle(10, 0xFFFFFFFEu, rng), InvalidArgument);
+  EXPECT_THROW(planted_heavy_cycle(10, 0x80000000u, 0x80000000u, rng),
+               InvalidArgument);
+}
+
+TEST(Generators, CirculantAntipodalOffsetCountedOnce) {
+  // n even, offset exactly n/2: each antipodal edge appears once, giving a
+  // perfect matching (exercises the 64-bit antipodal test).
+  const Graph g = circulant(6, {3});
+  EXPECT_EQ(g.edge_count(), 3u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
 }  // namespace
 }  // namespace evencycle::graph

@@ -1,0 +1,189 @@
+// Tests for the evencycle-lint rule engine against the planted fixture
+// corpus under tools/lint/fixtures. Every fixture documents its planted
+// findings in its header comment; these tests pin the exact rule id and
+// 1-based line number for each, plus zero findings for every clean
+// counterpart — so a scanner regression shows up as a precise diff, not
+// as a silently weaker tree gate.
+
+#include "lint_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using evencycle::lint::Finding;
+using evencycle::lint::lint_file;
+using evencycle::lint::lint_source;
+
+std::string fixture_path(const std::string& rel) {
+  return std::string(EVENCYCLE_LINT_FIXTURE_DIR) + "/" + rel;
+}
+
+// (rule, line) pairs, sorted, for order-insensitive exact comparison.
+std::vector<std::pair<std::string, std::size_t>> rule_lines(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(findings.size());
+  for (const auto& f : findings) out.emplace_back(f.rule, f.line);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+using Expected = std::vector<std::pair<std::string, std::size_t>>;
+
+void expect_fixture(const std::string& rel, Expected expected) {
+  const auto findings = lint_file(fixture_path(rel));
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(rule_lines(findings), expected) << "fixture: " << rel;
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.file, fixture_path(rel));
+    EXPECT_FALSE(f.message.empty());
+  }
+}
+
+TEST(LintFixtures, RandAndSrand) {
+  expect_fixture("src/congest/nondet_rand.cpp",
+                 {{"nondeterminism", 7}, {"nondeterminism", 8}});
+}
+
+TEST(LintFixtures, RandomDevice) {
+  expect_fixture("src/congest/nondet_random_device.cpp",
+                 {{"nondeterminism", 7}});
+}
+
+TEST(LintFixtures, WallClockTime) {
+  // The time_point type name and the commented-out call must not match.
+  expect_fixture("src/congest/nondet_time.cpp", {{"nondeterminism", 8}});
+}
+
+TEST(LintFixtures, HardwareConcurrencyOutsideResolver) {
+  expect_fixture("src/congest/nondet_hwconc.cpp", {{"nondeterminism", 8}});
+}
+
+TEST(LintFixtures, ArglessMt19937) {
+  // Lines 8/9/12 are argless; the seeded constructions on 16/17 are clean.
+  expect_fixture("src/congest/nondet_mt19937.cpp",
+                 {{"nondeterminism", 8},
+                  {"nondeterminism", 9},
+                  {"nondeterminism", 12}});
+}
+
+TEST(LintFixtures, CleanEngineFileHasNoFindings) {
+  // hardware_concurrency inside resolve_thread_count + seeded generators.
+  expect_fixture("src/congest/clean_engine.cpp", {});
+}
+
+TEST(LintFixtures, UnorderedIteration) {
+  // The '#include <unordered_map>' lines are not flagged, only the uses.
+  expect_fixture("src/core/unordered_iteration.cpp",
+                 {{"unordered-iteration", 11}, {"unordered-iteration", 17}});
+}
+
+TEST(LintFixtures, OrderedContainersAreClean) {
+  expect_fixture("src/core/clean_ordered.cpp", {});
+}
+
+TEST(LintFixtures, FloatAccumulation) {
+  // Integer accumulation on line 18 must not match.
+  expect_fixture("src/harness/float_accumulation.cpp",
+                 {{"float-accumulation", 11}, {"float-accumulation", 12}});
+}
+
+TEST(LintFixtures, ShardBoundsIgnored) {
+  expect_fixture("src/congest/shard_bounds_bad.cpp", {{"shard-bounds", 12}});
+}
+
+TEST(LintFixtures, ShardBoundsRespected) {
+  // Includes a pure-virtual declaration, which has no body to check.
+  expect_fixture("src/congest/shard_bounds_ok.cpp", {});
+}
+
+TEST(LintFixtures, ValidSuppressionsSilenceFindings) {
+  expect_fixture("src/congest/suppressed_ok.cpp", {});
+}
+
+TEST(LintFixtures, MalformedSuppressionsAreFindingsAndDoNotSuppress) {
+  expect_fixture("src/congest/bad_suppression.cpp",
+                 {{"bad-suppression", 9},
+                  {"nondeterminism", 10},
+                  {"bad-suppression", 15},
+                  {"nondeterminism", 16}});
+}
+
+TEST(LintFixtures, OutOfScopePathIsNotLinted) {
+  // rand() + unordered_map, but neither src/congest|core|harness nor a
+  // ShardProgram subclass — path scoping keeps it clean.
+  expect_fixture("other/scoped_out.cpp", {});
+}
+
+TEST(LintFixtures, ShardProgramBaseClausePullsFileIntoScope) {
+  expect_fixture("other/shard_program_nondet.cpp", {{"nondeterminism", 18}});
+}
+
+TEST(LintCorpus, EveryRuleIsCoveredByAFixtureFinding) {
+  // The corpus must keep exercising every rule the engine can emit, so a
+  // new rule ships with a planted fixture or this test fails.
+  const auto files = evencycle::lint::collect_dir_files(
+      std::string(EVENCYCLE_LINT_FIXTURE_DIR));
+  ASSERT_FALSE(files.empty());
+  std::vector<std::string> seen;
+  for (const auto& file : files)
+    for (const auto& f : lint_file(file)) seen.push_back(f.rule);
+  for (const auto& rule : evencycle::lint::rule_names())
+    EXPECT_NE(std::find(seen.begin(), seen.end(), rule), seen.end())
+        << "no fixture plants rule: " << rule;
+}
+
+TEST(LintScoping, SamePathRulesApplyRegardlessOfRoot) {
+  // Scoping is substring-based on '/'-separated paths, so the same source
+  // text is flagged under src/congest/ and clean under an unrelated path.
+  const std::string source = "int f() { return std::rand(); }\n";
+  EXPECT_EQ(lint_source("src/congest/x.cpp", source).size(), 1u);
+  EXPECT_EQ(lint_source("bench/x.cpp", source).size(), 0u);
+}
+
+TEST(LintStripping, CommentsAndStringsNeverMatch) {
+  const std::string source =
+      "const char* s = \"std::rand()\";  // std::rand()\n"
+      "/* std::random_device */ int x = 0;\n";
+  EXPECT_TRUE(lint_source("src/congest/x.cpp", source).empty());
+  const std::string stripped =
+      evencycle::lint::strip_comments_and_strings(source);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  // Column positions survive stripping: 'x' stays at the same offset.
+  EXPECT_EQ(stripped.find("int x"), source.find("int x"));
+}
+
+TEST(LintApi, KnownRulesRoundTrip) {
+  for (const auto& rule : evencycle::lint::rule_names())
+    EXPECT_TRUE(evencycle::lint::is_known_rule(rule)) << rule;
+  EXPECT_FALSE(evencycle::lint::is_known_rule("no-such-rule"));
+  EXPECT_FALSE(evencycle::lint::is_known_rule(""));
+}
+
+TEST(LintApi, MissingFileYieldsIoError) {
+  const auto findings = lint_file(fixture_path("does_not_exist.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "io-error");
+}
+
+TEST(LintCorpus, TreeManifestExcludesFixtures) {
+  // collect_tree_files is the gate's manifest: fixtures must never leak in,
+  // or the planted violations would fail the real-tree run.
+  const auto repo_root = std::filesystem::path(EVENCYCLE_LINT_FIXTURE_DIR)
+                             .parent_path()   // tools/lint
+                             .parent_path()   // tools
+                             .parent_path();  // repo root
+  const auto files = evencycle::lint::collect_tree_files(repo_root.string());
+  ASSERT_FALSE(files.empty());
+  for (const auto& file : files)
+    EXPECT_EQ(file.find("tools/lint/fixtures"), std::string::npos) << file;
+}
+
+}  // namespace

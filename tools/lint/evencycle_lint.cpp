@@ -1,0 +1,89 @@
+// evencycle_lint — the repo's domain-invariant checker (see lint_rules.hpp
+// for the rule set). Wired into `ctest -L lint` and the CI lint job.
+//
+// Usage:
+//   evencycle_lint --root <repo>       lint the default tree manifest
+//                                      (src, tools, bench, tests, examples;
+//                                      fixtures excluded)
+//   evencycle_lint <file|dir>...       lint explicit files or directories
+//                                      (directories walked recursively, no
+//                                      exclusions — how the fixture corpus
+//                                      checks itself)
+//   evencycle_lint --list-rules        print the rule ids and exit
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint_rules.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: evencycle_lint --root <dir> | <file|dir>... | "
+               "--list-rules\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using evencycle::lint::Finding;
+
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : evencycle::lint::rule_names())
+        std::printf("%s\n", rule.c_str());
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) return usage();
+      const std::string root = argv[++i];
+      if (!std::filesystem::is_directory(root)) {
+        std::fprintf(stderr, "evencycle_lint: not a directory: %s\n", root.c_str());
+        return 2;
+      }
+      const auto tree = evencycle::lint::collect_tree_files(root);
+      files.insert(files.end(), tree.begin(), tree.end());
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (std::filesystem::is_directory(arg)) {
+      const auto dir = evencycle::lint::collect_dir_files(arg);
+      files.insert(files.end(), dir.begin(), dir.end());
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+
+  std::size_t finding_count = 0;
+  std::size_t files_with_findings = 0;
+  bool io_error = false;
+  for (const auto& file : files) {
+    const std::vector<Finding> findings = evencycle::lint::lint_file(file);
+    if (!findings.empty()) ++files_with_findings;
+    for (const Finding& f : findings) {
+      if (f.rule == "io-error") io_error = true;
+      std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+      ++finding_count;
+    }
+  }
+
+  if (io_error) return 2;
+  if (finding_count > 0) {
+    std::printf("evencycle-lint: %zu finding(s) in %zu of %zu file(s)\n",
+                finding_count, files_with_findings, files.size());
+    return 1;
+  }
+  std::printf("evencycle-lint: clean (%zu files)\n", files.size());
+  return 0;
+}

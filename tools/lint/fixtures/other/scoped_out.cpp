@@ -1,0 +1,14 @@
+// Fixture: a file outside the engine scope (not src/congest/, src/core/,
+// src/harness/, and no ShardProgram). Nondeterminism and container rules do
+// not apply here; only shard-bounds is global.
+// Expected findings: none.
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+int scratch(int n) {
+  std::unordered_map<int, int> cache;
+  cache[n] = std::rand();
+  return cache[n];
+}
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: a file outside the engine directories that registers a
+// ShardProgram subclass — the base clause pulls it into nondeterminism
+// scope regardless of path.
+// Planted: nondeterminism at line 18.
+#include <cstdint>
+#include <cstdlib>
+
+namespace congest {
+struct ShardContext {
+  std::uint32_t* state;
+};
+struct ShardProgram {
+  virtual ~ShardProgram() = default;
+};
+}  // namespace congest
+
+struct NoisyProgram : public congest::ShardProgram {
+  int jitter() const { return std::rand(); }
+};

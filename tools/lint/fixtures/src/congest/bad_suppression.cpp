@@ -1,0 +1,19 @@
+// Fixture: malformed suppressions are themselves findings, so a typo'd
+// allow can never silently disable a rule.
+// Planted: bad-suppression at lines 9 and 15, and the nondeterminism
+// findings at lines 10 and 16 survive because neither allow is valid.
+#include <random>
+
+namespace fixture {
+unsigned unknown_rule() {
+  // evencycle-lint: allow(no-such-rule) this rule id does not exist
+  std::random_device device;
+  return device();
+}
+unsigned missing_reason() {
+  // the allow below has no justification text
+  // evencycle-lint: allow(nondeterminism)
+  std::random_device device;
+  return device();
+}
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: a clean engine file. hardware_concurrency is allowed inside
+// resolve_thread_count, and seeded generators are fine everywhere.
+// Expected findings: none.
+#include <algorithm>
+#include <random>
+#include <thread>
+
+namespace fixture {
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned seeded_draw(unsigned seed) {
+  std::mt19937 engine(seed);
+  return engine();
+}
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: hardware_concurrency outside resolve_thread_count leaks the host
+// machine's core count into engine behavior.
+// Planted: nondeterminism at line 8.
+#include <thread>
+
+namespace fixture {
+unsigned pick_shard_count() {
+  return std::thread::hardware_concurrency();
+}
+}  // namespace fixture

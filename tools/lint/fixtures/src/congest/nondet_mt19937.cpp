@@ -1,0 +1,20 @@
+// Fixture: argless std::mt19937 — the default-constructed stream is
+// implementation-defined, so results differ across standard libraries.
+// Planted: nondeterminism at lines 8, 9, and 12. The seeded constructions
+// on lines 16 and 17 must NOT match.
+#include <random>
+
+namespace fixture {
+std::mt19937 default_stream;
+std::mt19937_64 wide_stream{};
+
+unsigned draw() {
+  return std::mt19937()();
+}
+
+unsigned draw_seeded(unsigned seed) {
+  std::mt19937 engine(seed);
+  std::mt19937_64 wide{seed};
+  return engine() ^ static_cast<unsigned>(wide());
+}
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: libc rand()/srand() in an engine path.
+// Planted: nondeterminism at lines 7 and 8.
+#include <cstdlib>
+
+namespace fixture {
+int pick(int n) {
+  std::srand(42);
+  return std::rand() % n;
+}
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: std::random_device seeds are machine entropy — never reproducible.
+// Planted: nondeterminism at line 7.
+#include <random>
+
+namespace fixture {
+unsigned entropy_seed() {
+  std::random_device device;
+  return device();
+}
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: wall-clock seeding in an engine path.
+// Planted: nondeterminism at line 8. The time_point type name and the
+// commented-out call below must NOT match.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+long clock_seed() { return static_cast<long>(std::time(nullptr)); }
+
+std::chrono::steady_clock::time_point now_marker() {
+  // a real time() call would be flagged here
+  return std::chrono::steady_clock::time_point{};
+}
+}  // namespace fixture

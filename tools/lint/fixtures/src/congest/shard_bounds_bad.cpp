@@ -1,0 +1,16 @@
+// Fixture: an on_round implementation that ignores its shard bounds —
+// touching vertices outside [first, last) races with sibling shards.
+// Planted: shard-bounds at line 12 (the body never reads 'last').
+#include <cstdint>
+
+namespace fixture {
+struct ShardContext {
+  std::uint32_t* state;
+};
+
+struct BadProgram {
+  void on_round(ShardContext& ctx, std::uint32_t first, std::uint32_t last) {
+    ctx.state[first] = 1;
+  }
+};
+}  // namespace fixture

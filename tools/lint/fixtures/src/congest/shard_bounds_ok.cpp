@@ -1,0 +1,22 @@
+// Fixture: an on_round implementation that respects both shard bounds.
+// Expected findings: none (the pure declaration has no body to check).
+#include <cstdint>
+
+namespace fixture {
+struct ShardContext {
+  std::uint32_t* state;
+};
+
+struct Iface {
+  virtual ~Iface() = default;
+  virtual void on_round(ShardContext& ctx, std::uint32_t first,
+                        std::uint32_t last) = 0;
+};
+
+struct GoodProgram : Iface {
+  void on_round(ShardContext& ctx, std::uint32_t first,
+                std::uint32_t last) override {
+    for (std::uint32_t v = first; v < last; ++v) ctx.state[v] += v;
+  }
+};
+}  // namespace fixture

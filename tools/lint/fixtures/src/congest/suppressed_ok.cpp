@@ -1,0 +1,16 @@
+// Fixture: valid suppressions — a known rule plus a justification, on the
+// finding's own line or on a pure comment line directly above.
+// Expected findings: none.
+#include <random>
+
+namespace fixture {
+unsigned sampled_seed() {
+  // evencycle-lint: allow(nondeterminism) fixture exercising same-file suppression
+  std::random_device device;
+  return device();
+}
+
+void fold(double& wall_seconds, double delta) {
+  wall_seconds += delta;  // evencycle-lint: allow(float-accumulation) timing only, not part of the payload
+}
+}  // namespace fixture

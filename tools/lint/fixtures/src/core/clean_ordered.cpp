@@ -1,0 +1,17 @@
+// Fixture: ordered containers in a result path are fine — iteration order
+// is specified, so folds over them are deterministic.
+// Expected findings: none.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+std::uint64_t tally(const std::map<std::string, std::uint64_t>& m) {
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : m) sum += value ^ key.size();
+  return sum;
+}
+
+std::size_t count(const std::set<std::uint32_t>& s) { return s.size(); }
+}  // namespace fixture

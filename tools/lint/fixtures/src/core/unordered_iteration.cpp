@@ -1,0 +1,18 @@
+// Fixture: unordered containers in a result path — iteration order is
+// hash-seed dependent, so anything folded from it is nondeterministic.
+// Planted: unordered-iteration at lines 11 and 17 (the includes are not
+// flagged — only uses are).
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+std::uint64_t tally(const std::unordered_map<std::string, std::uint64_t>& m) {
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : m) sum += value ^ key.size();
+  return sum;
+}
+
+std::size_t count(const std::unordered_set<std::uint32_t>& s) { return s.size(); }
+}  // namespace fixture

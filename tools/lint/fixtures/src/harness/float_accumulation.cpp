@@ -1,0 +1,21 @@
+// Fixture: accumulating wall-clock seconds with += double — FP addition is
+// non-associative, so the sum depends on batch/thread schedule.
+// Planted: float-accumulation at lines 11 and 12. The integer accumulation
+// on line 18 must NOT match.
+#include <cstdint>
+
+namespace fixture {
+double seconds_since(std::uint64_t) { return 0.5; }
+
+void fold_timings(double& compute_seconds, double& total_secs) {
+  compute_seconds += seconds_since(0);
+  total_secs += 0.25;
+}
+
+std::uint64_t fold_rounds(const std::uint64_t* rounds, std::size_t n) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    sum += rounds[i];
+  return sum;
+}
+}  // namespace fixture

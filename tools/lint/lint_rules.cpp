@@ -1,0 +1,688 @@
+#include "lint_rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace evencycle::lint {
+
+namespace {
+
+constexpr const char* kRuleNondeterminism = "nondeterminism";
+constexpr const char* kRuleUnordered = "unordered-iteration";
+constexpr const char* kRuleFloatAccumulation = "float-accumulation";
+constexpr const char* kRuleShardBounds = "shard-bounds";
+constexpr const char* kRuleBadSuppression = "bad-suppression";
+
+bool is_ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+bool is_ident_start(char c) {
+  return (std::isalpha(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+std::size_t skip_ws(std::string_view text, std::size_t i) {
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i])) != 0)
+    ++i;
+  return i;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Maps a character offset in the (column-preserving) stripped text to a
+/// 1-based line number.
+class LineIndex {
+ public:
+  explicit LineIndex(std::string_view text) {
+    starts_.push_back(0);
+    for (std::size_t i = 0; i < text.size(); ++i)
+      if (text[i] == '\n') starts_.push_back(i + 1);
+  }
+
+  std::size_t line_of(std::size_t offset) const {
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), offset);
+    return static_cast<std::size_t>(it - starts_.begin());
+  }
+
+  std::size_t line_count() const { return starts_.size(); }
+
+  std::string_view line_text(std::string_view text, std::size_t line) const {
+    const std::size_t begin = starts_[line - 1];
+    const std::size_t end =
+        line < starts_.size() ? starts_[line] - 1 : text.size();
+    return text.substr(begin, end - begin);
+  }
+
+ private:
+  std::vector<std::size_t> starts_;
+};
+
+/// True iff `text[pos, pos+word.size())` is `word` as a whole identifier.
+bool ident_token_at(std::string_view text, std::size_t pos, std::string_view word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_ident_char(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  return end >= text.size() || !is_ident_char(text[end]);
+}
+
+bool contains_ident_token(std::string_view text, std::string_view word) {
+  for (std::size_t pos = text.find(word); pos != std::string_view::npos;
+       pos = text.find(word, pos + 1))
+    if (ident_token_at(text, pos, word)) return true;
+  return false;
+}
+
+/// True iff the ShardProgram token starting at `pos` appears in a base-class
+/// clause (": public congest::ShardProgram", ", ShardProgram", ...), as
+/// opposed to a declaration, template argument, or parameter type.
+bool is_base_clause_use(std::string_view text, std::size_t pos) {
+  std::size_t p = pos;
+  // Walk back over namespace qualifiers: ("evencycle::")? ("congest::")? etc.
+  for (;;) {
+    while (p > 0 && std::isspace(static_cast<unsigned char>(text[p - 1])) != 0) --p;
+    if (p >= 2 && text[p - 2] == ':' && text[p - 1] == ':') {
+      p -= 2;
+      while (p > 0 && is_ident_char(text[p - 1])) --p;
+      continue;
+    }
+    break;
+  }
+  while (p > 0 && std::isspace(static_cast<unsigned char>(text[p - 1])) != 0) --p;
+  if (p == 0) return false;
+  const char before = text[p - 1];
+  if (before == ':' || before == ',') return true;
+  if (!is_ident_char(before)) return false;
+  std::size_t b = p;
+  while (b > 0 && is_ident_char(text[b - 1])) --b;
+  const std::string_view word = text.substr(b, p - b);
+  return word == "public" || word == "protected" || word == "private" ||
+         word == "virtual";
+}
+
+/// One parsed suppression comment (`evencycle-lint:` + `allow(<rule>)` +
+/// the justification text).
+struct Allow {
+  std::size_t line = 0;
+  std::string rule;
+  std::string reason;
+};
+
+/// A plausible rule id: lowercase words joined by dashes. Anything else
+/// after `allow(` — e.g. documentation placeholders — is not treated as a
+/// suppression attempt at all.
+bool is_rule_shaped(std::string_view rule) {
+  if (rule.empty()) return false;
+  for (const char c : rule)
+    if (!(std::islower(static_cast<unsigned char>(c)) != 0 ||
+          std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-'))
+      return false;
+  return true;
+}
+
+/// Parses suppressions from `comment_text` — the source with string/char
+/// literals blanked but comments preserved, so a string literal that happens
+/// to mention the suppression syntax can never suppress anything.
+std::vector<Allow> parse_allows(std::string_view comment_text) {
+  static constexpr std::string_view kMarker = "evencycle-lint:";
+  std::vector<Allow> allows;
+  std::size_t line = 1;
+  std::size_t begin = 0;
+  while (begin <= comment_text.size()) {
+    std::size_t end = comment_text.find('\n', begin);
+    if (end == std::string_view::npos) end = comment_text.size();
+    const std::string_view text = comment_text.substr(begin, end - begin);
+    std::size_t at = text.find(kMarker);
+    if (at != std::string_view::npos) {
+      std::size_t i = skip_ws(text, at + kMarker.size());
+      static constexpr std::string_view kAllow = "allow(";
+      if (text.compare(i, kAllow.size(), kAllow) == 0) {
+        const std::size_t open = i + kAllow.size();
+        const std::size_t close = text.find(')', open);
+        if (close != std::string_view::npos) {
+          Allow allow;
+          allow.line = line;
+          allow.rule = std::string(trim(text.substr(open, close - open)));
+          std::string_view reason = text.substr(close + 1);
+          // An allow inside a block comment may carry the comment's
+          // closing token; it is not part of the justification.
+          if (const std::size_t star = reason.rfind("*/");
+              star != std::string_view::npos)
+            reason = reason.substr(0, star);
+          allow.reason = std::string(trim(reason));
+          if (is_rule_shaped(allow.rule)) allows.push_back(std::move(allow));
+        }
+      }
+    }
+    begin = end + 1;
+    ++line;
+  }
+  return allows;
+}
+
+/// Offsets of every '{' that opens the body of a resolve_thread_count
+/// definition (where hardware_concurrency is legitimate).
+std::vector<std::size_t> resolve_thread_count_bodies(std::string_view text) {
+  std::vector<std::size_t> bodies;
+  static constexpr std::string_view kName = "resolve_thread_count";
+  for (std::size_t pos = text.find(kName); pos != std::string_view::npos;
+       pos = text.find(kName, pos + 1)) {
+    if (!ident_token_at(text, pos, kName)) continue;
+    std::size_t i = skip_ws(text, pos + kName.size());
+    if (i >= text.size() || text[i] != '(') continue;
+    int depth = 0;
+    while (i < text.size()) {
+      if (text[i] == '(') ++depth;
+      if (text[i] == ')' && --depth == 0) break;
+      ++i;
+    }
+    if (i >= text.size()) continue;
+    i = skip_ws(text, i + 1);
+    // Skip trailing specifiers (noexcept, const, ...) between ")" and "{".
+    while (i < text.size() && is_ident_start(text[i])) {
+      while (i < text.size() && is_ident_char(text[i])) ++i;
+      i = skip_ws(text, i);
+    }
+    if (i < text.size() && text[i] == '{') bodies.push_back(i);
+  }
+  return bodies;
+}
+
+void scan_nondeterminism(std::string_view text, const LineIndex& lines,
+                         std::vector<Finding>& out) {
+  const auto resolve_bodies = resolve_thread_count_bodies(text);
+  int depth = 0;
+  int resolve_depth = -1;
+
+  const auto emit = [&](std::size_t offset, const std::string& message) {
+    out.push_back({"", lines.line_of(offset), kRuleNondeterminism, message});
+  };
+
+  for (std::size_t i = 0; i < text.size();) {
+    const char c = text[i];
+    if (c == '{') {
+      ++depth;
+      if (std::find(resolve_bodies.begin(), resolve_bodies.end(), i) !=
+          resolve_bodies.end())
+        resolve_depth = depth;
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      if (depth == resolve_depth) resolve_depth = -1;
+      --depth;
+      ++i;
+      continue;
+    }
+    if (!is_ident_start(c)) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < text.size() && is_ident_char(text[i])) ++i;
+    const std::string_view id = text.substr(start, i - start);
+    const std::size_t after = skip_ws(text, i);
+    const bool call_like = after < text.size() && text[after] == '(';
+
+    if ((id == "rand" || id == "srand") && call_like) {
+      emit(start, "nondeterminism source '" + std::string(id) +
+                      "()' in deterministic engine code; derive randomness "
+                      "from an evencycle::Rng seeded by the caller");
+    } else if (id == "random_device") {
+      emit(start,
+           "nondeterminism source 'std::random_device' in deterministic "
+           "engine code; derive randomness from an evencycle::Rng seeded by "
+           "the caller");
+    } else if ((id == "time" || id == "clock" || id == "gettimeofday" ||
+                id == "localtime" || id == "gmtime") &&
+               call_like) {
+      emit(start, "nondeterminism source '" + std::string(id) +
+                      "()' in deterministic engine code; wall-clock values "
+                      "must never reach protocol or result state");
+    } else if (id == "hardware_concurrency" && resolve_depth < 0) {
+      emit(start,
+           "'hardware_concurrency' outside resolve_thread_count; thread "
+           "count must flow through Config::threads so results stay "
+           "machine-independent");
+    } else if (id == "mt19937" || id == "mt19937_64") {
+      // Argless construction: `std::mt19937 g;`, `std::mt19937{}`,
+      // `std::mt19937()`. A seeded construction is deterministic and allowed.
+      std::size_t j = after;
+      bool argless = false;
+      if (j < text.size() && text[j] == '(') {
+        argless = skip_ws(text, j + 1) < text.size() &&
+                  text[skip_ws(text, j + 1)] == ')';
+      } else if (j < text.size() && text[j] == '{') {
+        argless = skip_ws(text, j + 1) < text.size() &&
+                  text[skip_ws(text, j + 1)] == '}';
+      } else if (j < text.size() && is_ident_start(text[j])) {
+        while (j < text.size() && is_ident_char(text[j])) ++j;
+        j = skip_ws(text, j);
+        if (j < text.size()) {
+          if (text[j] == ';' || text[j] == ',' || text[j] == ')') {
+            argless = true;
+          } else if (text[j] == '{') {
+            argless = skip_ws(text, j + 1) < text.size() &&
+                      text[skip_ws(text, j + 1)] == '}';
+          }
+        }
+      }
+      if (argless)
+        emit(start, "argless std::" + std::string(id) +
+                        " (implementation-defined default stream); seed "
+                        "explicitly or use evencycle::Rng");
+    }
+  }
+}
+
+void scan_unordered(std::string_view text, const LineIndex& lines,
+                    std::vector<Finding>& out) {
+  static constexpr std::string_view kTypes[] = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (const auto type : kTypes) {
+    for (std::size_t pos = text.find(type); pos != std::string_view::npos;
+         pos = text.find(type, pos + 1)) {
+      if (!ident_token_at(text, pos, type)) continue;
+      // Skip preprocessor lines: flag the use, not '#include <unordered_map>'.
+      const std::size_t line = lines.line_of(pos);
+      if (!trim(lines.line_text(text, line)).empty() &&
+          trim(lines.line_text(text, line)).front() == '#')
+        continue;
+      out.push_back({"", line, kRuleUnordered,
+                     "'std::" + std::string(type) +
+                         "' in a determinism-sensitive path: iteration order "
+                         "is unspecified and leaks into results; use "
+                         "std::map / std::set / a sorted vector"});
+    }
+  }
+}
+
+bool rhs_looks_floating(std::string_view rhs) {
+  for (const std::string_view marker :
+       {"seconds_since(", "duration<", "cast<double>", "cast<float>",
+        "(double)", "(float)", "uniform01("})
+    if (rhs.find(marker) != std::string_view::npos) return true;
+  // Floating literal: a digit run followed by '.', not part of an
+  // identifier (v1.size()) and not a member access (x.count).
+  for (std::size_t i = 0; i + 1 < rhs.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(rhs[i])) == 0) continue;
+    if (i > 0 && is_ident_char(rhs[i - 1]) &&
+        std::isdigit(static_cast<unsigned char>(rhs[i - 1])) == 0)
+      continue;
+    std::size_t j = i;
+    while (j < rhs.size() && std::isdigit(static_cast<unsigned char>(rhs[j])) != 0)
+      ++j;
+    if (j < rhs.size() && rhs[j] == '.' &&
+        (j + 1 >= rhs.size() || !is_ident_start(rhs[j + 1])))
+      return true;
+  }
+  return false;
+}
+
+void scan_float_accumulation(std::string_view text, const LineIndex& lines,
+                             std::vector<Finding>& out) {
+  for (std::size_t line = 1; line <= lines.line_count(); ++line) {
+    const std::string_view row = lines.line_text(text, line);
+    for (const std::string_view op : {"+=", "-="}) {
+      const std::size_t pos = row.find(op);
+      if (pos == std::string_view::npos) continue;
+      std::string_view lhs = trim(row.substr(0, pos));
+      if (lhs.empty() || lhs.ends_with("operator")) continue;
+      const std::string_view rhs = row.substr(pos + op.size());
+
+      bool suffix_match = false;
+      if (is_ident_char(lhs.back())) {
+        std::size_t b = lhs.size();
+        while (b > 0 && is_ident_char(lhs[b - 1])) --b;
+        const std::string_view target = lhs.substr(b);
+        for (const std::string_view hint : {"seconds", "secs", "elapsed", "wall"})
+          if (target.ends_with(hint)) suffix_match = true;
+      }
+      if (suffix_match || rhs_looks_floating(rhs)) {
+        out.push_back(
+            {"", line, kRuleFloatAccumulation,
+             "floating-point accumulation in a deterministic reduce path: FP "
+             "addition is not associative, so accumulation order (thread "
+             "count, batch width) leaks into results; accumulate integers, "
+             "or suppress timing-only accumulators with a justification"});
+        break;  // one finding per line
+      }
+    }
+  }
+}
+
+void scan_shard_bounds(std::string_view text, const LineIndex& lines,
+                       std::vector<Finding>& out) {
+  static constexpr std::string_view kName = "on_round";
+  for (std::size_t pos = text.find(kName); pos != std::string_view::npos;
+       pos = text.find(kName, pos + 1)) {
+    if (!ident_token_at(text, pos, kName)) continue;
+    std::size_t i = skip_ws(text, pos + kName.size());
+    if (i >= text.size() || text[i] != '(') continue;
+    const std::size_t open = i;
+    int depth = 0;
+    while (i < text.size()) {
+      if (text[i] == '(') ++depth;
+      if (text[i] == ')' && --depth == 0) break;
+      ++i;
+    }
+    if (i >= text.size()) continue;
+    const std::size_t close = i;
+    const std::string_view params = text.substr(open + 1, close - open - 1);
+    if (params.find("ShardContext") == std::string_view::npos) continue;
+
+    // Split the parameter list at top-level commas; the bound parameters
+    // are everything after the context.
+    std::vector<std::string_view> parts;
+    {
+      int pdepth = 0;
+      std::size_t part_begin = 0;
+      for (std::size_t p = 0; p <= params.size(); ++p) {
+        const char pc = p < params.size() ? params[p] : ',';
+        if (pc == '(' || pc == '<' || pc == '[') ++pdepth;
+        if (pc == ')' || pc == '>' || pc == ']') --pdepth;
+        if (pc == ',' && pdepth <= 0) {
+          parts.push_back(trim(params.substr(part_begin, p - part_begin)));
+          part_begin = p + 1;
+        }
+      }
+    }
+
+    // Skip declaration-only matches: specifiers, then `{` means a body.
+    std::size_t k = skip_ws(text, close + 1);
+    while (k < text.size() && is_ident_start(text[k])) {
+      while (k < text.size() && is_ident_char(text[k])) ++k;
+      k = skip_ws(text, k);
+    }
+    if (k >= text.size() || text[k] != '{') continue;
+    const std::size_t body_open = k;
+    int bdepth = 0;
+    while (k < text.size()) {
+      if (text[k] == '{') ++bdepth;
+      if (text[k] == '}' && --bdepth == 0) break;
+      ++k;
+    }
+    const std::string_view body = text.substr(body_open, k - body_open);
+
+    for (std::size_t part = 1; part < parts.size(); ++part) {
+      std::string_view decl = parts[part];
+      std::string name;
+      if (!decl.empty() && is_ident_char(decl.back())) {
+        std::size_t b = decl.size();
+        while (b > 0 && is_ident_char(decl[b - 1])) --b;
+        // A nameless parameter ("VertexId") leaves the type as the trailing
+        // identifier; treat a known type name as "no name".
+        const std::string_view tail = decl.substr(b);
+        if (b != 0 && tail != "VertexId" && tail != "uint32_t")
+          name = std::string(tail);
+      }
+      if (name.empty() || !contains_ident_token(body, name)) {
+        const std::string label =
+            name.empty() ? ("parameter " + std::to_string(part + 1))
+                         : ("'" + name + "'");
+        out.push_back({"", lines.line_of(pos), kRuleShardBounds,
+                       "on_round implementation does not reference its " +
+                           label +
+                           " shard bound; a ShardProgram must confine "
+                           "mutation to its own [first, last) range"});
+      }
+    }
+  }
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ok = in.good() || in.eof();
+  return buffer.str();
+}
+
+bool path_contains(std::string_view path, std::string_view needle) {
+  return path.find(needle) != std::string_view::npos;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      kRuleNondeterminism, kRuleUnordered, kRuleFloatAccumulation,
+      kRuleShardBounds, kRuleBadSuppression};
+  return kNames;
+}
+
+bool is_known_rule(std::string_view rule) {
+  const auto& names = rule_names();
+  return std::find(names.begin(), names.end(), rule) != names.end();
+}
+
+namespace {
+
+/// The shared lexer behind strip_comments_and_strings: blanks string and
+/// char literals always, and comments unless `keep_comments` (the
+/// suppression parser reads comments but must never read literals).
+std::string blank_literals(std::string_view source, bool keep_comments) {
+  std::string out(source);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" terminator of a raw string
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          if (!keep_comments) out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          if (!keep_comments) out[i] = ' ';
+        } else if (c == '"' && i > 0 && source[i - 1] == 'R') {
+          // R"delim( ... )delim"
+          std::size_t paren = source.find('(', i + 1);
+          if (paren == std::string_view::npos) break;
+          raw_delim = ")" + std::string(source.substr(i + 1, paren - i - 1)) + "\"";
+          state = State::kRawString;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'' && !(i > 0 && is_ident_char(source[i - 1]))) {
+          // Exclude digit separators (1'000'000).
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n')
+          state = State::kCode;
+        else if (!keep_comments)
+          out[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          if (!keep_comments) {
+            out[i] = ' ';
+            out[i + 1] = ' ';
+          }
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n' && !keep_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (source.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t d = 0; d < raw_delim.size(); ++d) out[i + d] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(std::string_view source) {
+  return blank_literals(source, /*keep_comments=*/false);
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view content) {
+  const std::string stripped = strip_comments_and_strings(content);
+  const LineIndex lines(stripped);
+
+  const bool engine_path =
+      path_contains(path, "src/congest/") || path_contains(path, "src/core/");
+  const bool harness_path = path_contains(path, "src/harness/");
+  bool shard_program_file = false;
+  {
+    static constexpr std::string_view kBase = "ShardProgram";
+    for (std::size_t pos = stripped.find(kBase); pos != std::string_view::npos;
+         pos = stripped.find(kBase, pos + 1)) {
+      if (ident_token_at(stripped, pos, kBase) &&
+          is_base_clause_use(stripped, pos)) {
+        shard_program_file = true;
+        break;
+      }
+    }
+  }
+
+  std::vector<Finding> raw;
+  if (engine_path || shard_program_file)
+    scan_nondeterminism(stripped, lines, raw);
+  if (engine_path || harness_path) scan_unordered(stripped, lines, raw);
+  if (path_contains(path, "src/congest/") || harness_path)
+    scan_float_accumulation(stripped, lines, raw);
+  scan_shard_bounds(stripped, lines, raw);
+
+  // Suppressions: a valid allow on the finding's line, or on the line just
+  // above when that line is purely a comment. Parsed with literals blanked,
+  // so a string mentioning the syntax can never suppress anything.
+  const std::vector<Allow> allows =
+      parse_allows(blank_literals(content, /*keep_comments=*/true));
+  const auto is_comment_line = [&](std::size_t line) {
+    return line >= 1 && line <= lines.line_count() &&
+           trim(lines.line_text(stripped, line)).empty();
+  };
+  const auto suppressed = [&](const Finding& f) {
+    for (const Allow& a : allows) {
+      if (a.rule != f.rule || a.reason.empty() || !is_known_rule(a.rule))
+        continue;
+      if (a.line == f.line) return true;
+      if (a.line + 1 == f.line && is_comment_line(a.line)) return true;
+    }
+    return false;
+  };
+
+  std::vector<Finding> findings;
+  for (Finding& f : raw) {
+    if (suppressed(f)) continue;
+    f.file = std::string(path);
+    findings.push_back(std::move(f));
+  }
+  for (const Allow& a : allows) {
+    if (!is_known_rule(a.rule)) {
+      findings.push_back({std::string(path), a.line, kRuleBadSuppression,
+                          "allow(" + a.rule + ") names an unknown rule"});
+    } else if (a.reason.empty()) {
+      findings.push_back({std::string(path), a.line, kRuleBadSuppression,
+                          "allow(" + a.rule +
+                              ") lacks a justification; write: // "
+                              "evencycle-lint: allow(" +
+                              a.rule + ") <reason>"});
+    }
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path) {
+  bool ok = true;
+  const std::string content = read_file(path, ok);
+  if (!ok) return {{path, 0, "io-error", "cannot read file"}};
+  std::string normalized = path;
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  return lint_source(normalized, content);
+}
+
+namespace {
+
+void collect_from(const std::filesystem::path& dir, bool exclude_fixtures,
+                  std::vector<std::string>& out) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(dir)) return;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    const std::string ext = p.extension().string();
+    if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+    std::string s = p.generic_string();
+    if (exclude_fixtures && s.find("tools/lint/fixtures") != std::string::npos)
+      continue;
+    out.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> collect_tree_files(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const char* sub : {"src", "tools", "bench", "tests", "examples"})
+    collect_from(fs::path(root) / sub, /*exclude_fixtures=*/true, files);
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<std::string> collect_dir_files(const std::string& dir) {
+  std::vector<std::string> files;
+  collect_from(std::filesystem::path(dir), /*exclude_fixtures=*/false, files);
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace evencycle::lint

@@ -1,0 +1,89 @@
+// evencycle-lint: the domain-invariant checker behind `ctest -L lint`.
+//
+// clang-tidy knows C++; it does not know that this engine promises
+// bit-identical results at every thread count, that CONGEST messages are
+// 12-byte packed words, or that a ShardProgram may only mutate its own
+// [first, last) vertex range. This linter enforces exactly those
+// repo-specific invariants with a token-level scan (comments and string
+// literals stripped, no libclang dependency), so a violation fails `ctest -L
+// lint` in seconds instead of surfacing as a nightly determinism mismatch.
+//
+// Rules (ids are stable; tests and suppressions reference them):
+//
+//   nondeterminism      In deterministic engine code (src/congest/,
+//                       src/core/, or any file deriving from ShardProgram):
+//                       no rand()/srand(), std::random_device, time()-family
+//                       calls, argless std::mt19937, or
+//                       hardware_concurrency outside resolve_thread_count.
+//                       All randomness must flow from evencycle::Rng seeded
+//                       by the caller.
+//
+//   unordered-iteration In engine or harness result paths: no
+//                       std::unordered_map / std::unordered_set — their
+//                       iteration order is unspecified and leaks into
+//                       batch results.
+//
+//   float-accumulation  In Metrics reduce paths (src/congest/) and harness
+//                       result paths: no float/double compound
+//                       accumulation — FP addition is not associative, so
+//                       accumulation order (thread count, batch width)
+//                       leaks into the deterministic payload.
+//
+//   shard-bounds        Every on_round(ShardContext&, first, last)
+//                       implementation must reference BOTH of its shard
+//                       bound parameters — a body that ignores them is the
+//                       signature of a whole-array write from one shard.
+//
+//   bad-suppression     An `allow` comment with an unknown rule id or no
+//                       justification text. Suppressions are
+//                       `// evencycle-lint: allow(<rule>) <reason>` on the
+//                       violating line or the pure-comment line above it;
+//                       the reason is mandatory and cannot itself be
+//                       suppressed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evencycle::lint {
+
+/// One rule violation. `line` is 1-based, matching compiler diagnostics.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Stable ids of every rule the linter can report (bad-suppression last).
+const std::vector<std::string>& rule_names();
+
+/// True iff `rule` is a known rule id (valid inside allow(...)).
+bool is_known_rule(std::string_view rule);
+
+/// Replaces comments, string literals, and char literals with spaces,
+/// preserving newlines and column positions. Exposed for tests; every rule
+/// scans this form, so tokens inside comments or strings never match.
+std::string strip_comments_and_strings(std::string_view source);
+
+/// Lints one translation unit. `path` determines which rules apply (see the
+/// file header); `content` is the raw source text. Findings are ordered by
+/// line. Paths are matched with '/' separators.
+std::vector<Finding> lint_source(std::string_view path, std::string_view content);
+
+/// Reads and lints `path`. On read failure returns a single io-error
+/// pseudo-finding (rule "io-error") so a vanished file fails loudly.
+std::vector<Finding> lint_file(const std::string& path);
+
+/// The default tree manifest: every *.hpp / *.cpp under root/{src, tools,
+/// bench, tests, examples}, excluding tools/lint/fixtures (the planted
+/// violations). Sorted, so output and exit codes are deterministic.
+std::vector<std::string> collect_tree_files(const std::string& root);
+
+/// Every *.hpp / *.cpp under `dir`, recursively, sorted. No exclusions —
+/// this is how the fixture corpus itself is linted.
+std::vector<std::string> collect_dir_files(const std::string& dir);
+
+}  // namespace evencycle::lint

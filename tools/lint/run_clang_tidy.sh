@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the whole tree using the compile database exported by
+# CMake. Designed for two callers:
+#
+#   ctest -L lint     registers this script with SKIP_RETURN_CODE 77: it
+#                     skips (exit 77) unless clang-tidy is installed AND the
+#                     run is opted into with EVENCYCLE_CLANG_TIDY=1 — local
+#                     containers often carry only the gcc toolchain.
+#   CI lint job       passes --force, so a missing clang-tidy there is a
+#                     hard failure, never a silent skip.
+#
+# Usage: run_clang_tidy.sh <build-dir> [--force] [--config-file <file>]
+set -u
+
+SKIP=77
+build_dir=""
+force=0
+config_file=""
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --force) force=1 ;;
+    --config-file)
+      shift
+      config_file="${1:?--config-file needs an argument}"
+      ;;
+    -h|--help)
+      sed -n '2,12p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      if [ -z "$build_dir" ]; then build_dir="$1"; else
+        echo "run_clang_tidy.sh: unexpected argument: $1" >&2
+        exit 2
+      fi
+      ;;
+  esac
+  shift
+done
+
+if [ -z "$build_dir" ]; then
+  echo "usage: run_clang_tidy.sh <build-dir> [--force] [--config-file <file>]" >&2
+  exit 2
+fi
+
+root="$(cd "$(dirname "$0")/../.." && pwd)"
+
+if [ "$force" -ne 1 ] && [ "${EVENCYCLE_CLANG_TIDY:-0}" != "1" ]; then
+  echo "run_clang_tidy.sh: skipped (set EVENCYCLE_CLANG_TIDY=1 or pass --force)" >&2
+  exit "$SKIP"
+fi
+
+tidy=""
+for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    tidy="$candidate"
+    break
+  fi
+done
+if [ -z "$tidy" ]; then
+  if [ "$force" -eq 1 ]; then
+    echo "run_clang_tidy.sh: clang-tidy not found but --force was given" >&2
+    exit 1
+  fi
+  echo "run_clang_tidy.sh: clang-tidy not found; skipping" >&2
+  exit "$SKIP"
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+  if [ "$force" -eq 1 ]; then
+    echo "run_clang_tidy.sh: $db not found; configure with CMake first" >&2
+    exit 1
+  fi
+  echo "run_clang_tidy.sh: $db not found; skipping" >&2
+  exit "$SKIP"
+fi
+
+config_args=()
+if [ -n "$config_file" ]; then
+  config_args=(--config-file="$config_file")
+fi
+
+# Lint every .cpp that is in the compile database (fixtures never are: they
+# are planted-violation data for evencycle_lint, not build targets).
+mapfile -t files < <(cd "$root" && find src tools bench tests examples \
+  -name '*.cpp' -not -path 'tools/lint/fixtures/*' | sort)
+
+echo "run_clang_tidy.sh: $tidy over ${#files[@]} files (db: $db)"
+status=0
+printf '%s\n' "${files[@]}" |
+  (cd "$root" && xargs -P "$(nproc)" -n 8 \
+    "$tidy" -p "$build_dir" --quiet "${config_args[@]}") || status=$?
+
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy.sh: findings reported (exit $status)" >&2
+  exit 1
+fi
+echo "run_clang_tidy.sh: clean"
+exit 0
