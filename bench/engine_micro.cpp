@@ -2,6 +2,7 @@
 // round throughput, primitives, generators, color-BFS, density machinery).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <memory>
 
 #include "evencycle.hpp"
@@ -70,30 +71,89 @@ void BM_SendPath(benchmark::State& state) {
 }
 BENCHMARK(BM_SendPath)->Arg(1024)->Arg(16384);
 
-// The scatter (deliver) path in isolation: counting-sort one prebuilt
-// staged run into the mailbox arena. Items are delivered messages.
+// The scatter (deliver) path in isolation: radix-place one prebuilt staged
+// run into the mailbox arena, feeding it the compute-time histogram exactly
+// the way the engine does. Items are delivered messages. Arg(1) selects
+// the receiver distribution: 0 = uniform (4 per node), 1 = power-law
+// (Zipf-like head: a few receivers soak up most of the traffic — the skew
+// the work-stealing scheduler exists for), 2 = single receiver (worst-case
+// cursor contention on one inbox).
 void BM_MailboxScatter(benchmark::State& state) {
   const auto n = static_cast<VertexId>(state.range(0));
   const std::uint32_t per_node = 4;
+  const auto shape = static_cast<int>(state.range(1));
   std::vector<congest::StagedMessage> staged;
   staged.reserve(static_cast<std::size_t>(n) * per_node);
-  for (VertexId v = 0; v < n; ++v)
-    for (std::uint32_t port = 0; port < per_node; ++port)
-      staged.push_back({v, congest::pack_port_tag(port, 1), v});
+  Rng rng(42);
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(n) * per_node; ++i) {
+    VertexId to = 0;
+    switch (shape) {
+      case 0:
+        to = static_cast<VertexId>(i / per_node);
+        break;
+      case 1: {
+        // Inverse-transform power law: u^3 concentrates receivers near 0.
+        const double u = rng.uniform01();
+        to = static_cast<VertexId>(static_cast<double>(n - 1) * u * u * u);
+        break;
+      }
+      default:
+        to = n / 2;
+        break;
+    }
+    staged.push_back({to, congest::pack_port_tag(static_cast<std::uint32_t>(i % per_node), 1),
+                      i});
+  }
   const std::vector<std::span<const congest::StagedMessage>> runs = {
       {staged.data(), staged.size()}};
 
   congest::Mailbox mailbox;
   mailbox.reset(n);
+  std::vector<std::uint32_t> counts(n, 0);
+  const std::vector<std::uint32_t*> lane_counts = {counts.data()};
   for (auto _ : state) {
+    // Rebuild the histogram each iteration — in the engine this increment
+    // happens inside send_from; scatter_block read-and-zeroes it.
+    for (const auto& msg : staged) ++counts[msg.to];
     mailbox.begin_rebuild(staged.size());
-    mailbox.scatter_block(0, n, 0, runs);
+    mailbox.scatter_block(0, n, 0, runs, lane_counts);
     benchmark::DoNotOptimize(mailbox.inbox(n / 2).data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(staged.size()));
 }
-BENCHMARK(BM_MailboxScatter)->Arg(4096)->Arg(262144);
+BENCHMARK(BM_MailboxScatter)
+    ->Args({4096, 0})
+    ->Args({262144, 0})
+    ->Args({262144, 1})
+    ->Args({262144, 2});
+
+// The work-stealing scheduler in isolation: a deliberately skewed task set
+// (task i spins proportionally to its index) seeded into one deque, so the
+// run completes fast only if idle workers steal the backlog. Items are
+// tasks; the steals counter is the interesting part.
+void BM_StealScheduler(benchmark::State& state) {
+  congest::WorkerPool pool(static_cast<std::uint32_t>(state.range(0)));
+  constexpr std::uint64_t kTasks = 256;
+  std::vector<std::uint64_t> initial(kTasks);
+  for (std::uint64_t i = 0; i < kTasks; ++i) initial[i] = i;
+  std::atomic<std::uint64_t> sink{0};
+  const congest::WorkerPool::TaskExecutor executor = [&](std::uint64_t task, std::uint32_t) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < 50 * (task + 1); ++i) acc += i * i;
+    sink.fetch_add(acc, std::memory_order_relaxed);
+  };
+  std::uint64_t steals = 0;
+  for (auto _ : state) {
+    pool.run_tasks(initial, executor);
+    steals += pool.last_task_stats().steals;
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kTasks);
+  state.counters["steals_per_run"] =
+      static_cast<double>(steals) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_StealScheduler)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_BfsTreeBuild(benchmark::State& state) {
   Rng rng(1);

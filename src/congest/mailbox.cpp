@@ -1,38 +1,106 @@
 #include "congest/mailbox.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace evencycle::congest {
 
 void Mailbox::reset(VertexId vertex_count) {
   const std::size_t n = vertex_count;
   // assign() reuses existing storage; nothing here shrinks capacity.
-  offsets_.assign(n + 1, 0);
+  for (auto& arena : arenas_) {
+    arena.offsets.assign(n, 0);
+    arena.all_empty = true;
+  }
   cursors_.assign(n, 0);
-  all_empty_ = true;
+  front_ = 0;
+  peak_bytes_ = 0;
+  streak_peak_ = 0;
+  below_quarter_streak_ = 0;
 }
 
 void Mailbox::begin_rebuild(std::uint64_t total_messages) {
-  if (data_.size() < total_messages) data_.resize(total_messages);
-  offsets_.back() = total_messages;
-  all_empty_ = false;
+  front_ ^= 1;
+  Arena& arena = arenas_[front_];
+
+  peak_bytes_ = std::max(peak_bytes_, total_messages * sizeof(InboundMessage));
+
+  const std::uint64_t capacity = arenas_[0].data.capacity();
+  if (total_messages * 4 < capacity) {
+    // Quiet spell: remember the biggest round inside it, and once it has
+    // lasted kShrinkPatience rebuilds give the surplus back to the
+    // allocator (a long run whose early rounds were 10x busier than its
+    // steady state must not pin the 10x arena forever). Both buffers
+    // shrink together so the one-warm-up-round no-allocation property is
+    // preserved for the workload that remains.
+    streak_peak_ = std::max(streak_peak_, total_messages);
+    if (++below_quarter_streak_ >= kShrinkPatience) {
+      for (auto& a : arenas_) {
+        a.data.resize(streak_peak_);
+        a.data.shrink_to_fit();
+      }
+      below_quarter_streak_ = 0;
+      streak_peak_ = 0;
+    }
+  } else {
+    below_quarter_streak_ = 0;
+    streak_peak_ = 0;
+  }
+
+  // Grow-only within a streak; both arenas track the same high-water mark
+  // so delivery never resizes mid-scatter and the second round after a
+  // growth spike allocates nothing.
+  for (auto& a : arenas_)
+    if (a.data.size() < total_messages) a.data.resize(total_messages);
+
+  arena.all_empty = false;
 }
 
 void Mailbox::scatter_block(VertexId first, VertexId last, std::uint64_t base,
-                            std::span<const std::span<const StagedMessage>> runs) {
+                            std::span<const std::span<const StagedMessage>> runs,
+                            std::span<std::uint32_t* const> lane_counts) {
+  Arena& arena = arenas_[front_];
+
+  // Offsets from the compute-time histograms: one sequential sweep per lane
+  // over this block's slice (read-and-zero leaves the histogram clean for
+  // its next-parity reuse), then an exclusive scan. No staged message is
+  // read here — the count pass the old counting sort did per message is
+  // gone.
   std::fill(cursors_.begin() + first, cursors_.begin() + last, 0);
-  for (const auto& run : runs)
-    for (const auto& staged : run) ++cursors_[staged.to];
+  for (std::uint32_t* counts : lane_counts) {
+    for (VertexId v = first; v < last; ++v) {
+      cursors_[v] += counts[v];
+      counts[v] = 0;
+    }
+  }
   std::uint64_t running = base;
   for (VertexId v = first; v < last; ++v) {
-    offsets_[v] = running;
+    arena.offsets[v] = running;
     running += cursors_[v];
-    cursors_[v] = offsets_[v];
+    cursors_[v] = arena.offsets[v];
   }
-  for (const auto& run : runs)
-    for (const auto& staged : run)
-      data_[cursors_[staged.to]++] = {staged_port(staged.port_tag),
-                                      {staged_tag(staged.port_tag), staged.payload}};
+
+  // Pure placement: each staged message is unpacked into a 16-byte inbox
+  // slot written as one memcpy (a single vector store on every mainstream
+  // compiler), with the destination slot of a message a few iterations
+  // ahead prefetched — the staged stream is sequential, but the arena
+  // targets hop around the block.
+  constexpr std::size_t kPrefetchDistance = 8;
+  InboundMessage* const data = arena.data.data();
+  for (const auto& run : runs) {
+    const StagedMessage* const msgs = run.data();
+    const std::size_t count = run.size();
+    for (std::size_t i = 0; i < count; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+      if (i + kPrefetchDistance < count)
+        __builtin_prefetch(data + cursors_[msgs[i + kPrefetchDistance].to], 1, 1);
+#endif
+      const StagedMessage& staged = msgs[i];
+      const InboundMessage slot{staged_port(staged.port_tag),
+                                {staged_tag(staged.port_tag), staged.payload}};
+      std::memcpy(data + cursors_[staged.to]++, &slot, sizeof(slot));
+    }
+  }
 }
 
 }  // namespace evencycle::congest

@@ -1,19 +1,30 @@
-// Flat mailbox arena of the CONGEST simulator.
+// Flat mailbox arenas of the CONGEST simulator.
 //
-// One contiguous InboundMessage buffer holds every message delivered in the
-// current round, with per-node offset ranges in CSR style. The buffer is
-// rebuilt each round, counting-sort style, from the round engine's staged
-// send lanes: count per receiver, prefix-sum into offsets, scatter in lane
-// order. Both the arena and its offset tables keep their capacity across
-// rounds and across install() calls, so a steady-state round performs no
-// allocations — this replaces the seed's n-vector-of-vectors mailboxes and
-// their per-round clear/swap churn.
+// Two contiguous InboundMessage buffers (front and back) hold every message
+// delivered in the current and the previous round, with per-node offset
+// ranges in CSR style. Each round the engine rebuilds the back arena,
+// radix style, from its staged send lanes: per-receiver histograms are
+// accumulated *during compute* (one per lane), so the deliver pass here is a
+// pure placement scan — offsets come from a sequential sweep over the lane
+// histograms, and every staged message is touched exactly once. Both arenas
+// and the offset tables keep their capacity across rounds and across
+// install() calls, so a steady-state round performs no allocations.
+//
+// Double buffering is what lets the round engine overlap phases: delivery
+// for round r writes the arena that compute for round r+1 will read, while
+// compute for round r is still reading the other arena — the two never
+// alias, so no barrier between them is needed for memory safety.
 //
 // Concurrency contract: scatter_block() may be called concurrently for
 // disjoint vertex blocks (it only touches offsets/cursors/slots of its own
-// block), which is how the round engine parallelizes delivery while keeping
-// the arena layout — and therefore every inbox's message order —
-// bit-identical at every thread count.
+// block and the [first, last) slice of each lane histogram), which is how
+// the round engine parallelizes delivery while keeping the arena layout —
+// and therefore every inbox's message order — bit-identical at every
+// thread count. inbox(v) likewise reads only state written by v's own
+// block's scatter (offset and placement cursor), so a shard may start
+// reading its inboxes while neighboring blocks are still being scattered.
+// begin_rebuild() must be called from exactly one thread while no scatter
+// or inbox reader is active (the engine's finalize step).
 #pragma once
 
 #include <cstdint>
@@ -40,35 +51,79 @@ static_assert(sizeof(StagedMessage) == 16, "staged sends must stay 16 bytes");
 
 class Mailbox {
  public:
-  /// Clears the arena for `vertex_count` nodes, keeping buffer capacity.
+  /// Clears both arenas for `vertex_count` nodes, keeping buffer capacity.
   void reset(VertexId vertex_count);
 
-  /// Messages delivered to v this round (valid until the next rebuild).
+  /// Messages delivered to v this round (valid until the next begin_rebuild).
+  /// The end of the range comes from the placement cursor, not the next
+  /// vertex's offset: offsets[v + 1] belongs to the *neighboring* scatter
+  /// block for the last vertex of a block, and the overlapped engine only
+  /// sequences a shard's compute after its own block's delivery. Both
+  /// offsets[v] and cursors_[v] are written by v's own block, so this read
+  /// is safe while other blocks are still scattering.
   std::span<const InboundMessage> inbox(VertexId v) const {
-    if (all_empty_) return {};
-    return {data_.data() + offsets_[v], data_.data() + offsets_[v + 1]};
+    const Arena& arena = arenas_[front_];
+    if (arena.all_empty) return {};
+    return {arena.data.data() + arena.offsets[v], arena.data.data() + cursors_[v]};
   }
 
-  /// Fast path for a round that delivered nothing: every inbox is empty and
-  /// the arena is left untouched.
-  void mark_all_empty() { all_empty_ = true; }
+  /// Fast path for a round that delivered nothing: every inbox reads empty
+  /// and both arenas are left untouched.
+  void mark_all_empty() { arenas_[front_].all_empty = true; }
 
-  /// Starts a rebuild for `total_messages` messages (grow-only resize).
+  /// Flips to the back arena and sizes it for `total_messages` messages;
+  /// subsequent scatter_block calls fill the newly fronted arena. Grows
+  /// *both* data buffers to the high-water mark (so one warm-up round
+  /// reaches the steady state), tracks the run's peak arena footprint, and
+  /// shrinks the buffers once a run's traffic stays below a quarter of
+  /// capacity for kShrinkPatience consecutive rebuilds. Single-threaded:
+  /// the engine calls this between a round's compute and deliver tasks,
+  /// when no reader or scatter is active.
   void begin_rebuild(std::uint64_t total_messages);
 
-  /// Counting-sort delivery for the vertex block [first, last): zeroes the
-  /// block's counters, counts each run's receivers, prefix-sums offsets from
-  /// `base`, then scatters the runs *in order*. Callers pass the runs in
-  /// global send order (lane 0 first), which makes every inbox's order equal
-  /// to the sequential simulator's. Thread-safe across disjoint blocks.
+  /// Radix placement for the vertex block [first, last) of the front arena:
+  /// sums the per-lane receiver histograms (`lane_counts[l][v]`, zeroing
+  /// them for reuse), prefix-sums offsets from `base`, then places the runs
+  /// *in order* with software prefetch on the arena writes. Callers pass
+  /// the runs in global send order (lane 0 first), which makes every
+  /// inbox's order equal to the sequential simulator's. Thread-safe across
+  /// disjoint blocks.
   void scatter_block(VertexId first, VertexId last, std::uint64_t base,
-                     std::span<const std::span<const StagedMessage>> runs);
+                     std::span<const std::span<const StagedMessage>> runs,
+                     std::span<std::uint32_t* const> lane_counts);
+
+  /// Peak arena footprint (bytes of delivered messages in the busiest
+  /// round) since the last reset(). Deterministic: a pure function of the
+  /// per-round message totals.
+  std::uint64_t peak_bytes() const { return peak_bytes_; }
+
+  /// Current capacity of one arena buffer, in bytes (both arenas match).
+  std::uint64_t capacity_bytes() const {
+    return arenas_[0].data.capacity() * sizeof(InboundMessage);
+  }
+
+  /// Rebuilds below a quarter of capacity before the buffers shrink.
+  static constexpr std::uint32_t kShrinkPatience = 64;
 
  private:
-  std::vector<InboundMessage> data_;    // flat arena, grow-only
-  std::vector<std::uint64_t> offsets_;  // size n+1; inbox(v) = [off[v], off[v+1])
-  std::vector<std::uint64_t> cursors_;  // size n; scatter scratch
-  bool all_empty_ = true;
+  struct Arena {
+    std::vector<InboundMessage> data;
+    std::vector<std::uint64_t> offsets;  // size n; inbox(v) = [off[v], cursors_[v])
+    bool all_empty = true;
+  };
+
+  Arena arenas_[2];
+  std::uint32_t front_ = 0;
+  // Size n. During scatter_block this is the running placement cursor; after
+  // a block's placement loop, cursors_[v] is the end of v's inbox range and
+  // inbox() reads it as such. Front-arena-only is sound: all of a round's
+  // inbox reads happen-before the next begin_rebuild (the engine's finalize
+  // waits for every compute task), so the previous parity's cursor values
+  // are dead by the time the next round's scatters overwrite them.
+  std::vector<std::uint64_t> cursors_;
+  std::uint64_t peak_bytes_ = 0;        // run peak, bytes
+  std::uint64_t streak_peak_ = 0;       // peak total_messages within the current quiet streak
+  std::uint32_t below_quarter_streak_ = 0;
 };
 
 }  // namespace evencycle::congest

@@ -95,8 +95,16 @@ RoundEngine::RoundEngine(const graph::Graph& g, Config config)
   block_shift_ = static_cast<std::uint32_t>(std::countr_zero(chunk_));
 
   lanes_ = std::vector<Lane>(thread_count_);
-  for (auto& lane : lanes_) lane.stage.resize(thread_count_);
+  for (auto& lane : lanes_) {
+    for (auto& stage : lane.stage) stage.resize(thread_count_);
+    for (auto& counts : lane.counts) counts.assign(n, 0);
+    lane.runs.reserve(thread_count_);
+    lane.run_counts.reserve(thread_count_);
+  }
   block_base_.assign(thread_count_, 0);
+  worker_times_.assign(thread_count_, WorkerTimes{});
+  seed_tasks_.reserve(thread_count_);
+  executor_fn_ = [this](std::uint64_t task, std::uint32_t worker) { execute_task(task, worker); };
 
   arc_load_.assign(2 * static_cast<std::size_t>(g.edge_count()), 0);
   if (config_.watched_edges != nullptr) {
@@ -113,15 +121,18 @@ RoundEngine::RoundEngine(const graph::Graph& g, Config config)
 
 void RoundEngine::reset_run_state() {
   // Reset run state in place: clear() / assign() / fill() keep every
-  // buffer's capacity (lanes, touched-arc lists, mailbox arena), so back-to-
-  // back experiments on one engine do not re-allocate.
+  // buffer's capacity (lanes, touched-arc lists, mailbox arenas), so back-
+  // to-back experiments on one engine do not re-allocate.
   const VertexId n = graph_->vertex_count();
   mailbox_.reset(n);
   for (auto& lane : lanes_) {
-    for (auto& block : lane.stage) block.clear();
+    for (auto& stage : lane.stage)
+      for (auto& block : stage) block.clear();
+    for (auto& counts : lane.counts) std::fill(counts.begin(), counts.end(), 0);
+    lane.active_stage = nullptr;
+    lane.active_counts = nullptr;
     lane.touched_arcs.clear();
     lane.messages = lane.watched = lane.new_rejects = lane.new_halts = 0;
-    lane.block_total = 0;
     lane.error = nullptr;
   }
   std::fill(arc_load_.begin(), arc_load_.end(), 0);
@@ -135,9 +146,12 @@ void RoundEngine::reset_run_state() {
   metrics_.messages = 0;
   metrics_.busiest_round_messages = 0;
   metrics_.watched_messages = 0;
+  metrics_.peak_arena_bytes = 0;
   metrics_.compute_seconds = 0.0;
   metrics_.reduce_seconds = 0.0;
   metrics_.deliver_seconds = 0.0;
+  metrics_.idle_seconds = 0.0;
+  metrics_.steal_count = 0;
   metrics_.round_profile.clear();
   if (config_.collect_round_profile && metrics_.round_profile.capacity() == 0)
     metrics_.round_profile.reserve(kRoundProfileReserve);
@@ -172,10 +186,16 @@ void RoundEngine::send_failed(VertexId from, std::uint32_t port, Message message
 void RoundEngine::run_shard(std::uint32_t lane_index) {
   Lane& lane = lanes_[lane_index];
   // Clear last round's per-arc loads (sender-partitioned, so each lane
-  // resets exactly its own arcs) and recycle the staging buffers.
+  // resets exactly its own arcs) and point the hot path at this round's
+  // parity of the staging buffers and the receiver histogram. The
+  // histogram needs no clearing: the previous round of this parity was
+  // read-and-zeroed by its delivers (or never written, on a quiet round).
   for (const auto arc : lane.touched_arcs) arc_load_[arc] = 0;
   lane.touched_arcs.clear();
-  for (auto& block : lane.stage) block.clear();
+  auto& stage = lane.stage[round_parity_];
+  for (auto& block : stage) block.clear();
+  lane.active_stage = stage.data();
+  lane.active_counts = lane.counts[round_parity_].data();
   lane.messages = lane.watched = lane.new_rejects = lane.new_halts = 0;
 
   const VertexId first = shard_first(lane_index);
@@ -185,49 +205,123 @@ void RoundEngine::run_shard(std::uint32_t lane_index) {
   program_->on_round(ctx, first, last);
 }
 
-void RoundEngine::reduce_block(std::uint32_t lane_index) {
-  // Column sum of the staged-count matrix: messages every lane staged for
-  // this lane's receiver block. Runs in parallel across blocks; the serial
-  // remainder in run_round is an O(threads) exclusive scan.
-  std::uint64_t total = 0;
-  for (const auto& sender : lanes_) total += sender.stage[lane_index].size();
-  lanes_[lane_index].block_total = total;
-}
-
-void RoundEngine::deliver_block(std::uint32_t lane_index) {
-  Lane& lane = lanes_[lane_index];
+void RoundEngine::deliver_block(std::uint32_t block) {
+  // Gather block `block`'s runs in lane (= global send) order, with the
+  // matching compute-time histograms; lanes that staged nothing for this
+  // block contribute neither (their histogram slice is all zero already).
+  Lane& lane = lanes_[block];
   lane.runs.clear();
-  for (const auto& sender : lanes_) {
-    const auto& run = sender.stage[lane_index];
-    if (!run.empty()) lane.runs.push_back({run.data(), run.size()});
-  }
-  mailbox_.scatter_block(shard_first(lane_index), shard_last(lane_index),
-                         block_base_[lane_index], lane.runs);
-}
-
-void RoundEngine::run_phase(std::uint32_t lane_index) {
-  try {
-    switch (phase_) {
-      case Phase::kCompute:
-        run_shard(lane_index);
-        break;
-      case Phase::kReduce:
-        reduce_block(lane_index);
-        break;
-      case Phase::kDeliver:
-        deliver_block(lane_index);
-        break;
+  lane.run_counts.clear();
+  for (auto& sender : lanes_) {
+    const auto& run = sender.stage[deliver_parity_][block];
+    if (!run.empty()) {
+      lane.runs.push_back({run.data(), run.size()});
+      lane.run_counts.push_back(sender.counts[deliver_parity_].data());
     }
-  } catch (...) {
-    lanes_[lane_index].error = std::current_exception();
   }
+  mailbox_.scatter_block(shard_first(block), shard_last(block), block_base_[block],
+                         lane.runs, lane.run_counts);
 }
 
-void RoundEngine::dispatch(Phase phase) {
-  // phase_ is written before pool_.run and read by every lane inside it;
-  // WorkerPool::run orders the write before any lane executes.
-  phase_ = phase;
-  pool_.run([this](std::uint32_t lane) { run_phase(lane); });
+void RoundEngine::finalize_round(std::uint32_t worker) {
+  // Runs exactly once per round, on whichever worker finished the round's
+  // last compute task; every plain-field write here is published to the
+  // tasks submitted below through the pool's submit/claim edge.
+  const bool timed = config_.collect_phase_timings;
+  const auto start = timed ? Clock::now() : Clock::time_point{};
+
+  // A compute of this round (or a deliver of the previous one) failed:
+  // abort the pipeline without aggregating — the sequential engine charges
+  // nothing for the erroring round. In-flight tasks drain; run_pipeline
+  // rethrows the lowest lane's error.
+  for (const auto& lane : lanes_)
+    if (lane.error) return;
+
+  round_messages_ = 0;
+  for (auto& lane : lanes_) {
+    round_messages_ += lane.messages;
+    metrics_.watched_messages += lane.watched;
+    reject_count_ += lane.new_rejects;
+    live_count_ -= lane.new_halts;
+  }
+  metrics_.messages += round_messages_;
+  metrics_.busiest_round_messages = std::max(metrics_.busiest_round_messages, round_messages_);
+  if (config_.collect_round_profile) metrics_.round_profile.push_back(round_messages_);
+  ++metrics_.rounds;
+  ++rounds_run_;
+
+  bool continue_run = rounds_run_ < run_limit_;
+  if (run_mode_ == RunMode::kUntilQuiet) continue_run = continue_run && round_messages_ > 0;
+  if (run_mode_ == RunMode::kToQuiescence) continue_run = continue_run && live_count_ > 0;
+
+  deliver_parity_ = round_parity_;
+  round_parity_ ^= 1;
+
+  if (round_messages_ == 0) {
+    // Quiet round: every next-round inbox is empty; skip delivery entirely
+    // and, if the run continues, enable the next round's computes directly.
+    mailbox_.mark_all_empty();
+    if (continue_run) {
+      pending_computes_.store(thread_count_, std::memory_order_relaxed);
+      for (std::uint32_t s = 0; s < thread_count_; ++s)
+        pool_.submit(worker, kComputeTask | s);
+    }
+  } else {
+    // Exclusive scan of the per-block staged totals (sizes are O(1) reads
+    // off the staging vectors — the histogram work already happened during
+    // compute) into deterministic arena offsets, then flip the mailbox and
+    // let the delivers loose. Each deliver chains its own block's next
+    // compute when the run continues.
+    std::uint64_t running = 0;
+    for (std::uint32_t block = 0; block < thread_count_; ++block) {
+      block_base_[block] = running;
+      for (const auto& sender : lanes_) running += sender.stage[deliver_parity_][block].size();
+    }
+    mailbox_.begin_rebuild(running);
+    metrics_.peak_arena_bytes = mailbox_.peak_bytes();
+    continue_after_deliver_ = continue_run;
+    if (continue_run) pending_computes_.store(thread_count_, std::memory_order_relaxed);
+    for (std::uint32_t block = 0; block < thread_count_; ++block)
+      pool_.submit(worker, kDeliverTask | block);
+  }
+
+  // evencycle-lint: allow(float-accumulation) opt-in task timing, excluded from the deterministic payload
+  if (timed) worker_times_[worker].finalize += seconds_since(start);
+}
+
+void RoundEngine::execute_task(std::uint64_t task, std::uint32_t worker) {
+  const bool timed = config_.collect_phase_timings;
+  const auto start = timed ? Clock::now() : Clock::time_point{};
+  if ((task & kDeliverTask) != 0) {
+    const std::uint32_t block = task_index(task);
+    try {
+      deliver_block(block);
+    } catch (...) {
+      lanes_[block].error = std::current_exception();
+    }
+    // evencycle-lint: allow(float-accumulation) opt-in task timing, excluded from the deterministic payload
+    if (timed) worker_times_[worker].deliver += seconds_since(start);
+    if (continue_after_deliver_) pool_.submit(worker, kComputeTask | block);
+  } else {
+    const std::uint32_t shard = task_index(task);
+    try {
+      run_shard(shard);
+    } catch (...) {
+      lanes_[shard].error = std::current_exception();
+    }
+    // evencycle-lint: allow(float-accumulation) opt-in task timing, excluded from the deterministic payload
+    if (timed) worker_times_[worker].compute += seconds_since(start);
+    if (pending_computes_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      try {
+        finalize_round(worker);
+      } catch (...) {
+        // Only reachable with no prior lane error (finalize returns early
+        // otherwise), so lane 0's slot is free and lowest-lane rethrow
+        // reports exactly this failure.
+        lanes_[0].error = std::current_exception();
+      }
+    }
+  }
 }
 
 void RoundEngine::rethrow_lane_error() {
@@ -245,58 +339,48 @@ void RoundEngine::rethrow_lane_error() {
   }
 }
 
-void RoundEngine::run_round() {
+std::uint64_t RoundEngine::run_pipeline(RunMode mode, std::uint64_t limit) {
   EC_SIM_CHECK(program_ != nullptr, "run_round before install()");
-  const bool timed = config_.collect_phase_timings;
+  if (limit == 0) return 0;
+  if (mode == RunMode::kToQuiescence && all_halted()) return 0;
 
-  auto phase_start = timed ? Clock::now() : Clock::time_point{};
-  dispatch(Phase::kCompute);
+  run_mode_ = mode;
+  run_limit_ = limit;
+  rounds_run_ = 0;
+  round_parity_ = static_cast<std::uint32_t>(metrics_.rounds & 1);
+  continue_after_deliver_ = false;
+  pending_computes_.store(thread_count_, std::memory_order_relaxed);
+
+  seed_tasks_.clear();
+  for (std::uint32_t s = 0; s < thread_count_; ++s) seed_tasks_.push_back(kComputeTask | s);
+  pool_.run_tasks(seed_tasks_, executor_fn_, config_.collect_phase_timings);
+
   rethrow_lane_error();
-  // evencycle-lint: allow(float-accumulation) opt-in wall-clock phase timing, excluded from the deterministic payload
-  if (timed) metrics_.compute_seconds += seconds_since(phase_start);
 
-  round_messages_ = 0;
-  for (auto& lane : lanes_) {
-    round_messages_ += lane.messages;
-    metrics_.watched_messages += lane.watched;
-    reject_count_ += lane.new_rejects;
-    live_count_ -= lane.new_halts;
-  }
-
-  if (round_messages_ == 0) {
-    // Quiet round: every next-round inbox is empty; skip delivery entirely.
-    mailbox_.mark_all_empty();
-  } else {
-    if (timed) phase_start = Clock::now();
-    dispatch(Phase::kReduce);
-    rethrow_lane_error();
-    std::uint64_t running = 0;
-    for (std::uint32_t block = 0; block < thread_count_; ++block) {
-      block_base_[block] = running;
-      running += lanes_[block].block_total;
+  const auto& stats = pool_.last_task_stats();
+  metrics_.steal_count += stats.steals;
+  if (config_.collect_phase_timings) {
+    // evencycle-lint: allow(float-accumulation) opt-in task timing, excluded from the deterministic payload
+    metrics_.idle_seconds += stats.idle_seconds;
+    for (auto& times : worker_times_) {
+      // evencycle-lint: allow(float-accumulation) opt-in task timing, excluded from the deterministic payload
+      metrics_.compute_seconds += times.compute;
+      // evencycle-lint: allow(float-accumulation) opt-in task timing, excluded from the deterministic payload
+      metrics_.reduce_seconds += times.finalize;
+      // evencycle-lint: allow(float-accumulation) opt-in task timing, excluded from the deterministic payload
+      metrics_.deliver_seconds += times.deliver;
+      times = WorkerTimes{};
     }
-    mailbox_.begin_rebuild(running);
-    if (timed) {
-      // evencycle-lint: allow(float-accumulation) opt-in wall-clock phase timing, excluded from the deterministic payload
-      metrics_.reduce_seconds += seconds_since(phase_start);
-      phase_start = Clock::now();
-    }
-    dispatch(Phase::kDeliver);
-    rethrow_lane_error();
-    // evencycle-lint: allow(float-accumulation) opt-in wall-clock phase timing, excluded from the deterministic payload
-    if (timed) metrics_.deliver_seconds += seconds_since(phase_start);
   }
-
-  metrics_.messages += round_messages_;
-  metrics_.busiest_round_messages = std::max(metrics_.busiest_round_messages, round_messages_);
-  if (config_.collect_round_profile) metrics_.round_profile.push_back(round_messages_);
-  ++metrics_.rounds;
+  return rounds_run_;
 }
+
+void RoundEngine::run_round() { run_pipeline(RunMode::kFixedRounds, 1); }
 
 void RoundEngine::run_rounds(std::uint64_t count) {
   if (config_.collect_round_profile)
     metrics_.round_profile.reserve(metrics_.round_profile.size() + count);
-  for (std::uint64_t i = 0; i < count; ++i) run_round();
+  run_pipeline(RunMode::kFixedRounds, count);
 }
 
 std::uint64_t RoundEngine::run_until_quiet(std::uint64_t max_rounds) {
@@ -305,22 +389,11 @@ std::uint64_t RoundEngine::run_until_quiet(std::uint64_t max_rounds) {
   // therefore runs exactly one round. (The seed's `r > 1` guard made such a
   // protocol run to max_rounds and charged an extra round to protocols that
   // fall silent after round 0.)
-  std::uint64_t r = 0;
-  while (r < max_rounds) {
-    run_round();
-    ++r;
-    if (round_messages_ == 0) break;
-  }
-  return r;
+  return run_pipeline(RunMode::kUntilQuiet, max_rounds);
 }
 
 std::uint64_t RoundEngine::run_to_quiescence(std::uint64_t max_rounds) {
-  std::uint64_t r = 0;
-  while (r < max_rounds && !all_halted()) {
-    run_round();
-    ++r;
-  }
-  return r;
+  return run_pipeline(RunMode::kToQuiescence, max_rounds);
 }
 
 }  // namespace evencycle::congest

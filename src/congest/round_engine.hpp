@@ -1,24 +1,37 @@
 // Deterministic multi-threaded round engine of the CONGEST simulator.
 //
 // The engine partitions the vertex set into contiguous shards, one per
-// thread, and drives each synchronous round in three phases over a
-// persistent worker pool:
+// thread, and drives rounds as a dependency-counted task pipeline over a
+// persistent work-stealing worker pool (see worker_pool.hpp) — there are no
+// global phase barriers:
 //
-//   phase 1 (compute):  every worker runs the installed ShardProgram over
-//                       the vertices of its shard, in ascending vertex
-//                       order, staging sends into shard-local lanes
-//                       bucketed by receiver block and enforcing per-arc
-//                       bandwidth as it goes (each directed arc belongs to
-//                       exactly one sender, hence one shard, so the
-//                       accounting is race-free without locks);
-//   phase 2 (reduce):   every worker sums the staged-message counts of its
-//                       own receiver block across all lanes; the calling
-//                       thread then exclusive-scans the per-block totals
-//                       into arena offsets (O(threads), the only serial
-//                       work left in a round);
-//   phase 3 (deliver):  every worker counting-sorts the messages destined
-//                       to its own vertex block into the flat Mailbox
-//                       arena, reading the lanes in shard order.
+//   compute(r, s)   runs the installed ShardProgram over shard s's vertices
+//                   in ascending order, staging sends into shard-local
+//                   lanes bucketed by receiver block and accumulating a
+//                   per-receiver histogram as it goes (each directed arc
+//                   belongs to exactly one sender, hence one shard, so
+//                   bandwidth accounting is race-free without locks);
+//                   enabled the moment deliver(r-1, s) rebuilt this shard's
+//                   inbox block — it does not wait for other blocks;
+//   finalize(r)     runs inline on whichever worker completes the last
+//                   compute(r): aggregates the round's counters, makes the
+//                   termination decision, exclusive-scans the per-block
+//                   staged totals into arena offsets (O(threads^2), the
+//                   only serial work left in a round), flips the mailbox
+//                   to its back arena, and enables the delivers;
+//   deliver(r, b)   radix-places the messages destined to vertex block b
+//                   into the flat Mailbox arena, reading the lanes in shard
+//                   order — a pure placement scan, because the per-receiver
+//                   histograms were already built during compute; on
+//                   completion it enables compute(r+1, b).
+//
+// deliver(r) therefore overlaps compute(r+1): a fast shard starts its next
+// round while slower blocks are still being delivered, and the
+// work-stealing deques let idle workers take over a skewed shard's tasks.
+// Double-buffered arenas (Mailbox) and double-buffered staging lanes make
+// the overlap alias-free; computes of different rounds never overlap each
+// other (compute(r+1, s) requires deliver(r, s), which requires every
+// compute(r)), which is what keeps program-visible state single-round.
 //
 // Programs come in two shapes. The native ShardProgram model is batched
 // SoA: ONE program object per protocol, per-node state in flat arrays the
@@ -29,9 +42,19 @@
 // programs in an internal ShardProgram), so existing protocols compile and
 // behave unchanged.
 //
+// Phase-overlap cadence contract (new with the overlapped scheduler):
+// during on_round a program may read inbox(v), and write through
+// send/broadcast/reject/halt, ONLY for vertices of its own shard — other
+// blocks of the arena may still be mid-delivery. Cross-shard reads of
+// program-owned per-node state remain safe between computes of the same
+// round (computes of different rounds never overlap), but inbox(v) outside
+// [first, last) is no longer guaranteed stable. Every program in the tree
+// already complies.
+//
 // Determinism guarantee: because shards are contiguous ascending vertex
 // ranges, lane order equals sender order, so the arena layout, every inbox's
-// message order, all Metrics fields, reject/halt bookkeeping, and
+// message order, all Metrics fields except the explicitly non-deterministic
+// timing/scheduler diagnostics, reject/halt bookkeeping, and
 // SimulationError bandwidth enforcement are bit-identical at every thread
 // count (threads = 1 reproduces the seed's sequential simulator exactly).
 // ShardPrograms MUST visit their vertices in ascending order and stage all
@@ -42,6 +65,8 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <exception>
@@ -77,9 +102,11 @@ struct Config {
   std::uint32_t words_per_round = 1;  ///< link bandwidth in O(log n)-bit words
   bool collect_round_profile = false; ///< record per-round message counts
 
-  /// Opt-in per-phase wall-clock breakdown: accumulate compute / reduce /
-  /// deliver seconds into Metrics. Off by default (two clock reads per
-  /// phase per round are cheap but not free).
+  /// Opt-in per-phase breakdown: accumulate compute / finalize / deliver
+  /// task seconds into Metrics, plus worker idle time. Under the overlapped
+  /// scheduler these are summed task durations across all workers (phases
+  /// interleave, so a wall clock around a "phase" no longer exists); at
+  /// threads = 1 they equal wall time. Off by default.
   bool collect_phase_timings = false;
 
   /// Optional cut meter: per undirected edge id, true = count words crossing
@@ -97,18 +124,26 @@ struct Config {
   std::uint32_t threads = kThreadsFromEnv;
 };
 
-/// Aggregate statistics of one simulation run.
+/// Aggregate statistics of one simulation run. Everything except the
+/// timing/scheduler block at the bottom is deterministic: bit-identical at
+/// every thread count.
 struct Metrics {
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
   std::uint64_t busiest_round_messages = 0;
   std::uint64_t watched_messages = 0;        ///< words across watched edges
+  std::uint64_t peak_arena_bytes = 0;        ///< busiest round's delivered bytes
   std::vector<std::uint64_t> round_profile;  ///< only if collect_round_profile
 
-  // Per-phase wall clock, accumulated only under collect_phase_timings.
-  double compute_seconds = 0.0;  ///< phase 1: shard programs + staging
-  double reduce_seconds = 0.0;   ///< phase 2: parallel block counts + scan
-  double deliver_seconds = 0.0;  ///< phase 3: counting-sort into the arena
+  // Timing and scheduler diagnostics — execution-order dependent, NOT part
+  // of the deterministic payload. Seconds accumulate only under
+  // collect_phase_timings; steal_count is always collected (it is one
+  // integer read per run).
+  double compute_seconds = 0.0;  ///< summed compute-task time across workers
+  double reduce_seconds = 0.0;   ///< summed finalize time (scan + bookkeeping)
+  double deliver_seconds = 0.0;  ///< summed deliver-task time across workers
+  double idle_seconds = 0.0;     ///< summed worker starvation time
+  std::uint64_t steal_count = 0; ///< successful steal-half operations
 };
 
 class RoundEngine;
@@ -116,10 +151,12 @@ class NodeProgramAdapter;
 
 /// Per-round, per-shard view a batched program gets of the simulation.
 ///
-/// All vertex-indexed calls are valid for the whole graph, but mutating
-/// calls (send / broadcast / reject / halt) must only be made for vertices
-/// of the shard currently being executed — the [first, last) range handed
-/// to ShardProgram::on_round — or the lock-free per-lane bookkeeping races.
+/// Topology queries are valid for the whole graph, but inbox() and the
+/// mutating calls (send / broadcast / reject / halt) must only be made for
+/// vertices of the shard currently being executed — the [first, last)
+/// range handed to ShardProgram::on_round: other inbox blocks may still be
+/// mid-delivery under the overlapped scheduler, and the per-lane
+/// bookkeeping is lock-free per shard.
 class ShardContext {
  public:
   std::uint64_t round() const;
@@ -133,6 +170,7 @@ class ShardContext {
   bool halted(VertexId v) const;
 
   /// Messages delivered to v this round (sent by neighbors last round).
+  /// Only valid for v in the current shard's [first, last) range.
   std::span<const InboundMessage> inbox(VertexId v) const;
 
   /// Sends one word from `from` on `port` (delivered next round).
@@ -163,8 +201,9 @@ class ShardProgram {
 
   /// Called once per round per shard while any vertex is live. Must visit
   /// vertices in ascending order within [first, last) (see the determinism
-  /// contract in the file header). Round 0 has empty inboxes; initial
-  /// sends happen there.
+  /// contract in the file header) and must not touch inboxes or staging
+  /// state of vertices outside that range (see the phase-overlap cadence
+  /// contract). Round 0 has empty inboxes; initial sends happen there.
   virtual void on_round(ShardContext& ctx, VertexId first, VertexId last) = 0;
 };
 
@@ -241,7 +280,7 @@ class RoundEngine {
   /// Runs one synchronous round. Requires installed programs.
   void run_round();
 
-  /// Runs `count` rounds.
+  /// Runs `count` rounds as one overlapped pipeline.
   void run_rounds(std::uint64_t count);
 
   /// Runs until all nodes halted or `max_rounds` elapsed; returns rounds run.
@@ -264,23 +303,43 @@ class RoundEngine {
 
   /// Shard-local staging state. One lane per worker; padded so the hot
   /// per-send counters of neighboring lanes never share a cache line.
+  /// Staging buffers and histograms are double-buffered by round parity so
+  /// compute(r+1) never aliases what deliver(r) is still reading.
   struct alignas(64) Lane {
-    /// Staged sends, bucketed by receiver block, in send order.
-    std::vector<std::vector<StagedMessage>> stage;
+    /// Staged sends, bucketed by receiver block, in send order; [parity].
+    std::array<std::vector<std::vector<StagedMessage>>, 2> stage;
+    /// Per-receiver histogram accumulated during compute; [parity], size n.
+    std::array<std::vector<std::uint32_t>, 2> counts;
+    /// Hot-path views of the current parity's buffers (set by run_shard).
+    std::vector<StagedMessage>* active_stage = nullptr;
+    std::uint32_t* active_counts = nullptr;
     /// Directed arcs this shard loaded this round (for O(messages) reset).
     std::vector<std::uint32_t> touched_arcs;
-    /// Phase-3 scratch: this block's runs, in lane order.
+    /// Deliver scratch: this block's runs and matching histograms, lane order.
     std::vector<std::span<const StagedMessage>> runs;
+    std::vector<std::uint32_t*> run_counts;
     std::uint64_t messages = 0;
     std::uint64_t watched = 0;
     std::uint64_t new_rejects = 0;
     std::uint64_t new_halts = 0;
-    /// Phase-2 output: staged messages destined to this lane's block.
-    std::uint64_t block_total = 0;
     std::exception_ptr error;
   };
 
-  enum class Phase { kCompute, kReduce, kDeliver };
+  /// Per-worker timing accumulators (task mode runs any task on any worker).
+  struct alignas(64) WorkerTimes {
+    double compute = 0.0;
+    double finalize = 0.0;
+    double deliver = 0.0;
+  };
+
+  enum class RunMode : std::uint8_t { kFixedRounds, kUntilQuiet, kToQuiescence };
+
+  // Task words for the work-stealing pipeline.
+  static constexpr std::uint64_t kComputeTask = 0;
+  static constexpr std::uint64_t kDeliverTask = std::uint64_t{1} << 32;
+  static std::uint32_t task_index(std::uint64_t task) {
+    return static_cast<std::uint32_t>(task);
+  }
 
   VertexId shard_first(std::uint32_t lane) const {
     const std::uint64_t lo = static_cast<std::uint64_t>(lane) << block_shift_;
@@ -291,11 +350,11 @@ class RoundEngine {
   void send_from(std::uint32_t lane, VertexId from, std::uint32_t port, Message message);
   [[noreturn]] void send_failed(VertexId from, std::uint32_t port, Message message) const;
   void reset_run_state();
+  std::uint64_t run_pipeline(RunMode mode, std::uint64_t limit);
+  void execute_task(std::uint64_t task, std::uint32_t worker);
   void run_shard(std::uint32_t lane);
-  void reduce_block(std::uint32_t lane);
   void deliver_block(std::uint32_t lane);
-  void run_phase(std::uint32_t lane);
-  void dispatch(Phase phase);
+  void finalize_round(std::uint32_t worker);
   void rethrow_lane_error();
 
   const graph::Graph* graph_;
@@ -328,10 +387,23 @@ class RoundEngine {
 
   Metrics metrics_;
 
+  // Pipeline state, valid during run_pipeline. All plain fields are written
+  // by finalize_round and read by tasks it (transitively) enabled — the
+  // submit/claim pair in the worker pool provides the happens-before edge.
+  RunMode run_mode_ = RunMode::kFixedRounds;
+  std::uint64_t run_limit_ = 0;
+  std::uint64_t rounds_run_ = 0;
+  std::uint32_t round_parity_ = 0;    ///< parity of the round being computed
+  std::uint32_t deliver_parity_ = 0;  ///< parity the in-flight delivers read
+  bool continue_after_deliver_ = false;
+  std::atomic<std::uint32_t> pending_computes_{0};
+  std::vector<std::uint64_t> seed_tasks_;
+  std::vector<WorkerTimes> worker_times_;
+  WorkerPool::TaskExecutor executor_fn_;
+
   // Persistent worker pool (thread_count_ - 1 workers; the calling thread
   // always executes lane 0). See congest/worker_pool.hpp.
   WorkerPool pool_;
-  Phase phase_ = Phase::kCompute;
 };
 
 inline std::uint64_t ShardContext::round() const { return engine_.metrics_.rounds; }
@@ -344,11 +416,12 @@ inline std::span<const InboundMessage> ShardContext::inbox(VertexId v) const {
   return engine_.mailbox_.inbox(v);
 }
 
-/// The hot path of the whole simulator: bandwidth bookkeeping plus one
-/// 16-byte staged store. Misuse diagnostics (bad port, oversized tag,
-/// bandwidth overflow) share one predicted-untaken branch and re-derive
-/// the exact error out of line; the receiver block is a shift, not a
-/// division; the cut meter costs a null test unless installed.
+/// The hot path of the whole simulator: bandwidth bookkeeping, the
+/// per-receiver histogram increment that makes delivery a pure placement
+/// scan, and one 16-byte staged store. Misuse diagnostics (bad port,
+/// oversized tag, bandwidth overflow) share one predicted-untaken branch
+/// and re-derive the exact error out of line; the receiver block is a
+/// shift, not a division; the cut meter costs a null test unless installed.
 inline void RoundEngine::send_from(std::uint32_t lane_index, VertexId from,
                                    std::uint32_t port, Message message) {
   const graph::Graph& g = *graph_;
@@ -363,7 +436,8 @@ inline void RoundEngine::send_from(std::uint32_t lane_index, VertexId from,
 
   const VertexId to = g.arc_target(arc);
   const std::uint32_t reverse_port = g.reverse_arc(arc) - g.arc_base(to);
-  lane.stage[to >> block_shift_].push_back(
+  ++lane.active_counts[to];
+  lane.active_stage[to >> block_shift_].push_back(
       {to, pack_port_tag(reverse_port, message.tag), message.payload});
   ++lane.messages;
 }

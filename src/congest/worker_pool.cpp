@@ -1,11 +1,74 @@
 #include "congest/worker_pool.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 
 namespace evencycle::congest {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Ceiling on how many tasks one steal transfers. Steal-half redistributes
+/// a backlog in O(log threads) operations already; unbounded transfers
+/// would only grow the thief's stack buffer.
+constexpr std::uint32_t kStealBatch = 64;
+
+}  // namespace
+
+void WorkerPool::Deque::init(std::uint64_t capacity_pow2) {
+  slots = std::make_unique<std::atomic<Task>[]>(capacity_pow2);
+  mask = capacity_pow2 - 1;
+}
+
+void WorkerPool::Deque::push(Task task) {
+  const std::uint64_t b = bottom_.load(std::memory_order_relaxed);
+  slots[b & mask].store(task, std::memory_order_relaxed);
+  bottom_.store(b + 1, std::memory_order_release);
+}
+
+std::uint32_t WorkerPool::Deque::claim(Task* out, std::uint32_t max_claim, bool steal_half) {
+  std::uint64_t t = top_.load(std::memory_order_acquire);
+  for (;;) {
+    const std::uint64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return 0;
+    const std::uint64_t avail = b - t;
+    std::uint64_t k = steal_half ? (avail + 1) / 2 : 1;
+    k = std::min<std::uint64_t>(k, max_claim);
+    if (top_.compare_exchange_weak(t, t + k, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+      // Reading the slots after winning the CAS is safe because slots are
+      // only overwritten once the owner has pushed `capacity` entries past
+      // them, and the engine keeps at most ~2x thread_count tasks in
+      // flight — see the capacity margin in the constructor.
+      for (std::uint64_t i = 0; i < k; ++i)
+        out[i] = slots[(t + i) & mask].load(std::memory_order_relaxed);
+      return static_cast<std::uint32_t>(k);
+    }
+  }
+}
+
 WorkerPool::WorkerPool(std::uint32_t threads)
     : thread_count_(std::min(std::max(threads, 1u), kMaxThreads)) {
+  // Task-ring capacity: the round engine keeps at most one round's deliver
+  // tasks plus the next round's compute tasks in flight (~2x thread_count),
+  // and while any claimed task stalls, at most ~2x thread_count further
+  // tasks can be enabled before the pipeline blocks on it. A capacity of
+  // max(1024, 8x threads) leaves an order-of-magnitude margin over both
+  // bounds, so slots claimed by a steal are never overwritten before the
+  // thief reads them. Callers submitting their own graphs must keep
+  // in-flight tasks below half this capacity.
+  const std::uint64_t capacity =
+      std::bit_ceil<std::uint64_t>(std::max<std::uint64_t>(1024, 8ull * thread_count_));
+  deques_ = std::make_unique<Deque[]>(thread_count_);
+  for (std::uint32_t lane = 0; lane < thread_count_; ++lane) deques_[lane].init(capacity);
+  lane_stats_.resize(thread_count_);
+
   workers_.reserve(thread_count_ - 1);
   for (std::uint32_t lane = 1; lane < thread_count_; ++lane)
     workers_.emplace_back([this, lane] { worker_loop(lane); });
@@ -56,6 +119,81 @@ void WorkerPool::worker_loop(std::uint32_t lane) {
       last = (--pending_ == 0);
     }
     if (last) work_done_.notify_one();
+  }
+}
+
+void WorkerPool::run_tasks(std::span<const Task> initial, const TaskExecutor& executor,
+                           bool collect_idle_timing) {
+  if (!initial.empty()) {
+    executor_ = &executor;
+    collect_idle_timing_ = collect_idle_timing;
+    for (auto& stats : lane_stats_) stats = LaneStats{};
+    in_flight_.store(initial.size(), std::memory_order_relaxed);
+    for (const Task task : initial) deques_[0].push(task);
+    run([this](std::uint32_t lane) { task_loop(lane); });
+    executor_ = nullptr;
+  }
+  task_stats_ = TaskStats{};
+  for (const auto& stats : lane_stats_) {
+    task_stats_.tasks_executed += stats.tasks;
+    task_stats_.steals += stats.steals;
+    // evencycle-lint: allow(float-accumulation) scheduler diagnostics, excluded from the deterministic payload
+    task_stats_.idle_seconds += stats.idle_seconds;
+  }
+}
+
+void WorkerPool::task_loop(std::uint32_t lane) {
+  Deque& own = deques_[lane];
+  LaneStats& stats = lane_stats_[lane];
+  const TaskExecutor& executor = *executor_;
+  Task batch[kStealBatch];
+  bool idling = false;
+  Clock::time_point idle_start{};
+
+  const auto leave_idle = [&] {
+    if (idling) {
+      // evencycle-lint: allow(float-accumulation) scheduler diagnostics, excluded from the deterministic payload
+      if (collect_idle_timing_) stats.idle_seconds += seconds_since(idle_start);
+      idling = false;
+    }
+  };
+  const auto execute = [&](Task task) {
+    executor(task, lane);
+    ++stats.tasks;
+    in_flight_.fetch_sub(1, std::memory_order_release);
+  };
+
+  for (;;) {
+    Task task = 0;
+    if (own.claim(&task, 1, /*steal_half=*/false) == 1) {
+      leave_idle();
+      execute(task);
+      continue;
+    }
+    bool stole = false;
+    for (std::uint32_t offset = 1; offset < thread_count_; ++offset) {
+      const std::uint32_t victim = lane + offset < thread_count_
+                                       ? lane + offset
+                                       : lane + offset - thread_count_;
+      const std::uint32_t got = deques_[victim].claim(batch, kStealBatch, /*steal_half=*/true);
+      if (got == 0) continue;
+      leave_idle();
+      ++stats.steals;
+      for (std::uint32_t i = got; i > 1; --i) own.push(batch[i - 1]);
+      execute(batch[0]);
+      stole = true;
+      break;
+    }
+    if (stole) continue;
+    if (in_flight_.load(std::memory_order_acquire) == 0) {
+      leave_idle();
+      return;
+    }
+    if (!idling) {
+      idling = true;
+      if (collect_idle_timing_) idle_start = Clock::now();
+    }
+    std::this_thread::yield();
   }
 }
 

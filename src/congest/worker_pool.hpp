@@ -1,23 +1,44 @@
-// Persistent barrier-style worker pool shared by the round engine and the
-// scenario harness.
+// Persistent worker pool shared by the round engine and the scenario
+// harness, with two execution modes.
 //
-// The pool owns `thread_count - 1` long-lived threads; the calling thread
-// always executes lane 0, so a pool of size 1 degenerates to a plain
-// function call with zero synchronization. `run(job)` invokes job(lane) for
-// every lane in [0, thread_count) concurrently and returns only after all
-// lanes finished — a full barrier, which is exactly the two-phase
-// (compute / deliver) structure the RoundEngine needs and the batch shape
-// the harness needs (each lane drains an atomic work queue).
+// Barrier mode — run(job) invokes job(lane) for every lane in
+// [0, thread_count) concurrently and returns only after all lanes finished:
+// the batch shape the harness needs (each lane drains an atomic work
+// queue). The pool owns `thread_count - 1` long-lived threads; the calling
+// thread always executes lane 0, so a pool of size 1 degenerates to a
+// plain function call with zero synchronization.
 //
-// The pool itself adds no determinism hazards: lanes never share state
-// through the pool, and `run` establishes a happens-before edge between the
-// caller and every lane in both directions.
+// Task mode — run_tasks(initial, executor) runs a dependency-counted task
+// graph over the same threads: every worker owns a fixed-capacity
+// work-stealing deque (Chase–Lev-style top/bottom ring of 64-bit task
+// words); the owner pushes enabled tasks at the bottom, and starved
+// workers steal *half* a victim's queue in one shot (LACE-style), so a
+// skewed shard's backlog redistributes in O(log threads) steals instead of
+// every fast worker idling at a barrier. One deliberate simplification
+// from the textbook Chase–Lev deque: ALL consumption (the owner's pop
+// included) claims from the top via compare-exchange. The classic
+// fence-only owner pop at the bottom is unsound once thieves claim more
+// than one slot per CAS — an owner can take a slot a thief's multi-slot
+// claim is about to win — and at shard-granularity task sizes (micro- to
+// milliseconds) an uncontended CAS per pop is noise. The round engine
+// submits at most ~2x thread_count tasks in flight (one round's delivers
+// plus the next round's computes), far below each deque's capacity, which
+// is what makes the fixed ring safe; see the capacity invariant in the
+// constructor.
+//
+// Neither mode adds determinism hazards: lanes never share state through
+// the pool, task words are opaque to it, and both modes establish
+// happens-before edges between task/job completion and the caller (and
+// between a submit() and the execution of the submitted task).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -25,6 +46,21 @@ namespace evencycle::congest {
 
 class WorkerPool {
  public:
+  /// Opaque 64-bit task word; meaning is the executor's business.
+  using Task = std::uint64_t;
+  /// Invoked once per task as executor(task, lane); may call
+  /// submit(lane, task) to enable further tasks.
+  using TaskExecutor = std::function<void(Task, std::uint32_t)>;
+
+  /// Scheduler diagnostics of the last run_tasks call. Execution-order
+  /// dependent (NOT part of the engine's deterministic payload): steals and
+  /// idle time vary run to run even at a fixed thread count.
+  struct TaskStats {
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t steals = 0;      ///< successful steal-half operations
+    double idle_seconds = 0.0;     ///< summed worker time spent starved (timed runs only)
+  };
+
   /// `threads` >= 1 resolved lanes; values above kMaxThreads are clamped.
   explicit WorkerPool(std::uint32_t threads);
   ~WorkerPool();
@@ -34,10 +70,28 @@ class WorkerPool {
 
   std::uint32_t thread_count() const { return thread_count_; }
 
-  /// Runs job(lane) for every lane concurrently; the calling thread takes
-  /// lane 0. Returns after every lane returned. Exceptions must be captured
-  /// inside `job` (lanes run on foreign threads).
+  /// Barrier mode: runs job(lane) for every lane concurrently; the calling
+  /// thread takes lane 0. Returns after every lane returned. Exceptions
+  /// must be captured inside `job` (lanes run on foreign threads).
   void run(const std::function<void(std::uint32_t)>& job);
+
+  /// Task mode: seeds `initial` into lane 0's deque and runs the graph to
+  /// quiescence — returns once every task (seeded or submitted) has been
+  /// executed. Exceptions must be captured inside `executor`.
+  /// `collect_idle_timing` turns on the per-worker starvation clock (two
+  /// clock reads per idle episode; off for untimed runs).
+  void run_tasks(std::span<const Task> initial, const TaskExecutor& executor,
+                 bool collect_idle_timing = false);
+
+  /// Enables one task from inside an executor invocation running on `lane`.
+  /// Must only be called from within run_tasks, on the invoking lane.
+  void submit(std::uint32_t lane, Task task) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    deques_[lane].push(task);
+  }
+
+  /// Diagnostics of the last run_tasks call (valid until the next one).
+  const TaskStats& last_task_stats() const { return task_stats_; }
 
   /// Hard ceiling on the lane count: more shards than this helps no real
   /// hardware, and an unchecked value (EVENCYCLE_THREADS typo, UINT32_MAX)
@@ -45,7 +99,24 @@ class WorkerPool {
   static constexpr std::uint32_t kMaxThreads = 256;
 
  private:
+  /// Fixed-capacity single-producer (owner push) multi-consumer (CAS claim)
+  /// task ring. Slots are relaxed atomics: publication happens through the
+  /// release store of bottom_ and the acquire CAS on top_.
+  struct alignas(64) Deque {
+    std::unique_ptr<std::atomic<Task>[]> slots;
+    std::uint64_t mask = 0;
+    alignas(64) std::atomic<std::uint64_t> top_{0};
+    alignas(64) std::atomic<std::uint64_t> bottom_{0};
+
+    void init(std::uint64_t capacity_pow2);
+    void push(Task task);  // owner only
+    /// Claims up to `max_claim` tasks from the top (1 for the owner's pop,
+    /// half of the queue for a steal); returns the number claimed.
+    std::uint32_t claim(Task* out, std::uint32_t max_claim, bool steal_half);
+  };
+
   void worker_loop(std::uint32_t lane);
+  void task_loop(std::uint32_t lane);
 
   std::uint32_t thread_count_ = 1;
   const std::function<void(std::uint32_t)>* job_ = nullptr;
@@ -57,6 +128,19 @@ class WorkerPool {
   std::uint64_t epoch_ = 0;
   std::uint32_t pending_ = 0;
   bool stopping_ = false;
+
+  // Task-mode state (valid during run_tasks).
+  std::unique_ptr<Deque[]> deques_;
+  const TaskExecutor* executor_ = nullptr;
+  std::atomic<std::uint64_t> in_flight_{0};
+  bool collect_idle_timing_ = false;
+  struct alignas(64) LaneStats {
+    std::uint64_t tasks = 0;
+    std::uint64_t steals = 0;
+    double idle_seconds = 0.0;
+  };
+  std::vector<LaneStats> lane_stats_;
+  TaskStats task_stats_;
 };
 
 }  // namespace evencycle::congest

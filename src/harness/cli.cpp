@@ -6,6 +6,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "congest/round_engine.hpp"
 #include "fuzz/corpus.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "harness/json.hpp"
@@ -347,6 +348,36 @@ int compare_documents(const std::string& baseline_json, const std::string& curre
   // Compare speedup-vs-1-thread instead: a multi-thread cell whose speedup
   // fell below (1 - max_efficiency_regression) x the baseline's speedup is
   // a parallelism regression even if its absolute rps moved little.
+  //
+  // That comparison presumes the baseline host could actually scale: a
+  // baseline blessed on a 1-core box records speedup ~1.0 at every thread
+  // count, and any healthy multi-core run then "regresses" against it (or
+  // worse, a sick run passes). bless-baseline records the blessing host's
+  // hardware threads; warn loudly when efficiency cells are judged beyond
+  // them. Warnings are advisory — the cells still compare — because CI also
+  // runs on shared machines whose core count varies.
+  std::uint64_t max_cell_threads = 0;
+  for (const auto& cell : baseline_cells) {
+    if (cell.threads.empty()) continue;
+    max_cell_threads = std::max<std::uint64_t>(
+        max_cell_threads, std::strtoull(cell.threads.c_str(), nullptr, 10));
+  }
+  if (max_cell_threads > 1) {
+    const JsonValue* host = baseline.get("host");
+    const JsonValue* hw = host != nullptr ? host->get("hardware_threads") : nullptr;
+    if (hw == nullptr) {
+      os << "WARNING: baseline has no blessing-host metadata (pre-host-stamp "
+            "baseline?); scaling-efficiency comparisons may be meaningless if "
+            "it was blessed on a smaller machine. Re-bless to stamp it.\n";
+    } else if (static_cast<std::uint64_t>(hw->as_number()) < max_cell_threads) {
+      os << "WARNING: baseline was blessed on a host with "
+         << json_number(hw->as_number()) << " hardware thread(s), but cells run "
+         << max_cell_threads << " threads; its multi-thread cells measured "
+            "oversubscription, not scaling. Efficiency comparisons against it "
+            "are unreliable — re-bless on a machine with >= " << max_cell_threads
+         << " cores.\n";
+    }
+  }
   const auto baseline_speedups = thread_speedups(baseline_cells);
   const auto current_speedups = thread_speedups(current_cells);
   for (const auto& [key, base] : baseline_speedups) {
@@ -599,7 +630,15 @@ int bless_baseline_command(int argc, char** argv, int first) {
     std::cerr << "cannot open --out file: " << out << "\n";
     return 1;
   }
-  file << "{\"schema\":\"evencycle-bench-set-v1\",\"documents\":[";
+  // Blessing-host metadata: scaling-efficiency numbers only mean something
+  // when the baseline host had the cores to scale. compare reads this back
+  // and warns when a multi-thread cell is judged against a baseline blessed
+  // on fewer hardware threads. resolve_thread_count(0) is the engine's own
+  // hardware-concurrency resolution (the one knob allowed to consult it).
+  const char* env_threads = std::getenv("EVENCYCLE_THREADS");
+  file << "{\"schema\":\"evencycle-bench-set-v1\",\"host\":{\"hardware_threads\":"
+       << congest::resolve_thread_count(0) << ",\"evencycle_threads\":\""
+       << (env_threads != nullptr ? env_threads : "") << "\"},\"documents\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::string doc = to_json(results[i], /*with_timing=*/true);
     while (!doc.empty() && doc.back() == '\n') doc.pop_back();

@@ -191,6 +191,14 @@ Scenario engine_sustained_scenario() {
                                       metrics.reduce_seconds - warmup.reduce_seconds);
             result.extra.emplace_back("deliver_seconds",
                                       metrics.deliver_seconds - warmup.deliver_seconds);
+            // Scheduler diagnostics: how much the work-stealing pipeline
+            // rebalanced (steals) and how long workers sat without a task
+            // (idle). Non-deterministic by nature, hence timing-gated like
+            // the phase seconds.
+            result.extra.emplace_back(
+                "steal_count", static_cast<double>(metrics.steal_count - warmup.steal_count));
+            result.extra.emplace_back("idle_seconds",
+                                      metrics.idle_seconds - warmup.idle_seconds);
           }
           return result;
         };

@@ -1,10 +1,13 @@
 // Steady-state allocation guarantee of the batched round engine: after the
-// first (warm-up) round sized every simulation buffer, run_round performs
-// ZERO heap allocations — at any thread count. This pins the "no per-round
-// allocation" claim the engine's install() documentation makes, and guards
-// the hot path against regressions like a std::function that outgrew its
-// small-buffer storage or a staging vector cleared with shrinking
-// semantics.
+// warm-up rounds sized every simulation buffer, run_round performs ZERO
+// heap allocations — at any thread count. Two warm-up rounds, not one: the
+// overlapped scheduler double-buffers the staging lanes by round parity
+// (deliver(r) reads one parity while compute(r+1) fills the other), so each
+// parity's buffers reach their high-water mark on their first use, in
+// rounds one and two. This pins the "no per-round allocation" claim the
+// engine's install() documentation makes, and guards the hot path against
+// regressions like a std::function that outgrew its small-buffer storage
+// or a staging vector cleared with shrinking semantics.
 //
 // The counting operator-new override below is global to this translation
 // unit's binary, which is why this test lives in its own test executable
@@ -75,7 +78,9 @@ std::uint64_t allocations_during_steady_rounds(const Graph& g, std::uint32_t thr
   config.collect_round_profile = true;  // the reserve path must hold too
   Network net(g, config);
   net.install(std::make_shared<FloodShardProgram>());
-  net.run_round();  // warm-up: grows lanes, touched-arc lists, the arena
+  // Warm-up: grows lanes (both staging parities), touched-arc lists, and
+  // the double-buffered arena.
+  net.run_rounds(2);
   const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
   net.run_rounds(rounds);
   return g_allocations.load(std::memory_order_relaxed) - before;
@@ -106,7 +111,7 @@ TEST(AllocSteadyState, ReinstallKeepsBufferCapacity) {
   net.install(std::make_shared<FloodShardProgram>());
   net.run_rounds(3);
   net.install(std::make_shared<FloodShardProgram>());
-  net.run_round();  // warm-up of the reinstalled run
+  net.run_rounds(2);  // warm-up of the reinstalled run (both staging parities)
   const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
   net.run_rounds(20);
   EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u);

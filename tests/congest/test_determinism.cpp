@@ -38,6 +38,7 @@ void expect_metrics_equal(const Metrics& a, const Metrics& b, std::uint32_t thre
   EXPECT_EQ(a.messages, b.messages) << "threads=" << threads;
   EXPECT_EQ(a.busiest_round_messages, b.busiest_round_messages) << "threads=" << threads;
   EXPECT_EQ(a.watched_messages, b.watched_messages) << "threads=" << threads;
+  EXPECT_EQ(a.peak_arena_bytes, b.peak_arena_bytes) << "threads=" << threads;
   EXPECT_EQ(a.round_profile, b.round_profile) << "threads=" << threads;
 }
 

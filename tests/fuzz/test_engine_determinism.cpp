@@ -1,0 +1,81 @@
+// Determinism of the overlapped (work-stealing) round engine on the
+// checked-in regression corpus: every corpus graph — each one a former
+// counterexample with awkward structure (multi-component, near-miss odd
+// cycles, pendant trees) — must produce bit-identical engine results at
+// threads 1, 2, and 4. The unit determinism suite sweeps synthetic graphs;
+// this one sweeps the graphs that actually broke detectors once.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/color_bfs.hpp"
+#include "core/engine_color_bfs.hpp"
+#include "fuzz/corpus.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::fuzz {
+namespace {
+
+struct EngineRun {
+  congest::Metrics metrics;
+  std::vector<graph::VertexId> rejecting_nodes;
+  std::uint64_t rounds = 0;
+};
+
+EngineRun run_engine_at(const graph::Graph& g, std::uint32_t k, std::uint32_t threads) {
+  Rng rng(2024);
+  const auto colors = core::random_coloring(g.vertex_count(), 2 * k, rng);
+  core::ColorBfsSpec spec;
+  spec.cycle_length = 2 * k;
+  spec.threshold = 8;
+  spec.colors = &colors;
+
+  congest::Config config;
+  config.threads = threads;
+  config.collect_round_profile = true;
+  congest::Network net(g, config);
+  const auto outcome = core::run_color_bfs_on_engine(net, spec);
+
+  EngineRun run;
+  run.metrics = net.metrics();
+  run.rejecting_nodes = outcome.rejecting_nodes;
+  run.rounds = run.metrics.rounds;
+  return run;
+}
+
+void expect_identical(const EngineRun& a, const EngineRun& b, std::uint32_t threads,
+                      const std::string& path) {
+  EXPECT_EQ(a.rounds, b.rounds) << path << " threads=" << threads;
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages) << path << " threads=" << threads;
+  EXPECT_EQ(a.metrics.busiest_round_messages, b.metrics.busiest_round_messages)
+      << path << " threads=" << threads;
+  EXPECT_EQ(a.metrics.peak_arena_bytes, b.metrics.peak_arena_bytes)
+      << path << " threads=" << threads;
+  EXPECT_EQ(a.metrics.round_profile, b.metrics.round_profile)
+      << path << " threads=" << threads;
+  EXPECT_EQ(a.rejecting_nodes, b.rejecting_nodes) << path << " threads=" << threads;
+}
+
+TEST(EngineDeterminism, RegressionCorpusIdenticalAtThreads124) {
+  const std::string dir = EVENCYCLE_FUZZ_CORPUS_DIR;
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".json") paths.push_back(entry.path().string());
+  ASSERT_GE(paths.size(), 5u);
+
+  for (const auto& path : paths) {
+    const auto ce = load_counterexample(path);
+    const std::uint32_t k = ce.k >= 2 ? ce.k : 2;
+    const auto reference = run_engine_at(ce.graph, k, 1);
+    for (const std::uint32_t threads : {2u, 4u}) {
+      const auto run = run_engine_at(ce.graph, k, threads);
+      expect_identical(reference, run, threads, path);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evencycle::fuzz

@@ -202,6 +202,44 @@ TEST(Runner, CompareFailsWhenSpeedupVsOneThreadRegresses) {
       << report;
 }
 
+TEST(Runner, CompareWarnsWhenBaselineHostCannotScale) {
+  // bless-baseline stamps the blessing host's hardware threads into the
+  // container; multi-thread efficiency cells judged against a baseline
+  // blessed on fewer cores must draw a loud warning (but not a failure —
+  // the absolute per-cell comparisons are still meaningful).
+  const auto container = [](std::string doc, const std::string& host) {
+    while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+    return "{\"schema\":\"evencycle-bench-set-v1\"" + host + ",\"documents\":[" +
+           doc + "]}";
+  };
+  const std::string cells = threads_document({{"1", 1.0}, {"4", 0.3}});
+  const std::string one_core = container(
+      cells, ",\"host\":{\"hardware_threads\":1,\"evencycle_threads\":\"\"}");
+  const std::string big_host = container(
+      cells, ",\"host\":{\"hardware_threads\":64,\"evencycle_threads\":\"\"}");
+  const std::string no_host = container(cells, "");
+
+  std::string report;
+  EXPECT_EQ(compare_documents(one_core, one_core, 0.25, &report), 0) << report;
+  EXPECT_NE(report.find("WARNING"), std::string::npos) << report;
+  EXPECT_NE(report.find("oversubscription"), std::string::npos) << report;
+
+  EXPECT_EQ(compare_documents(big_host, big_host, 0.25, &report), 0) << report;
+  EXPECT_EQ(report.find("WARNING"), std::string::npos) << report;
+
+  // Pre-host-stamp baselines (no metadata at all) warn too, with a nudge to
+  // re-bless.
+  EXPECT_EQ(compare_documents(no_host, no_host, 0.25, &report), 0) << report;
+  EXPECT_NE(report.find("no blessing-host metadata"), std::string::npos) << report;
+
+  // Single-thread-only documents never warn: there is no efficiency cell.
+  const std::string sequential = container(
+      threads_document({{"1", 1.0}}),
+      ",\"host\":{\"hardware_threads\":1,\"evencycle_threads\":\"\"}");
+  EXPECT_EQ(compare_documents(sequential, sequential, 0.25, &report), 0) << report;
+  EXPECT_EQ(report.find("WARNING"), std::string::npos) << report;
+}
+
 TEST(Runner, CompareReadsBenchSetContainers) {
   // bless-baseline writes {"schema":"evencycle-bench-set-v1","documents":
   // [...]}; compare must key cells by scenario so same-label cells of
@@ -247,16 +285,22 @@ TEST(Runner, EngineSustainedReportsEfficiencyAndPhaseBreakdown) {
     EXPECT_EQ(cell.result.rounds_measured, 200u);
     // Per-phase breakdown present and sane.
     double compute = -1.0, reduce = -1.0, deliver = -1.0, msgs_per_sec = -1.0;
+    double steal_count = -1.0, idle_seconds = -1.0;
     for (const auto& [key, value] : cell.result.extra) {
       if (key == "compute_seconds") compute = value;
       if (key == "reduce_seconds") reduce = value;
       if (key == "deliver_seconds") deliver = value;
       if (key == "msgs_per_sec") msgs_per_sec = value;
+      if (key == "steal_count") steal_count = value;
+      if (key == "idle_seconds") idle_seconds = value;
     }
     EXPECT_GT(compute, 0.0);
     EXPECT_GE(reduce, 0.0);
     EXPECT_GT(deliver, 0.0);
     EXPECT_GT(msgs_per_sec, 0.0);
+    // Scheduler diagnostics ride along with the phase breakdown.
+    EXPECT_GE(steal_count, 0.0);
+    EXPECT_GE(idle_seconds, 0.0);
   }
   // Summary publishes the determinism flag and the efficiency metrics the
   // nightly gate consumes.
