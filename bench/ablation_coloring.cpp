@@ -2,8 +2,8 @@
 // Conclusion). The experiment is the harness scenario "ablation-coloring"
 // (src/harness/scenarios_builtin.cpp); this wrapper is equivalent to
 // `evencycle run ablation-coloring ...`.
-#include "harness/cli.hpp"
+#include "evencycle/api.hpp"
 
 int main(int argc, char** argv) {
-  return evencycle::harness::scenario_main("ablation-coloring", argc, argv);
+  return evencycle::api::scenario_cli("ablation-coloring", argc, argv);
 }

@@ -2,8 +2,8 @@
 // speedup (paper Section 3.2.1). The experiment is the harness scenario
 // "ablation-congestion" (src/harness/scenarios_builtin.cpp); this wrapper
 // is equivalent to `evencycle run ablation-congestion ...`.
-#include "harness/cli.hpp"
+#include "evencycle/api.hpp"
 
 int main(int argc, char** argv) {
-  return evencycle::harness::scenario_main("ablation-congestion", argc, argv);
+  return evencycle::api::scenario_cli("ablation-congestion", argc, argv);
 }

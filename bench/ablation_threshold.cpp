@@ -2,8 +2,8 @@
 // impossibility for k >= 6). The experiment is the harness scenario
 // "ablation-threshold" (src/harness/scenarios_builtin.cpp); this wrapper
 // is equivalent to `evencycle run ablation-threshold ...`.
-#include "harness/cli.hpp"
+#include "evencycle/api.hpp"
 
 int main(int argc, char** argv) {
-  return evencycle::harness::scenario_main("ablation-threshold", argc, argv);
+  return evencycle::api::scenario_cli("ablation-threshold", argc, argv);
 }

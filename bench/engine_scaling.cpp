@@ -3,8 +3,8 @@
 // (src/harness/scenarios_builtin.cpp); this wrapper is equivalent to
 // `evencycle run engine-scaling --json ...` and exists so the historical
 // bench binary keeps working.
-#include "harness/cli.hpp"
+#include "evencycle/api.hpp"
 
 int main(int argc, char** argv) {
-  return evencycle::harness::scenario_main("engine-scaling", argc, argv);
+  return evencycle::api::scenario_cli("engine-scaling", argc, argv);
 }

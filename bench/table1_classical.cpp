@@ -2,8 +2,8 @@
 // baseline, with exponent fits in the summary). The experiment is the
 // harness scenario "table1-classical" (src/harness/scenarios_builtin.cpp);
 // this wrapper is equivalent to `evencycle run table1-classical ...`.
-#include "harness/cli.hpp"
+#include "evencycle/api.hpp"
 
 int main(int argc, char** argv) {
-  return evencycle::harness::scenario_main("table1-classical", argc, argv);
+  return evencycle::api::scenario_cli("table1-classical", argc, argv);
 }

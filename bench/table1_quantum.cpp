@@ -3,8 +3,8 @@
 // experiment is the harness scenario "table1-quantum"
 // (src/harness/scenarios_builtin.cpp); this wrapper is equivalent to
 // `evencycle run table1-quantum ...`.
-#include "harness/cli.hpp"
+#include "evencycle/api.hpp"
 
 int main(int argc, char** argv) {
-  return evencycle::harness::scenario_main("table1-quantum", argc, argv);
+  return evencycle::api::scenario_cli("table1-quantum", argc, argv);
 }

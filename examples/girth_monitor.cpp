@@ -1,10 +1,12 @@
-// Girth monitoring of a communication topology.
+// Girth monitoring of a communication topology, through the facade.
 //
 // Short cycles in an overlay network cause duplicate delivery and routing
 // loops; the bounded-length detector (paper Section 3.5) answers "is there
 // any cycle of length <= 2k?" in sublinear rounds. This example sweeps k
-// on several topologies and compares against the exact girth.
+// on several topologies via api::detect with the "bounded-cycle" detector
+// and compares against the exact girth.
 #include <iostream>
+#include <string>
 
 #include "evencycle.hpp"
 
@@ -13,27 +15,39 @@ namespace {
 using namespace evencycle;
 using graph::Graph;
 
-void monitor(const char* name, const Graph& g, Rng& rng) {
+double extra_value(const api::DetectionResult& result, const std::string& key) {
+  for (const auto& [name, value] : result.extra)
+    if (name == key) return value;
+  return 0.0;
+}
+
+void monitor(const char* name, Graph g, std::uint64_t seed) {
   const auto exact = graph::girth(g);
-  std::cout << name << ": " << g.summary() << "\n  exact girth: "
+  const api::GraphHandle handle = api::GraphHandle::adopt(std::move(g), name);
+  std::cout << name << ": " << handle.graph().summary() << "\n  exact girth: "
             << (exact.has_value() ? std::to_string(*exact) : std::string("infinite (forest)"))
             << "\n";
 
   // Sweep k upward until the detector first rejects: girth <= 2k.
   std::uint32_t detected_at = 0;
   for (std::uint32_t k = 2; k <= 6 && detected_at == 0; ++k) {
-    core::BoundedCycleOptions options;
-    options.repetitions = 1500;
-    Rng local = rng.split();
-    const auto report = core::detect_bounded_cycle(g, k, options, local);
-    std::cout << "  k=" << k << " (lengths <= " << 2 * k << "): "
-              << (report.cycle_detected ? "REJECT" : "accept");
-    if (report.cycle_detected) {
+    api::DetectionRequest request;
+    request.detector = "bounded-cycle";
+    request.k = k;
+    request.seed = seed + k;
+    const api::DetectionResult result = api::detect(handle, request);
+    if (!result.ok()) {
+      std::cerr << "  detection failed: " << result.error << "\n";
+      return;
+    }
+    std::cout << "  k=" << k << " (lengths <= " << 2 * k
+              << "): " << (result.detected ? "REJECT" : "accept");
+    if (result.detected) {
       detected_at = k;
-      if (report.detected_length != 0)
-        std::cout << ", witnessed length " << report.detected_length;
-      if (report.upper_bound_witnessed != 0)
-        std::cout << ", overflow-witnessed length <= " << report.upper_bound_witnessed;
+      const auto witnessed = static_cast<std::uint64_t>(extra_value(result, "detected_length"));
+      const auto overflow = static_cast<std::uint64_t>(extra_value(result, "overflow_length"));
+      if (witnessed != 0) std::cout << ", witnessed length " << witnessed;
+      if (overflow != 0) std::cout << ", overflow-witnessed length <= " << overflow;
     }
     std::cout << "\n";
   }
@@ -52,10 +66,10 @@ int main() {
   Rng rng(2024);
   std::cout << "Bounded-length cycle detection as a girth monitor (Section 3.5).\n\n";
 
-  monitor("spanning-tree overlay", graph::random_tree(600, rng), rng);
-  monitor("torus fabric (girth 4)", graph::torus(16, 16), rng);
-  monitor("projective-plane topology (girth 6)", graph::projective_plane_incidence(5), rng);
-  monitor("ring backbone C20 (girth 20)", graph::cycle(20), rng);
-  monitor("subdivided expander (large girth)", graph::large_girth_graph(600, 9, rng), rng);
+  monitor("spanning-tree overlay", graph::random_tree(600, rng), 1);
+  monitor("torus fabric (girth 4)", graph::torus(16, 16), 2);
+  monitor("projective-plane topology (girth 6)", graph::projective_plane_incidence(5), 3);
+  monitor("ring backbone C20 (girth 20)", graph::cycle(20), 4);
+  monitor("subdivided expander (large girth)", graph::large_girth_graph(600, 9, rng), 5);
   return 0;
 }

@@ -1,49 +1,58 @@
 // Classical Algorithm 1 vs the quantum pipeline of Theorem 2, side by side
-// on the same instance: outcomes agree, round charges diverge by the
-// quadratic amplification discount.
+// on the same instance through the facade: one GraphHandle, two
+// DetectionRequests differing only in the detector name.
 #include <iostream>
 
 #include "evencycle.hpp"
 
+namespace {
+
+double extra_value(const evencycle::api::DetectionResult& result, const char* key) {
+  for (const auto& [name, value] : result.extra)
+    if (name == key) return value;
+  return 0.0;
+}
+
+}  // namespace
+
 int main() {
   using namespace evencycle;
-  Rng rng(99);
   const std::uint32_t k = 2;
 
-  for (const graph::VertexId n : {512u, 1024u, 2048u}) {
-    const auto planted = graph::planted_light_cycle(n, 2 * k, rng);
-    std::cout << "n = " << n << "  (" << planted.graph.summary() << ", planted C" << 2 * k
+  for (const std::uint64_t n : {512u, 1024u, 2048u}) {
+    // Generate once, query twice: the facade's load-once / query-many shape
+    // (the serve-mode graph cache stores exactly these handles).
+    api::GraphSpec spec;
+    spec.family = "planted-light";
+    spec.nodes = n;
+    spec.k = k;
+    spec.seed = 99;
+    const api::GraphHandle handle = api::GraphHandle::generate(spec);
+    std::cout << "n = " << n << "  (" << handle.graph().summary() << ", planted C" << 2 * k
               << ")\n";
 
-    // Classical: Algorithm 1 with the practical profile.
-    core::PracticalTuning tuning;
-    tuning.repetitions = 256;
-    const auto params = core::Params::practical(k, n, tuning);
-    core::DetectOptions options;
-    options.stop_on_reject = true;
-    Rng classical_rng = rng.split();
-    const auto classical = core::detect_even_cycle(planted.graph, params, classical_rng, options);
-    std::cout << "  classical  : " << (classical.cycle_detected ? "REJECT" : "accept")
-              << ", rounds charged " << classical.rounds_charged << " (tau = "
-              << params.threshold << ", O(n^{1-1/k}) regime)\n";
+    api::DetectionRequest request;
+    request.k = k;
+    request.seed = 7 * n;
 
-    // Quantum: congestion reduction + Monte-Carlo amplification + diameter
-    // reduction (Theorem 2).
-    quantum::QuantumPipelineOptions qopts;
-    qopts.base_repetitions = 64;
-    qopts.max_base_runs = 2500;
-    Rng quantum_rng = rng.split();
-    const auto q = quantum::quantum_detect_even_cycle(planted.graph, k, qopts, quantum_rng);
-    std::cout << "  quantum    : " << (q.cycle_detected ? "REJECT" : "accept")
-              << ", rounds charged " << q.rounds_charged << " (decomposition "
-              << q.rounds_decomposition << ", " << q.colors << " colors, "
-              << q.components_processed << " components)\n";
+    request.detector = "even-cycle";
+    const api::DetectionResult classical = api::detect(handle, request);
+    std::cout << "  classical  : " << (classical.detected ? "REJECT" : "accept")
+              << ", rounds charged " << classical.rounds_charged
+              << " (O(n^{1-1/k}) regime)\n";
+
+    request.detector = "quantum";
+    const api::DetectionResult quantum = api::detect(handle, request);
+    const double equivalent = extra_value(quantum, "classical_equivalent");
+    std::cout << "  quantum    : " << (quantum.detected ? "REJECT" : "accept")
+              << ", rounds charged " << quantum.rounds_charged << " ("
+              << extra_value(quantum, "colors") << " colors, "
+              << extra_value(quantum, "base_runs") << " base runs)\n";
     std::cout << "  classical-repetition equivalent of the same confidence boost: "
-              << q.classical_rounds_equivalent << " rounds -> quantum saves "
-              << (q.classical_rounds_equivalent > q.rounds_charged
-                      ? TextTable::num(static_cast<double>(q.classical_rounds_equivalent) /
-                                           static_cast<double>(q.rounds_charged),
-                                       1)
+              << equivalent << " rounds -> quantum saves "
+              << (equivalent > static_cast<double>(quantum.rounds_charged)
+                      ? TextTable::num(
+                            equivalent / static_cast<double>(quantum.rounds_charged), 1)
                       : std::string("<1"))
               << "x\n\n";
   }

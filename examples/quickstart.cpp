@@ -1,4 +1,6 @@
-// Quickstart: decide C4-freeness of a small network with Algorithm 1.
+// Quickstart: decide C4-freeness of a small network through the stable
+// facade (evencycle/api.hpp) — the same entry point `evencycle serve` and
+// the scenario harness use.
 //
 // Build:   cmake -B build -G Ninja && cmake --build build
 // Run:     ./build/examples/quickstart [n] [seed]
@@ -14,36 +16,44 @@ int main(int argc, char** argv) {
   Rng rng(seed);
 
   // A workload with a known answer: a random tree (C4-free) and the same
-  // tree with a planted 4-cycle.
+  // tree with a planted 4-cycle. GraphHandle::adopt wraps existing graphs;
+  // api::GraphHandle::generate builds palette families by name.
   const graph::Graph tree = graph::random_tree(n, rng);
   const auto planted = graph::plant_cycle(tree, 4, rng);
+  const api::GraphHandle cases[] = {
+      api::GraphHandle::adopt(tree, "tree (C4-free)"),
+      api::GraphHandle::adopt(planted.graph, "tree + planted C4"),
+  };
 
-  // Parameters of Algorithm 1 for k = 2 (C_{2k} = C4), practical profile.
-  core::PracticalTuning tuning;
-  tuning.repetitions = 400;  // number of random colorings
-  const auto params = core::Params::practical(/*k=*/2, n, tuning);
+  // One request, run against each handle. The detector palette is
+  // discoverable (api::detector_names()); "even-cycle" is Algorithm 1.
+  api::DetectionRequest request;
+  request.detector = "even-cycle";
+  request.k = 2;  // C_{2k} = C4
+  request.seed = seed;
 
-  std::cout << "Algorithm 1 parameters: p = " << params.selection_prob
-            << ", tau = " << params.threshold << ", K = " << params.repetitions
-            << ", light degree bound = " << params.light_degree_bound << "\n\n";
-
-  const struct {
-    const char* label;
-    const graph::Graph& g;
-  } cases[] = {{"tree (C4-free)", tree}, {"tree + planted C4", planted.graph}};
-  for (const auto& [label, g] : cases) {
-    const auto report = core::detect_even_cycle(g, params, rng);
-    std::cout << label << ": " << g.summary() << "\n"
-              << "  verdict: " << (report.cycle_detected ? "REJECT (C4 found)" : "accept")
-              << "\n  iterations run: " << report.iterations_run
-              << ", rounds (measured): " << report.rounds_measured
-              << ", rounds (worst-case charge): " << report.rounds_charged
-              << "\n  |U| = " << report.light_count << ", |S| = " << report.selected_count
-              << ", |W| = " << report.activator_count
-              << ", max congestion = " << report.max_congestion << "\n\n";
+  for (const auto& handle : cases) {
+    const api::DetectionResult result = api::detect(handle, request);
+    if (!result.ok()) {
+      // Structured errors instead of exceptions: unknown detectors, bad
+      // parameters, and detector failures all land here.
+      std::cerr << handle.name() << ": " << api::error_code_name(result.code) << ": "
+                << result.error << "\n";
+      return 1;
+    }
+    std::cout << handle.name() << ": " << handle.graph().summary()
+              << "\n  content hash: " << handle.content_hash()
+              << "\n  verdict: " << (result.detected ? "REJECT (C4 found)" : "accept")
+              << "\n  rounds (measured): " << result.rounds_measured
+              << ", rounds (worst-case charge): " << result.rounds_charged
+              << ", max congestion: " << result.congestion << "\n";
+    for (const auto& [key, value] : result.extra)
+      std::cout << "  " << key << " = " << value << "\n";
+    std::cout << "\n";
   }
 
   std::cout << "One-sided guarantee: the tree can never be rejected; the planted\n"
-               "instance is rejected with probability >= 1 - (1 - 1/32)^K.\n";
+               "instance is rejected with high probability. Identical requests\n"
+               "return byte-identical payloads at any thread budget.\n";
   return 0;
 }

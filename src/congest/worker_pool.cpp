@@ -21,6 +21,57 @@ constexpr std::uint32_t kStealBatch = 64;
 
 }  // namespace
 
+bool FairQueue::push(const std::string& tenant, Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    auto entry = std::find_if(tenants_.begin(), tenants_.end(),
+                              [&](const TenantQueue& q) { return q.tenant == tenant; });
+    if (entry == tenants_.end()) {
+      tenants_.push_back(TenantQueue{tenant, {}});
+      entry = tenants_.end() - 1;
+    }
+    entry->jobs.push_back(std::move(job));
+    ++queued_;
+  }
+  ready_.notify_one();
+  return true;
+}
+
+bool FairQueue::pop(Job* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return queued_ > 0 || closed_; });
+  if (queued_ == 0) return false;
+  // Round-robin over tenant subqueues starting at the cursor; the cursor
+  // advances past the served tenant so a deep backlog yields after every
+  // job, not after draining.
+  const std::size_t count = tenants_.size();
+  for (std::size_t probe = 0; probe < count; ++probe) {
+    const std::size_t index = (cursor_ + probe) % count;
+    TenantQueue& queue = tenants_[index];
+    if (queue.jobs.empty()) continue;
+    *out = std::move(queue.jobs.front());
+    queue.jobs.pop_front();
+    --queued_;
+    cursor_ = (index + 1) % count;
+    return true;
+  }
+  return false;  // unreachable: queued_ > 0 implies a non-empty subqueue
+}
+
+void FairQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t FairQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
 void WorkerPool::Deque::init(std::uint64_t capacity_pow2) {
   slots = std::make_unique<std::atomic<Task>[]>(capacity_pow2);
   mask = capacity_pow2 - 1;

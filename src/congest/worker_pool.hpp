@@ -35,14 +35,56 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace evencycle::congest {
+
+/// Fair task admission across tenants, feeding a WorkerPool's lanes.
+///
+/// Each tenant gets a FIFO subqueue; pop() serves tenants round-robin, so
+/// one tenant's thousand-job backlog cannot starve another tenant's single
+/// query — the second tenant's job is served within one rotation. Jobs of
+/// the same tenant stay strictly FIFO. Thread-safe on both ends: any number
+/// of producers push, any number of pool lanes pop.
+class FairQueue {
+ public:
+  using Job = std::function<void()>;
+
+  /// Enqueues `job` under `tenant` (first push of a tenant registers it).
+  /// Pushing after close() drops the job and returns false.
+  bool push(const std::string& tenant, Job job);
+
+  /// Blocks until a job is available or the queue is closed and drained.
+  /// Returns false only on closed-and-drained; otherwise *out holds the
+  /// next job in round-robin tenant order.
+  bool pop(Job* out);
+
+  /// Wakes every blocked pop(); already-queued jobs still drain.
+  void close();
+
+  /// Jobs currently queued (diagnostics; racy by nature).
+  std::size_t size() const;
+
+ private:
+  struct TenantQueue {
+    std::string tenant;
+    std::deque<Job> jobs;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<TenantQueue> tenants_;  ///< few tenants; linear scan, stable order
+  std::size_t cursor_ = 0;            ///< next tenant index to serve
+  std::size_t queued_ = 0;
+  bool closed_ = false;
+};
 
 class WorkerPool {
  public:

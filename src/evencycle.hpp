@@ -15,6 +15,10 @@
 //   lowerbound/-- Set-Disjointness gadgets and the cut meter (Section 3.3)
 //   harness/   -- named-scenario registry, batched grid runner, JSON
 //                 emit/parse, and the CLI behind tools/evencycle
+//   evencycle/ -- the stable facade (GraphHandle, DetectionRequest ->
+//                 DetectionResult) every embedder should prefer
+//   service/   -- the multi-tenant detection service: graph cache, fair
+//                 multiplexing, NDJSON wire protocol, `evencycle serve`
 #pragma once
 
 #include "congest/mailbox.hpp"
@@ -33,6 +37,7 @@
 #include "core/even_cycle.hpp"
 #include "core/odd_cycle.hpp"
 #include "core/params.hpp"
+#include "evencycle/api.hpp"
 #include "baseline/flooding.hpp"
 #include "baseline/local_threshold.hpp"
 #include "fuzz/corpus.hpp"
@@ -61,6 +66,11 @@
 #include "quantum/decomposition.hpp"
 #include "quantum/grover.hpp"
 #include "quantum/quantum_cycle.hpp"
+#include "service/detection_service.hpp"
+#include "service/graph_cache.hpp"
+#include "service/protocol.hpp"
+#include "service/soak.hpp"
+#include "service/socket_server.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"

@@ -1,0 +1,233 @@
+#include "evencycle/api.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "congest/network.hpp"
+#include "core/color_bfs.hpp"
+#include "core/engine_color_bfs.hpp"
+#include "core/params.hpp"
+#include "harness/cli.hpp"
+#include "harness/palette.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::api {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kUnknownFamily: return "unknown-family";
+    case ErrorCode::kUnknownDetector: return "unknown-detector";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kExecutionFailed: return "execution-failed";
+  }
+  return "unknown";
+}
+
+std::string GraphSpec::key() const {
+  return family + "/" + std::to_string(nodes) + "/" + std::to_string(k) + "/" +
+         std::to_string(seed);
+}
+
+std::uint64_t graph_content_hash(const graph::Graph& g) {
+  // FNV-1a over (n, sorted edge endpoints). Graph stores endpoints with
+  // first < second and edge ids in insertion-independent CSR order, so two
+  // equal graphs produce identical byte streams.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](std::uint64_t word) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (word >> shift) & 0xFF;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  mix(g.vertex_count());
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> edges;
+  edges.reserve(g.edge_count());
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) edges.push_back(g.edge(e));
+  std::sort(edges.begin(), edges.end());
+  for (const auto& [u, v] : edges) {
+    mix(u);
+    mix(v);
+  }
+  return hash;
+}
+
+GraphHandle GraphHandle::generate(const GraphSpec& spec) {
+  GraphHandle handle;
+  std::string error;
+  const ErrorCode code = try_generate(spec, &handle, &error);
+  EC_REQUIRE(code == ErrorCode::kOk, error);
+  return handle;
+}
+
+ErrorCode GraphHandle::try_generate(const GraphSpec& spec, GraphHandle* out,
+                                    std::string* error) {
+  if (spec.k == 0 || spec.k > 16) {
+    if (error != nullptr) *error = "k must be in [1, 16], got " + std::to_string(spec.k);
+    return ErrorCode::kBadRequest;
+  }
+  if (spec.nodes == 0 || spec.nodes > 0xFFFFFFFFULL) {
+    if (error != nullptr)
+      *error = "nodes must be in [1, 2^32), got " + std::to_string(spec.nodes);
+    return ErrorCode::kBadRequest;
+  }
+  const auto& palette = harness::generator_palette(spec.k);
+  const auto entry =
+      std::find_if(palette.begin(), palette.end(),
+                   [&](const harness::NamedGenerator& g) { return g.name == spec.family; });
+  if (entry == palette.end()) {
+    if (error != nullptr) *error = "unknown graph family: " + spec.family;
+    return ErrorCode::kUnknownFamily;
+  }
+  try {
+    Rng rng(spec.seed);
+    GraphHandle handle;
+    handle.graph_ = std::make_shared<const graph::Graph>(
+        entry->build(static_cast<VertexId>(spec.nodes), rng));
+    handle.name_ = spec.key();
+    handle.content_hash_ = graph_content_hash(*handle.graph_);
+    *out = std::move(handle);
+    return ErrorCode::kOk;
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = std::string("generator failed: ") + e.what();
+    return ErrorCode::kBadRequest;
+  }
+}
+
+GraphHandle GraphHandle::adopt(graph::Graph g, std::string name) {
+  GraphHandle handle;
+  handle.graph_ = std::make_shared<const graph::Graph>(std::move(g));
+  handle.name_ = std::move(name);
+  handle.content_hash_ = graph_content_hash(*handle.graph_);
+  return handle;
+}
+
+GraphHandle GraphHandle::alias(std::shared_ptr<const graph::Graph> g, std::string name) {
+  GraphHandle handle;
+  handle.graph_ = std::move(g);
+  handle.name_ = std::move(name);
+  handle.content_hash_ = handle.graph_ != nullptr ? graph_content_hash(*handle.graph_) : 0;
+  return handle;
+}
+
+namespace {
+
+/// The message-level color-BFS on the round engine: the one detector whose
+/// execution actually spans the thread budget. The coloring comes from the
+/// request seed; the engine guarantees a bit-identical outcome at every
+/// thread count, which is what keeps `threads` out of the payload.
+DetectionResult run_engine_color_bfs(const graph::Graph& g, const DetectionRequest& request) {
+  DetectionResult result;
+  const VertexId n = g.vertex_count();
+  Rng rng(request.seed);
+  const auto params = core::Params::practical(request.k, std::max<VertexId>(n, 4));
+  const auto colors = core::random_coloring(n, 2 * request.k, rng);
+  core::ColorBfsSpec spec;
+  spec.cycle_length = 2 * request.k;
+  spec.threshold = std::max<std::uint64_t>(params.threshold, 1);
+  spec.colors = &colors;
+
+  congest::Config config;
+  if (request.threads != 0) config.threads = request.threads;
+  congest::Network net(g, config);
+  const auto out = core::run_color_bfs_on_engine(net, spec);
+  result.detected = out.rejected;
+  result.rounds_measured = out.rounds;
+  result.messages = out.messages;
+  result.congestion = net.metrics().busiest_round_messages;
+  result.extra.emplace_back("rejecting_nodes", static_cast<double>(out.rejecting_nodes.size()));
+  result.extra.emplace_back("resolved_threads", static_cast<double>(net.thread_count()));
+  return result;
+}
+
+}  // namespace
+
+DetectionResult detect(const GraphHandle& graph, const DetectionRequest& request) {
+  DetectionResult result;
+  if (!graph.valid()) {
+    result.code = ErrorCode::kBadRequest;
+    result.error = "invalid graph handle";
+    return result;
+  }
+  if (request.k == 0 || request.k > 16) {
+    result.code = ErrorCode::kBadRequest;
+    result.error = "k must be in [1, 16], got " + std::to_string(request.k);
+    return result;
+  }
+  if (request.threads > congest::WorkerPool::kMaxThreads) {
+    result.code = ErrorCode::kBadRequest;
+    result.error = "thread budget above the engine maximum of " +
+                   std::to_string(congest::WorkerPool::kMaxThreads);
+    return result;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    if (request.detector == "engine-color-bfs") {
+      result = run_engine_color_bfs(graph.graph(), request);
+    } else {
+      const auto& palette = harness::algorithm_palette();
+      const auto entry = std::find_if(
+          palette.begin(), palette.end(),
+          [&](const harness::NamedAlgorithm& a) { return a.name == request.detector; });
+      if (entry == palette.end()) {
+        result.code = ErrorCode::kUnknownDetector;
+        result.error = "unknown detector: " + request.detector;
+        return result;
+      }
+      Rng rng(request.seed);
+      const harness::CellResult cell = entry->run(graph.graph(), request.k, rng);
+      result.detected = cell.detected;
+      result.rounds_measured = cell.rounds_measured;
+      result.rounds_charged = cell.rounds_charged;
+      result.messages = cell.messages;
+      result.congestion = cell.congestion;
+      result.extra = cell.extra;
+    }
+  } catch (const std::exception& e) {
+    result = DetectionResult{};
+    result.code = ErrorCode::kExecutionFailed;
+    result.error = e.what();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+std::vector<std::string> detector_names() {
+  std::vector<std::string> names;
+  for (const auto& algorithm : harness::algorithm_palette()) names.push_back(algorithm.name);
+  names.push_back("engine-color-bfs");
+  return names;
+}
+
+std::vector<std::string> family_names(std::uint32_t k) {
+  std::vector<std::string> names;
+  for (const auto& generator : harness::generator_palette(k)) names.push_back(generator.name);
+  return names;
+}
+
+harness::JsonValue result_to_json(const DetectionResult& result, bool with_timing) {
+  using harness::JsonValue;
+  std::vector<std::pair<std::string, JsonValue>> members;
+  members.emplace_back("code", JsonValue::string(error_code_name(result.code)));
+  if (!result.ok()) members.emplace_back("error", JsonValue::string(result.error));
+  members.emplace_back("detected", JsonValue::boolean(result.detected));
+  members.emplace_back("rounds_measured", JsonValue::uint(result.rounds_measured));
+  members.emplace_back("rounds_charged", JsonValue::uint(result.rounds_charged));
+  members.emplace_back("messages", JsonValue::uint(result.messages));
+  members.emplace_back("congestion", JsonValue::uint(result.congestion));
+  std::vector<std::pair<std::string, JsonValue>> extra;
+  for (const auto& [key, value] : result.extra)
+    extra.emplace_back(key, JsonValue::number(value));
+  members.emplace_back("extra", JsonValue::object(std::move(extra)));
+  if (with_timing) members.emplace_back("seconds", JsonValue::number(result.seconds));
+  return JsonValue::object(std::move(members));
+}
+
+int scenario_cli(const std::string& scenario, int argc, char** argv) {
+  return harness::run_scenario_cli(scenario, argc, argv);
+}
+
+}  // namespace evencycle::api

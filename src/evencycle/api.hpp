@@ -1,0 +1,162 @@
+// Stable detection facade: the one entry point the CLI `run` path, the
+// scenario harness, the bench wrappers, the examples, and the `serve`
+// service all consume.
+//
+// The shape is load-once / query-many:
+//
+//   GraphHandle    an immutable graph plus its identity (a human-readable
+//                  name, the generation spec if any, and a content hash
+//                  over the edge set). Build it once — from a generator
+//                  family or an existing Graph — and run any number of
+//                  DetectionRequests against it. The service's graph cache
+//                  (src/service/graph_cache.hpp) stores exactly these.
+//   DetectionRequest -> DetectionResult
+//                  one detection query: detector name, cycle parameter k,
+//                  randomness seed, and an engine thread budget. Results
+//                  carry a structured ErrorCode instead of escaping
+//                  exceptions, so callers multiplexing many queries (the
+//                  service, the soak scenario) never crash on one bad
+//                  request.
+//
+// Determinism contract: every field of DetectionResult except `seconds` is
+// a pure function of (graph content, request). In particular the thread
+// budget must not change the payload — engine-hosted detectors inherit the
+// round engine's bit-identical-at-any-thread-count guarantee.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "harness/json.hpp"
+#include "harness/scenario.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::api {
+
+using graph::VertexId;
+
+/// Structured failure taxonomy of the facade (and the wire protocol, which
+/// maps these 1:1 onto response error codes).
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kUnknownFamily,     ///< graph family not in the generator palette
+  kUnknownDetector,   ///< detector name not in the detector palette
+  kBadRequest,        ///< malformed parameters (k = 0, oversized nodes, ...)
+  kExecutionFailed,   ///< the detector itself threw (InvalidArgument, ...)
+};
+
+/// Stable kebab-case name of an error code ("ok", "unknown-detector", ...).
+const char* error_code_name(ErrorCode code);
+
+/// How a GraphHandle came to be; doubles as the graph-cache key material.
+struct GraphSpec {
+  std::string family;      ///< generator palette name ("planted-light", ...)
+  std::uint64_t nodes = 0; ///< requested scale (exact count may differ)
+  std::uint32_t k = 2;     ///< shapes planted / girth-controlled families
+  std::uint64_t seed = 0;  ///< generator randomness
+
+  /// "family/nodes/k/seed" — unique per spec, used as the cache key.
+  std::string key() const;
+};
+
+/// An immutable graph with identity: generate or adopt once, query many
+/// times. Copies share the underlying Graph (shared_ptr semantics).
+class GraphHandle {
+ public:
+  GraphHandle() = default;
+
+  /// Builds the graph from a generator-palette family. Throws
+  /// InvalidArgument on an unknown family (detect() callers that want an
+  /// ErrorCode instead go through try_generate).
+  static GraphHandle generate(const GraphSpec& spec);
+
+  /// Like generate, but reports an unknown family / bad spec as an
+  /// ErrorCode instead of throwing. Returns kOk on success.
+  static ErrorCode try_generate(const GraphSpec& spec, GraphHandle* out,
+                                std::string* error);
+
+  /// Wraps an existing graph (real-graph ingestion, tests).
+  static GraphHandle adopt(graph::Graph g, std::string name);
+
+  /// Wraps an already-shared graph without copying it — the service graph
+  /// cache aliases one stored graph across equal-content specs this way.
+  static GraphHandle alias(std::shared_ptr<const graph::Graph> g, std::string name);
+
+  bool valid() const { return graph_ != nullptr; }
+  const graph::Graph& graph() const { return *graph_; }
+  std::shared_ptr<const graph::Graph> share() const { return graph_; }
+
+  /// Human-readable identity: the spec key for generated handles, the
+  /// adopted name otherwise.
+  const std::string& name() const { return name_; }
+
+  /// FNV-1a over the vertex count and the sorted undirected edge list:
+  /// equal graphs hash equal on every platform. Computed once at build.
+  std::uint64_t content_hash() const { return content_hash_; }
+
+ private:
+  std::shared_ptr<const graph::Graph> graph_;
+  std::string name_;
+  std::uint64_t content_hash_ = 0;
+};
+
+/// Exact content hash a GraphHandle stores (exposed for cache tests).
+std::uint64_t graph_content_hash(const graph::Graph& g);
+
+/// One detection query against a GraphHandle.
+struct DetectionRequest {
+  std::string detector = "even-cycle";  ///< detector palette name
+  std::uint32_t k = 2;                  ///< target cycle length 2k
+  std::uint64_t seed = 0;               ///< randomness; same seed = same payload
+  /// Engine thread budget for engine-hosted detectors (0 = engine default,
+  /// i.e. EVENCYCLE_THREADS). MUST NOT change the deterministic payload.
+  std::uint32_t threads = 0;
+  /// Service fairness key; ignored by detect() itself.
+  std::string tenant;
+};
+
+/// Detection outcome plus structured error. All fields except `seconds`
+/// are deterministic in (graph, request).
+struct DetectionResult {
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;  ///< non-empty iff code != kOk
+
+  bool detected = false;
+  std::uint64_t rounds_measured = 0;
+  std::uint64_t rounds_charged = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t congestion = 0;
+  harness::Series extra;  ///< detector-specific deterministic metrics
+
+  double seconds = 0.0;  ///< wall time; excluded from the payload JSON
+
+  bool ok() const { return code == ErrorCode::kOk; }
+};
+
+/// Runs one detection query. Never throws for request-level problems —
+/// unknown detectors, bad parameters, and detector exceptions all come
+/// back as a DetectionResult with code != kOk.
+DetectionResult detect(const GraphHandle& graph, const DetectionRequest& request);
+
+/// Detector palette names accepted by DetectionRequest::detector: the
+/// harness algorithm palette plus "engine-color-bfs" (the message-level
+/// color-BFS hosted on the round engine, honoring the thread budget).
+std::vector<std::string> detector_names();
+
+/// Generator family names accepted by GraphSpec::family for a given k.
+std::vector<std::string> family_names(std::uint32_t k);
+
+/// Deterministic JSON payload of a result: detected / rounds / messages /
+/// congestion / extra (and error fields when !ok). `with_timing` appends
+/// the wall-time field; leave it off wherever byte-identity matters.
+harness::JsonValue result_to_json(const DetectionResult& result, bool with_timing = false);
+
+/// Entry point of the thin bench wrappers and any embedder that wants the
+/// full `evencycle run <name>` behavior (flags, text/JSON output, summary
+/// gates) without touching harness internals.
+int scenario_cli(const std::string& scenario, int argc, char** argv);
+
+}  // namespace evencycle::api

@@ -12,6 +12,8 @@
 #include "harness/json.hpp"
 #include "harness/registry.hpp"
 #include "harness/runner.hpp"
+#include "service/detection_service.hpp"
+#include "service/socket_server.hpp"
 #include "support/check.hpp"
 #include "support/table.hpp"
 
@@ -21,10 +23,14 @@ namespace {
 
 int usage(std::ostream& os) {
   os << "usage:\n"
-        "  evencycle list\n"
+        "  evencycle list [--json]\n"
         "  evencycle run <scenario> [--seeds N] [--threads T] [--nodes N]\n"
         "                [--batch B] [--seed S] [--json] [--no-timing] [--out FILE]\n"
-        "                [--require KEY=MIN ...]\n"
+        "                [--require KEY=MIN ...] [--require-max KEY=MAX ...]\n"
+        "  evencycle serve --socket PATH [--lanes N] [--cache N]\n"
+        "                  [--max-connections N]\n"
+        "  evencycle query --socket PATH --family F --nodes N [--k K]\n"
+        "                  [--detector D] [--seed S] [--threads T] [--graph-seed S]\n"
         "  evencycle compare <baseline.json> <current.json> [--max-regression R]\n"
         "                    [--max-efficiency-regression E]\n"
         "  evencycle fuzz [--minutes M] [--runs N] [--seed S] [--corpus DIR]\n"
@@ -59,7 +65,27 @@ struct RunFlags {
   /// --require KEY=MIN gates: after the run, summary[KEY] must exist and be
   /// >= MIN or the command exits 1 (the nightly parallel-efficiency gate).
   std::vector<std::pair<std::string, double>> required_summary;
+  /// --require-max KEY=MAX gates: summary[KEY] must exist and be <= MAX
+  /// (the service-soak p99-latency and protocol-error gates in CI).
+  std::vector<std::pair<std::string, double>> required_summary_max;
 };
+
+/// Parses the KEY=BOUND argument shared by --require / --require-max.
+std::pair<std::string, double> parse_summary_gate(const char* flag, const std::string& text) {
+  const auto eq = text.find('=');
+  EC_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < text.size(),
+             std::string(flag) + " expects KEY=BOUND, got: " + text);
+  std::size_t consumed = 0;
+  double bound = 0.0;
+  try {
+    bound = std::stod(text.substr(eq + 1), &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  EC_REQUIRE(consumed == text.size() - eq - 1,
+             std::string("malformed ") + flag + " bound: " + text);
+  return {text.substr(0, eq), bound};
+}
 
 /// Parses run flags from argv[first..argc); throws InvalidArgument on
 /// unknown flags or malformed values.
@@ -91,20 +117,10 @@ RunFlags parse_run_flags(int argc, char** argv, int first) {
     } else if (arg == "--out") {
       flags.out = value_of("--out");
     } else if (arg == "--require") {
-      const std::string text = value_of("--require");
-      const auto eq = text.find('=');
-      EC_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < text.size(),
-                 "--require expects KEY=MIN, got: " + text);
-      std::size_t consumed = 0;
-      double minimum = 0.0;
-      try {
-        minimum = std::stod(text.substr(eq + 1), &consumed);
-      } catch (const std::exception&) {
-        consumed = 0;
-      }
-      EC_REQUIRE(consumed == text.size() - eq - 1,
-                 "malformed --require minimum: " + text);
-      flags.required_summary.emplace_back(text.substr(0, eq), minimum);
+      flags.required_summary.push_back(parse_summary_gate("--require", value_of("--require")));
+    } else if (arg == "--require-max") {
+      flags.required_summary_max.push_back(
+          parse_summary_gate("--require-max", value_of("--require-max")));
     } else {
       EC_REQUIRE(false, "unknown flag: " + arg);
     }
@@ -218,8 +234,9 @@ int run_command(const std::string& name, int argc, char** argv, int first) {
       return 1;
     }
   }
-  // --require KEY=MIN: turn any summary metric into a gate (the nightly
-  // run fails engine-sustained on efficiency-t4 < 0.5 this way).
+  // --require KEY=MIN / --require-max KEY=MAX: turn any summary metric
+  // into a gate (nightly fails engine-sustained on efficiency-t4 < 0.5;
+  // the CI service-soak smoke fails on p99-ms or protocol-errors too high).
   for (const auto& [key, minimum] : flags.required_summary) {
     const auto entry = std::find_if(result.summary.begin(), result.summary.end(),
                                     [&](const auto& kv) { return kv.first == key; });
@@ -234,6 +251,21 @@ int run_command(const std::string& name, int argc, char** argv, int first) {
     }
     std::cerr << "--require " << key << ": " << json_number(entry->second)
               << " >= " << json_number(minimum) << " ok\n";
+  }
+  for (const auto& [key, maximum] : flags.required_summary_max) {
+    const auto entry = std::find_if(result.summary.begin(), result.summary.end(),
+                                    [&](const auto& kv) { return kv.first == key; });
+    if (entry == result.summary.end()) {
+      std::cerr << "--require-max " << key << ": summary has no such metric\n";
+      return 1;
+    }
+    if (entry->second > maximum) {
+      std::cerr << "--require-max " << key << ": " << json_number(entry->second)
+                << " exceeds the allowed maximum " << json_number(maximum) << "\n";
+      return 1;
+    }
+    std::cerr << "--require-max " << key << ": " << json_number(entry->second)
+              << " <= " << json_number(maximum) << " ok\n";
   }
   return 0;
 }
@@ -636,19 +668,144 @@ int bless_baseline_command(int argc, char** argv, int first) {
   // on fewer hardware threads. resolve_thread_count(0) is the engine's own
   // hardware-concurrency resolution (the one knob allowed to consult it).
   const char* env_threads = std::getenv("EVENCYCLE_THREADS");
-  file << "{\"schema\":\"evencycle-bench-set-v1\",\"host\":{\"hardware_threads\":"
-       << congest::resolve_thread_count(0) << ",\"evencycle_threads\":\""
-       << (env_threads != nullptr ? env_threads : "") << "\"},\"documents\":[";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    std::string doc = to_json(results[i], /*with_timing=*/true);
-    while (!doc.empty() && doc.back() == '\n') doc.pop_back();
-    file << (i == 0 ? "" : ",") << doc;
-  }
-  file << "]}\n";
+  std::vector<std::pair<std::string, JsonValue>> host;
+  host.emplace_back("hardware_threads", JsonValue::uint(congest::resolve_thread_count(0)));
+  host.emplace_back("evencycle_threads",
+                    JsonValue::string(env_threads != nullptr ? env_threads : ""));
+  std::vector<JsonValue> documents;
+  documents.reserve(results.size());
+  for (const auto& result : results)
+    documents.push_back(to_json_value(result, /*with_timing=*/true));
+  std::vector<std::pair<std::string, JsonValue>> container;
+  container.emplace_back("schema", JsonValue::string("evencycle-bench-set-v1"));
+  container.emplace_back("host", JsonValue::object(std::move(host)));
+  container.emplace_back("documents", JsonValue::array(std::move(documents)));
+  write_json_value(file, JsonValue::object(std::move(container)));
+  file << "\n";
   std::cerr << "blessed new baseline: " << out << " (" << results.size()
             << " scenarios, " << cell_count << " cells)\n"
             << "commit it to refresh the CI perf gate.\n";
   return 0;
+}
+
+int serve_command(int argc, char** argv, int first) {
+  service::ServeOptions options;
+  service::ServiceConfig config;
+  try {
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value_of = [&](const char* flag) {
+        EC_REQUIRE(i + 1 < argc, std::string(flag) + " needs a value");
+        return std::string(argv[++i]);
+      };
+      if (arg == "--socket") {
+        options.socket_path = value_of("--socket");
+      } else if (arg == "--lanes") {
+        config.lanes = static_cast<std::uint32_t>(parse_u64(value_of("--lanes"), kU32Max));
+        EC_REQUIRE(config.lanes >= 1, "--lanes must be at least 1");
+      } else if (arg == "--cache") {
+        config.cache_capacity = parse_u64(value_of("--cache"), kU32Max);
+        EC_REQUIRE(config.cache_capacity >= 1, "--cache must be at least 1");
+      } else if (arg == "--max-connections") {
+        options.max_connections = parse_u64(value_of("--max-connections"), ~std::uint64_t{0});
+      } else {
+        EC_REQUIRE(false, "unknown flag: " + arg);
+      }
+    }
+    EC_REQUIRE(!options.socket_path.empty(), "serve needs --socket PATH");
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return usage(std::cerr);
+  }
+  service::DetectionService detection(std::move(config));
+  return service::serve(detection, options, std::cerr);
+}
+
+int query_command(int argc, char** argv, int first) {
+  std::string socket_path;
+  std::string tenant = "cli";
+  service::Query query;
+  bool have_family = false, have_nodes = false;
+  try {
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value_of = [&](const char* flag) {
+        EC_REQUIRE(i + 1 < argc, std::string(flag) + " needs a value");
+        return std::string(argv[++i]);
+      };
+      if (arg == "--socket") {
+        socket_path = value_of("--socket");
+      } else if (arg == "--family") {
+        query.graph.family = value_of("--family");
+        have_family = true;
+      } else if (arg == "--nodes") {
+        query.graph.nodes = parse_u64(value_of("--nodes"), kU32Max);
+        have_nodes = true;
+      } else if (arg == "--k") {
+        query.request.k = static_cast<std::uint32_t>(parse_u64(value_of("--k"), kU32Max));
+      } else if (arg == "--detector") {
+        query.request.detector = value_of("--detector");
+      } else if (arg == "--seed") {
+        query.request.seed = parse_u64(value_of("--seed"), ~std::uint64_t{0});
+      } else if (arg == "--threads") {
+        query.request.threads =
+            static_cast<std::uint32_t>(parse_u64(value_of("--threads"), kU32Max));
+      } else if (arg == "--graph-seed") {
+        query.graph.seed = parse_u64(value_of("--graph-seed"), ~std::uint64_t{0});
+      } else if (arg == "--tenant") {
+        tenant = value_of("--tenant");
+      } else {
+        EC_REQUIRE(false, "unknown flag: " + arg);
+      }
+    }
+    EC_REQUIRE(!socket_path.empty(), "query needs --socket PATH");
+    EC_REQUIRE(have_family && have_nodes, "query needs --family and --nodes");
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return usage(std::cerr);
+  }
+  query.graph.k = query.request.k;
+  query.request.tenant = tenant;
+
+  // Build the protocol line with the serializer (the one place quoting and
+  // escaping live), send it, and print the response line verbatim.
+  std::vector<std::pair<std::string, JsonValue>> graph;
+  graph.emplace_back("family", JsonValue::string(query.graph.family));
+  graph.emplace_back("nodes", JsonValue::uint(query.graph.nodes));
+  graph.emplace_back("k", JsonValue::uint(query.graph.k));
+  graph.emplace_back("seed", JsonValue::uint(query.graph.seed));
+  std::vector<std::pair<std::string, JsonValue>> doc;
+  doc.emplace_back("op", JsonValue::string("detect"));
+  doc.emplace_back("id", JsonValue::string("cli"));
+  doc.emplace_back("tenant", JsonValue::string(tenant));
+  doc.emplace_back("graph", JsonValue::object(std::move(graph)));
+  doc.emplace_back("k", JsonValue::uint(query.request.k));
+  doc.emplace_back("detector", JsonValue::string(query.request.detector));
+  doc.emplace_back("seed", JsonValue::uint(query.request.seed));
+  doc.emplace_back("threads", JsonValue::uint(query.request.threads));
+  std::ostringstream line;
+  write_json_value(line, JsonValue::object(std::move(doc)));
+
+  service::UnixClient client;
+  std::string error;
+  if (!client.connect(socket_path, &error)) {
+    std::cerr << "query: " << error << "\n";
+    return 1;
+  }
+  std::string response;
+  if (!client.request(line.str(), &response, &error)) {
+    std::cerr << "query: " << error << "\n";
+    return 1;
+  }
+  std::cout << response << "\n";
+  try {
+    const JsonValue parsed = parse_json(response);
+    const JsonValue* ok = parsed.get("ok");
+    return ok != nullptr && ok->as_bool() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "query: malformed response: " << e.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace
@@ -657,6 +814,29 @@ int cli_main(int argc, char** argv) {
   if (argc < 2) return usage(std::cerr);
   const std::string command = argv[1];
   if (command == "list") {
+    bool json = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        json = true;
+      } else {
+        std::cerr << "unknown flag: " << argv[i] << "\n";
+        return usage(std::cerr);
+      }
+    }
+    if (json) {
+      // The machine-readable scenario catalog; the service's `list` op
+      // returns the same shape so discovery works over either transport.
+      std::vector<JsonValue> entries;
+      for (const auto& scenario : builtin_registry().scenarios()) {
+        std::vector<std::pair<std::string, JsonValue>> entry;
+        entry.emplace_back("name", JsonValue::string(scenario.name));
+        entry.emplace_back("description", JsonValue::string(scenario.description));
+        entries.push_back(JsonValue::object(std::move(entry)));
+      }
+      write_json_value(std::cout, JsonValue::array(std::move(entries)));
+      std::cout << "\n";
+      return 0;
+    }
     TextTable table({"scenario", "description"});
     for (const auto& scenario : builtin_registry().scenarios())
       table.add_row({scenario.name, scenario.description});
@@ -666,6 +846,12 @@ int cli_main(int argc, char** argv) {
   if (command == "run") {
     if (argc < 3) return usage(std::cerr);
     return run_command(argv[2], argc, argv, 3);
+  }
+  if (command == "serve") {
+    return serve_command(argc, argv, 2);
+  }
+  if (command == "query") {
+    return query_command(argc, argv, 2);
   }
   if (command == "compare") {
     return compare_command(argc, argv, 2);
@@ -687,8 +873,12 @@ int cli_main(int argc, char** argv) {
   return usage(std::cerr);
 }
 
-int scenario_main(const std::string& name, int argc, char** argv) {
+int run_scenario_cli(const std::string& name, int argc, char** argv) {
   return run_command(name, argc, argv, 1);
+}
+
+int scenario_main(const std::string& name, int argc, char** argv) {
+  return run_scenario_cli(name, argc, argv);
 }
 
 }  // namespace evencycle::harness

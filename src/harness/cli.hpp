@@ -1,9 +1,13 @@
 // Command-line driver shared by tools/evencycle and the thin bench
 // wrappers.
 //
-//   evencycle list
+//   evencycle list [--json]
 //   evencycle run <scenario> [--seeds N] [--threads T] [--nodes N]
 //                 [--batch B] [--seed S] [--json] [--no-timing] [--out FILE]
+//   evencycle serve --socket PATH [--lanes N] [--cache N]
+//                   [--max-connections N]
+//   evencycle query --socket PATH --family F --nodes N [--k K]
+//                   [--detector D] [--seed S] [--threads T] [--graph-seed S]
 //   evencycle compare <baseline.json> <current.json> [--max-regression R]
 //                     [--max-efficiency-regression E]
 //   evencycle fuzz [--minutes M] [--runs N] [--seed S] [--corpus DIR]
@@ -38,11 +42,20 @@
 
 namespace evencycle::harness {
 
-/// Full CLI (list / run / compare). Returns the process exit code.
+/// Full CLI (list / run / serve / query / compare / ...). Returns the
+/// process exit code.
 int cli_main(int argc, char** argv);
+
+/// Behaves like `evencycle run <name> <argv...>` with flags starting at
+/// argv[1]. Embedders should prefer the stable facade wrapper,
+/// evencycle::api::scenario_cli — this is the implementation behind it.
+int run_scenario_cli(const std::string& name, int argc, char** argv);
 
 /// Entry point of the thin bench wrappers: behaves like
 /// `evencycle run <name> <argv...>`.
+[[deprecated(
+    "use evencycle::api::scenario_cli (evencycle/api.hpp); "
+    "scenario_main will be removed in the next release")]]
 int scenario_main(const std::string& name, int argc, char** argv);
 
 /// The perf-regression gate, exposed for tests: returns 0 when every

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cstdio>
 #include <sstream>
+#include <string_view>
 
 #include "support/check.hpp"
 
@@ -19,6 +20,12 @@ bool JsonValue::as_bool() const {
 double JsonValue::as_number() const {
   EC_REQUIRE(kind_ == Kind::kNumber, "JSON value is not a number");
   return number_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  EC_REQUIRE(kind_ == Kind::kNumber, "JSON value is not a number");
+  EC_REQUIRE(exact_uint_, "JSON number has no exact unsigned representation");
+  return uint_;
 }
 
 const std::string& JsonValue::as_string() const {
@@ -59,6 +66,15 @@ JsonValue JsonValue::number(double d) {
   return v;
 }
 
+JsonValue JsonValue::uint(std::uint64_t u) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = static_cast<double>(u);
+  v.uint_ = u;
+  v.exact_uint_ = true;
+  return v;
+}
+
 JsonValue JsonValue::string(std::string s) {
   JsonValue v;
   v.kind_ = Kind::kString;
@@ -86,7 +102,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  explicit Parser(const std::string& text, bool strict = false)
+      : text_(text), strict_(strict) {}
 
   JsonValue parse_document() {
     JsonValue value = parse_value();
@@ -122,21 +139,31 @@ class Parser {
   }
 
   JsonValue parse_value() {
+    if (strict_) {
+      ++depth_;
+      EC_REQUIRE(depth_ <= 32, "JSON: document nested deeper than 32 levels");
+    }
+    JsonValue value;
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return JsonValue::string(parse_string());
+      case '{': value = parse_object(); break;
+      case '[': value = parse_array(); break;
+      case '"': value = JsonValue::string(parse_string()); break;
       case 't':
         EC_REQUIRE(consume_literal("true"), "JSON: bad literal");
-        return JsonValue::boolean(true);
+        value = JsonValue::boolean(true);
+        break;
       case 'f':
         EC_REQUIRE(consume_literal("false"), "JSON: bad literal");
-        return JsonValue::boolean(false);
+        value = JsonValue::boolean(false);
+        break;
       case 'n':
         EC_REQUIRE(consume_literal("null"), "JSON: bad literal");
-        return JsonValue::null();
-      default: return parse_number();
+        value = JsonValue::null();
+        break;
+      default: value = parse_number();
     }
+    if (strict_) --depth_;
+    return value;
   }
 
   JsonValue parse_object() {
@@ -149,6 +176,10 @@ class Parser {
     for (;;) {
       EC_REQUIRE(peek() == '"', "JSON: object key must be a string");
       std::string key = parse_string();
+      if (strict_) {
+        for (const auto& [existing, unused] : members)
+          EC_REQUIRE(existing != key, "JSON: duplicate object key: " + key);
+      }
       expect(':');
       members.emplace_back(std::move(key), parse_value());
       const char c = peek();
@@ -243,16 +274,31 @@ class Parser {
         std::from_chars(text_.data() + start, text_.data() + pos_, value);
     EC_REQUIRE(ec == std::errc() && ptr == text_.data() + pos_ && pos_ > start,
                "JSON: malformed number");
+    // A plain digit run that fits in 64 bits keeps its exact value next to
+    // the double, so 64-bit seeds survive a parse/emit round trip.
+    const std::string_view token(text_.data() + start, pos_ - start);
+    if (token.find_first_not_of("0123456789") == std::string_view::npos) {
+      std::uint64_t exact = 0;
+      const auto [uptr, uec] = std::from_chars(token.data(), token.data() + token.size(), exact);
+      if (uec == std::errc() && uptr == token.data() + token.size())
+        return JsonValue::uint(exact);
+    }
     return JsonValue::number(value);
   }
 
   const std::string& text_;
+  bool strict_ = false;
+  int depth_ = 0;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
 JsonValue parse_json(const std::string& text) { return Parser(text).parse_document(); }
+
+JsonValue parse_json_strict(const std::string& text) {
+  return Parser(text, /*strict=*/true).parse_document();
+}
 
 // --- writer ------------------------------------------------------------------
 
@@ -299,7 +345,11 @@ void write_json_value(std::ostream& os, const JsonValue& value) {
       os << (value.as_bool() ? "true" : "false");
       break;
     case JsonValue::Kind::kNumber:
-      os << json_number(value.as_number());
+      if (value.is_exact_uint()) {
+        os << value.as_uint();
+      } else {
+        os << json_number(value.as_number());
+      }
       break;
     case JsonValue::Kind::kString:
       os << '"' << json_escape(value.as_string()) << '"';
@@ -336,56 +386,59 @@ std::string to_json(const JsonValue& value) {
 
 namespace {
 
-void write_labels(std::ostream& os, const Labels& labels) {
-  os << '{';
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    os << (i == 0 ? "" : ",") << '"' << json_escape(labels[i].first) << "\":\""
-       << json_escape(labels[i].second) << '"';
-  }
-  os << '}';
+using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+JsonValue labels_value(const Labels& labels) {
+  Members members;
+  members.reserve(labels.size());
+  for (const auto& [key, value] : labels) members.emplace_back(key, JsonValue::string(value));
+  return JsonValue::object(std::move(members));
 }
 
-void write_series(std::ostream& os, const Series& series) {
-  os << '{';
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    os << (i == 0 ? "" : ",") << '"' << json_escape(series[i].first)
-       << "\":" << json_number(series[i].second);
-  }
-  os << '}';
+JsonValue series_value(const Series& series) {
+  Members members;
+  members.reserve(series.size());
+  for (const auto& [key, value] : series) members.emplace_back(key, JsonValue::number(value));
+  return JsonValue::object(std::move(members));
 }
 
 }  // namespace
 
-void write_json(std::ostream& os, const ScenarioResult& result, bool with_timing) {
-  os << "{\"schema\":\"evencycle-bench-v1\""
-     << ",\"scenario\":\"" << json_escape(result.scenario) << '"'
-     << ",\"seed\":" << result.seed;
+JsonValue to_json_value(const ScenarioResult& result, bool with_timing) {
+  Members doc;
+  doc.emplace_back("schema", JsonValue::string("evencycle-bench-v1"));
+  doc.emplace_back("scenario", JsonValue::string(result.scenario));
+  doc.emplace_back("seed", JsonValue::uint(result.seed));
   // Batch width is execution metadata, like wall time: the deterministic
   // payload must be byte-identical at any batch width.
-  if (with_timing) os << ",\"batch\":" << result.batch;
-  os << ",\"params\":";
-  write_labels(os, result.params);
-  os << ",\"cells\":[";
-  for (std::size_t i = 0; i < result.cells.size(); ++i) {
-    const auto& cell = result.cells[i];
-    os << (i == 0 ? "" : ",") << "{\"labels\":";
-    write_labels(os, cell.labels);
+  if (with_timing) doc.emplace_back("batch", JsonValue::uint(result.batch));
+  doc.emplace_back("params", labels_value(result.params));
+  std::vector<JsonValue> cells;
+  cells.reserve(result.cells.size());
+  for (const auto& cell : result.cells) {
     const auto& r = cell.result;
-    os << ",\"ok\":" << (r.ok ? "true" : "false");
-    if (!r.ok) os << ",\"error\":\"" << json_escape(r.error) << '"';
-    os << ",\"detected\":" << (r.detected ? "true" : "false")
-       << ",\"rounds_measured\":" << r.rounds_measured
-       << ",\"rounds_charged\":" << r.rounds_charged << ",\"messages\":" << r.messages
-       << ",\"congestion\":" << r.congestion << ",\"extra\":";
-    write_series(os, r.extra);
-    if (with_timing) os << ",\"seconds\":" << json_number(r.seconds);
-    os << '}';
+    Members entry;
+    entry.emplace_back("labels", labels_value(cell.labels));
+    entry.emplace_back("ok", JsonValue::boolean(r.ok));
+    if (!r.ok) entry.emplace_back("error", JsonValue::string(r.error));
+    entry.emplace_back("detected", JsonValue::boolean(r.detected));
+    entry.emplace_back("rounds_measured", JsonValue::uint(r.rounds_measured));
+    entry.emplace_back("rounds_charged", JsonValue::uint(r.rounds_charged));
+    entry.emplace_back("messages", JsonValue::uint(r.messages));
+    entry.emplace_back("congestion", JsonValue::uint(r.congestion));
+    entry.emplace_back("extra", series_value(r.extra));
+    if (with_timing) entry.emplace_back("seconds", JsonValue::number(r.seconds));
+    cells.push_back(JsonValue::object(std::move(entry)));
   }
-  os << ']';
-  os << ",\"summary\":";
-  write_series(os, result.summary);
-  if (with_timing) os << ",\"total_seconds\":" << json_number(result.total_seconds);
-  os << "}\n";
+  doc.emplace_back("cells", JsonValue::array(std::move(cells)));
+  doc.emplace_back("summary", series_value(result.summary));
+  if (with_timing) doc.emplace_back("total_seconds", JsonValue::number(result.total_seconds));
+  return JsonValue::object(std::move(doc));
+}
+
+void write_json(std::ostream& os, const ScenarioResult& result, bool with_timing) {
+  write_json_value(os, to_json_value(result, with_timing));
+  os << '\n';
 }
 
 std::string to_json(const ScenarioResult& result, bool with_timing) {

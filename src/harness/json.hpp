@@ -26,9 +26,16 @@ class JsonValue {
 
   Kind kind() const { return kind_; }
   bool is_null() const { return kind_ == Kind::kNull; }
+  /// True when this number carries an exact u64 (see JsonValue::uint).
+  bool is_exact_uint() const { return kind_ == Kind::kNumber && exact_uint_; }
 
   bool as_bool() const;
   double as_number() const;
+  /// Exact unsigned value of a number written with JsonValue::uint (or
+  /// parsed from a plain digit token that fits in 64 bits); throws when the
+  /// number has no exact u64 representation. Large seeds round-trip through
+  /// this where a double would lose precision.
+  std::uint64_t as_uint() const;
   const std::string& as_string() const;
   const std::vector<JsonValue>& as_array() const;
 
@@ -40,6 +47,9 @@ class JsonValue {
   static JsonValue null();
   static JsonValue boolean(bool b);
   static JsonValue number(double d);
+  /// A number that serializes as the exact unsigned decimal (doubles lose
+  /// integers above 2^53 — 64-bit seeds and counters must not).
+  static JsonValue uint(std::uint64_t u);
   static JsonValue string(std::string s);
   static JsonValue array(std::vector<JsonValue> items);
   static JsonValue object(std::vector<std::pair<std::string, JsonValue>> members);
@@ -47,7 +57,9 @@ class JsonValue {
  private:
   Kind kind_ = Kind::kNull;
   bool bool_ = false;
+  bool exact_uint_ = false;  ///< number_ mirrors uint_, which is authoritative
   double number_ = 0.0;
+  std::uint64_t uint_ = 0;
   std::string string_;
   std::vector<JsonValue> items_;
   std::vector<std::pair<std::string, JsonValue>> members_;
@@ -56,6 +68,13 @@ class JsonValue {
 /// Parses one JSON document (trailing whitespace allowed, nothing else);
 /// throws evencycle::InvalidArgument on malformed input.
 JsonValue parse_json(const std::string& text);
+
+/// Strict-parse mode for untrusted input (the service wire protocol): on
+/// top of parse_json's grammar checks it rejects duplicate object keys and
+/// documents nested deeper than 32 levels, so a malformed or adversarial
+/// request line becomes a structured error, never a crash or a silently
+/// shadowed field.
+JsonValue parse_json_strict(const std::string& text);
 
 // --- emitting ----------------------------------------------------------------
 
@@ -70,6 +89,12 @@ std::string to_json(const JsonValue& value);
 
 /// Shortest-round-trip formatting for doubles (JSON number token).
 std::string json_number(double value);
+
+/// The `evencycle-bench-v1` document as a JsonValue — the single source of
+/// truth for the scenario schema. write_json/to_json below and the
+/// bless-baseline container build on this, so there is exactly one
+/// serializer (write_json_value) behind every emit path.
+JsonValue to_json_value(const ScenarioResult& result, bool with_timing = true);
 
 /// Serializes a ScenarioResult as the `evencycle-bench-v1` document.
 /// `with_timing` false omits every wall-time field, making the output a

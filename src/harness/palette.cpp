@@ -153,6 +153,8 @@ CellResult run_bounded_cycle(const graph::Graph& g, std::uint32_t k, Rng& rng) {
   result.rounds_measured = report.rounds_measured;
   result.rounds_charged = report.rounds_charged;
   result.extra.emplace_back("detected_length", static_cast<double>(report.detected_length));
+  result.extra.emplace_back("overflow_length",
+                            static_cast<double>(report.upper_bound_witnessed));
   result.extra.emplace_back("iterations", static_cast<double>(report.iterations_run));
   return result;
 }

@@ -17,6 +17,7 @@
 #include "harness/json.hpp"
 #include "harness/palette.hpp"
 #include "quantum/quantum_cycle.hpp"
+#include "service/soak.hpp"
 #include "support/stats.hpp"
 
 namespace evencycle::harness {
@@ -720,6 +721,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(ablation_threshold_scenario());
   registry.add(table1_classical_scenario());
   registry.add(table1_quantum_scenario());
+  registry.add(service::service_soak_scenario());
 }
 
 }  // namespace evencycle::harness

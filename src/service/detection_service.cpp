@@ -1,0 +1,106 @@
+#include "service/detection_service.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "support/stats.hpp"
+
+namespace evencycle::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point start, Clock::time_point stop) {
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+DetectionService::DetectionService(ServiceConfig config)
+    : pool_(config.lanes),
+      cache_(config.cache_capacity, std::move(config.graph_hash)) {
+  // The scheduler thread parks every pool lane in the FairQueue drain loop;
+  // pool_.run returns (and the scheduler exits) once the queue is closed
+  // and drained — the multiplexing the tentpole asks for: queries ride the
+  // same WorkerPool machinery the harness batches on.
+  scheduler_ = std::thread([this] {
+    pool_.run([this](std::uint32_t) {
+      congest::FairQueue::Job job;
+      while (queue_.pop(&job)) job();
+    });
+  });
+}
+
+DetectionService::~DetectionService() {
+  queue_.close();
+  scheduler_.join();
+}
+
+std::future<QueryOutcome> DetectionService::submit(const Query& query) {
+  const Clock::time_point submitted = Clock::now();
+  auto task = std::make_shared<std::packaged_task<QueryOutcome()>>(
+      [this, query, submitted] { return run_query(query, submitted); });
+  std::future<QueryOutcome> future = task->get_future();
+  if (!queue_.push(query.request.tenant, [task] { (*task)(); })) {
+    // Shutting down: run inline so the future always resolves.
+    (*task)();
+  }
+  return future;
+}
+
+QueryOutcome DetectionService::execute(const Query& query) { return submit(query).get(); }
+
+QueryOutcome DetectionService::run_query(const Query& query, Clock::time_point submitted) {
+  QueryOutcome outcome;
+  outcome.graph_name = query.graph.key();
+  api::GraphHandle handle;
+  std::string error;
+  const api::ErrorCode code = cache_.get(query.graph, &handle, &error, &outcome.cache_hit);
+  if (code != api::ErrorCode::kOk) {
+    outcome.result.code = code;
+    outcome.result.error = error;
+  } else {
+    outcome.graph_hash = handle.content_hash();
+    outcome.result = api::detect(handle, query.request);
+  }
+  outcome.seconds = seconds_between(submitted, Clock::now());
+  record(outcome);
+  return outcome;
+}
+
+void DetectionService::record(const QueryOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  const Clock::time_point now = Clock::now();
+  if (!any_query_) {
+    any_query_ = true;
+    first_submit_ = now;
+  }
+  // first_submit_ actually records the first *completion*; for qps over
+  // thousands of queries the one-query offset is noise, and completion
+  // times need no cross-thread clock handoff.
+  last_done_ = now;
+  latencies_.push_back(outcome.seconds);
+  if (!outcome.result.ok()) ++errors_;
+}
+
+ServiceStats DetectionService::stats() const {
+  ServiceStats stats;
+  stats.lanes = pool_.thread_count();
+  stats.cache = cache_.stats();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats.queries = latencies_.size();
+  stats.errors = errors_;
+  if (!latencies_.empty()) {
+    stats.p50_seconds = quantile(latencies_, 0.5);
+    stats.p90_seconds = quantile(latencies_, 0.9);
+    stats.p99_seconds = quantile(latencies_, 0.99);
+    const double span = seconds_between(first_submit_, last_done_);
+    stats.qps = span > 0.0 ? static_cast<double>(stats.queries) / span
+                           : static_cast<double>(stats.queries);
+  }
+  return stats;
+}
+
+}  // namespace evencycle::service

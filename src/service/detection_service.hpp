@@ -1,0 +1,109 @@
+// The multi-tenant detection service.
+//
+// A DetectionService multiplexes concurrent detection queries onto one
+// congest::WorkerPool: a scheduler thread parks the pool's lanes in a
+// FairQueue drain loop, and every submitted query becomes one fair-queued
+// job keyed by its tenant, so a tenant flooding the queue cannot starve
+// another tenant's single query (round-robin admission, see
+// congest::FairQueue). Graphs are generated once and reused through the
+// GraphCache; per-query engine thread budgets apply inside the query
+// (api::detect), not to the service lanes.
+//
+// Determinism: a QueryOutcome's `result` payload is api::detect's — a pure
+// function of (graph content, request) — so identical queries return
+// byte-identical payloads regardless of lane count, submission order, or
+// interleaved traffic. Only the latency fields vary.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "congest/worker_pool.hpp"
+#include "evencycle/api.hpp"
+#include "service/graph_cache.hpp"
+
+namespace evencycle::service {
+
+struct ServiceConfig {
+  /// Concurrent query lanes (the WorkerPool size). Queries are
+  /// coarse-grained jobs, so a handful of lanes saturates a host.
+  std::uint32_t lanes = 4;
+  /// GraphCache resident-entry budget.
+  std::size_t cache_capacity = 16;
+  /// Injectable cache hash (tests force collisions); empty = default.
+  GraphCache::HashFn graph_hash;
+};
+
+/// One service query: which graph, and what to run on it. The request's
+/// `tenant` doubles as the fairness key.
+struct Query {
+  api::GraphSpec graph;
+  api::DetectionRequest request;
+};
+
+struct QueryOutcome {
+  api::DetectionResult result;
+  bool cache_hit = false;
+  std::string graph_name;        ///< GraphSpec::key() of the served graph
+  std::uint64_t graph_hash = 0;  ///< content hash (0 when the graph failed)
+  double seconds = 0.0;          ///< end-to-end latency: queue wait + execution
+};
+
+/// Service-level counters and latency percentiles (wall-clock; never part
+/// of any deterministic payload).
+struct ServiceStats {
+  std::uint64_t queries = 0;  ///< completed queries
+  std::uint64_t errors = 0;   ///< completed with result.code != kOk
+  double p50_seconds = 0.0;
+  double p90_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double qps = 0.0;  ///< completed queries / span(first submit .. last done)
+  GraphCache::Stats cache;
+  std::uint32_t lanes = 0;
+};
+
+class DetectionService {
+ public:
+  explicit DetectionService(ServiceConfig config = {});
+  /// Drains queued queries, then stops the lanes.
+  ~DetectionService();
+
+  DetectionService(const DetectionService&) = delete;
+  DetectionService& operator=(const DetectionService&) = delete;
+
+  /// Enqueues the query under its tenant; the future resolves when a lane
+  /// completed it. Never throws for request-level problems (they come back
+  /// as result.code != kOk).
+  std::future<QueryOutcome> submit(const Query& query);
+
+  /// submit() + wait: the blocking convenience used by single-query
+  /// callers (the `query` CLI path, tests).
+  QueryOutcome execute(const Query& query);
+
+  ServiceStats stats() const;
+  std::uint32_t lanes() const { return pool_.thread_count(); }
+
+ private:
+  QueryOutcome run_query(const Query& query,
+                         std::chrono::steady_clock::time_point submitted);
+  void record(const QueryOutcome& outcome);
+
+  congest::WorkerPool pool_;
+  GraphCache cache_;
+  congest::FairQueue queue_;
+  std::thread scheduler_;
+
+  mutable std::mutex stats_mutex_;
+  std::vector<double> latencies_;
+  std::uint64_t errors_ = 0;
+  bool any_query_ = false;
+  std::chrono::steady_clock::time_point first_submit_{};
+  std::chrono::steady_clock::time_point last_done_{};
+};
+
+}  // namespace evencycle::service

@@ -1,0 +1,81 @@
+#include "service/graph_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace evencycle::service {
+
+namespace {
+
+/// Full equality on the edge sets — the collision guard behind the
+/// content-hash dedup. O(m), paid once per spec miss.
+bool graphs_equal(const graph::Graph& a, const graph::Graph& b) {
+  if (a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count()) return false;
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> ea, eb;
+  ea.reserve(a.edge_count());
+  eb.reserve(b.edge_count());
+  for (graph::EdgeId e = 0; e < a.edge_count(); ++e) ea.push_back(a.edge(e));
+  for (graph::EdgeId e = 0; e < b.edge_count(); ++e) eb.push_back(b.edge(e));
+  std::sort(ea.begin(), ea.end());
+  std::sort(eb.begin(), eb.end());
+  return ea == eb;
+}
+
+}  // namespace
+
+GraphCache::GraphCache(std::size_t capacity, HashFn hash)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      hash_(hash ? std::move(hash) : HashFn(&api::graph_content_hash)) {}
+
+api::ErrorCode GraphCache::get(const api::GraphSpec& spec, api::GraphHandle* out,
+                               std::string* error, bool* cache_hit) {
+  const std::string key = spec.key();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto entry = std::find_if(entries_.begin(), entries_.end(),
+                                  [&](const Entry& e) { return e.key == key; });
+  if (entry != entries_.end()) {
+    ++stats_.hits;
+    entry->last_used = ++tick_;
+    *out = entry->handle;
+    if (cache_hit != nullptr) *cache_hit = true;
+    return api::ErrorCode::kOk;
+  }
+
+  ++stats_.misses;
+  if (cache_hit != nullptr) *cache_hit = false;
+  api::GraphHandle handle;
+  const api::ErrorCode code = api::GraphHandle::try_generate(spec, &handle, error);
+  if (code != api::ErrorCode::kOk) return code;
+
+  // Content-level dedup: alias the stored graph when an entry has the same
+  // injected hash AND truly equal content (the equality check is what makes
+  // a forced or accidental hash collision harmless).
+  const std::uint64_t dedupe_hash = hash_(handle.graph());
+  for (const Entry& existing : entries_) {
+    if (existing.dedupe_hash != dedupe_hash) continue;
+    if (!graphs_equal(existing.handle.graph(), handle.graph())) continue;
+    handle = api::GraphHandle::alias(existing.handle.share(), key);
+    ++stats_.shared;
+    break;
+  }
+
+  if (entries_.size() >= capacity_) {
+    const auto victim = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  entries_.push_back(Entry{key, handle, dedupe_hash, ++tick_});
+  *out = std::move(handle);
+  return api::ErrorCode::kOk;
+}
+
+GraphCache::Stats GraphCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats snapshot = stats_;
+  snapshot.entries = entries_.size();
+  return snapshot;
+}
+
+}  // namespace evencycle::service

@@ -1,0 +1,74 @@
+// Per-graph artifact cache of the detection service.
+//
+// Queries name graphs by GraphSpec (family/nodes/k/seed); building one is
+// the expensive part of a query, so the service keeps recently used
+// GraphHandles and shares them across queries. Two levels:
+//
+//   spec level     exact-match memo on GraphSpec::key(); a repeat query
+//                  for the same spec never regenerates.
+//   content level  on a spec miss the freshly built graph's content hash
+//                  is compared against the cached entries; an entry with
+//                  equal hash AND equal edge set donates its storage (the
+//                  new spec aliases the same immutable Graph). Hash
+//                  collisions are detected by the full equality check, so
+//                  a collision can only cost the dedup, never return the
+//                  wrong graph.
+//
+// Eviction is LRU by entry count. The hash function is injectable so tests
+// can force collisions deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "evencycle/api.hpp"
+
+namespace evencycle::service {
+
+class GraphCache {
+ public:
+  using HashFn = std::function<std::uint64_t(const graph::Graph&)>;
+
+  /// Counters since construction (monotone; read under the cache lock).
+  struct Stats {
+    std::uint64_t hits = 0;        ///< spec-level exact hits
+    std::uint64_t misses = 0;      ///< spec-level misses (graph generated)
+    std::uint64_t shared = 0;      ///< misses that aliased an equal cached graph
+    std::uint64_t evictions = 0;   ///< entries dropped by the LRU policy
+    std::size_t entries = 0;       ///< current resident entries
+  };
+
+  /// `capacity` >= 1 resident entries; `hash` defaults to
+  /// api::graph_content_hash.
+  explicit GraphCache(std::size_t capacity, HashFn hash = {});
+
+  /// Returns the handle for `spec`, generating and caching it on a miss.
+  /// kOk -> *out valid, *cache_hit says which path served it; any other
+  /// code leaves *out untouched and fills *error (unknown family, bad
+  /// spec). Thread-safe.
+  api::ErrorCode get(const api::GraphSpec& spec, api::GraphHandle* out, std::string* error,
+                     bool* cache_hit);
+
+  Stats stats() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;            ///< GraphSpec::key()
+    api::GraphHandle handle;
+    std::uint64_t dedupe_hash;  ///< hash_fn(graph), the content-level key
+    std::uint64_t last_used;    ///< LRU tick
+  };
+
+  std::size_t capacity_;
+  HashFn hash_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;  ///< few entries; linear scan, stable order
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace evencycle::service

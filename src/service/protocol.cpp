@@ -1,0 +1,239 @@
+#include "service/protocol.hpp"
+
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/json.hpp"
+#include "harness/registry.hpp"
+
+namespace evencycle::service {
+
+namespace {
+
+using harness::JsonValue;
+using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Internal control flow of request validation; handle_line turns it into
+/// a structured error response, so it never escapes to the transport.
+struct RequestError {
+  std::string code;
+  std::string message;
+};
+
+std::string serialize(const JsonValue& value) {
+  std::ostringstream os;
+  harness::write_json_value(os, value);
+  return os.str();
+}
+
+Members response_head(const std::string& id, bool ok) {
+  Members members;
+  members.emplace_back("schema", JsonValue::string(kServiceSchema));
+  members.emplace_back("id", JsonValue::string(id));
+  members.emplace_back("ok", JsonValue::boolean(ok));
+  return members;
+}
+
+std::string error_response(const std::string& id, const std::string& code,
+                           const std::string& message) {
+  Members error;
+  error.emplace_back("code", JsonValue::string(code));
+  error.emplace_back("message", JsonValue::string(message));
+  Members members = response_head(id, false);
+  members.emplace_back("error", JsonValue::object(std::move(error)));
+  return serialize(JsonValue::object(std::move(members)));
+}
+
+/// Part of strict parsing: a field name the schema does not define is a
+/// bad-request, not a silently ignored typo ("detectr" must not fall back
+/// to the default detector).
+void check_known_fields(const JsonValue& object, std::initializer_list<const char*> allowed,
+                        const char* where) {
+  for (const auto& [key, value] : object.members()) {
+    bool known = false;
+    for (const char* name : allowed) known = known || key == name;
+    if (!known)
+      throw RequestError{"bad-request", std::string("unknown field in ") + where + ": " + key};
+  }
+}
+
+std::string opt_string(const JsonValue& object, const char* key, std::string fallback) {
+  const JsonValue* value = object.get(key);
+  if (value == nullptr) return fallback;
+  if (value->kind() != JsonValue::Kind::kString)
+    throw RequestError{"bad-request", std::string(key) + " must be a string"};
+  return value->as_string();
+}
+
+std::uint64_t opt_uint(const JsonValue& object, const char* key, std::uint64_t fallback) {
+  const JsonValue* value = object.get(key);
+  if (value == nullptr) return fallback;
+  if (!value->is_exact_uint())
+    throw RequestError{"bad-request", std::string(key) + " must be an unsigned integer"};
+  return value->as_uint();
+}
+
+std::uint32_t opt_u32(const JsonValue& object, const char* key, std::uint32_t fallback) {
+  const std::uint64_t value = opt_uint(object, key, fallback);
+  if (value > 0xFFFFFFFFULL)
+    throw RequestError{"bad-request", std::string(key) + " is too large"};
+  return static_cast<std::uint32_t>(value);
+}
+
+/// Validates the detect-request shape; throws RequestError on anything
+/// off-schema. Range/semantic validation (k bounds, family and detector
+/// existence) stays in the facade, which reports structured ErrorCodes.
+Query parse_detect(const JsonValue& doc) {
+  check_known_fields(doc, {"op", "id", "tenant", "graph", "k", "detector", "seed", "threads"},
+                     "request");
+  Query query;
+  query.request.tenant = opt_string(doc, "tenant", "");
+  query.request.k = opt_u32(doc, "k", 2);
+  query.request.detector = opt_string(doc, "detector", "even-cycle");
+  query.request.seed = opt_uint(doc, "seed", 0);
+  query.request.threads = opt_u32(doc, "threads", 0);
+
+  const JsonValue* graph = doc.get("graph");
+  if (graph == nullptr || graph->kind() != JsonValue::Kind::kObject)
+    throw RequestError{"bad-request", "detect needs a graph object"};
+  check_known_fields(*graph, {"family", "nodes", "k", "seed"}, "graph");
+  if (graph->get("family") == nullptr || graph->get("nodes") == nullptr)
+    throw RequestError{"bad-request", "graph needs family and nodes"};
+  query.graph.family = opt_string(*graph, "family", "");
+  query.graph.nodes = opt_uint(*graph, "nodes", 0);
+  // The generator k shapes the family (planted cycle length, girth); it
+  // defaults to the detection k so one knob drives both.
+  query.graph.k = opt_u32(*graph, "k", query.request.k);
+  query.graph.seed = opt_uint(*graph, "seed", 0);
+  return query;
+}
+
+std::string detect_response(DetectionService& service, const std::string& id,
+                            const Query& query) {
+  const QueryOutcome outcome = service.execute(query);
+  if (!outcome.result.ok())
+    return error_response(id, api::error_code_name(outcome.result.code),
+                          outcome.result.error);
+  Members members = response_head(id, true);
+  // The deterministic payload, and nothing else: identical queries must
+  // produce a byte-identical `result` whatever the concurrency did.
+  members.emplace_back("result", api::result_to_json(outcome.result, /*with_timing=*/false));
+  Members graph;
+  graph.emplace_back("name", JsonValue::string(outcome.graph_name));
+  graph.emplace_back("hash", JsonValue::uint(outcome.graph_hash));
+  graph.emplace_back("cache", JsonValue::string(outcome.cache_hit ? "hit" : "miss"));
+  members.emplace_back("graph", JsonValue::object(std::move(graph)));
+  Members timing;
+  timing.emplace_back("seconds", JsonValue::number(outcome.seconds));
+  members.emplace_back("timing", JsonValue::object(std::move(timing)));
+  return serialize(JsonValue::object(std::move(members)));
+}
+
+std::string list_response(const std::string& id) {
+  Members members = response_head(id, true);
+  std::vector<JsonValue> detectors;
+  for (const auto& name : api::detector_names()) detectors.push_back(JsonValue::string(name));
+  members.emplace_back("detectors", JsonValue::array(std::move(detectors)));
+  std::vector<JsonValue> families;
+  for (const auto& name : api::family_names(2)) families.push_back(JsonValue::string(name));
+  members.emplace_back("families", JsonValue::array(std::move(families)));
+  // Same {name, description} shape as `evencycle list --json`.
+  std::vector<JsonValue> scenarios;
+  for (const auto& scenario : harness::builtin_registry().scenarios()) {
+    Members entry;
+    entry.emplace_back("name", JsonValue::string(scenario.name));
+    entry.emplace_back("description", JsonValue::string(scenario.description));
+    scenarios.push_back(JsonValue::object(std::move(entry)));
+  }
+  members.emplace_back("scenarios", JsonValue::array(std::move(scenarios)));
+  return serialize(JsonValue::object(std::move(members)));
+}
+
+std::string stats_response(DetectionService& service, const std::string& id) {
+  const ServiceStats stats = service.stats();
+  Members body;
+  body.emplace_back("lanes", JsonValue::uint(stats.lanes));
+  body.emplace_back("queries", JsonValue::uint(stats.queries));
+  body.emplace_back("errors", JsonValue::uint(stats.errors));
+  body.emplace_back("p50_ms", JsonValue::number(stats.p50_seconds * 1e3));
+  body.emplace_back("p90_ms", JsonValue::number(stats.p90_seconds * 1e3));
+  body.emplace_back("p99_ms", JsonValue::number(stats.p99_seconds * 1e3));
+  body.emplace_back("qps", JsonValue::number(stats.qps));
+  Members cache;
+  cache.emplace_back("hits", JsonValue::uint(stats.cache.hits));
+  cache.emplace_back("misses", JsonValue::uint(stats.cache.misses));
+  cache.emplace_back("shared", JsonValue::uint(stats.cache.shared));
+  cache.emplace_back("evictions", JsonValue::uint(stats.cache.evictions));
+  cache.emplace_back("entries", JsonValue::uint(stats.cache.entries));
+  body.emplace_back("cache", JsonValue::object(std::move(cache)));
+  Members members = response_head(id, true);
+  members.emplace_back("stats", JsonValue::object(std::move(body)));
+  return serialize(JsonValue::object(std::move(members)));
+}
+
+}  // namespace
+
+std::string handle_line(DetectionService& service, const std::string& line) {
+  JsonValue doc;
+  try {
+    doc = harness::parse_json_strict(line);
+  } catch (const std::exception& e) {
+    return error_response("", "bad-json", e.what());
+  }
+  if (doc.kind() != JsonValue::Kind::kObject)
+    return error_response("", "bad-request", "request must be a JSON object");
+
+  std::string id;
+  try {
+    id = opt_string(doc, "id", "");
+    const std::string op = opt_string(doc, "op", "");
+    if (op == "detect") return detect_response(service, id, parse_detect(doc));
+    if (op == "ping") {
+      check_known_fields(doc, {"op", "id"}, "request");
+      Members members = response_head(id, true);
+      members.emplace_back("pong", JsonValue::boolean(true));
+      return serialize(JsonValue::object(std::move(members)));
+    }
+    if (op == "list") {
+      check_known_fields(doc, {"op", "id"}, "request");
+      return list_response(id);
+    }
+    if (op == "stats") {
+      check_known_fields(doc, {"op", "id"}, "request");
+      return stats_response(service, id);
+    }
+    if (op.empty()) return error_response(id, "bad-request", "request needs an op");
+    return error_response(id, "unsupported-op", "unsupported op: " + op);
+  } catch (const RequestError& error) {
+    return error_response(id, error.code, error.message);
+  } catch (const std::exception& e) {
+    // Belt and braces: nothing below should throw (the facade reports
+    // ErrorCodes), but the transport must never see an exception.
+    return error_response(id, "execution-failed", e.what());
+  }
+}
+
+api::ErrorCode parse_detect_request(const std::string& line, Query* out, std::string* id,
+                                    std::string* message) {
+  try {
+    const JsonValue doc = harness::parse_json_strict(line);
+    if (doc.kind() != JsonValue::Kind::kObject)
+      throw RequestError{"bad-request", "request must be a JSON object"};
+    if (id != nullptr) *id = opt_string(doc, "id", "");
+    if (opt_string(doc, "op", "") != "detect")
+      throw RequestError{"bad-request", "expected op \"detect\""};
+    *out = parse_detect(doc);
+    return api::ErrorCode::kOk;
+  } catch (const RequestError& error) {
+    if (message != nullptr) *message = error.message;
+    return api::ErrorCode::kBadRequest;
+  } catch (const std::exception& e) {
+    if (message != nullptr) *message = e.what();
+    return api::ErrorCode::kBadRequest;
+  }
+}
+
+}  // namespace evencycle::service

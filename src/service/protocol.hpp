@@ -1,0 +1,54 @@
+// The newline-delimited-JSON wire protocol of `evencycle serve`, schema
+// `evencycle-service-v1`.
+//
+// One request per line, one response line per request, strict parsing
+// (parse_json_strict + unknown-field rejection): a malformed or
+// adversarial line becomes a structured error response, never a crash.
+//
+//   {"op":"ping","id":"p0"}
+//   {"op":"detect","id":"q1","tenant":"alice",
+//    "graph":{"family":"planted-light","nodes":96,"k":2,"seed":7},
+//    "k":2,"detector":"even-cycle","seed":42,"threads":2}
+//   {"op":"list","id":"d0"}
+//   {"op":"stats","id":"s0"}
+//
+// Responses always carry `schema`, the echoed `id`, and `ok`. A detect
+// success nests the deterministic payload under `result` (byte-identical
+// for identical queries — api::result_to_json without timing) and keeps
+// the execution metadata (`graph.cache`, `timing`) outside it:
+//
+//   {"schema":"evencycle-service-v1","id":"q1","ok":true,
+//    "result":{"code":"ok","detected":true,...},
+//    "graph":{"name":"planted-light/96/2/7","hash":...,"cache":"hit"},
+//    "timing":{"seconds":0.004}}
+//   {"schema":"evencycle-service-v1","id":"q9","ok":false,
+//    "error":{"code":"unknown-detector","message":"..."}}
+//
+// Error codes: "bad-json" (the line failed strict parsing), "bad-request"
+// (wrong shape, wrong types, unknown fields, out-of-range values),
+// "unsupported-op", and api::error_code_name's "unknown-family" /
+// "unknown-detector" / "execution-failed".
+//
+// handle_line is the single entry point shared by the socket server, the
+// soak scenario, and the tests — whatever transport carried the line.
+#pragma once
+
+#include <string>
+
+#include "service/detection_service.hpp"
+
+namespace evencycle::service {
+
+inline constexpr const char* kServiceSchema = "evencycle-service-v1";
+
+/// Parses one request line, runs it against `service`, and returns the
+/// response line (no trailing newline). Never throws.
+std::string handle_line(DetectionService& service, const std::string& line);
+
+/// Parses a detect-request line into a Query without running it. Returns
+/// kOk and fills *out, or an error code with *message set; *id is filled
+/// with the request id whenever one was readable (for error responses).
+api::ErrorCode parse_detect_request(const std::string& line, Query* out, std::string* id,
+                                    std::string* message);
+
+}  // namespace evencycle::service

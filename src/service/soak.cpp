@@ -1,0 +1,280 @@
+// service-soak: drive the detection service exactly the way a fleet of
+// clients would — request lines through the wire protocol — and measure
+// what the service promises.
+//
+// Cell layout: one cell per client width (1, 2, 8 concurrent client
+// threads); every cell replays the SAME deterministic query mix — four
+// graph families x three detectors x four graph seeds x varied per-query
+// thread budgets and tenants — and every distinct query is submitted twice
+// at far-apart positions. That makes three checks cheap:
+//
+//   payload-mismatches   the two submissions of a query must return
+//                        byte-identical `result` payloads (within a cell,
+//                        under whatever interleaving the width produced);
+//   payload-digest       an order-independent digest over all payloads;
+//                        finalize cross-checks it across cells, so a
+//                        payload that varies with client width flips the
+//                        `deterministic` summary flag (and the exit code);
+//   protocol-errors      every response must parse and carry ok:true —
+//                        the CI smoke gates this at zero.
+//
+// Latency percentiles (p50/p90/p99), qps, and the cache hit rate ride in
+// wall-time-gated extras, so `--json --no-timing` output stays a pure
+// function of the scenario and its options.
+#include "service/soak.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harness/json.hpp"
+#include "service/detection_service.hpp"
+#include "service/protocol.hpp"
+#include "support/stats.hpp"
+
+namespace evencycle::service {
+
+namespace {
+
+using harness::JsonValue;
+using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+constexpr const char* kFamilies[] = {"planted-light", "erdos-renyi", "large-girth", "torus"};
+constexpr const char* kDetectors[] = {"even-cycle", "baseline-local-threshold",
+                                      "engine-color-bfs"};
+constexpr const char* kTenants[] = {"alice", "bob", "carol"};
+constexpr std::uint32_t kGraphSeeds = 4;  ///< x4 families = 16 graphs, one cache fill
+
+/// The i-th distinct query of the mix as a request line. Pure function of
+/// (i, nodes) — every cell replays the identical mix.
+std::string request_line(std::uint64_t i, std::uint64_t nodes) {
+  Members graph;
+  graph.emplace_back("family", JsonValue::string(kFamilies[i % 4]));
+  graph.emplace_back("nodes", JsonValue::uint(nodes));
+  graph.emplace_back("k", JsonValue::uint(2));
+  graph.emplace_back("seed", JsonValue::uint((i / 4) % kGraphSeeds));
+  Members doc;
+  doc.emplace_back("op", JsonValue::string("detect"));
+  doc.emplace_back("id", JsonValue::string("q" + std::to_string(i)));
+  doc.emplace_back("tenant", JsonValue::string(kTenants[i % 3]));
+  doc.emplace_back("graph", JsonValue::object(std::move(graph)));
+  doc.emplace_back("k", JsonValue::uint(2));
+  doc.emplace_back("detector", JsonValue::string(kDetectors[i % 3]));
+  doc.emplace_back("seed", JsonValue::uint(0x50AC + i));
+  // Per-query engine thread budgets must not change any payload.
+  doc.emplace_back("threads", JsonValue::uint(i % 3));
+  std::ostringstream os;
+  harness::write_json_value(os, JsonValue::object(std::move(doc)));
+  return os.str();
+}
+
+/// The deterministic payload of a response line: the serialized `result`
+/// member of an ok response, "" when the response was a protocol error.
+std::string payload_of(const std::string& response) {
+  try {
+    const JsonValue doc = harness::parse_json(response);
+    const JsonValue* ok = doc.get("ok");
+    const JsonValue* result = doc.get("result");
+    if (ok == nullptr || !ok->as_bool() || result == nullptr) return "";
+    std::ostringstream os;
+    harness::write_json_value(os, *result);
+    return os.str();
+  } catch (const std::exception&) {
+    return "";
+  }
+}
+
+/// FNV-1a over a string, folded to 32 bits so the digest is exact in a
+/// double-valued extra.
+std::uint64_t fnv32(const std::string& text, std::uint64_t hash) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+struct SoakCellOutcome {
+  std::uint64_t queries = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t payload_mismatches = 0;
+  std::uint64_t digest = 0;
+  std::vector<double> latencies;
+  double cache_hit_rate = 0.0;
+};
+
+SoakCellOutcome run_soak_cell(std::uint32_t clients, std::uint64_t distinct_queries,
+                              std::uint64_t nodes) {
+  // Submission order: the mix once forward, then once in reverse — the two
+  // copies of a query land far apart and interleave differently at every
+  // client width.
+  std::vector<std::string> submissions;
+  submissions.reserve(2 * distinct_queries);
+  for (std::uint64_t i = 0; i < distinct_queries; ++i) submissions.push_back(request_line(i, nodes));
+  for (std::uint64_t i = distinct_queries; i > 0; --i)
+    submissions.push_back(request_line(i - 1, nodes));
+
+  ServiceConfig config;
+  config.lanes = clients;
+  DetectionService service(config);
+
+  std::vector<std::string> responses(submissions.size());
+  std::vector<double> latencies(submissions.size(), 0.0);
+  std::atomic<std::uint64_t> next{0};
+  const auto client_loop = [&] {
+    for (;;) {
+      const std::uint64_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= submissions.size()) return;
+      const auto start = std::chrono::steady_clock::now();
+      responses[index] = handle_line(service, submissions[index]);
+      latencies[index] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::uint32_t c = 1; c < clients; ++c) workers.emplace_back(client_loop);
+  client_loop();
+  for (auto& worker : workers) worker.join();
+
+  SoakCellOutcome outcome;
+  outcome.queries = submissions.size();
+  outcome.latencies = std::move(latencies);
+
+  // Exercise the control ops through the same path; a failure is a
+  // protocol error like any other.
+  for (const char* op : {"ping", "list", "stats"}) {
+    const std::string response =
+        handle_line(service, std::string("{\"op\":\"") + op + "\"}");
+    if (payload_of(response).empty()) {
+      // Control responses carry no `result`; check ok directly instead.
+      try {
+        const JsonValue doc = harness::parse_json(response);
+        const JsonValue* ok = doc.get("ok");
+        if (ok == nullptr || !ok->as_bool()) ++outcome.protocol_errors;
+      } catch (const std::exception&) {
+        ++outcome.protocol_errors;
+      }
+    }
+  }
+
+  // Byte-identity within the cell: submission i and its mirror must agree.
+  std::vector<std::string> payloads(submissions.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    payloads[i] = payload_of(responses[i]);
+    if (payloads[i].empty()) ++outcome.protocol_errors;
+  }
+  const std::size_t n = static_cast<std::size_t>(distinct_queries);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t mirror = 2 * n - 1 - i;
+    if (payloads[i] != payloads[mirror]) ++outcome.payload_mismatches;
+  }
+  // Digest in query order (not submission-completion order), so equal
+  // payload sets across cells give equal digests.
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) digest = fnv32(payloads[i], digest);
+  outcome.digest = digest & 0xFFFFFFFFULL;
+
+  const GraphCache::Stats cache = service.stats().cache;
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  // evencycle-lint: allow(float-accumulation) wall-clock-adjacent diagnostic
+  outcome.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(cache.hits) / static_cast<double>(lookups) : 0.0;
+  return outcome;
+}
+
+}  // namespace
+
+harness::Scenario service_soak_scenario() {
+  harness::Scenario scenario;
+  scenario.name = "service-soak";
+  scenario.description =
+      "thousands of mixed protocol queries against the detection service at "
+      "several client widths; gates byte-identity, protocol errors, and "
+      "latency percentiles";
+  scenario.plan = [](const harness::RunOptions& options) {
+    harness::ScenarioPlan plan;
+    // --seeds scales the mix depth (seeds x 100 distinct queries per cell,
+    // each submitted twice); the default covers >= 1000 total submissions.
+    const std::uint64_t distinct =
+        options.seeds != 0 ? static_cast<std::uint64_t>(options.seeds) * 100 : 200;
+    const std::uint64_t nodes = options.nodes != 0 ? options.nodes : 96;
+    const bool with_timing = options.with_timing;
+    plan.params = {{"distinct-queries", std::to_string(distinct)},
+                   {"nodes", std::to_string(nodes)},
+                   {"families", "4"},
+                   {"detectors", "3"}};
+    for (const std::uint32_t clients : {1u, 2u, 8u}) {
+      harness::Cell cell;
+      cell.labels = {{"clients", std::to_string(clients)}};
+      cell.run = [clients, distinct, nodes, with_timing](Rng&) {
+        harness::CellResult result;
+        const SoakCellOutcome outcome = run_soak_cell(clients, distinct, nodes);
+        result.extra.emplace_back("queries", static_cast<double>(outcome.queries));
+        result.extra.emplace_back("protocol-errors",
+                                  static_cast<double>(outcome.protocol_errors));
+        result.extra.emplace_back("payload-mismatches",
+                                  static_cast<double>(outcome.payload_mismatches));
+        result.extra.emplace_back("payload-digest", static_cast<double>(outcome.digest));
+        if (with_timing) {
+          result.extra.emplace_back("p50-ms", quantile(outcome.latencies, 0.5) * 1e3);
+          result.extra.emplace_back("p90-ms", quantile(outcome.latencies, 0.9) * 1e3);
+          result.extra.emplace_back("p99-ms", quantile(outcome.latencies, 0.99) * 1e3);
+          result.extra.emplace_back("cache-hit-rate", outcome.cache_hit_rate);
+        }
+        return result;
+      };
+      plan.cells.push_back(std::move(cell));
+    }
+    plan.finalize = [with_timing](const std::vector<harness::CellRecord>& cells) {
+      harness::Series summary;
+      double queries = 0, protocol_errors = 0, mismatches = 0;
+      double digest = -1.0;
+      bool digests_agree = true;
+      double worst_p99 = 0.0, best_qps = 0.0, p50_widest = 0.0;
+      for (const auto& cell : cells) {
+        double cell_seconds = cell.result.seconds;
+        double cell_queries = 0;
+        for (const auto& [key, value] : cell.result.extra) {
+          if (key == "queries") {
+            queries += value;
+            cell_queries = value;
+          } else if (key == "protocol-errors") {
+            protocol_errors += value;
+          } else if (key == "payload-mismatches") {
+            mismatches += value;
+          } else if (key == "payload-digest") {
+            if (digest < 0.0) digest = value;
+            digests_agree = digests_agree && value == digest;
+          } else if (key == "p99-ms") {
+            worst_p99 = std::max(worst_p99, value);
+          } else if (key == "p50-ms") {
+            p50_widest = value;  // last cell = widest client count
+          }
+        }
+        if (with_timing && cell_seconds > 0.0)
+          best_qps = std::max(best_qps, cell_queries / cell_seconds);
+      }
+      summary.emplace_back("queries", queries);
+      summary.emplace_back("protocol-errors", protocol_errors);
+      summary.emplace_back("payload-mismatches", mismatches);
+      summary.emplace_back("deterministic",
+                           digests_agree && mismatches == 0 ? 1.0 : 0.0);
+      if (with_timing) {
+        summary.emplace_back("p50-ms", p50_widest);
+        summary.emplace_back("p99-ms", worst_p99);
+        summary.emplace_back("qps", best_qps);
+      }
+      return summary;
+    };
+    return plan;
+  };
+  return scenario;
+}
+
+}  // namespace evencycle::service

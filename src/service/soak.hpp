@@ -1,0 +1,13 @@
+// The `service-soak` scenario: thousands of mixed queries through the full
+// protocol path (handle_line -> DetectionService -> facade), at several
+// client widths, with latency percentiles and byte-identity cross-checks.
+// See soak.cpp for the cell layout.
+#pragma once
+
+#include "harness/scenario.hpp"
+
+namespace evencycle::service {
+
+harness::Scenario service_soak_scenario();
+
+}  // namespace evencycle::service

@@ -1,0 +1,185 @@
+#include "service/socket_server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace evencycle::service {
+
+namespace {
+
+/// Sends the whole buffer; MSG_NOSIGNAL so a vanished client surfaces as
+/// EPIPE instead of killing the process with SIGPIPE.
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One connection: request line in, response line out, until EOF.
+void serve_connection(DetectionService& service, int fd) {
+  std::string pending;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    pending.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (!send_all(fd, handle_line(service, line) + "\n")) {
+        ::close(fd);
+        return;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+bool fill_address(const std::string& path, sockaddr_un* address, std::string* error) {
+  if (path.empty() || path.size() >= sizeof(address->sun_path)) {
+    *error = "socket path must be 1.." + std::to_string(sizeof(address->sun_path) - 1) +
+             " bytes: " + path;
+    return false;
+  }
+  std::memset(address, 0, sizeof(*address));
+  address->sun_family = AF_UNIX;
+  std::memcpy(address->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+int serve(DetectionService& service, const ServeOptions& options, std::ostream& log) {
+  sockaddr_un address{};
+  std::string error;
+  if (!fill_address(options.socket_path, &address, &error)) {
+    log << "serve: " << error << "\n";
+    return 1;
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    log << "serve: socket() failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  ::unlink(options.socket_path.c_str());  // stale socket from a dead server
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0 ||
+      ::listen(listener, 64) != 0) {
+    log << "serve: cannot bind/listen on " << options.socket_path << ": "
+        << std::strerror(errno) << "\n";
+    ::close(listener);
+    return 1;
+  }
+  log << "serving on " << options.socket_path << " (" << service.lanes() << " lanes)\n";
+
+  std::vector<std::thread> connections;
+  std::uint64_t accepted = 0;
+  while (options.max_connections == 0 || accepted < options.max_connections) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      log << "serve: accept failed: " << std::strerror(errno) << "\n";
+      break;
+    }
+    ++accepted;
+    connections.emplace_back([&service, fd] { serve_connection(service, fd); });
+  }
+  for (auto& connection : connections) connection.join();
+  ::close(listener);
+  ::unlink(options.socket_path.c_str());
+  log << "served " << accepted << " connection(s)\n";
+  return 0;
+}
+
+UnixClient::~UnixClient() { close(); }
+
+UnixClient::UnixClient(UnixClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+UnixClient& UnixClient::operator=(UnixClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void UnixClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool UnixClient::connect(const std::string& path, std::string* error) {
+  close();
+  sockaddr_un address{};
+  std::string reason;
+  if (!fill_address(path, &address, &reason)) {
+    if (error != nullptr) *error = reason;
+    return false;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket() failed: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    if (error != nullptr)
+      *error = "cannot connect to " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool UnixClient::request(const std::string& line, std::string* response, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  if (!send_all(fd_, line + "\n")) {
+    if (error != nullptr) *error = std::string("send failed: ") + std::strerror(errno);
+    return false;
+  }
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (error != nullptr) *error = "connection closed before a response line";
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace evencycle::service

@@ -1,0 +1,59 @@
+// Unix-domain-socket transport for the detection service.
+//
+// `serve` binds a SOCK_STREAM unix socket, accepts connections, and runs
+// each on its own thread: read newline-delimited request lines, answer
+// each with one protocol.hpp response line. The service object does the
+// multiplexing — connection threads only shuttle bytes, so a slow client
+// never holds a query lane.
+//
+// `UnixClient` is the matching blocking client (`evencycle query`, the
+// round-trip smoke test).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "service/detection_service.hpp"
+
+namespace evencycle::service {
+
+struct ServeOptions {
+  std::string socket_path;  ///< filesystem path to bind (must fit sockaddr_un)
+  /// Stop after serving this many connections (0 = run until the process
+  /// dies). The ctest round-trip smoke sets 1 so `serve` exits by itself.
+  std::uint64_t max_connections = 0;
+};
+
+/// Runs the accept loop (blocking). Returns 0 on a clean exit (the
+/// max_connections budget was spent), 1 on socket setup errors, logging
+/// the reason to `log`. Removes a stale socket file at the path before
+/// binding and unlinks it again on exit.
+int serve(DetectionService& service, const ServeOptions& options, std::ostream& log);
+
+/// Blocking newline-delimited-JSON client over a unix socket.
+class UnixClient {
+ public:
+  UnixClient() = default;
+  ~UnixClient();
+  UnixClient(UnixClient&& other) noexcept;
+  UnixClient& operator=(UnixClient&& other) noexcept;
+  UnixClient(const UnixClient&) = delete;
+  UnixClient& operator=(const UnixClient&) = delete;
+
+  /// Connects to a serving socket; false (with *error filled) on failure.
+  bool connect(const std::string& path, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line and reads one response line (the newline is
+  /// added / stripped here). False on transport errors.
+  bool request(const std::string& line, std::string* response, std::string* error);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace evencycle::service

@@ -1,0 +1,102 @@
+// FairQueue: round-robin tenant admission, FIFO within a tenant, clean
+// close semantics under concurrent producers/consumers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "congest/worker_pool.hpp"
+
+namespace {
+
+using evencycle::congest::FairQueue;
+
+TEST(FairQueue, FifoWithinOneTenant) {
+  FairQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(queue.push("solo", [&order, i] { order.push_back(i); }));
+  FairQueue::Job job;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.pop(&job));
+    job();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(FairQueue, BackloggedTenantCannotStarveAnother) {
+  FairQueue queue;
+  std::vector<std::string> served;
+  for (int i = 0; i < 100; ++i) queue.push("whale", [&served] { served.push_back("whale"); });
+  queue.push("minnow", [&served] { served.push_back("minnow"); });
+  queue.push("minnow", [&served] { served.push_back("minnow"); });
+
+  // Round-robin admission: the minnow's two jobs are served within the
+  // first few pops, not after the whale's hundred.
+  FairQueue::Job job;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.pop(&job));
+    job();
+  }
+  EXPECT_EQ(std::count(served.begin(), served.end(), "minnow"), 2);
+}
+
+TEST(FairQueue, RoundRobinRotatesThroughAllTenants) {
+  FairQueue queue;
+  std::vector<std::string> served;
+  for (const char* tenant : {"a", "b", "c"})
+    for (int i = 0; i < 2; ++i)
+      queue.push(tenant, [&served, tenant] { served.push_back(tenant); });
+  FairQueue::Job job;
+  while (queue.size() > 0) {
+    ASSERT_TRUE(queue.pop(&job));
+    job();
+  }
+  EXPECT_EQ(served, (std::vector<std::string>{"a", "b", "c", "a", "b", "c"}));
+}
+
+TEST(FairQueue, CloseDrainsThenReleasesPoppers) {
+  FairQueue queue;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) queue.push("t", [&ran] { ran.fetch_add(1); });
+  queue.close();
+  EXPECT_FALSE(queue.push("t", [] {}));  // post-close pushes are dropped
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&queue] {
+      FairQueue::Job job;
+      while (queue.pop(&job)) job();
+    });
+  }
+  for (auto& consumer : consumers) consumer.join();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(FairQueue, ConcurrentProducersAllJobsServedExactlyOnce) {
+  FairQueue queue;
+  constexpr int kProducers = 4;
+  constexpr int kJobsEach = 50;
+  std::atomic<int> ran{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &ran, p] {
+      for (int i = 0; i < kJobsEach; ++i)
+        queue.push("tenant-" + std::to_string(p), [&ran] { ran.fetch_add(1); });
+    });
+  }
+  std::thread consumer([&queue] {
+    FairQueue::Job job;
+    while (queue.pop(&job)) job();
+  });
+  for (auto& producer : producers) producer.join();
+  queue.close();
+  consumer.join();
+  EXPECT_EQ(ran.load(), kProducers * kJobsEach);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// The facade: structured errors, determinism of the payload, discovery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "evencycle/api.hpp"
+#include "graph/generators.hpp"
+#include "harness/json.hpp"
+
+namespace {
+
+using namespace evencycle;
+
+api::GraphSpec small_spec() {
+  api::GraphSpec spec;
+  spec.family = "planted-light";
+  spec.nodes = 64;
+  spec.k = 2;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(Api, GenerateAndAdoptProduceValidHandles) {
+  const api::GraphHandle generated = api::GraphHandle::generate(small_spec());
+  ASSERT_TRUE(generated.valid());
+  EXPECT_EQ(generated.name(), "planted-light/64/2/7");
+  EXPECT_NE(generated.content_hash(), 0u);
+
+  Rng rng(1);
+  const api::GraphHandle adopted =
+      api::GraphHandle::adopt(graph::random_tree(32, rng), "tree");
+  ASSERT_TRUE(adopted.valid());
+  EXPECT_EQ(adopted.name(), "tree");
+  EXPECT_EQ(adopted.content_hash(), api::graph_content_hash(adopted.graph()));
+}
+
+TEST(Api, TryGenerateReportsStructuredErrors) {
+  api::GraphHandle handle;
+  std::string error;
+
+  api::GraphSpec unknown = small_spec();
+  unknown.family = "no-such-family";
+  EXPECT_EQ(api::GraphHandle::try_generate(unknown, &handle, &error),
+            api::ErrorCode::kUnknownFamily);
+  EXPECT_NE(error.find("no-such-family"), std::string::npos);
+
+  api::GraphSpec bad = small_spec();
+  bad.nodes = 0;
+  EXPECT_EQ(api::GraphHandle::try_generate(bad, &handle, &error), api::ErrorCode::kBadRequest);
+
+  bad = small_spec();
+  bad.k = 0;
+  EXPECT_EQ(api::GraphHandle::try_generate(bad, &handle, &error), api::ErrorCode::kBadRequest);
+}
+
+TEST(Api, DetectReportsStructuredErrorsInsteadOfThrowing) {
+  const api::GraphHandle handle = api::GraphHandle::generate(small_spec());
+
+  api::DetectionRequest request;
+  request.detector = "no-such-detector";
+  EXPECT_EQ(api::detect(handle, request).code, api::ErrorCode::kUnknownDetector);
+
+  request = api::DetectionRequest{};
+  request.k = 0;
+  EXPECT_EQ(api::detect(handle, request).code, api::ErrorCode::kBadRequest);
+
+  EXPECT_EQ(api::detect(api::GraphHandle{}, api::DetectionRequest{}).code,
+            api::ErrorCode::kBadRequest);
+}
+
+TEST(Api, IdenticalRequestsGiveIdenticalPayloads) {
+  const api::GraphHandle handle = api::GraphHandle::generate(small_spec());
+  api::DetectionRequest request;
+  request.detector = "even-cycle";
+  request.seed = 11;
+  const auto payload = [&](const api::DetectionResult& result) {
+    std::ostringstream os;
+    harness::write_json_value(os, api::result_to_json(result, /*with_timing=*/false));
+    return os.str();
+  };
+  const std::string first = payload(api::detect(handle, request));
+  const std::string second = payload(api::detect(handle, request));
+  EXPECT_EQ(first, second);
+}
+
+TEST(Api, EngineDetectorPayloadIndependentOfThreadBudget) {
+  const api::GraphHandle handle = api::GraphHandle::generate(small_spec());
+  api::DetectionRequest request;
+  request.detector = "engine-color-bfs";
+  request.seed = 3;
+  const auto payload = [&](std::uint32_t threads) {
+    request.threads = threads;
+    api::DetectionResult result = api::detect(handle, request);
+    EXPECT_TRUE(result.ok()) << result.error;
+    // resolved_threads is execution metadata that legitimately tracks the
+    // budget; everything else must match bit for bit.
+    std::erase_if(result.extra,
+                  [](const auto& kv) { return kv.first == "resolved_threads"; });
+    std::ostringstream os;
+    harness::write_json_value(os, api::result_to_json(result, /*with_timing=*/false));
+    return os.str();
+  };
+  const std::string t1 = payload(1);
+  EXPECT_EQ(t1, payload(2));
+  EXPECT_EQ(t1, payload(4));
+}
+
+TEST(Api, DiscoveryListsPaletteAndEngineDetector) {
+  const auto detectors = api::detector_names();
+  EXPECT_NE(std::find(detectors.begin(), detectors.end(), "even-cycle"), detectors.end());
+  EXPECT_NE(std::find(detectors.begin(), detectors.end(), "engine-color-bfs"),
+            detectors.end());
+  const auto families = api::family_names(2);
+  EXPECT_NE(std::find(families.begin(), families.end(), "planted-light"), families.end());
+  EXPECT_NE(std::find(families.begin(), families.end(), "erdos-renyi"), families.end());
+}
+
+TEST(Api, ContentHashSeesEdgesNotInsertionOrder) {
+  Rng rng(5);
+  const graph::Graph a = graph::random_tree(40, rng);
+  Rng rng2(6);
+  const graph::Graph b = graph::random_tree(40, rng2);
+  EXPECT_EQ(api::graph_content_hash(a), api::graph_content_hash(a));
+  EXPECT_NE(api::graph_content_hash(a), api::graph_content_hash(b));
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// GraphCache: hit/miss accounting, LRU eviction, and collision safety of
+// the content-hash dedup level.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/graph_cache.hpp"
+
+namespace {
+
+using namespace evencycle;
+using service::GraphCache;
+
+api::GraphSpec spec_for(std::uint64_t seed, const std::string& family = "planted-light",
+                        std::uint64_t nodes = 48) {
+  api::GraphSpec spec;
+  spec.family = family;
+  spec.nodes = nodes;
+  spec.k = 2;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(GraphCache, RepeatLookupHitsWithoutRegenerating) {
+  GraphCache cache(4);
+  api::GraphHandle first, second;
+  std::string error;
+  bool hit = true;
+  ASSERT_EQ(cache.get(spec_for(1), &first, &error, &hit), api::ErrorCode::kOk);
+  EXPECT_FALSE(hit);
+  ASSERT_EQ(cache.get(spec_for(1), &second, &error, &hit), api::ErrorCode::kOk);
+  EXPECT_TRUE(hit);
+  // Same stored graph, not an equal copy.
+  EXPECT_EQ(first.share().get(), second.share().get());
+
+  const GraphCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(GraphCache, ErrorsAreReportedAndNotCached) {
+  GraphCache cache(4);
+  api::GraphHandle handle;
+  std::string error;
+  bool hit = false;
+  EXPECT_EQ(cache.get(spec_for(1, "no-such-family"), &handle, &error, &hit),
+            api::ErrorCode::kUnknownFamily);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(GraphCache, LruEvictionDropsTheColdestEntry) {
+  GraphCache cache(2);
+  api::GraphHandle handle;
+  std::string error;
+  bool hit = false;
+  ASSERT_EQ(cache.get(spec_for(1), &handle, &error, &hit), api::ErrorCode::kOk);
+  ASSERT_EQ(cache.get(spec_for(2), &handle, &error, &hit), api::ErrorCode::kOk);
+  // Touch seed 1 so seed 2 is the LRU victim when seed 3 arrives.
+  ASSERT_EQ(cache.get(spec_for(1), &handle, &error, &hit), api::ErrorCode::kOk);
+  EXPECT_TRUE(hit);
+  ASSERT_EQ(cache.get(spec_for(3), &handle, &error, &hit), api::ErrorCode::kOk);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // Seed 1 survived; seed 2 was evicted and must regenerate.
+  ASSERT_EQ(cache.get(spec_for(1), &handle, &error, &hit), api::ErrorCode::kOk);
+  EXPECT_TRUE(hit);
+  ASSERT_EQ(cache.get(spec_for(2), &handle, &error, &hit), api::ErrorCode::kOk);
+  EXPECT_FALSE(hit);
+}
+
+TEST(GraphCache, ForcedHashCollisionNeverReturnsTheWrongGraph) {
+  // A constant hash function sends every graph to the same content bucket:
+  // the dedup level must fall back to full equality and keep distinct
+  // graphs distinct.
+  GraphCache cache(8, [](const graph::Graph&) { return std::uint64_t{42}; });
+  api::GraphHandle a, b;
+  std::string error;
+  bool hit = false;
+  ASSERT_EQ(cache.get(spec_for(1), &a, &error, &hit), api::ErrorCode::kOk);
+  ASSERT_EQ(cache.get(spec_for(2), &b, &error, &hit), api::ErrorCode::kOk);
+  // Different seeds give different graphs; under the colliding hash they
+  // must still come back as their own edge sets.
+  EXPECT_NE(api::graph_content_hash(a.graph()), api::graph_content_hash(b.graph()));
+  EXPECT_NE(a.share().get(), b.share().get());
+  EXPECT_EQ(cache.stats().shared, 0u);
+
+  // And a repeat of each spec returns its own graph, not the bucket peer.
+  api::GraphHandle a2, b2;
+  ASSERT_EQ(cache.get(spec_for(1), &a2, &error, &hit), api::ErrorCode::kOk);
+  ASSERT_EQ(cache.get(spec_for(2), &b2, &error, &hit), api::ErrorCode::kOk);
+  EXPECT_EQ(a2.share().get(), a.share().get());
+  EXPECT_EQ(b2.share().get(), b.share().get());
+}
+
+TEST(GraphCache, EqualContentUnderCollidingHashSharesStorage) {
+  // Two specs that build the SAME graph (torus ignores the generator seed)
+  // should share one stored graph through the dedup level.
+  GraphCache cache(8, [](const graph::Graph&) { return std::uint64_t{42}; });
+  api::GraphHandle a, b;
+  std::string error;
+  bool hit = false;
+  ASSERT_EQ(cache.get(spec_for(1, "torus", 64), &a, &error, &hit), api::ErrorCode::kOk);
+  ASSERT_EQ(cache.get(spec_for(2, "torus", 64), &b, &error, &hit), api::ErrorCode::kOk);
+  EXPECT_FALSE(hit);  // distinct spec keys: a spec-level miss...
+  EXPECT_EQ(a.share().get(), b.share().get());  // ...but shared storage
+  EXPECT_EQ(cache.stats().shared, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Wire protocol: strict parsing with structured errors (never a crash),
+// detect round-trips, discovery and control ops.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/json.hpp"
+#include "service/protocol.hpp"
+
+namespace {
+
+using namespace evencycle;
+using harness::JsonValue;
+using service::DetectionService;
+using service::handle_line;
+
+JsonValue respond(DetectionService& service, const std::string& line) {
+  return harness::parse_json(handle_line(service, line));
+}
+
+std::string error_code_of(const JsonValue& response) {
+  const JsonValue* error = response.get("error");
+  return error != nullptr ? error->get("code")->as_string() : "";
+}
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  service::ServiceConfig config_{.lanes = 2, .cache_capacity = 4, .graph_hash = {}};
+  DetectionService service_{config_};
+};
+
+TEST_F(ProtocolTest, DetectRoundTrip) {
+  const JsonValue response = respond(
+      service_,
+      R"({"op":"detect","id":"q1","tenant":"alice","graph":{"family":"torus","nodes":64},"k":2,"detector":"even-cycle","seed":9})");
+  EXPECT_EQ(response.get("schema")->as_string(), service::kServiceSchema);
+  EXPECT_EQ(response.get("id")->as_string(), "q1");
+  ASSERT_TRUE(response.get("ok")->as_bool());
+  const JsonValue* result = response.get("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->get("code")->as_string(), "ok");
+  EXPECT_TRUE(result->get("detected")->as_bool());  // torus is full of C4s
+  const JsonValue* graph = response.get("graph");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(graph->get("name")->as_string(), "torus/64/2/0");
+  EXPECT_EQ(graph->get("cache")->as_string(), "miss");
+  ASSERT_NE(response.get("timing"), nullptr);
+
+  // Same line again: served from the cache, identical payload.
+  const JsonValue repeat = respond(
+      service_,
+      R"({"op":"detect","id":"q1","tenant":"alice","graph":{"family":"torus","nodes":64},"k":2,"detector":"even-cycle","seed":9})");
+  EXPECT_EQ(repeat.get("graph")->get("cache")->as_string(), "hit");
+  std::ostringstream a, b;
+  harness::write_json_value(a, *response.get("result"));
+  harness::write_json_value(b, *repeat.get("result"));
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST_F(ProtocolTest, MalformedLinesBecomeStructuredErrors) {
+  struct Case {
+    const char* line;
+    const char* code;
+  };
+  const Case cases[] = {
+      {"this is not json", "bad-json"},
+      {"{\"op\":\"detect\",", "bad-json"},
+      {R"({"op":"detect","op":"detect"})", "bad-json"},  // duplicate key (strict mode)
+      {"[1,2,3]", "bad-request"},                        // not an object
+      {R"({"id":"x"})", "bad-request"},                  // missing op
+      {R"({"op":"warp"})", "unsupported-op"},
+      {R"({"op":"detect"})", "bad-request"},             // no graph
+      {R"({"op":"detect","graph":{"family":"torus"}})", "bad-request"},  // no nodes
+      {R"({"op":"detect","graph":{"family":"torus","nodes":-5}})", "bad-request"},
+      {R"({"op":"detect","graph":{"family":"torus","nodes":64},"detectr":"x"})",
+       "bad-request"},  // unknown field (typo must not be ignored)
+      {R"({"op":"detect","graph":{"family":"torus","nodes":64,"girth":9}})",
+       "bad-request"},  // unknown graph field
+      {R"({"op":"detect","graph":{"family":"torus","nodes":64},"k":"two"})", "bad-request"},
+      {R"({"op":"detect","graph":{"family":"nope","nodes":64}})", "unknown-family"},
+      {R"({"op":"detect","graph":{"family":"torus","nodes":64},"detector":"nope"})",
+       "unknown-detector"},
+      {R"({"op":"detect","graph":{"family":"torus","nodes":64},"k":99})", "bad-request"},
+  };
+  for (const auto& test : cases) {
+    const JsonValue response = respond(service_, test.line);
+    EXPECT_FALSE(response.get("ok")->as_bool()) << test.line;
+    EXPECT_EQ(error_code_of(response), test.code) << test.line;
+  }
+}
+
+TEST_F(ProtocolTest, DeeplyNestedDocumentIsRejectedNotACrash) {
+  std::string line = R"({"op":"detect","graph":)";
+  for (int i = 0; i < 64; ++i) line += R"({"a":)";
+  line += "1";
+  for (int i = 0; i < 64; ++i) line += "}";
+  line += "}";
+  const JsonValue response = respond(service_, line);
+  EXPECT_FALSE(response.get("ok")->as_bool());
+  EXPECT_EQ(error_code_of(response), "bad-json");
+}
+
+TEST_F(ProtocolTest, PingListAndStats) {
+  EXPECT_TRUE(respond(service_, R"({"op":"ping","id":"p"})").get("pong")->as_bool());
+
+  const JsonValue list = respond(service_, R"({"op":"list"})");
+  ASSERT_TRUE(list.get("ok")->as_bool());
+  EXPECT_FALSE(list.get("detectors")->as_array().empty());
+  EXPECT_FALSE(list.get("families")->as_array().empty());
+  EXPECT_FALSE(list.get("scenarios")->as_array().empty());
+
+  respond(service_,
+          R"({"op":"detect","graph":{"family":"torus","nodes":49},"detector":"baseline-flooding"})");
+  const JsonValue stats = respond(service_, R"({"op":"stats"})");
+  ASSERT_TRUE(stats.get("ok")->as_bool());
+  const JsonValue* body = stats.get("stats");
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(body->get("queries")->as_uint(), 1u);
+  EXPECT_EQ(body->get("errors")->as_uint(), 0u);
+  EXPECT_EQ(body->get("cache")->get("misses")->as_uint(), 1u);
+}
+
+TEST_F(ProtocolTest, ParseDetectRequestFillsQuery) {
+  service::Query query;
+  std::string id, message;
+  ASSERT_EQ(service::parse_detect_request(
+                R"({"op":"detect","id":"q7","tenant":"t","graph":{"family":"torus","nodes":64,"seed":3},"k":3,"detector":"quantum","seed":5,"threads":2})",
+                &query, &id, &message),
+            api::ErrorCode::kOk);
+  EXPECT_EQ(id, "q7");
+  EXPECT_EQ(query.graph.family, "torus");
+  EXPECT_EQ(query.graph.nodes, 64u);
+  EXPECT_EQ(query.graph.k, 3u);  // defaults to the detection k
+  EXPECT_EQ(query.graph.seed, 3u);
+  EXPECT_EQ(query.request.detector, "quantum");
+  EXPECT_EQ(query.request.k, 3u);
+  EXPECT_EQ(query.request.seed, 5u);
+  EXPECT_EQ(query.request.threads, 2u);
+  EXPECT_EQ(query.request.tenant, "t");
+
+  EXPECT_EQ(service::parse_detect_request("{}", &query, &id, &message),
+            api::ErrorCode::kBadRequest);
+}
+
+}  // namespace

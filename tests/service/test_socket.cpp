@@ -1,0 +1,131 @@
+// End-to-end over the unix socket: serve in a background thread, talk to
+// it with UnixClient, and check the budgeted accept loop exits cleanly.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "harness/json.hpp"
+#include "service/detection_service.hpp"
+#include "service/socket_server.hpp"
+
+namespace {
+
+using namespace evencycle;
+
+/// Temp directory holding the socket (sockaddr_un paths are short, so
+/// /tmp rather than the build tree).
+class SocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/evencycle-sock-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    socket_path_ = dir_ + "/svc.sock";
+  }
+
+  void TearDown() override {
+    unlink(socket_path_.c_str());
+    rmdir(dir_.c_str());
+  }
+
+  /// Spins until the server socket accepts connections (bounded wait).
+  bool wait_for_server(service::UnixClient* client) {
+    std::string error;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      if (client->connect(socket_path_, &error)) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "server never came up: " << error;
+    return false;
+  }
+
+  std::string dir_;
+  std::string socket_path_;
+};
+
+TEST_F(SocketTest, PingDetectAndStatsRoundTrip) {
+  service::DetectionService detection;
+  service::ServeOptions options;
+  options.socket_path = socket_path_;
+  options.max_connections = 1;
+  std::ostringstream log;
+  int exit_code = -1;
+  std::thread server(
+      [&] { exit_code = service::serve(detection, options, log); });
+
+  service::UnixClient client;
+  ASSERT_TRUE(wait_for_server(&client));
+
+  std::string response, error;
+  ASSERT_TRUE(client.request(R"({"op":"ping","id":"p1"})", &response, &error)) << error;
+  harness::JsonValue parsed = harness::parse_json(response);
+  EXPECT_TRUE(parsed.get("pong")->as_bool());
+  EXPECT_EQ(parsed.get("id")->as_string(), "p1");
+
+  ASSERT_TRUE(client.request(
+      R"({"op":"detect","id":"d1","tenant":"sock","graph":{"family":"torus","nodes":49},"detector":"baseline-flooding","seed":3})",
+      &response, &error))
+      << error;
+  parsed = harness::parse_json(response);
+  ASSERT_TRUE(parsed.get("ok")->as_bool()) << response;
+  EXPECT_EQ(parsed.get("result")->get("code")->as_string(), "ok");
+
+  // Malformed input over the wire comes back as a structured error line,
+  // and the connection stays usable.
+  ASSERT_TRUE(client.request("not json at all", &response, &error)) << error;
+  parsed = harness::parse_json(response);
+  EXPECT_FALSE(parsed.get("ok")->as_bool());
+  EXPECT_EQ(parsed.get("error")->get("code")->as_string(), "bad-json");
+
+  ASSERT_TRUE(client.request(R"({"op":"stats"})", &response, &error)) << error;
+  parsed = harness::parse_json(response);
+  EXPECT_EQ(parsed.get("stats")->get("queries")->as_uint(), 1u);
+
+  client.close();
+  server.join();
+  EXPECT_EQ(exit_code, 0);  // the 1-connection budget ends the accept loop
+  EXPECT_NE(log.str().find("serving on"), std::string::npos);
+}
+
+TEST_F(SocketTest, TwoSequentialConnectionsShareTheServiceCache) {
+  service::DetectionService detection;
+  service::ServeOptions options;
+  options.socket_path = socket_path_;
+  options.max_connections = 2;
+  std::ostringstream log;
+  std::thread server([&] { service::serve(detection, options, log); });
+
+  const std::string detect_line =
+      R"({"op":"detect","graph":{"family":"torus","nodes":36},"detector":"baseline-flooding"})";
+  std::string first_cache, second_cache;
+  for (int connection = 0; connection < 2; ++connection) {
+    service::UnixClient client;
+    ASSERT_TRUE(wait_for_server(&client));
+    std::string response, error;
+    ASSERT_TRUE(client.request(detect_line, &response, &error)) << error;
+    const harness::JsonValue parsed = harness::parse_json(response);
+    ASSERT_TRUE(parsed.get("ok")->as_bool()) << response;
+    (connection == 0 ? first_cache : second_cache) =
+        parsed.get("graph")->get("cache")->as_string();
+    client.close();
+  }
+  server.join();
+  EXPECT_EQ(first_cache, "miss");
+  EXPECT_EQ(second_cache, "hit");  // one cache behind both connections
+}
+
+TEST_F(SocketTest, ConnectToMissingSocketFailsWithError) {
+  service::UnixClient client;
+  std::string error;
+  EXPECT_FALSE(client.connect(socket_path_ + ".nope", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(client.connected());
+}
+
+}  // namespace

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Round-trip smoke for `evencycle serve` + `evencycle query`: start a
+# 1-connection server on a temp unix socket, run one query against it,
+# and require both sides to exit cleanly with an ok response.
+set -u
+
+CLI="${1:?usage: serve_roundtrip_test.sh /path/to/evencycle}"
+
+DIR="$(mktemp -d /tmp/evencycle-serve-XXXXXX)" || exit 1
+SOCKET="$DIR/svc.sock"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" serve --socket "$SOCKET" --lanes 2 --max-connections 1 &
+SERVER=$!
+
+# Wait for the socket to appear (the server unlinks stale paths first,
+# so existence means the listener is bound).
+for _ in $(seq 1 100); do
+  [ -S "$SOCKET" ] && break
+  sleep 0.1
+done
+if [ ! -S "$SOCKET" ]; then
+  echo "FAIL: server socket never appeared" >&2
+  kill "$SERVER" 2>/dev/null
+  exit 1
+fi
+
+RESPONSE="$("$CLI" query --socket "$SOCKET" --family torus --nodes 49 \
+  --detector baseline-flooding --seed 7 --k 2)"
+QUERY_STATUS=$?
+
+wait "$SERVER"
+SERVER_STATUS=$?
+
+echo "response: $RESPONSE"
+if [ "$QUERY_STATUS" -ne 0 ]; then
+  echo "FAIL: query exited $QUERY_STATUS" >&2
+  exit 1
+fi
+if [ "$SERVER_STATUS" -ne 0 ]; then
+  echo "FAIL: serve exited $SERVER_STATUS after its connection budget" >&2
+  exit 1
+fi
+case "$RESPONSE" in
+  *'"ok":true'*) ;;
+  *) echo "FAIL: response is not ok" >&2; exit 1 ;;
+esac
+echo "PASS: serve/query round trip"
