@@ -1,0 +1,87 @@
+#include "congest/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::congest {
+
+namespace {
+
+/// One fate draw: a SplitMix64 stream keyed by (seed ^ salt, a, b, c). The
+/// odd multipliers decorrelate the key components before the mixer runs, so
+/// adjacent rounds/arcs/words land in unrelated streams.
+std::uint64_t fate_draw(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+                        std::uint64_t b, std::uint64_t c) {
+  std::uint64_t state = (seed ^ salt) + a * 0x9E3779B97F4A7C15ULL +
+                        b * 0xBF58476D1CE4E5B9ULL + c * 0x94D049BB133111EBULL;
+  return splitmix64(state);
+}
+
+/// Probability as an exact 53-bit integer threshold: hit iff the draw's top
+/// 53 bits fall below it. p = 0 maps to 0 (never), p = 1 to 2^53 (always) —
+/// no floating-point compare ever runs on the fate path.
+std::uint64_t probability_cut(double p, const char* what) {
+  EC_REQUIRE(p >= 0.0 && p <= 1.0, std::string(what) + " must be a probability in [0, 1]");
+  return static_cast<std::uint64_t>(std::llround(p * 9007199254740992.0));  // p * 2^53
+}
+
+}  // namespace
+
+std::string describe(const FaultSpec& spec) {
+  if (!spec.any()) return "none";
+  std::ostringstream os;
+  const auto sep = [&os] {
+    if (os.tellp() > 0) os << ' ';
+  };
+  if (spec.drop_prob > 0.0) os << "drop=" << spec.drop_prob;
+  if (spec.duplicate_prob > 0.0) {
+    sep();
+    os << "dup=" << spec.duplicate_prob;
+  }
+  if (spec.reorder_window > 0) {
+    sep();
+    os << "reorder=" << spec.reorder_window;
+  }
+  if (spec.crash_fraction > 0.0) {
+    sep();
+    os << "crash=" << spec.crash_fraction << '/' << spec.crash_horizon;
+  }
+  return os.str();
+}
+
+FaultPlan::FaultPlan(VertexId vertex_count, const FaultSpec& spec) : spec_(spec) {
+  drop_cut_ = probability_cut(spec.drop_prob, "FaultSpec::drop_prob");
+  duplicate_cut_ = probability_cut(spec.duplicate_prob, "FaultSpec::duplicate_prob");
+  const std::uint64_t crash_cut =
+      probability_cut(spec.crash_fraction, "FaultSpec::crash_fraction");
+  EC_REQUIRE(crash_cut == 0 || spec.crash_horizon >= 1,
+             "FaultSpec::crash_horizon must be at least 1 when nodes crash");
+
+  crash_round_.assign(vertex_count, kNeverCrashes);
+  if (crash_cut != 0) {
+    for (VertexId v = 0; v < vertex_count; ++v) {
+      const std::uint64_t pick = fate_draw(spec.seed, kCrashSalt, v, 0, 0);
+      if ((pick >> 11) >= crash_cut) continue;
+      const std::uint64_t when = fate_draw(spec.seed, kCrashSalt, v, 1, 0);
+      crash_round_[v] = 1 + when % spec.crash_horizon;
+      crash_schedule_.emplace_back(crash_round_[v], v);
+    }
+    std::sort(crash_schedule_.begin(), crash_schedule_.end());
+  }
+}
+
+bool FaultPlan::hits(std::uint64_t cut, std::uint64_t salt, std::uint64_t a, std::uint64_t b,
+                     std::uint64_t c) const {
+  if (cut == 0) return false;
+  return (fate_draw(spec_.seed, salt, a, b, c) >> 11) < cut;
+}
+
+std::uint64_t FaultPlan::reorder_draw(std::uint64_t round, VertexId v, std::uint32_t i) const {
+  return fate_draw(spec_.seed, kReorderSalt, round, v, i);
+}
+
+}  // namespace evencycle::congest

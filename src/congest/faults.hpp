@@ -1,0 +1,168 @@
+// Deterministic fault injection for the CONGEST round engine.
+//
+// A FaultSpec names an adversary: per-message drop and duplication
+// probabilities, a bounded inbox-reorder window, and crash-stop nodes (a
+// crashed node stops executing and sending from its crash round on; its
+// neighbors observe nothing but silence — no failure notification exists in
+// the model). A FaultPlan compiles the spec for one graph into pure fate
+// functions: every decision is a SplitMix64 stream keyed by (plan seed,
+// round, directed arc, word index) — the same per-cell stream discipline
+// the harness uses — never a stateful draw. That is what keeps injection
+// bit-identical at every thread count: the overlapped engine delivers
+// receiver blocks in arbitrary interleavings, but a message's fate depends
+// only on *which* message it is, not on who scans it first.
+//
+// Injection happens at the deliver boundary (the Mailbox placement scan):
+//   drop        the staged message is skipped — its histogram slot becomes
+//               an unused gap (inboxes end at the placement cursor, so gaps
+//               are invisible to readers);
+//   duplicate   the message is placed twice, back to back (the send path
+//               reserves the extra arena slot via the same fate function);
+//   reorder     after a receiver's inbox is placed, a bounded deterministic
+//               local shuffle keyed by (round, receiver) displaces entries
+//               by at most the window;
+//   crash       applied at the serial finalize point before the crash
+//               round's computes: the node is marked halted (it stops
+//               counting toward quiescence) and its sends are suppressed at
+//               the staging boundary, so protocols that do not consult
+//               halted() still fall silent.
+//
+// Every fault class feeds a deterministic Metrics counter, so a fault run's
+// payload — rejection sets, inbox contents, and the counters themselves —
+// is part of the engine's bit-identical determinism contract and is pinned
+// by the determinism suite at threads 1/2/4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace evencycle::congest {
+
+using graph::VertexId;
+
+/// An adversary description. All-zero (the default) means "no faults"; the
+/// engine compiles a FaultPlan only when any() is true, so the fault-free
+/// hot path pays nothing but a predictable branch.
+struct FaultSpec {
+  /// Root of every fate stream. Two runs with equal specs are identical;
+  /// vary the seed to vary the schedule at fixed intensities.
+  std::uint64_t seed = 0;
+  /// Per delivered word, probability the word silently disappears.
+  double drop_prob = 0.0;
+  /// Per delivered word, probability it arrives twice (back to back).
+  double duplicate_prob = 0.0;
+  /// Bounded inbox shuffle: each entry moves at most this many positions
+  /// (0 disables reordering).
+  std::uint32_t reorder_window = 0;
+  /// Fraction of nodes that crash-stop during the run.
+  double crash_fraction = 0.0;
+  /// Crash rounds are drawn uniformly from [1, crash_horizon]; every node
+  /// participates in round 0, so a crashed node is one that fell silent,
+  /// not one that never existed.
+  std::uint64_t crash_horizon = 16;
+
+  bool any() const {
+    return drop_prob > 0.0 || duplicate_prob > 0.0 || reorder_window > 0 ||
+           crash_fraction > 0.0;
+  }
+
+  /// True when drop or crash can lose words (the claim-fallout boundary:
+  /// duplication and reorder are absorbed exactly by set-semantics
+  /// protocols, loss is not — see fuzz::claim_under_faults).
+  bool lossy() const { return drop_prob > 0.0 || crash_fraction > 0.0; }
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// Human-readable "drop=0.25 crash=0.1/8"-style summary ("none" when empty);
+/// used by scenario labels, fuzz recipes, and corpus notes.
+std::string describe(const FaultSpec& spec);
+
+/// A FaultSpec compiled for one graph: probability cutoffs as 53-bit integer
+/// thresholds (exact at p = 0 and p = 1) and the per-vertex crash schedule.
+/// All queries are const and pure — safe to share across worker threads.
+class FaultPlan {
+ public:
+  /// Crash round of a node that never crashes.
+  static constexpr std::uint64_t kNeverCrashes = ~std::uint64_t{0};
+
+  FaultPlan(VertexId vertex_count, const FaultSpec& spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  bool drops_active() const { return drop_cut_ != 0; }
+  bool duplicates_active() const { return duplicate_cut_ != 0; }
+  std::uint32_t reorder_window() const { return spec_.reorder_window; }
+  bool crashes_active() const { return !crash_schedule_.empty(); }
+
+  /// Fate of the `word`-th word sent on directed arc `arc` in round `round`.
+  /// `word` is the word's 0-based index on that arc within the round (always
+  /// 0 at words_per_round = 1).
+  bool drops(std::uint64_t round, std::uint32_t arc, std::uint32_t word) const {
+    return hits(drop_cut_, kDropSalt, round, arc, word);
+  }
+  bool duplicates(std::uint64_t round, std::uint32_t arc, std::uint32_t word) const {
+    return hits(duplicate_cut_, kDuplicateSalt, round, arc, word);
+  }
+
+  /// Raw 64-bit draw for step `i` of receiver `v`'s round-`round` inbox
+  /// shuffle (the Mailbox reduces it modulo the legal displacement range).
+  std::uint64_t reorder_draw(std::uint64_t round, VertexId v, std::uint32_t i) const;
+
+  /// kNeverCrashes, or the first round (>= 1) the node does not participate in.
+  std::uint64_t crash_round(VertexId v) const { return crash_round_[v]; }
+
+  /// Every crashing node as (crash round, vertex), sorted ascending — the
+  /// engine walks this with a cursor at its serial per-round point.
+  const std::vector<std::pair<std::uint64_t, VertexId>>& crash_schedule() const {
+    return crash_schedule_;
+  }
+
+ private:
+  static constexpr std::uint64_t kDropSalt = 0xD401D401D401D401ULL;
+  static constexpr std::uint64_t kDuplicateSalt = 0xD0B1ED0B1ED0B1E0ULL;
+  static constexpr std::uint64_t kReorderSalt = 0x5EC0EDE55EC0EDE5ULL;
+  static constexpr std::uint64_t kCrashSalt = 0xC4A54C4A54C4A540ULL;
+
+  bool hits(std::uint64_t cut, std::uint64_t salt, std::uint64_t a, std::uint64_t b,
+            std::uint64_t c) const;
+
+  FaultSpec spec_;
+  std::uint64_t drop_cut_ = 0;       ///< 53-bit threshold; 0 = never, 2^53 = always
+  std::uint64_t duplicate_cut_ = 0;
+  std::vector<std::uint64_t> crash_round_;  ///< size n; kNeverCrashes when spared
+  std::vector<std::pair<std::uint64_t, VertexId>> crash_schedule_;
+};
+
+/// Deterministic per-fault-type tallies. Accumulated per deliver block (the
+/// block owns its receivers, so no two threads share a sink) and folded into
+/// Metrics when a pipeline run completes.
+struct FaultCounters {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;  ///< inbox entries moved by the bounded shuffle
+};
+
+/// Everything the Mailbox placement scan needs to apply deliver-side faults
+/// to one vertex block. Built by the engine's serial finalize step for the
+/// round being delivered; read-only for the plan/graph, with the scratch and
+/// counter sinks owned by the block's lane (disjoint across blocks).
+struct FaultDeliverContext {
+  const FaultPlan* plan = nullptr;
+  const graph::Graph* graph = nullptr;  ///< recovers the sender arc from (to, port)
+  std::uint64_t round = 0;              ///< round the delivered words were sent in
+  /// Per-arc word cursors, or nullptr at words_per_round = 1 (where every
+  /// word index is 0 and no cursor is needed). Scanning runs in lane order
+  /// reproduces exactly the send-side word indices, because one arc's words
+  /// all sit in one sender lane in send order.
+  std::uint32_t* arc_words = nullptr;
+  /// Arcs whose cursor was touched (reset after the block's scan).
+  std::vector<std::uint32_t>* touched_arcs = nullptr;
+  FaultCounters* counters = nullptr;
+};
+
+}  // namespace evencycle::congest

@@ -58,7 +58,8 @@ void Mailbox::begin_rebuild(std::uint64_t total_messages) {
 
 void Mailbox::scatter_block(VertexId first, VertexId last, std::uint64_t base,
                             std::span<const std::span<const StagedMessage>> runs,
-                            std::span<std::uint32_t* const> lane_counts) {
+                            std::span<std::uint32_t* const> lane_counts,
+                            const FaultDeliverContext* faults) {
   Arena& arena = arenas_[front_];
 
   // Offsets from the compute-time histograms: one sequential sweep per lane
@@ -85,20 +86,80 @@ void Mailbox::scatter_block(VertexId first, VertexId last, std::uint64_t base,
   // compiler), with the destination slot of a message a few iterations
   // ahead prefetched — the staged stream is sequential, but the arena
   // targets hop around the block.
-  constexpr std::size_t kPrefetchDistance = 8;
   InboundMessage* const data = arena.data.data();
-  for (const auto& run : runs) {
-    const StagedMessage* const msgs = run.data();
-    const std::size_t count = run.size();
-    for (std::size_t i = 0; i < count; ++i) {
+  if (faults == nullptr) {
+    constexpr std::size_t kPrefetchDistance = 8;
+    for (const auto& run : runs) {
+      const StagedMessage* const msgs = run.data();
+      const std::size_t count = run.size();
+      for (std::size_t i = 0; i < count; ++i) {
 #if defined(__GNUC__) || defined(__clang__)
-      if (i + kPrefetchDistance < count)
-        __builtin_prefetch(data + cursors_[msgs[i + kPrefetchDistance].to], 1, 1);
+        if (i + kPrefetchDistance < count)
+          __builtin_prefetch(data + cursors_[msgs[i + kPrefetchDistance].to], 1, 1);
 #endif
-      const StagedMessage& staged = msgs[i];
+        const StagedMessage& staged = msgs[i];
+        const InboundMessage slot{staged_port(staged.port_tag),
+                                  {staged_tag(staged.port_tag), staged.payload}};
+        std::memcpy(data + cursors_[staged.to]++, &slot, sizeof(slot));
+      }
+    }
+    return;
+  }
+
+  // Faulted placement. The sender arc is recovered from (receiver, port) —
+  // staged messages carry no spare bits — and the word index from a per-arc
+  // cursor: one arc's words all come from one sender lane in send order, so
+  // a scan-order cursor reproduces exactly the send-side indices at any
+  // thread count. A word dropped AND duplicated simply vanishes (both its
+  // slots become gaps).
+  const FaultPlan& plan = *faults->plan;
+  const graph::Graph& g = *faults->graph;
+  const std::uint64_t round = faults->round;
+  FaultCounters& tally = *faults->counters;
+  for (const auto& run : runs) {
+    for (const StagedMessage& staged : run) {
+      const std::uint32_t arc =
+          g.reverse_arc(g.arc_base(staged.to) + staged_port(staged.port_tag));
+      std::uint32_t word = 0;
+      if (faults->arc_words != nullptr) {
+        word = faults->arc_words[arc]++;
+        if (word == 0) faults->touched_arcs->push_back(arc);
+      }
+      if (plan.drops(round, arc, word)) {
+        ++tally.dropped;
+        continue;
+      }
       const InboundMessage slot{staged_port(staged.port_tag),
                                 {staged_tag(staged.port_tag), staged.payload}};
       std::memcpy(data + cursors_[staged.to]++, &slot, sizeof(slot));
+      if (plan.duplicates(round, arc, word)) {
+        ++tally.duplicated;
+        std::memcpy(data + cursors_[staged.to]++, &slot, sizeof(slot));
+      }
+    }
+  }
+  if (faults->arc_words != nullptr) {
+    for (const std::uint32_t arc : *faults->touched_arcs) faults->arc_words[arc] = 0;
+    faults->touched_arcs->clear();
+  }
+
+  // Bounded reorder: a restricted forward Fisher–Yates over each placed
+  // inbox, keyed by (round, receiver) — every swap partner sits at most
+  // `window` ahead, and the receiver's block owns its whole inbox, so the
+  // shuffle is local to this scatter call.
+  const std::uint32_t window = plan.reorder_window();
+  if (window == 0) return;
+  for (VertexId v = first; v < last; ++v) {
+    InboundMessage* const inbox_data = data + arena.offsets[v];
+    const std::uint64_t size = cursors_[v] - arena.offsets[v];
+    if (size < 2) continue;
+    for (std::uint64_t i = 0; i + 1 < size; ++i) {
+      const std::uint64_t span = std::min<std::uint64_t>(window, size - 1 - i);
+      const std::uint64_t j =
+          i + plan.reorder_draw(round, v, static_cast<std::uint32_t>(i)) % (span + 1);
+      if (j == i) continue;
+      std::swap(inbox_data[i], inbox_data[j]);
+      ++tally.reordered;
     }
   }
 }

@@ -31,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "congest/faults.hpp"
 #include "congest/message.hpp"
 #include "graph/graph.hpp"
 
@@ -88,9 +89,19 @@ class Mailbox {
   /// the runs in global send order (lane 0 first), which makes every
   /// inbox's order equal to the sequential simulator's. Thread-safe across
   /// disjoint blocks.
+  ///
+  /// `faults` (nullable) injects deliver-side faults during the placement
+  /// scan: a dropped word is skipped (its histogram slot becomes a gap the
+  /// cursor-ended inbox never exposes), a duplicated word is placed twice
+  /// (its extra slot was reserved at send time), and a reorder window > 0
+  /// runs a bounded deterministic shuffle over each placed inbox. Every
+  /// fate is a pure function of (plan seed, round, sender arc, word index),
+  /// so the faulted layout is as thread-count-invariant as the fault-free
+  /// one. See congest/faults.hpp.
   void scatter_block(VertexId first, VertexId last, std::uint64_t base,
                      std::span<const std::span<const StagedMessage>> runs,
-                     std::span<std::uint32_t* const> lane_counts);
+                     std::span<std::uint32_t* const> lane_counts,
+                     const FaultDeliverContext* faults = nullptr);
 
   /// Peak arena footprint (bytes of delivered messages in the busiest
   /// round) since the last reset(). Deterministic: a pure function of the

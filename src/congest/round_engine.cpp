@@ -117,6 +117,26 @@ RoundEngine::RoundEngine(const graph::Graph& g, Config config)
   rejected_.assign(n, 0);
   halted_.assign(n, 0);
   mailbox_.reset(n);
+
+  if (config_.faults.any()) {
+    fault_plan_ = std::make_unique<FaultPlan>(n, config_.faults);
+    fault_duplicates_ = fault_plan_->duplicates_active();
+    fault_deliver_ = fault_plan_->drops_active() || fault_plan_->duplicates_active() ||
+                     fault_plan_->reorder_window() > 0;
+    if (fault_plan_->crashes_active()) {
+      crashed_.assign(n, 0);
+      crashed_ptr_ = crashed_.data();
+    }
+    for (auto& lane : lanes_) {
+      if (fault_duplicates_)
+        for (auto& extra : lane.extra_slots) extra.assign(thread_count_, 0);
+      // Word-indexed fates need a per-arc cursor during the placement scan;
+      // at words_per_round = 1 every word index is 0 and the scratch stays
+      // empty (the common case pays nothing).
+      if (fault_deliver_ && config_.words_per_round > 1)
+        lane.fault_arc_words.assign(arc_load_.size(), 0);
+    }
+  }
 }
 
 void RoundEngine::reset_run_state() {
@@ -132,9 +152,17 @@ void RoundEngine::reset_run_state() {
     lane.active_stage = nullptr;
     lane.active_counts = nullptr;
     lane.touched_arcs.clear();
+    for (auto& extra : lane.extra_slots) std::fill(extra.begin(), extra.end(), 0);
+    lane.active_extra = nullptr;
+    std::fill(lane.fault_arc_words.begin(), lane.fault_arc_words.end(), 0);
+    lane.fault_touched_arcs.clear();
+    lane.fault_tally = FaultCounters{};
     lane.messages = lane.watched = lane.new_rejects = lane.new_halts = 0;
+    lane.crash_suppressed = 0;
     lane.error = nullptr;
   }
+  std::fill(crashed_.begin(), crashed_.end(), 0);
+  crash_cursor_ = 0;
   std::fill(arc_load_.begin(), arc_load_.end(), 0);
   std::fill(rejected_.begin(), rejected_.end(), 0);
   std::fill(halted_.begin(), halted_.end(), 0);
@@ -147,6 +175,11 @@ void RoundEngine::reset_run_state() {
   metrics_.busiest_round_messages = 0;
   metrics_.watched_messages = 0;
   metrics_.peak_arena_bytes = 0;
+  metrics_.dropped_messages = 0;
+  metrics_.duplicated_messages = 0;
+  metrics_.reordered_messages = 0;
+  metrics_.crashed_nodes = 0;
+  metrics_.crash_suppressed_sends = 0;
   metrics_.compute_seconds = 0.0;
   metrics_.reduce_seconds = 0.0;
   metrics_.deliver_seconds = 0.0;
@@ -196,7 +229,13 @@ void RoundEngine::run_shard(std::uint32_t lane_index) {
   for (auto& block : stage) block.clear();
   lane.active_stage = stage.data();
   lane.active_counts = lane.counts[round_parity_].data();
+  if (fault_duplicates_) {
+    auto& extra = lane.extra_slots[round_parity_];
+    std::fill(extra.begin(), extra.end(), 0);
+    lane.active_extra = extra.data();
+  }
   lane.messages = lane.watched = lane.new_rejects = lane.new_halts = 0;
+  lane.crash_suppressed = 0;
 
   const VertexId first = shard_first(lane_index);
   const VertexId last = shard_last(lane_index);
@@ -219,8 +258,39 @@ void RoundEngine::deliver_block(std::uint32_t block) {
       lane.run_counts.push_back(sender.counts[deliver_parity_].data());
     }
   }
+  FaultDeliverContext fault_context;
+  const FaultDeliverContext* faults = nullptr;
+  if (fault_deliver_) {
+    fault_context.plan = fault_plan_.get();
+    fault_context.graph = graph_;
+    fault_context.round = deliver_round_;
+    if (!lane.fault_arc_words.empty()) {
+      fault_context.arc_words = lane.fault_arc_words.data();
+      fault_context.touched_arcs = &lane.fault_touched_arcs;
+    }
+    fault_context.counters = &lane.fault_tally;
+    faults = &fault_context;
+  }
   mailbox_.scatter_block(shard_first(block), shard_last(block), block_base_[block],
-                         lane.runs, lane.run_counts);
+                         lane.runs, lane.run_counts, faults);
+}
+
+void RoundEngine::apply_crashes_for_round(std::uint64_t round) {
+  if (fault_plan_ == nullptr) return;
+  const auto& schedule = fault_plan_->crash_schedule();
+  while (crash_cursor_ < schedule.size() && schedule[crash_cursor_].first <= round) {
+    const VertexId v = schedule[crash_cursor_].second;
+    crashed_[v] = 1;
+    // A crashed node is halted for liveness accounting (quiescence must not
+    // wait for a node that will never act again), without disturbing a halt
+    // the protocol already recorded itself.
+    if (halted_[v] == 0) {
+      halted_[v] = 1;
+      --live_count_;
+    }
+    ++metrics_.crashed_nodes;
+    ++crash_cursor_;
+  }
 }
 
 void RoundEngine::finalize_round(std::uint32_t worker) {
@@ -241,6 +311,7 @@ void RoundEngine::finalize_round(std::uint32_t worker) {
   for (auto& lane : lanes_) {
     round_messages_ += lane.messages;
     metrics_.watched_messages += lane.watched;
+    metrics_.crash_suppressed_sends += lane.crash_suppressed;
     reject_count_ += lane.new_rejects;
     live_count_ -= lane.new_halts;
   }
@@ -249,6 +320,11 @@ void RoundEngine::finalize_round(std::uint32_t worker) {
   if (config_.collect_round_profile) metrics_.round_profile.push_back(round_messages_);
   ++metrics_.rounds;
   ++rounds_run_;
+
+  // Crash-stops scheduled for the upcoming round land here, at the round's
+  // serial point, before the continuation decision — a network whose last
+  // live nodes just crashed must quiesce now, not spin to max_rounds.
+  apply_crashes_for_round(metrics_.rounds);
 
   bool continue_run = rounds_run_ < run_limit_;
   if (run_mode_ == RunMode::kUntilQuiet) continue_run = continue_run && round_messages_ > 0;
@@ -275,8 +351,12 @@ void RoundEngine::finalize_round(std::uint32_t worker) {
     std::uint64_t running = 0;
     for (std::uint32_t block = 0; block < thread_count_; ++block) {
       block_base_[block] = running;
-      for (const auto& sender : lanes_) running += sender.stage[deliver_parity_][block].size();
+      for (const auto& sender : lanes_) {
+        running += sender.stage[deliver_parity_][block].size();
+        if (fault_duplicates_) running += sender.extra_slots[deliver_parity_][block];
+      }
     }
+    deliver_round_ = metrics_.rounds - 1;  // the round these words were sent in
     mailbox_.begin_rebuild(running);
     metrics_.peak_arena_bytes = mailbox_.peak_bytes();
     continue_after_deliver_ = continue_run;
@@ -342,6 +422,10 @@ void RoundEngine::rethrow_lane_error() {
 std::uint64_t RoundEngine::run_pipeline(RunMode mode, std::uint64_t limit) {
   EC_SIM_CHECK(program_ != nullptr, "run_round before install()");
   if (limit == 0) return 0;
+  // Crashes scheduled at or before the run's first round (possible when a
+  // previous run_* call on this engine stopped short of them) apply before
+  // any task is seeded.
+  apply_crashes_for_round(metrics_.rounds);
   if (mode == RunMode::kToQuiescence && all_halted()) return 0;
 
   run_mode_ = mode;
@@ -356,6 +440,18 @@ std::uint64_t RoundEngine::run_pipeline(RunMode mode, std::uint64_t limit) {
   pool_.run_tasks(seed_tasks_, executor_fn_, config_.collect_phase_timings);
 
   rethrow_lane_error();
+
+  // Deliver-side fault tallies accumulate in per-block lane sinks (the final
+  // round's delivers are not followed by a finalize, so folding them here —
+  // after every task drained — is the one point that sees them all).
+  if (fault_plan_ != nullptr) {
+    for (auto& lane : lanes_) {
+      metrics_.dropped_messages += lane.fault_tally.dropped;
+      metrics_.duplicated_messages += lane.fault_tally.duplicated;
+      metrics_.reordered_messages += lane.fault_tally.reordered;
+      lane.fault_tally = FaultCounters{};
+    }
+  }
 
   const auto& stats = pool_.last_task_stats();
   metrics_.steal_count += stats.steals;

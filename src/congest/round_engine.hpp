@@ -75,6 +75,7 @@
 #include <span>
 #include <vector>
 
+#include "congest/faults.hpp"
 #include "congest/mailbox.hpp"
 #include "congest/message.hpp"
 #include "congest/worker_pool.hpp"
@@ -122,6 +123,12 @@ struct Config {
   /// (clamped to a ceiling of 256). Results are bit-identical for every
   /// value.
   std::uint32_t threads = kThreadsFromEnv;
+
+  /// Fault injection (congest/faults.hpp). The default all-zero spec keeps
+  /// the engine fault-free; any enabled axis compiles a FaultPlan whose
+  /// per-message fates are pure functions of (spec seed, round, arc, word),
+  /// so every injected run is itself bit-identical at every thread count.
+  FaultSpec faults;
 };
 
 /// Aggregate statistics of one simulation run. Everything except the
@@ -134,6 +141,15 @@ struct Metrics {
   std::uint64_t watched_messages = 0;        ///< words across watched edges
   std::uint64_t peak_arena_bytes = 0;        ///< busiest round's delivered bytes
   std::vector<std::uint64_t> round_profile;  ///< only if collect_round_profile
+
+  // Fault-injection tallies (all zero without Config::faults). Deterministic
+  // like the rest of the payload: every fate is a pure function of the plan
+  // seed, so these agree bit-for-bit at every thread count.
+  std::uint64_t dropped_messages = 0;        ///< words discarded at delivery
+  std::uint64_t duplicated_messages = 0;     ///< words delivered twice
+  std::uint64_t reordered_messages = 0;      ///< inbox entries the shuffle moved
+  std::uint64_t crashed_nodes = 0;           ///< crash-stops applied by the scheduler
+  std::uint64_t crash_suppressed_sends = 0;  ///< sends swallowed from crashed nodes
 
   // Timing and scheduler diagnostics — execution-order dependent, NOT part
   // of the deterministic payload. Seconds accumulate only under
@@ -318,10 +334,20 @@ class RoundEngine {
     /// Deliver scratch: this block's runs and matching histograms, lane order.
     std::vector<std::span<const StagedMessage>> runs;
     std::vector<std::uint32_t*> run_counts;
+    /// Fault bookkeeping (sized only when the matching axis is enabled):
+    /// arena slots reserved for duplicated words, per [parity][block]; the
+    /// deliver-side word-index scratch (words_per_round > 1 only); and this
+    /// lane's deliver-block fault tallies, folded into Metrics at run end.
+    std::array<std::vector<std::uint64_t>, 2> extra_slots;
+    std::uint64_t* active_extra = nullptr;
+    std::vector<std::uint32_t> fault_arc_words;
+    std::vector<std::uint32_t> fault_touched_arcs;
+    FaultCounters fault_tally;
     std::uint64_t messages = 0;
     std::uint64_t watched = 0;
     std::uint64_t new_rejects = 0;
     std::uint64_t new_halts = 0;
+    std::uint64_t crash_suppressed = 0;
     std::exception_ptr error;
   };
 
@@ -350,6 +376,10 @@ class RoundEngine {
   void send_from(std::uint32_t lane, VertexId from, std::uint32_t port, Message message);
   [[noreturn]] void send_failed(VertexId from, std::uint32_t port, Message message) const;
   void reset_run_state();
+  /// Crash-stops every scheduled node with crash_round <= round. Called only
+  /// at serial points (pipeline start, finalize) — it writes halted_ bytes
+  /// and the live count.
+  void apply_crashes_for_round(std::uint64_t round);
   std::uint64_t run_pipeline(RunMode mode, std::uint64_t limit);
   void execute_task(std::uint64_t task, std::uint32_t worker);
   void run_shard(std::uint32_t lane);
@@ -377,6 +407,18 @@ class RoundEngine {
   // (and watched_arc_ptr_ null) when no cut meter is installed.
   std::vector<std::uint8_t> watched_arc_;
   const std::uint8_t* watched_arc_ptr_ = nullptr;
+
+  // Fault injection. The plan is compiled once per engine (null without
+  // Config::faults); crashed_ptr_ is non-null only when nodes crash, so the
+  // fault-free send path pays one predictable null test. deliver_round_ is
+  // written at the serial finalize point for the delivers it enables.
+  std::unique_ptr<FaultPlan> fault_plan_;
+  std::vector<std::uint8_t> crashed_;
+  const std::uint8_t* crashed_ptr_ = nullptr;
+  bool fault_duplicates_ = false;
+  bool fault_deliver_ = false;  ///< any of drop / duplicate / reorder
+  std::size_t crash_cursor_ = 0;
+  std::uint64_t deliver_round_ = 0;
 
   // Byte flags, not vector<bool>: workers write distinct bytes in parallel.
   std::vector<std::uint8_t> rejected_;
@@ -431,13 +473,30 @@ inline void RoundEngine::send_from(std::uint32_t lane_index, VertexId from,
     send_failed(from, port, message);
   }
   Lane& lane = lanes_[lane_index];
-  if (arc_load_[arc]++ == 0) lane.touched_arcs.push_back(arc);
+  // Crash-stop: a crashed node's sends are swallowed before any bandwidth
+  // or staging bookkeeping — its neighbors observe pure silence. Suppressed
+  // sends never advance arc_load_, so deliver-side word indices stay in
+  // lockstep with the words actually staged.
+  if (crashed_ptr_ != nullptr && crashed_ptr_[from] != 0) [[unlikely]] {
+    ++lane.crash_suppressed;
+    return;
+  }
+  const std::uint32_t word = arc_load_[arc]++;
+  if (word == 0) lane.touched_arcs.push_back(arc);
   if (watched_arc_ptr_ != nullptr) lane.watched += watched_arc_ptr_[arc];
 
   const VertexId to = g.arc_target(arc);
   const std::uint32_t reverse_port = g.reverse_arc(arc) - g.arc_base(to);
+  const std::uint32_t block = to >> block_shift_;
   ++lane.active_counts[to];
-  lane.active_stage[to >> block_shift_].push_back(
+  // Duplication reserves its extra arena slot at send time — the same pure
+  // fate function fires again in the placement scan to place the copy.
+  if (fault_duplicates_ &&
+      fault_plan_->duplicates(metrics_.rounds, arc, word)) [[unlikely]] {
+    ++lane.active_counts[to];
+    ++lane.active_extra[block];
+  }
+  lane.active_stage[block].push_back(
       {to, pack_port_tag(reverse_port, message.tag), message.payload});
   ++lane.messages;
 }

@@ -21,6 +21,7 @@
 //                 multiplexing, NDJSON wire protocol, `evencycle serve`
 #pragma once
 
+#include "congest/faults.hpp"
 #include "congest/mailbox.hpp"
 #include "congest/message.hpp"
 #include "congest/network.hpp"
@@ -57,6 +58,7 @@
 #include "harness/registry.hpp"
 #include "harness/runner.hpp"
 #include "harness/scenario.hpp"
+#include "harness/scenario_faults.hpp"
 #include "harness/scenarios_builtin.hpp"
 #include "lowerbound/cut_meter.hpp"
 #include "lowerbound/disjointness.hpp"

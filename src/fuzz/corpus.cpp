@@ -1,5 +1,6 @@
 #include "fuzz/corpus.hpp"
 
+#include <bit>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -58,6 +59,15 @@ std::uint64_t content_hash(const Counterexample& ce) {
   for (const char c : ce.kind) mix(static_cast<unsigned char>(c));
   for (const char c : ce.detector) mix(static_cast<unsigned char>(c));
   mix(ce.k);
+  if (ce.faults.any()) {
+    // Distinct minimized schedules on one graph are distinct findings.
+    mix(ce.faults.seed);
+    mix(std::bit_cast<std::uint64_t>(ce.faults.drop_prob));
+    mix(std::bit_cast<std::uint64_t>(ce.faults.duplicate_prob));
+    mix(ce.faults.reorder_window);
+    mix(std::bit_cast<std::uint64_t>(ce.faults.crash_fraction));
+    mix(ce.faults.crash_horizon);
+  }
   mix(ce.graph.vertex_count());
   for (graph::EdgeId e = 0; e < ce.graph.edge_count(); ++e) {
     const auto [u, v] = ce.graph.edge(e);
@@ -69,7 +79,7 @@ std::uint64_t content_hash(const Counterexample& ce) {
 }  // namespace
 
 std::string to_json(const Counterexample& ce) {
-  const JsonValue doc = JsonValue::object({
+  std::vector<std::pair<std::string, JsonValue>> members{
       {"schema", JsonValue::string("evencycle-fuzz-v1")},
       {"kind", JsonValue::string(ce.kind)},
       {"detector", JsonValue::string(ce.detector)},
@@ -84,9 +94,24 @@ std::string to_json(const Counterexample& ce) {
       {"oracle_bounded", JsonValue::boolean(ce.oracle_bounded)},
       {"recipe", JsonValue::string(ce.recipe)},
       {"note", JsonValue::string(ce.note)},
-      {"graph", graph_to_json(ce.graph)},
-  });
-  return harness::to_json(doc);
+  };
+  if (ce.faults.any()) {
+    // Optional block: pre-fault documents simply lack it, and tolerant
+    // parsing keeps both directions compatible without a schema bump. The
+    // fault seed travels as a decimal string for the same 2^53 reason.
+    members.emplace_back(
+        "faults",
+        JsonValue::object({
+            {"seed", JsonValue::string(std::to_string(ce.faults.seed))},
+            {"drop_prob", JsonValue::number(ce.faults.drop_prob)},
+            {"duplicate_prob", JsonValue::number(ce.faults.duplicate_prob)},
+            {"reorder_window", JsonValue::number(ce.faults.reorder_window)},
+            {"crash_fraction", JsonValue::number(ce.faults.crash_fraction)},
+            {"crash_horizon", JsonValue::number(static_cast<double>(ce.faults.crash_horizon))},
+        }));
+  }
+  members.emplace_back("graph", graph_to_json(ce.graph));
+  return harness::to_json(JsonValue::object(std::move(members)));
 }
 
 Counterexample counterexample_from_json(const std::string& text) {
@@ -119,6 +144,22 @@ Counterexample counterexample_from_json(const std::string& text) {
   }
   if (const JsonValue* threads = doc.get("threads"))
     ce.threads = static_cast<std::uint32_t>(threads->as_number());
+  if (const JsonValue* faults = doc.get("faults")) {
+    if (const JsonValue* value = faults->get("seed")) {
+      ce.faults.seed = value->kind() == JsonValue::Kind::kString
+                           ? std::stoull(value->as_string())
+                           : static_cast<std::uint64_t>(value->as_number());
+    }
+    if (const JsonValue* value = faults->get("drop_prob")) ce.faults.drop_prob = value->as_number();
+    if (const JsonValue* value = faults->get("duplicate_prob"))
+      ce.faults.duplicate_prob = value->as_number();
+    if (const JsonValue* value = faults->get("reorder_window"))
+      ce.faults.reorder_window = static_cast<std::uint32_t>(value->as_number());
+    if (const JsonValue* value = faults->get("crash_fraction"))
+      ce.faults.crash_fraction = value->as_number();
+    if (const JsonValue* value = faults->get("crash_horizon"))
+      ce.faults.crash_horizon = static_cast<std::uint64_t>(value->as_number());
+  }
   const JsonValue* g = doc.get("graph");
   EC_REQUIRE(g != nullptr, "fuzz corpus: missing graph");
   ce.graph = graph_from_json(*g);
@@ -157,6 +198,17 @@ ReplayOutcome replay_counterexample(const Counterexample& ce, std::uint32_t conf
         engine_differential_check(ce.graph, ce.k, ce.seed, std::max(ce.threads, 1u));
     outcome.mismatch = !divergence.empty();
     detail << "engine differential @" << std::max(ce.threads, 1u) << " threads: "
+           << (outcome.mismatch ? "MISMATCH — " + divergence : std::string("ok")) << '\n';
+    outcome.detail = detail.str();
+    return outcome;
+  }
+
+  if (ce.kind == "engine-faults") {
+    const auto divergence = engine_fault_check(ce.graph, ce.k, ce.seed, ce.faults,
+                                               std::max(ce.threads, 1u), ce.oracle_even);
+    outcome.mismatch = !divergence.empty();
+    detail << "engine fault check [" << congest::describe(ce.faults) << "] @"
+           << std::max(ce.threads, 1u) << " threads: "
            << (outcome.mismatch ? "MISMATCH — " + divergence : std::string("ok")) << '\n';
     outcome.detail = detail.str();
     return outcome;

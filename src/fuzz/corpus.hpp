@@ -15,20 +15,26 @@
 #include <string>
 #include <vector>
 
+#include "congest/faults.hpp"
 #include "graph/graph.hpp"
 
 namespace evencycle::fuzz {
 
 struct Counterexample {
-  /// "soundness" | "completeness" | "crash" | "engine" | "regression".
+  /// "soundness" | "completeness" | "crash" | "engine" | "engine-faults" |
+  /// "regression".
   std::string kind;
   /// Detector name, or "all" (regression documents: replay every detector).
   std::string detector;
   std::uint32_t k = 2;
   /// Replay seed for the detector re-run.
   std::uint64_t seed = 0;
-  /// Engine thread count for kind == "engine" (0 otherwise).
+  /// Engine thread count for kind == "engine" / "engine-faults" (0 otherwise).
   std::uint32_t threads = 0;
+  /// Minimized fault schedule for kind == "engine-faults" (all-zero
+  /// otherwise; optional in the serialized form, so pre-fault corpus files
+  /// parse unchanged).
+  congest::FaultSpec faults;
   bool detector_verdict = false;  ///< verdict at capture time
   bool oracle_even = false;       ///< oracle: contains C_{2k}
   bool oracle_bounded = false;    ///< oracle: girth <= 2k

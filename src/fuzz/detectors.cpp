@@ -106,6 +106,19 @@ Claim effective_claim(const FuzzDetector& detector, std::uint32_t k) {
   return detector.claim;
 }
 
+Claim claim_under_faults(Claim claim, const congest::FaultSpec& faults) {
+  if (!faults.lossy()) return claim;  // duplication / reorder: set semantics absorb both
+  switch (claim) {
+    case Claim::kEvenExact:
+    case Claim::kEvenComplete:
+      return Claim::kEvenSound;
+    case Claim::kEvenSound:
+    case Claim::kBoundedSound:
+      return claim;
+  }
+  return claim;  // unreachable; keeps -Wreturn-type quiet
+}
+
 CrossCheckOutcome cross_check_detector(const FuzzDetector& detector, const Graph& g,
                                        std::uint32_t k, std::uint64_t seed,
                                        const OracleResult& oracle,

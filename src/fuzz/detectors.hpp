@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "congest/faults.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
 
@@ -45,6 +46,15 @@ const std::vector<FuzzDetector>& fuzz_detectors();
 /// "missed" is then expected behavior, not a finding. (This demotion was
 /// itself flushed out by the fuzzer flagging plain C6 instances.)
 Claim effective_claim(const FuzzDetector& detector, std::uint32_t k);
+
+/// The claim that survives a fault class (fault-injection cross-checks):
+/// duplication and bounded reorder are absorbed exactly — every identifier
+/// set the protocols compute has set semantics, so a claim is unchanged;
+/// message loss and crash-stop destroy completeness but not soundness — a
+/// "detected" verdict still names a witness that physically traveled, so
+/// exact/complete claims demote to their sound halves and sound-only claims
+/// survive as they are.
+Claim claim_under_faults(Claim claim, const congest::FaultSpec& faults);
 
 /// The --mutate-engine self-test shim: a bounded-cycle detector with a
 /// planted off-by-one (it accepts cycles of length up to 2k+1 while

@@ -163,6 +163,75 @@ std::optional<Finding> run_engine_differential(const Graph& g, std::uint32_t k,
   return std::nullopt;
 }
 
+// --- fault differential -------------------------------------------------------
+// `--faults` pairs every instance with a derived fault schedule and runs the
+// engine fault check (determinism + surviving claims; see fuzzer.hpp). A
+// confirmed violation is shrunk schedule-first — a failure that reproduces
+// with one fault axis at half intensity is a smaller story — then the graph
+// is minimized under the fixed minimized schedule.
+
+std::optional<Finding> run_fault_differential(const Graph& g, std::uint32_t k,
+                                              std::uint64_t seed, bool oracle_even,
+                                              const std::vector<std::uint32_t>& thread_axis,
+                                              const std::string& recipe, bool* flaky) {
+  const congest::FaultSpec spec = random_fault_spec(seed);
+  for (const std::uint32_t threads : thread_axis) {
+    const auto divergence = engine_fault_check(g, k, seed, spec, threads, oracle_even);
+    if (divergence.empty()) continue;
+
+    const auto schedule_fails = [&](const congest::FaultSpec& candidate) {
+      try {
+        return !engine_fault_check(g, k, seed, candidate, threads, oracle_even).empty();
+      } catch (const std::exception&) {
+        return true;  // an engine crash under a smaller schedule is still a bug
+      }
+    };
+    const auto minimized = shrink_fault_spec(spec, schedule_fails);
+
+    // Graph pass under the fixed minimized schedule. The soundness target is
+    // graph-dependent, so each candidate re-derives its oracle verdict from
+    // the same deterministic stream the other shrink predicates use.
+    const auto still_fails = [k, seed, threads,
+                              faults = minimized.spec](const Graph& candidate) {
+      if (candidate.vertex_count() < 3) return false;
+      try {
+        const OracleResult oracle = shrink_oracle(candidate, k, seed);
+        return !engine_fault_check(candidate, k, seed, faults, threads,
+                                   oracle.has_even_cycle)
+                    .empty();
+      } catch (const std::exception&) {
+        return true;
+      }
+    };
+    if (!still_fails(g)) {
+      // The deterministic shrink oracle disagrees with the run's oracle draw
+      // (probabilistic fallback): drop the candidate rather than report it.
+      if (flaky != nullptr) *flaky = true;
+      return std::nullopt;
+    }
+    ShrinkOptions shrink_options;
+    shrink_options.max_evaluations = 1000;
+    const auto shrunk = shrink_counterexample(g, still_fails, shrink_options);
+
+    Finding finding;
+    finding.shrink_evaluations = shrunk.evaluations + minimized.evaluations;
+    finding.ce.kind = "engine-faults";
+    finding.ce.detector = "engine-color-bfs";
+    finding.ce.k = k;
+    finding.ce.seed = seed;
+    finding.ce.threads = threads;
+    finding.ce.faults = minimized.spec;
+    finding.ce.recipe = recipe + " [" + congest::describe(minimized.spec) + "]";
+    finding.ce.graph = shrunk.graph;
+    const OracleResult oracle = shrink_oracle(shrunk.graph, k, seed);
+    finding.ce.oracle_even = oracle.has_even_cycle;
+    finding.ce.oracle_bounded = oracle.has_cycle_at_most;
+    finding.ce.note = divergence;
+    return finding;
+  }
+  return std::nullopt;
+}
+
 /// The per-instance detector grid, executed batched on the WorkerPool.
 harness::ScenarioResult run_detector_grid(const std::shared_ptr<const Graph>& g,
                                           std::uint32_t k,
@@ -219,6 +288,106 @@ std::string engine_differential_check(const Graph& g, std::uint32_t k, std::uint
      << " nodes) vs engine@" << threads << " rejected=" << engine.rejected << " ("
      << engine.rejecting_nodes.size() << " nodes)";
   return os.str();
+}
+
+std::string engine_fault_check(const Graph& g, std::uint32_t k, std::uint64_t seed,
+                               const congest::FaultSpec& faults, std::uint32_t threads,
+                               bool oracle_even) {
+  if (g.vertex_count() == 0 || !faults.any()) return {};
+  Rng color_rng(seed ^ 0xC0105ULL);
+  const auto colors = core::random_coloring(g.vertex_count(), 2 * k, color_rng);
+  core::ColorBfsSpec spec;
+  spec.cycle_length = 2 * k;
+  spec.threshold = 1 + (seed % 8);
+  spec.colors = &colors;
+
+  struct FaultProbe {
+    core::EngineColorBfsResult result;
+    congest::Metrics metrics;
+  };
+  const auto run_at = [&](std::uint32_t t, const congest::FaultSpec& f) {
+    congest::Config config;
+    config.threads = t;
+    config.faults = f;
+    congest::Network net(g, config);
+    FaultProbe probe;
+    probe.result = core::run_color_bfs_on_engine(net, spec);
+    probe.metrics = net.metrics();
+    return probe;
+  };
+
+  // 1. Injected determinism: the faulted run is bit-identical at every
+  //    thread count — rejection set and fault counters both.
+  const FaultProbe sequential = run_at(1, faults);
+  const FaultProbe parallel = run_at(threads, faults);
+  std::ostringstream os;
+  if (sequential.result.rejected != parallel.result.rejected ||
+      sequential.result.rejecting_nodes != parallel.result.rejecting_nodes) {
+    os << "fault determinism: engine@1 rejected=" << sequential.result.rejected << " ("
+       << sequential.result.rejecting_nodes.size() << " nodes) vs engine@" << threads
+       << " rejected=" << parallel.result.rejected << " ("
+       << parallel.result.rejecting_nodes.size() << " nodes) under "
+       << congest::describe(faults);
+    return os.str();
+  }
+  if (sequential.metrics.dropped_messages != parallel.metrics.dropped_messages ||
+      sequential.metrics.duplicated_messages != parallel.metrics.duplicated_messages ||
+      sequential.metrics.reordered_messages != parallel.metrics.reordered_messages ||
+      sequential.metrics.crashed_nodes != parallel.metrics.crashed_nodes ||
+      sequential.metrics.crash_suppressed_sends != parallel.metrics.crash_suppressed_sends) {
+    os << "fault counters diverge: engine@1 vs engine@" << threads << " under "
+       << congest::describe(faults);
+    return os.str();
+  }
+
+  if (!faults.lossy()) {
+    // 2. Duplication / reorder only: the protocol's identifier sets have set
+    //    semantics, so the run must be indistinguishable from fault-free.
+    const FaultProbe clean = run_at(1, congest::FaultSpec{});
+    if (sequential.result.rejected != clean.result.rejected ||
+        sequential.result.rejecting_nodes != clean.result.rejecting_nodes) {
+      os << "exactness under " << congest::describe(faults)
+         << ": faulted rejected=" << sequential.result.rejected << " ("
+         << sequential.result.rejecting_nodes.size() << " nodes) vs fault-free rejected="
+         << clean.result.rejected << " (" << clean.result.rejecting_nodes.size()
+         << " nodes)";
+      return os.str();
+    }
+  } else if (sequential.result.rejected && !oracle_even) {
+    // 3. Lossy schedules keep one-sided soundness: a rejection still names
+    //    two well-colored arrival paths, which only exist around a real
+    //    C_{2k}. Completeness is forfeit (see claim_under_faults).
+    os << "soundness under " << congest::describe(faults) << ": engine rejected ("
+       << sequential.result.rejecting_nodes.size()
+       << " nodes) but the oracle certifies no C_" << 2 * k;
+    return os.str();
+  }
+  return {};
+}
+
+congest::FaultSpec random_fault_spec(std::uint64_t instance_seed) {
+  std::uint64_t state = instance_seed ^ 0xFA175EEDULL;
+  const std::uint64_t class_draw = splitmix64(state);
+  const bool high = (splitmix64(state) & 1) != 0;
+  congest::FaultSpec spec;
+  spec.seed = splitmix64(state);
+  switch (class_draw % 5) {
+    case 0: spec.drop_prob = high ? 0.3 : 0.05; break;
+    case 1: spec.duplicate_prob = high ? 0.3 : 0.05; break;
+    case 2: spec.reorder_window = high ? 4 : 1; break;
+    case 3:
+      spec.crash_fraction = high ? 0.2 : 0.03;
+      spec.crash_horizon = 8;
+      break;
+    default:
+      spec.drop_prob = high ? 0.15 : 0.03;
+      spec.duplicate_prob = high ? 0.15 : 0.03;
+      spec.reorder_window = high ? 2 : 1;
+      spec.crash_fraction = high ? 0.1 : 0.02;
+      spec.crash_horizon = 8;
+      break;
+  }
+  return spec;
 }
 
 FuzzReport run_fuzzer(const FuzzOptions& options) {
@@ -336,6 +505,17 @@ FuzzReport run_fuzzer(const FuzzOptions& options) {
                                                  instance.recipe)) {
         record_finding(std::move(*finding));
       }
+      if (options.with_faults) {
+        ++report.fault_checks;
+        bool flaky = false;
+        if (auto finding =
+                run_fault_differential(g, k, instance_seed, oracle.has_even_cycle,
+                                       options.engine_threads, instance.recipe, &flaky)) {
+          record_finding(std::move(*finding));
+        } else if (flaky) {
+          ++report.flaky_candidates;
+        }
+      }
     }
   }
 
@@ -367,6 +547,7 @@ std::string fuzz_report_to_json(const FuzzReport& report) {
       {"instances", JsonValue::number(static_cast<double>(report.instances))},
       {"detector_runs", JsonValue::number(static_cast<double>(report.detector_runs))},
       {"engine_checks", JsonValue::number(static_cast<double>(report.engine_checks))},
+      {"fault_checks", JsonValue::number(static_cast<double>(report.fault_checks))},
       {"oracle_fallbacks", JsonValue::number(static_cast<double>(report.oracle_fallbacks))},
       {"mismatches", JsonValue::number(static_cast<double>(report.mismatches))},
       {"flaky_candidates", JsonValue::number(static_cast<double>(report.flaky_candidates))},
@@ -391,6 +572,7 @@ void print_fuzz_report(std::ostream& os, const FuzzReport& report) {
   }
   table.print(os);
   os << "engine checks: " << report.engine_checks
+     << "  fault checks: " << report.fault_checks
      << "  oracle fallbacks: " << report.oracle_fallbacks
      << "  flaky candidates: " << report.flaky_candidates
      << "  shrink evaluations: " << report.shrink_evaluations << "\n";

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "congest/faults.hpp"
 #include "graph/graph.hpp"
 
 namespace evencycle::fuzz {
@@ -35,6 +36,11 @@ struct FuzzOptions {
   /// Self-test mode: run only the planted-bug shim and stop on the first
   /// minimized counterexample.
   bool mutate_engine = false;
+  /// Fault-injection mode (`evencycle fuzz --faults`): per instance, derive
+  /// a random fault schedule from the instance seed and run the engine
+  /// fault check on top of the fault-free differential. Failures are shrunk
+  /// schedule-first, then graph, and stored as "engine-faults" documents.
+  bool with_faults = false;
 
   graph::VertexId max_nodes = 72;
   std::uint32_t max_mutations = 3;
@@ -59,6 +65,7 @@ struct FuzzReport {
   std::uint64_t instances = 0;
   std::uint64_t detector_runs = 0;
   std::uint64_t engine_checks = 0;
+  std::uint64_t fault_checks = 0;       ///< engine fault probes (--faults only)
   std::uint64_t oracle_fallbacks = 0;   ///< exact search exhausted, color coding used
   std::uint64_t mismatches = 0;         ///< confirmed findings (all kinds)
   /// Candidate mismatches that did not survive the independent
@@ -82,6 +89,28 @@ FuzzReport run_fuzzer(const FuzzOptions& options);
 /// replay can re-run "engine"-kind documents.
 std::string engine_differential_check(const graph::Graph& g, std::uint32_t k,
                                       std::uint64_t seed, std::uint32_t threads);
+
+/// One engine fault probe: the message-level color-BFS protocol under a
+/// fault schedule, cross-checked against the claims that survive the
+/// schedule's fault classes (fuzz/detectors.hpp claim_under_faults):
+///   1. bit-identical rejection sets AND fault counters at 1 vs `threads`
+///      workers (the injected determinism contract);
+///   2. for a non-lossy schedule (duplication / reorder only), results
+///      bit-identical to the fault-free engine run — set semantics must
+///      absorb the faults exactly;
+///   3. for a lossy schedule, soundness: a rejection under faults must
+///      witness a C_{2k} the oracle confirmed (`oracle_even`).
+/// Returns the empty string when every surviving claim holds, a description
+/// of the violation otherwise. Exposed so corpus replay can re-run
+/// "engine-faults" documents.
+std::string engine_fault_check(const graph::Graph& g, std::uint32_t k, std::uint64_t seed,
+                               const congest::FaultSpec& faults, std::uint32_t threads,
+                               bool oracle_even);
+
+/// The fault schedule `--faults` pairs with an instance seed: a rotating
+/// fault class (drop, duplicate, reorder, crash, mixed) at a rotating
+/// intensity, fully derived from `instance_seed`. Exposed for tests.
+congest::FaultSpec random_fault_spec(std::uint64_t instance_seed);
 
 /// `evencycle-fuzz-report-v1` JSON document.
 std::string fuzz_report_to_json(const FuzzReport& report);

@@ -68,4 +68,75 @@ ShrinkResult shrink_counterexample(const Graph& g, const ShrinkPredicate& predic
   return result;
 }
 
+FaultShrinkResult shrink_fault_spec(const congest::FaultSpec& spec,
+                                    const FaultShrinkPredicate& predicate) {
+  FaultShrinkResult result;
+  result.spec = spec;
+  EC_REQUIRE(predicate(result.spec), "shrink: the fault spec does not fail the predicate");
+  ++result.evaluations;
+
+  const auto try_candidate = [&](congest::FaultSpec candidate) {
+    ++result.evaluations;
+    if (!predicate(candidate)) return false;
+    result.spec = candidate;
+    return true;
+  };
+
+  // Axis-elimination pass: a failure that survives with a whole fault class
+  // removed is a smaller story to tell.
+  {
+    congest::FaultSpec candidate = result.spec;
+    candidate.drop_prob = 0.0;
+    if (candidate.any() && candidate != result.spec) try_candidate(candidate);
+  }
+  {
+    congest::FaultSpec candidate = result.spec;
+    candidate.duplicate_prob = 0.0;
+    if (candidate.any() && candidate != result.spec) try_candidate(candidate);
+  }
+  {
+    congest::FaultSpec candidate = result.spec;
+    candidate.reorder_window = 0;
+    if (candidate.any() && candidate != result.spec) try_candidate(candidate);
+  }
+  {
+    congest::FaultSpec candidate = result.spec;
+    candidate.crash_fraction = 0.0;
+    if (candidate.any() && candidate != result.spec) try_candidate(candidate);
+  }
+
+  // Intensity-halving passes until a fixed point (bounded: every axis halves
+  // to its floor in at most ~60 steps).
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    if (result.spec.drop_prob > 0.01) {
+      congest::FaultSpec candidate = result.spec;
+      candidate.drop_prob /= 2;
+      progressed |= try_candidate(candidate);
+    }
+    if (result.spec.duplicate_prob > 0.01) {
+      congest::FaultSpec candidate = result.spec;
+      candidate.duplicate_prob /= 2;
+      progressed |= try_candidate(candidate);
+    }
+    if (result.spec.reorder_window > 1) {
+      congest::FaultSpec candidate = result.spec;
+      candidate.reorder_window /= 2;
+      progressed |= try_candidate(candidate);
+    }
+    if (result.spec.crash_fraction > 0.01) {
+      congest::FaultSpec candidate = result.spec;
+      candidate.crash_fraction /= 2;
+      progressed |= try_candidate(candidate);
+    }
+    if (result.spec.crash_fraction > 0.0 && result.spec.crash_horizon > 1) {
+      congest::FaultSpec candidate = result.spec;
+      candidate.crash_horizon /= 2;
+      progressed |= try_candidate(candidate);
+    }
+  }
+  return result;
+}
+
 }  // namespace evencycle::fuzz

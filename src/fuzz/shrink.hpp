@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "congest/faults.hpp"
 #include "graph/graph.hpp"
 
 namespace evencycle::fuzz {
@@ -41,5 +42,24 @@ graph::Graph remove_vertex(const graph::Graph& g, graph::VertexId v);
 
 /// g minus undirected edge e. Exposed for tests.
 graph::Graph remove_edge(const graph::Graph& g, graph::EdgeId e);
+
+/// Returns true when the candidate fault schedule still exhibits the failure
+/// (on whatever graph the closure captured).
+using FaultShrinkPredicate = std::function<bool(const congest::FaultSpec&)>;
+
+struct FaultShrinkResult {
+  congest::FaultSpec spec;        ///< minimized schedule, still failing
+  std::uint64_t evaluations = 0;  ///< predicate calls spent
+};
+
+/// Minimizes a fault schedule the way shrink_counterexample minimizes a
+/// graph: first try to zero out each axis outright (drop, duplicate,
+/// reorder, crash), then repeatedly halve the surviving intensities
+/// (probabilities, reorder window, crash horizon) while the predicate keeps
+/// failing. `predicate(spec)` must be true on entry (checked). Runs
+/// alongside graph shrinking — minimize the schedule first, then the graph
+/// under the fixed minimized schedule.
+FaultShrinkResult shrink_fault_spec(const congest::FaultSpec& spec,
+                                    const FaultShrinkPredicate& predicate);
 
 }  // namespace evencycle::fuzz

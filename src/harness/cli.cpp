@@ -34,7 +34,8 @@ int usage(std::ostream& os) {
         "  evencycle compare <baseline.json> <current.json> [--max-regression R]\n"
         "                    [--max-efficiency-regression E]\n"
         "  evencycle fuzz [--minutes M] [--runs N] [--seed S] [--corpus DIR]\n"
-        "                 [--max-nodes N] [--mutate-engine] [--json] [--out FILE]\n"
+        "                 [--max-nodes N] [--mutate-engine] [--faults] [--json]\n"
+        "                 [--out FILE]\n"
         "  evencycle replay <corpus.json> [more.json ...]\n"
         "  evencycle bless-baseline [--out FILE] [run flags ...]\n";
   return 2;
@@ -514,6 +515,8 @@ int fuzz_command(int argc, char** argv, int first) {
         EC_REQUIRE(options.max_nodes >= 8, "--max-nodes must be at least 8");
       } else if (arg == "--mutate-engine") {
         options.mutate_engine = true;
+      } else if (arg == "--faults") {
+        options.with_faults = true;
       } else if (arg == "--json") {
         json = true;
       } else if (arg == "--out") {

@@ -1,0 +1,275 @@
+#include "harness/scenario_faults.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "congest/faults.hpp"
+#include "congest/network.hpp"
+#include "core/color_bfs.hpp"
+#include "core/engine_color_bfs.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::harness {
+
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+std::string u64(std::uint64_t value) { return std::to_string(value); }
+
+/// 53-bit FNV-1a digest of the rejection set — exactly representable as a
+/// double, so it travels losslessly through CellResult::extra and the JSON
+/// document, and two runs agree iff their rejecting-node lists agree.
+double reject_digest(const std::vector<VertexId>& nodes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const VertexId v : nodes) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= nodes.size();
+  h *= 0x100000001b3ULL;
+  return static_cast<double>(h & ((std::uint64_t{1} << 53) - 1));
+}
+
+/// One grid point of the fault axis: a named class at a named intensity.
+struct FaultPoint {
+  const char* fault;      ///< "none" | "drop" | "duplicate" | "reorder" | "crash"
+  const char* intensity;  ///< "-" for none, else "low" | "high"
+  congest::FaultSpec spec;
+};
+
+std::vector<FaultPoint> fault_axis(std::uint64_t fault_seed) {
+  const auto with = [fault_seed](auto&& fill) {
+    congest::FaultSpec spec;
+    spec.seed = fault_seed;
+    fill(spec);
+    return spec;
+  };
+  return {
+      {"none", "-", congest::FaultSpec{}},
+      {"drop", "low", with([](congest::FaultSpec& s) { s.drop_prob = 0.1; })},
+      {"drop", "high", with([](congest::FaultSpec& s) { s.drop_prob = 0.4; })},
+      {"duplicate", "low", with([](congest::FaultSpec& s) { s.duplicate_prob = 0.1; })},
+      {"duplicate", "high", with([](congest::FaultSpec& s) { s.duplicate_prob = 0.4; })},
+      {"reorder", "low", with([](congest::FaultSpec& s) { s.reorder_window = 1; })},
+      {"reorder", "high", with([](congest::FaultSpec& s) { s.reorder_window = 4; })},
+      {"crash", "low", with([](congest::FaultSpec& s) {
+         s.crash_fraction = 0.1;
+         s.crash_horizon = 4;
+       })},
+      {"crash", "high", with([](congest::FaultSpec& s) {
+         s.crash_fraction = 0.5;
+         s.crash_horizon = 4;
+       })},
+  };
+}
+
+/// A family instance shared by all of its cells: graph, coloring, ground
+/// truth. The planted family colors its planted C4 in chain order, so the
+/// fault-free detector finds it deterministically and loss has a real
+/// detection to degrade; the acyclic control can never be soundly rejected.
+struct FamilyInstance {
+  std::string name;
+  bool truth = false;  ///< G contains C4
+  std::shared_ptr<const Graph> graph;
+  std::shared_ptr<const std::vector<std::uint8_t>> colors;
+};
+
+FamilyInstance make_planted(VertexId nodes, std::uint64_t seed) {
+  Rng rng(seed);
+  const Graph host = graph::random_tree(nodes, rng);
+  auto planted = graph::plant_cycle(host, 4, rng);
+  auto colors = std::make_shared<std::vector<std::uint8_t>>(
+      core::random_coloring(planted.graph.vertex_count(), 4, rng));
+  for (std::size_t i = 0; i < planted.cycle.size(); ++i)
+    (*colors)[planted.cycle[i]] = static_cast<std::uint8_t>(i);
+  FamilyInstance family;
+  family.name = "planted-even";
+  family.truth = true;
+  family.graph = std::make_shared<const Graph>(std::move(planted.graph));
+  family.colors = std::move(colors);
+  return family;
+}
+
+FamilyInstance make_acyclic(VertexId nodes, std::uint64_t seed) {
+  Rng rng(seed);
+  FamilyInstance family;
+  family.name = "acyclic";
+  family.truth = false;
+  family.graph = std::make_shared<const Graph>(graph::random_tree(nodes, rng));
+  family.colors = std::make_shared<const std::vector<std::uint8_t>>(
+      core::random_coloring(nodes, 4, rng));
+  return family;
+}
+
+const std::string& label(const Labels& labels, const char* key) {
+  static const std::string empty;
+  for (const auto& [k, v] : labels)
+    if (k == key) return v;
+  return empty;
+}
+
+double extra_value(const Series& extra, const char* key) {
+  for (const auto& [k, v] : extra)
+    if (k == key) return v;
+  return -1.0;
+}
+
+Series summarize(const std::vector<CellRecord>& cells) {
+  // Determinism pass: every (family, fault, intensity, rep) pair of thread
+  // cells must agree on the full deterministic payload, fault counters
+  // included — the tentpole contract, surfaced where CI reads it.
+  bool deterministic = true;
+  const auto payload_equal = [](const CellResult& a, const CellResult& b) {
+    return a.detected == b.detected && a.messages == b.messages && a.extra == b.extra;
+  };
+  const auto cell_key = [](const CellRecord& cell) {
+    return label(cell.labels, "family") + '|' + label(cell.labels, "fault") + '|' +
+           label(cell.labels, "intensity") + '|' + label(cell.labels, "rep");
+  };
+  for (const auto& cell : cells) {
+    if (!cell.result.ok) deterministic = false;
+    for (const auto& other : cells) {
+      if (&other == &cell || cell_key(other) != cell_key(cell)) continue;
+      if (!payload_equal(cell.result, other.result)) deterministic = false;
+    }
+  }
+
+  // Claim pass against the family's fault-free baseline (threads label is
+  // irrelevant after the determinism pass; classify every cell).
+  double survived = 0;
+  double degraded = 0;
+  double violations = 0;
+  for (const auto& cell : cells) {
+    if (label(cell.labels, "fault") == "none") continue;
+    const CellRecord* baseline = nullptr;
+    for (const auto& other : cells) {
+      if (label(other.labels, "fault") == "none" &&
+          label(other.labels, "family") == label(cell.labels, "family") &&
+          label(other.labels, "rep") == label(cell.labels, "rep") &&
+          label(other.labels, "threads") == label(cell.labels, "threads")) {
+        baseline = &other;
+        break;
+      }
+    }
+    if (baseline == nullptr || !cell.result.ok || !baseline->result.ok) {
+      violations += 1;
+      continue;
+    }
+    const bool matches_baseline =
+        cell.result.detected == baseline->result.detected &&
+        extra_value(cell.result.extra, "reject-digest") ==
+            extra_value(baseline->result.extra, "reject-digest");
+    const bool lossy = label(cell.labels, "lossy") == "yes";
+    const bool truth = label(cell.labels, "truth") == "even";
+    if (matches_baseline) {
+      survived += 1;
+    } else if (!lossy) {
+      // Duplication / reorder must be absorbed exactly (set semantics).
+      violations += 1;
+    } else if (cell.result.detected && !truth) {
+      // Loss keeps soundness: rejecting the acyclic family is a violation.
+      violations += 1;
+    } else {
+      degraded += 1;  // completeness lost, soundness intact — the allowed fate
+    }
+  }
+
+  return Series{{"deterministic", deterministic ? 1.0 : 0.0},
+                {"survived", survived},
+                {"degraded", degraded},
+                {"claim-violations", violations},
+                {"survived-claims", (deterministic && violations == 0) ? 1.0 : 0.0}};
+}
+
+}  // namespace
+
+Scenario engine_faults_scenario() {
+  Scenario scenario;
+  scenario.name = "engine-faults";
+  scenario.description =
+      "fault-injection matrix: color-BFS under drop/duplicate/reorder/crash "
+      "at two intensities, claim-checked against known ground truth";
+  scenario.plan = [](const RunOptions& options) {
+    const VertexId nodes = options.nodes != 0 ? static_cast<VertexId>(options.nodes) : 240;
+    const std::uint32_t seeds = options.seeds != 0 ? options.seeds : 1;
+    // Fixed axis, never hardware-derived: documents from different machines
+    // must stay comparable cell-for-cell. --threads probes {1, t} instead.
+    const std::vector<std::uint32_t> thread_axis = {
+        1, options.threads != 0 ? options.threads : 4};
+
+    core::ColorBfsSpec base_spec;
+    base_spec.cycle_length = 4;
+    base_spec.threshold = 8;
+
+    ScenarioPlan plan;
+    plan.params = {{"nodes", u64(nodes)},
+                   {"cycle-length", u64(base_spec.cycle_length)},
+                   {"threshold", u64(base_spec.threshold)},
+                   {"grid", "2 families x 9 fault points x " +
+                                u64(thread_axis.size()) + " thread counts"}};
+
+    for (std::uint32_t rep = 0; rep < seeds; ++rep) {
+      // Per-rep derived streams: the graphs, colorings, and fault seeds are
+      // functions of (run seed, rep) alone — never of cell scheduling — so
+      // the grid is bit-identical at any batch width and thread count.
+      std::uint64_t stream = options.seed ^ (0x9E3779B97F4A7C15ULL * (rep + 1));
+      const std::uint64_t planted_seed = splitmix64(stream);
+      const std::uint64_t acyclic_seed = splitmix64(stream);
+      const std::uint64_t fault_seed = splitmix64(stream);
+      const FamilyInstance families[] = {make_planted(nodes, planted_seed),
+                                         make_acyclic(nodes, acyclic_seed)};
+      for (const FamilyInstance& family : families) {
+        for (const FaultPoint& point : fault_axis(fault_seed)) {
+          for (const std::uint32_t threads : thread_axis) {
+            Cell cell;
+            cell.labels = {{"family", family.name},
+                           {"truth", family.truth ? "even" : "none"},
+                           {"fault", point.fault},
+                           {"intensity", point.intensity},
+                           {"lossy", point.spec.lossy() ? "yes" : "no"},
+                           {"schedule", congest::describe(point.spec)},
+                           {"threads", u64(threads)},
+                           {"rep", u64(rep)}};
+            cell.run = [family, point, threads, base_spec](Rng&) {
+              core::ColorBfsSpec spec = base_spec;
+              spec.colors = family.colors.get();
+              congest::Config config;
+              config.threads = threads;
+              config.faults = point.spec;
+              congest::Network net(*family.graph, config);
+              const auto outcome = core::run_color_bfs_on_engine(net, spec);
+              const auto& metrics = net.metrics();
+              CellResult result;
+              result.detected = outcome.rejected;
+              result.rounds_measured = outcome.rounds;
+              result.messages = outcome.messages;
+              result.extra = {
+                  {"reject-digest", reject_digest(outcome.rejecting_nodes)},
+                  {"rejecting-nodes", static_cast<double>(outcome.rejecting_nodes.size())},
+                  {"dropped", static_cast<double>(metrics.dropped_messages)},
+                  {"duplicated", static_cast<double>(metrics.duplicated_messages)},
+                  {"reordered", static_cast<double>(metrics.reordered_messages)},
+                  {"crashed-nodes", static_cast<double>(metrics.crashed_nodes)},
+                  {"suppressed-sends",
+                   static_cast<double>(metrics.crash_suppressed_sends)},
+              };
+              return result;
+            };
+            plan.cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+    plan.finalize = summarize;
+    return plan;
+  };
+  return scenario;
+}
+
+}  // namespace evencycle::harness

@@ -1,0 +1,24 @@
+// The `engine-faults` scenario: a detector × fault-class × intensity grid
+// over the round engine's fault-injection subsystem (congest/faults.hpp).
+//
+// Two graph families with known ground truth (a planted-C4 host and an
+// acyclic control) run the message-level color-BFS detector under every
+// fault class at two intensities, at two thread counts each. The finalize
+// pass checks the injected-determinism contract (thread-count pairs must be
+// bit-identical, fault counters included) and classifies every faulted cell
+// against the claim that survives its fault class (fuzz claim fallout):
+// duplication/reorder must reproduce the fault-free run exactly, loss may
+// only degrade completeness — a rejection on the acyclic family is a
+// soundness violation. CI gates on the summary:
+//
+//   evencycle run engine-faults --require survived-claims=1
+//                               --require-max claim-violations=0
+#pragma once
+
+#include "harness/scenario.hpp"
+
+namespace evencycle::harness {
+
+Scenario engine_faults_scenario();
+
+}  // namespace evencycle::harness

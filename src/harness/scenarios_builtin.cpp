@@ -16,6 +16,7 @@
 #include "graph/generators.hpp"
 #include "harness/json.hpp"
 #include "harness/palette.hpp"
+#include "harness/scenario_faults.hpp"
 #include "quantum/quantum_cycle.hpp"
 #include "service/soak.hpp"
 #include "support/stats.hpp"
@@ -722,6 +723,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(table1_classical_scenario());
   registry.add(table1_quantum_scenario());
   registry.add(service::service_soak_scenario());
+  registry.add(engine_faults_scenario());
 }
 
 }  // namespace evencycle::harness

@@ -1,0 +1,352 @@
+// Fault-injection suite: the FaultPlan's fate functions are pure, injected
+// runs (counters AND inbox contents) are bit-identical at threads 1/2/4,
+// each fault class does exactly what it claims at probability 0 and 1, and
+// a network losing every message — or every node — still terminates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "congest/faults.hpp"
+#include "congest/network.hpp"
+#include "congest/workloads.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace evencycle::congest {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+Graph fault_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  // Dense enough that every shard pair exchanges messages at 2/4 threads.
+  return graph::erdos_renyi(180, 0.06, rng);
+}
+
+/// Records every delivered word per node so runs can be compared exactly
+/// (arrival order included) or as multisets (for reorder).
+struct InboxRecord {
+  // per_node[v] = flat (round, port, tag, payload) quadruples, arrival order.
+  std::vector<std::vector<std::uint64_t>> per_node;
+
+  explicit InboxRecord(VertexId n) : per_node(n) {}
+
+  void log(VertexId v, std::uint64_t round, const InboundMessage& in) {
+    auto& out = per_node[v];
+    out.push_back(round);
+    out.push_back(in.port);
+    out.push_back(in.message.tag);
+    out.push_back(in.message.payload);
+  }
+};
+
+/// Broadcasts a fresh round-stamped word every round and records every
+/// arrival. Bandwidth-safe at one word per link no matter what the
+/// adversary does to the inboxes (it never echoes), so it can run under
+/// duplication without tripping the send-side bandwidth check.
+class ChattyRecordProgram final : public ShardProgram {
+ public:
+  explicit ChattyRecordProgram(InboxRecord* record) : record_(record) {}
+
+  void on_round(ShardContext& ctx, VertexId first, VertexId last) override {
+    const auto round = ctx.round();
+    for (VertexId v = first; v < last; ++v) {
+      for (const auto& in : ctx.inbox(v)) record_->log(v, round, in);
+      // Deliberately ignores halted(): a crashed node's broadcasts must be
+      // swallowed by the engine, which is what crash_suppressed_sends counts.
+      ctx.broadcast(v, {0, (v << 8) | round});
+    }
+  }
+
+ private:
+  InboxRecord* record_;
+};
+
+/// Echo: round 0 sends the node id on every port; afterwards every received
+/// word goes back out on its arrival port. Message-driven, so the protocol
+/// falls silent exactly when delivery does — but only bandwidth-safe when
+/// the adversary does not duplicate (two arrivals on one port would echo
+/// two words into a one-word link).
+class EchoShardProgram final : public ShardProgram {
+ public:
+  explicit EchoShardProgram(InboxRecord* record = nullptr) : record_(record) {}
+
+  void on_round(ShardContext& ctx, VertexId first, VertexId last) override {
+    const auto round = ctx.round();
+    for (VertexId v = first; v < last; ++v) {
+      if (round == 0) {
+        ctx.broadcast(v, {0, v});
+        continue;
+      }
+      for (const auto& in : ctx.inbox(v)) {
+        if (record_ != nullptr) record_->log(v, round, in);
+        ctx.send(v, in.port, in.message);
+      }
+    }
+  }
+
+ private:
+  InboxRecord* record_;
+};
+
+struct FaultRun {
+  Metrics metrics;
+  InboxRecord record;
+};
+
+FaultRun run_chatty(const Graph& g, const FaultSpec& faults,
+                    std::uint32_t threads, std::uint64_t rounds) {
+  Config config;
+  config.threads = threads;
+  config.faults = faults;
+  Network net(g, config);
+  FaultRun run{.metrics = {}, .record = InboxRecord(g.vertex_count())};
+  net.install(std::make_shared<ChattyRecordProgram>(&run.record));
+  net.run_rounds(rounds);
+  run.metrics = net.metrics();
+  return run;
+}
+
+FaultSpec mixed_spec() {
+  FaultSpec spec;
+  spec.seed = 0xFA17FA17ULL;
+  spec.drop_prob = 0.2;
+  spec.duplicate_prob = 0.15;
+  spec.reorder_window = 2;
+  spec.crash_fraction = 0.2;
+  spec.crash_horizon = 4;
+  return spec;
+}
+
+TEST(FaultPlan, FatesArePureFunctionsOfTheSpec) {
+  const FaultSpec spec = mixed_spec();
+  const FaultPlan a(64, spec);
+  const FaultPlan b(64, spec);
+  for (std::uint64_t round = 0; round < 6; ++round) {
+    for (std::uint32_t arc = 0; arc < 48; ++arc) {
+      EXPECT_EQ(a.drops(round, arc, 0), b.drops(round, arc, 0));
+      EXPECT_EQ(a.duplicates(round, arc, 1), b.duplicates(round, arc, 1));
+    }
+  }
+  for (VertexId v = 0; v < 64; ++v) EXPECT_EQ(a.crash_round(v), b.crash_round(v));
+  // Crash rounds honor the horizon and never land in round 0.
+  EXPECT_FALSE(a.crash_schedule().empty());
+  for (const auto& [round, v] : a.crash_schedule()) {
+    EXPECT_GE(round, 1u);
+    EXPECT_LE(round, spec.crash_horizon);
+    EXPECT_EQ(a.crash_round(v), round);
+  }
+}
+
+TEST(FaultPlan, ProbabilityEndpointsAreExact) {
+  FaultSpec all;
+  all.seed = 7;
+  all.drop_prob = 1.0;
+  all.duplicate_prob = 1.0;
+  FaultSpec none;
+  none.seed = 7;
+  none.reorder_window = 1;  // keep any() true with both probabilities zero
+  const FaultPlan always(16, all);
+  const FaultPlan never(16, none);
+  for (std::uint32_t arc = 0; arc < 64; ++arc) {
+    EXPECT_TRUE(always.drops(3, arc, 0));
+    EXPECT_TRUE(always.duplicates(3, arc, 0));
+    EXPECT_FALSE(never.drops(3, arc, 0));
+    EXPECT_FALSE(never.duplicates(3, arc, 0));
+  }
+}
+
+TEST(FaultPlan, SpecDescriptionsAreReadable) {
+  EXPECT_EQ(describe(FaultSpec{}), "none");
+  FaultSpec spec;
+  spec.drop_prob = 0.25;
+  spec.crash_fraction = 0.1;
+  spec.crash_horizon = 8;
+  EXPECT_EQ(describe(spec), "drop=0.25 crash=0.1/8");
+}
+
+// The tentpole guarantee: an injected run — fault counters, every metric,
+// and every inbox's exact contents and order — is bit-identical at every
+// thread count for a fixed plan seed.
+TEST(Faults, InjectedRunsIdenticalAcrossThreadCounts) {
+  const Graph g = fault_graph(21);
+  const auto reference = run_chatty(g, mixed_spec(), 1, 10);
+  EXPECT_GT(reference.metrics.dropped_messages, 0u);
+  EXPECT_GT(reference.metrics.duplicated_messages, 0u);
+  EXPECT_GT(reference.metrics.reordered_messages, 0u);
+  EXPECT_GT(reference.metrics.crashed_nodes, 0u);
+  EXPECT_GT(reference.metrics.crash_suppressed_sends, 0u);
+  for (const std::uint32_t threads : {2u, 4u}) {
+    const auto run = run_chatty(g, mixed_spec(), threads, 10);
+    EXPECT_EQ(run.metrics.rounds, reference.metrics.rounds) << "threads=" << threads;
+    EXPECT_EQ(run.metrics.messages, reference.metrics.messages) << "threads=" << threads;
+    EXPECT_EQ(run.metrics.busiest_round_messages, reference.metrics.busiest_round_messages)
+        << "threads=" << threads;
+    EXPECT_EQ(run.metrics.peak_arena_bytes, reference.metrics.peak_arena_bytes)
+        << "threads=" << threads;
+    EXPECT_EQ(run.metrics.dropped_messages, reference.metrics.dropped_messages)
+        << "threads=" << threads;
+    EXPECT_EQ(run.metrics.duplicated_messages, reference.metrics.duplicated_messages)
+        << "threads=" << threads;
+    EXPECT_EQ(run.metrics.reordered_messages, reference.metrics.reordered_messages)
+        << "threads=" << threads;
+    EXPECT_EQ(run.metrics.crashed_nodes, reference.metrics.crashed_nodes)
+        << "threads=" << threads;
+    EXPECT_EQ(run.metrics.crash_suppressed_sends, reference.metrics.crash_suppressed_sends)
+        << "threads=" << threads;
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+      ASSERT_EQ(run.record.per_node[v], reference.record.per_node[v])
+          << "inbox mismatch at vertex " << v << ", threads=" << threads;
+  }
+}
+
+// The regression the ISSUE pins: losing every message must not hang
+// run_until_quiet. The echo protocol goes quiet the round after its last
+// delivery, so a drop-everything plan silences it in exactly two rounds.
+TEST(Faults, DropEverythingStillTerminatesRunUntilQuiet) {
+  const Graph g = fault_graph(5);
+  FaultSpec drop_all;
+  drop_all.seed = 11;
+  drop_all.drop_prob = 1.0;
+  Config config;
+  config.faults = drop_all;
+  Network net(g, config);
+  InboxRecord record(g.vertex_count());
+  net.install(std::make_shared<EchoShardProgram>(&record));
+  EXPECT_EQ(net.run_until_quiet(1000), 2u);
+  EXPECT_EQ(net.metrics().dropped_messages, 2 * g.edge_count());
+  for (const auto& log : record.per_node) EXPECT_TRUE(log.empty());
+
+  // Control: fault-free echo ping-pongs forever and eats the whole budget.
+  Network healthy(g, Config{});
+  healthy.install(std::make_shared<EchoShardProgram>());
+  EXPECT_EQ(healthy.run_until_quiet(40), 40u);
+}
+
+TEST(Faults, DuplicateEverythingDeliversEveryWordTwice) {
+  const Graph g = fault_graph(9);
+  FaultSpec dup_all;
+  dup_all.seed = 3;
+  dup_all.duplicate_prob = 1.0;
+  const auto run = run_chatty(g, dup_all, 1, 2);
+  // Both rounds' broadcasts (one per arc each) are delivered doubled; the
+  // recorded inboxes only cover round 1, which sees round 0's words.
+  EXPECT_EQ(run.metrics.duplicated_messages, 4 * g.edge_count());
+  EXPECT_EQ(run.metrics.dropped_messages, 0u);
+  // Every round-1 inbox holds each neighbor's word twice, back to back.
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto& log = run.record.per_node[v];
+    ASSERT_EQ(log.size(), 4u * 2 * g.degree(v)) << "vertex " << v;
+    for (std::size_t i = 0; i + 7 < log.size(); i += 8)
+      for (std::size_t field = 0; field < 4; ++field)
+        EXPECT_EQ(log[i + field], log[i + 4 + field]) << "vertex " << v;
+  }
+}
+
+TEST(Faults, ReorderPreservesEveryWordAndMovesSome) {
+  const Graph g = fault_graph(13);
+  FaultSpec reorder;
+  reorder.seed = 17;
+  reorder.reorder_window = 3;
+  const auto shuffled = run_chatty(g, reorder, 1, 6);
+  const auto clean = run_chatty(g, FaultSpec{}, 1, 6);
+  EXPECT_GT(shuffled.metrics.reordered_messages, 0u);
+  EXPECT_EQ(shuffled.metrics.dropped_messages, 0u);
+  EXPECT_EQ(shuffled.metrics.duplicated_messages, 0u);
+  EXPECT_EQ(shuffled.metrics.messages, clean.metrics.messages);
+  // Same words delivered (as multisets of quadruples), possibly new order.
+  bool any_moved = false;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    auto a = shuffled.record.per_node[v];
+    auto b = clean.record.per_node[v];
+    any_moved = any_moved || a != b;
+    std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t>>
+        qa, qb;
+    for (std::size_t i = 0; i + 3 < a.size(); i += 4)
+      qa.emplace_back(a[i], a[i + 1], a[i + 2], a[i + 3]);
+    for (std::size_t i = 0; i + 3 < b.size(); i += 4)
+      qb.emplace_back(b[i], b[i + 1], b[i + 2], b[i + 3]);
+    std::sort(qa.begin(), qa.end());
+    std::sort(qb.begin(), qb.end());
+    ASSERT_EQ(qa, qb) << "reorder lost or invented words at vertex " << v;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(Faults, CrashStopSilencesNodesAndStillQuiesces) {
+  const Graph g = fault_graph(33);
+  FaultSpec crash_all;
+  crash_all.seed = 29;
+  crash_all.crash_fraction = 1.0;
+  crash_all.crash_horizon = 1;  // everyone crashes entering round 1
+  Config config;
+  config.faults = crash_all;
+  Network net(g, config);
+  net.install(std::make_shared<FloodShardProgram>());
+  // Round 0 floods normally; every round-1 broadcast is suppressed, so the
+  // round is quiet and the run stops at two rounds.
+  EXPECT_EQ(net.run_until_quiet(100), 2u);
+  EXPECT_EQ(net.metrics().messages, 2 * g.edge_count());
+  EXPECT_EQ(net.metrics().crashed_nodes, g.vertex_count());
+  EXPECT_EQ(net.metrics().crash_suppressed_sends, 2 * g.edge_count());
+  EXPECT_TRUE(net.all_halted());
+
+  // A crashed-out network also terminates run_to_quiescence immediately.
+  Network again(g, config);
+  again.install(std::make_shared<FloodShardProgram>());
+  EXPECT_LE(again.run_to_quiescence(100), 2u);
+}
+
+// Word-indexed fates: at words_per_round > 1 each word on an arc draws its
+// own fate, so a 50% drop plan thins a 3-word burst rather than acting per
+// arc — and stays bit-identical across thread counts.
+TEST(Faults, WordIndexedFatesAreIndependentAndDeterministic) {
+  const Graph g = fault_graph(41);
+
+  /// Three words per port per round.
+  class BurstProgram final : public ShardProgram {
+   public:
+    void on_round(ShardContext& ctx, VertexId first, VertexId last) override {
+      for (VertexId v = first; v < last; ++v) {
+        const std::uint32_t deg = ctx.degree(v);
+        for (std::uint32_t port = 0; port < deg; ++port)
+          for (std::uint64_t w = 0; w < 3; ++w) ctx.send(v, port, {0, (v << 2) | w});
+      }
+    }
+  };
+
+  FaultSpec spec;
+  spec.seed = 71;
+  spec.drop_prob = 0.5;
+  const auto run_at = [&](std::uint32_t threads) {
+    Config config;
+    config.words_per_round = 3;
+    config.threads = threads;
+    config.faults = spec;
+    Network net(g, config);
+    net.install(std::make_shared<BurstProgram>());
+    net.run_rounds(4);
+    return net.metrics();
+  };
+  const Metrics reference = run_at(1);
+  const std::uint64_t staged = reference.messages;
+  // ~half the words drop: a per-arc fate would drop in multiples of 3 only
+  // and a degenerate one would drop all or nothing.
+  EXPECT_GT(reference.dropped_messages, staged / 4);
+  EXPECT_LT(reference.dropped_messages, 3 * staged / 4);
+  EXPECT_NE(reference.dropped_messages % 3, 0u);  // seed-checked: not arc-granular
+  for (const std::uint32_t threads : {2u, 4u}) {
+    const Metrics metrics = run_at(threads);
+    EXPECT_EQ(metrics.dropped_messages, reference.dropped_messages)
+        << "threads=" << threads;
+    EXPECT_EQ(metrics.messages, reference.messages) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace evencycle::congest

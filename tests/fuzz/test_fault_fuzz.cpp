@@ -1,0 +1,186 @@
+// Fuzz-layer fault-injection coverage: claim fallout, schedule shrinking,
+// the per-instance schedule generator, the engine fault probe, and the
+// corpus round trip for "engine-faults" documents.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "congest/faults.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/detectors.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/shrink.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace evencycle::fuzz {
+namespace {
+
+congest::FaultSpec drop_spec(double p) {
+  congest::FaultSpec spec;
+  spec.seed = 0xFA17;
+  spec.drop_prob = p;
+  return spec;
+}
+
+TEST(FaultClaims, NonLossyFaultsLeaveEveryClaimIntact) {
+  congest::FaultSpec spec;
+  spec.duplicate_prob = 0.5;
+  spec.reorder_window = 4;
+  ASSERT_FALSE(spec.lossy());
+  for (const Claim claim : {Claim::kEvenExact, Claim::kEvenComplete, Claim::kEvenSound,
+                            Claim::kBoundedSound})
+    EXPECT_EQ(claim_under_faults(claim, spec), claim);
+}
+
+TEST(FaultClaims, LossDemotesCompletenessButNotSoundness) {
+  const auto spec = drop_spec(0.1);
+  ASSERT_TRUE(spec.lossy());
+  EXPECT_EQ(claim_under_faults(Claim::kEvenExact, spec), Claim::kEvenSound);
+  EXPECT_EQ(claim_under_faults(Claim::kEvenComplete, spec), Claim::kEvenSound);
+  EXPECT_EQ(claim_under_faults(Claim::kEvenSound, spec), Claim::kEvenSound);
+  EXPECT_EQ(claim_under_faults(Claim::kBoundedSound, spec), Claim::kBoundedSound);
+
+  congest::FaultSpec crash;
+  crash.crash_fraction = 0.2;
+  ASSERT_TRUE(crash.lossy());
+  EXPECT_EQ(claim_under_faults(Claim::kEvenExact, crash), Claim::kEvenSound);
+}
+
+TEST(FaultSpecShrink, EliminatesIrrelevantAxesAndHalvesTheSurvivor) {
+  congest::FaultSpec mixed;
+  mixed.seed = 99;
+  mixed.drop_prob = 0.32;
+  mixed.duplicate_prob = 0.25;
+  mixed.reorder_window = 3;
+  mixed.crash_fraction = 0.2;
+  mixed.crash_horizon = 16;
+  // "The failure" only needs enough drop probability; every other axis is
+  // noise the shrinker must strip.
+  const auto result =
+      shrink_fault_spec(mixed, [](const congest::FaultSpec& s) { return s.drop_prob >= 0.04; });
+  EXPECT_EQ(result.spec.duplicate_prob, 0.0);
+  EXPECT_EQ(result.spec.reorder_window, 0u);
+  EXPECT_EQ(result.spec.crash_fraction, 0.0);
+  EXPECT_GE(result.spec.drop_prob, 0.04);
+  EXPECT_LT(result.spec.drop_prob, 0.09);  // halved from 0.32 until just above the floor
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(FaultSpecShrink, RejectsASpecThatDoesNotFail) {
+  EXPECT_THROW(
+      shrink_fault_spec(drop_spec(0.5), [](const congest::FaultSpec&) { return false; }),
+      InvalidArgument);
+}
+
+TEST(RandomFaultSpec, IsAPureFunctionOfTheInstanceSeed) {
+  for (std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xFFFFFFFFFFFFFFFFULL}) {
+    const auto a = random_fault_spec(seed);
+    const auto b = random_fault_spec(seed);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(a.any()) << "every --faults instance must inject something";
+    EXPECT_GE(a.drop_prob, 0.0);
+    EXPECT_LE(a.drop_prob, 1.0);
+    EXPECT_GE(a.duplicate_prob, 0.0);
+    EXPECT_LE(a.duplicate_prob, 1.0);
+    EXPECT_GE(a.crash_fraction, 0.0);
+    EXPECT_LE(a.crash_fraction, 1.0);
+    if (a.crash_fraction > 0.0) {
+      EXPECT_GT(a.crash_horizon, 0u);
+    }
+  }
+  // The class rotation actually rotates: five consecutive seeds cannot all
+  // produce the same schedule.
+  bool any_differs = false;
+  const auto first = random_fault_spec(100);
+  for (std::uint64_t seed = 101; seed < 105; ++seed)
+    if (!(random_fault_spec(seed) == first)) any_differs = true;
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(EngineFaultCheck, HoldsOnAKnownEvenCycleUnderEveryClass) {
+  const auto g = graph::cycle(4);
+  congest::FaultSpec duplicate;
+  duplicate.seed = 7;
+  duplicate.duplicate_prob = 0.6;
+  congest::FaultSpec reorder;
+  reorder.seed = 7;
+  reorder.reorder_window = 3;
+  congest::FaultSpec crash;
+  crash.seed = 7;
+  crash.crash_fraction = 0.5;
+  crash.crash_horizon = 2;
+  for (const auto& spec : {drop_spec(0.4), duplicate, reorder, crash})
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL})
+      EXPECT_EQ(engine_fault_check(g, 2, seed, spec, 2, /*oracle_even=*/true), "")
+          << congest::describe(spec) << " seed " << seed;
+}
+
+TEST(FuzzCorpus, FaultScheduleSurvivesTheJsonRoundTrip) {
+  Counterexample ce;
+  ce.kind = "engine-faults";
+  ce.detector = "engine-color-bfs";
+  ce.k = 2;
+  ce.seed = 0xFFFFFFFFFFFFFFF1ULL;  // above 2^53: must travel as a string
+  ce.threads = 2;
+  ce.oracle_even = true;
+  ce.recipe = "cycle(4) [drop=0.25]";
+  ce.graph = graph::cycle(4);
+  ce.faults = drop_spec(0.25);
+  ce.faults.seed = 0xFFFFFFFFFFFFFFF2ULL;  // likewise above 2^53
+  const auto parsed = counterexample_from_json(to_json(ce));
+  EXPECT_EQ(parsed.kind, ce.kind);
+  EXPECT_EQ(parsed.seed, ce.seed);
+  EXPECT_EQ(parsed.faults, ce.faults);
+}
+
+TEST(FuzzCorpus, DocumentsWithoutAFaultsBlockParseAsFaultFree) {
+  // Pre-fault corpus documents lack the optional block entirely; tolerant
+  // parsing must leave the all-zero (disabled) schedule.
+  Counterexample ce;
+  ce.kind = "soundness";
+  ce.detector = "even-cycle";
+  ce.k = 2;
+  ce.graph = graph::cycle(4);
+  ASSERT_FALSE(ce.faults.any());
+  const auto parsed = counterexample_from_json(to_json(ce));
+  EXPECT_FALSE(parsed.faults.any());
+  EXPECT_EQ(parsed.faults, congest::FaultSpec{});
+}
+
+TEST(FuzzCorpus, DistinctSchedulesOnOneGraphAreDistinctFindings) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "evencycle-fault-corpus-test").string();
+  std::filesystem::remove_all(dir);
+  Counterexample ce;
+  ce.kind = "engine-faults";
+  ce.detector = "engine-color-bfs";
+  ce.k = 2;
+  ce.graph = graph::cycle(4);
+  ce.faults = drop_spec(0.25);
+  const auto path_a = write_counterexample(ce, dir);
+  ce.faults.drop_prob = 0.5;
+  const auto path_b = write_counterexample(ce, dir);
+  EXPECT_NE(path_a, path_b);  // the schedule is part of the content hash
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzCorpus, EngineFaultsKindReplaysThroughTheFaultProbe) {
+  Counterexample ce;
+  ce.kind = "engine-faults";
+  ce.detector = "engine-color-bfs";
+  ce.k = 2;
+  ce.seed = 3;
+  ce.threads = 2;
+  ce.oracle_even = true;
+  ce.graph = graph::cycle(4);
+  ce.faults = drop_spec(0.4);
+  const auto outcome = replay_counterexample(ce);
+  EXPECT_FALSE(outcome.mismatch);
+  EXPECT_NE(outcome.detail.find("engine fault check"), std::string::npos);
+  EXPECT_NE(outcome.detail.find("drop=0.4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evencycle::fuzz

@@ -1,0 +1,87 @@
+// The engine-faults scenario: grid shape, the injected-determinism summary,
+// and the claim gate CI reads (`survived-claims` / `claim-violations`).
+#include "harness/scenario_faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/runner.hpp"
+
+namespace evencycle::harness {
+namespace {
+
+const std::string& label(const Labels& labels, const char* key) {
+  static const std::string empty;
+  for (const auto& [k, v] : labels)
+    if (k == key) return v;
+  return empty;
+}
+
+double summary_value(const Series& summary, const char* key) {
+  for (const auto& [k, v] : summary)
+    if (k == key) return v;
+  return -1.0;
+}
+
+RunOptions small_options() {
+  RunOptions options;
+  options.nodes = 80;  // keep the grid cheap; the default is CI-sized
+  options.threads = 2;
+  options.with_timing = false;
+  return options;
+}
+
+TEST(EngineFaultsScenario, GridCoversEveryFamilyFaultClassAndThreadCount) {
+  const ScenarioPlan plan = engine_faults_scenario().plan(small_options());
+  // 2 families x 9 fault points x 2 thread counts, one rep by default.
+  ASSERT_EQ(plan.cells.size(), 36u);
+  int planted = 0, acyclic = 0, none = 0, lossy = 0;
+  for (const auto& cell : plan.cells) {
+    if (label(cell.labels, "family") == "planted-even") ++planted;
+    if (label(cell.labels, "family") == "acyclic") ++acyclic;
+    if (label(cell.labels, "fault") == "none") ++none;
+    if (label(cell.labels, "lossy") == "yes") ++lossy;
+  }
+  EXPECT_EQ(planted, 18);
+  EXPECT_EQ(acyclic, 18);
+  EXPECT_EQ(none, 4);    // one baseline per family per thread count
+  EXPECT_EQ(lossy, 16);  // drop + crash at two intensities, both families, both threads
+}
+
+TEST(EngineFaultsScenario, SummaryPassesTheCiGateOnAHealthyEngine) {
+  const ScenarioResult result = run_scenario(engine_faults_scenario(), small_options());
+  EXPECT_EQ(summary_value(result.summary, "deterministic"), 1.0);
+  EXPECT_EQ(summary_value(result.summary, "claim-violations"), 0.0);
+  EXPECT_EQ(summary_value(result.summary, "survived-claims"), 1.0);
+  // Non-lossy faults are absorbed exactly, so at minimum every duplication /
+  // reorder cell survives its baseline.
+  EXPECT_GE(summary_value(result.summary, "survived"), 16.0);
+  for (const auto& cell : result.cells) {
+    EXPECT_TRUE(cell.result.ok) << label(cell.labels, "schedule");
+    // Soundness floor, independent of the summary math: the acyclic family
+    // is never rejected, faults or not.
+    if (label(cell.labels, "family") == "acyclic") {
+      EXPECT_FALSE(cell.result.detected) << label(cell.labels, "schedule");
+    }
+  }
+}
+
+TEST(EngineFaultsScenario, PlantedBaselineDetectsDeterministically) {
+  // The planted family's coloring is rigged (cycle colored in chain order),
+  // so the fault-free run must detect — otherwise "survived" would compare
+  // degraded runs against a blind baseline and the gate would be vacuous.
+  const ScenarioResult result = run_scenario(engine_faults_scenario(), small_options());
+  int baselines = 0;
+  for (const auto& cell : result.cells) {
+    if (label(cell.labels, "family") != "planted-even" ||
+        label(cell.labels, "fault") != "none")
+      continue;
+    ++baselines;
+    EXPECT_TRUE(cell.result.detected);
+  }
+  EXPECT_EQ(baselines, 2);  // one per thread count
+}
+
+}  // namespace
+}  // namespace evencycle::harness
