@@ -79,6 +79,11 @@ class Network {
     return engine_.run_until_quiet(max_rounds);
   }
 
+  /// Cooperative-cancellation status of the underlying engine (kOk unless
+  /// Config::budget tripped; sticky until the next install).
+  BudgetStatus budget_status() const { return engine_.budget_status(); }
+  bool budget_exhausted() const { return engine_.budget_exhausted(); }
+
   bool any_rejected() const { return engine_.any_rejected(); }
   std::uint64_t reject_count() const { return engine_.reject_count(); }
   bool rejected(VertexId v) const { return engine_.rejected(v); }

@@ -169,6 +169,7 @@ void RoundEngine::reset_run_state() {
   reject_count_ = 0;
   live_count_ = n;
   round_messages_ = 0;
+  budget_status_ = BudgetStatus::kOk;
 
   metrics_.rounds = 0;
   metrics_.messages = 0;
@@ -326,7 +327,23 @@ void RoundEngine::finalize_round(std::uint32_t worker) {
   // live nodes just crashed must quiesce now, not spin to max_rounds.
   apply_crashes_for_round(metrics_.rounds);
 
-  bool continue_run = rounds_run_ < run_limit_;
+  // Cooperative cancellation, at the one serial point per round. The round
+  // and message budgets compare deterministic counters just aggregated
+  // above, so a budget stop lands on the same round at every thread count;
+  // the deadline reads the wall clock and makes no such promise. Check
+  // order is fixed (rounds, then messages, then deadline) so a run that
+  // trips several budgets at once reports the same status everywhere.
+  if (budget_status_ == BudgetStatus::kOk && config_.budget.any()) {
+    const Budget& budget = config_.budget;
+    if (budget.max_rounds != 0 && metrics_.rounds >= budget.max_rounds)
+      budget_status_ = BudgetStatus::kRoundBudget;
+    else if (budget.max_messages != 0 && metrics_.messages >= budget.max_messages)
+      budget_status_ = BudgetStatus::kMessageBudget;
+    else if (budget.deadline != Clock::time_point{} && Clock::now() >= budget.deadline)
+      budget_status_ = BudgetStatus::kDeadline;
+  }
+
+  bool continue_run = budget_status_ == BudgetStatus::kOk && rounds_run_ < run_limit_;
   if (run_mode_ == RunMode::kUntilQuiet) continue_run = continue_run && round_messages_ > 0;
   if (run_mode_ == RunMode::kToQuiescence) continue_run = continue_run && live_count_ > 0;
 
@@ -422,6 +439,15 @@ void RoundEngine::rethrow_lane_error() {
 std::uint64_t RoundEngine::run_pipeline(RunMode mode, std::uint64_t limit) {
   EC_SIM_CHECK(program_ != nullptr, "run_round before install()");
   if (limit == 0) return 0;
+  // Budget stops are sticky: a run that exhausted its budget must not be
+  // resumed by a later run_* call (the protocol drivers issue several), and
+  // a deadline that already passed runs zero rounds rather than one.
+  if (budget_status_ != BudgetStatus::kOk) return 0;
+  if (config_.budget.deadline != Clock::time_point{} &&
+      Clock::now() >= config_.budget.deadline) {
+    budget_status_ = BudgetStatus::kDeadline;
+    return 0;
+  }
   // Crashes scheduled at or before the run's first round (possible when a
   // previous run_* call on this engine stopped short of them) apply before
   // any task is seeded.

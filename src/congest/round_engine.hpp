@@ -68,6 +68,7 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -99,9 +100,43 @@ inline constexpr std::uint32_t kThreadsFromEnv = ~std::uint32_t{0};
 /// clamped to WorkerPool::kMaxThreads. Exposed for tests.
 std::uint32_t resolve_thread_count(std::uint32_t requested);
 
+/// Cooperative cancellation budget for an engine's whole lifetime (all
+/// run_* calls since the last install). Checked once per round at the
+/// serial finalize point, so a budgeted run stops at a round boundary with
+/// every deterministic invariant intact: the round and message budgets
+/// compare the deterministic Metrics counters, which makes a budget stop
+/// (the stop round, the partial metrics, the reject set) bit-identical at
+/// every thread count. The wall-clock deadline is inherently
+/// non-deterministic and is excluded from any byte-identity claim.
+struct Budget {
+  std::uint64_t max_rounds = 0;    ///< total rounds; 0 = unlimited
+  std::uint64_t max_messages = 0;  ///< total staged words; 0 = unlimited
+  /// Absolute steady-clock deadline; the default (epoch) time point means
+  /// no deadline. A run whose deadline already passed executes zero rounds.
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool any() const {
+    return max_rounds != 0 || max_messages != 0 ||
+           deadline != std::chrono::steady_clock::time_point{};
+  }
+};
+
+/// Why a budgeted engine stopped scheduling rounds. Sticky: once set, every
+/// further run_* call returns immediately until install() resets it.
+enum class BudgetStatus : std::uint8_t {
+  kOk = 0,
+  kRoundBudget,    ///< Budget::max_rounds reached (deterministic)
+  kMessageBudget,  ///< Budget::max_messages reached (deterministic)
+  kDeadline,       ///< Budget::deadline passed (wall clock; non-deterministic)
+};
+
 struct Config {
   std::uint32_t words_per_round = 1;  ///< link bandwidth in O(log n)-bit words
   bool collect_round_profile = false; ///< record per-round message counts
+
+  /// Cooperative cancellation (see Budget). The default all-zero budget is
+  /// unlimited and costs one boolean test per round.
+  Budget budget;
 
   /// Opt-in per-phase breakdown: accumulate compute / finalize / deliver
   /// task seconds into Metrics, plus worker idle time. Under the overlapped
@@ -307,6 +342,11 @@ class RoundEngine {
   /// quiet one. A protocol that never sends runs exactly one round.
   std::uint64_t run_until_quiet(std::uint64_t max_rounds);
 
+  /// Why the engine stopped honoring run_* calls (kOk = the budget, if
+  /// any, still has headroom). Sticky until the next install().
+  BudgetStatus budget_status() const { return budget_status_; }
+  bool budget_exhausted() const { return budget_status_ != BudgetStatus::kOk; }
+
   bool any_rejected() const { return reject_count_ > 0; }
   std::uint64_t reject_count() const { return reject_count_; }
   bool rejected(VertexId v) const { return rejected_[v] != 0; }
@@ -426,6 +466,7 @@ class RoundEngine {
   std::uint64_t reject_count_ = 0;
   std::uint64_t live_count_ = 0;
   std::uint64_t round_messages_ = 0;
+  BudgetStatus budget_status_ = BudgetStatus::kOk;
 
   Metrics metrics_;
 

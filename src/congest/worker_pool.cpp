@@ -19,44 +19,201 @@ double seconds_since(Clock::time_point start) {
 /// would only grow the thief's stack buffer.
 constexpr std::uint32_t kStealBatch = 64;
 
+/// Token-bucket resolution: one admission costs this many micro-tokens, so
+/// refill arithmetic stays in exact 64-bit integers.
+constexpr std::uint64_t kMicroPerToken = 1'000'000;
+
+/// Retry hint for rejections the queue cannot price exactly (queue-depth
+/// sheds): long enough to let a rotation drain, short enough that a
+/// conforming producer recovers quickly.
+constexpr std::uint64_t kNominalRetryMs = 10;
+
+std::uint64_t steady_nanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
-bool FairQueue::push(const std::string& tenant, Job job) {
+void FairQueue::set_default_quota(const TenantQuota& quota) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  default_quota_ = quota;
+}
+
+void FairQueue::set_quota(const std::string& tenant, const TenantQuota& quota) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantQueue& queue = tenant_slot(tenant);
+  queue.quota = quota;
+  queue.bucket_primed = false;  // new rate/burst → start from a full bucket
+}
+
+void FairQueue::set_clock(ClockFn clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = std::move(clock);
+  // Re-prime every bucket: refill deltas must never mix timebases.
+  for (auto& queue : tenants_) queue.bucket_primed = false;
+}
+
+FairQueue::TenantQueue& FairQueue::tenant_slot(const std::string& tenant) {
+  auto entry = std::find_if(tenants_.begin(), tenants_.end(),
+                            [&](const TenantQueue& q) { return q.tenant == tenant; });
+  if (entry == tenants_.end()) {
+    tenants_.push_back(TenantQueue{});
+    entry = tenants_.end() - 1;
+    entry->tenant = tenant;
+    entry->quota = default_quota_;
+  }
+  return *entry;
+}
+
+bool FairQueue::take_token(TenantQueue& queue, std::uint64_t* retry_after_ms) {
+  const std::uint32_t rate = queue.quota.rate_per_second;
+  if (rate == 0) return true;
+  const std::uint64_t burst =
+      queue.quota.burst != 0 ? queue.quota.burst : std::max<std::uint32_t>(rate, 1);
+  const std::uint64_t capacity = burst * kMicroPerToken;
+  const std::uint64_t now = clock_ ? clock_() : steady_nanos();
+  if (!queue.bucket_primed) {
+    // A fresh (or re-quota'd) tenant starts with a full burst.
+    queue.bucket_primed = true;
+    queue.tokens_micro = capacity;
+    queue.refilled_ns = now;
+  } else if (now > queue.refilled_ns) {
+    // Refill at `rate` tokens/s = rate/1000 micro-tokens/ns, in exact
+    // integer math. The elapsed time is clamped to the bucket's fill time
+    // first, so `elapsed * rate` cannot overflow (deficit ≤ burst ≤ 2^32
+    // tokens keeps every product under 2^63) and the bucket never exceeds
+    // its capacity.
+    const std::uint64_t elapsed = now - queue.refilled_ns;
+    const std::uint64_t deficit = capacity - queue.tokens_micro;
+    const std::uint64_t fill_ns = (deficit * 1000 + rate - 1) / rate;
+    if (elapsed >= fill_ns)
+      queue.tokens_micro = capacity;
+    else
+      queue.tokens_micro =
+          std::min(capacity, queue.tokens_micro + elapsed * rate / 1000);
+    queue.refilled_ns = now;
+  }
+  if (queue.tokens_micro >= kMicroPerToken) {
+    queue.tokens_micro -= kMicroPerToken;
+    return true;
+  }
+  // Exact price of the next token: micro-token deficit over the refill
+  // rate of rate*1000 micro-tokens per millisecond, rounded up.
+  const std::uint64_t deficit = kMicroPerToken - queue.tokens_micro;
+  const std::uint64_t per_ms = static_cast<std::uint64_t>(rate) * 1000;
+  *retry_after_ms = std::max<std::uint64_t>(1, (deficit + per_ms - 1) / per_ms);
+  return false;
+}
+
+FairQueue::PushResult FairQueue::offer(const std::string& tenant, Job job) {
+  PushResult result;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return false;
-    auto entry = std::find_if(tenants_.begin(), tenants_.end(),
-                              [&](const TenantQueue& q) { return q.tenant == tenant; });
-    if (entry == tenants_.end()) {
-      tenants_.push_back(TenantQueue{tenant, {}});
-      entry = tenants_.end() - 1;
+    if (closed_) {
+      result.admission = Admission::kClosed;
+      return result;
     }
-    entry->jobs.push_back(std::move(job));
+    TenantQueue& queue = tenant_slot(tenant);
+    if (queue.quota.max_queued != 0 && queue.jobs.size() >= queue.quota.max_queued) {
+      ++queue.shed_queue_full;
+      result.admission = Admission::kQueueFull;
+      result.retry_after_ms = kNominalRetryMs;
+      return result;
+    }
+    // Depth before rate: a queue-full rejection must not burn a token the
+    // tenant could have spent on the retry.
+    if (!take_token(queue, &result.retry_after_ms)) {
+      ++queue.shed_rate_limited;
+      result.admission = Admission::kRateLimited;
+      return result;
+    }
+    queue.jobs.push_back(std::move(job));
+    ++queue.accepted;
     ++queued_;
   }
   ready_.notify_one();
-  return true;
+  return result;
+}
+
+bool FairQueue::push(const std::string& tenant, Job job) {
+  return offer(tenant, std::move(job)).accepted();
 }
 
 bool FairQueue::pop(Job* out) {
   std::unique_lock<std::mutex> lock(mutex_);
-  ready_.wait(lock, [this] { return queued_ > 0 || closed_; });
-  if (queued_ == 0) return false;
-  // Round-robin over tenant subqueues starting at the cursor; the cursor
-  // advances past the served tenant so a deep backlog yields after every
-  // job, not after draining.
-  const std::size_t count = tenants_.size();
-  for (std::size_t probe = 0; probe < count; ++probe) {
-    const std::size_t index = (cursor_ + probe) % count;
+  for (;;) {
+    // Round-robin over tenant subqueues starting at the cursor, skipping
+    // tenants at their in-flight cap (their jobs are deferred, not shed);
+    // the cursor advances past the served tenant so a deep backlog yields
+    // after every job, not after draining.
+    const std::size_t count = tenants_.size();
+    std::size_t index = count;
+    for (std::size_t probe = 0; probe < count; ++probe) {
+      const std::size_t candidate = (cursor_ + probe) % count;
+      TenantQueue& queue = tenants_[candidate];
+      if (queue.jobs.empty()) continue;
+      if (queue.quota.max_in_flight != 0 && queue.in_flight >= queue.quota.max_in_flight)
+        continue;
+      index = candidate;
+      break;
+    }
+    if (index == count) {
+      // Nothing eligible: drained-and-closed ends the loop; otherwise wait
+      // for an offer (or a finish() that frees an in-flight slot).
+      if (closed_ && queued_ == 0) return false;
+      ready_.wait(lock);
+      continue;
+    }
     TenantQueue& queue = tenants_[index];
-    if (queue.jobs.empty()) continue;
-    *out = std::move(queue.jobs.front());
+    // shared_ptr keeps the wrapper copyable (std::function requires it).
+    auto job = std::make_shared<Job>(std::move(queue.jobs.front()));
     queue.jobs.pop_front();
     --queued_;
+    ++queue.in_flight;
     cursor_ = (index + 1) % count;
+    // The wrapper releases the tenant's in-flight slot even if the job
+    // throws, and wakes poppers this tenant's cap had deferred.
+    *out = [this, index, job] {
+      struct Release {
+        FairQueue* queue;
+        std::size_t index;
+        ~Release() { queue->finish(index); }
+      } release{this, index};
+      (*job)();
+    };
     return true;
   }
-  return false;  // unreachable: queued_ > 0 implies a non-empty subqueue
+}
+
+void FairQueue::finish(std::size_t index) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --tenants_[index].in_flight;
+  }
+  ready_.notify_all();
+}
+
+std::vector<FairQueue::TenantStats> FairQueue::tenant_stats() const {
+  std::vector<TenantStats> stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.reserve(tenants_.size());
+    for (const auto& queue : tenants_) {
+      TenantStats entry;
+      entry.tenant = queue.tenant;
+      entry.accepted = queue.accepted;
+      entry.shed_queue_full = queue.shed_queue_full;
+      entry.shed_rate_limited = queue.shed_rate_limited;
+      entry.queued = queue.jobs.size();
+      entry.in_flight = queue.in_flight;
+      stats.push_back(std::move(entry));
+    }
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const TenantStats& a, const TenantStats& b) { return a.tenant < b.tenant; });
+  return stats;
 }
 
 void FairQueue::close() {

@@ -53,17 +53,89 @@ namespace evencycle::congest {
 /// query — the second tenant's job is served within one rotation. Jobs of
 /// the same tenant stay strictly FIFO. Thread-safe on both ends: any number
 /// of producers push, any number of pool lanes pop.
+///
+/// On top of fairness, every tenant can carry a TenantQuota: a queue-depth
+/// cap and a token-bucket admission rate shed excess load at offer() time
+/// (with a retry-after-ms hint, so the producer backs off instead of
+/// retrying hot), and an in-flight cap bounds how many of the tenant's
+/// jobs execute concurrently (those jobs wait in the queue — deferral, not
+/// shedding — so one tenant cannot monopolize every lane). The bucket uses
+/// integer micro-token arithmetic over an injectable nanosecond clock:
+/// under a fake clock every admission decision is a pure function of the
+/// offer sequence, which is what makes quota behavior unit-testable.
 class FairQueue {
  public:
   using Job = std::function<void()>;
+  /// Monotonic nanosecond clock for token-bucket refill. Injectable so
+  /// tests (and deterministic scenarios) control admission exactly;
+  /// defaults to std::chrono::steady_clock.
+  using ClockFn = std::function<std::uint64_t()>;
 
-  /// Enqueues `job` under `tenant` (first push of a tenant registers it).
-  /// Pushing after close() drops the job and returns false.
+  /// Admission limits for one tenant. Zero means unlimited for every
+  /// field; the default quota therefore changes nothing.
+  struct TenantQuota {
+    std::uint32_t max_queued = 0;      ///< jobs waiting in the subqueue
+    std::uint32_t max_in_flight = 0;   ///< jobs executing concurrently
+    std::uint32_t rate_per_second = 0; ///< token-bucket refill rate
+    std::uint32_t burst = 0;           ///< bucket capacity; 0 = max(rate, 1)
+
+    bool any() const {
+      return max_queued != 0 || max_in_flight != 0 || rate_per_second != 0;
+    }
+  };
+
+  /// Why offer() did (not) take the job.
+  enum class Admission : std::uint8_t {
+    kAccepted = 0,
+    kQueueFull,     ///< tenant's max_queued reached
+    kRateLimited,   ///< tenant's token bucket is empty
+    kClosed,        ///< queue closed (shutdown)
+  };
+
+  struct PushResult {
+    Admission admission = Admission::kAccepted;
+    /// Backoff hint for rejected offers: exact token-refill time for
+    /// kRateLimited, a fixed nominal delay otherwise.
+    std::uint64_t retry_after_ms = 0;
+
+    bool accepted() const { return admission == Admission::kAccepted; }
+  };
+
+  /// Cumulative per-tenant admission counters (snapshot; sorted by tenant
+  /// name so serializations are stable).
+  struct TenantStats {
+    std::string tenant;
+    std::uint64_t accepted = 0;
+    std::uint64_t shed_queue_full = 0;
+    std::uint64_t shed_rate_limited = 0;
+    std::uint64_t queued = 0;     ///< jobs waiting right now
+    std::uint64_t in_flight = 0;  ///< jobs executing right now
+  };
+
+  /// Quota applied to tenants without an explicit set_quota entry.
+  void set_default_quota(const TenantQuota& quota);
+
+  /// Sets (or replaces) one tenant's quota; registers the tenant if it has
+  /// not pushed yet. Replacing a quota re-primes the token bucket.
+  void set_quota(const std::string& tenant, const TenantQuota& quota);
+
+  /// Replaces the admission clock (tests inject a fake). Affects only
+  /// tenants whose bucket has not been primed yet and re-primed ones.
+  void set_clock(ClockFn clock);
+
+  /// Quota-checking enqueue of `job` under `tenant` (first offer of a
+  /// tenant registers it with the default quota).
+  PushResult offer(const std::string& tenant, Job job);
+
+  /// offer() reduced to a bool — the historical API, kept for callers that
+  /// do not care why a push was refused.
   bool push(const std::string& tenant, Job job);
 
   /// Blocks until a job is available or the queue is closed and drained.
   /// Returns false only on closed-and-drained; otherwise *out holds the
-  /// next job in round-robin tenant order.
+  /// next job in round-robin tenant order, skipping tenants at their
+  /// in-flight cap. The returned job releases its in-flight slot when it
+  /// finishes running, so callers just invoke it.
   bool pop(Job* out);
 
   /// Wakes every blocked pop(); already-queued jobs still drain.
@@ -72,15 +144,38 @@ class FairQueue {
   /// Jobs currently queued (diagnostics; racy by nature).
   std::size_t size() const;
 
+  /// Per-tenant counters, sorted by tenant name.
+  std::vector<TenantStats> tenant_stats() const;
+
  private:
   struct TenantQueue {
     std::string tenant;
     std::deque<Job> jobs;
+    TenantQuota quota;
+    std::uint64_t in_flight = 0;
+    // Token bucket, in micro-tokens (1 admission = 1'000'000). Primed
+    // lazily at the first rate-limited offer so a clock injected after
+    // registration still governs the whole bucket history.
+    std::uint64_t tokens_micro = 0;
+    std::uint64_t refilled_ns = 0;
+    bool bucket_primed = false;
+    // Cumulative admission counters (TenantStats).
+    std::uint64_t accepted = 0;
+    std::uint64_t shed_queue_full = 0;
+    std::uint64_t shed_rate_limited = 0;
   };
+
+  TenantQueue& tenant_slot(const std::string& tenant);
+  /// Refills the bucket from the clock and takes one token if available;
+  /// fills *retry_after_ms with the exact refill time otherwise.
+  bool take_token(TenantQueue& queue, std::uint64_t* retry_after_ms);
+  void finish(std::size_t index);
 
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   std::vector<TenantQueue> tenants_;  ///< few tenants; linear scan, stable order
+  TenantQuota default_quota_;
+  ClockFn clock_;                     ///< null = steady_clock (see offer())
   std::size_t cursor_ = 0;            ///< next tenant index to serve
   std::size_t queued_ = 0;
   bool closed_ = false;

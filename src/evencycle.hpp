@@ -71,6 +71,7 @@
 #include "service/detection_service.hpp"
 #include "service/graph_cache.hpp"
 #include "service/protocol.hpp"
+#include "service/overload.hpp"
 #include "service/soak.hpp"
 #include "service/socket_server.hpp"
 #include "support/check.hpp"

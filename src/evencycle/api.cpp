@@ -21,6 +21,9 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kUnknownDetector: return "unknown-detector";
     case ErrorCode::kBadRequest: return "bad-request";
     case ErrorCode::kExecutionFailed: return "execution-failed";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kBudgetExceeded: return "budget-exceeded";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -130,8 +133,38 @@ DetectionResult run_engine_color_bfs(const graph::Graph& g, const DetectionReque
 
   congest::Config config;
   if (request.threads != 0) config.threads = request.threads;
+  config.budget.max_rounds = request.max_rounds;
+  config.budget.max_messages = request.max_messages;
+  if (request.deadline_ms != 0)
+    config.budget.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(request.deadline_ms);
   congest::Network net(g, config);
   const auto out = core::run_color_bfs_on_engine(net, spec);
+  if (net.budget_exhausted()) {
+    // Cooperative cancellation tripped: the partial protocol state is not a
+    // detection verdict, so the payload is the structured stop alone. The
+    // round/message budgets stop at a deterministic round boundary, which
+    // keeps this result (counters included) bit-identical at every thread
+    // count; a deadline stop carries whatever the wall clock allowed.
+    DetectionResult stopped;
+    const bool deadline = net.budget_status() == congest::BudgetStatus::kDeadline;
+    stopped.code = deadline ? ErrorCode::kDeadlineExceeded : ErrorCode::kBudgetExceeded;
+    stopped.rounds_measured = net.metrics().rounds;
+    stopped.messages = net.metrics().messages;
+    stopped.congestion = net.metrics().busiest_round_messages;
+    if (deadline) {
+      stopped.error = "deadline of " + std::to_string(request.deadline_ms) +
+                      " ms expired mid-simulation";
+    } else if (net.budget_status() == congest::BudgetStatus::kRoundBudget) {
+      stopped.error = "round budget of " + std::to_string(request.max_rounds) +
+                      " exhausted after " + std::to_string(net.metrics().messages) +
+                      " messages";
+    } else {
+      stopped.error = "message budget of " + std::to_string(request.max_messages) +
+                      " exhausted after " + std::to_string(net.metrics().rounds) + " rounds";
+    }
+    return stopped;
+  }
   result.detected = out.rejected;
   result.rounds_measured = out.rounds;
   result.messages = out.messages;
@@ -139,6 +172,31 @@ DetectionResult run_engine_color_bfs(const graph::Graph& g, const DetectionReque
   result.extra.emplace_back("rejecting_nodes", static_cast<double>(out.rejecting_nodes.size()));
   result.extra.emplace_back("resolved_threads", static_cast<double>(net.thread_count()));
   return result;
+}
+
+/// Post-hoc budget charge for the palette (non-engine) detectors: they run
+/// to completion — their round/message counts are analytic, not simulated —
+/// and a count above the budget converts the result into the same
+/// structured kBudgetExceeded an engine stop produces. Deterministic by
+/// construction (pure function of the deterministic counters).
+DetectionResult charge_budget(DetectionResult result, const DetectionRequest& request) {
+  if (!result.ok()) return result;
+  const std::uint64_t rounds = std::max(result.rounds_measured, result.rounds_charged);
+  std::string error;
+  if (request.max_rounds != 0 && rounds > request.max_rounds)
+    error = "round budget of " + std::to_string(request.max_rounds) + " exceeded: " +
+            std::to_string(rounds) + " rounds";
+  else if (request.max_messages != 0 && result.messages > request.max_messages)
+    error = "message budget of " + std::to_string(request.max_messages) + " exceeded: " +
+            std::to_string(result.messages) + " messages";
+  if (error.empty()) return result;
+  DetectionResult stopped;
+  stopped.code = ErrorCode::kBudgetExceeded;
+  stopped.error = std::move(error);
+  stopped.rounds_measured = result.rounds_measured;
+  stopped.messages = result.messages;
+  stopped.congestion = result.congestion;
+  return stopped;
 }
 
 }  // namespace
@@ -184,6 +242,7 @@ DetectionResult detect(const GraphHandle& graph, const DetectionRequest& request
       result.messages = cell.messages;
       result.congestion = cell.congestion;
       result.extra = cell.extra;
+      result = charge_budget(std::move(result), request);
     }
   } catch (const std::exception& e) {
     result = DetectionResult{};

@@ -46,6 +46,9 @@ enum class ErrorCode : std::uint8_t {
   kUnknownDetector,   ///< detector name not in the detector palette
   kBadRequest,        ///< malformed parameters (k = 0, oversized nodes, ...)
   kExecutionFailed,   ///< the detector itself threw (InvalidArgument, ...)
+  kDeadlineExceeded,  ///< DetectionRequest::deadline_ms expired (wall clock)
+  kBudgetExceeded,    ///< max_rounds / max_messages budget exhausted (deterministic)
+  kOverloaded,        ///< shed by service admission control; retry later
 };
 
 /// Stable kebab-case name of an error code ("ok", "unknown-detector", ...).
@@ -116,6 +119,18 @@ struct DetectionRequest {
   std::uint32_t threads = 0;
   /// Service fairness key; ignored by detect() itself.
   std::string tenant;
+
+  // Cooperative cancellation (all zero = unlimited). The round and message
+  // budgets are deterministic: engine-hosted detectors stop at the budgeted
+  // round boundary (bit-identical at every thread count), palette detectors
+  // are charged post-hoc against their deterministic round/message counts.
+  // Either way the query comes back as kBudgetExceeded carrying the
+  // measured counters. deadline_ms is wall clock, measured from detect()
+  // entry and checked at engine round boundaries — inherently
+  // non-deterministic, reported as kDeadlineExceeded.
+  std::uint64_t max_rounds = 0;
+  std::uint64_t max_messages = 0;
+  std::uint64_t deadline_ms = 0;
 };
 
 /// Detection outcome plus structured error. All fields except `seconds`

@@ -28,9 +28,13 @@ int usage(std::ostream& os) {
         "                [--batch B] [--seed S] [--json] [--no-timing] [--out FILE]\n"
         "                [--require KEY=MIN ...] [--require-max KEY=MAX ...]\n"
         "  evencycle serve --socket PATH [--lanes N] [--cache N]\n"
-        "                  [--max-connections N]\n"
+        "                  [--max-connections N] [--max-pending N]\n"
+        "                  [--read-timeout-ms MS] [--quota-rate R] [--quota-burst B]\n"
+        "                  [--quota-queued N] [--quota-in-flight N]\n"
         "  evencycle query --socket PATH --family F --nodes N [--k K]\n"
         "                  [--detector D] [--seed S] [--threads T] [--graph-seed S]\n"
+        "                  [--deadline-ms MS] [--max-rounds N] [--max-messages N]\n"
+        "                  [--timeout-ms MS] [--retries N]\n"
         "  evencycle compare <baseline.json> <current.json> [--max-regression R]\n"
         "                    [--max-efficiency-regression E]\n"
         "  evencycle fuzz [--minutes M] [--runs N] [--seed S] [--corpus DIR]\n"
@@ -711,6 +715,23 @@ int serve_command(int argc, char** argv, int first) {
         EC_REQUIRE(config.cache_capacity >= 1, "--cache must be at least 1");
       } else if (arg == "--max-connections") {
         options.max_connections = parse_u64(value_of("--max-connections"), ~std::uint64_t{0});
+      } else if (arg == "--max-pending") {
+        config.max_pending = parse_u64(value_of("--max-pending"), ~std::uint64_t{0});
+      } else if (arg == "--read-timeout-ms") {
+        options.read_timeout_ms =
+            static_cast<std::uint32_t>(parse_u64(value_of("--read-timeout-ms"), kU32Max));
+      } else if (arg == "--quota-rate") {
+        config.default_quota.rate_per_second =
+            static_cast<std::uint32_t>(parse_u64(value_of("--quota-rate"), kU32Max));
+      } else if (arg == "--quota-burst") {
+        config.default_quota.burst =
+            static_cast<std::uint32_t>(parse_u64(value_of("--quota-burst"), kU32Max));
+      } else if (arg == "--quota-queued") {
+        config.default_quota.max_queued =
+            static_cast<std::uint32_t>(parse_u64(value_of("--quota-queued"), kU32Max));
+      } else if (arg == "--quota-in-flight") {
+        config.default_quota.max_in_flight =
+            static_cast<std::uint32_t>(parse_u64(value_of("--quota-in-flight"), kU32Max));
       } else {
         EC_REQUIRE(false, "unknown flag: " + arg);
       }
@@ -720,6 +741,10 @@ int serve_command(int argc, char** argv, int first) {
     std::cerr << error.what() << "\n";
     return usage(std::cerr);
   }
+  // The CLI server stops on SIGTERM/SIGINT with a graceful drain: finish
+  // in-flight queries, flush a final stats line, then exit 0.
+  options.install_signal_handlers = true;
+  options.drain_on_stop = true;
   service::DetectionService detection(std::move(config));
   return service::serve(detection, options, std::cerr);
 }
@@ -728,6 +753,8 @@ int query_command(int argc, char** argv, int first) {
   std::string socket_path;
   std::string tenant = "cli";
   service::Query query;
+  std::uint32_t timeout_ms = 0;
+  std::uint32_t retries = 1;
   bool have_family = false, have_nodes = false;
   try {
     for (int i = first; i < argc; ++i) {
@@ -757,6 +784,17 @@ int query_command(int argc, char** argv, int first) {
         query.graph.seed = parse_u64(value_of("--graph-seed"), ~std::uint64_t{0});
       } else if (arg == "--tenant") {
         tenant = value_of("--tenant");
+      } else if (arg == "--deadline-ms") {
+        query.request.deadline_ms = parse_u64(value_of("--deadline-ms"), ~std::uint64_t{0});
+      } else if (arg == "--max-rounds") {
+        query.request.max_rounds = parse_u64(value_of("--max-rounds"), ~std::uint64_t{0});
+      } else if (arg == "--max-messages") {
+        query.request.max_messages = parse_u64(value_of("--max-messages"), ~std::uint64_t{0});
+      } else if (arg == "--timeout-ms") {
+        timeout_ms = static_cast<std::uint32_t>(parse_u64(value_of("--timeout-ms"), kU32Max));
+      } else if (arg == "--retries") {
+        retries = static_cast<std::uint32_t>(parse_u64(value_of("--retries"), kU32Max));
+        EC_REQUIRE(retries >= 1, "--retries must be at least 1");
       } else {
         EC_REQUIRE(false, "unknown flag: " + arg);
       }
@@ -773,11 +811,13 @@ int query_command(int argc, char** argv, int first) {
   // Build the protocol line with the serializer (the one place quoting and
   // escaping live), send it, and print the response line verbatim.
   std::vector<std::pair<std::string, JsonValue>> graph;
+  graph.reserve(4);
   graph.emplace_back("family", JsonValue::string(query.graph.family));
   graph.emplace_back("nodes", JsonValue::uint(query.graph.nodes));
   graph.emplace_back("k", JsonValue::uint(query.graph.k));
   graph.emplace_back("seed", JsonValue::uint(query.graph.seed));
   std::vector<std::pair<std::string, JsonValue>> doc;
+  doc.reserve(11);
   doc.emplace_back("op", JsonValue::string("detect"));
   doc.emplace_back("id", JsonValue::string("cli"));
   doc.emplace_back("tenant", JsonValue::string(tenant));
@@ -786,18 +826,28 @@ int query_command(int argc, char** argv, int first) {
   doc.emplace_back("detector", JsonValue::string(query.request.detector));
   doc.emplace_back("seed", JsonValue::uint(query.request.seed));
   doc.emplace_back("threads", JsonValue::uint(query.request.threads));
+  if (query.request.max_rounds != 0)
+    doc.emplace_back("max-rounds", JsonValue::uint(query.request.max_rounds));
+  if (query.request.max_messages != 0)
+    doc.emplace_back("max-messages", JsonValue::uint(query.request.max_messages));
+  if (query.request.deadline_ms != 0)
+    doc.emplace_back("deadline-ms", JsonValue::uint(query.request.deadline_ms));
   std::ostringstream line;
   write_json_value(line, JsonValue::object(std::move(doc)));
 
   service::UnixClient client;
+  client.set_timeout(timeout_ms);
   std::string error;
   if (!client.connect(socket_path, &error)) {
     std::cerr << "query: " << error << "\n";
     return 1;
   }
   std::string response;
-  if (!client.request(line.str(), &response, &error)) {
+  service::UnixClient::RetryPolicy policy;
+  policy.attempts = retries;
+  if (!client.request_with_retry(line.str(), policy, &response, &error)) {
     std::cerr << "query: " << error << "\n";
+    if (!response.empty()) std::cout << response << "\n";  // last overloaded reply
     return 1;
   }
   std::cout << response << "\n";

@@ -18,6 +18,7 @@
 #include "harness/palette.hpp"
 #include "harness/scenario_faults.hpp"
 #include "quantum/quantum_cycle.hpp"
+#include "service/overload.hpp"
 #include "service/soak.hpp"
 #include "support/stats.hpp"
 
@@ -723,6 +724,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(table1_classical_scenario());
   registry.add(table1_quantum_scenario());
   registry.add(service::service_soak_scenario());
+  registry.add(service::service_overload_scenario());
   registry.add(engine_faults_scenario());
 }
 

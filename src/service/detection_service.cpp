@@ -16,11 +16,26 @@ double seconds_between(Clock::time_point start, Clock::time_point stop) {
   return std::chrono::duration<double>(stop - start).count();
 }
 
+std::uint64_t steady_nanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Retry hint for global-cap sheds: the queue cannot price these (it never
+/// saw the query), so advise one typical query duration.
+constexpr std::uint64_t kCapacityRetryMs = 25;
+
 }  // namespace
 
 DetectionService::DetectionService(ServiceConfig config)
     : pool_(config.lanes),
-      cache_(config.cache_capacity, std::move(config.graph_hash)) {
+      cache_(config.cache_capacity, std::move(config.graph_hash)),
+      max_pending_(config.max_pending) {
+  clock_ = config.clock ? config.clock : congest::FairQueue::ClockFn(steady_nanos);
+  if (config.clock) queue_.set_clock(config.clock);
+  queue_.set_default_quota(config.default_quota);
+  for (const auto& [tenant, quota] : config.tenant_quotas) queue_.set_quota(tenant, quota);
   // The scheduler thread parks every pool lane in the FairQueue drain loop;
   // pool_.run returns (and the scheduler exits) once the queue is closed
   // and drained — the multiplexing the tentpole asks for: queries ride the
@@ -33,39 +48,119 @@ DetectionService::DetectionService(ServiceConfig config)
   });
 }
 
-DetectionService::~DetectionService() {
+DetectionService::~DetectionService() { drain(); }
+
+void DetectionService::drain() {
+  if (!draining_.exchange(true, std::memory_order_acq_rel)) {
+    // Everything admitted but not yet completed finishes during the drain;
+    // snapshot the count before closing so stats() can report how much
+    // work the shutdown had to absorb.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    drained_on_shutdown_ = pending_.load(std::memory_order_acquire);
+  }
   queue_.close();
-  scheduler_.join();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+QueryOutcome DetectionService::shed_outcome(const Query& query, std::string reason,
+                                            std::uint64_t retry_after_ms, bool count) {
+  QueryOutcome outcome;
+  outcome.graph_name = query.graph.key();
+  outcome.result.code = api::ErrorCode::kOverloaded;
+  outcome.result.error = std::move(reason);
+  outcome.retry_after_ms = retry_after_ms;
+  // Quota sheds are already counted by the FairQueue's per-tenant
+  // counters (stats() sums them in); only service-level sheds — draining,
+  // global capacity — are tallied here, so nothing counts twice.
+  if (count) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++shed_;
+  }
+  return outcome;
 }
 
 std::future<QueryOutcome> DetectionService::submit(const Query& query) {
   const Clock::time_point submitted = Clock::now();
+  const std::uint64_t submitted_ns = clock_();
+  // Shed paths resolve the future immediately: admission control must stay
+  // O(1) and non-blocking whatever the backlog looks like.
+  const auto resolved = [](QueryOutcome outcome) {
+    std::promise<QueryOutcome> promise;
+    promise.set_value(std::move(outcome));
+    return promise.get_future();
+  };
+  if (draining())
+    return resolved(shed_outcome(query, "service is draining", 0));
+  if (max_pending_ != 0 && pending_.load(std::memory_order_acquire) >= max_pending_)
+    return resolved(shed_outcome(query,
+                                 "service at capacity (" + std::to_string(max_pending_) +
+                                     " queries in flight)",
+                                 kCapacityRetryMs));
   auto task = std::make_shared<std::packaged_task<QueryOutcome()>>(
-      [this, query, submitted] { return run_query(query, submitted); });
+      [this, query, submitted, submitted_ns] {
+        return run_query(query, submitted, submitted_ns);
+      });
   std::future<QueryOutcome> future = task->get_future();
-  if (!queue_.push(query.request.tenant, [task] { (*task)(); })) {
-    // Shutting down: run inline so the future always resolves.
-    (*task)();
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  const auto admission = queue_.offer(query.request.tenant, [task] { (*task)(); });
+  if (!admission.accepted()) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    using Admission = congest::FairQueue::Admission;
+    switch (admission.admission) {
+      case Admission::kClosed:
+        return resolved(shed_outcome(query, "service is shutting down", 0));
+      case Admission::kQueueFull:
+        return resolved(shed_outcome(query,
+                                     "tenant queue depth exceeded for \"" +
+                                         query.request.tenant + "\"",
+                                     admission.retry_after_ms, /*count=*/false));
+      default:
+        return resolved(shed_outcome(query,
+                                     "tenant admission rate exceeded for \"" +
+                                         query.request.tenant + "\"",
+                                     admission.retry_after_ms, /*count=*/false));
+    }
   }
   return future;
 }
 
 QueryOutcome DetectionService::execute(const Query& query) { return submit(query).get(); }
 
-QueryOutcome DetectionService::run_query(const Query& query, Clock::time_point submitted) {
+QueryOutcome DetectionService::run_query(const Query& query, Clock::time_point submitted,
+                                         std::uint64_t submitted_ns) {
   QueryOutcome outcome;
   outcome.graph_name = query.graph.key();
-  api::GraphHandle handle;
-  std::string error;
-  const api::ErrorCode code = cache_.get(query.graph, &handle, &error, &outcome.cache_hit);
-  if (code != api::ErrorCode::kOk) {
-    outcome.result.code = code;
-    outcome.result.error = error;
+  // Queue-wait deadline: a query that already overstayed its deadline in
+  // the fair queue is cancelled before any graph or engine work; one that
+  // still has time left hands the remainder to api::detect, which enforces
+  // it at engine round boundaries.
+  const std::uint64_t deadline_ms = query.request.deadline_ms;
+  std::uint64_t waited_ms = 0;
+  if (deadline_ms != 0) {
+    const std::uint64_t now = clock_();
+    waited_ms = now > submitted_ns ? (now - submitted_ns) / 1'000'000 : 0;
+  }
+  if (deadline_ms != 0 && waited_ms >= deadline_ms) {
+    outcome.result.code = api::ErrorCode::kDeadlineExceeded;
+    outcome.result.error = "deadline of " + std::to_string(deadline_ms) +
+                           " ms expired after " + std::to_string(waited_ms) +
+                           " ms in queue";
   } else {
-    outcome.graph_hash = handle.content_hash();
-    outcome.result = api::detect(handle, query.request);
+    api::GraphHandle handle;
+    std::string error;
+    const api::ErrorCode code = cache_.get(query.graph, &handle, &error, &outcome.cache_hit);
+    if (code != api::ErrorCode::kOk) {
+      outcome.result.code = code;
+      outcome.result.error = error;
+    } else {
+      outcome.graph_hash = handle.content_hash();
+      api::DetectionRequest request = query.request;
+      if (deadline_ms != 0) request.deadline_ms = deadline_ms - waited_ms;
+      outcome.result = api::detect(handle, request);
+    }
   }
   outcome.seconds = seconds_between(submitted, Clock::now());
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
   record(outcome);
   return outcome;
 }
@@ -83,15 +178,25 @@ void DetectionService::record(const QueryOutcome& outcome) {
   last_done_ = now;
   latencies_.push_back(outcome.seconds);
   if (!outcome.result.ok()) ++errors_;
+  if (outcome.result.code == api::ErrorCode::kDeadlineExceeded) ++deadline_exceeded_;
+  if (outcome.result.code == api::ErrorCode::kBudgetExceeded) ++budget_exceeded_;
 }
 
 ServiceStats DetectionService::stats() const {
   ServiceStats stats;
   stats.lanes = pool_.thread_count();
   stats.cache = cache_.stats();
+  stats.tenants = queue_.tenant_stats();
+  stats.pending = pending_.load(std::memory_order_acquire);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats.queries = latencies_.size();
   stats.errors = errors_;
+  stats.shed = shed_;
+  for (const auto& tenant : stats.tenants)
+    stats.shed += tenant.shed_queue_full + tenant.shed_rate_limited;
+  stats.deadline_exceeded = deadline_exceeded_;
+  stats.budget_exceeded = budget_exceeded_;
+  stats.drained_on_shutdown = drained_on_shutdown_;
   if (!latencies_.empty()) {
     stats.p50_seconds = quantile(latencies_, 0.5);
     stats.p90_seconds = quantile(latencies_, 0.9);

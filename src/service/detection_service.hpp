@@ -15,12 +15,14 @@
 // interleaved traffic. Only the latency fields vary.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "congest/worker_pool.hpp"
@@ -37,6 +39,22 @@ struct ServiceConfig {
   std::size_t cache_capacity = 16;
   /// Injectable cache hash (tests force collisions); empty = default.
   GraphCache::HashFn graph_hash;
+
+  // Overload protection (all defaults = unlimited, the historical
+  // behavior). Sheds come back as resolved futures with
+  // result.code == kOverloaded and a retry_after_ms hint — submit() never
+  // blocks and never throws for an over-quota tenant.
+  /// Quota for tenants without an explicit entry in `tenant_quotas`.
+  congest::FairQueue::TenantQuota default_quota;
+  /// Per-tenant quota overrides, applied at construction.
+  std::vector<std::pair<std::string, congest::FairQueue::TenantQuota>> tenant_quotas;
+  /// Global cap on queries in flight (queued + executing) across all
+  /// tenants; 0 = unbounded.
+  std::uint64_t max_pending = 0;
+  /// Injectable nanosecond clock driving token-bucket admission and the
+  /// queue-wait deadline check (tests make both deterministic); null =
+  /// steady_clock. Latency stats always use the real clock.
+  congest::FairQueue::ClockFn clock;
 };
 
 /// One service query: which graph, and what to run on it. The request's
@@ -52,6 +70,9 @@ struct QueryOutcome {
   std::string graph_name;        ///< GraphSpec::key() of the served graph
   std::uint64_t graph_hash = 0;  ///< content hash (0 when the graph failed)
   double seconds = 0.0;          ///< end-to-end latency: queue wait + execution
+  /// Backoff hint accompanying a kOverloaded shed (0 otherwise); the wire
+  /// protocol surfaces it as the error's retry-after-ms field.
+  std::uint64_t retry_after_ms = 0;
 };
 
 /// Service-level counters and latency percentiles (wall-clock; never part
@@ -65,6 +86,17 @@ struct ServiceStats {
   double qps = 0.0;  ///< completed queries / span(first submit .. last done)
   GraphCache::Stats cache;
   std::uint32_t lanes = 0;
+
+  // Overload / cancellation accounting. `shed` totals every rejected
+  // submit (tenant quota, global cap, draining); the per-tenant breakdown
+  // rides in `tenants`. Deadline/budget counters tally *completed* queries
+  // whose result was cancelled cooperatively.
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t budget_exceeded = 0;
+  std::uint64_t drained_on_shutdown = 0;  ///< queries pending when drain() began
+  std::uint64_t pending = 0;              ///< queued + executing right now
+  std::vector<congest::FairQueue::TenantStats> tenants;
 };
 
 class DetectionService {
@@ -85,22 +117,40 @@ class DetectionService {
   /// callers (the `query` CLI path, tests).
   QueryOutcome execute(const Query& query);
 
+  /// Graceful shutdown: reject new submits (kOverloaded, "draining"),
+  /// finish every admitted query, then stop the lanes. Idempotent; the
+  /// destructor calls it. The service stays queryable for stats() so a
+  /// server can flush final counters after draining.
+  void drain();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   ServiceStats stats() const;
   std::uint32_t lanes() const { return pool_.thread_count(); }
 
  private:
   QueryOutcome run_query(const Query& query,
-                         std::chrono::steady_clock::time_point submitted);
+                         std::chrono::steady_clock::time_point submitted,
+                         std::uint64_t submitted_ns);
+  QueryOutcome shed_outcome(const Query& query, std::string reason,
+                            std::uint64_t retry_after_ms, bool count = true);
   void record(const QueryOutcome& outcome);
 
   congest::WorkerPool pool_;
   GraphCache cache_;
   congest::FairQueue queue_;
+  congest::FairQueue::ClockFn clock_;
+  std::uint64_t max_pending_ = 0;
   std::thread scheduler_;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> pending_{0};
 
   mutable std::mutex stats_mutex_;
   std::vector<double> latencies_;
   std::uint64_t errors_ = 0;
+  std::uint64_t shed_ = 0;  ///< global-cap + draining sheds (queue sheds live in FairQueue)
+  std::uint64_t deadline_exceeded_ = 0;
+  std::uint64_t budget_exceeded_ = 0;
+  std::uint64_t drained_on_shutdown_ = 0;
   bool any_query_ = false;
   std::chrono::steady_clock::time_point first_submit_{};
   std::chrono::steady_clock::time_point last_done_{};

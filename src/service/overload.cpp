@@ -1,0 +1,383 @@
+// service-overload: prove the governance layer does its job under abuse.
+//
+// Two cell families:
+//
+//   phase=overload    one abusive tenant floods detect requests at 8x what
+//                     its token bucket admits (frozen injected clock: the
+//                     bucket primes at `burst` tokens and never refills, so
+//                     exactly flood - burst requests shed — deterministic)
+//                     while two conforming tenants, with no rate quota, run
+//                     a fixed workload on their own client threads. Gates:
+//                     every shed lands on the abuser (shed-violations
+//                     counts `overloaded` responses to conforming tenants —
+//                     structurally zero, the conforming tenants have no
+//                     quota to trip), conforming p99 stays bounded
+//                     (timing-gated extra), zero protocol errors.
+//
+//   lanes=1/2/4       the same budget-limited query mix (engine round and
+//                     message budgets plus post-hoc palette charges)
+//                     through handle_line at three lane counts; a digest
+//                     over the deterministic response members must agree
+//                     across cells, so a budget stop that varies with
+//                     parallelism flips the `deterministic` summary flag.
+//
+// Summary keys the CI job gates on: deterministic, protocol-errors,
+// shed-violations, abuse-sheds, and (with timing) conforming-p99-ms.
+#include "service/overload.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harness/json.hpp"
+#include "service/detection_service.hpp"
+#include "service/protocol.hpp"
+#include "support/stats.hpp"
+
+namespace evencycle::service {
+
+namespace {
+
+using harness::JsonValue;
+using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+constexpr const char* kFamilies[] = {"planted-light", "erdos-renyi", "large-girth", "torus"};
+
+/// Abuser admission: burst tokens up front, flood at kFloodFactor x burst.
+constexpr std::uint32_t kAbuserBurst = 4;
+constexpr std::uint32_t kFloodFactor = 8;
+
+std::string detect_line(const std::string& id, const std::string& tenant,
+                        const std::string& family, const std::string& detector,
+                        std::uint64_t nodes, std::uint64_t seed, Members budget) {
+  Members graph;
+  graph.emplace_back("family", JsonValue::string(family));
+  graph.emplace_back("nodes", JsonValue::uint(nodes));
+  graph.emplace_back("k", JsonValue::uint(2));
+  graph.emplace_back("seed", JsonValue::uint(seed % 3));
+  Members doc;
+  doc.emplace_back("op", JsonValue::string("detect"));
+  doc.emplace_back("id", JsonValue::string(id));
+  doc.emplace_back("tenant", JsonValue::string(tenant));
+  doc.emplace_back("graph", JsonValue::object(std::move(graph)));
+  doc.emplace_back("k", JsonValue::uint(2));
+  doc.emplace_back("detector", JsonValue::string(detector));
+  doc.emplace_back("seed", JsonValue::uint(0x0AD + seed));
+  for (auto& member : budget) doc.push_back(std::move(member));
+  std::ostringstream os;
+  harness::write_json_value(os, JsonValue::object(std::move(doc)));
+  return os.str();
+}
+
+enum class ResponseKind { kOk, kOverloaded, kBudgetStop, kProtocolError };
+
+/// Classifies a response line and returns its deterministic view: the
+/// serialized `result` member (ok responses, timing lives outside it) or
+/// the serialized `error` member (structured failures). "" on protocol
+/// errors.
+std::string deterministic_view(const std::string& response, ResponseKind* kind) {
+  *kind = ResponseKind::kProtocolError;
+  try {
+    const JsonValue doc = harness::parse_json(response);
+    const JsonValue* ok = doc.get("ok");
+    if (ok == nullptr) return "";
+    std::ostringstream os;
+    if (ok->as_bool()) {
+      const JsonValue* result = doc.get("result");
+      if (result == nullptr) return "";
+      *kind = ResponseKind::kOk;
+      harness::write_json_value(os, *result);
+      return os.str();
+    }
+    const JsonValue* error = doc.get("error");
+    const JsonValue* code = error != nullptr ? error->get("code") : nullptr;
+    if (code == nullptr) return "";
+    if (code->as_string() == "overloaded")
+      *kind = ResponseKind::kOverloaded;
+    else if (code->as_string() == "budget-exceeded" ||
+             code->as_string() == "deadline-exceeded")
+      *kind = ResponseKind::kBudgetStop;
+    else
+      return "";
+    harness::write_json_value(os, *error);
+    return os.str();
+  } catch (const std::exception&) {
+    return "";
+  }
+}
+
+std::uint64_t fnv(const std::string& text, std::uint64_t hash) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// --- overload cell -----------------------------------------------------------
+
+struct OverloadOutcome {
+  std::uint64_t conforming_queries = 0;
+  std::uint64_t abuse_queries = 0;
+  std::uint64_t abuse_sheds = 0;
+  std::uint64_t shed_violations = 0;  ///< overloaded responses to conforming tenants
+  std::uint64_t protocol_errors = 0;
+  std::vector<double> conforming_latencies;
+};
+
+OverloadOutcome run_overload_cell(std::uint64_t conforming_per_tenant, std::uint64_t nodes) {
+  ServiceConfig config;
+  config.lanes = 2;
+  // Frozen injected clock: the abuser's bucket primes at kAbuserBurst
+  // tokens and never earns another, so the shed count is exact.
+  auto frozen = std::make_shared<std::atomic<std::uint64_t>>(1'000'000'000ULL);
+  config.clock = [frozen] { return frozen->load(std::memory_order_relaxed); };
+  congest::FairQueue::TenantQuota abuser_quota;
+  abuser_quota.rate_per_second = 50;
+  abuser_quota.burst = kAbuserBurst;
+  config.tenant_quotas.emplace_back("abuser", abuser_quota);
+  DetectionService service(config);
+
+  OverloadOutcome outcome;
+  const std::uint64_t flood = static_cast<std::uint64_t>(kFloodFactor) * kAbuserBurst;
+  std::vector<std::string> abuse_responses(flood);
+  // The abuser floods sequentially — admission order, and therefore which
+  // requests shed, is deterministic: the first kAbuserBurst are admitted.
+  std::thread abuser([&service, &abuse_responses, nodes, flood] {
+    for (std::uint64_t i = 0; i < flood; ++i) {
+      std::string id = "a";
+      id += std::to_string(i);
+      abuse_responses[i] = handle_line(
+          service, detect_line(id, "abuser", kFamilies[i % 4], "engine-color-bfs", nodes, i,
+                               {}));
+    }
+  });
+
+  const char* conforming[] = {"alice", "bob"};
+  std::vector<std::vector<std::string>> responses(2);
+  std::vector<std::vector<double>> latencies(2);
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < 2; ++t) {
+    responses[t].resize(conforming_per_tenant);
+    latencies[t].resize(conforming_per_tenant, 0.0);
+    clients.emplace_back([&service, &responses, &latencies, t, &conforming,
+                          conforming_per_tenant, nodes] {
+      for (std::uint64_t i = 0; i < conforming_per_tenant; ++i) {
+        std::string id = conforming[t];
+        id += std::to_string(i);
+        const auto start = std::chrono::steady_clock::now();
+        responses[t][i] = handle_line(
+            service, detect_line(id, conforming[t], kFamilies[(i + t) % 4],
+                                 t == 0 ? "even-cycle" : "engine-color-bfs", nodes, i, {}));
+        latencies[t][i] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      }
+    });
+  }
+  abuser.join();
+  for (auto& client : clients) client.join();
+
+  outcome.abuse_queries = flood;
+  for (const auto& response : abuse_responses) {
+    ResponseKind kind;
+    if (deterministic_view(response, &kind).empty())
+      ++outcome.protocol_errors;
+    else if (kind == ResponseKind::kOverloaded)
+      ++outcome.abuse_sheds;
+  }
+  for (std::size_t t = 0; t < 2; ++t) {
+    outcome.conforming_queries += responses[t].size();
+    for (const auto& response : responses[t]) {
+      ResponseKind kind;
+      if (deterministic_view(response, &kind).empty())
+        ++outcome.protocol_errors;
+      else if (kind != ResponseKind::kOk)
+        ++outcome.shed_violations;
+    }
+    outcome.conforming_latencies.insert(outcome.conforming_latencies.end(),
+                                        latencies[t].begin(), latencies[t].end());
+  }
+
+  // The stats op must agree with the client-side tally: the abuser's
+  // rate-limit shed counter is part of the wire contract.
+  try {
+    const JsonValue doc = harness::parse_json(handle_line(service, "{\"op\":\"stats\"}"));
+    const JsonValue* ok = doc.get("ok");
+    const JsonValue* stats = doc.get("stats");
+    const JsonValue* tenants = stats != nullptr ? stats->get("tenants") : nullptr;
+    bool abuser_counted = false;
+    if (ok != nullptr && ok->as_bool() && tenants != nullptr) {
+      for (const auto& tenant : tenants->as_array()) {
+        const JsonValue* name = tenant.get("tenant");
+        const JsonValue* shed = tenant.get("shed_rate_limited");
+        if (name != nullptr && name->as_string() == "abuser" && shed != nullptr &&
+            shed->as_uint() == outcome.abuse_sheds)
+          abuser_counted = true;
+      }
+    }
+    if (!abuser_counted) ++outcome.protocol_errors;
+  } catch (const std::exception&) {
+    ++outcome.protocol_errors;
+  }
+  return outcome;
+}
+
+// --- budget byte-identity cells ----------------------------------------------
+
+struct BudgetOutcome {
+  std::uint64_t queries = 0;
+  std::uint64_t budget_stops = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t digest = 0;
+};
+
+/// The i-th budget-limited query: engine round/message budgets that trip
+/// mid-simulation, plus post-hoc palette charges. Pure function of (i,
+/// nodes) — every lane count replays the identical mix.
+std::string budget_request_line(std::uint64_t i, std::uint64_t nodes) {
+  Members budget;
+  const char* detector = "engine-color-bfs";
+  switch (i % 4) {
+    case 0: budget.emplace_back("max-rounds", JsonValue::uint(1 + i % 3)); break;
+    case 1: budget.emplace_back("max-messages", JsonValue::uint(1 + i % 7)); break;
+    case 2:
+      detector = "even-cycle";  // post-hoc charge path
+      budget.emplace_back("max-rounds", JsonValue::uint(1));
+      break;
+    default:
+      detector = "baseline-local-threshold";
+      budget.emplace_back("max-messages", JsonValue::uint(1));
+      break;
+  }
+  return detect_line("b" + std::to_string(i), "tenant-" + std::to_string(i % 3),
+                     kFamilies[i % 4], detector, nodes, i, std::move(budget));
+}
+
+BudgetOutcome run_budget_cell(std::uint32_t lanes, std::uint64_t queries,
+                              std::uint64_t nodes) {
+  ServiceConfig config;
+  config.lanes = lanes;
+  DetectionService service(config);
+  BudgetOutcome outcome;
+  outcome.queries = queries;
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  for (std::uint64_t i = 0; i < queries; ++i) {
+    const std::string response = handle_line(service, budget_request_line(i, nodes));
+    ResponseKind kind;
+    const std::string view = deterministic_view(response, &kind);
+    if (view.empty())
+      ++outcome.protocol_errors;
+    else if (kind == ResponseKind::kBudgetStop)
+      ++outcome.budget_stops;
+    digest = fnv(view, digest);
+  }
+  outcome.digest = digest & 0xFFFFFFFFULL;
+  return outcome;
+}
+
+}  // namespace
+
+harness::Scenario service_overload_scenario() {
+  harness::Scenario scenario;
+  scenario.name = "service-overload";
+  scenario.description =
+      "abusive tenant floods at 8x its admitted rate beside conforming "
+      "tenants; gates shed confinement, bounded conforming latency, zero "
+      "protocol errors, and byte-identical budget stops across lane counts";
+  scenario.plan = [](const harness::RunOptions& options) {
+    harness::ScenarioPlan plan;
+    // --seeds scales the conforming workload and the budget mix depth.
+    const std::uint64_t per_tenant =
+        options.seeds != 0 ? static_cast<std::uint64_t>(options.seeds) * 10 : 20;
+    const std::uint64_t budget_queries =
+        options.seeds != 0 ? static_cast<std::uint64_t>(options.seeds) * 12 : 24;
+    const std::uint64_t nodes = options.nodes != 0 ? options.nodes : 96;
+    const bool with_timing = options.with_timing;
+    plan.params = {{"conforming-per-tenant", std::to_string(per_tenant)},
+                   {"abuser-burst", std::to_string(kAbuserBurst)},
+                   {"flood-factor", std::to_string(kFloodFactor)},
+                   {"budget-queries", std::to_string(budget_queries)},
+                   {"nodes", std::to_string(nodes)}};
+
+    harness::Cell overload;
+    overload.labels = {{"phase", "overload"}, {"lanes", "2"}};
+    overload.run = [per_tenant, nodes, with_timing](Rng&) {
+      harness::CellResult result;
+      const OverloadOutcome outcome = run_overload_cell(per_tenant, nodes);
+      result.extra.emplace_back("conforming-queries",
+                                static_cast<double>(outcome.conforming_queries));
+      result.extra.emplace_back("abuse-queries", static_cast<double>(outcome.abuse_queries));
+      result.extra.emplace_back("abuse-sheds", static_cast<double>(outcome.abuse_sheds));
+      result.extra.emplace_back("shed-violations",
+                                static_cast<double>(outcome.shed_violations));
+      result.extra.emplace_back("protocol-errors",
+                                static_cast<double>(outcome.protocol_errors));
+      if (with_timing)
+        result.extra.emplace_back("conforming-p99-ms",
+                                  quantile(outcome.conforming_latencies, 0.99) * 1e3);
+      return result;
+    };
+    plan.cells.push_back(std::move(overload));
+
+    for (const std::uint32_t lanes : {1u, 2u, 4u}) {
+      harness::Cell cell;
+      cell.labels = {{"phase", "budget"}, {"lanes", std::to_string(lanes)}};
+      cell.run = [lanes, budget_queries, nodes](Rng&) {
+        harness::CellResult result;
+        const BudgetOutcome outcome = run_budget_cell(lanes, budget_queries, nodes);
+        result.extra.emplace_back("queries", static_cast<double>(outcome.queries));
+        result.extra.emplace_back("budget-stops",
+                                  static_cast<double>(outcome.budget_stops));
+        result.extra.emplace_back("protocol-errors",
+                                  static_cast<double>(outcome.protocol_errors));
+        result.extra.emplace_back("payload-digest", static_cast<double>(outcome.digest));
+        return result;
+      };
+      plan.cells.push_back(std::move(cell));
+    }
+
+    plan.finalize = [with_timing](const std::vector<harness::CellRecord>& cells) {
+      harness::Series summary;
+      double protocol_errors = 0, abuse_sheds = 0, shed_violations = 0;
+      double budget_stops = 0, conforming_p99 = 0.0;
+      double digest = -1.0;
+      bool digests_agree = true;
+      for (const auto& cell : cells) {
+        for (const auto& [key, value] : cell.result.extra) {
+          if (key == "protocol-errors") {
+            protocol_errors += value;
+          } else if (key == "abuse-sheds") {
+            abuse_sheds = value;
+          } else if (key == "shed-violations") {
+            shed_violations = value;
+          } else if (key == "budget-stops") {
+            budget_stops += value;
+          } else if (key == "conforming-p99-ms") {
+            conforming_p99 = value;
+          } else if (key == "payload-digest") {
+            if (digest < 0.0) digest = value;
+            digests_agree = digests_agree && value == digest;
+          }
+        }
+      }
+      summary.emplace_back("protocol-errors", protocol_errors);
+      summary.emplace_back("abuse-sheds", abuse_sheds);
+      summary.emplace_back("shed-violations", shed_violations);
+      summary.emplace_back("budget-stops", budget_stops);
+      summary.emplace_back("deterministic",
+                           digests_agree && digest >= 0.0 && budget_stops > 0.0 ? 1.0 : 0.0);
+      if (with_timing) summary.emplace_back("conforming-p99-ms", conforming_p99);
+      return summary;
+    };
+    return plan;
+  };
+  return scenario;
+}
+
+}  // namespace evencycle::service

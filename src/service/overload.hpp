@@ -1,0 +1,14 @@
+// The `service-overload` scenario: an abusive tenant floods the service at
+// 8x its admitted rate while conforming tenants run a fixed workload; gates
+// that sheds stay confined to the abuser, conforming latency stays bounded,
+// and budget-exceeded payloads stay byte-identical across lane counts. See
+// overload.cpp for the cell layout.
+#pragma once
+
+#include "harness/scenario.hpp"
+
+namespace evencycle::service {
+
+harness::Scenario service_overload_scenario();
+
+}  // namespace evencycle::service

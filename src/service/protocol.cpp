@@ -87,7 +87,9 @@ std::uint32_t opt_u32(const JsonValue& object, const char* key, std::uint32_t fa
 /// off-schema. Range/semantic validation (k bounds, family and detector
 /// existence) stays in the facade, which reports structured ErrorCodes.
 Query parse_detect(const JsonValue& doc) {
-  check_known_fields(doc, {"op", "id", "tenant", "graph", "k", "detector", "seed", "threads"},
+  check_known_fields(doc,
+                     {"op", "id", "tenant", "graph", "k", "detector", "seed", "threads",
+                      "max-rounds", "max-messages", "deadline-ms"},
                      "request");
   Query query;
   query.request.tenant = opt_string(doc, "tenant", "");
@@ -95,6 +97,9 @@ Query parse_detect(const JsonValue& doc) {
   query.request.detector = opt_string(doc, "detector", "even-cycle");
   query.request.seed = opt_uint(doc, "seed", 0);
   query.request.threads = opt_u32(doc, "threads", 0);
+  query.request.max_rounds = opt_uint(doc, "max-rounds", 0);
+  query.request.max_messages = opt_uint(doc, "max-messages", 0);
+  query.request.deadline_ms = opt_uint(doc, "deadline-ms", 0);
 
   const JsonValue* graph = doc.get("graph");
   if (graph == nullptr || graph->kind() != JsonValue::Kind::kObject)
@@ -114,9 +119,25 @@ Query parse_detect(const JsonValue& doc) {
 std::string detect_response(DetectionService& service, const std::string& id,
                             const Query& query) {
   const QueryOutcome outcome = service.execute(query);
-  if (!outcome.result.ok())
-    return error_response(id, api::error_code_name(outcome.result.code),
-                          outcome.result.error);
+  if (!outcome.result.ok()) {
+    Members error;
+    error.emplace_back("code",
+                       JsonValue::string(api::error_code_name(outcome.result.code)));
+    error.emplace_back("message", JsonValue::string(outcome.result.error));
+    // Sheds carry the admission hint; cooperative cancellations carry the
+    // deterministic counters at the stop (byte-identical at every lane and
+    // thread count for the round/message budgets).
+    if (outcome.result.code == api::ErrorCode::kOverloaded)
+      error.emplace_back("retry-after-ms", JsonValue::uint(outcome.retry_after_ms));
+    if (outcome.result.code == api::ErrorCode::kBudgetExceeded ||
+        outcome.result.code == api::ErrorCode::kDeadlineExceeded) {
+      error.emplace_back("rounds", JsonValue::uint(outcome.result.rounds_measured));
+      error.emplace_back("messages", JsonValue::uint(outcome.result.messages));
+    }
+    Members members = response_head(id, false);
+    members.emplace_back("error", JsonValue::object(std::move(error)));
+    return serialize(JsonValue::object(std::move(members)));
+  }
   Members members = response_head(id, true);
   // The deterministic payload, and nothing else: identical queries must
   // produce a byte-identical `result` whatever the concurrency did.
@@ -153,7 +174,14 @@ std::string list_response(const std::string& id) {
 }
 
 std::string stats_response(DetectionService& service, const std::string& id) {
-  const ServiceStats stats = service.stats();
+  Members members = response_head(id, true);
+  members.emplace_back("stats", stats_body(service.stats()));
+  return serialize(JsonValue::object(std::move(members)));
+}
+
+}  // namespace
+
+harness::JsonValue stats_body(const ServiceStats& stats) {
   Members body;
   body.emplace_back("lanes", JsonValue::uint(stats.lanes));
   body.emplace_back("queries", JsonValue::uint(stats.queries));
@@ -162,6 +190,25 @@ std::string stats_response(DetectionService& service, const std::string& id) {
   body.emplace_back("p90_ms", JsonValue::number(stats.p90_seconds * 1e3));
   body.emplace_back("p99_ms", JsonValue::number(stats.p99_seconds * 1e3));
   body.emplace_back("qps", JsonValue::number(stats.qps));
+  // Overload / cancellation accounting (PR 10): totals first, then the
+  // per-tenant breakdown sorted by tenant name (stable serialization).
+  body.emplace_back("pending", JsonValue::uint(stats.pending));
+  body.emplace_back("shed", JsonValue::uint(stats.shed));
+  body.emplace_back("deadline_exceeded", JsonValue::uint(stats.deadline_exceeded));
+  body.emplace_back("budget_exceeded", JsonValue::uint(stats.budget_exceeded));
+  body.emplace_back("drained_on_shutdown", JsonValue::uint(stats.drained_on_shutdown));
+  std::vector<JsonValue> tenants;
+  for (const auto& tenant : stats.tenants) {
+    Members entry;
+    entry.emplace_back("tenant", JsonValue::string(tenant.tenant));
+    entry.emplace_back("accepted", JsonValue::uint(tenant.accepted));
+    entry.emplace_back("shed_queue_full", JsonValue::uint(tenant.shed_queue_full));
+    entry.emplace_back("shed_rate_limited", JsonValue::uint(tenant.shed_rate_limited));
+    entry.emplace_back("queued", JsonValue::uint(tenant.queued));
+    entry.emplace_back("in_flight", JsonValue::uint(tenant.in_flight));
+    tenants.push_back(JsonValue::object(std::move(entry)));
+  }
+  body.emplace_back("tenants", JsonValue::array(std::move(tenants)));
   Members cache;
   cache.emplace_back("hits", JsonValue::uint(stats.cache.hits));
   cache.emplace_back("misses", JsonValue::uint(stats.cache.misses));
@@ -169,12 +216,8 @@ std::string stats_response(DetectionService& service, const std::string& id) {
   cache.emplace_back("evictions", JsonValue::uint(stats.cache.evictions));
   cache.emplace_back("entries", JsonValue::uint(stats.cache.entries));
   body.emplace_back("cache", JsonValue::object(std::move(cache)));
-  Members members = response_head(id, true);
-  members.emplace_back("stats", JsonValue::object(std::move(body)));
-  return serialize(JsonValue::object(std::move(members)));
+  return JsonValue::object(std::move(body));
 }
-
-}  // namespace
 
 std::string handle_line(DetectionService& service, const std::string& line) {
   JsonValue doc;

@@ -35,6 +35,7 @@
 
 #include <string>
 
+#include "harness/json.hpp"
 #include "service/detection_service.hpp"
 
 namespace evencycle::service {
@@ -50,5 +51,10 @@ std::string handle_line(DetectionService& service, const std::string& line);
 /// with the request id whenever one was readable (for error responses).
 api::ErrorCode parse_detect_request(const std::string& line, Query* out, std::string* id,
                                     std::string* message);
+
+/// The `stats` response body (counters, percentiles, per-tenant quota
+/// accounting, cache stats) as one JsonValue object — shared between the
+/// stats op and the socket server's drain-time stats flush.
+harness::JsonValue stats_body(const ServiceStats& stats);
 
 }  // namespace evencycle::service

@@ -163,6 +163,30 @@ SoakCellOutcome run_soak_cell(std::uint32_t clients, std::uint64_t distinct_quer
     }
   }
 
+  // The stats body must reconcile with the mix: every submission completed,
+  // nothing was shed or cancelled, nothing is still pending, and the
+  // per-tenant accepted counts sum back to the submission count.
+  try {
+    const JsonValue doc = harness::parse_json(handle_line(service, R"({"op":"stats"})"));
+    const JsonValue* body = doc.get("stats");
+    const auto counter = [body](const char* key) -> std::uint64_t {
+      const JsonValue* value = body != nullptr ? body->get(key) : nullptr;
+      return value != nullptr ? value->as_uint() : ~std::uint64_t{0};
+    };
+    std::uint64_t accepted = 0;
+    const JsonValue* tenants = body != nullptr ? body->get("tenants") : nullptr;
+    if (tenants != nullptr)
+      for (const JsonValue& tenant : tenants->as_array())
+        accepted += tenant.get("accepted")->as_uint();
+    if (counter("queries") != submissions.size() || counter("shed") != 0 ||
+        counter("deadline_exceeded") != 0 || counter("budget_exceeded") != 0 ||
+        counter("pending") != 0 || counter("drained_on_shutdown") != 0 ||
+        accepted != submissions.size())
+      ++outcome.protocol_errors;
+  } catch (const std::exception&) {
+    ++outcome.protocol_errors;
+  }
+
   // Byte-identity within the cell: submission i and its mirror must agree.
   std::vector<std::string> payloads(submissions.size());
   for (std::size_t i = 0; i < responses.size(); ++i) {

@@ -1,20 +1,74 @@
 #include "service/socket_server.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "service/protocol.hpp"
+#include "support/rng.hpp"
 
 namespace evencycle::service {
 
 namespace {
+
+/// Accept-loop poll tick: the latency bound on noticing a stop request.
+constexpr int kAcceptTickMs = 100;
+/// Reader receive tick: how long a blocked ::read can overrun a stop
+/// request or an idle deadline.
+constexpr int kReadTickMs = 200;
+
+/// Set by the opt-in SIGTERM/SIGINT handlers; reset on each install so a
+/// process can serve, stop, and serve again.
+std::atomic<bool> g_signal_stop{false};
+
+void handle_stop_signal(int) { g_signal_stop.store(true, std::memory_order_release); }
+
+/// RAII SIGTERM/SIGINT installation: restores the previous handlers on
+/// destruction so serve() leaves no signal state behind.
+class SignalGuard {
+ public:
+  explicit SignalGuard(bool install) : installed_(install) {
+    if (!installed_) return;
+    g_signal_stop.store(false, std::memory_order_release);
+    struct sigaction action {};
+    action.sa_handler = handle_stop_signal;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, &old_term_);
+    ::sigaction(SIGINT, &action, &old_int_);
+  }
+  ~SignalGuard() {
+    if (!installed_) return;
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+    ::sigaction(SIGINT, &old_int_, nullptr);
+  }
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+ private:
+  bool installed_;
+  struct sigaction old_term_ {};
+  struct sigaction old_int_ {};
+};
+
+bool apply_socket_timeout(int fd, std::uint32_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0 &&
+         ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
 
 /// Sends the whole buffer; MSG_NOSIGNAL so a vanished client surfaces as
 /// EPIPE instead of killing the process with SIGPIPE.
@@ -31,14 +85,29 @@ bool send_all(int fd, const std::string& data) {
   return true;
 }
 
-/// One connection: request line in, response line out, until EOF.
-void serve_connection(DetectionService& service, int fd) {
+/// One connection: request line in, response line out, until EOF, a stop
+/// request, or (when read_timeout_ms is set) too long without any data.
+/// The receive tick keeps the reader loop responsive to both deadlines
+/// even while the peer sends nothing. Always closes fd.
+void serve_connection(DetectionService& service, int fd, std::uint32_t read_timeout_ms,
+                      const std::atomic<bool>& stop) {
+  using Clock = std::chrono::steady_clock;
+  apply_socket_timeout(fd, kReadTickMs);
   std::string pending;
   char chunk[4096];
+  Clock::time_point last_data = Clock::now();
   for (;;) {
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (stop.load(std::memory_order_acquire)) break;
+      if (read_timeout_ms != 0 &&
+          Clock::now() - last_data >= std::chrono::milliseconds(read_timeout_ms))
+        break;
+      continue;
+    }
     if (n <= 0) break;
+    last_data = Clock::now();
     pending.append(chunk, static_cast<std::size_t>(n));
     std::size_t newline;
     while ((newline = pending.find('\n')) != std::string::npos) {
@@ -53,6 +122,25 @@ void serve_connection(DetectionService& service, int fd) {
     }
   }
   ::close(fd);
+}
+
+/// A reader thread plus its completion flag, so the accept loop can reap
+/// finished readers without blocking on live ones.
+struct Reader {
+  std::thread thread;
+  std::shared_ptr<std::atomic<bool>> done;
+};
+
+void reap_finished(std::vector<Reader>* readers) {
+  auto it = readers->begin();
+  while (it != readers->end()) {
+    if (it->done->load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = readers->erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 bool fill_address(const std::string& path, sockaddr_un* address, std::string* error) {
@@ -91,35 +179,80 @@ int serve(DetectionService& service, const ServeOptions& options, std::ostream& 
   }
   log << "serving on " << options.socket_path << " (" << service.lanes() << " lanes)\n";
 
-  std::vector<std::thread> connections;
+  const SignalGuard signals(options.install_signal_handlers);
+  const auto stop_requested = [&options] {
+    if (options.stop != nullptr && options.stop->load(std::memory_order_acquire)) return true;
+    return options.install_signal_handlers && g_signal_stop.load(std::memory_order_acquire);
+  };
+
+  std::atomic<bool> stop_readers{false};
+  std::vector<Reader> readers;
   std::uint64_t accepted = 0;
+  bool stopped = false;
   while (options.max_connections == 0 || accepted < options.max_connections) {
+    if (stop_requested()) {
+      stopped = true;
+      break;
+    }
+    pollfd pfd{};
+    pfd.fd = listener;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptTickMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      log << "serve: poll failed: " << std::strerror(errno) << "\n";
+      break;
+    }
+    reap_finished(&readers);
+    if (ready == 0) continue;
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED)
+        continue;  // transient: the peer vanished between poll and accept
       log << "serve: accept failed: " << std::strerror(errno) << "\n";
       break;
     }
     ++accepted;
-    connections.emplace_back([&service, fd] { serve_connection(service, fd); });
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread([&service, &options, &stop_readers, fd, done] {
+      serve_connection(service, fd, options.read_timeout_ms, stop_readers);
+      done->store(true, std::memory_order_release);
+    });
+    readers.push_back(Reader{std::move(thread), std::move(done)});
   }
-  for (auto& connection : connections) connection.join();
+
+  // Graceful shutdown: no new connections, readers wind down within one
+  // receive tick, in-flight request lines finish before their reader exits.
+  stop_readers.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.thread.join();
+  readers.clear();
   ::close(listener);
   ::unlink(options.socket_path.c_str());
-  log << "served " << accepted << " connection(s)\n";
+  if (options.drain_on_stop) {
+    service.drain();
+    log << "stats " << harness::to_json(stats_body(service.stats())) << "\n";
+  }
+  log << "served " << accepted << " connection(s)"
+      << (stopped ? " (stop requested)" : "") << "\n";
   return 0;
 }
 
 UnixClient::~UnixClient() { close(); }
 
 UnixClient::UnixClient(UnixClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      path_(std::move(other.path_)),
+      timeout_ms_(other.timeout_ms_) {}
 
 UnixClient& UnixClient::operator=(UnixClient&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     buffer_ = std::move(other.buffer_);
+    path_ = std::move(other.path_);
+    timeout_ms_ = other.timeout_ms_;
   }
   return *this;
 }
@@ -132,8 +265,14 @@ void UnixClient::close() {
   buffer_.clear();
 }
 
+void UnixClient::set_timeout(std::uint32_t timeout_ms) {
+  timeout_ms_ = timeout_ms;
+  if (fd_ >= 0 && timeout_ms_ != 0) apply_socket_timeout(fd_, timeout_ms_);
+}
+
 bool UnixClient::connect(const std::string& path, std::string* error) {
   close();
+  path_ = path;
   sockaddr_un address{};
   std::string reason;
   if (!fill_address(path, &address, &reason)) {
@@ -145,11 +284,38 @@ bool UnixClient::connect(const std::string& path, std::string* error) {
     if (error != nullptr) *error = std::string("socket() failed: ") + std::strerror(errno);
     return false;
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+  // With a timeout configured, connect non-blocking and poll: a listener
+  // with a saturated backlog parks blocking unix-socket connects forever.
+  const int flags = timeout_ms_ != 0 ? ::fcntl(fd, F_GETFL, 0) : 0;
+  if (timeout_ms_ != 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+  if (rc != 0 && timeout_ms_ != 0 && (errno == EINPROGRESS || errno == EAGAIN)) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms_));
+    if (ready <= 0) {
+      if (error != nullptr)
+        *error = "connect to " + path + " timed out after " + std::to_string(timeout_ms_) +
+                 " ms";
+      ::close(fd);
+      return false;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    rc = so_error == 0 ? 0 : -1;
+    errno = so_error;
+  }
+  if (rc != 0) {
     if (error != nullptr)
       *error = "cannot connect to " + path + ": " + std::strerror(errno);
     ::close(fd);
     return false;
+  }
+  if (timeout_ms_ != 0) {
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking; SO_*TIMEO bounds I/O
+    apply_socket_timeout(fd, timeout_ms_);
   }
   fd_ = fd;
   return true;
@@ -174,12 +340,84 @@ bool UnixClient::request(const std::string& line, std::string* response, std::st
     }
     const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (error != nullptr)
+        *error = "timed out after " + std::to_string(timeout_ms_) +
+                 " ms waiting for a response";
+      return false;
+    }
     if (n <= 0) {
       if (error != nullptr) *error = "connection closed before a response line";
       return false;
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+namespace {
+
+/// True when `reply` is a structured `overloaded` response; fills *hint
+/// with its retry-after-ms (0 when absent).
+bool overloaded_reply(const std::string& reply, std::uint64_t* hint) {
+  *hint = 0;
+  try {
+    const harness::JsonValue value = harness::parse_json_strict(reply);
+    const harness::JsonValue* error = value.get("error");
+    if (error == nullptr) return false;
+    const harness::JsonValue* code = error->get("code");
+    if (code == nullptr || code->as_string() != "overloaded") return false;
+    const harness::JsonValue* retry = error->get("retry-after-ms");
+    if (retry != nullptr) *hint = retry->as_uint();
+    return true;
+  } catch (const std::exception&) {
+    return false;  // not an overload shed; let the caller see the raw reply
+  }
+}
+
+}  // namespace
+
+bool UnixClient::request_with_retry(const std::string& line, const RetryPolicy& policy,
+                                    std::string* response, std::string* error,
+                                    std::uint32_t* attempts_used) {
+  const std::uint32_t attempts = std::max<std::uint32_t>(policy.attempts, 1);
+  const std::uint64_t cap = std::max<std::uint32_t>(policy.max_backoff_ms, 1);
+  std::uint64_t schedule_ms =
+      std::min<std::uint64_t>(std::max<std::uint32_t>(policy.base_backoff_ms, 1), cap);
+  std::uint64_t jitter_state = policy.jitter_seed;
+  std::string last_error = "no attempts ran";
+  for (std::uint32_t attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempts_used != nullptr) *attempts_used = attempt;
+    std::string reply;
+    std::string why;
+    bool sent = false;
+    if (!connected() && !path_.empty()) connect(path_, &why);
+    if (connected()) sent = request(line, &reply, &why);
+    std::uint64_t wait_ms;
+    if (sent) {
+      std::uint64_t hint = 0;
+      if (!overloaded_reply(reply, &hint)) {
+        if (response != nullptr) *response = reply;
+        return true;
+      }
+      // Shed: surface the reply (callers may want the structured error) and
+      // wait at least as long as the service priced the retry at.
+      if (response != nullptr) *response = reply;
+      last_error = "service overloaded";
+      wait_ms = std::max<std::uint64_t>(schedule_ms, hint);
+    } else {
+      last_error = why.empty() ? std::string("transport failure") : why;
+      close();  // the connection is suspect; reconnect on the next attempt
+      wait_ms = schedule_ms;
+    }
+    if (attempt == attempts) break;
+    wait_ms = std::min<std::uint64_t>(wait_ms, cap);
+    wait_ms += splitmix64(jitter_state) % (wait_ms / 4 + 1);  // deterministic jitter
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    schedule_ms = std::min<std::uint64_t>(schedule_ms * 2, cap);
+  }
+  if (error != nullptr)
+    *error = "gave up after " + std::to_string(attempts) + " attempt(s): " + last_error;
+  return false;
 }
 
 }  // namespace evencycle::service

@@ -6,10 +6,23 @@
 // multiplexing — connection threads only shuttle bytes, so a slow client
 // never holds a query lane.
 //
+// Robustness (PR 10): the accept loop polls, so an external stop flag or a
+// SIGTERM/SIGINT (opt-in) triggers a graceful drain — stop accepting,
+// finish in-flight request lines, join every reader thread, drain the
+// service, and flush a final stats line to the log. Reader threads use a
+// short receive tick, so a client that wedges mid-line can neither pin a
+// thread past shutdown nor (with read_timeout_ms set) hold its connection
+// open forever; finished reader threads are reaped as the loop runs, not
+// hoarded until exit.
+//
 // `UnixClient` is the matching blocking client (`evencycle query`, the
-// round-trip smoke test).
+// round-trip smoke test), with an optional connect/read timeout so a dead
+// or wedged server can never hang a client forever, and a retrying send
+// path with capped exponential backoff + deterministic jitter that honors
+// the service's `retry-after-ms` overload hints.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -20,20 +33,45 @@ namespace evencycle::service {
 
 struct ServeOptions {
   std::string socket_path;  ///< filesystem path to bind (must fit sockaddr_un)
-  /// Stop after serving this many connections (0 = run until the process
-  /// dies). The ctest round-trip smoke sets 1 so `serve` exits by itself.
+  /// Stop after serving this many connections (0 = run until stopped). The
+  /// ctest round-trip smoke sets 1 so `serve` exits by itself.
   std::uint64_t max_connections = 0;
+  /// Close a connection after this long with no complete request activity
+  /// (0 = never). Shedding idle/wedged peers, not a per-line deadline.
+  std::uint32_t read_timeout_ms = 0;
+  /// External stop flag, polled by the accept and reader loops (tests and
+  /// embedders; the CLI uses signals instead). Null = no external stop.
+  const std::atomic<bool>* stop = nullptr;
+  /// Install SIGTERM/SIGINT handlers for the duration of serve() and treat
+  /// either signal as a stop request (the `evencycle serve` CLI behavior).
+  bool install_signal_handlers = false;
+  /// On stop, drain the service (finish in-flight queries, reject new
+  /// submits) and flush a final stats line to `log`. Leave off when the
+  /// caller wants to keep submitting to the same service afterwards
+  /// (e.g. the repeated start/stop stress test).
+  bool drain_on_stop = false;
 };
 
-/// Runs the accept loop (blocking). Returns 0 on a clean exit (the
-/// max_connections budget was spent), 1 on socket setup errors, logging
+/// Runs the accept loop (blocking). Returns 0 on a clean exit (connection
+/// budget spent, stop flag, or signal), 1 on socket setup errors, logging
 /// the reason to `log`. Removes a stale socket file at the path before
-/// binding and unlinks it again on exit.
+/// binding and unlinks it again on exit. All reader threads are joined
+/// before returning — no fd or thread outlives the call.
 int serve(DetectionService& service, const ServeOptions& options, std::ostream& log);
 
 /// Blocking newline-delimited-JSON client over a unix socket.
 class UnixClient {
  public:
+  /// Retry schedule for request_with_retry: capped exponential backoff
+  /// seeded at base_backoff_ms, with deterministic splitmix64 jitter, and
+  /// the server's retry-after-ms hint as a floor when it sheds.
+  struct RetryPolicy {
+    std::uint32_t attempts = 5;          ///< total tries (min 1)
+    std::uint32_t base_backoff_ms = 10;  ///< first retry delay
+    std::uint32_t max_backoff_ms = 500;  ///< backoff/hint ceiling per wait
+    std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+  };
+
   UnixClient() = default;
   ~UnixClient();
   UnixClient(UnixClient&& other) noexcept;
@@ -41,19 +79,40 @@ class UnixClient {
   UnixClient(const UnixClient&) = delete;
   UnixClient& operator=(const UnixClient&) = delete;
 
+  /// Connect/read/send timeout for subsequent connect() and request()
+  /// calls; 0 (the default) blocks forever. Applies to the open socket
+  /// immediately when already connected.
+  void set_timeout(std::uint32_t timeout_ms);
+
   /// Connects to a serving socket; false (with *error filled) on failure.
+  /// Honors set_timeout for the connect itself (a listener with a full
+  /// backlog counts as a timeout, not a hang).
   bool connect(const std::string& path, std::string* error);
   bool connected() const { return fd_ >= 0; }
 
   /// Sends one request line and reads one response line (the newline is
-  /// added / stripped here). False on transport errors.
+  /// added / stripped here). False on transport errors — including a
+  /// set_timeout expiry while waiting for the response.
   bool request(const std::string& line, std::string* response, std::string* error);
+
+  /// request() with retries: reconnects after transport failures and backs
+  /// off after `overloaded` responses (honoring their retry-after-ms hint,
+  /// floored by the exponential schedule, capped by max_backoff_ms, plus
+  /// deterministic jitter). Returns true with the first non-overloaded
+  /// response; on exhaustion returns false with *error set and *response
+  /// holding the last overloaded reply, if any. *attempts_used reports how
+  /// many tries ran.
+  bool request_with_retry(const std::string& line, const RetryPolicy& policy,
+                          std::string* response, std::string* error,
+                          std::uint32_t* attempts_used = nullptr);
 
   void close();
 
  private:
   int fd_ = -1;
   std::string buffer_;  ///< bytes read past the last returned line
+  std::string path_;    ///< last connect() target (request_with_retry reconnects)
+  std::uint32_t timeout_ms_ = 0;
 };
 
 }  // namespace evencycle::service

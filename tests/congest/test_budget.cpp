@@ -1,0 +1,143 @@
+// Cooperative cancellation: Budget{max_rounds, max_messages, deadline}
+// checked at round boundaries, sticky once tripped, and — for the counter
+// budgets — bit-deterministic at every thread count.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+
+namespace evencycle::congest {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Broadcasts on every round, so messages accumulate round after round and
+/// a message budget trips mid-run.
+class NoisyProgram : public NodeProgram {
+ public:
+  explicit NoisyProgram(VertexId self) : self_(self) {}
+  void on_round(Context& ctx) override { ctx.broadcast({1, self_}); }
+
+ private:
+  VertexId self_;
+};
+
+void install_noisy(Network& net) {
+  net.install([](VertexId v) { return std::make_unique<NoisyProgram>(v); });
+}
+
+TEST(Budget, RoundBudgetStopsExactlyAtTheLimit) {
+  const Graph g = graph::cycle(16);
+  Config config;
+  config.budget.max_rounds = 3;
+  Network net(g, config);
+  install_noisy(net);
+  net.run_rounds(10);
+  EXPECT_EQ(net.metrics().rounds, 3u);
+  EXPECT_EQ(net.budget_status(), BudgetStatus::kRoundBudget);
+  EXPECT_TRUE(net.budget_exhausted());
+}
+
+TEST(Budget, MessageBudgetStopsAtTheFirstRoundBoundaryPastTheLimit) {
+  const Graph g = graph::cycle(16);  // 32 messages per broadcast round
+  Config config;
+  config.budget.max_messages = 40;
+  Network net(g, config);
+  install_noisy(net);
+  // Round 1 sends 32 (under budget), round 2 reaches 64 (over) -> the stop
+  // lands at the round-2 boundary, counters included.
+  net.run_rounds(10);
+  EXPECT_EQ(net.metrics().rounds, 2u);
+  EXPECT_EQ(net.metrics().messages, 64u);
+  EXPECT_EQ(net.budget_status(), BudgetStatus::kMessageBudget);
+}
+
+TEST(Budget, ExhaustedBudgetIsStickyAcrossRunCalls) {
+  const Graph g = graph::cycle(8);
+  Config config;
+  config.budget.max_rounds = 2;
+  Network net(g, config);
+  install_noisy(net);
+  net.run_rounds(5);
+  EXPECT_EQ(net.metrics().rounds, 2u);
+  // Every later run call is a no-op until the programs are reinstalled.
+  net.run_rounds(5);
+  net.run_round();
+  EXPECT_EQ(net.metrics().rounds, 2u);
+  EXPECT_EQ(net.budget_status(), BudgetStatus::kRoundBudget);
+}
+
+TEST(Budget, InstallResetsTheBudgetStatus) {
+  const Graph g = graph::cycle(8);
+  Config config;
+  config.budget.max_rounds = 2;
+  Network net(g, config);
+  install_noisy(net);
+  net.run_rounds(5);
+  EXPECT_TRUE(net.budget_exhausted());
+  net.install([](VertexId v) { return std::make_unique<NoisyProgram>(v); });
+  EXPECT_EQ(net.budget_status(), BudgetStatus::kOk);
+  net.run_rounds(2);
+  EXPECT_EQ(net.metrics().rounds, 2u);
+  EXPECT_EQ(net.budget_status(), BudgetStatus::kRoundBudget);
+}
+
+TEST(Budget, PreExpiredDeadlineRunsNoRounds) {
+  const Graph g = graph::cycle(8);
+  Config config;
+  config.budget.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  Network net(g, config);
+  install_noisy(net);
+  net.run_rounds(5);
+  EXPECT_EQ(net.metrics().rounds, 0u);
+  EXPECT_EQ(net.budget_status(), BudgetStatus::kDeadline);
+}
+
+TEST(Budget, NoBudgetMeansNoStatusChange) {
+  const Graph g = graph::cycle(8);
+  Network net(g);
+  install_noisy(net);
+  net.run_rounds(4);
+  EXPECT_EQ(net.metrics().rounds, 4u);
+  EXPECT_EQ(net.budget_status(), BudgetStatus::kOk);
+  EXPECT_FALSE(net.budget_exhausted());
+}
+
+/// The acceptance bar: a budget-stopped run must leave bit-identical
+/// counters at thread counts 1, 2, and 4 — the stop happens at the serial
+/// round boundary, never mid-round on one worker.
+TEST(Budget, CounterBudgetStopsAreBitIdenticalAcrossThreadCounts) {
+  const Graph g = graph::torus(8, 8);  // 512 messages per broadcast round
+  struct Snapshot {
+    std::uint64_t rounds, messages, busiest;
+    BudgetStatus status;
+  };
+  std::vector<Snapshot> runs;
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    Config config;
+    config.threads = threads;
+    config.budget.max_rounds = 5;
+    config.budget.max_messages = 1800;
+    Network net(g, config);
+    install_noisy(net);
+    net.run_rounds(64);
+    runs.push_back({net.metrics().rounds, net.metrics().messages,
+                    net.metrics().busiest_round_messages, net.budget_status()});
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].rounds, runs[0].rounds);
+    EXPECT_EQ(runs[i].messages, runs[0].messages);
+    EXPECT_EQ(runs[i].busiest, runs[0].busiest);
+    EXPECT_EQ(runs[i].status, runs[0].status);
+  }
+  EXPECT_TRUE(runs[0].status == BudgetStatus::kRoundBudget ||
+              runs[0].status == BudgetStatus::kMessageBudget);
+}
+
+}  // namespace
+}  // namespace evencycle::congest

@@ -77,6 +77,108 @@ TEST(FairQueue, CloseDrainsThenReleasesPoppers) {
   EXPECT_EQ(queue.size(), 0u);
 }
 
+TEST(FairQueue, DepthQuotaRejectsExactlyAtTheConfiguredLimit) {
+  FairQueue queue;
+  FairQueue::TenantQuota quota;
+  quota.max_queued = 3;
+  queue.set_quota("bounded", quota);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(queue.offer("bounded", [] {}).accepted());
+  const FairQueue::PushResult shed = queue.offer("bounded", [] {});
+  EXPECT_EQ(shed.admission, FairQueue::Admission::kQueueFull);
+  EXPECT_GT(shed.retry_after_ms, 0u);
+  // Unquoted tenants are untouched, and draining one slot reopens exactly one.
+  EXPECT_TRUE(queue.offer("other", [] {}).accepted());
+  FairQueue::Job job;
+  ASSERT_TRUE(queue.pop(&job));
+  job();
+  EXPECT_TRUE(queue.offer("bounded", [] {}).accepted());
+  EXPECT_EQ(queue.offer("bounded", [] {}).admission, FairQueue::Admission::kQueueFull);
+}
+
+TEST(FairQueue, TokenBucketIsDeterministicUnderAFakeClock) {
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    FairQueue queue;
+    std::uint64_t now_ns = 1'000'000'000;
+    queue.set_clock([&now_ns] { return now_ns; });
+    FairQueue::TenantQuota quota;
+    quota.rate_per_second = 2;
+    quota.burst = 2;
+    queue.set_quota("metered", quota);
+
+    // The bucket primes at `burst` tokens: two admits, then a shed priced
+    // at exactly one token = 500 ms at 2 tokens/s.
+    EXPECT_TRUE(queue.offer("metered", [] {}).accepted());
+    EXPECT_TRUE(queue.offer("metered", [] {}).accepted());
+    const FairQueue::PushResult shed = queue.offer("metered", [] {});
+    EXPECT_EQ(shed.admission, FairQueue::Admission::kRateLimited);
+    EXPECT_EQ(shed.retry_after_ms, 500u);
+
+    // A frozen clock never refills; honoring the hint refills exactly one.
+    EXPECT_EQ(queue.offer("metered", [] {}).admission, FairQueue::Admission::kRateLimited);
+    now_ns += 500'000'000;
+    EXPECT_TRUE(queue.offer("metered", [] {}).accepted());
+    EXPECT_EQ(queue.offer("metered", [] {}).admission, FairQueue::Admission::kRateLimited);
+    EXPECT_EQ(queue.size(), 3u);
+  }
+}
+
+TEST(FairQueue, InFlightCapDefersPopInsteadOfShedding) {
+  FairQueue queue;
+  FairQueue::TenantQuota quota;
+  quota.max_in_flight = 1;
+  queue.set_quota("capped", quota);
+  std::vector<std::string> ran;
+  ASSERT_TRUE(queue.offer("capped", [&ran] { ran.push_back("capped-1"); }).accepted());
+  ASSERT_TRUE(queue.offer("capped", [&ran] { ran.push_back("capped-2"); }).accepted());
+  ASSERT_TRUE(queue.offer("other", [&ran] { ran.push_back("other"); }).accepted());
+
+  FairQueue::Job first;
+  ASSERT_TRUE(queue.pop(&first));  // capped-1 claims the tenant's only slot
+  // With "capped" at its cap, pop must skip it and serve "other".
+  FairQueue::Job job;
+  ASSERT_TRUE(queue.pop(&job));
+  job();
+  ASSERT_EQ(ran, (std::vector<std::string>{"other"}));
+  // Completing the in-flight job releases the slot; capped-2 drains.
+  first();
+  ASSERT_TRUE(queue.pop(&job));
+  job();
+  EXPECT_EQ(ran, (std::vector<std::string>{"other", "capped-1", "capped-2"}));
+}
+
+TEST(FairQueue, TenantStatsCountAdmissionOutcomes) {
+  FairQueue queue;
+  std::uint64_t now_ns = 0;
+  queue.set_clock([&now_ns] { return now_ns; });
+  FairQueue::TenantQuota quota;
+  quota.max_queued = 2;
+  quota.rate_per_second = 1;
+  quota.burst = 3;
+  queue.set_quota("watched", quota);
+  // 2 admits fill the queue, the 3rd sheds on depth (before burning a
+  // token), then draining both and offering 2 more burns the last token:
+  // the final offer sheds on rate.
+  EXPECT_TRUE(queue.offer("watched", [] {}).accepted());
+  EXPECT_TRUE(queue.offer("watched", [] {}).accepted());
+  EXPECT_EQ(queue.offer("watched", [] {}).admission, FairQueue::Admission::kQueueFull);
+  FairQueue::Job job;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(queue.pop(&job));
+    job();
+  }
+  EXPECT_TRUE(queue.offer("watched", [] {}).accepted());
+  EXPECT_EQ(queue.offer("watched", [] {}).admission, FairQueue::Admission::kRateLimited);
+
+  const auto stats = queue.tenant_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].tenant, "watched");
+  EXPECT_EQ(stats[0].accepted, 3u);
+  EXPECT_EQ(stats[0].shed_queue_full, 1u);
+  EXPECT_EQ(stats[0].shed_rate_limited, 1u);
+  EXPECT_EQ(stats[0].queued, 1u);
+  EXPECT_EQ(stats[0].in_flight, 0u);
+}
+
 TEST(FairQueue, ConcurrentProducersAllJobsServedExactlyOnce) {
   FairQueue queue;
   constexpr int kProducers = 4;

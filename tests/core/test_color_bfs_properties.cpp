@@ -20,8 +20,15 @@ struct SweepParam {
 };
 
 std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
-  return "L" + std::to_string(info.param.length) + "_tau" +
-         std::to_string(info.param.threshold) + "_s" + std::to_string(info.param.seed);
+  // Built by append: `"L" + to_string(...)` trips gcc 12's -Wrestrict
+  // false positive at -O2, which -Werror turns fatal.
+  std::string name = "L";
+  name += std::to_string(info.param.length);
+  name += "_tau";
+  name += std::to_string(info.param.threshold);
+  name += "_s";
+  name += std::to_string(info.param.seed);
+  return name;
 }
 
 class ColorBfsSweep : public ::testing::TestWithParam<SweepParam> {};

@@ -55,7 +55,7 @@ TEST(ScenarioRegistry, BuiltinPaletteIsRegisteredOnce) {
   for (const char* name :
        {"engine-scaling", "engine-sustained", "detection-matrix", "ablation-coloring",
         "ablation-congestion", "ablation-threshold", "table1-classical",
-        "table1-quantum", "engine-faults"}) {
+        "table1-quantum", "engine-faults", "service-overload"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
 }

@@ -1,0 +1,64 @@
+// The service-overload scenario: grid shape and the CI gate summary
+// (`deterministic` / `shed-violations` / `protocol-errors`).
+#include "service/overload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/runner.hpp"
+
+namespace evencycle::harness {
+namespace {
+
+const std::string& label(const Labels& labels, const char* key) {
+  static const std::string empty;
+  for (const auto& [k, v] : labels)
+    if (k == key) return v;
+  return empty;
+}
+
+double summary_value(const Series& summary, const char* key) {
+  for (const auto& [k, v] : summary)
+    if (k == key) return v;
+  return -1.0;
+}
+
+RunOptions small_options() {
+  RunOptions options;
+  options.nodes = 64;  // keep the mixed-budget grid cheap; default is CI-sized
+  options.seeds = 1;
+  options.with_timing = false;
+  return options;
+}
+
+TEST(ServiceOverloadScenario, GridPairsOneOverloadCellWithThreeLaneCounts) {
+  const ScenarioPlan plan = service::service_overload_scenario().plan(small_options());
+  ASSERT_EQ(plan.cells.size(), 4u);
+  int overload = 0;
+  std::string lanes;
+  for (const auto& cell : plan.cells) {
+    if (label(cell.labels, "phase") == "overload")
+      ++overload;
+    else
+      lanes += label(cell.labels, "lanes");
+  }
+  EXPECT_EQ(overload, 1);
+  EXPECT_EQ(lanes, "124");  // the byte-identity sweep
+}
+
+TEST(ServiceOverloadScenario, SummaryPassesTheCiGate) {
+  const ScenarioResult result =
+      run_scenario(service::service_overload_scenario(), small_options());
+  // The exact gates ci.yml requires of `run service-overload`.
+  EXPECT_EQ(summary_value(result.summary, "protocol-errors"), 0.0);
+  EXPECT_EQ(summary_value(result.summary, "shed-violations"), 0.0);
+  EXPECT_EQ(summary_value(result.summary, "deterministic"), 1.0);
+  // The frozen admission clock makes the shed count exact: the flood is
+  // 8x the burst, so all but the burst tokens are rejected.
+  EXPECT_EQ(summary_value(result.summary, "abuse-sheds"), 28.0);
+  EXPECT_GT(summary_value(result.summary, "budget-stops"), 0.0);
+}
+
+}  // namespace
+}  // namespace evencycle::harness

@@ -2,6 +2,8 @@
 // detect round-trips, discovery and control ops.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -26,8 +28,13 @@ std::string error_code_of(const JsonValue& response) {
 
 class ProtocolTest : public ::testing::Test {
  protected:
-  service::ServiceConfig config_{.lanes = 2, .cache_capacity = 4, .graph_hash = {}};
-  DetectionService service_{config_};
+  static service::ServiceConfig config() {
+    service::ServiceConfig config;
+    config.lanes = 2;
+    config.cache_capacity = 4;
+    return config;
+  }
+  DetectionService service_{config()};
 };
 
 TEST_F(ProtocolTest, DetectRoundTrip) {
@@ -119,6 +126,95 @@ TEST_F(ProtocolTest, PingListAndStats) {
   EXPECT_EQ(body->get("queries")->as_uint(), 1u);
   EXPECT_EQ(body->get("errors")->as_uint(), 0u);
   EXPECT_EQ(body->get("cache")->get("misses")->as_uint(), 1u);
+}
+
+TEST_F(ProtocolTest, BudgetFieldsParseAndTripAsStructuredErrors) {
+  const JsonValue response = respond(
+      service_,
+      R"({"op":"detect","id":"b1","graph":{"family":"torus","nodes":64},"k":2,"detector":"engine-color-bfs","max-rounds":2})");
+  EXPECT_FALSE(response.get("ok")->as_bool());
+  EXPECT_EQ(error_code_of(response), "budget-exceeded");
+  const JsonValue* error = response.get("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->get("rounds")->as_uint(), 2u);
+  EXPECT_GT(error->get("messages")->as_uint(), 0u);
+  EXPECT_NE(error->get("message")->as_string().find("round budget"), std::string::npos);
+  // Budget fields are hyphenated like the rest of the schema; the
+  // underscored spelling is an unknown field, not a silent no-op.
+  EXPECT_EQ(error_code_of(respond(
+                service_,
+                R"({"op":"detect","graph":{"family":"torus","nodes":64},"max_rounds":2})")),
+            "bad-request");
+}
+
+TEST_F(ProtocolTest, BudgetStopsAreByteIdenticalAcrossLaneCounts) {
+  const std::string line =
+      R"({"op":"detect","id":"b2","graph":{"family":"planted-light","nodes":96},"k":2,"detector":"engine-color-bfs","seed":7,"max-messages":100})";
+  // Error responses carry no timing member, so whole-line byte identity is
+  // the contract — at every lane count and per-request thread budget.
+  std::set<std::string> lines;
+  for (const std::uint32_t lanes : {1u, 2u, 4u}) {
+    service::ServiceConfig config;
+    config.lanes = lanes;
+    DetectionService service(config);
+    lines.insert(handle_line(service, line));
+  }
+  ASSERT_EQ(lines.size(), 1u) << "budget stop varies with the lane count";
+  EXPECT_NE(lines.begin()->find("\"code\":\"budget-exceeded\""), std::string::npos)
+      << *lines.begin();
+}
+
+TEST_F(ProtocolTest, OverloadedResponseCarriesRetryAfterHint) {
+  service::ServiceConfig config;
+  config.lanes = 1;
+  config.clock = [] { return std::uint64_t{1'000'000'000}; };  // frozen: no refills
+  congest::FairQueue::TenantQuota quota;
+  quota.rate_per_second = 100;
+  quota.burst = 1;
+  config.tenant_quotas.emplace_back("greedy", quota);
+  DetectionService service(config);
+  const std::string line =
+      R"({"op":"detect","id":"o1","tenant":"greedy","graph":{"family":"torus","nodes":36},"detector":"baseline-flooding"})";
+  ASSERT_TRUE(harness::parse_json(handle_line(service, line)).get("ok")->as_bool());
+  const JsonValue shed = harness::parse_json(handle_line(service, line));
+  EXPECT_FALSE(shed.get("ok")->as_bool());
+  const JsonValue* error = shed.get("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->get("code")->as_string(), "overloaded");
+  // One token at 100/s costs exactly 10 ms.
+  EXPECT_EQ(error->get("retry-after-ms")->as_uint(), 10u);
+}
+
+TEST_F(ProtocolTest, StatsBodyCarriesQuotaShedAndCancelCounters) {
+  respond(
+      service_,
+      R"({"op":"detect","tenant":"alice","graph":{"family":"torus","nodes":64},"detector":"engine-color-bfs","max-rounds":1})");
+  const JsonValue stats = respond(service_, R"({"op":"stats"})");
+  ASSERT_TRUE(stats.get("ok")->as_bool());
+  const JsonValue* body = stats.get("stats");
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(body->get("budget_exceeded")->as_uint(), 1u);
+  EXPECT_EQ(body->get("deadline_exceeded")->as_uint(), 0u);
+  EXPECT_EQ(body->get("shed")->as_uint(), 0u);
+  EXPECT_EQ(body->get("pending")->as_uint(), 0u);
+  EXPECT_EQ(body->get("drained_on_shutdown")->as_uint(), 0u);
+  const auto& tenants = body->get("tenants")->as_array();
+  ASSERT_EQ(tenants.size(), 1u);
+  EXPECT_EQ(tenants[0].get("tenant")->as_string(), "alice");
+  EXPECT_EQ(tenants[0].get("accepted")->as_uint(), 1u);
+  EXPECT_EQ(tenants[0].get("shed_rate_limited")->as_uint(), 0u);
+}
+
+TEST_F(ProtocolTest, ParseDetectRequestFillsBudgetFields) {
+  service::Query query;
+  std::string id, message;
+  ASSERT_EQ(service::parse_detect_request(
+                R"({"op":"detect","id":"q9","graph":{"family":"torus","nodes":64},"max-rounds":7,"max-messages":500,"deadline-ms":250})",
+                &query, &id, &message),
+            api::ErrorCode::kOk);
+  EXPECT_EQ(query.request.max_rounds, 7u);
+  EXPECT_EQ(query.request.max_messages, 500u);
+  EXPECT_EQ(query.request.deadline_ms, 250u);
 }
 
 TEST_F(ProtocolTest, ParseDetectRequestFillsQuery) {

@@ -8,7 +8,9 @@
 // WorkerPool width); per-request engine budgets are exercised too.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -158,6 +160,145 @@ TEST(DetectionService, ManyTenantsManyQueriesAllResolve) {
     EXPECT_TRUE(outcome.result.ok()) << outcome.result.error;
   }
   EXPECT_EQ(service.stats().queries, 64u);
+}
+
+TEST(DetectionService, TenantRateQuotaShedsWithExactRetryHints) {
+  service::ServiceConfig config;
+  config.lanes = 1;
+  // Frozen injected clock: the bucket primes at burst=2 and never refills,
+  // so exactly 2 of 6 submissions are admitted — deterministically.
+  config.clock = [] { return std::uint64_t{1'000'000'000}; };
+  congest::FairQueue::TenantQuota quota;
+  quota.rate_per_second = 50;
+  quota.burst = 2;
+  config.tenant_quotas.emplace_back("alice", quota);
+  DetectionService service(config);
+
+  std::uint64_t ok = 0, shed = 0;
+  for (int i = 0; i < 6; ++i) {
+    const QueryOutcome outcome = service.execute(canonical_query());
+    if (outcome.result.code == api::ErrorCode::kOverloaded) {
+      ++shed;
+      // One token at 50/s costs exactly 20 ms; the hint is the exact price.
+      EXPECT_EQ(outcome.retry_after_ms, 20u);
+      EXPECT_NE(outcome.result.error.find("rate exceeded"), std::string::npos)
+          << outcome.result.error;
+    } else {
+      ++ok;
+      EXPECT_TRUE(outcome.result.ok()) << outcome.result.error;
+    }
+  }
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(shed, 4u);
+
+  const service::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed, 4u);
+  EXPECT_EQ(stats.queries, 2u);  // sheds never enter the latency record
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].tenant, "alice");
+  EXPECT_EQ(stats.tenants[0].accepted, 2u);
+  EXPECT_EQ(stats.tenants[0].shed_rate_limited, 4u);
+  EXPECT_EQ(stats.tenants[0].shed_queue_full, 0u);
+}
+
+TEST(DetectionService, QueueWaitDeadlineCancelsBeforeAnyWork) {
+  service::ServiceConfig config;
+  config.lanes = 1;
+  // Auto-advancing injected clock: every read jumps 100 ms, so the gap
+  // between submit and the lane picking the query up always exceeds a
+  // 50 ms deadline — without any real sleeping or racing.
+  auto ticks = std::make_shared<std::atomic<std::uint64_t>>(0);
+  config.clock = [ticks] {
+    return ticks->fetch_add(1, std::memory_order_relaxed) * 100'000'000ULL;
+  };
+  DetectionService service(config);
+  Query query = canonical_query();
+  query.request.deadline_ms = 50;
+  const QueryOutcome outcome = service.execute(query);
+  EXPECT_EQ(outcome.result.code, api::ErrorCode::kDeadlineExceeded);
+  EXPECT_NE(outcome.result.error.find("expired after"), std::string::npos)
+      << outcome.result.error;
+  EXPECT_EQ(service.stats().deadline_exceeded, 1u);
+}
+
+TEST(DetectionService, GlobalPendingCapShedsExcessLoad) {
+  service::ServiceConfig config;
+  config.lanes = 1;
+  config.max_pending = 2;
+  DetectionService service(config);
+  // Saturate the single lane with slow engine queries; submissions are
+  // instant, so by the 3rd-and-later submits the cap is hit.
+  std::vector<std::future<QueryOutcome>> pending;
+  std::uint64_t shed = 0;
+  for (int i = 0; i < 8; ++i) {
+    Query query = canonical_query();
+    query.request.detector = "engine-color-bfs";
+    query.graph.nodes = 128;
+    pending.push_back(service.submit(query));
+  }
+  for (auto& future : pending) {
+    const QueryOutcome outcome = future.get();
+    if (outcome.result.code == api::ErrorCode::kOverloaded) {
+      ++shed;
+      EXPECT_GT(outcome.retry_after_ms, 0u);
+      EXPECT_NE(outcome.result.error.find("capacity"), std::string::npos)
+          << outcome.result.error;
+    }
+  }
+  EXPECT_GE(shed, 6u);  // 8 submitted, at most 2 ever in flight
+  EXPECT_EQ(service.stats().shed, shed);
+  EXPECT_EQ(service.stats().pending, 0u);
+}
+
+TEST(DetectionService, DrainFinishesInFlightAndRejectsNewWork) {
+  service::ServiceConfig config;
+  config.lanes = 2;
+  DetectionService service(config);
+  std::vector<std::future<QueryOutcome>> pending;
+  for (int i = 0; i < 4; ++i) pending.push_back(service.submit(canonical_query()));
+  service.drain();
+  EXPECT_TRUE(service.draining());
+  // Everything admitted before the drain resolves with a real result.
+  for (auto& future : pending) EXPECT_TRUE(future.get().result.ok());
+  // Everything after is shed with the structured overload error.
+  const QueryOutcome late = service.execute(canonical_query());
+  EXPECT_EQ(late.result.code, api::ErrorCode::kOverloaded);
+  EXPECT_NE(late.result.error.find("draining"), std::string::npos) << late.result.error;
+  EXPECT_EQ(service.stats().queries, 4u);
+  // Drain is idempotent — the destructor will call it again harmlessly.
+  service.drain();
+}
+
+TEST(DetectionService, BudgetExceededPayloadsByteIdenticalAcrossLaneCounts) {
+  // The acceptance bar: a round-budget stop must serialize byte-identically
+  // at every lane count (and engine thread budget).
+  std::set<std::string> payloads;
+  for (const std::uint32_t lanes : {1u, 2u, 4u}) {
+    service::ServiceConfig config;
+    config.lanes = lanes;
+    DetectionService service(config);
+    Query query = canonical_query();
+    query.request.detector = "engine-color-bfs";
+    query.request.max_rounds = 3;
+    query.request.threads = lanes;
+    const QueryOutcome outcome = service.execute(query);
+    EXPECT_EQ(outcome.result.code, api::ErrorCode::kBudgetExceeded);
+    payloads.insert(payload(outcome));
+  }
+  EXPECT_EQ(payloads.size(), 1u) << "budget stop varies with the lane count";
+}
+
+TEST(DetectionService, StatsCountBudgetAndDeadlineOutcomes) {
+  DetectionService service;
+  Query budget = canonical_query();
+  budget.request.detector = "engine-color-bfs";
+  budget.request.max_rounds = 2;
+  EXPECT_EQ(service.execute(budget).result.code, api::ErrorCode::kBudgetExceeded);
+
+  const service::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.budget_exceeded, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.drained_on_shutdown, 0u);
 }
 
 }  // namespace

@@ -2,10 +2,16 @@
 // it with UnixClient, and check the budgeted accept loop exits cleanly.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -45,8 +51,19 @@ class SocketTest : public ::testing::Test {
     return false;
   }
 
+  /// Open descriptors for this process, straight from /proc/self/fd.
+  static int open_fd_count() {
+    DIR* dir = opendir("/proc/self/fd");
+    if (dir == nullptr) return -1;
+    int count = 0;
+    while (readdir(dir) != nullptr) ++count;
+    closedir(dir);
+    return count - 1;  // exclude the fd opendir itself holds
+  }
+
   std::string dir_;
   std::string socket_path_;
+  std::atomic<bool> stop_{false};
 };
 
 TEST_F(SocketTest, PingDetectAndStatsRoundTrip) {
@@ -126,6 +143,201 @@ TEST_F(SocketTest, ConnectToMissingSocketFailsWithError) {
   EXPECT_FALSE(client.connect(socket_path_ + ".nope", &error));
   EXPECT_FALSE(error.empty());
   EXPECT_FALSE(client.connected());
+}
+
+/// A listener that accepts nothing and answers nothing: connects park in
+/// the backlog, requests get no response byte, ever.
+class NeverRespondingServer {
+ public:
+  explicit NeverRespondingServer(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    ::bind(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+    ::listen(fd_, 8);
+  }
+  ~NeverRespondingServer() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST_F(SocketTest, ClientTimeoutFiresAgainstANeverRespondingServer) {
+  NeverRespondingServer server(socket_path_);
+  service::UnixClient client;
+  client.set_timeout(150);
+  std::string error;
+  ASSERT_TRUE(client.connect(socket_path_, &error)) << error;
+  std::string response;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.request(R"({"op":"ping"})", &response, &error));
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  // The timeout bounds the wait: well past 150 ms is a hang, not a timeout.
+  EXPECT_LT(waited, std::chrono::seconds(5));
+}
+
+TEST_F(SocketTest, StopFlagTriggersGracefulDrainWithAStatsFlush) {
+  service::DetectionService detection;
+  service::ServeOptions options;
+  options.socket_path = socket_path_;
+  options.stop = &stop_;
+  options.drain_on_stop = true;
+  std::ostringstream log;
+  int exit_code = -1;
+  std::thread server([&] { exit_code = service::serve(detection, options, log); });
+
+  service::UnixClient client;
+  ASSERT_TRUE(wait_for_server(&client));
+  std::string response, error;
+  ASSERT_TRUE(client.request(
+      R"({"op":"detect","graph":{"family":"torus","nodes":36},"detector":"baseline-flooding"})",
+      &response, &error))
+      << error;
+  client.close();
+  stop_.store(true);
+  server.join();
+  EXPECT_EQ(exit_code, 0);
+  // The drain flushed a final stats line with the completed query in it.
+  EXPECT_NE(log.str().find("stats {"), std::string::npos) << log.str();
+  EXPECT_NE(log.str().find("\"queries\":1"), std::string::npos) << log.str();
+  EXPECT_NE(log.str().find("stop requested"), std::string::npos) << log.str();
+  EXPECT_TRUE(detection.draining());
+}
+
+TEST_F(SocketTest, MidLineDisconnectDoesNotWedgeTheServer) {
+  service::DetectionService detection;
+  service::ServeOptions options;
+  options.socket_path = socket_path_;
+  options.max_connections = 2;
+  std::ostringstream log;
+  std::thread server([&] { service::serve(detection, options, log); });
+
+  service::UnixClient probe;
+  ASSERT_TRUE(wait_for_server(&probe));
+
+  // Connection 2 goes raw and vanishes mid-line: the reader must treat the
+  // EOF as a clean end — no response, no hang, no leaked fd.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)), 0);
+  ASSERT_EQ(::send(fd, "{\"op\":\"pi", 9, MSG_NOSIGNAL), 9);
+  ::close(fd);
+
+  probe.close();
+  server.join();  // the real assertion: this returns
+  EXPECT_NE(log.str().find("served 2 connection(s)"), std::string::npos) << log.str();
+}
+
+TEST_F(SocketTest, ReadTimeoutEvictsAWedgedClient) {
+  service::DetectionService detection;
+  service::ServeOptions options;
+  options.socket_path = socket_path_;
+  options.max_connections = 1;
+  options.read_timeout_ms = 100;
+  std::ostringstream log;
+  std::thread server([&] { service::serve(detection, options, log); });
+
+  service::UnixClient client;
+  ASSERT_TRUE(wait_for_server(&client));
+  // Send nothing. The server must close the connection on its own; the
+  // join below would hang forever if the idle deadline never fired.
+  server.join();
+  client.close();
+}
+
+TEST_F(SocketTest, RepeatedStartStopLeaksNoFdsOrThreads) {
+  service::DetectionService detection;
+  const int fds_before = open_fd_count();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    std::atomic<bool> stop{false};
+    service::ServeOptions options;
+    options.socket_path = socket_path_;
+    options.stop = &stop;  // drain_on_stop stays off: the service survives
+    std::ostringstream log;
+    int exit_code = -1;
+    std::thread server([&] { exit_code = service::serve(detection, options, log); });
+
+    service::UnixClient client;
+    ASSERT_TRUE(wait_for_server(&client)) << "cycle " << cycle;
+    std::string response, error;
+    ASSERT_TRUE(client.request(R"({"op":"ping"})", &response, &error))
+        << "cycle " << cycle << ": " << error;
+    client.close();
+    stop.store(true);
+    server.join();
+    EXPECT_EQ(exit_code, 0) << "cycle " << cycle;
+  }
+  // Listener, connection, and reader-thread fds must all be gone; the
+  // service still works (its queue was never drained).
+  EXPECT_EQ(open_fd_count(), fds_before);
+  EXPECT_FALSE(detection.draining());
+  service::Query query;
+  query.graph.family = "torus";
+  query.graph.nodes = 36;
+  query.request.detector = "baseline-flooding";
+  EXPECT_TRUE(detection.execute(query).result.ok());
+}
+
+TEST_F(SocketTest, RequestWithRetryHonorsOverloadHintsThenGivesUp) {
+  service::ServiceConfig config;
+  config.lanes = 1;
+  config.clock = [] { return std::uint64_t{1'000'000'000}; };  // frozen: never refills
+  congest::FairQueue::TenantQuota quota;
+  quota.rate_per_second = 1000;
+  quota.burst = 1;
+  config.tenant_quotas.emplace_back("greedy", quota);
+  service::DetectionService detection(config);
+  service::ServeOptions options;
+  options.socket_path = socket_path_;
+  options.max_connections = 1;
+  std::ostringstream log;
+  std::thread server([&] { service::serve(detection, options, log); });
+
+  service::UnixClient client;
+  ASSERT_TRUE(wait_for_server(&client));
+  const std::string line =
+      R"({"op":"detect","tenant":"greedy","graph":{"family":"torus","nodes":36},"detector":"baseline-flooding"})";
+  service::UnixClient::RetryPolicy policy;
+  policy.attempts = 3;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 4;
+  std::string response, error;
+  std::uint32_t attempts = 0;
+  // First line spends the single burst token and succeeds...
+  ASSERT_TRUE(client.request_with_retry(line, policy, &response, &error, &attempts));
+  EXPECT_EQ(attempts, 1u);
+  // ...then the frozen bucket sheds every retry: give up after 3 attempts
+  // with the structured overload reply surfaced.
+  EXPECT_FALSE(client.request_with_retry(line, policy, &response, &error, &attempts));
+  EXPECT_EQ(attempts, 3u);
+  EXPECT_NE(error.find("overloaded"), std::string::npos) << error;
+  EXPECT_NE(response.find("\"code\":\"overloaded\""), std::string::npos) << response;
+  EXPECT_NE(response.find("retry-after-ms"), std::string::npos) << response;
+  client.close();
+  server.join();
+}
+
+TEST_F(SocketTest, RequestWithRetryReportsTransportFailureWhenNoServerExists) {
+  service::UnixClient client;
+  client.set_timeout(100);
+  std::string bad_path_error;
+  client.connect(socket_path_, &bad_path_error);  // no server: stays unconnected
+  service::UnixClient::RetryPolicy policy;
+  policy.attempts = 2;
+  policy.base_backoff_ms = 1;
+  std::string response, error;
+  std::uint32_t attempts = 0;
+  EXPECT_FALSE(client.request_with_retry(R"({"op":"ping"})", policy, &response, &error,
+                                         &attempts));
+  EXPECT_EQ(attempts, 2u);
+  EXPECT_FALSE(error.empty());
 }
 
 }  // namespace
